@@ -1,0 +1,127 @@
+//! Exhaustive enumeration of small dilation spaces.
+//!
+//! Used by integration tests to check Pareto claims exactly (every point PIT
+//! or ProxylessNAS returns can be compared against the true front of a small
+//! space), and available as a brute-force reference for tiny networks.
+
+use pit_nas::pareto::{pareto_front, ParetoPoint};
+use pit_nas::SearchSpace;
+use pit_nn::{Adam, Dataset, Layer, LossKind, TrainConfig, Trainer};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the exhaustive search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExhaustiveConfig {
+    /// Training epochs per architecture.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Upper bound on the number of architectures (guards against
+    /// accidentally enumerating a paper-scale space).
+    pub max_architectures: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExhaustiveConfig {
+    fn default() -> Self {
+        Self { epochs: 3, batch_size: 32, learning_rate: 1e-3, max_architectures: 128, seed: 0 }
+    }
+}
+
+/// Trains every architecture of a (small) dilation space and returns all
+/// points plus the exact Pareto front.
+pub struct ExhaustiveSearch {
+    config: ExhaustiveConfig,
+    space: SearchSpace,
+}
+
+impl ExhaustiveSearch {
+    /// Creates an exhaustive-search driver.
+    pub fn new(config: ExhaustiveConfig, space: SearchSpace) -> Self {
+        Self { config, space }
+    }
+
+    /// Runs the search and returns `(all points, exact Pareto front)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space exceeds `max_architectures`.
+    pub fn run<M, F>(
+        &self,
+        mut make_model: F,
+        train: &Dataset,
+        val: &Dataset,
+        loss: LossKind,
+    ) -> (Vec<ParetoPoint>, Vec<ParetoPoint>)
+    where
+        M: Layer,
+        F: FnMut(&[usize], u64) -> (M, usize),
+    {
+        let combos = self.space.enumerate(self.config.max_architectures);
+        let mut points = Vec::with_capacity(combos.len());
+        for (i, dilations) in combos.iter().enumerate() {
+            let (model, params) = make_model(dilations, self.config.seed.wrapping_add(i as u64));
+            let trainer = Trainer::new(TrainConfig {
+                epochs: self.config.epochs,
+                batch_size: self.config.batch_size,
+                shuffle: true,
+                patience: None,
+                seed: self.config.seed.wrapping_add(500 + i as u64),
+            });
+            let mut opt = Adam::new(model.params(), self.config.learning_rate);
+            let _ = trainer.train(&model, train, Some(val), loss, &mut opt);
+            let val_loss = Trainer::evaluate(&model, val, loss, self.config.batch_size);
+            points.push(ParetoPoint::new(params, val_loss, dilations.clone(), format!("exhaustive-{i}")));
+        }
+        let front = pareto_front(&points);
+        (points, front)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_models::{GenericTcn, GenericTcnConfig};
+    use pit_nas::SearchableNetwork;
+    use pit_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn enumerates_and_ranks_a_tiny_space() {
+        let space = SearchSpace::new(vec![9]); // 4 architectures
+        let search = ExhaustiveSearch::new(
+            ExhaustiveConfig { epochs: 1, batch_size: 8, ..ExhaustiveConfig::default() },
+            space,
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ds = Dataset::new();
+        for _ in 0..16 {
+            let x: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let y = x.iter().sum::<f32>() / 16.0;
+            ds.push(Tensor::from_vec(x, &[1, 16]).unwrap(), Tensor::from_vec(vec![y], &[1]).unwrap());
+        }
+        let (train, val) = ds.split(0.75);
+        let (points, front) = search.run(
+            |dilations, seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let cfg = GenericTcnConfig { channels: vec![4], rf_max: vec![9], input_channels: 1, outputs: 1 };
+                let net = GenericTcn::new(&mut rng, &cfg);
+                net.set_dilations(dilations);
+                let p = net.effective_weights();
+                (net, p)
+            },
+            &train,
+            &val,
+            LossKind::Mse,
+        );
+        assert_eq!(points.len(), 4);
+        assert!(!front.is_empty() && front.len() <= 4);
+        // The front must contain the smallest architecture or something that dominates it.
+        let min_params = points.iter().map(|p| p.params).min().unwrap();
+        assert!(front.iter().any(|p| p.params <= min_params));
+    }
+}

@@ -1,0 +1,23 @@
+//! # pit-baselines
+//!
+//! The NAS baselines PIT is compared against in the paper:
+//!
+//! * [`proxyless`] — a re-implementation of the ProxylessNAS search strategy
+//!   adapted to dilation search, as done manually by the authors for
+//!   Table II: every searchable convolution becomes a set of explicit
+//!   branches (one per power-of-two dilation), a single path is sampled and
+//!   trained per step, and architecture parameters are updated from a
+//!   reward that combines the task loss with a model-size penalty;
+//! * [`random_search`] — a random-sampling baseline over the same dilation
+//!   space, useful to check that both PIT and ProxylessNAS beat naive
+//!   exploration at equal training budget;
+//! * [`exhaustive`] — exhaustive enumeration of small dilation spaces,
+//!   used by the tests to verify Pareto claims exactly.
+
+pub mod exhaustive;
+pub mod proxyless;
+pub mod random_search;
+
+pub use exhaustive::ExhaustiveSearch;
+pub use proxyless::{ProxylessConfig, ProxylessOutcome, ProxylessSearch, ProxylessSupernet, SupernetLayerSpec};
+pub use random_search::{RandomSearch, RandomSearchConfig};

@@ -1,0 +1,573 @@
+//! ProxylessNAS-style dilation search.
+//!
+//! ProxylessNAS (Cai et al.) builds a supernet that contains every candidate
+//! implementation of every layer and trains, per step, only one sampled path
+//! together with the architecture parameters. The paper adapts it to
+//! dilation search by listing, for every convolution, one branch per
+//! power-of-two dilation with `C_in`/`C_out` kept constant — exactly the
+//! search space PIT explores implicitly. This module re-implements that
+//! adapted baseline:
+//!
+//! * every searchable layer holds one [`CausalConv1d`] branch per dilation
+//!   choice and a vector of architecture logits α;
+//! * each training step samples a path from `softmax(α)`, updates the
+//!   weights of that path only, then updates α with a REINFORCE-style rule
+//!   whose reward is `−(validation loss + size_weight · path size)`;
+//! * the final architecture is the per-layer argmax of α, optionally
+//!   fine-tuned before evaluation.
+//!
+//! Because only one path is trained per step, many more epochs are required
+//! than a plain training — which is exactly the training-time gap Fig. 5 of
+//! the paper reports.
+
+use pit_models::{TempoNetConfig, LayerDesc, NetworkDescriptor};
+use pit_nas::pareto::ParetoPoint;
+use pit_nn::layers::{AvgPool1d, BatchNorm1d, CausalConv1d, Linear};
+use pit_nn::{Adam, Dataset, Layer, LossKind, Mode, Optimizer, Trainer};
+use pit_tensor::{ops::mask::gamma_len, Param, Tape, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// One searchable layer of the supernet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupernetLayerSpec {
+    /// Output channels of the layer.
+    pub out_channels: usize,
+    /// Maximum receptive field (defines the dilation choices, as in PIT).
+    pub rf_max: usize,
+    /// Whether a stride-2 average pooling follows the layer.
+    pub pool_after: bool,
+}
+
+/// Configuration of a ProxylessNAS dilation search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProxylessConfig {
+    /// Input channels of the network.
+    pub input_channels: usize,
+    /// Searchable layers, in order.
+    pub layers: Vec<SupernetLayerSpec>,
+    /// Hidden width of the fully connected head.
+    pub fc_hidden: usize,
+    /// Input window length.
+    pub input_length: usize,
+    /// Weight of the model-size term in the architecture reward
+    /// (plays the role PIT's λ plays: larger ⇒ smaller networks).
+    pub size_weight: f32,
+    /// Number of search epochs over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate for the path weights.
+    pub learning_rate: f32,
+    /// Learning rate for the architecture logits.
+    pub arch_learning_rate: f32,
+    /// Fine-tuning epochs of the selected path after the search.
+    pub finetune_epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ProxylessConfig {
+    /// Builds the supernet specification matching a TEMPONet seed: same
+    /// seven convolutions, channels, receptive fields, pooling positions and
+    /// head — i.e. exactly the search space used for PIT in Table II.
+    pub fn temponet_like(cfg: &TempoNetConfig) -> Self {
+        let rf = cfg.rf_max_per_layer();
+        let block_sizes = cfg.block_sizes();
+        let mut layers = Vec::with_capacity(7);
+        let mut idx = 0usize;
+        for &len in block_sizes.iter() {
+            for j in 0..len {
+                layers.push(SupernetLayerSpec {
+                    out_channels: cfg.channels[idx],
+                    rf_max: rf[idx],
+                    pool_after: j == len - 1,
+                });
+                idx += 1;
+            }
+        }
+        Self {
+            input_channels: cfg.input_channels,
+            layers,
+            fc_hidden: cfg.fc_hidden,
+            input_length: cfg.input_length,
+            size_weight: 1e-6,
+            epochs: 20,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            arch_learning_rate: 0.1,
+            finetune_epochs: 2,
+            seed: 0,
+        }
+    }
+}
+
+struct SupernetLayer {
+    branches: Vec<CausalConv1d>,
+    dilations: Vec<usize>,
+    norm: BatchNorm1d,
+    alpha: Vec<f32>,
+    pool: Option<AvgPool1d>,
+}
+
+impl SupernetLayer {
+    fn softmax(&self) -> Vec<f32> {
+        let max = self.alpha.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = self.alpha.iter().map(|a| (a - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let probs = self.softmax();
+        let mut u: f32 = rng.gen();
+        for (i, p) in probs.iter().enumerate() {
+            if u < *p {
+                return i;
+            }
+            u -= p;
+        }
+        probs.len() - 1
+    }
+
+    fn argmax(&self) -> usize {
+        self.alpha
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// The ProxylessNAS supernet: a TEMPONet-shaped network where every
+/// searchable convolution is replaced by one branch per dilation choice.
+pub struct ProxylessSupernet {
+    layers: Vec<SupernetLayer>,
+    fc_hidden: Linear,
+    fc_out: Linear,
+    config: ProxylessConfig,
+}
+
+impl ProxylessSupernet {
+    /// Builds the supernet with freshly initialised branch weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no layers or an input length that is
+    /// not divisible by the total pooling factor.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: &ProxylessConfig) -> Self {
+        assert!(!config.layers.is_empty(), "supernet needs at least one layer");
+        let pools = config.layers.iter().filter(|l| l.pool_after).count();
+        let pool_factor = 1usize << pools;
+        assert_eq!(
+            config.input_length % pool_factor,
+            0,
+            "input_length must be divisible by the pooling factor {pool_factor}"
+        );
+        let mut layers = Vec::with_capacity(config.layers.len());
+        let mut in_ch = config.input_channels;
+        for spec in &config.layers {
+            let l = gamma_len(spec.rf_max);
+            let dilations: Vec<usize> = (0..l).map(|j| 1usize << j).collect();
+            let branches: Vec<CausalConv1d> = dilations
+                .iter()
+                .map(|&d| {
+                    let kernel = (spec.rf_max - 1) / d + 1;
+                    CausalConv1d::new(rng, in_ch, spec.out_channels, kernel, d)
+                })
+                .collect();
+            layers.push(SupernetLayer {
+                alpha: vec![0.0; branches.len()],
+                branches,
+                dilations,
+                norm: BatchNorm1d::new(spec.out_channels),
+                pool: spec.pool_after.then(|| AvgPool1d::new(2, 2)),
+            });
+            in_ch = spec.out_channels;
+        }
+        let final_len = config.input_length / pool_factor;
+        let flat = in_ch * final_len;
+        Self {
+            layers,
+            fc_hidden: Linear::new(rng, flat, config.fc_hidden),
+            fc_out: Linear::new(rng, config.fc_hidden, 1),
+            config: config.clone(),
+        }
+    }
+
+    /// Number of searchable layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of weights stored by the supernet (all branches), the
+    /// memory-cost figure ProxylessNAS pays and PIT avoids.
+    pub fn supernet_weights(&self) -> usize {
+        let branch_weights: usize = self
+            .layers
+            .iter()
+            .map(|l| {
+                l.branches.iter().map(|b| b.num_weights()).sum::<usize>() + l.norm.num_weights()
+            })
+            .sum();
+        branch_weights + self.fc_hidden.num_weights() + self.fc_out.num_weights()
+    }
+
+    /// Samples one branch index per layer from the current `softmax(α)`.
+    pub fn sample_path<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
+        self.layers.iter().map(|l| l.sample(rng)).collect()
+    }
+
+    /// The most likely path (per-layer argmax of α).
+    pub fn argmax_path(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.argmax()).collect()
+    }
+
+    /// Dilations selected by a path.
+    pub fn path_dilations(&self, path: &[usize]) -> Vec<usize> {
+        self.layers
+            .iter()
+            .zip(path.iter())
+            .map(|(l, &b)| l.dilations[b])
+            .collect()
+    }
+
+    /// Number of weights of the stand-alone network described by a path.
+    pub fn path_weights(&self, path: &[usize]) -> usize {
+        let conv: usize = self
+            .layers
+            .iter()
+            .zip(path.iter())
+            .map(|(l, &b)| l.branches[b].num_weights() + l.norm.num_weights())
+            .sum();
+        conv + self.fc_hidden.num_weights() + self.fc_out.num_weights()
+    }
+
+    /// Trainable parameters of a path (used for the per-step weight update).
+    pub fn path_params(&self, path: &[usize]) -> Vec<Param> {
+        let mut p = Vec::new();
+        for (l, &b) in self.layers.iter().zip(path.iter()) {
+            p.extend(l.branches[b].params());
+            p.extend(l.norm.params());
+        }
+        p.extend(self.fc_hidden.params());
+        p.extend(self.fc_out.params());
+        p
+    }
+
+    /// All weight parameters of the supernet.
+    pub fn all_params(&self) -> Vec<Param> {
+        let mut p = Vec::new();
+        for l in &self.layers {
+            for b in &l.branches {
+                p.extend(b.params());
+            }
+            p.extend(l.norm.params());
+        }
+        p.extend(self.fc_hidden.params());
+        p.extend(self.fc_out.params());
+        p
+    }
+
+    /// Runs the forward pass of one path.
+    pub fn forward_path(&self, tape: &mut Tape, input: Var, path: &[usize], mode: Mode) -> Var {
+        let mut x = input;
+        for (layer, &b) in self.layers.iter().zip(path.iter()) {
+            x = layer.branches[b].forward(tape, x, mode);
+            x = layer.norm.forward(tape, x, mode);
+            x = tape.relu(x);
+            if let Some(pool) = &layer.pool {
+                x = pool.forward(tape, x, mode);
+            }
+        }
+        let flat = tape.flatten_batch(x);
+        let h = self.fc_hidden.forward(tape, flat, mode);
+        let h = tape.relu(h);
+        self.fc_out.forward(tape, h, mode)
+    }
+
+    /// Static descriptor of the network selected by a path (for deployment
+    /// studies), using the configured input length.
+    pub fn path_descriptor(&self, path: &[usize]) -> NetworkDescriptor {
+        let mut d = NetworkDescriptor::new("ProxylessNAS-path");
+        let mut t = self.config.input_length;
+        for (layer, &b) in self.layers.iter().zip(path.iter()) {
+            let conv = &layer.branches[b];
+            d.push(LayerDesc::Conv1d {
+                c_in: conv.in_channels(),
+                c_out: conv.out_channels(),
+                kernel: conv.kernel_size(),
+                dilation: conv.dilation(),
+                t_in: t,
+                t_out: t,
+            });
+            d.push(LayerDesc::BatchNorm { channels: conv.out_channels(), t });
+            if layer.pool.is_some() {
+                let t_out = (t - 2) / 2 + 1;
+                d.push(LayerDesc::AvgPool { channels: conv.out_channels(), kernel: 2, stride: 2, t_in: t, t_out });
+                t = t_out;
+            }
+        }
+        d.push(LayerDesc::Linear {
+            in_features: self.fc_hidden.in_features(),
+            out_features: self.fc_hidden.out_features(),
+        });
+        d.push(LayerDesc::Linear {
+            in_features: self.fc_out.in_features(),
+            out_features: self.fc_out.out_features(),
+        });
+        d
+    }
+}
+
+/// A wrapper that makes one fixed path of the supernet usable as a [`Layer`]
+/// (for fine-tuning and evaluation through the standard trainer).
+pub struct PathModel<'a> {
+    supernet: &'a ProxylessSupernet,
+    path: Vec<usize>,
+}
+
+impl Layer for PathModel<'_> {
+    fn forward(&self, tape: &mut Tape, input: Var, mode: Mode) -> Var {
+        self.supernet.forward_path(tape, input, &self.path, mode)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.supernet.path_params(&self.path)
+    }
+}
+
+/// Result of one ProxylessNAS search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProxylessOutcome {
+    /// Selected dilation per searchable layer.
+    pub dilations: Vec<usize>,
+    /// Number of weights of the selected stand-alone network.
+    pub params: usize,
+    /// Validation loss of the selected (fine-tuned) network.
+    pub val_loss: f32,
+    /// Wall-clock duration of the whole search.
+    pub wall_time: Duration,
+    /// Size-penalty weight that produced the outcome.
+    pub size_weight: f32,
+    /// Number of search epochs run.
+    pub epochs_run: usize,
+}
+
+impl ProxylessOutcome {
+    /// Converts the outcome into a point of the accuracy-vs-size plane.
+    pub fn to_pareto_point(&self, label: impl Into<String>) -> ParetoPoint {
+        ParetoPoint::new(self.params, self.val_loss, self.dilations.clone(), label)
+    }
+}
+
+/// Drives the ProxylessNAS-style search.
+pub struct ProxylessSearch {
+    config: ProxylessConfig,
+}
+
+impl ProxylessSearch {
+    /// Creates a search driver.
+    pub fn new(config: ProxylessConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProxylessConfig {
+        &self.config
+    }
+
+    /// Runs the search on a freshly built supernet and returns the outcome.
+    pub fn run(
+        &self,
+        supernet: &mut ProxylessSupernet,
+        train: &Dataset,
+        val: &Dataset,
+        loss: LossKind,
+    ) -> ProxylessOutcome {
+        let cfg = &self.config;
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut opt = Adam::new(supernet.all_params(), cfg.learning_rate);
+        // Reward baseline for the REINFORCE-style architecture update.
+        let mut baseline = 0.0f32;
+        let mut baseline_initialised = false;
+        // Normalise the size term by the largest possible path so that
+        // size_weight has a scale comparable to the loss.
+        let max_path: Vec<usize> = vec![0; supernet.num_layers()]; // branch 0 = dilation 1 = largest kernels
+        let max_size = supernet.path_weights(&max_path) as f32;
+
+        let mut epochs_run = 0usize;
+        for _epoch in 0..cfg.epochs {
+            let batches = train.batches(cfg.batch_size, Some(&mut rng));
+            let val_batches = val.batches::<StdRng>(cfg.batch_size, None);
+            for (i, batch) in batches.iter().enumerate() {
+                // --- weight update on a sampled path ---
+                let path = supernet.sample_path(&mut rng);
+                opt.zero_grad();
+                let mut tape = Tape::new();
+                let x = tape.constant(batch.inputs.clone());
+                let pred = supernet.forward_path(&mut tape, x, &path, Mode::Train);
+                let l = loss.apply(&mut tape, pred, &batch.targets);
+                tape.backward(l);
+                opt.step();
+
+                // --- architecture update on a validation batch ---
+                let vb = &val_batches[i % val_batches.len().max(1)];
+                let arch_path = supernet.sample_path(&mut rng);
+                let mut vtape = Tape::new();
+                let vx = vtape.constant(vb.inputs.clone());
+                let vpred = supernet.forward_path(&mut vtape, vx, &arch_path, Mode::Eval);
+                let vl = loss.apply(&mut vtape, vpred, &vb.targets);
+                let size_term = cfg.size_weight * supernet.path_weights(&arch_path) as f32 / max_size.max(1.0);
+                let cost = vtape.value(vl).item() + size_term;
+                if !baseline_initialised {
+                    baseline = cost;
+                    baseline_initialised = true;
+                } else {
+                    baseline = 0.9 * baseline + 0.1 * cost;
+                }
+                let advantage = baseline - cost; // positive when better than average
+                for (layer, &chosen) in supernet.layers.iter_mut().zip(arch_path.iter()) {
+                    let probs = layer.softmax();
+                    for (j, p) in probs.iter().enumerate() {
+                        let indicator = if j == chosen { 1.0 } else { 0.0 };
+                        layer.alpha[j] += cfg.arch_learning_rate * advantage * (indicator - p);
+                    }
+                }
+            }
+            epochs_run += 1;
+        }
+
+        // Select the most likely path, optionally fine-tune it, and evaluate.
+        let best_path = supernet.argmax_path();
+        if cfg.finetune_epochs > 0 {
+            let model = PathModel { supernet, path: best_path.clone() };
+            let trainer = Trainer::new(pit_nn::TrainConfig {
+                epochs: cfg.finetune_epochs,
+                batch_size: cfg.batch_size,
+                shuffle: true,
+                patience: None,
+                seed: cfg.seed.wrapping_add(17),
+            });
+            let mut fopt = Adam::new(model.params(), cfg.learning_rate);
+            let _ = trainer.train(&model, train, Some(val), loss, &mut fopt);
+        }
+        let model = PathModel { supernet, path: best_path.clone() };
+        let val_loss = Trainer::evaluate(&model, val, loss, cfg.batch_size);
+
+        ProxylessOutcome {
+            dilations: supernet.path_dilations(&best_path),
+            params: supernet.path_weights(&best_path),
+            val_loss,
+            wall_time: start.elapsed(),
+            size_weight: cfg.size_weight,
+            epochs_run,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_tensor::Tensor;
+
+    fn tiny_config() -> ProxylessConfig {
+        ProxylessConfig {
+            input_channels: 1,
+            layers: vec![
+                SupernetLayerSpec { out_channels: 4, rf_max: 9, pool_after: true },
+                SupernetLayerSpec { out_channels: 4, rf_max: 9, pool_after: true },
+            ],
+            fc_hidden: 4,
+            input_length: 32,
+            size_weight: 0.0,
+            epochs: 2,
+            batch_size: 8,
+            learning_rate: 0.01,
+            arch_learning_rate: 0.2,
+            finetune_epochs: 0,
+            seed: 0,
+        }
+    }
+
+    fn toy_dataset(n: usize, t: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new();
+        for _ in 0..n {
+            let x: Vec<f32> = (0..t).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let y: f32 = x.iter().sum::<f32>() / t as f32;
+            ds.push(
+                Tensor::from_vec(x, &[1, t]).unwrap(),
+                Tensor::from_vec(vec![y], &[1]).unwrap(),
+            );
+        }
+        ds
+    }
+
+    #[test]
+    fn supernet_structure() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ProxylessSupernet::new(&mut rng, &tiny_config());
+        assert_eq!(net.num_layers(), 2);
+        // rf_max 9 -> 4 dilation branches per layer.
+        assert_eq!(net.path_dilations(&[0, 3]), vec![1, 8]);
+        // The supernet stores strictly more weights than any single path.
+        assert!(net.supernet_weights() > net.path_weights(&[0, 0]));
+        // Larger dilation -> smaller kernels -> fewer path weights.
+        assert!(net.path_weights(&[3, 3]) < net.path_weights(&[0, 0]));
+    }
+
+    #[test]
+    fn forward_path_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ProxylessSupernet::new(&mut rng, &tiny_config());
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[2, 1, 32]));
+        let y = net.forward_path(&mut tape, x, &[1, 2], Mode::Train);
+        assert_eq!(tape.dims(y), vec![2, 1]);
+    }
+
+    #[test]
+    fn path_descriptor_reflects_dilations() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ProxylessSupernet::new(&mut rng, &tiny_config());
+        let small = net.path_descriptor(&[3, 3]);
+        let large = net.path_descriptor(&[0, 0]);
+        assert!(small.total_weights() < large.total_weights());
+    }
+
+    #[test]
+    fn temponet_like_spec_matches_search_space() {
+        let cfg = TempoNetConfig::paper();
+        let spec = ProxylessConfig::temponet_like(&cfg);
+        assert_eq!(spec.layers.len(), 7);
+        assert_eq!(spec.layers.iter().filter(|l| l.pool_after).count(), 3);
+        let rf: Vec<usize> = spec.layers.iter().map(|l| l.rf_max).collect();
+        assert_eq!(rf, cfg.rf_max_per_layer());
+    }
+
+    #[test]
+    fn search_runs_and_prefers_small_models_under_size_pressure() {
+        let data = toy_dataset(48, 32, 1);
+        let (train, val) = data.split(0.75);
+        // Huge size weight: the reward is dominated by the size term, so the
+        // search must converge towards the maximum-dilation (smallest) path.
+        let cfg = ProxylessConfig { size_weight: 50.0, epochs: 6, ..tiny_config() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut supernet = ProxylessSupernet::new(&mut rng, &cfg);
+        let outcome = ProxylessSearch::new(cfg).run(&mut supernet, &train, &val, LossKind::Mse);
+        assert_eq!(outcome.epochs_run, 6);
+        assert!(outcome.val_loss.is_finite());
+        assert_eq!(outcome.dilations.len(), 2);
+        // Under dominant size pressure the search must land on a heavily
+        // dilated (small) path — well below the dense dilation-1 path.
+        assert!(outcome.dilations.iter().all(|&d| d >= 4), "expected large dilations, got {:?}", outcome.dilations);
+        assert!(outcome.params < supernet.path_weights(&[0, 0]));
+        let point = outcome.to_pareto_point("proxyless");
+        assert_eq!(point.params, outcome.params);
+    }
+}

@@ -1,0 +1,149 @@
+//! Random-sampling baseline over the dilation space.
+
+use pit_nas::pareto::ParetoPoint;
+use pit_nas::SearchSpace;
+use pit_nn::{Adam, Dataset, Layer, LossKind, TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the random dilation search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomSearchConfig {
+    /// Number of random architectures to sample and train.
+    pub samples: usize,
+    /// Training epochs per sampled architecture.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSearchConfig {
+    fn default() -> Self {
+        Self { samples: 8, epochs: 5, batch_size: 32, learning_rate: 1e-3, seed: 0 }
+    }
+}
+
+/// Randomly samples dilation assignments from a [`SearchSpace`], trains a
+/// concrete model for each and reports the resulting accuracy-vs-size points.
+///
+/// The model is produced by a caller-supplied factory so the same search can
+/// drive ResTCN-shaped, TEMPONet-shaped or custom networks. The factory
+/// receives the sampled dilations and a seed and must return a trainable
+/// [`Layer`] together with its deployed weight count.
+pub struct RandomSearch {
+    config: RandomSearchConfig,
+    space: SearchSpace,
+}
+
+impl RandomSearch {
+    /// Creates a random-search driver over `space`.
+    pub fn new(config: RandomSearchConfig, space: SearchSpace) -> Self {
+        Self { config, space }
+    }
+
+    /// The search space being sampled.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Samples one random dilation assignment.
+    pub fn sample_dilations<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
+        (0..self.space.num_layers())
+            .map(|i| 1usize << rng.gen_range(0..self.space.choices_for_layer(i)))
+            .collect()
+    }
+
+    /// Runs the search: samples, trains and evaluates `samples` architectures
+    /// and returns one [`ParetoPoint`] per architecture.
+    pub fn run<M, F>(
+        &self,
+        mut make_model: F,
+        train: &Dataset,
+        val: &Dataset,
+        loss: LossKind,
+    ) -> Vec<ParetoPoint>
+    where
+        M: Layer,
+        F: FnMut(&[usize], u64) -> (M, usize),
+    {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut points = Vec::with_capacity(self.config.samples);
+        for s in 0..self.config.samples {
+            let dilations = self.sample_dilations(&mut rng);
+            let (model, params) = make_model(&dilations, self.config.seed.wrapping_add(s as u64));
+            let trainer = Trainer::new(TrainConfig {
+                epochs: self.config.epochs,
+                batch_size: self.config.batch_size,
+                shuffle: true,
+                patience: None,
+                seed: self.config.seed.wrapping_add(1000 + s as u64),
+            });
+            let mut opt = Adam::new(model.params(), self.config.learning_rate);
+            let _ = trainer.train(&model, train, Some(val), loss, &mut opt);
+            let val_loss = Trainer::evaluate(&model, val, loss, self.config.batch_size);
+            points.push(ParetoPoint::new(params, val_loss, dilations, format!("random-{s}")));
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_models::{GenericTcn, GenericTcnConfig};
+    use pit_nas::SearchableNetwork;
+    use pit_tensor::Tensor;
+
+    fn toy_dataset(n: usize, t: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new();
+        for _ in 0..n {
+            let x: Vec<f32> = (0..t).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let y: f32 = x.iter().sum::<f32>() / t as f32;
+            ds.push(Tensor::from_vec(x, &[1, t]).unwrap(), Tensor::from_vec(vec![y], &[1]).unwrap());
+        }
+        ds
+    }
+
+    #[test]
+    fn sampled_dilations_are_valid() {
+        let space = SearchSpace::new(vec![9, 17, 5]);
+        let search = RandomSearch::new(RandomSearchConfig::default(), space);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let d = search.sample_dilations(&mut rng);
+            assert_eq!(d.len(), 3);
+            assert!(d[0] <= 8 && d[1] <= 16 && d[2] <= 4);
+            assert!(d.iter().all(|x| x.is_power_of_two()));
+        }
+    }
+
+    #[test]
+    fn run_produces_one_point_per_sample() {
+        let space = SearchSpace::new(vec![9, 17]);
+        let config = RandomSearchConfig { samples: 3, epochs: 1, batch_size: 8, learning_rate: 0.01, seed: 0 };
+        let search = RandomSearch::new(config, space);
+        let data = toy_dataset(24, 32, 0);
+        let (train, val) = data.split(0.75);
+        let points = search.run(
+            |dilations, seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let net = GenericTcn::new(&mut rng, &GenericTcnConfig::tiny());
+                net.set_dilations(dilations);
+                let params = net.effective_weights();
+                (net, params)
+            },
+            &train,
+            &val,
+            LossKind::Mse,
+        );
+        assert_eq!(points.len(), 3);
+        assert!(points.iter().all(|p| p.loss.is_finite() && p.params > 0));
+        assert!(points.iter().all(|p| p.dilations.len() == 2));
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation bench: masked dense convolution (what PIT trains with) versus a
+//! true dilated convolution with the same receptive field (what gets
+//! deployed). The gap between the two is the per-step overhead PIT pays for
+//! keeping the whole search space differentiable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pit_nas::PitConv1d;
+use pit_nn::layers::CausalConv1d;
+use pit_nn::{Layer, Mode};
+use pit_tensor::{init, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_conv_masking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_masking");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = init::uniform(&mut rng, &[4, 16, 64], 1.0);
+
+    for dilation in [1usize, 4, 16] {
+        let rf_max = 33usize;
+        let masked = PitConv1d::new(&mut rng, 16, 16, rf_max, "bench");
+        masked.set_dilation(dilation);
+        let alive = (rf_max - 1) / dilation + 1;
+        let dilated = CausalConv1d::new(&mut rng, 16, 16, alive, dilation);
+
+        group.bench_with_input(BenchmarkId::new("masked_dense", dilation), &dilation, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let vx = tape.constant(x.clone());
+                let y = masked.forward(&mut tape, vx, Mode::Eval);
+                std::hint::black_box(tape.value(y).sum_all())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("true_dilated", dilation), &dilation, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let vx = tape.constant(x.clone());
+                let y = dilated.forward(&mut tape, vx, Mode::Eval);
+                std::hint::black_box(tape.value(y).sum_all())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_masking);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table III bench: analytical GAP8 deployment of every architecture of the
+//! table (seed, hand-tuned, PIT small/medium/large dilation patterns from the
+//! paper), for both seed networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pit_bench::experiments::paper_descriptor;
+use pit_bench::SeedKind;
+use pit_hw::{Deployment, Gap8Config};
+
+fn bench_gap8_latency(c: &mut Criterion) {
+    let deployment = Deployment::new(Gap8Config::paper());
+    let mut group = c.benchmark_group("table3_gap8_deployment");
+    group.sample_size(30);
+
+    // Dilation patterns straight from Table I of the paper.
+    let restcn_nets: Vec<(&str, Vec<usize>)> = vec![
+        ("restcn_seed", vec![1; 8]),
+        ("restcn_hand", vec![1, 1, 2, 2, 4, 4, 8, 8]),
+        ("restcn_pit_small", vec![4, 4, 8, 8, 16, 16, 32, 32]),
+        ("restcn_pit_medium", vec![4, 1, 4, 8, 16, 16, 32, 32]),
+        ("restcn_pit_large", vec![1, 4, 8, 8, 16, 16, 8, 1]),
+    ];
+    let temponet_nets: Vec<(&str, Vec<usize>)> = vec![
+        ("temponet_seed", vec![1; 7]),
+        ("temponet_hand", vec![2, 2, 1, 4, 4, 8, 8]),
+        ("temponet_pit_small", vec![2, 4, 4, 8, 8, 16, 16]),
+        ("temponet_pit_medium", vec![1, 2, 4, 2, 1, 8, 16]),
+        ("temponet_pit_large", vec![1, 1, 1, 1, 1, 1, 16]),
+    ];
+
+    for (name, dilations) in restcn_nets {
+        let desc = paper_descriptor(SeedKind::ResTcn, &dilations);
+        group.bench_with_input(BenchmarkId::new("analyze", name), &desc, |b, d| {
+            b.iter(|| std::hint::black_box(deployment.analyze(d).latency_ms))
+        });
+    }
+    for (name, dilations) in temponet_nets {
+        let desc = paper_descriptor(SeedKind::TempoNet, &dilations);
+        group.bench_with_input(BenchmarkId::new("analyze", name), &desc, |b, d| {
+            b.iter(|| std::hint::black_box(deployment.analyze(d).latency_ms))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap8_latency);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Fig. 4 bench: the building blocks of the design-space exploration — the
+//! differentiable mask construction, the size regulariser, one full PIT
+//! search epoch on a tiny benchmark and the Pareto-front extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pit_bench::experiments::{build_benchmark, build_network, pit_config};
+use pit_bench::{ExperimentScale, SeedKind};
+use pit_nas::pareto::{pareto_front, ParetoPoint};
+use pit_nas::{PitSearch, SearchableNetwork, SizeRegularizer};
+use pit_tensor::Tape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tiny_scale() -> ExperimentScale {
+    ExperimentScale {
+        temponet_divisor: 16,
+        temponet_window: 32,
+        temponet_windows: 32,
+        warmup_epochs: 0,
+        search_epochs: 1,
+        finetune_epochs: 0,
+        batch_size: 16,
+        ..ExperimentScale::quick()
+    }
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_pareto");
+    group.sample_size(10);
+
+    // Differentiable mask construction + regulariser for one network.
+    let scale = tiny_scale();
+    let net = build_network(SeedKind::TempoNet, &scale, 0);
+    let regularizer = SizeRegularizer::new(1e-4);
+    group.bench_function("mask_and_regularizer", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            for layer in net.pit_layers() {
+                std::hint::black_box(layer.mask(&mut tape));
+            }
+            let term = regularizer.term(&mut tape, &net.pit_layers());
+            std::hint::black_box(tape.value(term).item())
+        })
+    });
+
+    // One full PIT run (warmup 0 / search 1 / finetune 0) on the tiny benchmark.
+    let bench_data = build_benchmark(SeedKind::TempoNet, &scale);
+    group.bench_function("pit_search_one_epoch", |b| {
+        b.iter(|| {
+            let net = build_network(SeedKind::TempoNet, &scale, 1);
+            let outcome = PitSearch::new(pit_config(&scale, 1e-4, 0)).run(
+                &net,
+                &bench_data.train,
+                &bench_data.val,
+                bench_data.loss,
+            );
+            std::hint::black_box(outcome.effective_params)
+        })
+    });
+
+    // Pareto-front extraction over a large cloud of points.
+    let mut rng = StdRng::seed_from_u64(3);
+    let points: Vec<ParetoPoint> = (0..2_000)
+        .map(|i| {
+            ParetoPoint::new(
+                rng.gen_range(10_000..1_000_000),
+                rng.gen_range(0.1f32..5.0),
+                vec![1, 2, 4],
+                format!("p{i}"),
+            )
+        })
+        .collect();
+    group.bench_function("pareto_front_2000_points", |b| {
+        b.iter(|| std::hint::black_box(pareto_front(&points).len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pareto);
+criterion_main!(benches);

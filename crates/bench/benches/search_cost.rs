@@ -1,0 +1,80 @@
+//! Fig. 5 bench: per-step cost of the three training regimes compared in the
+//! paper — a PIT search step (masked dense convolutions + γ + regulariser), a
+//! ProxylessNAS step (one sampled path + architecture update) and a plain
+//! training step of the deployed (dilated) network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pit_bench::experiments::{build_benchmark, build_network, pit_config, temponet_config};
+use pit_bench::{ExperimentScale, SeedKind};
+use pit_baselines::{ProxylessConfig, ProxylessSupernet};
+use pit_models::TempoNet;
+use pit_nas::{SearchableNetwork, SizeRegularizer};
+use pit_nn::{Adam, Layer, LossKind, Mode, Optimizer, Trainer};
+use pit_tensor::Tape;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_search_cost(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let bench_data = build_benchmark(SeedKind::TempoNet, &scale);
+    let batch = bench_data.train.gather(&(0..scale.batch_size.min(bench_data.train.len())).collect::<Vec<_>>());
+
+    let mut group = c.benchmark_group("fig5_step_cost");
+    group.sample_size(20);
+
+    // PIT: masked dense forward + task loss + size regulariser + backward.
+    let net = build_network(SeedKind::TempoNet, &scale, 0);
+    let pit_cfg = pit_config(&scale, 1e-4, 0);
+    let regularizer = SizeRegularizer::new(pit_cfg.lambda);
+    let mut pit_opt = Adam::new(net.params(), pit_cfg.learning_rate);
+    group.bench_function("pit_search_step", |b| {
+        b.iter(|| {
+            pit_opt.zero_grad();
+            let mut tape = Tape::new();
+            let x = tape.constant(batch.inputs.clone());
+            let pred = net.forward(&mut tape, x, Mode::Train);
+            let task = LossKind::Mae.apply(&mut tape, pred, &batch.targets);
+            let reg = regularizer.term(&mut tape, &net.pit_layers());
+            let total = tape.add(task, reg);
+            tape.backward(total);
+            pit_opt.step();
+        })
+    });
+
+    // ProxylessNAS: one sampled-path weight update.
+    let mut rng = StdRng::seed_from_u64(1);
+    let proxy_cfg = ProxylessConfig {
+        batch_size: scale.batch_size,
+        ..ProxylessConfig::temponet_like(&temponet_config(&scale))
+    };
+    let supernet = ProxylessSupernet::new(&mut rng, &proxy_cfg);
+    let mut proxy_opt = Adam::new(supernet.all_params(), proxy_cfg.learning_rate);
+    group.bench_function("proxyless_path_step", |b| {
+        b.iter(|| {
+            let path = supernet.sample_path(&mut rng);
+            proxy_opt.zero_grad();
+            let mut tape = Tape::new();
+            let x = tape.constant(batch.inputs.clone());
+            let pred = supernet.forward_path(&mut tape, x, &path, Mode::Train);
+            let l = LossKind::Mae.apply(&mut tape, pred, &batch.targets);
+            tape.backward(l);
+            proxy_opt.step();
+        })
+    });
+
+    // Plain training of the deployed (hand-tuned, truly dilated) network.
+    let cfg = temponet_config(&scale);
+    let mut rng2 = StdRng::seed_from_u64(2);
+    let concrete = TempoNet::concrete(&mut rng2, &cfg, &cfg.hand_tuned_dilations());
+    let mut plain_opt = Adam::new(concrete.params(), scale.learning_rate);
+    group.bench_function("plain_training_step", |b| {
+        b.iter(|| {
+            std::hint::black_box(Trainer::train_step(&concrete, &batch, LossKind::Mae, &mut plain_opt));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_cost);
+criterion_main!(benches);

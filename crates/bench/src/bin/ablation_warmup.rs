@@ -1,0 +1,37 @@
+//! Ablation: effect of the warmup length on the size / accuracy trade-off.
+//!
+//! Sec. III-C of the paper notes that a shorter warmup favours more
+//! aggressive simplification (the γ are pruned while the weights are still
+//! inaccurate). This binary sweeps the warmup length at a fixed λ and prints
+//! the resulting model size and validation loss.
+//!
+//! Usage: `cargo run --release -p pit-bench --bin ablation_warmup [-- --full]`
+
+use pit_bench::experiments::{build_benchmark, build_network, pit_config};
+use pit_bench::report::{format_dilations, format_params, Table};
+use pit_bench::{ExperimentScale, SeedKind};
+use pit_nas::{PitConfig, PitSearch};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args());
+    let bench = build_benchmark(SeedKind::TempoNet, &scale);
+    let lambda = scale.lambdas[scale.lambdas.len() / 2];
+    let warmups: Vec<usize> = vec![0, scale.warmup_epochs, 2 * scale.warmup_epochs.max(1)];
+
+    let mut table = Table::new(
+        format!("Ablation — warmup length (TEMPONet, λ = {lambda:.0e})"),
+        &["warmup epochs", "# params", "MAE", "dilations"],
+    );
+    for (i, &warmup) in warmups.iter().enumerate() {
+        let net = build_network(SeedKind::TempoNet, &scale, scale.seed.wrapping_add(300 + i as u64));
+        let cfg = PitConfig { seed: scale.seed.wrapping_add(300 + i as u64), ..pit_config(&scale, lambda, warmup) };
+        let outcome = PitSearch::new(cfg).run(&net, &bench.train, &bench.val, bench.loss);
+        table.row(&[
+            warmup.to_string(),
+            format_params(outcome.effective_params),
+            format!("{:.4}", outcome.val_loss),
+            format_dilations(&outcome.dilations),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,40 @@
+//! Regenerates Fig. 4: the accuracy-vs-size Pareto frontiers obtained by PIT
+//! from the ResTCN and TEMPONet seeds.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p pit-bench --bin fig4_pareto [-- --full] [-- --seed restcn|temponet]
+//! ```
+
+use pit_bench::experiments::{fig4, fig4_table};
+use pit_bench::{ExperimentScale, SeedKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = ExperimentScale::from_args(args.iter().cloned());
+    let seeds: Vec<SeedKind> = if args.iter().any(|a| a == "restcn") {
+        vec![SeedKind::ResTcn]
+    } else if args.iter().any(|a| a == "temponet") {
+        vec![SeedKind::TempoNet]
+    } else {
+        vec![SeedKind::ResTcn, SeedKind::TempoNet]
+    };
+
+    println!(
+        "PIT design-space exploration ({} scale): {} λ values x {} warmup settings\n",
+        if scale.quick { "quick" } else { "full" },
+        scale.lambdas.len(),
+        scale.warmups.len()
+    );
+    for kind in seeds {
+        let result = fig4(kind, &scale);
+        println!("{}", fig4_table(&result).render());
+        println!(
+            "Pareto front of {}: {} of {} PIT points are non-dominated\n",
+            kind.name(),
+            result.front.len(),
+            result.pit_points.len()
+        );
+    }
+}

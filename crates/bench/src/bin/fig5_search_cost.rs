@@ -1,0 +1,18 @@
+//! Regenerates Fig. 5: wall-clock search time of PIT versus ProxylessNAS
+//! versus a single plain training, for three size targets of the TEMPONet
+//! seed.
+//!
+//! Usage: `cargo run --release -p pit-bench --bin fig5_search_cost [-- --full]`
+
+use pit_bench::experiments::fig5;
+use pit_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args());
+    let (_rows, table) = fig5(&scale);
+    println!("{}", table.render());
+    println!(
+        "Expected shape (paper): ProxylessNAS is 5x-10x slower than PIT; PIT is only 1.3x-2.3x\n\
+         slower than training the selected architecture once."
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table I: the per-layer dilations selected by PIT (small,
+//! medium, large) compared to the hand-tuned networks, plus the size of the
+//! search space quoted in Sec. IV-B.
+//!
+//! Usage: `cargo run --release -p pit-bench --bin table1_dilations [-- --full]`
+
+use pit_bench::experiments::{fig4, table1};
+use pit_bench::{ExperimentScale, SeedKind};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args());
+    for kind in [SeedKind::ResTcn, SeedKind::TempoNet] {
+        let result = fig4(kind, &scale);
+        println!(
+            "{} search space: {} dilation combinations (~10^{:.1})\n",
+            kind.name(),
+            result.search_space_size,
+            (result.search_space_size as f64).log10()
+        );
+        println!("{}", table1(&result, &scale).render());
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table II: PIT versus a ProxylessNAS-style search over the same
+//! dilation space, on the TEMPONet seed and the PPG-Dalia benchmark.
+//!
+//! Usage: `cargo run --release -p pit-bench --bin table2_proxyless [-- --full]`
+
+use pit_bench::experiments::table2;
+use pit_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args());
+    println!("{}", table2(&scale).render());
+}

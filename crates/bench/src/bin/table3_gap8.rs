@@ -1,0 +1,20 @@
+//! Regenerates Table III: deployment of the seed, hand-tuned and PIT
+//! small/medium/large networks on the GAP8 analytical model (int8, 100 MHz),
+//! reporting weights, task loss, latency and energy.
+//!
+//! Usage: `cargo run --release -p pit-bench --bin table3_gap8 [-- --full]`
+
+use pit_bench::experiments::{fig4, table3};
+use pit_bench::{ExperimentScale, SeedKind};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args());
+    for kind in [SeedKind::ResTcn, SeedKind::TempoNet] {
+        let result = fig4(kind, &scale);
+        println!("{}", table3(&result, &scale).render());
+    }
+    println!(
+        "Latency/energy columns are produced by the analytical GAP8 model on the paper-scale\n\
+         architectures; loss columns are measured on the synthetic benchmarks at the selected scale."
+    );
+}

@@ -1,0 +1,27 @@
+//! # pit-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! PIT paper's evaluation section on top of the synthetic substrates of this
+//! workspace.
+//!
+//! | Paper artefact | Binary | Criterion bench |
+//! |----------------|--------|-----------------|
+//! | Fig. 4 (Pareto frontiers, both seeds) | `fig4_pareto` | `benches/pareto.rs` |
+//! | Table I (learned dilations) | `table1_dilations` | — |
+//! | Table II (PIT vs ProxylessNAS) | `table2_proxyless` | — |
+//! | Fig. 5 (search-time comparison) | `fig5_search_cost` | `benches/search_cost.rs` |
+//! | Table III (GAP8 deployment) | `table3_gap8` | `benches/gap8_latency.rs` |
+//! | masked-conv training-cost ablation | `ablation_warmup` | `benches/conv_masking.rs` |
+//!
+//! Every binary accepts `--full` for the paper-scale configuration and runs
+//! a scaled-down "quick" configuration by default, so the whole suite can be
+//! executed on a laptop in minutes. Results print as aligned text tables and
+//! are recorded in the repository's `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod report;
+pub mod scale;
+
+pub use experiments::{fig4, fig5, table1, table2, table3};
+pub use report::Table;
+pub use scale::{ExperimentScale, SeedKind};

@@ -1,0 +1,123 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A simple aligned text table (header + rows) printed by the experiment
+/// binaries, mirroring the rows/columns of the paper's tables.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as the header).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row length must match header");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as an aligned string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i] + 2))
+                .collect::<String>()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a parameter count the way the paper does (`3.53M`, `423K`).
+pub fn format_params(params: usize) -> String {
+    if params >= 1_000_000 {
+        format!("{:.2}M", params as f64 / 1e6)
+    } else if params >= 1_000 {
+        format!("{:.0}K", params as f64 / 1e3)
+    } else {
+        params.to_string()
+    }
+}
+
+/// Formats a dilation vector as the paper's Table I does: `(1, 2, 4, 8)`.
+pub fn format_dilations(dilations: &[usize]) -> String {
+    let inner: Vec<String> = dilations.iter().map(|d| d.to_string()).collect();
+    format!("({})", inner.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["short".into(), "1".into()]);
+        t.row(&["a much longer name".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("a much longer name"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_length_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn param_formatting_matches_paper_style() {
+        assert_eq!(format_params(3_530_000), "3.53M");
+        assert_eq!(format_params(423_000), "423K");
+        assert_eq!(format_params(950), "950");
+    }
+
+    #[test]
+    fn dilation_formatting() {
+        assert_eq!(format_dilations(&[1, 1, 2, 2]), "(1, 1, 2, 2)");
+        assert_eq!(format_dilations(&[]), "()");
+    }
+}

@@ -1,0 +1,59 @@
+//! # pit-nas — Pruning In Time
+//!
+//! The core contribution of the reproduced paper: a lightweight
+//! DMaskingNAS optimizer that learns the **dilation factor of every temporal
+//! convolution of a TCN** together with the network weights, in a single
+//! training run (Risso et al., *Pruning In Time (PIT): A Lightweight Network
+//! Architecture Optimizer for Temporal Convolutional Networks*, DAC 2021).
+//!
+//! The crate provides:
+//!
+//! * [`PitConv1d`] — a causal convolution whose filter taps are gated by a
+//!   trainable, binarised γ vector expanded into a regular power-of-two
+//!   dilation mask (Sec. III-A of the paper);
+//! * [`SizeRegularizer`] — the Lasso-style model-size regulariser of Eq. 6
+//!   (and [`OpsRegularizer`], the FLOPs-oriented variant the paper mentions
+//!   as a straightforward extension);
+//! * [`SearchableNetwork`] — the trait models implement to expose their PIT
+//!   convolutions to the optimizer;
+//! * [`PitSearch`] — the three-phase training procedure of Algorithm 1
+//!   (warmup → pruning → fine-tuning);
+//! * [`pareto`] — Pareto-front utilities used for the design-space
+//!   exploration of Fig. 4;
+//! * [`space`] — search-space accounting (the ~10⁵ / ~10⁴ numbers of
+//!   Sec. IV-B).
+//!
+//! # Example
+//!
+//! ```
+//! use pit_nas::PitConv1d;
+//! use pit_nn::{Layer, Mode};
+//! use pit_tensor::{Tape, Tensor};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! // A searchable convolution with a maximum receptive field of 9 samples.
+//! let conv = PitConv1d::new(&mut rng, 4, 8, 9, "block0");
+//! assert_eq!(conv.dilation(), 1); // starts un-pruned
+//! let mut tape = Tape::new();
+//! let x = tape.constant(Tensor::zeros(&[2, 4, 32]));
+//! let y = conv.forward(&mut tape, x, Mode::Train);
+//! assert_eq!(tape.dims(y), vec![2, 8, 32]);
+//! ```
+
+pub mod conv;
+pub mod network;
+pub mod ops_regularizer;
+pub mod pareto;
+pub mod regularizer;
+pub mod search;
+pub mod space;
+
+pub use conv::PitConv1d;
+pub use network::SearchableNetwork;
+pub use ops_regularizer::OpsRegularizer;
+pub use pareto::{pareto_front, ParetoPoint};
+pub use regularizer::SizeRegularizer;
+pub use search::{PhaseTimings, PitConfig, PitOutcome, PitSearch};
+pub use space::SearchSpace;

@@ -1,0 +1,116 @@
+//! Pareto-front utilities for the accuracy-vs-size design-space exploration.
+
+use serde::{Deserialize, Serialize};
+
+/// One evaluated architecture in the (model size, task loss) plane.
+///
+/// Lower is better on both axes: `params` is the number of deployed weights,
+/// `loss` is the task metric (NLL or MAE in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Number of deployed (effective) weights.
+    pub params: usize,
+    /// Task loss / error metric (lower is better).
+    pub loss: f32,
+    /// Per-layer dilations of the architecture.
+    pub dilations: Vec<usize>,
+    /// Free-form label (e.g. the λ / warmup setting that produced the point).
+    pub label: String,
+}
+
+impl ParetoPoint {
+    /// Creates a point.
+    pub fn new(params: usize, loss: f32, dilations: Vec<usize>, label: impl Into<String>) -> Self {
+        Self { params, loss, dilations, label: label.into() }
+    }
+
+    /// Returns `true` if `self` dominates `other` (no worse on both axes and
+    /// strictly better on at least one).
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let no_worse = self.params <= other.params && self.loss <= other.loss;
+        let strictly_better = self.params < other.params || self.loss < other.loss;
+        no_worse && strictly_better
+    }
+}
+
+/// Extracts the Pareto-optimal subset of `points` (non-dominated points),
+/// sorted by increasing parameter count.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut front: Vec<ParetoPoint> = points
+        .iter()
+        .filter(|candidate| !points.iter().any(|other| other.dominates(candidate)))
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| a.params.cmp(&b.params).then(a.loss.total_cmp(&b.loss)));
+    front.dedup_by(|a, b| a.params == b.params && a.loss == b.loss);
+    front
+}
+
+/// Selects the small / medium / large representatives used in Tables I–III:
+/// the smallest model, the model closest in size to `reference_params`, and
+/// the most accurate model of the front.
+///
+/// Returns `None` when the front is empty.
+pub fn pick_small_medium_large(
+    front: &[ParetoPoint],
+    reference_params: usize,
+) -> Option<(ParetoPoint, ParetoPoint, ParetoPoint)> {
+    if front.is_empty() {
+        return None;
+    }
+    let small = front.iter().min_by_key(|p| p.params)?.clone();
+    let medium = front
+        .iter()
+        .min_by_key(|p| p.params.abs_diff(reference_params))?
+        .clone();
+    let large = front.iter().min_by(|a, b| a.loss.total_cmp(&b.loss))?.clone();
+    Some((small, medium, large))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(params: usize, loss: f32) -> ParetoPoint {
+        ParetoPoint::new(params, loss, vec![1], format!("p{params}"))
+    }
+
+    #[test]
+    fn domination_rules() {
+        assert!(p(10, 1.0).dominates(&p(20, 2.0)));
+        assert!(p(10, 1.0).dominates(&p(10, 2.0)));
+        assert!(!p(10, 1.0).dominates(&p(10, 1.0))); // equal points do not dominate
+        assert!(!p(10, 2.0).dominates(&p(20, 1.0))); // trade-off
+    }
+
+    #[test]
+    fn front_removes_dominated_points() {
+        let points = vec![p(100, 1.0), p(50, 2.0), p(80, 1.5), p(120, 0.9), p(200, 1.0)];
+        let front = pareto_front(&points);
+        let params: Vec<usize> = front.iter().map(|q| q.params).collect();
+        assert_eq!(params, vec![50, 80, 100, 120]);
+        // 200/1.0 is dominated by 100/1.0.
+        assert!(!front.iter().any(|q| q.params == 200));
+    }
+
+    #[test]
+    fn front_of_empty_set_is_empty() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_deduplicated() {
+        let points = vec![p(10, 1.0), p(10, 1.0)];
+        assert_eq!(pareto_front(&points).len(), 1);
+    }
+
+    #[test]
+    fn small_medium_large_selection() {
+        let front = vec![p(50, 2.0), p(100, 1.5), p(200, 1.0)];
+        let (s, m, l) = pick_small_medium_large(&front, 90).unwrap();
+        assert_eq!(s.params, 50);
+        assert_eq!(m.params, 100);
+        assert_eq!(l.params, 200);
+        assert!(pick_small_medium_large(&[], 10).is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the PIT-specific invariants.
+
+use pit_nas::{PitConv1d, SizeRegularizer};
+use pit_tensor::{ops::mask::gamma_len, Tape, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `set_dilation` / `dilation` round-trip for every receptive field and
+    /// every legal power-of-two dilation.
+    #[test]
+    fn dilation_roundtrip(rf_exp in 1usize..6, choice in 0usize..6) {
+        let rf_max = (1usize << rf_exp) + 1;
+        let l = gamma_len(rf_max);
+        let d = 1usize << (choice % l);
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = PitConv1d::new(&mut rng, 2, 2, rf_max, "prop");
+        conv.set_dilation(d);
+        prop_assert_eq!(conv.dilation(), d);
+        prop_assert_eq!(conv.alive_taps(), (rf_max - 1) / d + 1);
+        // Effective weights follow directly from the alive taps.
+        prop_assert_eq!(conv.effective_weights(), 2 * 2 * conv.alive_taps() + 2);
+    }
+
+    /// The number of alive taps never increases when the dilation grows.
+    #[test]
+    fn alive_taps_monotone_in_dilation(rf_exp in 1usize..6) {
+        let rf_max = (1usize << rf_exp) + 1;
+        let l = gamma_len(rf_max);
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = PitConv1d::new(&mut rng, 1, 1, rf_max, "prop");
+        let mut last = usize::MAX;
+        for j in 0..l {
+            conv.set_dilation(1 << j);
+            let alive = conv.alive_taps();
+            prop_assert!(alive <= last);
+            last = alive;
+        }
+        // Maximum dilation keeps exactly two taps (first and last) when rf > 2.
+        prop_assert_eq!(last, if rf_max == 2 { 2 } else { 2 });
+    }
+
+    /// The Eq. 6 slice counts sum to `rf_max − 1 − (number of taps at max
+    /// dilation − 1)`: together with the always-alive taps they account for
+    /// every tap of the dense filter.
+    #[test]
+    fn slice_counts_account_for_all_taps(rf_exp in 1usize..6) {
+        let rf_max = (1usize << rf_exp) + 1;
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = PitConv1d::new(&mut rng, 1, 1, rf_max, "prop");
+        let counts = conv.slice_counts();
+        let max_d = 1usize << (conv.gamma_count() - 1);
+        let always_alive = (rf_max - 1) / max_d + 1;
+        let total: f32 = counts.iter().sum::<f32>() + always_alive as f32;
+        prop_assert!((total - rf_max as f32).abs() < 1e-3,
+            "counts {:?} + always-alive {} != rf_max {}", counts, always_alive, rf_max);
+    }
+
+    /// The regulariser value is monotone in |γ| and zero only when every
+    /// trainable γ is zero (i.e. at maximum dilation).
+    #[test]
+    fn regularizer_monotone_in_gamma(scale_a in 0.0f32..1.0, scale_b in 0.0f32..1.0) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = PitConv1d::new(&mut rng, 3, 4, 17, "prop");
+        let l = conv.gamma_count();
+        let reg = SizeRegularizer::new(1.0);
+        let set = |s: f32| {
+            conv.gamma_param().set_value(Tensor::full(&[l - 1], s));
+        };
+        let (lo, hi) = if scale_a <= scale_b { (scale_a, scale_b) } else { (scale_b, scale_a) };
+        set(lo);
+        let v_lo = reg.value(&[&conv]);
+        set(hi);
+        let v_hi = reg.value(&[&conv]);
+        prop_assert!(v_lo <= v_hi + 1e-6);
+        set(0.0);
+        prop_assert_eq!(reg.value(&[&conv]), 0.0);
+    }
+
+    /// Freezing binarises γ and never changes the encoded dilation.
+    #[test]
+    fn freeze_preserves_dilation(gammas in proptest::collection::vec(0.0f32..1.0, 4)) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = PitConv1d::new(&mut rng, 1, 2, 17, "prop"); // L = 5, tail 4
+        conv.gamma_param().set_value(Tensor::from_vec(gammas, &[4]).unwrap());
+        let before = conv.dilation();
+        conv.freeze();
+        prop_assert_eq!(conv.dilation(), before);
+        prop_assert!(conv.gamma_param().value().data().iter().all(|&g| g == 0.0 || g == 1.0));
+        prop_assert!(conv.is_frozen());
+    }
+
+    /// The forward pass of the masked convolution only uses alive taps: the
+    /// output is invariant to arbitrary changes of the masked weights.
+    #[test]
+    fn masked_weights_do_not_affect_output(seed in 0u64..300, choice in 1usize..3) {
+        let rf_max = 9usize;
+        let d = 1usize << choice; // 2 or 4
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv = PitConv1d::new(&mut rng, 1, 1, rf_max, "prop");
+        conv.set_dilation(d);
+        let x = pit_tensor::init::uniform(&mut rng, &[1, 1, 16], 1.0);
+
+        let mut t1 = Tape::new();
+        let v1 = t1.constant(x.clone());
+        let y1 = {
+            use pit_nn::{Layer, Mode};
+            conv.forward(&mut t1, v1, Mode::Eval)
+        };
+        // Corrupt every masked tap.
+        let mut w = conv.weight_param().value();
+        for i in 0..rf_max {
+            if i % d != 0 {
+                w.data_mut()[i] = 1234.5;
+            }
+        }
+        conv.weight_param().set_value(w);
+        let mut t2 = Tape::new();
+        let v2 = t2.constant(x);
+        let y2 = {
+            use pit_nn::{Layer, Mode};
+            conv.forward(&mut t2, v2, Mode::Eval)
+        };
+        prop_assert!(t1.value(y1).approx_eq(t2.value(y2), 1e-5));
+    }
+}

@@ -1,0 +1,28 @@
+//! # pit-datasets
+//!
+//! Synthetic stand-ins for the two benchmarks of the PIT paper.
+//!
+//! The paper evaluates on the **Nottingham** polyphonic-music dataset
+//! (88-key piano rolls, frame-level NLL) and on **PPG-Dalia** (wrist PPG +
+//! 3-axis accelerometer, heart-rate MAE). Neither dataset can be shipped
+//! with this reproduction, so this crate provides generators that produce
+//! workloads with the same tensor shapes, the same loss/metric and — most
+//! importantly — the same *temporal structure knob* the experiments probe:
+//! how far back in time a model must look (and therefore how much dilation
+//! helps) is controlled explicitly.
+//!
+//! * [`nottingham`] — Markov-chain chord progressions and melodies rendered
+//!   onto an 88-bit piano roll; the task is next-frame prediction with
+//!   frame-level NLL, exactly as in Bai et al.;
+//! * [`ppg_dalia`] — a pseudo-periodic cardiac component (drifting heart
+//!   rate), motion artefacts correlated with a synthetic accelerometer and
+//!   noise; the task is per-window heart-rate regression with MAE in bpm.
+//!
+//! Both generators are deterministic given their seed, so every experiment
+//! in the benchmark harness is reproducible.
+
+pub mod nottingham;
+pub mod ppg_dalia;
+
+pub use nottingham::{NottinghamConfig, NottinghamGenerator};
+pub use ppg_dalia::{PpgDaliaConfig, PpgDaliaGenerator};

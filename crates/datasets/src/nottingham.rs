@@ -1,0 +1,256 @@
+//! Synthetic polyphonic-music generator (Nottingham stand-in).
+//!
+//! Each sample is a piano roll of `num_keys` binary key states over
+//! `seq_len + 1` frames, generated from:
+//!
+//! * a chord progression that changes every `chord_period` frames and cycles
+//!   with a long period (the long-range temporal structure that dilation is
+//!   supposed to capture cheaply);
+//! * a melody that walks over the scale of the active chord;
+//! * a small amount of random note noise.
+//!
+//! The supervised task is next-frame prediction: the input is frames
+//! `0 .. T` and the target is frames `1 .. T+1`, evaluated with the
+//! frame-level NLL (sum of the per-key binary cross-entropies), exactly the
+//! metric reported for the Nottingham benchmark.
+
+use pit_nn::Dataset;
+use pit_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic polyphonic-music generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NottinghamConfig {
+    /// Number of piano keys (88 for the real dataset).
+    pub num_keys: usize,
+    /// Number of frames per training sample (the network sees `seq_len`
+    /// input frames and predicts the next frame at every position).
+    pub seq_len: usize,
+    /// Number of generated sequences.
+    pub num_sequences: usize,
+    /// Frames between chord changes: the long-range correlation length of
+    /// the data. Larger values need a larger receptive field to predict well.
+    pub chord_period: usize,
+    /// Number of distinct chords in the cycled progression.
+    pub progression_length: usize,
+    /// Probability of a random spurious note per frame.
+    pub note_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NottinghamConfig {
+    /// Paper-shaped configuration: 88 keys, 128-frame windows.
+    pub fn paper() -> Self {
+        Self {
+            num_keys: 88,
+            seq_len: 128,
+            num_sequences: 200,
+            chord_period: 16,
+            progression_length: 8,
+            note_noise: 0.01,
+            seed: 0,
+        }
+    }
+
+    /// A small configuration for fast tests and examples.
+    pub fn tiny() -> Self {
+        Self {
+            num_keys: 24,
+            seq_len: 32,
+            num_sequences: 32,
+            chord_period: 8,
+            progression_length: 4,
+            note_noise: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+impl Default for NottinghamConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Deterministic generator of synthetic piano-roll sequences.
+#[derive(Debug, Clone)]
+pub struct NottinghamGenerator {
+    config: NottinghamConfig,
+}
+
+impl NottinghamGenerator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size in the configuration is zero.
+    pub fn new(config: NottinghamConfig) -> Self {
+        assert!(config.num_keys >= 13, "need at least one octave of keys");
+        assert!(config.seq_len > 0 && config.num_sequences > 0, "sizes must be positive");
+        assert!(config.chord_period > 0 && config.progression_length > 0, "periods must be positive");
+        Self { config }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &NottinghamConfig {
+        &self.config
+    }
+
+    /// Generates one piano roll of `frames` frames as a flat row-major
+    /// `[num_keys, frames]` vector of 0/1 values.
+    fn piano_roll(&self, rng: &mut StdRng, frames: usize) -> Vec<f32> {
+        let cfg = &self.config;
+        let keys = cfg.num_keys;
+        // A fixed progression of chord roots (as key offsets), regenerated per
+        // sequence so different tunes differ, cycled with the same period.
+        let progression: Vec<usize> = (0..cfg.progression_length)
+            .map(|_| rng.gen_range(0..keys.saturating_sub(12)))
+            .collect();
+        let mut roll = vec![0.0f32; keys * frames];
+        let mut melody = rng.gen_range(0..keys);
+        for t in 0..frames {
+            let chord_idx = (t / cfg.chord_period) % cfg.progression_length;
+            let root = progression[chord_idx];
+            // Triad: root, major third, fifth.
+            for &offset in &[0usize, 4, 7] {
+                let key = root + offset;
+                if key < keys {
+                    roll[key * frames + t] = 1.0;
+                }
+            }
+            // Melody: random walk biased towards chord tones.
+            let step: i64 = rng.gen_range(-2..=2);
+            melody = (melody as i64 + step).clamp(0, keys as i64 - 1) as usize;
+            if rng.gen_bool(0.7) {
+                // Snap to the nearest chord tone half of the time.
+                let target = root + [0usize, 4, 7][rng.gen_range(0..3)];
+                if target < keys {
+                    melody = target;
+                }
+            }
+            roll[melody * frames + t] = 1.0;
+            // Sparse random noise notes.
+            if rng.gen_bool(cfg.note_noise) {
+                let key = rng.gen_range(0..keys);
+                roll[key * frames + t] = 1.0;
+            }
+        }
+        roll
+    }
+
+    /// Generates the full supervised dataset: inputs `[num_keys, seq_len]`
+    /// and next-frame targets `[num_keys, seq_len]`.
+    pub fn generate(&self) -> Dataset {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut ds = Dataset::new();
+        let frames = cfg.seq_len + 1;
+        for _ in 0..cfg.num_sequences {
+            let roll = self.piano_roll(&mut rng, frames);
+            let mut input = vec![0.0f32; cfg.num_keys * cfg.seq_len];
+            let mut target = vec![0.0f32; cfg.num_keys * cfg.seq_len];
+            for k in 0..cfg.num_keys {
+                for t in 0..cfg.seq_len {
+                    input[k * cfg.seq_len + t] = roll[k * frames + t];
+                    target[k * cfg.seq_len + t] = roll[k * frames + t + 1];
+                }
+            }
+            ds.push(
+                Tensor::from_vec(input, &[cfg.num_keys, cfg.seq_len]).expect("input shape"),
+                Tensor::from_vec(target, &[cfg.num_keys, cfg.seq_len]).expect("target shape"),
+            );
+        }
+        ds
+    }
+
+    /// Generates and splits the data into train / validation / test sets
+    /// (70 / 15 / 15).
+    pub fn generate_splits(&self) -> (Dataset, Dataset, Dataset) {
+        let all = self.generate();
+        let (train, rest) = all.split(0.7);
+        let (val, test) = rest.split(0.5);
+        (train, val, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_config() {
+        let gen = NottinghamGenerator::new(NottinghamConfig::tiny());
+        let ds = gen.generate();
+        assert_eq!(ds.len(), 32);
+        assert_eq!(ds.input_dims().unwrap(), vec![24, 32]);
+        assert_eq!(ds.target_dims().unwrap(), vec![24, 32]);
+    }
+
+    #[test]
+    fn values_are_binary() {
+        let gen = NottinghamGenerator::new(NottinghamConfig::tiny());
+        let ds = gen.generate();
+        let (x, y) = ds.sample(0);
+        assert!(x.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!(y.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn target_is_shifted_input() {
+        // target[:, t] must equal the next input frame input[:, t+1].
+        let gen = NottinghamGenerator::new(NottinghamConfig::tiny());
+        let ds = gen.generate();
+        let (x, y) = ds.sample(0);
+        let (keys, t_len) = (24, 32);
+        for k in 0..keys {
+            for t in 0..t_len - 1 {
+                assert_eq!(
+                    y.at(&[k, t]).unwrap(),
+                    x.at(&[k, t + 1]).unwrap(),
+                    "key {k} frame {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let a = NottinghamGenerator::new(NottinghamConfig::tiny()).generate();
+        let b = NottinghamGenerator::new(NottinghamConfig::tiny()).generate();
+        assert_eq!(a.sample(3).0.data(), b.sample(3).0.data());
+        let c = NottinghamGenerator::new(NottinghamConfig { seed: 7, ..NottinghamConfig::tiny() }).generate();
+        assert_ne!(a.sample(3).0.data(), c.sample(3).0.data());
+    }
+
+    #[test]
+    fn chords_persist_for_chord_period() {
+        // Within one chord period the chord keys stay on, so consecutive
+        // frames are highly correlated; across the boundary they change.
+        let cfg = NottinghamConfig { note_noise: 0.0, ..NottinghamConfig::tiny() };
+        let gen = NottinghamGenerator::new(cfg.clone());
+        let ds = gen.generate();
+        let (x, _) = ds.sample(0);
+        // Count active keys per frame: chords always contribute up to 3 notes.
+        for t in 0..cfg.seq_len {
+            let active: f32 = (0..cfg.num_keys).map(|k| x.at(&[k, t]).unwrap()).sum();
+            assert!(active >= 1.0 && active <= 4.0, "frame {t} has {active} notes");
+        }
+    }
+
+    #[test]
+    fn splits_partition_the_data() {
+        let gen = NottinghamGenerator::new(NottinghamConfig { num_sequences: 40, ..NottinghamConfig::tiny() });
+        let (train, val, test) = gen.generate_splits();
+        assert_eq!(train.len() + val.len() + test.len(), 40);
+        assert!(train.len() > val.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_keys_panics() {
+        let _ = NottinghamGenerator::new(NottinghamConfig { num_keys: 4, ..NottinghamConfig::tiny() });
+    }
+}

@@ -1,0 +1,280 @@
+//! Synthetic PPG heart-rate dataset (PPG-Dalia stand-in).
+//!
+//! Each sample mimics one 8-second window of the PPG-Dalia protocol:
+//! channel 0 is a wrist PPG signal, channels 1–3 are a 3-axis accelerometer,
+//! and the target is the mean heart rate of the window in bpm. The PPG
+//! channel contains a pseudo-periodic cardiac component at the instantaneous
+//! heart rate (with a second harmonic), a motion artefact proportional to
+//! the accelerometer magnitude and white noise. Heart rate drifts slowly
+//! across consecutive windows of the same synthetic subject, as it does in
+//! the real recordings.
+
+use pit_nn::Dataset;
+use pit_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic PPG generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpgDaliaConfig {
+    /// Number of generated windows.
+    pub num_windows: usize,
+    /// Samples per window (8 s at 32 Hz = 256 in the real protocol).
+    pub window_len: usize,
+    /// Sampling rate in Hz.
+    pub sample_rate: f32,
+    /// Number of synthetic subjects (heart-rate trajectories).
+    pub subjects: usize,
+    /// Minimum heart rate in bpm.
+    pub hr_min: f32,
+    /// Maximum heart rate in bpm.
+    pub hr_max: f32,
+    /// Standard deviation of the per-window heart-rate drift in bpm.
+    pub hr_drift: f32,
+    /// Amplitude of the motion artefact added to the PPG channel.
+    pub motion_level: f32,
+    /// Standard deviation of the additive white noise.
+    pub noise_level: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PpgDaliaConfig {
+    /// Paper-shaped configuration: 256-sample windows at 32 Hz, 15 subjects.
+    pub fn paper() -> Self {
+        Self {
+            num_windows: 512,
+            window_len: 256,
+            sample_rate: 32.0,
+            subjects: 15,
+            hr_min: 50.0,
+            hr_max: 180.0,
+            hr_drift: 2.0,
+            motion_level: 0.4,
+            noise_level: 0.2,
+            seed: 0,
+        }
+    }
+
+    /// A small configuration for fast tests and examples.
+    pub fn tiny() -> Self {
+        Self { num_windows: 64, window_len: 64, subjects: 4, ..Self::paper() }
+    }
+}
+
+impl Default for PpgDaliaConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Deterministic generator of synthetic PPG + accelerometer windows.
+#[derive(Debug, Clone)]
+pub struct PpgDaliaGenerator {
+    config: PpgDaliaConfig,
+}
+
+impl PpgDaliaGenerator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero or the heart-rate range is empty.
+    pub fn new(config: PpgDaliaConfig) -> Self {
+        assert!(config.num_windows > 0 && config.window_len > 0 && config.subjects > 0);
+        assert!(config.hr_min < config.hr_max, "empty heart-rate range");
+        assert!(config.sample_rate > 0.0, "sample rate must be positive");
+        Self { config }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &PpgDaliaConfig {
+        &self.config
+    }
+
+    /// Number of input channels (PPG + 3-axis accelerometer).
+    pub const CHANNELS: usize = 4;
+
+    fn window(&self, rng: &mut StdRng, hr_bpm: f32, phase0: f32) -> (Vec<f32>, f32) {
+        let cfg = &self.config;
+        let t_len = cfg.window_len;
+        let dt = 1.0 / cfg.sample_rate;
+        let hr_hz = hr_bpm / 60.0;
+
+        // 3-axis accelerometer: smoothed random walks (arm motion).
+        let mut accel = vec![0.0f32; 3 * t_len];
+        for axis in 0..3 {
+            let mut v = 0.0f32;
+            let mut x = 0.0f32;
+            for t in 0..t_len {
+                v = 0.9 * v + 0.1 * rng.gen_range(-1.0f32..1.0);
+                x = 0.95 * x + v * 0.3;
+                accel[axis * t_len + t] = x;
+            }
+        }
+
+        // PPG channel: cardiac pulse + harmonic + motion artefact + noise.
+        let mut ppg = vec![0.0f32; t_len];
+        let mut phase = phase0;
+        for (t, slot) in ppg.iter_mut().enumerate() {
+            phase += 2.0 * std::f32::consts::PI * hr_hz * dt;
+            let cardiac = phase.sin() + 0.35 * (2.0 * phase).sin();
+            let motion: f32 = (0..3).map(|a| accel[a * t_len + t]).sum::<f32>() / 3.0;
+            let noise = rng.gen_range(-1.0f32..1.0) * cfg.noise_level;
+            *slot = cardiac + cfg.motion_level * motion + noise;
+        }
+
+        let mut sample = Vec::with_capacity(Self::CHANNELS * t_len);
+        sample.extend_from_slice(&ppg);
+        sample.extend_from_slice(&accel);
+        (sample, phase)
+    }
+
+    /// Generates the full supervised dataset: inputs `[4, window_len]` and
+    /// scalar heart-rate targets `[1]` in bpm.
+    pub fn generate(&self) -> Dataset {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut ds = Dataset::new();
+        let windows_per_subject = cfg.num_windows.div_ceil(cfg.subjects);
+        let mut produced = 0usize;
+        for _subject in 0..cfg.subjects {
+            // Each subject starts from its own baseline heart rate and drifts.
+            let mut hr = rng.gen_range(cfg.hr_min..cfg.hr_max);
+            let mut phase = rng.gen_range(0.0..std::f32::consts::TAU);
+            for _ in 0..windows_per_subject {
+                if produced >= cfg.num_windows {
+                    break;
+                }
+                let drift = if cfg.hr_drift > 0.0 { rng.gen_range(-cfg.hr_drift..cfg.hr_drift) } else { 0.0 };
+                hr = (hr + drift).clamp(cfg.hr_min, cfg.hr_max);
+                let (sample, next_phase) = self.window(&mut rng, hr, phase);
+                phase = next_phase;
+                ds.push(
+                    Tensor::from_vec(sample, &[Self::CHANNELS, cfg.window_len]).expect("input shape"),
+                    Tensor::from_vec(vec![hr], &[1]).expect("target shape"),
+                );
+                produced += 1;
+            }
+        }
+        ds
+    }
+
+    /// Generates and splits the data into train / validation / test sets
+    /// (70 / 15 / 15).
+    pub fn generate_splits(&self) -> (Dataset, Dataset, Dataset) {
+        let all = self.generate();
+        let (train, rest) = all.split(0.7);
+        let (val, test) = rest.split(0.5);
+        (train, val, test)
+    }
+
+    /// The mean heart rate of the dataset's targets, in bpm (useful as a
+    /// trivial-predictor baseline when reporting MAE).
+    pub fn mean_heart_rate(ds: &Dataset) -> f32 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        let sum: f32 = (0..ds.len()).map(|i| ds.sample(i).1.data()[0]).sum();
+        sum / ds.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_config() {
+        let gen = PpgDaliaGenerator::new(PpgDaliaConfig::tiny());
+        let ds = gen.generate();
+        assert_eq!(ds.len(), 64);
+        assert_eq!(ds.input_dims().unwrap(), vec![4, 64]);
+        assert_eq!(ds.target_dims().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn heart_rates_within_configured_range() {
+        let cfg = PpgDaliaConfig::tiny();
+        let gen = PpgDaliaGenerator::new(cfg.clone());
+        let ds = gen.generate();
+        for i in 0..ds.len() {
+            let hr = ds.sample(i).1.data()[0];
+            assert!(hr >= cfg.hr_min && hr <= cfg.hr_max, "hr {hr} out of range");
+        }
+    }
+
+    #[test]
+    fn ppg_channel_has_cardiac_periodicity() {
+        // With no motion and no noise, the autocorrelation of the PPG channel
+        // at the heart-rate lag should be strongly positive.
+        let cfg = PpgDaliaConfig {
+            motion_level: 0.0,
+            noise_level: 0.0,
+            hr_min: 119.0,
+            hr_max: 121.0,
+            hr_drift: 0.0,
+            num_windows: 4,
+            window_len: 128,
+            subjects: 1,
+            ..PpgDaliaConfig::tiny()
+        };
+        let gen = PpgDaliaGenerator::new(cfg.clone());
+        let ds = gen.generate();
+        let (x, y) = ds.sample(0);
+        let hr = y.data()[0];
+        let lag = (60.0 / hr * cfg.sample_rate).round() as usize; // one beat in samples
+        let t_len = cfg.window_len;
+        let ppg: Vec<f32> = (0..t_len).map(|t| x.at(&[0, t]).unwrap()).collect();
+        let mut corr = 0.0f32;
+        let mut norm = 0.0f32;
+        for t in lag..t_len {
+            corr += ppg[t] * ppg[t - lag];
+            norm += ppg[t] * ppg[t];
+        }
+        assert!(corr / norm > 0.5, "autocorrelation at one beat = {}", corr / norm);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let a = PpgDaliaGenerator::new(PpgDaliaConfig::tiny()).generate();
+        let b = PpgDaliaGenerator::new(PpgDaliaConfig::tiny()).generate();
+        assert_eq!(a.sample(5).0.data(), b.sample(5).0.data());
+        assert_eq!(a.sample(5).1.data(), b.sample(5).1.data());
+    }
+
+    #[test]
+    fn consecutive_windows_of_a_subject_have_similar_hr() {
+        let cfg = PpgDaliaConfig { subjects: 1, hr_drift: 1.0, num_windows: 16, ..PpgDaliaConfig::tiny() };
+        let gen = PpgDaliaGenerator::new(cfg);
+        let ds = gen.generate();
+        for i in 1..ds.len() {
+            let prev = ds.sample(i - 1).1.data()[0];
+            let cur = ds.sample(i).1.data()[0];
+            assert!((prev - cur).abs() <= 1.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn mean_heart_rate_helper() {
+        let gen = PpgDaliaGenerator::new(PpgDaliaConfig::tiny());
+        let ds = gen.generate();
+        let mean = PpgDaliaGenerator::mean_heart_rate(&ds);
+        assert!(mean > 50.0 && mean < 180.0);
+        assert_eq!(PpgDaliaGenerator::mean_heart_rate(&Dataset::new()), 0.0);
+    }
+
+    #[test]
+    fn splits_partition_the_data() {
+        let gen = PpgDaliaGenerator::new(PpgDaliaConfig::tiny());
+        let (train, val, test) = gen.generate_splits();
+        assert_eq!(train.len() + val.len() + test.len(), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_hr_range_panics() {
+        let _ = PpgDaliaGenerator::new(PpgDaliaConfig { hr_min: 100.0, hr_max: 90.0, ..PpgDaliaConfig::tiny() });
+    }
+}

@@ -1,0 +1,146 @@
+//! The GAP8 SoC description and per-layer efficiency model.
+
+use pit_models::LayerDesc;
+use serde::{Deserialize, Serialize};
+
+/// Static description of the GAP8 system-on-chip as deployed in the paper
+/// (8-core cluster at 100 MHz, 64 kB L1, 512 kB L2) plus the empirical
+/// efficiency and power parameters of the analytical cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gap8Config {
+    /// Number of cluster cores.
+    pub cluster_cores: usize,
+    /// Cluster clock frequency in Hz.
+    pub frequency_hz: f64,
+    /// L1 scratchpad size in bytes.
+    pub l1_bytes: usize,
+    /// L2 memory size in bytes.
+    pub l2_bytes: usize,
+    /// DMA bandwidth between L2 and L1 in bytes per cycle.
+    pub dma_bytes_per_cycle: f64,
+    /// Peak multiply-accumulate throughput per core per cycle (int8 SIMD).
+    pub macs_per_cycle_per_core: f64,
+    /// Maximum fraction of the peak throughput a large, regular layer reaches
+    /// (captures loop overheads of the PULP-NN style kernels).
+    pub max_efficiency: f64,
+    /// Kernel length at which a convolution reaches half of `max_efficiency`
+    /// (shorter filters re-load data more often per MAC).
+    pub kernel_half_efficiency: f64,
+    /// Output-channel count at which a layer reaches half of
+    /// `max_efficiency` (fewer channels leave cores idle).
+    pub channel_half_efficiency: f64,
+    /// Fixed per-layer overhead in cycles (kernel launch, tiling bookkeeping).
+    pub layer_overhead_cycles: f64,
+    /// Active power of the cluster while running, in watts.
+    pub active_power_w: f64,
+}
+
+impl Gap8Config {
+    /// The configuration used throughout the paper's Table III: 8 cores at
+    /// 100 MHz, 64 kB L1 / 512 kB L2, with efficiency and power parameters
+    /// calibrated so the seed networks land near the published latencies.
+    pub fn paper() -> Self {
+        Self {
+            cluster_cores: 8,
+            frequency_hz: 100.0e6,
+            l1_bytes: 64 * 1024,
+            l2_bytes: 512 * 1024,
+            dma_bytes_per_cycle: 4.0,
+            macs_per_cycle_per_core: 1.0,
+            max_efficiency: 0.62,
+            kernel_half_efficiency: 2.0,
+            channel_half_efficiency: 4.0,
+            layer_overhead_cycles: 12_000.0,
+            active_power_w: 0.262,
+        }
+    }
+
+    /// Peak MAC throughput of the whole cluster per cycle.
+    pub fn peak_macs_per_cycle(&self) -> f64 {
+        self.cluster_cores as f64 * self.macs_per_cycle_per_core
+    }
+
+    /// Compute efficiency (fraction of peak throughput) of one layer.
+    ///
+    /// Convolutions with longer kernels and more output channels amortise
+    /// their inner-loop overheads better and get closer to
+    /// `max_efficiency`; fully connected layers are memory-bound and run at a
+    /// low fixed efficiency; pooling and normalisation are cheap element-wise
+    /// passes.
+    pub fn layer_efficiency(&self, layer: &LayerDesc) -> f64 {
+        match layer {
+            LayerDesc::Conv1d { kernel, c_out, .. } => {
+                let k = *kernel as f64;
+                let c = *c_out as f64;
+                self.max_efficiency
+                    * (k / (k + self.kernel_half_efficiency))
+                    * (c / (c + self.channel_half_efficiency))
+            }
+            LayerDesc::Linear { .. } => 0.25 * self.max_efficiency,
+            LayerDesc::AvgPool { .. } | LayerDesc::BatchNorm { .. } => 0.5 * self.max_efficiency,
+        }
+    }
+
+    /// Converts a cycle count to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / self.frequency_hz
+    }
+
+    /// Energy in joules for a given latency in seconds.
+    pub fn energy_joules(&self, latency_s: f64) -> f64 {
+        latency_s * self.active_power_w
+    }
+}
+
+impl Default for Gap8Config {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_values() {
+        let cfg = Gap8Config::paper();
+        assert_eq!(cfg.cluster_cores, 8);
+        assert_eq!(cfg.l1_bytes, 65_536);
+        assert_eq!(cfg.l2_bytes, 524_288);
+        assert_eq!(cfg.peak_macs_per_cycle(), 8.0);
+        assert!((cfg.cycles_to_seconds(100.0e6) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longer_kernels_are_more_efficient() {
+        let cfg = Gap8Config::paper();
+        let short = LayerDesc::Conv1d { c_in: 64, c_out: 64, kernel: 2, dilation: 8, t_in: 64, t_out: 64 };
+        let long = LayerDesc::Conv1d { c_in: 64, c_out: 64, kernel: 17, dilation: 1, t_in: 64, t_out: 64 };
+        assert!(cfg.layer_efficiency(&long) > cfg.layer_efficiency(&short));
+        assert!(cfg.layer_efficiency(&long) <= cfg.max_efficiency);
+    }
+
+    #[test]
+    fn more_channels_are_more_efficient() {
+        let cfg = Gap8Config::paper();
+        let narrow = LayerDesc::Conv1d { c_in: 4, c_out: 2, kernel: 5, dilation: 1, t_in: 64, t_out: 64 };
+        let wide = LayerDesc::Conv1d { c_in: 4, c_out: 128, kernel: 5, dilation: 1, t_in: 64, t_out: 64 };
+        assert!(cfg.layer_efficiency(&wide) > cfg.layer_efficiency(&narrow));
+    }
+
+    #[test]
+    fn linear_layers_are_memory_bound() {
+        let cfg = Gap8Config::paper();
+        let fc = LayerDesc::Linear { in_features: 4096, out_features: 64 };
+        let conv = LayerDesc::Conv1d { c_in: 64, c_out: 64, kernel: 9, dilation: 1, t_in: 64, t_out: 64 };
+        assert!(cfg.layer_efficiency(&fc) < cfg.layer_efficiency(&conv));
+    }
+
+    #[test]
+    fn energy_scales_with_latency() {
+        let cfg = Gap8Config::paper();
+        assert!((cfg.energy_joules(0.1) - 0.0262).abs() < 1e-6);
+        assert_eq!(cfg.energy_joules(0.0), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # pit-hw
+//!
+//! An analytical model of the deployment target used in the paper: the
+//! GreenWaves GAP8 system-on-chip (one I/O core plus an 8-core RISC-V
+//! cluster, 64 kB L1 scratchpad, 512 kB L2, DMA transfers, 100 MHz clock),
+//! programmed through an NN-Tool-like flow that runs int8-quantized networks.
+//!
+//! The physical chip is obviously not available inside this reproduction, so
+//! the crate substitutes an analytical simulator with three parts:
+//!
+//! * [`quant`] — symmetric int8 post-training quantization of weights and
+//!   activations (value round-trip, error statistics, model size in bytes);
+//! * [`gap8`] — the SoC description: cores, clock, memory sizes, DMA
+//!   bandwidth, per-layer compute-efficiency model and power figures,
+//!   calibrated so that the seed TEMPONet / ResTCN land near the latency and
+//!   energy values of Table III;
+//! * [`deploy`] — the deployment analysis: takes a
+//!   [`pit_models::NetworkDescriptor`], tiles every layer into L1, overlaps
+//!   DMA with compute (double buffering) and reports per-layer and end-to-end
+//!   latency, energy and memory footprint.
+//!
+//! Absolute numbers are model outputs, not silicon measurements; what the
+//! simulator preserves is the *relative* ordering and the rough speed-up /
+//! compression factors between the architectures of Table III, because every
+//! network goes through the same cost model.
+
+pub mod deploy;
+pub mod gap8;
+pub mod quant;
+
+pub use deploy::{Deployment, DeploymentReport, LayerCost};
+pub use gap8::Gap8Config;
+pub use quant::{quantization_mse, quantize_symmetric, QuantizedTensor};

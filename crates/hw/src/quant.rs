@@ -1,0 +1,125 @@
+//! Symmetric int8 post-training quantization.
+
+use pit_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// An int8-quantized tensor with its (symmetric, per-tensor) scale.
+///
+/// Values are reconstructed as `value ≈ scale * q` with `q ∈ [−127, 127]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    /// Quantized values.
+    pub data: Vec<i8>,
+    /// Original tensor shape.
+    pub shape: Vec<usize>,
+    /// Dequantization scale.
+    pub scale: f32,
+}
+
+impl QuantizedTensor {
+    /// Number of quantized elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Storage size in bytes (one byte per element).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reconstructs the floating-point tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let data: Vec<f32> = self.data.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(data, &self.shape).expect("shape preserved by quantization")
+    }
+}
+
+/// Quantizes a tensor to int8 with a symmetric per-tensor scale
+/// (`scale = max(|x|) / 127`).
+///
+/// An all-zero tensor quantizes to all zeros with scale 1.
+pub fn quantize_symmetric(t: &Tensor) -> QuantizedTensor {
+    let max_abs = t.abs().max_all();
+    let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+    let data: Vec<i8> = t
+        .data()
+        .iter()
+        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    QuantizedTensor { data, shape: t.dims().to_vec(), scale }
+}
+
+/// Mean squared error introduced by symmetric int8 quantization of `t`.
+pub fn quantization_mse(t: &Tensor) -> f32 {
+    let q = quantize_symmetric(t);
+    let back = q.dequantize();
+    if t.is_empty() {
+        return 0.0;
+    }
+    t.data()
+        .iter()
+        .zip(back.data().iter())
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f32>()
+        / t.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_error_is_bounded_by_half_step() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = init::uniform(&mut rng, &[256], 3.0);
+        let q = quantize_symmetric(&t);
+        let back = q.dequantize();
+        let half_step = q.scale / 2.0 + 1e-6;
+        assert!(t.max_abs_diff(&back) <= half_step, "max error {} > {}", t.max_abs_diff(&back), half_step);
+    }
+
+    #[test]
+    fn extreme_values_map_to_127() {
+        let t = Tensor::from_vec(vec![-2.0, 0.0, 2.0], &[3]).unwrap();
+        let q = quantize_symmetric(&t);
+        assert_eq!(q.data, vec![-127, 0, 127]);
+        assert_eq!(q.size_bytes(), 3);
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn zero_tensor_is_stable() {
+        let t = Tensor::zeros(&[8]);
+        let q = quantize_symmetric(&t);
+        assert!(q.data.iter().all(|&v| v == 0));
+        assert_eq!(q.scale, 1.0);
+        assert!(q.dequantize().approx_eq(&t, 0.0));
+        assert_eq!(quantization_mse(&t), 0.0);
+    }
+
+    #[test]
+    fn mse_is_small_relative_to_signal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = init::normal(&mut rng, &[1024], 1.0);
+        let signal_power = t.data().iter().map(|&v| v * v).sum::<f32>() / t.len() as f32;
+        let noise = quantization_mse(&t);
+        // int8 SQNR should comfortably exceed 30 dB for a well-scaled tensor.
+        assert!(noise < signal_power / 1000.0, "noise {noise} vs signal {signal_power}");
+    }
+
+    #[test]
+    fn shape_is_preserved() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        let q = quantize_symmetric(&t);
+        assert_eq!(q.dequantize().dims(), &[2, 3, 4]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Deployable, truly dilated instantiations of (searched) architectures.
+//!
+//! [`crate::ResTcn`] and [`crate::TempoNet`] train with *masked dense*
+//! convolutions (every tap stored, pruned taps zeroed), which is what makes
+//! the PIT search cost comparable to a single training. Once a dilation
+//! assignment is chosen, the deployable network only stores and executes the
+//! alive taps: that network is a [`ConcreteTcn`]. It is used for the
+//! plain-training baseline of Fig. 5 and by the GAP8 deployment study.
+
+use pit_nn::layers::{AvgPool1d, BatchNorm1d, CausalConv1d, Dropout, Linear};
+use pit_nn::{Layer, Mode};
+use pit_tensor::{Param, Tape, Var};
+
+/// One block of a concrete (deployable) TCN.
+pub enum ConcreteBlock {
+    /// A residual block: two convolutions with a skip connection
+    /// (ResTCN-style).
+    Residual {
+        /// First convolution.
+        conv1: CausalConv1d,
+        /// Second convolution.
+        conv2: CausalConv1d,
+        /// Optional 1×1 projection for the skip path when channel counts differ.
+        downsample: Option<CausalConv1d>,
+        /// Dropout applied after each convolution.
+        dropout: Dropout,
+    },
+    /// A feed-forward block: convolutions with batch norm and ReLU, followed
+    /// by optional average pooling (TEMPONet-style).
+    Plain {
+        /// Convolutions of the block, applied in order.
+        convs: Vec<CausalConv1d>,
+        /// Batch normalisation after each convolution (same length as `convs`).
+        norms: Vec<BatchNorm1d>,
+        /// Optional pooling at the end of the block.
+        pool: Option<AvgPool1d>,
+    },
+}
+
+/// The output head of a concrete TCN.
+pub enum ConcreteHead {
+    /// Per-time-step 1×1 convolution producing `[N, C_out, T]` logits.
+    PerStep(CausalConv1d),
+    /// Flatten followed by a two-layer MLP producing `[N, out]` values.
+    Fc {
+        /// Hidden dense layer.
+        hidden: Linear,
+        /// Output dense layer.
+        output: Linear,
+    },
+}
+
+/// A deployable TCN with true dilated convolutions (only alive taps stored).
+pub struct ConcreteTcn {
+    name: String,
+    blocks: Vec<ConcreteBlock>,
+    head: ConcreteHead,
+}
+
+impl ConcreteTcn {
+    /// Creates a concrete network from its blocks and head.
+    pub fn new(name: impl Into<String>, blocks: Vec<ConcreteBlock>, head: ConcreteHead) -> Self {
+        Self { name: name.into(), blocks, head }
+    }
+
+    /// The network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+impl Layer for ConcreteTcn {
+    fn forward(&self, tape: &mut Tape, input: Var, mode: Mode) -> Var {
+        let mut x = input;
+        for block in &self.blocks {
+            x = match block {
+                ConcreteBlock::Residual { conv1, conv2, downsample, dropout } => {
+                    let h = conv1.forward(tape, x, mode);
+                    let h = tape.relu(h);
+                    let h = dropout.forward(tape, h, mode);
+                    let h = conv2.forward(tape, h, mode);
+                    let h = tape.relu(h);
+                    let h = dropout.forward(tape, h, mode);
+                    let residual = match downsample {
+                        Some(proj) => proj.forward(tape, x, mode),
+                        None => x,
+                    };
+                    let sum = tape.add(h, residual);
+                    tape.relu(sum)
+                }
+                ConcreteBlock::Plain { convs, norms, pool } => {
+                    let mut h = x;
+                    for (conv, norm) in convs.iter().zip(norms.iter()) {
+                        h = conv.forward(tape, h, mode);
+                        h = norm.forward(tape, h, mode);
+                        h = tape.relu(h);
+                    }
+                    match pool {
+                        Some(p) => p.forward(tape, h, mode),
+                        None => h,
+                    }
+                }
+            };
+        }
+        match &self.head {
+            ConcreteHead::PerStep(conv) => conv.forward(tape, x, mode),
+            ConcreteHead::Fc { hidden, output } => {
+                let flat = tape.flatten_batch(x);
+                let h = hidden.forward(tape, flat, mode);
+                let h = tape.relu(h);
+                output.forward(tape, h, mode)
+            }
+        }
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = Vec::new();
+        for block in &self.blocks {
+            match block {
+                ConcreteBlock::Residual { conv1, conv2, downsample, .. } => {
+                    p.extend(conv1.params());
+                    p.extend(conv2.params());
+                    if let Some(proj) = downsample {
+                        p.extend(proj.params());
+                    }
+                }
+                ConcreteBlock::Plain { convs, norms, .. } => {
+                    for c in convs {
+                        p.extend(c.params());
+                    }
+                    for n in norms {
+                        p.extend(n.params());
+                    }
+                }
+            }
+        }
+        match &self.head {
+            ConcreteHead::PerStep(conv) => p.extend(conv.params()),
+            ConcreteHead::Fc { hidden, output } => {
+                p.extend(hidden.params());
+                p.extend(output.params());
+            }
+        }
+        p
+    }
+
+    fn describe(&self) -> String {
+        format!("ConcreteTcn({}, {} blocks)", self.name, self.blocks.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plain_net() -> ConcreteTcn {
+        let mut rng = StdRng::seed_from_u64(0);
+        ConcreteTcn::new(
+            "toy",
+            vec![ConcreteBlock::Plain {
+                convs: vec![CausalConv1d::new(&mut rng, 2, 4, 3, 2)],
+                norms: vec![BatchNorm1d::new(4)],
+                pool: Some(AvgPool1d::new(2, 2)),
+            }],
+            ConcreteHead::Fc {
+                hidden: Linear::new(&mut rng, 4 * 8, 8),
+                output: Linear::new(&mut rng, 8, 1),
+            },
+        )
+    }
+
+    #[test]
+    fn plain_block_with_fc_head_shapes() {
+        let net = plain_net();
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[3, 2, 16]));
+        let y = net.forward(&mut tape, x, Mode::Train);
+        assert_eq!(tape.dims(y), vec![3, 1]);
+        assert_eq!(net.num_blocks(), 1);
+        assert_eq!(net.name(), "toy");
+        assert!(net.describe().contains("toy"));
+    }
+
+    #[test]
+    fn residual_block_with_per_step_head_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = ConcreteTcn::new(
+            "res",
+            vec![ConcreteBlock::Residual {
+                conv1: CausalConv1d::new(&mut rng, 3, 5, 2, 1),
+                conv2: CausalConv1d::new(&mut rng, 5, 5, 2, 2),
+                downsample: Some(CausalConv1d::new(&mut rng, 3, 5, 1, 1)),
+                dropout: Dropout::new(0.0, 0),
+            }],
+            ConcreteHead::PerStep(CausalConv1d::new(&mut rng, 5, 3, 1, 1)),
+        );
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[2, 3, 10]));
+        let y = net.forward(&mut tape, x, Mode::Eval);
+        assert_eq!(tape.dims(y), vec![2, 3, 10]);
+        assert!(net.num_weights() > 0);
+    }
+
+    #[test]
+    fn params_cover_all_layers() {
+        let net = plain_net();
+        // conv (w + b) + bn (gamma + beta) + 2 linears (w + b each) = 8 params
+        assert_eq!(net.params().len(), 8);
+    }
+}

@@ -1,0 +1,201 @@
+//! Static per-layer network descriptions consumed by the deployment model.
+
+use serde::{Deserialize, Serialize};
+
+/// One layer of a deployable network, with the static information the GAP8
+/// model needs: tensor sizes, kernel geometry and arithmetic cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerDesc {
+    /// A (possibly dilated) 1-D convolution.
+    Conv1d {
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Kernel taps actually stored/executed.
+        kernel: usize,
+        /// Dilation between taps.
+        dilation: usize,
+        /// Input sequence length.
+        t_in: usize,
+        /// Output sequence length.
+        t_out: usize,
+    },
+    /// A fully connected layer.
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Average pooling over time.
+    AvgPool {
+        /// Channels (unchanged).
+        channels: usize,
+        /// Pooling window.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Input sequence length.
+        t_in: usize,
+        /// Output sequence length.
+        t_out: usize,
+    },
+    /// Batch normalisation (folded at inference time, but listed for
+    /// completeness of the memory inventory).
+    BatchNorm {
+        /// Channels.
+        channels: usize,
+        /// Sequence length.
+        t: usize,
+    },
+}
+
+impl LayerDesc {
+    /// Number of multiply-accumulate operations of the layer.
+    pub fn macs(&self) -> u64 {
+        match self {
+            LayerDesc::Conv1d { c_in, c_out, kernel, t_out, .. } => {
+                (*c_in as u64) * (*c_out as u64) * (*kernel as u64) * (*t_out as u64)
+            }
+            LayerDesc::Linear { in_features, out_features } => {
+                (*in_features as u64) * (*out_features as u64)
+            }
+            LayerDesc::AvgPool { channels, kernel, t_out, .. } => {
+                (*channels as u64) * (*kernel as u64) * (*t_out as u64)
+            }
+            LayerDesc::BatchNorm { channels, t } => (*channels as u64) * (*t as u64),
+        }
+    }
+
+    /// Number of weights stored for the layer (biases included).
+    pub fn weights(&self) -> u64 {
+        match self {
+            LayerDesc::Conv1d { c_in, c_out, kernel, .. } => {
+                (*c_in as u64) * (*c_out as u64) * (*kernel as u64) + *c_out as u64
+            }
+            LayerDesc::Linear { in_features, out_features } => {
+                (*in_features as u64) * (*out_features as u64) + *out_features as u64
+            }
+            LayerDesc::AvgPool { .. } => 0,
+            LayerDesc::BatchNorm { channels, .. } => 2 * *channels as u64,
+        }
+    }
+
+    /// Size in elements of the layer's output activation.
+    pub fn output_elements(&self) -> u64 {
+        match self {
+            LayerDesc::Conv1d { c_out, t_out, .. } => (*c_out as u64) * (*t_out as u64),
+            LayerDesc::Linear { out_features, .. } => *out_features as u64,
+            LayerDesc::AvgPool { channels, t_out, .. } => (*channels as u64) * (*t_out as u64),
+            LayerDesc::BatchNorm { channels, t } => (*channels as u64) * (*t as u64),
+        }
+    }
+
+    /// Size in elements of the layer's input activation.
+    pub fn input_elements(&self) -> u64 {
+        match self {
+            LayerDesc::Conv1d { c_in, t_in, .. } => (*c_in as u64) * (*t_in as u64),
+            LayerDesc::Linear { in_features, .. } => *in_features as u64,
+            LayerDesc::AvgPool { channels, t_in, .. } => (*channels as u64) * (*t_in as u64),
+            LayerDesc::BatchNorm { channels, t } => (*channels as u64) * (*t as u64),
+        }
+    }
+}
+
+/// A static description of a deployable network: an ordered list of layers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkDescriptor {
+    /// Network name (for reports).
+    pub name: String,
+    /// Ordered layers.
+    pub layers: Vec<LayerDesc>,
+}
+
+impl NetworkDescriptor {
+    /// Creates an empty descriptor.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: LayerDesc) {
+        self.layers.push(layer);
+    }
+
+    /// Total multiply-accumulate count of one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+
+    /// Total number of stored weights.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(|l| l.weights()).sum()
+    }
+
+    /// Largest single-layer activation (input + output elements), a proxy for
+    /// the working-set size the deployment model must fit into on-chip memory.
+    pub fn peak_activation_elements(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.input_elements() + l.output_elements())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` when the descriptor holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_macs_and_weights() {
+        let l = LayerDesc::Conv1d { c_in: 2, c_out: 4, kernel: 3, dilation: 2, t_in: 16, t_out: 16 };
+        assert_eq!(l.macs(), 2 * 4 * 3 * 16);
+        assert_eq!(l.weights(), 2 * 4 * 3 + 4);
+        assert_eq!(l.output_elements(), 4 * 16);
+        assert_eq!(l.input_elements(), 2 * 16);
+    }
+
+    #[test]
+    fn linear_and_pool_costs() {
+        let lin = LayerDesc::Linear { in_features: 128, out_features: 64 };
+        assert_eq!(lin.macs(), 128 * 64);
+        assert_eq!(lin.weights(), 128 * 64 + 64);
+        let pool = LayerDesc::AvgPool { channels: 8, kernel: 2, stride: 2, t_in: 16, t_out: 8 };
+        assert_eq!(pool.weights(), 0);
+        assert_eq!(pool.macs(), 8 * 2 * 8);
+        let bn = LayerDesc::BatchNorm { channels: 8, t: 16 };
+        assert_eq!(bn.weights(), 16);
+    }
+
+    #[test]
+    fn descriptor_totals() {
+        let mut d = NetworkDescriptor::new("toy");
+        d.push(LayerDesc::Conv1d { c_in: 1, c_out: 2, kernel: 3, dilation: 1, t_in: 8, t_out: 8 });
+        d.push(LayerDesc::Linear { in_features: 16, out_features: 1 });
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.total_macs(), 1 * 2 * 3 * 8 + 16);
+        assert_eq!(d.total_weights(), (6 + 2) + (16 + 1));
+        assert_eq!(d.peak_activation_elements(), 8 + 16);
+    }
+
+    #[test]
+    fn empty_descriptor() {
+        let d = NetworkDescriptor::new("empty");
+        assert_eq!(d.total_macs(), 0);
+        assert_eq!(d.peak_activation_elements(), 0);
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! A small configurable searchable TCN for examples and tests.
+
+use crate::descriptor::{LayerDesc, NetworkDescriptor};
+use pit_nas::{PitConv1d, SearchableNetwork};
+use pit_nn::layers::Linear;
+use pit_nn::{Layer, Mode};
+use pit_tensor::{Param, Tape, Var};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`GenericTcn`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenericTcnConfig {
+    /// Input channels.
+    pub input_channels: usize,
+    /// Output channels of each searchable convolution.
+    pub channels: Vec<usize>,
+    /// Maximum receptive field of each searchable convolution
+    /// (same length as `channels`).
+    pub rf_max: Vec<usize>,
+    /// Number of regression outputs of the head.
+    pub outputs: usize,
+}
+
+impl GenericTcnConfig {
+    /// A tiny two-layer configuration used as a quick-start example.
+    pub fn tiny() -> Self {
+        Self { input_channels: 1, channels: vec![8, 8], rf_max: vec![9, 17], outputs: 1 }
+    }
+}
+
+/// A stack of searchable convolutions with ReLU activations, global average
+/// pooling over time and a linear regression head.
+///
+/// Input `[N, input_channels, T]`, output `[N, outputs]`.
+pub struct GenericTcn {
+    convs: Vec<PitConv1d>,
+    head: Linear,
+    config: GenericTcnConfig,
+}
+
+impl GenericTcn {
+    /// Builds the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` and `rf_max` have different lengths or are empty.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: &GenericTcnConfig) -> Self {
+        assert_eq!(config.channels.len(), config.rf_max.len(), "channels and rf_max lengths differ");
+        assert!(!config.channels.is_empty(), "at least one convolution is required");
+        let mut convs = Vec::with_capacity(config.channels.len());
+        let mut in_ch = config.input_channels;
+        for (i, (&out_ch, &rf)) in config.channels.iter().zip(config.rf_max.iter()).enumerate() {
+            convs.push(PitConv1d::new(rng, in_ch, out_ch, rf, format!("conv{i}")));
+            in_ch = out_ch;
+        }
+        let head = Linear::new(rng, in_ch, config.outputs);
+        Self { convs, head, config: config.clone() }
+    }
+
+    /// The configuration used to build the network.
+    pub fn config(&self) -> &GenericTcnConfig {
+        &self.config
+    }
+
+    /// Static per-layer description for an input of length `t`.
+    pub fn descriptor(&self, t: usize) -> NetworkDescriptor {
+        let mut d = NetworkDescriptor::new("GenericTcn");
+        for conv in &self.convs {
+            d.push(LayerDesc::Conv1d {
+                c_in: conv.in_channels(),
+                c_out: conv.out_channels(),
+                kernel: conv.alive_taps(),
+                dilation: conv.dilation(),
+                t_in: t,
+                t_out: t,
+            });
+        }
+        d.push(LayerDesc::Linear {
+            in_features: self.head.in_features(),
+            out_features: self.head.out_features(),
+        });
+        d
+    }
+}
+
+impl Layer for GenericTcn {
+    fn forward(&self, tape: &mut Tape, input: Var, mode: Mode) -> Var {
+        let mut x = input;
+        for conv in &self.convs {
+            x = conv.forward(tape, x, mode);
+            x = tape.relu(x);
+        }
+        let pooled = tape.global_avg_pool_time(x);
+        self.head.forward(tape, pooled, mode)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p: Vec<Param> = self.convs.iter().flat_map(|c| c.params()).collect();
+        p.extend(self.head.params());
+        p
+    }
+
+    fn describe(&self) -> String {
+        format!("GenericTcn(layers={}, dilations={:?})", self.convs.len(), self.dilations())
+    }
+}
+
+impl SearchableNetwork for GenericTcn {
+    fn pit_layers(&self) -> Vec<&PitConv1d> {
+        self.convs.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tiny_config_builds_and_runs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = GenericTcn::new(&mut rng, &GenericTcnConfig::tiny());
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[2, 1, 32]));
+        let y = net.forward(&mut tape, x, Mode::Train);
+        assert_eq!(tape.dims(y), vec![2, 1]);
+        assert_eq!(net.pit_layers().len(), 2);
+        assert_eq!(net.dilations(), vec![1, 1]);
+    }
+
+    #[test]
+    fn descriptor_reflects_dilations() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = GenericTcn::new(&mut rng, &GenericTcnConfig::tiny());
+        let dense = net.descriptor(32).total_macs();
+        net.set_dilations(&[8, 16]);
+        let pruned = net.descriptor(32).total_macs();
+        assert!(pruned < dense);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_config_lengths_panic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = GenericTcnConfig { channels: vec![4], rf_max: vec![9, 9], input_channels: 1, outputs: 1 };
+        let _ = GenericTcn::new(&mut rng, &cfg);
+    }
+}

@@ -1,0 +1,34 @@
+//! # pit-models
+//!
+//! The seed temporal convolutional networks used by the PIT paper, rebuilt on
+//! top of [`pit_nn`] and [`pit_nas`]:
+//!
+//! * [`ResTcn`] — the residual TCN of Bai et al. used for the Nottingham
+//!   polyphonic-music benchmark (eight searchable convolutions in four
+//!   residual blocks, per-time-step 88-key output);
+//! * [`TempoNet`] — the TEMPONet architecture of Zanghieri et al. used for
+//!   the PPG-Dalia heart-rate benchmark (seven searchable convolutions in
+//!   three blocks, pooling and a fully connected regression head);
+//! * [`GenericTcn`] — a small configurable TCN used by examples and tests;
+//! * [`ConcreteTcn`] — the deployable, truly dilated instantiation of a
+//!   (possibly searched) architecture, used for training-cost comparisons and
+//!   for the GAP8 deployment model;
+//! * [`NetworkDescriptor`] — a static per-layer description (shapes, kernel,
+//!   dilation, MACs) consumed by the `pit-hw` deployment model.
+//!
+//! Both seed networks are width-scalable: the paper-scale configuration
+//! (`*_paper()`) matches the parameter counts reported in Table III, while
+//! the scaled-down configurations keep the same topology at a size that
+//! trains quickly inside the test-suite and the benchmark harness.
+
+pub mod concrete;
+pub mod descriptor;
+pub mod generic;
+pub mod restcn;
+pub mod temponet;
+
+pub use concrete::ConcreteTcn;
+pub use descriptor::{LayerDesc, NetworkDescriptor};
+pub use generic::{GenericTcn, GenericTcnConfig};
+pub use restcn::{ResTcn, ResTcnConfig};
+pub use temponet::{TempoNet, TempoNetConfig};

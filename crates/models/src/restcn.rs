@@ -1,0 +1,383 @@
+//! The residual TCN (Bai et al.) seed used for the Nottingham benchmark.
+
+use crate::concrete::{ConcreteBlock, ConcreteHead, ConcreteTcn};
+use crate::descriptor::{LayerDesc, NetworkDescriptor};
+use pit_nas::{PitConv1d, SearchableNetwork};
+use pit_nn::layers::{CausalConv1d, Dropout};
+use pit_nn::{Layer, Mode};
+use pit_tensor::{Param, Tape, Var};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the ResTCN seed architecture.
+///
+/// The paper starts from the TCN of Bai et al. for polyphonic music: four
+/// residual blocks of two dilated convolutions each (hand-tuned dilations
+/// `1, 1, 2, 2, 4, 4, 8, 8`, kernel 5, 150 hidden channels, 88-key
+/// per-time-step output). The PIT seed keeps the receptive field of every
+/// convolution but sets `d = 1`, which is exactly what [`ResTcn::new`]
+/// builds: each searchable convolution has `rf_max = (k − 1) · d_hand + 1`
+/// dense taps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResTcnConfig {
+    /// Input channels (88 piano keys).
+    pub input_channels: usize,
+    /// Output channels (88 piano keys, per-time-step logits).
+    pub output_channels: usize,
+    /// Hidden channels of every residual block.
+    pub hidden_channels: usize,
+    /// Number of residual blocks (two convolutions each).
+    pub num_blocks: usize,
+    /// Kernel size of the original hand-designed convolutions.
+    pub kernel_size: usize,
+    /// Dropout probability inside the residual blocks.
+    pub dropout: f32,
+    /// Seed for the dropout masks.
+    pub seed: u64,
+}
+
+impl ResTcnConfig {
+    /// The paper-scale configuration (≈3.5 M seed parameters).
+    pub fn paper() -> Self {
+        Self {
+            input_channels: 88,
+            output_channels: 88,
+            hidden_channels: 150,
+            num_blocks: 4,
+            kernel_size: 5,
+            dropout: 0.1,
+            seed: 0,
+        }
+    }
+
+    /// A topology-preserving scaled-down configuration for fast experiments:
+    /// same blocks, kernels and dilation search space, `hidden` channels.
+    pub fn scaled(hidden: usize) -> Self {
+        Self { hidden_channels: hidden, ..Self::paper() }
+    }
+
+    /// The hand-tuned dilations of the original network:
+    /// `1, 1, 2, 2, 4, 4, 8, 8` (doubling every block).
+    pub fn hand_tuned_dilations(&self) -> Vec<usize> {
+        (0..self.num_blocks).flat_map(|b| [1usize << b, 1usize << b]).collect()
+    }
+
+    /// The dilations of the un-dilated seed (all ones).
+    pub fn seed_dilations(&self) -> Vec<usize> {
+        vec![1; 2 * self.num_blocks]
+    }
+
+    /// Maximum receptive field of every searchable convolution:
+    /// `rf_max = (k − 1) · d_hand + 1`.
+    pub fn rf_max_per_layer(&self) -> Vec<usize> {
+        self.hand_tuned_dilations()
+            .iter()
+            .map(|&d| (self.kernel_size - 1) * d + 1)
+            .collect()
+    }
+
+    /// Number of searchable convolutions.
+    pub fn num_searchable_layers(&self) -> usize {
+        2 * self.num_blocks
+    }
+}
+
+impl Default for ResTcnConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+struct ResBlock {
+    conv1: PitConv1d,
+    conv2: PitConv1d,
+    downsample: Option<CausalConv1d>,
+    dropout: Dropout,
+}
+
+impl ResBlock {
+    fn forward(&self, tape: &mut Tape, input: Var, mode: Mode) -> Var {
+        let h = self.conv1.forward(tape, input, mode);
+        let h = tape.relu(h);
+        let h = self.dropout.forward(tape, h, mode);
+        let h = self.conv2.forward(tape, h, mode);
+        let h = tape.relu(h);
+        let h = self.dropout.forward(tape, h, mode);
+        let residual = match &self.downsample {
+            Some(proj) => proj.forward(tape, input, mode),
+            None => input,
+        };
+        let sum = tape.add(h, residual);
+        tape.relu(sum)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.conv1.params();
+        p.extend(self.conv2.params());
+        if let Some(proj) = &self.downsample {
+            p.extend(proj.params());
+        }
+        p
+    }
+}
+
+/// The searchable ResTCN network: four residual blocks of two [`PitConv1d`]
+/// layers each, followed by a per-time-step 1×1 output convolution.
+///
+/// Input `[N, input_channels, T]`, output `[N, output_channels, T]` logits.
+pub struct ResTcn {
+    blocks: Vec<ResBlock>,
+    head: CausalConv1d,
+    config: ResTcnConfig,
+}
+
+impl ResTcn {
+    /// Builds the seed network (maximally sized filters, dilation 1).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: &ResTcnConfig) -> Self {
+        let rf = config.rf_max_per_layer();
+        let mut blocks = Vec::with_capacity(config.num_blocks);
+        for b in 0..config.num_blocks {
+            let in_ch = if b == 0 { config.input_channels } else { config.hidden_channels };
+            let out_ch = config.hidden_channels;
+            let conv1 = PitConv1d::new(rng, in_ch, out_ch, rf[2 * b], format!("block{b}.conv1"));
+            let conv2 = PitConv1d::new(rng, out_ch, out_ch, rf[2 * b + 1], format!("block{b}.conv2"));
+            let downsample = if in_ch != out_ch {
+                Some(CausalConv1d::new(rng, in_ch, out_ch, 1, 1))
+            } else {
+                None
+            };
+            let dropout = Dropout::new(config.dropout, config.seed.wrapping_add(b as u64));
+            blocks.push(ResBlock { conv1, conv2, downsample, dropout });
+        }
+        let head = CausalConv1d::new(rng, config.hidden_channels, config.output_channels, 1, 1);
+        Self { blocks, head, config: config.clone() }
+    }
+
+    /// The configuration used to build the network.
+    pub fn config(&self) -> &ResTcnConfig {
+        &self.config
+    }
+
+    /// Static per-layer description of the *currently pruned* network for an
+    /// input of length `t`, suitable for the GAP8 deployment model.
+    pub fn descriptor(&self, t: usize) -> NetworkDescriptor {
+        let mut d = NetworkDescriptor::new("ResTCN");
+        for block in &self.blocks {
+            for conv in [&block.conv1, &block.conv2] {
+                d.push(LayerDesc::Conv1d {
+                    c_in: conv.in_channels(),
+                    c_out: conv.out_channels(),
+                    kernel: conv.alive_taps(),
+                    dilation: conv.dilation(),
+                    t_in: t,
+                    t_out: t,
+                });
+            }
+            if let Some(proj) = &block.downsample {
+                d.push(LayerDesc::Conv1d {
+                    c_in: proj.in_channels(),
+                    c_out: proj.out_channels(),
+                    kernel: 1,
+                    dilation: 1,
+                    t_in: t,
+                    t_out: t,
+                });
+            }
+        }
+        d.push(LayerDesc::Conv1d {
+            c_in: self.head.in_channels(),
+            c_out: self.head.out_channels(),
+            kernel: 1,
+            dilation: 1,
+            t_in: t,
+            t_out: t,
+        });
+        d
+    }
+
+    /// Builds the deployable, truly dilated network equivalent to the given
+    /// dilation assignment (kernel of each convolution shrunk to its alive
+    /// taps). Weights are freshly initialised — this constructor is used for
+    /// training-cost comparisons and deployment studies, not weight export.
+    pub fn concrete<R: Rng + ?Sized>(
+        rng: &mut R,
+        config: &ResTcnConfig,
+        dilations: &[usize],
+    ) -> ConcreteTcn {
+        assert_eq!(
+            dilations.len(),
+            config.num_searchable_layers(),
+            "expected {} dilations",
+            config.num_searchable_layers()
+        );
+        let rf = config.rf_max_per_layer();
+        let mut blocks = Vec::with_capacity(config.num_blocks);
+        for b in 0..config.num_blocks {
+            let in_ch = if b == 0 { config.input_channels } else { config.hidden_channels };
+            let out_ch = config.hidden_channels;
+            let k1 = (rf[2 * b] - 1) / dilations[2 * b] + 1;
+            let k2 = (rf[2 * b + 1] - 1) / dilations[2 * b + 1] + 1;
+            blocks.push(ConcreteBlock::Residual {
+                conv1: CausalConv1d::new(rng, in_ch, out_ch, k1, dilations[2 * b]),
+                conv2: CausalConv1d::new(rng, out_ch, out_ch, k2, dilations[2 * b + 1]),
+                downsample: if in_ch != out_ch {
+                    Some(CausalConv1d::new(rng, in_ch, out_ch, 1, 1))
+                } else {
+                    None
+                },
+                dropout: Dropout::new(config.dropout, config.seed.wrapping_add(100 + b as u64)),
+            });
+        }
+        let head = ConcreteHead::PerStep(CausalConv1d::new(
+            rng,
+            config.hidden_channels,
+            config.output_channels,
+            1,
+            1,
+        ));
+        ConcreteTcn::new("ResTCN-concrete", blocks, head)
+    }
+}
+
+impl Layer for ResTcn {
+    fn forward(&self, tape: &mut Tape, input: Var, mode: Mode) -> Var {
+        let mut x = input;
+        for block in &self.blocks {
+            x = block.forward(tape, x, mode);
+        }
+        self.head.forward(tape, x, mode)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p: Vec<Param> = self.blocks.iter().flat_map(|b| b.params()).collect();
+        p.extend(self.head.params());
+        p
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "ResTCN(blocks={}, hidden={}, dilations={:?})",
+            self.config.num_blocks,
+            self.config.hidden_channels,
+            self.dilations()
+        )
+    }
+}
+
+impl SearchableNetwork for ResTcn {
+    fn pit_layers(&self) -> Vec<&PitConv1d> {
+        self.blocks
+            .iter()
+            .flat_map(|b| [&b.conv1, &b.conv2])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_nas::SearchSpace;
+    use pit_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> ResTcnConfig {
+        ResTcnConfig { hidden_channels: 8, input_channels: 6, output_channels: 6, ..ResTcnConfig::paper() }
+    }
+
+    #[test]
+    fn config_matches_paper_structure() {
+        let cfg = ResTcnConfig::paper();
+        assert_eq!(cfg.hand_tuned_dilations(), vec![1, 1, 2, 2, 4, 4, 8, 8]);
+        assert_eq!(cfg.rf_max_per_layer(), vec![5, 5, 9, 9, 17, 17, 33, 33]);
+        assert_eq!(cfg.num_searchable_layers(), 8);
+        assert_eq!(cfg.seed_dilations(), vec![1; 8]);
+    }
+
+    #[test]
+    fn search_space_is_about_1e5() {
+        let cfg = ResTcnConfig::paper();
+        let space = SearchSpace::new(cfg.rf_max_per_layer());
+        // 3*3*4*4*5*5*6*6 = 129 600 ≈ 10^5, the order of magnitude quoted in Sec. IV-B.
+        assert_eq!(space.size(), 129_600);
+        assert!((5.0..5.3).contains(&space.log10_size()));
+    }
+
+    #[test]
+    fn forward_shape_per_timestep_logits() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ResTcn::new(&mut rng, &small_config());
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[2, 6, 24]));
+        let y = net.forward(&mut tape, x, Mode::Train);
+        assert_eq!(tape.dims(y), vec![2, 6, 24]);
+    }
+
+    #[test]
+    fn has_eight_searchable_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ResTcn::new(&mut rng, &small_config());
+        assert_eq!(net.pit_layers().len(), 8);
+        assert_eq!(net.dilations(), vec![1; 8]);
+        net.set_dilations(&[1, 1, 2, 2, 4, 4, 8, 8]);
+        assert_eq!(net.dilations(), vec![1, 1, 2, 2, 4, 4, 8, 8]);
+    }
+
+    #[test]
+    fn paper_scale_parameter_counts_are_close_to_table3() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = ResTcnConfig::paper();
+        let net = ResTcn::new(&mut rng, &cfg);
+        // Seed (d = 1, maximally sized filters): Table III reports 3.53 M.
+        let seed_params = net.effective_weights();
+        assert!((2_500_000..4_500_000).contains(&seed_params), "seed params = {seed_params}");
+        // Hand-tuned dilations: Table III reports 1.05 M.
+        net.set_dilations(&cfg.hand_tuned_dilations());
+        let hand_params = net.effective_weights();
+        assert!((700_000..1_500_000).contains(&hand_params), "hand-tuned params = {hand_params}");
+        assert!(seed_params as f32 / hand_params as f32 > 2.0);
+    }
+
+    #[test]
+    fn dilation_changes_effective_params_but_not_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = ResTcn::new(&mut rng, &small_config());
+        let dense = net.effective_weights();
+        net.set_dilations(&[1, 4, 8, 8, 16, 16, 8, 1]); // PIT ResTCN "large" of Table I
+        assert!(net.effective_weights() < dense);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[1, 6, 16]));
+        let y = net.forward(&mut tape, x, Mode::Eval);
+        assert_eq!(tape.dims(y), vec![1, 6, 16]);
+    }
+
+    #[test]
+    fn descriptor_tracks_pruned_kernels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = small_config();
+        let net = ResTcn::new(&mut rng, &cfg);
+        let dense_desc = net.descriptor(32);
+        net.set_dilations(&cfg.hand_tuned_dilations());
+        let pruned_desc = net.descriptor(32);
+        assert_eq!(dense_desc.len(), pruned_desc.len());
+        assert!(pruned_desc.total_macs() < dense_desc.total_macs());
+        assert!(pruned_desc.total_weights() < dense_desc.total_weights());
+    }
+
+    #[test]
+    fn concrete_network_runs_and_matches_descriptor_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = small_config();
+        let dil = cfg.hand_tuned_dilations();
+        let concrete = ResTcn::concrete(&mut rng, &cfg, &dil);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[1, 6, 16]));
+        let y = concrete.forward(&mut tape, x, Mode::Eval);
+        assert_eq!(tape.dims(y), vec![1, 6, 16]);
+        // The concrete network has roughly the weight count of the pruned searchable one
+        // (searchable still stores masked taps; effective_weights counts alive ones).
+        let searchable = ResTcn::new(&mut rng, &cfg);
+        searchable.set_dilations(&dil);
+        assert_eq!(concrete.num_weights(), searchable.effective_weights());
+    }
+}

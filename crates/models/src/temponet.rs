@@ -1,0 +1,390 @@
+//! The TEMPONet seed (Zanghieri et al.) used for the PPG-Dalia benchmark.
+
+use crate::concrete::{ConcreteBlock, ConcreteHead, ConcreteTcn};
+use crate::descriptor::{LayerDesc, NetworkDescriptor};
+use pit_nas::{PitConv1d, SearchableNetwork};
+use pit_nn::layers::{AvgPool1d, BatchNorm1d, CausalConv1d, Linear};
+use pit_nn::{Layer, Mode};
+use pit_tensor::{Param, Tape, Var};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the TEMPONet seed architecture.
+///
+/// TEMPONet processes windows of PPG + 3-axis accelerometer data
+/// (`[N, 4, 256]` at 32 Hz) and regresses the heart rate of the window.
+/// The topology used here follows the paper's Table I: seven searchable
+/// temporal convolutions grouped in three blocks (3 + 2 + 2), average
+/// pooling between blocks, batch normalisation after every convolution and a
+/// two-layer fully connected head. Hand-tuned dilations are
+/// `2, 2, 1, 4, 4, 8, 8`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TempoNetConfig {
+    /// Input channels (PPG + 3-axis accelerometer = 4).
+    pub input_channels: usize,
+    /// Output channels of each of the seven searchable convolutions.
+    pub channels: Vec<usize>,
+    /// Kernel size of each of the seven hand-designed convolutions
+    /// (the third convolution of the first block uses a wider kernel,
+    /// following the original TEMPONet).
+    pub kernel_sizes: Vec<usize>,
+    /// Hidden width of the fully connected head.
+    pub fc_hidden: usize,
+    /// Input window length in samples (8 s at 32 Hz = 256).
+    pub input_length: usize,
+    /// Seed for dropout masks (reserved; TEMPONet blocks use batch norm).
+    pub seed: u64,
+}
+
+impl TempoNetConfig {
+    /// The paper-scale configuration (≈0.9 M seed parameters).
+    pub fn paper() -> Self {
+        Self {
+            input_channels: 4,
+            channels: vec![32, 32, 64, 64, 64, 128, 128],
+            kernel_sizes: vec![3, 3, 5, 3, 3, 3, 3],
+            fc_hidden: 64,
+            input_length: 256,
+            seed: 0,
+        }
+    }
+
+    /// A topology-preserving scaled-down configuration: channel counts are
+    /// divided by `divisor` (minimum 2 channels each) and the input window is
+    /// shortened to `input_length`.
+    pub fn scaled(divisor: usize, input_length: usize) -> Self {
+        let base = Self::paper();
+        Self {
+            channels: base.channels.iter().map(|&c| (c / divisor).max(2)).collect(),
+            input_length,
+            fc_hidden: (base.fc_hidden / divisor).max(2),
+            ..base
+        }
+    }
+
+    /// Hand-tuned dilations of the original network: `2, 2, 1, 4, 4, 8, 8`.
+    pub fn hand_tuned_dilations(&self) -> Vec<usize> {
+        vec![2, 2, 1, 4, 4, 8, 8]
+    }
+
+    /// Dilations of the un-dilated seed (all ones).
+    pub fn seed_dilations(&self) -> Vec<usize> {
+        vec![1; 7]
+    }
+
+    /// Maximum receptive field of every searchable convolution:
+    /// `rf_max = (k − 1) · d_hand + 1`.
+    pub fn rf_max_per_layer(&self) -> Vec<usize> {
+        self.hand_tuned_dilations()
+            .iter()
+            .zip(self.kernel_sizes.iter())
+            .map(|(&d, &k)| (k - 1) * d + 1)
+            .collect()
+    }
+
+    /// Number of searchable convolutions (seven).
+    pub fn num_searchable_layers(&self) -> usize {
+        7
+    }
+
+    /// How the seven convolutions are grouped into pooled blocks (3 + 2 + 2).
+    pub fn block_sizes(&self) -> [usize; 3] {
+        [3, 2, 2]
+    }
+
+    /// Sequence length after the three pooling stages.
+    pub fn final_length(&self) -> usize {
+        self.input_length / 8
+    }
+}
+
+impl Default for TempoNetConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+struct TempoBlock {
+    convs: Vec<PitConv1d>,
+    norms: Vec<BatchNorm1d>,
+    pool: AvgPool1d,
+}
+
+impl TempoBlock {
+    fn forward(&self, tape: &mut Tape, input: Var, mode: Mode) -> Var {
+        let mut h = input;
+        for (conv, norm) in self.convs.iter().zip(self.norms.iter()) {
+            h = conv.forward(tape, h, mode);
+            h = norm.forward(tape, h, mode);
+            h = tape.relu(h);
+        }
+        self.pool.forward(tape, h, mode)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p: Vec<Param> = self.convs.iter().flat_map(|c| c.params()).collect();
+        p.extend(self.norms.iter().flat_map(|n| n.params()));
+        p
+    }
+}
+
+/// The searchable TEMPONet network.
+///
+/// Input `[N, 4, input_length]`, output `[N, 1]` heart-rate estimates.
+pub struct TempoNet {
+    blocks: Vec<TempoBlock>,
+    fc_hidden: Linear,
+    fc_out: Linear,
+    config: TempoNetConfig,
+}
+
+impl TempoNet {
+    /// Builds the seed network (maximally sized filters, dilation 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.input_length` is not divisible by 8 (three pooling
+    /// stages of stride 2).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: &TempoNetConfig) -> Self {
+        assert_eq!(config.channels.len(), 7, "TEMPONet needs exactly 7 channel counts");
+        assert_eq!(
+            config.input_length % 8,
+            0,
+            "input_length must be divisible by 8 (three stride-2 pooling stages)"
+        );
+        let rf = config.rf_max_per_layer();
+        let mut blocks = Vec::with_capacity(3);
+        let mut layer_idx = 0usize;
+        let mut in_ch = config.input_channels;
+        for (b, &block_len) in config.block_sizes().iter().enumerate() {
+            let mut convs = Vec::with_capacity(block_len);
+            let mut norms = Vec::with_capacity(block_len);
+            for _ in 0..block_len {
+                let out_ch = config.channels[layer_idx];
+                convs.push(PitConv1d::new(
+                    rng,
+                    in_ch,
+                    out_ch,
+                    rf[layer_idx],
+                    format!("block{b}.conv{layer_idx}"),
+                ));
+                norms.push(BatchNorm1d::new(out_ch));
+                in_ch = out_ch;
+                layer_idx += 1;
+            }
+            blocks.push(TempoBlock { convs, norms, pool: AvgPool1d::new(2, 2) });
+        }
+        let flat = config.channels[6] * config.final_length();
+        let fc_hidden = Linear::new(rng, flat, config.fc_hidden);
+        let fc_out = Linear::new(rng, config.fc_hidden, 1);
+        Self { blocks, fc_hidden, fc_out, config: config.clone() }
+    }
+
+    /// The configuration used to build the network.
+    pub fn config(&self) -> &TempoNetConfig {
+        &self.config
+    }
+
+    /// Static per-layer description of the currently pruned network for the
+    /// configured input length.
+    pub fn descriptor(&self) -> NetworkDescriptor {
+        let mut d = NetworkDescriptor::new("TEMPONet");
+        let mut t = self.config.input_length;
+        for block in &self.blocks {
+            for conv in &block.convs {
+                d.push(LayerDesc::Conv1d {
+                    c_in: conv.in_channels(),
+                    c_out: conv.out_channels(),
+                    kernel: conv.alive_taps(),
+                    dilation: conv.dilation(),
+                    t_in: t,
+                    t_out: t,
+                });
+                d.push(LayerDesc::BatchNorm { channels: conv.out_channels(), t });
+            }
+            let t_out = (t - 2) / 2 + 1;
+            d.push(LayerDesc::AvgPool {
+                channels: block.convs.last().expect("non-empty block").out_channels(),
+                kernel: 2,
+                stride: 2,
+                t_in: t,
+                t_out,
+            });
+            t = t_out;
+        }
+        d.push(LayerDesc::Linear {
+            in_features: self.fc_hidden.in_features(),
+            out_features: self.fc_hidden.out_features(),
+        });
+        d.push(LayerDesc::Linear {
+            in_features: self.fc_out.in_features(),
+            out_features: self.fc_out.out_features(),
+        });
+        d
+    }
+
+    /// Builds the deployable, truly dilated network for a dilation assignment.
+    pub fn concrete<R: Rng + ?Sized>(
+        rng: &mut R,
+        config: &TempoNetConfig,
+        dilations: &[usize],
+    ) -> ConcreteTcn {
+        assert_eq!(dilations.len(), 7, "TEMPONet needs exactly 7 dilations");
+        let rf = config.rf_max_per_layer();
+        let mut blocks = Vec::with_capacity(3);
+        let mut layer_idx = 0usize;
+        let mut in_ch = config.input_channels;
+        for &block_len in config.block_sizes().iter() {
+            let mut convs = Vec::with_capacity(block_len);
+            let mut norms = Vec::with_capacity(block_len);
+            for _ in 0..block_len {
+                let out_ch = config.channels[layer_idx];
+                let k = (rf[layer_idx] - 1) / dilations[layer_idx] + 1;
+                convs.push(CausalConv1d::new(rng, in_ch, out_ch, k, dilations[layer_idx]));
+                norms.push(BatchNorm1d::new(out_ch));
+                in_ch = out_ch;
+                layer_idx += 1;
+            }
+            blocks.push(ConcreteBlock::Plain { convs, norms, pool: Some(AvgPool1d::new(2, 2)) });
+        }
+        let flat = config.channels[6] * config.final_length();
+        ConcreteTcn::new(
+            "TEMPONet-concrete",
+            blocks,
+            ConcreteHead::Fc {
+                hidden: Linear::new(rng, flat, config.fc_hidden),
+                output: Linear::new(rng, config.fc_hidden, 1),
+            },
+        )
+    }
+}
+
+impl Layer for TempoNet {
+    fn forward(&self, tape: &mut Tape, input: Var, mode: Mode) -> Var {
+        let mut x = input;
+        for block in &self.blocks {
+            x = block.forward(tape, x, mode);
+        }
+        let flat = tape.flatten_batch(x);
+        let h = self.fc_hidden.forward(tape, flat, mode);
+        let h = tape.relu(h);
+        self.fc_out.forward(tape, h, mode)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p: Vec<Param> = self.blocks.iter().flat_map(|b| b.params()).collect();
+        p.extend(self.fc_hidden.params());
+        p.extend(self.fc_out.params());
+        p
+    }
+
+    fn describe(&self) -> String {
+        format!("TEMPONet(channels={:?}, dilations={:?})", self.config.channels, self.dilations())
+    }
+}
+
+impl SearchableNetwork for TempoNet {
+    fn pit_layers(&self) -> Vec<&PitConv1d> {
+        self.blocks.iter().flat_map(|b| b.convs.iter()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_nas::SearchSpace;
+    use pit_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> TempoNetConfig {
+        TempoNetConfig::scaled(8, 64)
+    }
+
+    #[test]
+    fn config_matches_paper_structure() {
+        let cfg = TempoNetConfig::paper();
+        assert_eq!(cfg.hand_tuned_dilations(), vec![2, 2, 1, 4, 4, 8, 8]);
+        assert_eq!(cfg.rf_max_per_layer(), vec![5, 5, 5, 9, 9, 17, 17]);
+        assert_eq!(cfg.num_searchable_layers(), 7);
+        assert_eq!(cfg.final_length(), 32);
+    }
+
+    #[test]
+    fn search_space_is_about_1e4() {
+        let cfg = TempoNetConfig::paper();
+        let space = SearchSpace::new(cfg.rf_max_per_layer());
+        // 3*3*3*4*4*5*5 = 10 800 ≈ 10^4, the order of magnitude quoted in Sec. IV-B.
+        assert_eq!(space.size(), 10_800);
+        assert!((3.5..4.2).contains(&space.log10_size()));
+    }
+
+    #[test]
+    fn forward_shape_is_scalar_regression() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = small_config();
+        let net = TempoNet::new(&mut rng, &cfg);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[3, 4, cfg.input_length]));
+        let y = net.forward(&mut tape, x, Mode::Train);
+        assert_eq!(tape.dims(y), vec![3, 1]);
+    }
+
+    #[test]
+    fn has_seven_searchable_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = TempoNet::new(&mut rng, &small_config());
+        assert_eq!(net.pit_layers().len(), 7);
+        net.set_dilations(&[2, 4, 4, 8, 8, 16, 16]); // PIT TEMPONet "small" of Table I
+        assert_eq!(net.dilations(), vec![2, 4, 4, 8, 8, 16, 16]);
+    }
+
+    #[test]
+    fn paper_scale_parameter_counts_are_close_to_table3() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TempoNetConfig::paper();
+        let net = TempoNet::new(&mut rng, &cfg);
+        // Seed (d = 1): Table III reports 939 k.
+        let seed_params = net.effective_weights();
+        assert!((600_000..1_300_000).contains(&seed_params), "seed params = {seed_params}");
+        // Hand-tuned: Table III reports 423 k.
+        net.set_dilations(&cfg.hand_tuned_dilations());
+        let hand = net.effective_weights();
+        assert!((250_000..600_000).contains(&hand), "hand-tuned params = {hand}");
+        assert!(seed_params > hand);
+    }
+
+    #[test]
+    fn descriptor_covers_all_stages() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = small_config();
+        let net = TempoNet::new(&mut rng, &cfg);
+        let desc = net.descriptor();
+        // 7 convs + 7 bns + 3 pools + 2 linears
+        assert_eq!(desc.len(), 19);
+        assert!(desc.total_macs() > 0);
+    }
+
+    #[test]
+    fn concrete_matches_effective_weight_count_up_to_bn() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = small_config();
+        let dil = cfg.hand_tuned_dilations();
+        let concrete = TempoNet::concrete(&mut rng, &cfg, &dil);
+        let searchable = TempoNet::new(&mut rng, &cfg);
+        searchable.set_dilations(&dil);
+        assert_eq!(concrete.num_weights(), searchable.effective_weights());
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[2, 4, cfg.input_length]));
+        let y = concrete.forward(&mut tape, x, Mode::Eval);
+        assert_eq!(tape.dims(y), vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn input_length_must_be_divisible_by_eight() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TempoNetConfig { input_length: 30, ..small_config() };
+        let _ = TempoNet::new(&mut rng, &cfg);
+    }
+}

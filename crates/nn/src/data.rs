@@ -1,0 +1,259 @@
+//! Minimal in-memory dataset and batching pipeline.
+
+use pit_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A mini-batch: stacked inputs and targets with a leading batch dimension.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Stacked inputs, shape `[B, ...sample dims]`.
+    pub inputs: Tensor,
+    /// Stacked targets, shape `[B, ...target dims]`.
+    pub targets: Tensor,
+}
+
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.inputs.dims()[0]
+    }
+
+    /// Returns `true` if the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An in-memory supervised dataset: a list of `(input, target)` tensor pairs
+/// with identical per-sample shapes.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    inputs: Vec<Tensor>,
+    targets: Vec<Tensor>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dataset from parallel input / target vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths or inconsistent shapes.
+    pub fn from_pairs(inputs: Vec<Tensor>, targets: Vec<Tensor>) -> Self {
+        assert_eq!(inputs.len(), targets.len(), "inputs and targets must have the same length");
+        let ds = Self { inputs, targets };
+        ds.validate();
+        ds
+    }
+
+    fn validate(&self) {
+        if let Some(first) = self.inputs.first() {
+            assert!(
+                self.inputs.iter().all(|t| t.dims() == first.dims()),
+                "all input samples must share a shape"
+            );
+        }
+        if let Some(first) = self.targets.first() {
+            assert!(
+                self.targets.iter().all(|t| t.dims() == first.dims()),
+                "all target samples must share a shape"
+            );
+        }
+    }
+
+    /// Appends one `(input, target)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not match the existing samples.
+    pub fn push(&mut self, input: Tensor, target: Tensor) {
+        if let Some(first) = self.inputs.first() {
+            assert_eq!(first.dims(), input.dims(), "input shape mismatch");
+        }
+        if let Some(first) = self.targets.first() {
+            assert_eq!(first.dims(), target.dims(), "target shape mismatch");
+        }
+        self.inputs.push(input);
+        self.targets.push(target);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Returns `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// The `i`-th `(input, target)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sample(&self, i: usize) -> (&Tensor, &Tensor) {
+        (&self.inputs[i], &self.targets[i])
+    }
+
+    /// The shape of one input sample (without the batch dimension).
+    pub fn input_dims(&self) -> Option<Vec<usize>> {
+        self.inputs.first().map(|t| t.dims().to_vec())
+    }
+
+    /// The shape of one target sample (without the batch dimension).
+    pub fn target_dims(&self) -> Option<Vec<usize>> {
+        self.targets.first().map(|t| t.dims().to_vec())
+    }
+
+    /// Splits the dataset into two parts; the first receives `fraction` of
+    /// the samples (rounded down, at least one sample if possible).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < fraction < 1.0`.
+    pub fn split(&self, fraction: f64) -> (Dataset, Dataset) {
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0, 1)");
+        let cut = ((self.len() as f64 * fraction) as usize).clamp(1.min(self.len()), self.len());
+        let first = Dataset {
+            inputs: self.inputs[..cut].to_vec(),
+            targets: self.targets[..cut].to_vec(),
+        };
+        let second = Dataset {
+            inputs: self.inputs[cut..].to_vec(),
+            targets: self.targets[cut..].to_vec(),
+        };
+        (first, second)
+    }
+
+    /// Stacks the samples at `indices` into a [`Batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of range.
+    pub fn gather(&self, indices: &[usize]) -> Batch {
+        assert!(!indices.is_empty(), "cannot build an empty batch");
+        let in_dims = self.input_dims().expect("dataset is empty");
+        let tgt_dims = self.target_dims().expect("dataset is empty");
+        let mut in_shape = vec![indices.len()];
+        in_shape.extend_from_slice(&in_dims);
+        let mut tgt_shape = vec![indices.len()];
+        tgt_shape.extend_from_slice(&tgt_dims);
+        let mut in_data = Vec::with_capacity(in_shape.iter().product());
+        let mut tgt_data = Vec::with_capacity(tgt_shape.iter().product());
+        for &i in indices {
+            in_data.extend_from_slice(self.inputs[i].data());
+            tgt_data.extend_from_slice(self.targets[i].data());
+        }
+        Batch {
+            inputs: Tensor::from_vec(in_data, &in_shape).expect("batch input shape"),
+            targets: Tensor::from_vec(tgt_data, &tgt_shape).expect("batch target shape"),
+        }
+    }
+
+    /// Produces mini-batches covering the whole dataset, optionally shuffled.
+    /// The last batch may be smaller than `batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn batches<R: Rng + ?Sized>(&self, batch_size: usize, shuffle: Option<&mut R>) -> Vec<Batch> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        if let Some(rng) = shuffle {
+            order.shuffle(rng);
+        }
+        order.chunks(batch_size).map(|chunk| self.gather(chunk)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::new();
+        for i in 0..n {
+            ds.push(Tensor::full(&[2, 3], i as f32), Tensor::full(&[1], i as f32));
+        }
+        ds
+    }
+
+    #[test]
+    fn push_and_len() {
+        let ds = toy_dataset(5);
+        assert_eq!(ds.len(), 5);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.input_dims().unwrap(), vec![2, 3]);
+        assert_eq!(ds.target_dims().unwrap(), vec![1]);
+        assert_eq!(ds.sample(2).1.data(), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_shape_mismatch_panics() {
+        let mut ds = toy_dataset(1);
+        ds.push(Tensor::zeros(&[3, 3]), Tensor::zeros(&[1]));
+    }
+
+    #[test]
+    fn split_fractions() {
+        let ds = toy_dataset(10);
+        let (train, val) = ds.split(0.8);
+        assert_eq!(train.len(), 8);
+        assert_eq!(val.len(), 2);
+        // Order preserved: first split holds the first samples.
+        assert_eq!(train.sample(0).1.data(), &[0.0]);
+        assert_eq!(val.sample(0).1.data(), &[8.0]);
+    }
+
+    #[test]
+    fn gather_stacks_samples() {
+        let ds = toy_dataset(4);
+        let b = ds.gather(&[1, 3]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.inputs.dims(), &[2, 2, 3]);
+        assert_eq!(b.targets.dims(), &[2, 1]);
+        assert_eq!(b.targets.data(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn batches_cover_every_sample_once() {
+        let ds = toy_dataset(7);
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = ds.batches(3, Some(&mut rng));
+        assert_eq!(batches.len(), 3);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 7);
+        let mut seen: Vec<f32> = batches.iter().flat_map(|b| b.targets.data().to_vec()).collect();
+        seen.sort_by(f32::total_cmp);
+        assert_eq!(seen, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn batches_without_shuffle_preserve_order() {
+        let ds = toy_dataset(4);
+        let batches = ds.batches::<StdRng>(2, None);
+        assert_eq!(batches[0].targets.data(), &[0.0, 1.0]);
+        assert_eq!(batches[1].targets.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_pairs_validates() {
+        let ds = Dataset::from_pairs(
+            vec![Tensor::zeros(&[2]), Tensor::ones(&[2])],
+            vec![Tensor::zeros(&[1]), Tensor::ones(&[1])],
+        );
+        assert_eq!(ds.len(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Stateless activation layers.
+
+use super::{Layer, Mode};
+use pit_tensor::{Tape, Var};
+
+/// Rectified linear unit activation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relu;
+
+impl Layer for Relu {
+    fn forward(&self, tape: &mut Tape, input: Var, _mode: Mode) -> Var {
+        tape.relu(input)
+    }
+
+    fn describe(&self) -> String {
+        "ReLU".to_string()
+    }
+}
+
+/// Logistic sigmoid activation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sigmoid;
+
+impl Layer for Sigmoid {
+    fn forward(&self, tape: &mut Tape, input: Var, _mode: Mode) -> Var {
+        tape.sigmoid(input)
+    }
+
+    fn describe(&self) -> String {
+        "Sigmoid".to_string()
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tanh;
+
+impl Layer for Tanh {
+    fn forward(&self, tape: &mut Tape, input: Var, _mode: Mode) -> Var {
+        tape.tanh(input)
+    }
+
+    fn describe(&self) -> String {
+        "Tanh".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_tensor::Tensor;
+
+    #[test]
+    fn relu_clamps_negative() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap());
+        let y = Relu.forward(&mut tape, x, Mode::Eval);
+        assert_eq!(tape.value(y).data(), &[0.0, 2.0]);
+        assert_eq!(Relu.num_weights(), 0);
+    }
+
+    #[test]
+    fn sigmoid_midpoint() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[1]));
+        let y = Sigmoid.forward(&mut tape, x, Mode::Eval);
+        assert!((tape.value(y).item() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![-1.0, 1.0], &[2]).unwrap());
+        let y = Tanh.forward(&mut tape, x, Mode::Eval);
+        let v = tape.value(y).data().to_vec();
+        assert!((v[0] + v[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn describe_names() {
+        assert_eq!(Relu.describe(), "ReLU");
+        assert_eq!(Sigmoid.describe(), "Sigmoid");
+        assert_eq!(Tanh.describe(), "Tanh");
+    }
+}

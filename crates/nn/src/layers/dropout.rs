@@ -1,0 +1,97 @@
+//! Inverted dropout.
+
+use super::{Layer, Mode};
+use parking_lot::Mutex;
+use pit_tensor::{Tape, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: in training mode each element is zeroed with
+/// probability `p` and survivors are scaled by `1 / (1 − p)`; in evaluation
+/// mode the layer is the identity.
+pub struct Dropout {
+    p: f32,
+    rng: Mutex<StdRng>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a deterministic
+    /// internal RNG seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1), got {p}");
+        Self { p, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&self, tape: &mut Tape, input: Var, mode: Mode) -> Var {
+        if mode == Mode::Eval || self.p == 0.0 {
+            return input;
+        }
+        let dims = tape.dims(input);
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut rng = self.rng.lock();
+        let mask: Vec<f32> = (0..dims.iter().product::<usize>())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask, &dims).expect("dropout mask shape");
+        tape.dropout_with_mask(input, mask)
+    }
+
+    fn describe(&self) -> String {
+        format!("Dropout(p={})", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5, 0);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[4, 4]));
+        let y = d.forward(&mut tape, x, Mode::Eval);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_train() {
+        let d = Dropout::new(0.0, 0);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[4]));
+        let y = d.forward(&mut tape, x, Mode::Train);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction_and_rescales() {
+        let d = Dropout::new(0.5, 42);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[10_000]));
+        let y = d.forward(&mut tape, x, Mode::Train);
+        let out = tape.value(y);
+        let zeros = out.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / out.len() as f32;
+        assert!((frac - 0.5).abs() < 0.05, "zero fraction {frac}");
+        // Survivors are scaled by 2 so the expectation is preserved.
+        assert!((out.mean_all() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_panics() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

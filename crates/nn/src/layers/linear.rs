@@ -1,0 +1,114 @@
+//! Fully connected (dense) layer.
+
+use super::{Layer, Mode};
+use pit_tensor::{init, Param, Tape, Tensor, Var};
+use rand::Rng;
+
+/// A dense layer `y = x · W + b` over `[N, in_features]` activations.
+///
+/// The weight is stored as `[in_features, out_features]` so no transpose is
+/// needed in the forward pass.
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a dense layer with Xavier-uniform initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        assert!(in_features > 0 && out_features > 0, "linear sizes must be positive");
+        let weight = Param::new(
+            init::xavier_uniform(rng, &[in_features, out_features], in_features, out_features),
+            format!("linear{in_features}x{out_features}.weight"),
+        );
+        let bias = Param::new(Tensor::zeros(&[out_features]), format!("linear{in_features}x{out_features}.bias"));
+        Self { weight, bias, in_features, out_features }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight parameter (`[in_features, out_features]`).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// The bias parameter (`[out_features]`).
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&self, tape: &mut Tape, input: Var, _mode: Mode) -> Var {
+        let w = tape.param(&self.weight);
+        let b = tape.param(&self.bias);
+        let xw = tape.matmul(input, w);
+        tape.add_bias_rows(xw, b)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+
+    fn describe(&self) -> String {
+        format!("Linear({}→{})", self.in_features, self.out_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(&mut rng, 4, 3);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[5, 4]));
+        let y = l.forward(&mut tape, x, Mode::Train);
+        assert_eq!(tape.dims(y), vec![5, 3]);
+        assert_eq!(l.num_weights(), 4 * 3 + 3);
+        assert_eq!(l.in_features(), 4);
+        assert_eq!(l.out_features(), 3);
+    }
+
+    #[test]
+    fn zero_input_outputs_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(&mut rng, 2, 2);
+        l.bias().set_value(Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap());
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[1, 2]));
+        let y = l.forward(&mut tape, x, Mode::Eval);
+        assert_eq!(tape.value(y).data(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn gradient_flows_to_both_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(&mut rng, 3, 2);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 3]));
+        let y = l.forward(&mut tape, x, Mode::Train);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert!(l.weight().grad().data().iter().all(|&g| (g - 2.0).abs() < 1e-6));
+        assert!(l.bias().grad().data().iter().all(|&g| (g - 2.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,85 @@
+//! Layer abstractions and the standard TCN building blocks.
+
+mod activation;
+mod batchnorm;
+mod conv1d;
+mod dropout;
+mod linear;
+mod pool;
+mod sequential;
+
+pub use activation::{Relu, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm1d;
+pub use conv1d::CausalConv1d;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use pool::{AvgPool1d, GlobalAvgPool1d};
+pub use sequential::Sequential;
+
+use pit_tensor::{Param, Tape, Var};
+
+/// Forward-pass mode: training (batch statistics, dropout active) or
+/// evaluation (running statistics, dropout disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training mode.
+    Train,
+    /// Inference / evaluation mode.
+    Eval,
+}
+
+/// A differentiable module: maps an input node to an output node on a tape
+/// and exposes its trainable parameters.
+///
+/// Layers are object safe so heterogeneous networks can be stored as
+/// `Vec<Box<dyn Layer>>` (see [`Sequential`]).
+pub trait Layer: Send + Sync {
+    /// Runs the layer on `input`, recording operations on `tape`.
+    fn forward(&self, tape: &mut Tape, input: Var, mode: Mode) -> Var;
+
+    /// All trainable parameters of the layer (empty for stateless layers).
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+
+    /// Total number of scalar weights in the layer.
+    fn num_weights(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Short human-readable description used in summaries.
+    fn describe(&self) -> String {
+        "layer".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_tensor::Tensor;
+
+    struct Identity;
+    impl Layer for Identity {
+        fn forward(&self, _tape: &mut Tape, input: Var, _mode: Mode) -> Var {
+            input
+        }
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let l = Identity;
+        assert!(l.params().is_empty());
+        assert_eq!(l.num_weights(), 0);
+        assert_eq!(l.describe(), "layer");
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[1]));
+        let y = l.forward(&mut tape, x, Mode::Train);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn layer_is_object_safe() {
+        let layers: Vec<Box<dyn Layer>> = vec![Box::new(Identity)];
+        assert_eq!(layers.len(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Pooling layers.
+
+use super::{Layer, Mode};
+use pit_tensor::{Tape, Var};
+
+/// Average pooling over the time axis of `[N, C, T]` activations.
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPool1d {
+    kernel: usize,
+    stride: usize,
+}
+
+impl AvgPool1d {
+    /// Creates an average-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        Self { kernel, stride }
+    }
+
+    /// Pooling window length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Pooling stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+impl Layer for AvgPool1d {
+    fn forward(&self, tape: &mut Tape, input: Var, _mode: Mode) -> Var {
+        tape.avg_pool1d(input, self.kernel, self.stride)
+    }
+
+    fn describe(&self) -> String {
+        format!("AvgPool1d(k={}, s={})", self.kernel, self.stride)
+    }
+}
+
+/// Global average pooling over time: `[N, C, T] -> [N, C]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalAvgPool1d;
+
+impl Layer for GlobalAvgPool1d {
+    fn forward(&self, tape: &mut Tape, input: Var, _mode: Mode) -> Var {
+        tape.global_avg_pool_time(input)
+    }
+
+    fn describe(&self) -> String {
+        "GlobalAvgPool1d".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_tensor::Tensor;
+
+    #[test]
+    fn avg_pool_halves_time() {
+        let pool = AvgPool1d::new(2, 2);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[1, 3, 8]));
+        let y = pool.forward(&mut tape, x, Mode::Eval);
+        assert_eq!(tape.dims(y), vec![1, 3, 4]);
+        assert_eq!(pool.kernel(), 2);
+        assert_eq!(pool.stride(), 2);
+    }
+
+    #[test]
+    fn global_pool_removes_time() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 3, 5]));
+        let y = GlobalAvgPool1d.forward(&mut tape, x, Mode::Eval);
+        assert_eq!(tape.dims(y), vec![2, 3]);
+        assert!(tape.value(y).data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_kernel_panics() {
+        let _ = AvgPool1d::new(0, 1);
+    }
+}

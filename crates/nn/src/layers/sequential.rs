@@ -1,0 +1,109 @@
+//! Sequential container for heterogeneous layer stacks.
+
+use super::{Layer, Mode};
+use pit_tensor::{Param, Tape, Var};
+
+/// A stack of layers applied in order.
+///
+/// # Example
+///
+/// ```
+/// use pit_nn::{Layer, Mode, layers::{Sequential, Relu}};
+/// use pit_tensor::{Tape, Tensor};
+///
+/// let model = Sequential::new(vec![Box::new(Relu), Box::new(Relu)]);
+/// let mut tape = Tape::new();
+/// let x = tape.constant(Tensor::from_vec(vec![-1.0, 1.0], &[2]).unwrap());
+/// let y = model.forward(&mut tape, x, Mode::Eval);
+/// assert_eq!(tape.value(y).data(), &[0.0, 1.0]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a container from an ordered list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Creates an empty container.
+    pub fn empty() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the end of the stack.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the stack.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` if the stack holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterates over the contained layers.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Layer> {
+        self.layers.iter().map(|l| l.as_ref())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&self, tape: &mut Tape, input: Var, mode: Mode) -> Var {
+        let mut x = input;
+        for layer in &self.layers {
+            x = layer.forward(tape, x, mode);
+        }
+        x
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn describe(&self) -> String {
+        let inner: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
+        format!("Sequential[{}]", inner.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use pit_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chains_layers_in_order() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Sequential::new(vec![
+            Box::new(Linear::new(&mut rng, 4, 8)),
+            Box::new(Relu),
+            Box::new(Linear::new(&mut rng, 8, 2)),
+        ]);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[3, 4]));
+        let y = model.forward(&mut tape, x, Mode::Train);
+        assert_eq!(tape.dims(y), vec![3, 2]);
+        assert_eq!(model.len(), 3);
+        assert_eq!(model.params().len(), 4);
+        assert_eq!(model.num_weights(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn push_extends_the_stack() {
+        let mut model = Sequential::empty();
+        assert!(model.is_empty());
+        model.push(Box::new(Relu));
+        assert_eq!(model.len(), 1);
+        assert!(model.describe().contains("ReLU"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # pit-nn
+//!
+//! Neural-network building blocks for the Pruning-In-Time (PIT)
+//! reproduction: layers, losses, optimizers, a minimal data pipeline and a
+//! training loop with early stopping.
+//!
+//! Everything is built on top of the [`pit_tensor`] autograd engine. The
+//! central abstraction is the [`Layer`] trait: a layer maps an input
+//! [`pit_tensor::Var`] to an output `Var` on a [`pit_tensor::Tape`] and
+//! exposes its trainable [`pit_tensor::Param`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use pit_nn::{Layer, Mode, layers::{Linear, Relu, Sequential}};
+//! use pit_tensor::{Tape, Tensor};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = Sequential::new(vec![
+//!     Box::new(Linear::new(&mut rng, 4, 8)),
+//!     Box::new(Relu),
+//!     Box::new(Linear::new(&mut rng, 8, 1)),
+//! ]);
+//! let mut tape = Tape::new();
+//! let x = tape.constant(Tensor::zeros(&[2, 4]));
+//! let y = model.forward(&mut tape, x, Mode::Eval);
+//! assert_eq!(tape.dims(y), vec![2, 1]);
+//! ```
+
+pub mod data;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod optim;
+pub mod schedule;
+pub mod train;
+
+pub use data::{Batch, Dataset};
+pub use layers::{Layer, Mode};
+pub use loss::LossKind;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use schedule::LrSchedule;
+pub use train::{EarlyStopping, TrainConfig, TrainReport, Trainer};

@@ -1,0 +1,87 @@
+//! Task losses used by the PIT benchmarks.
+
+use pit_tensor::{Tape, Tensor, Var};
+use serde::{Deserialize, Serialize};
+
+/// The performance loss `L_perf` of Eq. 7: which criterion to apply between
+/// the network output and the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Mean squared error (used during training of the heart-rate regressor).
+    Mse,
+    /// Mean absolute error (the MAE metric of the PPG-Dalia benchmark).
+    Mae,
+    /// Element-averaged binary cross-entropy with logits.
+    BceWithLogits,
+    /// Frame-level negative log-likelihood for polyphonic music: binary
+    /// cross-entropy summed over the 88 keys and averaged over frames.
+    FrameNll,
+}
+
+impl LossKind {
+    /// Applies the loss between a prediction node and a constant target,
+    /// returning a scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if prediction and target shapes are incompatible for the
+    /// selected criterion.
+    pub fn apply(&self, tape: &mut Tape, pred: Var, target: &Tensor) -> Var {
+        match self {
+            LossKind::Mse => tape.mse_loss(pred, target),
+            LossKind::Mae => tape.mae_loss(pred, target),
+            LossKind::BceWithLogits => tape.bce_with_logits_loss(pred, target),
+            LossKind::FrameNll => tape.bce_frame_nll_loss(pred, target),
+        }
+    }
+
+    /// The display name of the metric associated with this loss
+    /// (as used in the paper's tables).
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            LossKind::Mse => "MSE",
+            LossKind::Mae => "MAE",
+            LossKind::BceWithLogits => "BCE",
+            LossKind::FrameNll => "NLL",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_dispatches_to_the_right_op() {
+        let pred_t = Tensor::from_vec(vec![1.0, 3.0], &[2]).unwrap();
+        let target = Tensor::from_vec(vec![0.0, 1.0], &[2]).unwrap();
+
+        let mut tape = Tape::new();
+        let p = tape.constant(pred_t.clone());
+        let l = LossKind::Mse.apply(&mut tape, p, &target);
+        assert!((tape.value(l).item() - 2.5).abs() < 1e-6);
+
+        let mut tape = Tape::new();
+        let p = tape.constant(pred_t);
+        let l = LossKind::Mae.apply(&mut tape, p, &target);
+        assert!((tape.value(l).item() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frame_nll_requires_rank3() {
+        let logits = Tensor::zeros(&[1, 2, 3]);
+        let target = Tensor::ones(&[1, 2, 3]);
+        let mut tape = Tape::new();
+        let p = tape.constant(logits);
+        let l = LossKind::FrameNll.apply(&mut tape, p, &target);
+        assert!(tape.value(l).item() > 0.0);
+    }
+
+    #[test]
+    fn metric_names() {
+        assert_eq!(LossKind::Mae.metric_name(), "MAE");
+        assert_eq!(LossKind::FrameNll.metric_name(), "NLL");
+        assert_eq!(LossKind::Mse.metric_name(), "MSE");
+        assert_eq!(LossKind::BceWithLogits.metric_name(), "BCE");
+    }
+}

@@ -1,0 +1,136 @@
+//! Evaluation metrics computed outside the autograd graph.
+
+use pit_tensor::Tensor;
+
+/// Mean absolute error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mae(pred: &Tensor, target: &Tensor) -> f32 {
+    assert!(pred.shape().same_as(target.shape()), "mae: shape mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.data()
+        .iter()
+        .zip(target.data().iter())
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f32>()
+        / pred.len() as f32
+}
+
+/// Mean squared error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> f32 {
+    assert!(pred.shape().same_as(target.shape()), "mse: shape mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.data()
+        .iter()
+        .zip(target.data().iter())
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f32>()
+        / pred.len() as f32
+}
+
+/// Element-averaged binary cross-entropy between logits and 0/1 targets.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn bce_with_logits(logits: &Tensor, target: &Tensor) -> f32 {
+    assert!(logits.shape().same_as(target.shape()), "bce: shape mismatch");
+    if logits.is_empty() {
+        return 0.0;
+    }
+    logits
+        .data()
+        .iter()
+        .zip(target.data().iter())
+        .map(|(&z, &y)| z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln())
+        .sum::<f32>()
+        / logits.len() as f32
+}
+
+/// Frame-level negative log-likelihood for multi-label sequence prediction:
+/// binary cross-entropy summed over the label dimension of `[N, C, T]`
+/// logits and averaged over `N · T` frames. This is the "NLL" reported for
+/// the Nottingham benchmark.
+///
+/// # Panics
+///
+/// Panics if shapes differ or the logits are not rank 3.
+pub fn frame_nll(logits: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(logits.dims().len(), 3, "frame_nll expects [N, C, T] logits");
+    let c = logits.dims()[1] as f32;
+    bce_with_logits(logits, target) * c
+}
+
+/// Classification accuracy of binarised multi-label predictions at a 0.5
+/// probability threshold (i.e. logit threshold 0).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn binary_accuracy(logits: &Tensor, target: &Tensor) -> f32 {
+    assert!(logits.shape().same_as(target.shape()), "accuracy: shape mismatch");
+    if logits.is_empty() {
+        return 0.0;
+    }
+    let correct = logits
+        .data()
+        .iter()
+        .zip(target.data().iter())
+        .filter(|(&z, &y)| (z >= 0.0) == (y >= 0.5))
+        .count();
+    correct as f32 / logits.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_and_mse_basic() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![0.0, 4.0], &[2]).unwrap();
+        assert!((mae(&p, &t) - 1.5).abs() < 1e-6);
+        assert!((mse(&p, &t) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_at_zero_logit_is_ln2() {
+        let p = Tensor::zeros(&[4]);
+        let t = Tensor::ones(&[4]);
+        assert!((bce_with_logits(&p, &t) - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frame_nll_scales_with_keys() {
+        let p = Tensor::zeros(&[1, 88, 4]);
+        let t = Tensor::zeros(&[1, 88, 4]);
+        let per_elem = bce_with_logits(&p, &t);
+        assert!((frame_nll(&p, &t) - 88.0 * per_elem).abs() < 1e-4);
+    }
+
+    #[test]
+    fn binary_accuracy_counts_matches() {
+        let p = Tensor::from_vec(vec![1.0, -1.0, 2.0, -2.0], &[4]).unwrap();
+        let t = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[4]).unwrap();
+        assert!((binary_accuracy(&p, &t) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_tensors_return_zero() {
+        let e = Tensor::zeros(&[0]);
+        assert_eq!(mae(&e, &e), 0.0);
+        assert_eq!(mse(&e, &e), 0.0);
+        assert_eq!(bce_with_logits(&e, &e), 0.0);
+        assert_eq!(binary_accuracy(&e, &e), 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Gradient-descent optimizers.
+
+use pit_tensor::{Param, Tensor};
+
+/// A first-order optimizer over a fixed set of parameters.
+///
+/// The typical training-step sequence is:
+///
+/// 1. [`Optimizer::zero_grad`]
+/// 2. forward pass + `Tape::backward`
+/// 3. [`Optimizer::step`]
+pub trait Optimizer {
+    /// Applies one update using the gradients currently stored in the params.
+    fn step(&mut self);
+
+    /// Clears the gradients of every managed parameter.
+    fn zero_grad(&self);
+
+    /// The parameters managed by this optimizer.
+    fn params(&self) -> &[Param];
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+pub struct Sgd {
+    params: Vec<Param>,
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(params: Vec<Param>, lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        let velocity = params.iter().map(|p| Tensor::zeros(&p.dims())).collect();
+        Self { params, lr, momentum, weight_decay, velocity }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (param, vel) in self.params.iter().zip(self.velocity.iter_mut()) {
+            if !param.trainable() {
+                continue;
+            }
+            param.with_value_mut_and_grad(|value, grad| {
+                for i in 0..value.len() {
+                    let g = grad.data()[i] + self.weight_decay * value.data()[i];
+                    let v = self.momentum * vel.data()[i] + g;
+                    vel.data_mut()[i] = v;
+                    value.data_mut()[i] -= self.lr * v;
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with decoupled weight decay disabled by
+/// default (plain L2 on the gradient, matching the reference PyTorch setup).
+pub struct Adam {
+    params: Vec<Param>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    step_count: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard β parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(params: Vec<Param>, lr: f32) -> Self {
+        Self::with_config(params, lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Creates an Adam optimizer with explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn with_config(
+        params: Vec<Param>,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        let m = params.iter().map(|p| Tensor::zeros(&p.dims())).collect();
+        let v = params.iter().map(|p| Tensor::zeros(&p.dims())).collect();
+        Self { params, lr, beta1, beta2, eps, weight_decay, step_count: 0, m, v }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for ((param, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            if !param.trainable() {
+                continue;
+            }
+            param.with_value_mut_and_grad(|value, grad| {
+                for i in 0..value.len() {
+                    let g = grad.data()[i] + self.weight_decay * value.data()[i];
+                    let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
+                    let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
+                    m.data_mut()[i] = mi;
+                    v.data_mut()[i] = vi;
+                    let m_hat = mi / bias1;
+                    let v_hat = vi / bias2;
+                    value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_tensor::Tape;
+
+    fn quadratic_step(p: &Param) {
+        // loss = sum(p^2); gradient = 2p
+        let mut tape = Tape::new();
+        let x = tape.param(p);
+        let sq = tape.square(x);
+        let loss = tape.sum(sq);
+        tape.backward(loss);
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let p = Param::new(Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap(), "p");
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.0, 0.0);
+        for _ in 0..50 {
+            opt.zero_grad();
+            quadratic_step(&p);
+            opt.step();
+        }
+        assert!(p.value().abs().max_all() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let plain = Param::new(Tensor::from_vec(vec![1.0], &[1]).unwrap(), "a");
+        let momentum = Param::new(Tensor::from_vec(vec![1.0], &[1]).unwrap(), "b");
+        let mut o1 = Sgd::new(vec![plain.clone()], 0.01, 0.0, 0.0);
+        let mut o2 = Sgd::new(vec![momentum.clone()], 0.01, 0.9, 0.0);
+        for _ in 0..20 {
+            o1.zero_grad();
+            quadratic_step(&plain);
+            o1.step();
+            o2.zero_grad();
+            quadratic_step(&momentum);
+            o2.step();
+        }
+        assert!(momentum.value().data()[0].abs() < plain.value().data()[0].abs());
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let p = Param::new(Tensor::from_vec(vec![3.0, -1.5, 0.7], &[3]).unwrap(), "p");
+        let mut opt = Adam::new(vec![p.clone()], 0.05);
+        for _ in 0..300 {
+            opt.zero_grad();
+            quadratic_step(&p);
+            opt.step();
+        }
+        assert!(p.value().abs().max_all() < 1e-2, "value {:?}", p.value().data());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters_without_gradient() {
+        let p = Param::new(Tensor::from_vec(vec![1.0], &[1]).unwrap(), "p");
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.0, 0.5);
+        // No backward pass: gradient stays zero, only decay applies.
+        opt.step();
+        assert!((p.value().data()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frozen_params_are_not_updated() {
+        let p = Param::new(Tensor::from_vec(vec![1.0], &[1]).unwrap(), "p");
+        p.set_trainable(false);
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        opt.zero_grad();
+        quadratic_step(&p);
+        opt.step();
+        assert_eq!(p.value().data(), &[1.0]);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let p = Param::new(Tensor::zeros(&[1]), "p");
+        let mut opt = Sgd::new(vec![p], 0.1, 0.0, 0.0);
+        assert!((opt.learning_rate() - 0.1).abs() < 1e-9);
+        opt.set_learning_rate(0.01);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Learning-rate schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule: maps an epoch index to a multiplier of the base
+/// learning rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply the learning rate by `gamma` every `step_epochs` epochs.
+    StepDecay {
+        /// Epochs between decays.
+        step_epochs: usize,
+        /// Decay factor applied at each step.
+        gamma: f32,
+    },
+    /// Cosine annealing from 1 down to `min_factor` over `total_epochs`.
+    Cosine {
+        /// Length of the annealing period in epochs.
+        total_epochs: usize,
+        /// Final fraction of the base learning rate.
+        min_factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning-rate multiplier for the given (0-based) epoch.
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { step_epochs, gamma } => {
+                let steps = if *step_epochs == 0 { 0 } else { epoch / step_epochs };
+                gamma.powi(steps as i32)
+            }
+            LrSchedule::Cosine { total_epochs, min_factor } => {
+                let total = (*total_epochs).max(1) as f32;
+                let progress = (epoch as f32 / total).min(1.0);
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                min_factor + (1.0 - min_factor) * cos
+            }
+        }
+    }
+
+    /// The learning rate for the given epoch and base rate.
+    pub fn learning_rate(&self, base: f32, epoch: usize) -> f32 {
+        base * self.factor(epoch)
+    }
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(LrSchedule::Constant.factor(0), 1.0);
+        assert_eq!(LrSchedule::Constant.factor(100), 1.0);
+    }
+
+    #[test]
+    fn step_decay_halves_every_period() {
+        let s = LrSchedule::StepDecay { step_epochs: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+        assert!((s.learning_rate(0.1, 10) - 0.05).abs() < 1e-7);
+    }
+
+    #[test]
+    fn step_decay_with_zero_period_is_constant() {
+        let s = LrSchedule::StepDecay { step_epochs: 0, gamma: 0.5 };
+        assert_eq!(s.factor(100), 1.0);
+    }
+
+    #[test]
+    fn cosine_anneals_to_min_factor() {
+        let s = LrSchedule::Cosine { total_epochs: 20, min_factor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(20) - 0.1).abs() < 1e-6);
+        assert!((s.factor(40) - 0.1).abs() < 1e-6); // clamped after the period
+        let mid = s.factor(10);
+        assert!(mid > 0.1 && mid < 1.0);
+        // Monotonically non-increasing over the period.
+        for e in 1..=20 {
+            assert!(s.factor(e) <= s.factor(e - 1) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn default_is_constant() {
+        assert_eq!(LrSchedule::default(), LrSchedule::Constant);
+    }
+}

@@ -1,0 +1,282 @@
+//! Training loop with validation, early stopping and timing.
+
+use crate::data::{Batch, Dataset};
+use crate::layers::{Layer, Mode};
+use crate::loss::LossKind;
+use crate::optim::Optimizer;
+use pit_tensor::Tape;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Hyper-parameters of a plain training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Maximum number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Whether to shuffle the training set every epoch.
+    pub shuffle: bool,
+    /// Early-stopping patience in epochs (`None` disables early stopping).
+    pub patience: Option<usize>,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 10, batch_size: 32, shuffle: true, patience: Some(50), seed: 0 }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Number of epochs actually run (may be fewer than requested when early
+    /// stopping triggers).
+    pub epochs_run: usize,
+    /// Number of optimizer steps taken.
+    pub steps: usize,
+    /// Average training loss per epoch.
+    pub train_loss: Vec<f32>,
+    /// Validation loss per epoch (empty when no validation set is given).
+    pub val_loss: Vec<f32>,
+    /// Best (lowest) validation loss observed, or the final training loss
+    /// when no validation set is given.
+    pub best_loss: f32,
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+}
+
+/// Early-stopping state: stop when the monitored loss has not improved for
+/// `patience` consecutive updates.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    best: f32,
+    wait: usize,
+}
+
+impl EarlyStopping {
+    /// Creates an early-stopping monitor with the given patience.
+    pub fn new(patience: usize) -> Self {
+        Self { patience, best: f32::INFINITY, wait: 0 }
+    }
+
+    /// Records a new loss value; returns `true` when training should stop.
+    pub fn update(&mut self, loss: f32) -> bool {
+        if loss < self.best {
+            self.best = loss;
+            self.wait = 0;
+            false
+        } else {
+            self.wait += 1;
+            self.wait >= self.patience
+        }
+    }
+
+    /// Best loss seen so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+/// Orchestrates epochs of mini-batch gradient descent over a [`Layer`].
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Runs one optimisation step on a single batch and returns its loss.
+    pub fn train_step(
+        model: &dyn Layer,
+        batch: &Batch,
+        loss: LossKind,
+        optimizer: &mut dyn Optimizer,
+    ) -> f32 {
+        optimizer.zero_grad();
+        let mut tape = Tape::new();
+        let x = tape.constant(batch.inputs.clone());
+        let pred = model.forward(&mut tape, x, Mode::Train);
+        let l = loss.apply(&mut tape, pred, &batch.targets);
+        let value = tape.value(l).item();
+        tape.backward(l);
+        optimizer.step();
+        value
+    }
+
+    /// Evaluates the average loss of `model` over `data` in evaluation mode
+    /// (no parameter updates).
+    pub fn evaluate(model: &dyn Layer, data: &Dataset, loss: LossKind, batch_size: usize) -> f32 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let batches = data.batches::<StdRng>(batch_size, None);
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for batch in &batches {
+            let mut tape = Tape::new();
+            let x = tape.constant(batch.inputs.clone());
+            let pred = model.forward(&mut tape, x, Mode::Eval);
+            let l = loss.apply(&mut tape, pred, &batch.targets);
+            total += tape.value(l).item() as f64 * batch.len() as f64;
+            count += batch.len();
+        }
+        (total / count as f64) as f32
+    }
+
+    /// Trains `model` on `train`, monitoring `val` (when provided) for early
+    /// stopping, and returns a [`TrainReport`].
+    pub fn train(
+        &self,
+        model: &dyn Layer,
+        train: &Dataset,
+        val: Option<&Dataset>,
+        loss: LossKind,
+        optimizer: &mut dyn Optimizer,
+    ) -> TrainReport {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut report = TrainReport {
+            epochs_run: 0,
+            steps: 0,
+            train_loss: Vec::new(),
+            val_loss: Vec::new(),
+            best_loss: f32::INFINITY,
+            wall_time: Duration::ZERO,
+        };
+        let mut stopper = self.config.patience.map(EarlyStopping::new);
+
+        for _epoch in 0..self.config.epochs {
+            let batches = if self.config.shuffle {
+                train.batches(self.config.batch_size, Some(&mut rng))
+            } else {
+                train.batches::<StdRng>(self.config.batch_size, None)
+            };
+            let mut epoch_loss = 0.0f64;
+            let mut seen = 0usize;
+            for batch in &batches {
+                let l = Self::train_step(model, batch, loss, optimizer);
+                epoch_loss += l as f64 * batch.len() as f64;
+                seen += batch.len();
+                report.steps += 1;
+            }
+            let train_loss = (epoch_loss / seen.max(1) as f64) as f32;
+            report.train_loss.push(train_loss);
+            report.epochs_run += 1;
+
+            let monitored = if let Some(val) = val {
+                let v = Self::evaluate(model, val, loss, self.config.batch_size);
+                report.val_loss.push(v);
+                v
+            } else {
+                train_loss
+            };
+            report.best_loss = report.best_loss.min(monitored);
+            if let Some(stopper) = &mut stopper {
+                if stopper.update(monitored) {
+                    break;
+                }
+            }
+        }
+        report.wall_time = start.elapsed();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Sequential};
+    use crate::optim::{Adam, Sgd};
+    use pit_tensor::Tensor;
+    use rand::Rng;
+
+    /// y = 2*x0 - x1 + 0.5 regression problem.
+    fn linear_problem(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new();
+        for _ in 0..n {
+            let x0: f32 = rng.gen_range(-1.0..1.0);
+            let x1: f32 = rng.gen_range(-1.0..1.0);
+            let y = 2.0 * x0 - x1 + 0.5;
+            ds.push(
+                Tensor::from_vec(vec![x0, x1], &[2]).unwrap(),
+                Tensor::from_vec(vec![y], &[1]).unwrap(),
+            );
+        }
+        ds
+    }
+
+    #[test]
+    fn early_stopping_triggers_after_patience() {
+        let mut es = EarlyStopping::new(2);
+        assert!(!es.update(1.0));
+        assert!(!es.update(0.5));
+        assert!(!es.update(0.6));
+        assert!(es.update(0.7));
+        assert_eq!(es.best(), 0.5);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_linear_regression() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = Sequential::new(vec![Box::new(Linear::new(&mut rng, 2, 1))]);
+        let data = linear_problem(64, 7);
+        let (train, val) = data.split(0.75);
+        let mut opt = Adam::new(model.params(), 0.05);
+        let trainer = Trainer::new(TrainConfig { epochs: 60, batch_size: 16, shuffle: true, patience: None, seed: 0 });
+        let report = trainer.train(&model, &train, Some(&val), LossKind::Mse, &mut opt);
+        assert_eq!(report.epochs_run, 60);
+        assert!(report.val_loss.last().copied().unwrap() < 0.05, "final val loss {:?}", report.val_loss.last());
+        assert!(report.train_loss[0] > *report.train_loss.last().unwrap());
+        assert!(report.steps >= 60 * 3);
+    }
+
+    #[test]
+    fn early_stopping_cuts_the_run_short() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Sequential::new(vec![Box::new(Linear::new(&mut rng, 2, 1))]);
+        let data = linear_problem(32, 1);
+        let (train, val) = data.split(0.5);
+        // Large learning rate makes validation plateau/noisy quickly.
+        let mut opt = Sgd::new(model.params(), 0.5, 0.0, 0.0);
+        let trainer = Trainer::new(TrainConfig { epochs: 200, batch_size: 8, shuffle: true, patience: Some(3), seed: 0 });
+        let report = trainer.train(&model, &train, Some(&val), LossKind::Mse, &mut opt);
+        assert!(report.epochs_run < 200);
+    }
+
+    #[test]
+    fn evaluate_returns_zero_on_empty_dataset() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Sequential::new(vec![Box::new(Linear::new(&mut rng, 2, 1))]);
+        let empty = Dataset::new();
+        assert_eq!(Trainer::evaluate(&model, &empty, LossKind::Mse, 4), 0.0);
+    }
+
+    #[test]
+    fn train_without_validation_uses_train_loss() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Sequential::new(vec![Box::new(Linear::new(&mut rng, 2, 1))]);
+        let data = linear_problem(16, 2);
+        let mut opt = Adam::new(model.params(), 0.01);
+        let trainer = Trainer::new(TrainConfig { epochs: 3, batch_size: 8, shuffle: false, patience: None, seed: 0 });
+        let report = trainer.train(&model, &data, None, LossKind::Mse, &mut opt);
+        assert!(report.val_loss.is_empty());
+        assert_eq!(report.train_loss.len(), 3);
+        assert!(report.best_loss.is_finite());
+    }
+}

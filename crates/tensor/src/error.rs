@@ -1,0 +1,100 @@
+//! Error type shared by every fallible operation in the tensor crate.
+
+use std::fmt;
+
+/// Convenient alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors raised by tensor construction and tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data length.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// A tensor did not have the rank (number of dimensions) required by an operation.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the provided tensor.
+        actual: usize,
+    },
+    /// A parameter of an operation was invalid (zero kernel size, zero stride, ...).
+    InvalidArgument {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected rank {expected}, got rank {actual}")
+            }
+            TensorError::InvalidArgument { op, message } => {
+                write!(f, "{op}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch { expected: 4, actual: 3 };
+        assert_eq!(e.to_string(), "data length 3 does not match shape volume 4");
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch { op: "add", lhs: vec![2, 2], rhs: vec![3] };
+        assert!(e.to_string().contains("add"));
+        assert!(e.to_string().contains("[2, 2]"));
+    }
+
+    #[test]
+    fn display_rank_mismatch() {
+        let e = TensorError::RankMismatch { op: "conv1d", expected: 3, actual: 2 };
+        assert!(e.to_string().contains("expected rank 3"));
+    }
+
+    #[test]
+    fn display_invalid_argument() {
+        let e = TensorError::InvalidArgument { op: "pool", message: "kernel must be > 0".into() };
+        assert!(e.to_string().contains("kernel must be > 0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

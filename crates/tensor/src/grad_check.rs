@@ -1,0 +1,109 @@
+//! Finite-difference gradient checking.
+//!
+//! Used across the workspace's test suites to validate that every autograd
+//! op and every composite layer produces correct gradients.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// Computes the numerical gradient of `forward` with respect to `param` by
+/// central finite differences with step `eps`.
+///
+/// `forward` must evaluate the scalar loss using the *current* value of the
+/// parameter (it is called repeatedly while the parameter is perturbed; the
+/// original value is restored afterwards).
+pub fn finite_diff_grad(param: &Param, forward: &dyn Fn() -> f32, eps: f32) -> Tensor {
+    let original = param.value();
+    let n = original.len();
+    let mut grad = vec![0.0f32; n];
+    for i in 0..n {
+        let mut plus = original.clone();
+        plus.data_mut()[i] += eps;
+        param.set_value(plus);
+        let f_plus = forward();
+
+        let mut minus = original.clone();
+        minus.data_mut()[i] -= eps;
+        param.set_value(minus);
+        let f_minus = forward();
+
+        grad[i] = (f_plus - f_minus) / (2.0 * eps);
+    }
+    param.set_value(original.clone());
+    Tensor::from_vec(grad, original.dims()).expect("finite diff grad shape")
+}
+
+/// Compares an analytic gradient against finite differences and returns the
+/// largest relative error across elements.
+///
+/// The relative error of element `i` is
+/// `|analytic_i − numeric_i| / max(1, |analytic_i|, |numeric_i|)`, which
+/// behaves like an absolute error for small gradients and like a relative
+/// error for large ones.
+pub fn check_param_grad(param: &Param, analytic: &Tensor, forward: &dyn Fn() -> f32, eps: f32) -> f32 {
+    let numeric = finite_diff_grad(param, forward, eps);
+    let mut worst = 0.0f32;
+    for (&a, &n) in analytic.data().iter().zip(numeric.data().iter()) {
+        let denom = 1.0f32.max(a.abs()).max(n.abs());
+        worst = worst.max((a - n).abs() / denom);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    #[test]
+    fn finite_diff_matches_analytic_for_quadratic() {
+        // f(w) = sum(w^2): df/dw = 2w.
+        let w = Param::new(Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]).unwrap(), "w");
+        let forward = {
+            let w = w.clone();
+            move || {
+                let mut tape = Tape::new();
+                let x = tape.param(&w);
+                let sq = tape.square(x);
+                let s = tape.sum(sq);
+                tape.value(s).item()
+            }
+        };
+        let numeric = finite_diff_grad(&w, &forward, 1e-3);
+        let expected = w.value().mul_scalar(2.0);
+        assert!(numeric.approx_eq(&expected, 1e-2));
+    }
+
+    #[test]
+    fn check_param_grad_flags_wrong_gradient() {
+        let w = Param::new(Tensor::from_vec(vec![1.0], &[1]).unwrap(), "w");
+        let forward = {
+            let w = w.clone();
+            move || {
+                let mut tape = Tape::new();
+                let x = tape.param(&w);
+                let sq = tape.square(x);
+                let s = tape.sum(sq);
+                tape.value(s).item()
+            }
+        };
+        let wrong = Tensor::from_vec(vec![5.0], &[1]).unwrap();
+        let err = check_param_grad(&w, &wrong, &forward, 1e-3);
+        assert!(err > 0.5);
+        let right = Tensor::from_vec(vec![2.0], &[1]).unwrap();
+        let err = check_param_grad(&w, &right, &forward, 1e-3);
+        assert!(err < 1e-2);
+    }
+
+    #[test]
+    fn parameter_value_restored_after_check() {
+        let w = Param::new(Tensor::from_vec(vec![0.7, -0.3], &[2]).unwrap(), "w");
+        let before = w.value();
+        let forward = {
+            let w = w.clone();
+            move || w.value().sum_all()
+        };
+        let _ = finite_diff_grad(&w, &forward, 1e-3);
+        assert_eq!(w.value().data(), before.data());
+    }
+}

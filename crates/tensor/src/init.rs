@@ -1,0 +1,99 @@
+//! Random weight initialisation schemes.
+
+use crate::tensor::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Uniform initialisation in `[-limit, limit]`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], limit: f32) -> Tensor {
+    let dist = Uniform::new_inclusive(-limit, limit);
+    let volume: usize = shape.iter().product();
+    let data: Vec<f32> = (0..volume).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(data, shape).expect("volume matches by construction")
+}
+
+/// Kaiming / He uniform initialisation for layers followed by a ReLU.
+///
+/// `fan_in` is the number of input connections per output unit
+/// (`C_in * kernel_size` for a convolution, `in_features` for a linear layer).
+pub fn kaiming_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
+    let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+    uniform(rng, shape, limit)
+}
+
+/// Xavier / Glorot uniform initialisation for linear output layers.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(rng, shape, limit)
+}
+
+/// Standard normal initialisation scaled by `std`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], std: f32) -> Tensor {
+    // Box-Muller transform; avoids needing a separate statistics crate.
+    let volume: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(volume);
+    while data.len() < volume {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < volume {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(data, shape).expect("volume matches by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = uniform(&mut rng, &[100], 0.5);
+        assert!(t.data().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn kaiming_limit_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let wide = kaiming_uniform(&mut rng, &[1000], 4);
+        let narrow = kaiming_uniform(&mut rng, &[1000], 400);
+        assert!(wide.max_all() > narrow.max_all());
+    }
+
+    #[test]
+    fn xavier_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = xavier_uniform(&mut rng, &[8, 4], 4, 8);
+        assert_eq!(t.dims(), &[8, 4]);
+    }
+
+    #[test]
+    fn normal_rough_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = normal(&mut rng, &[10_000], 2.0);
+        let mean = t.mean_all();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_odd_length() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = normal(&mut rng, &[7], 1.0);
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let a = uniform(&mut StdRng::seed_from_u64(42), &[16], 1.0);
+        let b = uniform(&mut StdRng::seed_from_u64(42), &[16], 1.0);
+        assert_eq!(a.data(), b.data());
+    }
+}

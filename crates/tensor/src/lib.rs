@@ -1,0 +1,54 @@
+//! # pit-tensor
+//!
+//! A small, self-contained N-dimensional tensor library with a reverse-mode
+//! automatic-differentiation engine, built as the numerical substrate of the
+//! Pruning-In-Time (PIT) reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`Tensor`] — a dense, row-major, `f32` n-dimensional array with the
+//!   kernels needed by temporal convolutional networks (element-wise
+//!   arithmetic, matrix multiplication, causal dilated 1-D convolution,
+//!   pooling, reductions);
+//! * [`Tape`] and [`Var`] — a define-by-run autograd tape. Every forward
+//!   operation records a node with a backward closure; [`Tape::backward`]
+//!   propagates gradients to every recorded [`Param`];
+//! * [`Param`] — a trainable tensor that persists across training steps and
+//!   accumulates gradients when lifted onto a tape;
+//! * [`grad_check`] — finite-difference gradient checking used throughout the
+//!   test suites of the higher-level crates.
+//!
+//! # Example
+//!
+//! ```
+//! use pit_tensor::{Tape, Tensor, Param};
+//!
+//! // y = sum((a * b) + a), with gradients accumulated into the params.
+//! let a = Param::new(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap(), "a");
+//! let b = Param::new(Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap(), "b");
+//! let mut tape = Tape::new();
+//! let va = tape.param(&a);
+//! let vb = tape.param(&b);
+//! let prod = tape.mul(va, vb);
+//! let s = tape.add(prod, va);
+//! let y = tape.sum(s);
+//! assert_eq!(tape.value(y).item(), (1.0 * 3.0 + 1.0) + (2.0 * 4.0 + 2.0));
+//! tape.backward(y);
+//! assert_eq!(a.grad().data(), &[4.0, 5.0]); // d/da = b + 1
+//! assert_eq!(b.grad().data(), &[1.0, 2.0]); // d/db = a
+//! ```
+
+pub mod error;
+pub mod grad_check;
+pub mod init;
+pub mod ops;
+pub mod param;
+pub mod shape;
+pub mod tape;
+pub mod tensor;
+
+pub use error::{Result, TensorError};
+pub use param::Param;
+pub use shape::Shape;
+pub use tape::{Tape, Var};
+pub use tensor::Tensor;

@@ -1,0 +1,252 @@
+//! Element-wise arithmetic and bias-broadcast operations.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Element-wise addition of two nodes with identical shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self
+            .value(a)
+            .add(self.value(b))
+            .unwrap_or_else(|e| panic!("tape add: {e}"));
+        self.push_binary(a, b, value, |g| (g.clone(), g.clone()))
+    }
+
+    /// Element-wise subtraction `a - b` of two nodes with identical shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self
+            .value(a)
+            .sub(self.value(b))
+            .unwrap_or_else(|e| panic!("tape sub: {e}"));
+        self.push_binary(a, b, value, |g| (g.clone(), g.neg()))
+    }
+
+    /// Element-wise multiplication of two nodes with identical shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let value = av.mul(&bv).unwrap_or_else(|e| panic!("tape mul: {e}"));
+        self.push_binary(a, b, value, move |g| {
+            (
+                g.mul(&bv).expect("mul backward shape"),
+                g.mul(&av).expect("mul backward shape"),
+            )
+        })
+    }
+
+    /// Multiplies every element of `a` by the constant `s`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).mul_scalar(s);
+        self.push_unary(a, value, move |g| g.mul_scalar(s))
+    }
+
+    /// Adds the constant `s` to every element of `a`.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).add_scalar(s);
+        self.push_unary(a, value, |g| g.clone())
+    }
+
+    /// Element-wise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let value = self.value(a).neg();
+        self.push_unary(a, value, |g| g.neg())
+    }
+
+    /// Element-wise absolute value (sub-gradient 0 at 0).
+    pub fn abs(&mut self, a: Var) -> Var {
+        let av = self.value(a).clone();
+        let value = av.abs();
+        self.push_unary(a, value, move |g| {
+            g.zip_map(&av, |gi, xi| gi * xi.signum() * if xi == 0.0 { 0.0 } else { 1.0 })
+                .expect("abs backward shape")
+        })
+    }
+
+    /// Element-wise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let av = self.value(a).clone();
+        let value = av.map(|x| x * x);
+        self.push_unary(a, value, move |g| {
+            g.zip_map(&av, |gi, xi| gi * 2.0 * xi).expect("square backward shape")
+        })
+    }
+
+    /// Adds a per-channel bias `b` of shape `[C]` to a `[N, C, T]` activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 3 or the bias length does not match `C`.
+    pub fn add_bias_channels(&mut self, x: Var, b: Var) -> Var {
+        let xv = self.value(x).clone();
+        let bv = self.value(b).clone();
+        assert_eq!(xv.dims().len(), 3, "add_bias_channels expects [N, C, T]");
+        let (n, c, t) = (xv.dims()[0], xv.dims()[1], xv.dims()[2]);
+        assert_eq!(bv.dims(), [c], "add_bias_channels: bias must have shape [C]");
+        let mut out = xv.clone();
+        for bn in 0..n {
+            for cc in 0..c {
+                let base = (bn * c + cc) * t;
+                let bias = bv.data()[cc];
+                for tt in 0..t {
+                    out.data_mut()[base + tt] += bias;
+                }
+            }
+        }
+        self.push_binary(x, b, out, move |g| {
+            let mut gb = vec![0.0f32; c];
+            for bn in 0..n {
+                for cc in 0..c {
+                    let base = (bn * c + cc) * t;
+                    for tt in 0..t {
+                        gb[cc] += g.data()[base + tt];
+                    }
+                }
+            }
+            (g.clone(), Tensor::from_vec(gb, &[c]).expect("bias grad shape"))
+        })
+    }
+
+    /// Adds a row bias `b` of shape `[F]` to a `[N, F]` activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2 or the bias length does not match `F`.
+    pub fn add_bias_rows(&mut self, x: Var, b: Var) -> Var {
+        let xv = self.value(x).clone();
+        let bv = self.value(b).clone();
+        assert_eq!(xv.dims().len(), 2, "add_bias_rows expects [N, F]");
+        let (n, f) = (xv.dims()[0], xv.dims()[1]);
+        assert_eq!(bv.dims(), [f], "add_bias_rows: bias must have shape [F]");
+        let mut out = xv.clone();
+        for bn in 0..n {
+            for ff in 0..f {
+                out.data_mut()[bn * f + ff] += bv.data()[ff];
+            }
+        }
+        self.push_binary(x, b, out, move |g| {
+            let mut gb = vec![0.0f32; f];
+            for bn in 0..n {
+                for ff in 0..f {
+                    gb[ff] += g.data()[bn * f + ff];
+                }
+            }
+            (g.clone(), Tensor::from_vec(gb, &[f]).expect("bias grad shape"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    fn scalar_param(v: f32) -> Param {
+        Param::new(Tensor::from_vec(vec![v], &[1]).unwrap(), "p")
+    }
+
+    #[test]
+    fn add_sub_gradients() {
+        let a = scalar_param(2.0);
+        let b = scalar_param(5.0);
+        let mut tape = Tape::new();
+        let va = tape.param(&a);
+        let vb = tape.param(&b);
+        let s = tape.sub(va, vb); // a - b
+        let loss = tape.sum(s);
+        tape.backward(loss);
+        assert_eq!(a.grad().data(), &[1.0]);
+        assert_eq!(b.grad().data(), &[-1.0]);
+    }
+
+    #[test]
+    fn mul_gradient() {
+        let a = scalar_param(3.0);
+        let b = scalar_param(4.0);
+        let mut tape = Tape::new();
+        let va = tape.param(&a);
+        let vb = tape.param(&b);
+        let m = tape.mul(va, vb);
+        let loss = tape.sum(m);
+        tape.backward(loss);
+        assert_eq!(a.grad().data(), &[4.0]);
+        assert_eq!(b.grad().data(), &[3.0]);
+    }
+
+    #[test]
+    fn scale_and_add_scalar() {
+        let a = scalar_param(2.0);
+        let mut tape = Tape::new();
+        let va = tape.param(&a);
+        let v = tape.scale(va, 3.0);
+        let v = tape.add_scalar(v, 1.0);
+        assert_eq!(tape.value(v).data(), &[7.0]);
+        let loss = tape.sum(v);
+        tape.backward(loss);
+        assert_eq!(a.grad().data(), &[3.0]);
+    }
+
+    #[test]
+    fn neg_abs_square() {
+        let a = Param::new(Tensor::from_vec(vec![-2.0, 3.0], &[2]).unwrap(), "a");
+        let mut tape = Tape::new();
+        let va = tape.param(&a);
+        let v = tape.abs(va);
+        assert_eq!(tape.value(v).data(), &[2.0, 3.0]);
+        let loss = tape.sum(v);
+        tape.backward(loss);
+        assert_eq!(a.grad().data(), &[-1.0, 1.0]);
+
+        let b = Param::new(Tensor::from_vec(vec![-2.0, 3.0], &[2]).unwrap(), "b");
+        let mut tape = Tape::new();
+        let vb = tape.param(&b);
+        let v = tape.square(vb);
+        let v = tape.neg(v);
+        let loss = tape.sum(v);
+        tape.backward(loss);
+        assert_eq!(b.grad().data(), &[4.0, -6.0]);
+    }
+
+    #[test]
+    fn bias_channels_forward_and_grad() {
+        let x = Param::new(Tensor::zeros(&[2, 2, 3]), "x");
+        let b = Param::new(Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap(), "b");
+        let mut tape = Tape::new();
+        let vx = tape.param(&x);
+        let vb = tape.param(&b);
+        let y = tape.add_bias_channels(vx, vb);
+        assert_eq!(tape.value(y).data()[0..3], [1.0, 1.0, 1.0]);
+        assert_eq!(tape.value(y).data()[3..6], [-1.0, -1.0, -1.0]);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        // Each channel bias receives N * T = 2 * 3 = 6 gradient units.
+        assert_eq!(b.grad().data(), &[6.0, 6.0]);
+        assert_eq!(x.grad().sum_all(), 12.0);
+    }
+
+    #[test]
+    fn bias_rows_forward_and_grad() {
+        let x = Param::new(Tensor::zeros(&[3, 2]), "x");
+        let b = Param::new(Tensor::from_vec(vec![0.5, 1.5], &[2]).unwrap(), "b");
+        let mut tape = Tape::new();
+        let vx = tape.param(&x);
+        let vb = tape.param(&b);
+        let y = tape.add_bias_rows(vx, vb);
+        assert_eq!(tape.value(y).data(), &[0.5, 1.5, 0.5, 1.5, 0.5, 1.5]);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_eq!(b.grad().data(), &[3.0, 3.0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Differentiable operations recorded on a [`crate::Tape`].
+//!
+//! Each submodule adds inherent methods to [`crate::Tape`]:
+//!
+//! * [`arith`] — element-wise arithmetic and bias broadcasting;
+//! * [`matmul`] — dense matrix multiplication;
+//! * [`conv`] — causal dilated 1-D convolution;
+//! * [`activations`] — ReLU, sigmoid, tanh and dropout;
+//! * [`norm`] — batch normalisation over `[N, C, T]`;
+//! * [`pool`] — average pooling and global time pooling;
+//! * [`reduce`] — full reductions to scalars;
+//! * [`shape_ops`] — reshape and flatten;
+//! * [`loss`] — MSE / MAE / binary-cross-entropy losses;
+//! * [`mask`] — the PIT-specific operations: straight-through binarisation,
+//!   the γ → M time-mask transformation and time-axis weight masking.
+
+pub mod activations;
+pub mod arith;
+pub mod conv;
+pub mod loss;
+pub mod mask;
+pub mod matmul;
+pub mod norm;
+pub mod pool;
+pub mod reduce;
+pub mod shape_ops;

@@ -1,0 +1,95 @@
+//! Pooling operations over the time axis.
+
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Average pooling over the time axis of a `[N, C, T]` node.
+    ///
+    /// The output length is `floor((T - kernel) / stride) + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid kernel/stride or rank mismatch.
+    pub fn avg_pool1d(&mut self, x: Var, kernel: usize, stride: usize) -> Var {
+        let xv = self.value(x).clone();
+        let value = xv
+            .avg_pool1d(kernel, stride)
+            .unwrap_or_else(|e| panic!("tape avg_pool1d: {e}"));
+        let in_dims = xv.dims().to_vec();
+        self.push_unary(x, value, move |g| {
+            Tensor::avg_pool1d_grad(g, &in_dims, kernel, stride).expect("avg_pool1d backward")
+        })
+    }
+
+    /// Global average pooling over the time axis: `[N, C, T] -> [N, C]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 3.
+    pub fn global_avg_pool_time(&mut self, x: Var) -> Var {
+        let xv = self.value(x).clone();
+        assert_eq!(xv.dims().len(), 3, "global_avg_pool_time expects [N, C, T]");
+        let (n, c, t) = (xv.dims()[0], xv.dims()[1], xv.dims()[2]);
+        let mut out = vec![0.0f32; n * c];
+        for bn in 0..n {
+            for cc in 0..c {
+                let base = (bn * c + cc) * t;
+                let mut acc = 0.0f32;
+                for tt in 0..t {
+                    acc += xv.data()[base + tt];
+                }
+                out[bn * c + cc] = acc / t as f32;
+            }
+        }
+        let value = Tensor::from_vec(out, &[n, c]).expect("gap shape");
+        self.push_unary(x, value, move |g| {
+            let mut gx = vec![0.0f32; n * c * t];
+            let inv = 1.0 / t as f32;
+            for bn in 0..n {
+                for cc in 0..c {
+                    let base = (bn * c + cc) * t;
+                    let gv = g.data()[bn * c + cc] * inv;
+                    for tt in 0..t {
+                        gx[base + tt] = gv;
+                    }
+                }
+            }
+            Tensor::from_vec(gx, &[n, c, t]).expect("gap backward shape")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    #[test]
+    fn avg_pool_forward_and_grad() {
+        let x = Param::new(
+            Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 4.0, 6.0, 8.0], &[1, 2, 4]).unwrap(),
+            "x",
+        );
+        let mut tape = Tape::new();
+        let vx = tape.param(&x);
+        let y = tape.avg_pool1d(vx, 2, 2);
+        assert_eq!(tape.dims(y), vec![1, 2, 2]);
+        assert_eq!(tape.value(y).data(), &[2.0, 6.0, 3.0, 7.0]);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert!(x.grad().data().iter().all(|&g| (g - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn global_avg_pool_forward_and_grad() {
+        let x = Param::new(Tensor::from_vec(vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0], &[1, 2, 3]).unwrap(), "x");
+        let mut tape = Tape::new();
+        let vx = tape.param(&x);
+        let y = tape.global_avg_pool_time(vx);
+        assert_eq!(tape.value(y).data(), &[2.0, 20.0]);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert!(x.grad().data().iter().all(|&g| (g - 1.0 / 3.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the tensor kernels and autograd operations.
+
+use pit_tensor::{grad_check::check_param_grad, init, Param, Tape, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tensor_from(values: &[f32], shape: &[usize]) -> Tensor {
+    Tensor::from_vec(values.to_vec(), shape).expect("shape matches data")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Element-wise addition is commutative and subtraction is its inverse.
+    #[test]
+    fn add_commutes_and_sub_inverts(values in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+        let len = values.len();
+        let a = tensor_from(&values, &[len]);
+        let b = a.map(|x| x * 0.5 - 1.0);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.approx_eq(&ba, 1e-6));
+        let back = ab.sub(&b).unwrap();
+        prop_assert!(back.approx_eq(&a, 1e-3));
+    }
+
+    /// The causal convolution is linear in its input:
+    /// conv(x1 + x2) == conv(x1) + conv(x2).
+    #[test]
+    fn conv_is_linear_in_input(seed in 0u64..500, dilation in 1usize..4, k in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x1 = init::uniform(&mut rng, &[1, 2, 12], 1.0);
+        let x2 = init::uniform(&mut rng, &[1, 2, 12], 1.0);
+        let w = init::uniform(&mut rng, &[3, 2, k], 1.0);
+        let sum = x1.add(&x2).unwrap();
+        let lhs = sum.conv1d_causal(&w, None, dilation).unwrap();
+        let rhs = x1
+            .conv1d_causal(&w, None, dilation)
+            .unwrap()
+            .add(&x2.conv1d_causal(&w, None, dilation).unwrap())
+            .unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    /// Causality: output at time t never depends on inputs later than t.
+    #[test]
+    fn conv_never_looks_into_the_future(seed in 0u64..500, t_cut in 1usize..11) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = init::uniform(&mut rng, &[1, 1, 12], 1.0);
+        let w = init::uniform(&mut rng, &[1, 1, 3], 1.0);
+        let mut x_mod = x.clone();
+        // Perturb everything at or after t_cut.
+        for t in t_cut..12 {
+            x_mod.data_mut()[t] += 5.0;
+        }
+        let y = x.conv1d_causal(&w, None, 2).unwrap();
+        let y_mod = x_mod.conv1d_causal(&w, None, 2).unwrap();
+        for t in 0..t_cut {
+            prop_assert!((y.data()[t] - y_mod.data()[t]).abs() < 1e-6, "leak at t={}", t);
+        }
+    }
+
+    /// Reshape round-trips and preserves the element sum.
+    #[test]
+    fn reshape_preserves_content(values in proptest::collection::vec(-10.0f32..10.0, 12)) {
+        let a = tensor_from(&values, &[12]);
+        let b = a.reshape(&[3, 4]).unwrap().reshape(&[2, 6]).unwrap().reshape(&[12]).unwrap();
+        prop_assert!(a.approx_eq(&b, 0.0));
+        prop_assert!((a.sum_all() - b.sum_all()).abs() < 1e-6);
+    }
+
+    /// Matmul distributes over addition: A(B + C) == AB + AC.
+    #[test]
+    fn matmul_distributes(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = init::uniform(&mut rng, &[3, 4], 1.0);
+        let b = init::uniform(&mut rng, &[4, 2], 1.0);
+        let c = init::uniform(&mut rng, &[4, 2], 1.0);
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    /// Autograd gradients of a random composite expression agree with finite
+    /// differences.
+    #[test]
+    fn composite_gradients_match_finite_differences(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Param::new(init::uniform(&mut rng, &[6], 1.0), "p");
+        let forward = {
+            let p = p.clone();
+            move || {
+                let mut tape = Tape::new();
+                let x = tape.param(&p);
+                let r = tape.relu(x);
+                let s = tape.sigmoid(x);
+                let prod = tape.mul(r, s);
+                let sq = tape.square(prod);
+                let loss = tape.mean(sq);
+                tape.value(loss).item()
+            }
+        };
+        p.zero_grad();
+        {
+            let mut tape = Tape::new();
+            let x = tape.param(&p);
+            let r = tape.relu(x);
+            let s = tape.sigmoid(x);
+            let prod = tape.mul(r, s);
+            let sq = tape.square(prod);
+            let loss = tape.mean(sq);
+            tape.backward(loss);
+        }
+        let err = check_param_grad(&p, &p.grad(), &forward, 1e-3);
+        prop_assert!(err < 5e-2, "gradient error {}", err);
+    }
+
+    /// Average pooling preserves the global mean when the kernel tiles the
+    /// sequence exactly.
+    #[test]
+    fn avg_pool_preserves_mean(seed in 0u64..500, halves in 1usize..5) {
+        let t = 2 * halves;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = init::uniform(&mut rng, &[1, 1, t], 1.0);
+        let y = x.avg_pool1d(2, 2).unwrap();
+        prop_assert!((x.mean_all() - y.mean_all()).abs() < 1e-5);
+    }
+}

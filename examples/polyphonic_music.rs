@@ -1,0 +1,81 @@
+//! Next-frame prediction on synthetic polyphonic music with a ResTCN seed,
+//! mirroring the Nottingham benchmark of the paper at a laptop-friendly
+//! scale.
+//!
+//! The example runs a small λ sweep of PIT searches from one seed network and
+//! prints the resulting accuracy-vs-size points together with the seed and
+//! hand-tuned references — a miniature version of Fig. 4 (top).
+//!
+//! Run with: `cargo run --release --example polyphonic_music`
+
+use pit::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Scaled-down ResTCN: same 8-layer residual topology and dilation search
+    // space as the paper's seed, fewer channels and keys.
+    let config = ResTcnConfig {
+        input_channels: 16,
+        output_channels: 16,
+        hidden_channels: 12,
+        ..ResTcnConfig::paper()
+    };
+    let generator = NottinghamGenerator::new(NottinghamConfig {
+        num_keys: 16,
+        seq_len: 32,
+        num_sequences: 64,
+        ..NottinghamConfig::paper()
+    });
+    let (train, val, _test) = generator.generate_splits();
+    println!("synthetic Nottingham: {} train / {} val sequences", train.len(), val.len());
+    println!(
+        "dilation search space: {} combinations",
+        SearchSpace::new(config.rf_max_per_layer()).size()
+    );
+
+    // Reference: the hand-tuned dilations of Bai et al.
+    let mut rng = StdRng::seed_from_u64(0);
+    let hand_net = ResTcn::new(&mut rng, &config);
+    hand_net.set_dilations(&config.hand_tuned_dilations());
+    hand_net.freeze_all();
+    let trainer = Trainer::new(TrainConfig { epochs: 8, batch_size: 16, shuffle: true, patience: None, seed: 0 });
+    let mut opt = Adam::new(hand_net.params(), 5e-3);
+    let _ = trainer.train(&hand_net, &train, Some(&val), LossKind::FrameNll, &mut opt);
+    let hand_nll = Trainer::evaluate(&hand_net, &val, LossKind::FrameNll, 16);
+    println!(
+        "hand-tuned ResTCN: {} weights, NLL {:.3}",
+        hand_net.effective_weights(),
+        hand_nll
+    );
+
+    // PIT sweep: three regularisation strengths from one seed.
+    let mut points = Vec::new();
+    for (i, lambda) in [1e-5f32, 1e-3, 1e-2].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(10 + i as u64);
+        let net = ResTcn::new(&mut rng, &config);
+        let outcome = PitSearch::new(PitConfig {
+            lambda,
+            warmup_epochs: 1,
+            search_epochs: 5,
+            finetune_epochs: 2,
+            patience: Some(10),
+            batch_size: 16,
+            learning_rate: 5e-3,
+            gamma_learning_rate: 0.05,
+            seed: 10 + i as u64,
+        })
+        .run(&net, &train, &val, LossKind::FrameNll);
+        println!(
+            "PIT λ={lambda:.0e}: {} weights, NLL {:.3}, dilations {:?}",
+            outcome.effective_params, outcome.val_loss, outcome.dilations
+        );
+        points.push(outcome.to_pareto_point(format!("λ={lambda:.0e}")));
+    }
+
+    let front = pareto_front(&points);
+    println!("\nPareto-optimal PIT architectures:");
+    for p in &front {
+        println!("  {:>8} weights  NLL {:.3}  {}", p.params, p.loss, p.label);
+    }
+}

@@ -1,0 +1,120 @@
+//! Search-quality integration tests: PIT against exhaustive enumeration and
+//! random sampling on a space small enough to know the ground truth.
+
+use pit::baselines::{ExhaustiveSearch, RandomSearch, RandomSearchConfig};
+use pit::baselines::exhaustive::ExhaustiveConfig;
+use pit::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A task whose useful information lives at lag 4 and lag 8: dilations that
+/// cover those lags with few taps should dominate dense filters.
+fn lag_dataset(samples: usize, seq_len: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new();
+    for _ in 0..samples {
+        let x: Vec<f32> = (0..seq_len).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut y = 0.0f32;
+        for t in 0..seq_len {
+            let a = if t >= 4 { x[t - 4] } else { 0.0 };
+            let b = if t >= 8 { x[t - 8] } else { 0.0 };
+            y += x[t] + a - b;
+        }
+        y /= seq_len as f32;
+        ds.push(
+            Tensor::from_vec(x, &[1, seq_len]).unwrap(),
+            Tensor::from_vec(vec![y], &[1]).unwrap(),
+        );
+    }
+    ds
+}
+
+fn tiny_tcn_config() -> GenericTcnConfig {
+    GenericTcnConfig { input_channels: 1, channels: vec![6], rf_max: vec![9], outputs: 1 }
+}
+
+fn make_model(dilations: &[usize], seed: u64) -> (GenericTcn, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = GenericTcn::new(&mut rng, &tiny_tcn_config());
+    net.set_dilations(dilations);
+    let params = net.effective_weights();
+    (net, params)
+}
+
+#[test]
+fn pit_outcome_is_not_dominated_by_random_sampling() {
+    let data = lag_dataset(96, 32, 0);
+    let (train, val) = data.split(0.75);
+
+    // PIT search from the dense seed.
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = GenericTcn::new(&mut rng, &tiny_tcn_config());
+    let outcome = PitSearch::new(PitConfig {
+        lambda: 1e-3,
+        warmup_epochs: 2,
+        search_epochs: 8,
+        finetune_epochs: 3,
+        patience: None,
+        batch_size: 16,
+        learning_rate: 5e-3,
+        gamma_learning_rate: 0.05,
+        seed: 5,
+    })
+    .run(&net, &train, &val, LossKind::Mse);
+    let pit_point = outcome.to_pareto_point("pit");
+
+    // Random baseline with a comparable per-architecture budget.
+    let random = RandomSearch::new(
+        RandomSearchConfig { samples: 4, epochs: 6, batch_size: 16, learning_rate: 5e-3, seed: 9 },
+        SearchSpace::new(vec![9]),
+    );
+    let random_points = random.run(make_model, &train, &val, LossKind::Mse);
+
+    // No random point may strictly dominate the PIT point by a wide margin:
+    // allow a small tolerance on the loss axis because both are stochastic.
+    for p in &random_points {
+        let strictly_smaller = p.params < pit_point.params;
+        let clearly_better = p.loss < pit_point.loss * 0.5;
+        assert!(
+            !(strictly_smaller && clearly_better),
+            "random point {p:?} dominates PIT point {pit_point:?} by a wide margin"
+        );
+    }
+    assert!(pit_point.loss.is_finite());
+}
+
+#[test]
+fn exhaustive_front_contains_dominating_architectures() {
+    let data = lag_dataset(48, 32, 1);
+    let (train, val) = data.split(0.75);
+    let search = ExhaustiveSearch::new(
+        ExhaustiveConfig { epochs: 3, batch_size: 16, learning_rate: 5e-3, max_architectures: 8, seed: 0 },
+        SearchSpace::new(vec![9]),
+    );
+    let (points, front) = search.run(make_model, &train, &val, LossKind::Mse);
+    assert_eq!(points.len(), 4); // dilations 1, 2, 4, 8
+    assert!(!front.is_empty());
+    // Every point not on the front is dominated by some front point.
+    for p in &points {
+        let on_front = front.iter().any(|f| f.params == p.params && f.loss == p.loss);
+        if !on_front {
+            assert!(front.iter().any(|f| f.dominates(p)), "point {p:?} is neither on the front nor dominated");
+        }
+    }
+}
+
+#[test]
+fn pareto_front_of_mixed_tools_is_consistent() {
+    // Combine points from PIT-style and random-style labels and check the
+    // front extraction is stable and sorted.
+    let points = vec![
+        ParetoPoint::new(100, 1.0, vec![8], "pit"),
+        ParetoPoint::new(300, 0.5, vec![2], "pit"),
+        ParetoPoint::new(200, 0.8, vec![4], "random"),
+        ParetoPoint::new(400, 0.9, vec![1], "random"),
+    ];
+    let front = pareto_front(&points);
+    let params: Vec<usize> = front.iter().map(|p| p.params).collect();
+    assert_eq!(params, vec![100, 200, 300]);
+    assert!(front.windows(2).all(|w| w[0].params <= w[1].params));
+}

@@ -1,0 +1,151 @@
+//! Property-based tests over the core invariants of the stack.
+
+use pit::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The PIT mask always encodes a *regular* power-of-two dilation: the
+    /// alive taps are exactly the multiples of the layer's dilation, for any
+    /// gamma values and any receptive field.
+    #[test]
+    fn mask_always_encodes_regular_dilation(
+        rf_exp in 1usize..6,
+        gammas in proptest::collection::vec(0.0f32..1.0, 5),
+    ) {
+        let rf_max = (1usize << rf_exp) + 1; // 3, 5, 9, 17, 33
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = PitConv1d::new(&mut rng, 1, 1, rf_max, "prop");
+        let l = conv.gamma_count();
+        let tail: Vec<f32> = gammas.iter().take(l - 1).copied().collect();
+        prop_assume!(tail.len() == l - 1);
+        conv.gamma_param().set_value(Tensor::from_vec(tail, &[l - 1]).unwrap());
+
+        let d = conv.dilation();
+        prop_assert!(d.is_power_of_two());
+        let mut tape = Tape::new();
+        let mask = conv.mask(&mut tape);
+        let m = tape.value(mask).data().to_vec();
+        prop_assert_eq!(m.len(), rf_max);
+        for (i, &v) in m.iter().enumerate() {
+            let expected = if i % d == 0 { 1.0 } else { 0.0 };
+            prop_assert_eq!(v, expected, "tap {} with dilation {}", i, d);
+        }
+        prop_assert_eq!(m.iter().filter(|&&v| v == 1.0).count(), conv.alive_taps());
+    }
+
+    /// Masked dense convolution == true dilated convolution on the exported
+    /// pruned weights, for any dilation of the search space.
+    #[test]
+    fn masked_conv_equals_dilated_conv(
+        choice in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let rf_max = 9usize;
+        let d = 1usize << choice;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv = PitConv1d::new(&mut rng, 2, 3, rf_max, "prop-eq");
+        conv.set_dilation(d);
+        let x = pit::tensor::init::uniform(&mut rng, &[1, 2, 24], 1.0);
+
+        let mut tape = Tape::new();
+        let vx = tape.constant(x.clone());
+        let masked = conv.forward(&mut tape, vx, Mode::Eval);
+        let dilated = x
+            .conv1d_causal(&conv.export_pruned_weight(), Some(&conv.bias_param().value()), d)
+            .unwrap();
+        prop_assert!(tape.value(masked).approx_eq(&dilated, 1e-4));
+    }
+
+    /// The effective weight count reported by a searchable network is
+    /// monotonically non-increasing in every layer's dilation.
+    #[test]
+    fn effective_weights_decrease_with_dilation(choices in proptest::collection::vec(0usize..4, 2)) {
+        let cfg = GenericTcnConfig { input_channels: 1, channels: vec![4, 4], rf_max: vec![9, 9], outputs: 1 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = GenericTcn::new(&mut rng, &cfg);
+        let dense = net.effective_weights();
+        let dilations: Vec<usize> = choices.iter().map(|&c| 1usize << c).collect();
+        net.set_dilations(&dilations);
+        prop_assert!(net.effective_weights() <= dense);
+        // Round-trip: the dilations read back are the ones set.
+        prop_assert_eq!(net.dilations(), dilations);
+    }
+
+    /// int8 quantization round-trip error is bounded by half a quantization
+    /// step for every element.
+    #[test]
+    fn quantization_error_is_bounded(values in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+        let len = values.len();
+        let t = Tensor::from_vec(values, &[len]).unwrap();
+        let q = pit::hw::quantize_symmetric(&t);
+        let back = q.dequantize();
+        prop_assert!(t.max_abs_diff(&back) <= q.scale / 2.0 + 1e-6);
+    }
+
+    /// The GAP8 cost model is monotone: adding MACs to a convolution never
+    /// reduces its latency or energy.
+    #[test]
+    fn gap8_cost_is_monotone_in_macs(
+        c_small in 1usize..32,
+        extra in 1usize..32,
+        kernel in 1usize..16,
+        t in 8usize..128,
+    ) {
+        use pit::models::LayerDesc;
+        let dep = Deployment::new(Gap8Config::paper());
+        let small = dep.layer_cost(&LayerDesc::Conv1d {
+            c_in: c_small, c_out: c_small, kernel, dilation: 1, t_in: t, t_out: t,
+        });
+        let large = dep.layer_cost(&LayerDesc::Conv1d {
+            c_in: c_small + extra, c_out: c_small + extra, kernel, dilation: 1, t_in: t, t_out: t,
+        });
+        prop_assert!(large.latency_s >= small.latency_s);
+        prop_assert!(large.energy_j >= small.energy_j);
+    }
+
+    /// Pareto-front extraction never returns a dominated point and never
+    /// loses a non-dominated one.
+    #[test]
+    fn pareto_front_is_exactly_the_non_dominated_set(
+        raw in proptest::collection::vec((1usize..10_000, 0.01f32..10.0), 1..40)
+    ) {
+        let points: Vec<ParetoPoint> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(params, loss))| ParetoPoint::new(params, loss, vec![1], format!("p{i}")))
+            .collect();
+        let front = pareto_front(&points);
+        // No front point is dominated by any original point.
+        for f in &front {
+            prop_assert!(!points.iter().any(|p| p.dominates(f)));
+        }
+        // Every non-dominated original point appears on the front.
+        for p in &points {
+            if !points.iter().any(|q| q.dominates(p)) {
+                prop_assert!(front.iter().any(|f| f.params == p.params && f.loss == p.loss));
+            }
+        }
+    }
+
+    /// The dilation search space size equals the product of per-layer choices
+    /// and enumeration (when allowed) produces exactly that many unique combos.
+    #[test]
+    fn search_space_size_matches_enumeration(rfs in proptest::collection::vec(2usize..18, 1..4)) {
+        let space = SearchSpace::new(rfs);
+        let size = space.size();
+        if size <= 64 {
+            let combos = space.enumerate(64);
+            prop_assert_eq!(combos.len() as u128, size);
+            let mut unique = combos.clone();
+            unique.sort();
+            unique.dedup();
+            prop_assert_eq!(unique.len(), combos.len());
+        } else {
+            prop_assert!(space.log10_size() > 1.0);
+        }
+    }
+}
