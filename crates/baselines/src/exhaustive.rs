@@ -27,7 +27,13 @@ pub struct ExhaustiveConfig {
 
 impl Default for ExhaustiveConfig {
     fn default() -> Self {
-        Self { epochs: 3, batch_size: 32, learning_rate: 1e-3, max_architectures: 128, seed: 0 }
+        Self {
+            epochs: 3,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            max_architectures: 128,
+            seed: 0,
+        }
     }
 }
 
@@ -74,7 +80,12 @@ impl ExhaustiveSearch {
             let mut opt = Adam::new(model.params(), self.config.learning_rate);
             let _ = trainer.train(&model, train, Some(val), loss, &mut opt);
             let val_loss = Trainer::evaluate(&model, val, loss, self.config.batch_size);
-            points.push(ParetoPoint::new(params, val_loss, dilations.clone(), format!("exhaustive-{i}")));
+            points.push(ParetoPoint::new(
+                params,
+                val_loss,
+                dilations.clone(),
+                format!("exhaustive-{i}"),
+            ));
         }
         let front = pareto_front(&points);
         (points, front)
@@ -94,7 +105,11 @@ mod tests {
     fn enumerates_and_ranks_a_tiny_space() {
         let space = SearchSpace::new(vec![9]); // 4 architectures
         let search = ExhaustiveSearch::new(
-            ExhaustiveConfig { epochs: 1, batch_size: 8, ..ExhaustiveConfig::default() },
+            ExhaustiveConfig {
+                epochs: 1,
+                batch_size: 8,
+                ..ExhaustiveConfig::default()
+            },
             space,
         );
         let mut rng = StdRng::seed_from_u64(0);
@@ -102,13 +117,21 @@ mod tests {
         for _ in 0..16 {
             let x: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
             let y = x.iter().sum::<f32>() / 16.0;
-            ds.push(Tensor::from_vec(x, &[1, 16]).unwrap(), Tensor::from_vec(vec![y], &[1]).unwrap());
+            ds.push(
+                Tensor::from_vec(x, &[1, 16]).unwrap(),
+                Tensor::from_vec(vec![y], &[1]).unwrap(),
+            );
         }
         let (train, val) = ds.split(0.75);
         let (points, front) = search.run(
             |dilations, seed| {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let cfg = GenericTcnConfig { channels: vec![4], rf_max: vec![9], input_channels: 1, outputs: 1 };
+                let cfg = GenericTcnConfig {
+                    channels: vec![4],
+                    rf_max: vec![9],
+                    input_channels: 1,
+                    outputs: 1,
+                };
                 let net = GenericTcn::new(&mut rng, &cfg);
                 net.set_dilations(dilations);
                 let p = net.effective_weights();

@@ -19,5 +19,7 @@ pub mod proxyless;
 pub mod random_search;
 
 pub use exhaustive::ExhaustiveSearch;
-pub use proxyless::{ProxylessConfig, ProxylessOutcome, ProxylessSearch, ProxylessSupernet, SupernetLayerSpec};
+pub use proxyless::{
+    ProxylessConfig, ProxylessOutcome, ProxylessSearch, ProxylessSupernet, SupernetLayerSpec,
+};
 pub use random_search::{RandomSearch, RandomSearchConfig};

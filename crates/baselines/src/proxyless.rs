@@ -20,7 +20,7 @@
 //! than a plain training — which is exactly the training-time gap Fig. 5 of
 //! the paper reports.
 
-use pit_models::{TempoNetConfig, LayerDesc, NetworkDescriptor};
+use pit_models::{LayerDesc, NetworkDescriptor, TempoNetConfig};
 use pit_nas::pareto::ParetoPoint;
 use pit_nn::layers::{AvgPool1d, BatchNorm1d, CausalConv1d, Linear};
 use pit_nn::{Adam, Dataset, Layer, LossKind, Mode, Optimizer, Trainer};
@@ -159,7 +159,10 @@ impl ProxylessSupernet {
     /// Panics if the configuration has no layers or an input length that is
     /// not divisible by the total pooling factor.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, config: &ProxylessConfig) -> Self {
-        assert!(!config.layers.is_empty(), "supernet needs at least one layer");
+        assert!(
+            !config.layers.is_empty(),
+            "supernet needs at least one layer"
+        );
         let pools = config.layers.iter().filter(|l| l.pool_after).count();
         let pool_factor = 1usize << pools;
         assert_eq!(
@@ -304,10 +307,19 @@ impl ProxylessSupernet {
                 t_in: t,
                 t_out: t,
             });
-            d.push(LayerDesc::BatchNorm { channels: conv.out_channels(), t });
+            d.push(LayerDesc::BatchNorm {
+                channels: conv.out_channels(),
+                t,
+            });
             if layer.pool.is_some() {
                 let t_out = (t - 2) / 2 + 1;
-                d.push(LayerDesc::AvgPool { channels: conv.out_channels(), kernel: 2, stride: 2, t_in: t, t_out });
+                d.push(LayerDesc::AvgPool {
+                    channels: conv.out_channels(),
+                    kernel: 2,
+                    stride: 2,
+                    t_in: t,
+                    t_out,
+                });
                 t = t_out;
             }
         }
@@ -422,7 +434,8 @@ impl ProxylessSearch {
                 let vx = vtape.constant(vb.inputs.clone());
                 let vpred = supernet.forward_path(&mut vtape, vx, &arch_path, Mode::Eval);
                 let vl = loss.apply(&mut vtape, vpred, &vb.targets);
-                let size_term = cfg.size_weight * supernet.path_weights(&arch_path) as f32 / max_size.max(1.0);
+                let size_term =
+                    cfg.size_weight * supernet.path_weights(&arch_path) as f32 / max_size.max(1.0);
                 let cost = vtape.value(vl).item() + size_term;
                 if !baseline_initialised {
                     baseline = cost;
@@ -445,7 +458,10 @@ impl ProxylessSearch {
         // Select the most likely path, optionally fine-tune it, and evaluate.
         let best_path = supernet.argmax_path();
         if cfg.finetune_epochs > 0 {
-            let model = PathModel { supernet, path: best_path.clone() };
+            let model = PathModel {
+                supernet,
+                path: best_path.clone(),
+            };
             let trainer = Trainer::new(pit_nn::TrainConfig {
                 epochs: cfg.finetune_epochs,
                 batch_size: cfg.batch_size,
@@ -456,7 +472,10 @@ impl ProxylessSearch {
             let mut fopt = Adam::new(model.params(), cfg.learning_rate);
             let _ = trainer.train(&model, train, Some(val), loss, &mut fopt);
         }
-        let model = PathModel { supernet, path: best_path.clone() };
+        let model = PathModel {
+            supernet,
+            path: best_path.clone(),
+        };
         let val_loss = Trainer::evaluate(&model, val, loss, cfg.batch_size);
 
         ProxylessOutcome {
@@ -479,8 +498,16 @@ mod tests {
         ProxylessConfig {
             input_channels: 1,
             layers: vec![
-                SupernetLayerSpec { out_channels: 4, rf_max: 9, pool_after: true },
-                SupernetLayerSpec { out_channels: 4, rf_max: 9, pool_after: true },
+                SupernetLayerSpec {
+                    out_channels: 4,
+                    rf_max: 9,
+                    pool_after: true,
+                },
+                SupernetLayerSpec {
+                    out_channels: 4,
+                    rf_max: 9,
+                    pool_after: true,
+                },
             ],
             fc_hidden: 4,
             input_length: 32,
@@ -556,7 +583,11 @@ mod tests {
         let (train, val) = data.split(0.75);
         // Huge size weight: the reward is dominated by the size term, so the
         // search must converge towards the maximum-dilation (smallest) path.
-        let cfg = ProxylessConfig { size_weight: 50.0, epochs: 6, ..tiny_config() };
+        let cfg = ProxylessConfig {
+            size_weight: 50.0,
+            epochs: 6,
+            ..tiny_config()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let mut supernet = ProxylessSupernet::new(&mut rng, &cfg);
         let outcome = ProxylessSearch::new(cfg).run(&mut supernet, &train, &val, LossKind::Mse);
@@ -565,7 +596,11 @@ mod tests {
         assert_eq!(outcome.dilations.len(), 2);
         // Under dominant size pressure the search must land on a heavily
         // dilated (small) path — well below the dense dilation-1 path.
-        assert!(outcome.dilations.iter().all(|&d| d >= 4), "expected large dilations, got {:?}", outcome.dilations);
+        assert!(
+            outcome.dilations.iter().all(|&d| d >= 4),
+            "expected large dilations, got {:?}",
+            outcome.dilations
+        );
         assert!(outcome.params < supernet.path_weights(&[0, 0]));
         let point = outcome.to_pareto_point("proxyless");
         assert_eq!(point.params, outcome.params);

@@ -24,7 +24,13 @@ pub struct RandomSearchConfig {
 
 impl Default for RandomSearchConfig {
     fn default() -> Self {
-        Self { samples: 8, epochs: 5, batch_size: 32, learning_rate: 1e-3, seed: 0 }
+        Self {
+            samples: 8,
+            epochs: 5,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -86,7 +92,12 @@ impl RandomSearch {
             let mut opt = Adam::new(model.params(), self.config.learning_rate);
             let _ = trainer.train(&model, train, Some(val), loss, &mut opt);
             let val_loss = Trainer::evaluate(&model, val, loss, self.config.batch_size);
-            points.push(ParetoPoint::new(params, val_loss, dilations, format!("random-{s}")));
+            points.push(ParetoPoint::new(
+                params,
+                val_loss,
+                dilations,
+                format!("random-{s}"),
+            ));
         }
         points
     }
@@ -105,7 +116,10 @@ mod tests {
         for _ in 0..n {
             let x: Vec<f32> = (0..t).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
             let y: f32 = x.iter().sum::<f32>() / t as f32;
-            ds.push(Tensor::from_vec(x, &[1, t]).unwrap(), Tensor::from_vec(vec![y], &[1]).unwrap());
+            ds.push(
+                Tensor::from_vec(x, &[1, t]).unwrap(),
+                Tensor::from_vec(vec![y], &[1]).unwrap(),
+            );
         }
         ds
     }
@@ -126,7 +140,13 @@ mod tests {
     #[test]
     fn run_produces_one_point_per_sample() {
         let space = SearchSpace::new(vec![9, 17]);
-        let config = RandomSearchConfig { samples: 3, epochs: 1, batch_size: 8, learning_rate: 0.01, seed: 0 };
+        let config = RandomSearchConfig {
+            samples: 3,
+            epochs: 1,
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: 0,
+        };
         let search = RandomSearch::new(config, space);
         let data = toy_dataset(24, 32, 0);
         let (train, val) = data.split(0.75);

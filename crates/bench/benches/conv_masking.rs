@@ -24,22 +24,30 @@ fn bench_conv_masking(c: &mut Criterion) {
         let alive = (rf_max - 1) / dilation + 1;
         let dilated = CausalConv1d::new(&mut rng, 16, 16, alive, dilation);
 
-        group.bench_with_input(BenchmarkId::new("masked_dense", dilation), &dilation, |b, _| {
-            b.iter(|| {
-                let mut tape = Tape::new();
-                let vx = tape.constant(x.clone());
-                let y = masked.forward(&mut tape, vx, Mode::Eval);
-                std::hint::black_box(tape.value(y).sum_all())
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("true_dilated", dilation), &dilation, |b, _| {
-            b.iter(|| {
-                let mut tape = Tape::new();
-                let vx = tape.constant(x.clone());
-                let y = dilated.forward(&mut tape, vx, Mode::Eval);
-                std::hint::black_box(tape.value(y).sum_all())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("masked_dense", dilation),
+            &dilation,
+            |b, _| {
+                b.iter(|| {
+                    let mut tape = Tape::new();
+                    let vx = tape.constant(x.clone());
+                    let y = masked.forward(&mut tape, vx, Mode::Eval);
+                    std::hint::black_box(tape.value(y).sum_all())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("true_dilated", dilation),
+            &dilation,
+            |b, _| {
+                b.iter(|| {
+                    let mut tape = Tape::new();
+                    let vx = tape.constant(x.clone());
+                    let y = dilated.forward(&mut tape, vx, Mode::Eval);
+                    std::hint::black_box(tape.value(y).sum_all())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -4,9 +4,9 @@
 //! training step of the deployed (dilated) network.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pit_baselines::{ProxylessConfig, ProxylessSupernet};
 use pit_bench::experiments::{build_benchmark, build_network, pit_config, temponet_config};
 use pit_bench::{ExperimentScale, SeedKind};
-use pit_baselines::{ProxylessConfig, ProxylessSupernet};
 use pit_models::TempoNet;
 use pit_nas::{SearchableNetwork, SizeRegularizer};
 use pit_nn::{Adam, Layer, LossKind, Mode, Optimizer, Trainer};
@@ -17,7 +17,9 @@ use rand::SeedableRng;
 fn bench_search_cost(c: &mut Criterion) {
     let scale = ExperimentScale::quick();
     let bench_data = build_benchmark(SeedKind::TempoNet, &scale);
-    let batch = bench_data.train.gather(&(0..scale.batch_size.min(bench_data.train.len())).collect::<Vec<_>>());
+    let batch = bench_data
+        .train
+        .gather(&(0..scale.batch_size.min(bench_data.train.len())).collect::<Vec<_>>());
 
     let mut group = c.benchmark_group("fig5_step_cost");
     group.sample_size(20);
@@ -69,7 +71,12 @@ fn bench_search_cost(c: &mut Criterion) {
     let mut plain_opt = Adam::new(concrete.params(), scale.learning_rate);
     group.bench_function("plain_training_step", |b| {
         b.iter(|| {
-            std::hint::black_box(Trainer::train_step(&concrete, &batch, LossKind::Mae, &mut plain_opt));
+            std::hint::black_box(Trainer::train_step(
+                &concrete,
+                &batch,
+                LossKind::Mae,
+                &mut plain_opt,
+            ));
         })
     });
 

@@ -23,8 +23,15 @@ fn main() {
         &["warmup epochs", "# params", "MAE", "dilations"],
     );
     for (i, &warmup) in warmups.iter().enumerate() {
-        let net = build_network(SeedKind::TempoNet, &scale, scale.seed.wrapping_add(300 + i as u64));
-        let cfg = PitConfig { seed: scale.seed.wrapping_add(300 + i as u64), ..pit_config(&scale, lambda, warmup) };
+        let net = build_network(
+            SeedKind::TempoNet,
+            &scale,
+            scale.seed.wrapping_add(300 + i as u64),
+        );
+        let cfg = PitConfig {
+            seed: scale.seed.wrapping_add(300 + i as u64),
+            ..pit_config(&scale, lambda, warmup)
+        };
         let outcome = PitSearch::new(cfg).run(&net, &bench.train, &bench.val, bench.loss);
         table.row(&[
             warmup.to_string(),

@@ -8,7 +8,7 @@ use pit_hw::{Deployment, Gap8Config};
 use pit_models::{NetworkDescriptor, ResTcn, ResTcnConfig, TempoNet, TempoNetConfig};
 use pit_nas::pareto::{pareto_front, pick_small_medium_large, ParetoPoint};
 use pit_nas::{PitConfig, PitConv1d, PitOutcome, PitSearch, SearchSpace, SearchableNetwork};
-use pit_nn::{Adam, Dataset, Layer, LossKind, Mode, Trainer, TrainConfig};
+use pit_nn::{Adam, Dataset, Layer, LossKind, Mode, TrainConfig, Trainer};
 use pit_tensor::{Param, Tape, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -107,7 +107,13 @@ pub fn build_benchmark(kind: SeedKind, scale: &ExperimentScale) -> Benchmark {
                 ..NottinghamConfig::paper()
             });
             let (train, val, test) = gen.generate_splits();
-            Benchmark { kind, train, val, test, loss: LossKind::FrameNll }
+            Benchmark {
+                kind,
+                train,
+                val,
+                test,
+                loss: LossKind::FrameNll,
+            }
         }
         SeedKind::TempoNet => {
             let gen = PpgDaliaGenerator::new(PpgDaliaConfig {
@@ -117,7 +123,13 @@ pub fn build_benchmark(kind: SeedKind, scale: &ExperimentScale) -> Benchmark {
                 ..PpgDaliaConfig::paper()
             });
             let (train, val, test) = gen.generate_splits();
-            Benchmark { kind, train, val, test, loss: LossKind::Mae }
+            Benchmark {
+                kind,
+                train,
+                val,
+                test,
+                loss: LossKind::Mae,
+            }
         }
     }
 }
@@ -127,7 +139,9 @@ pub fn build_network(kind: SeedKind, scale: &ExperimentScale, seed: u64) -> Seed
     let mut rng = StdRng::seed_from_u64(seed);
     match kind {
         SeedKind::ResTcn => SeedNetwork::ResTcn(ResTcn::new(&mut rng, &restcn_config(scale))),
-        SeedKind::TempoNet => SeedNetwork::TempoNet(TempoNet::new(&mut rng, &temponet_config(scale))),
+        SeedKind::TempoNet => {
+            SeedNetwork::TempoNet(TempoNet::new(&mut rng, &temponet_config(scale)))
+        }
     }
 }
 
@@ -209,7 +223,10 @@ pub fn train_reference(
     let _ = trainer.train(&net, &bench.train, Some(&bench.val), bench.loss, &mut opt);
     let elapsed = start.elapsed();
     let loss = Trainer::evaluate(&net, &bench.val, bench.loss, scale.batch_size);
-    (ParetoPoint::new(net.effective_weights(), loss, dilations.to_vec(), label), elapsed)
+    (
+        ParetoPoint::new(net.effective_weights(), loss, dilations.to_vec(), label),
+        elapsed,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -238,7 +255,11 @@ impl Fig4Result {
     /// Selects the small / medium / large representatives used by
     /// Tables I–III (medium = closest in size to the hand-tuned network).
     pub fn small_medium_large(&self) -> Option<(ParetoPoint, ParetoPoint, ParetoPoint)> {
-        let candidates = if self.front.is_empty() { &self.pit_points } else { &self.front };
+        let candidates = if self.front.is_empty() {
+            &self.pit_points
+        } else {
+            &self.front
+        };
         pick_small_medium_large(candidates, self.hand_point.params)
     }
 }
@@ -262,9 +283,14 @@ pub fn fig4(kind: SeedKind, scale: &ExperimentScale) -> Fig4Result {
     let mut pit_points = Vec::with_capacity(scale.exploration_runs());
     for (i, &lambda) in scale.lambdas.iter().enumerate() {
         for (j, &warmup) in scale.warmups.iter().enumerate() {
-            let run_seed = scale.seed.wrapping_add((i * scale.warmups.len() + j) as u64 + 1);
+            let run_seed = scale
+                .seed
+                .wrapping_add((i * scale.warmups.len() + j) as u64 + 1);
             let net = build_network(kind, scale, run_seed);
-            let cfg = PitConfig { seed: run_seed, ..pit_config(scale, lambda, warmup) };
+            let cfg = PitConfig {
+                seed: run_seed,
+                ..pit_config(scale, lambda, warmup)
+            };
             let outcome = PitSearch::new(cfg).run(&net, &bench.train, &bench.val, bench.loss);
             pit_points.push(outcome.to_pareto_point(format!("λ={lambda:.0e}, wu={warmup}")));
             outcomes.push(outcome);
@@ -306,7 +332,10 @@ pub fn fig4_table(result: &Fig4Result) -> Table {
     push(&result.seed_point, false);
     push(&result.hand_point, false);
     for p in &result.pit_points {
-        let on_front = result.front.iter().any(|f| f.params == p.params && f.loss == p.loss);
+        let on_front = result
+            .front
+            .iter()
+            .any(|f| f.params == p.params && f.loss == p.loss);
         push(p, on_front);
     }
     table
@@ -371,10 +400,20 @@ pub fn table2(scale: &ExperimentScale) -> Table {
     let bench = build_benchmark(SeedKind::TempoNet, scale);
     let mut table = Table::new(
         "Table II — PIT vs ProxylessNAS (TEMPONet seed, PPG-Dalia)",
-        &["size", "ProxylessNAS # weights", "ProxylessNAS MAE", "PIT # weights", "PIT MAE"],
+        &[
+            "size",
+            "ProxylessNAS # weights",
+            "ProxylessNAS MAE",
+            "PIT # weights",
+            "PIT MAE",
+        ],
     );
     // Three target sizes: aggressive, moderate and no size pressure.
-    let targets: [(&str, f32, f32); 3] = [("small", 3e-2, 1.0), ("medium", 1e-3, 0.05), ("large", 0.0, 0.0)];
+    let targets: [(&str, f32, f32); 3] = [
+        ("small", 3e-2, 1.0),
+        ("medium", 1e-3, 0.05),
+        ("large", 0.0, 0.0),
+    ];
     for (i, (name, lambda, size_weight)) in targets.into_iter().enumerate() {
         let run_seed = scale.seed.wrapping_add(90 + i as u64);
         let proxy = run_proxyless(scale, size_weight, run_seed);
@@ -425,14 +464,20 @@ pub struct SearchCostRow {
 pub fn fig5(scale: &ExperimentScale) -> (Vec<SearchCostRow>, Table) {
     let bench = build_benchmark(SeedKind::TempoNet, scale);
     let cfg = temponet_config(scale);
-    let targets: [(&'static str, f32, f32); 3] =
-        [("small", 3e-2, 1.0), ("medium", 1e-3, 0.05), ("large", 0.0, 0.0)];
+    let targets: [(&'static str, f32, f32); 3] = [
+        ("small", 3e-2, 1.0),
+        ("medium", 1e-3, 0.05),
+        ("large", 0.0, 0.0),
+    ];
     let mut rows = Vec::with_capacity(3);
     for (i, (name, lambda, size_weight)) in targets.into_iter().enumerate() {
         // PIT search.
         let run_seed = scale.seed.wrapping_add(200 + i as u64);
         let net = build_network(SeedKind::TempoNet, scale, run_seed);
-        let pit_cfg = PitConfig { seed: run_seed, ..pit_config(scale, lambda, scale.warmup_epochs) };
+        let pit_cfg = PitConfig {
+            seed: run_seed,
+            ..pit_config(scale, lambda, scale.warmup_epochs)
+        };
         let pit_start = Instant::now();
         let outcome = PitSearch::new(pit_cfg).run(&net, &bench.train, &bench.val, bench.loss);
         let pit_time = pit_start.elapsed();
@@ -455,15 +500,33 @@ pub fn fig5(scale: &ExperimentScale) -> (Vec<SearchCostRow>, Table) {
             seed: run_seed,
         });
         let mut opt = Adam::new(concrete.params(), scale.learning_rate);
-        let _ = trainer.train(&concrete, &bench.train, Some(&bench.val), bench.loss, &mut opt);
+        let _ = trainer.train(
+            &concrete,
+            &bench.train,
+            Some(&bench.val),
+            bench.loss,
+            &mut opt,
+        );
         let plain_time = plain_start.elapsed();
 
-        rows.push(SearchCostRow { target: name, pit: pit_time, proxyless: proxy_time, plain_training: plain_time });
+        rows.push(SearchCostRow {
+            target: name,
+            pit: pit_time,
+            proxyless: proxy_time,
+            plain_training: plain_time,
+        });
     }
 
     let mut table = Table::new(
         "Fig. 5 — search time (TEMPONet seed, PPG-Dalia)",
-        &["target", "PIT [s]", "ProxylessNAS [s]", "plain training [s]", "Proxyless / PIT", "PIT / plain"],
+        &[
+            "target",
+            "PIT [s]",
+            "ProxylessNAS [s]",
+            "plain training [s]",
+            "Proxyless / PIT",
+            "PIT / plain",
+        ],
     );
     for row in &rows {
         table.row(&[
@@ -471,8 +534,14 @@ pub fn fig5(scale: &ExperimentScale) -> (Vec<SearchCostRow>, Table) {
             format!("{:.1}", row.pit.as_secs_f64()),
             format!("{:.1}", row.proxyless.as_secs_f64()),
             format!("{:.1}", row.plain_training.as_secs_f64()),
-            format!("{:.1}x", row.proxyless.as_secs_f64() / row.pit.as_secs_f64().max(1e-9)),
-            format!("{:.1}x", row.pit.as_secs_f64() / row.plain_training.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                row.proxyless.as_secs_f64() / row.pit.as_secs_f64().max(1e-9)
+            ),
+            format!(
+                "{:.1}x",
+                row.pit.as_secs_f64() / row.plain_training.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     (rows, table)
@@ -494,7 +563,14 @@ pub fn table3(result: &Fig4Result, scale: &ExperimentScale) -> Table {
     let metric = result.kind.metric();
     let mut table = Table::new(
         format!("Table III — GAP8 deployment ({})", result.kind.name()),
-        &["network", "# weights", metric, "latency [ms]", "energy [mJ]", "fits L2"],
+        &[
+            "network",
+            "# weights",
+            metric,
+            "latency [ms]",
+            "energy [mJ]",
+            "fits L2",
+        ],
     );
     let mut push = |name: String, dilations: &[usize], loss: f32| {
         let desc = paper_descriptor(result.kind, dilations);
@@ -505,11 +581,19 @@ pub fn table3(result: &Fig4Result, scale: &ExperimentScale) -> Table {
             format!("{loss:.4}"),
             format!("{:.1}", report.latency_ms),
             format!("{:.1}", report.energy_mj),
-            if report.fits_in_l2 { "yes".into() } else { "no".into() },
+            if report.fits_in_l2 {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     };
     let seed_dils = vec![1usize; result.seed_point.dilations.len()];
-    push(format!("{} dil=1", result.kind.name()), &seed_dils, result.seed_point.loss);
+    push(
+        format!("{} dil=1", result.kind.name()),
+        &seed_dils,
+        result.seed_point.loss,
+    );
     push(
         format!("{} dil=hand-tuned", result.kind.name()),
         &hand_tuned_dilations(result.kind, scale),
@@ -517,7 +601,11 @@ pub fn table3(result: &Fig4Result, scale: &ExperimentScale) -> Table {
     );
     if let Some((small, medium, large)) = result.small_medium_large() {
         for (name, p) in [("s.", small), ("m.", medium), ("l.", large)] {
-            push(format!("PIT {} {}", result.kind.name(), name), &p.dilations, p.loss);
+            push(
+                format!("PIT {} {}", result.kind.name(), name),
+                &p.dilations,
+                p.loss,
+            );
         }
     }
     table
@@ -566,7 +654,10 @@ mod tests {
     fn paper_descriptor_and_params_track_dilations() {
         let hand = TempoNetConfig::paper().hand_tuned_dilations();
         let seed = vec![1usize; 7];
-        assert!(paper_scale_params(SeedKind::TempoNet, &hand) < paper_scale_params(SeedKind::TempoNet, &seed));
+        assert!(
+            paper_scale_params(SeedKind::TempoNet, &hand)
+                < paper_scale_params(SeedKind::TempoNet, &seed)
+        );
         let d_hand = paper_descriptor(SeedKind::TempoNet, &hand);
         let d_seed = paper_descriptor(SeedKind::TempoNet, &seed);
         assert!(d_hand.total_macs() < d_seed.total_macs());

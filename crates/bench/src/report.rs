@@ -25,7 +25,11 @@ impl Table {
     ///
     /// Panics if the row length differs from the header length.
     pub fn row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.header.len(), "row length must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row length must match header"
+        );
         self.rows.push(cells.to_vec());
     }
 

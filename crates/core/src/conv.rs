@@ -43,8 +43,14 @@ impl PitConv1d {
         rf_max: usize,
         name: impl Into<String>,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
-        assert!(rf_max >= 2, "rf_max must be at least 2 for a searchable convolution");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channel counts must be positive"
+        );
+        assert!(
+            rf_max >= 2,
+            "rf_max must be at least 2 for a searchable convolution"
+        );
         let name = name.into();
         let fan_in = in_channels * rf_max;
         let weight = Param::new(
@@ -151,16 +157,23 @@ impl PitConv1d {
     /// Panics if `dilation` is not a power of two or exceeds the maximum
     /// supported dilation `2^(L−1)`.
     pub fn set_dilation(&self, dilation: usize) {
-        assert!(dilation.is_power_of_two(), "dilation must be a power of two, got {dilation}");
+        assert!(
+            dilation.is_power_of_two(),
+            "dilation must be a power of two, got {dilation}"
+        );
         let l = self.gamma_count();
         let max_d = 1usize << (l - 1);
-        assert!(dilation <= max_d, "dilation {dilation} exceeds maximum supported {max_d}");
+        assert!(
+            dilation <= max_d,
+            "dilation {dilation} exceeds maximum supported {max_d}"
+        );
         let prefix = l - 1 - dilation.trailing_zeros() as usize;
         let mut tail = vec![0.0f32; l - 1];
         for slot in tail.iter_mut().take(prefix) {
             *slot = 1.0;
         }
-        self.gamma.set_value(Tensor::from_vec(tail, &[l - 1]).expect("gamma tail shape"));
+        self.gamma
+            .set_value(Tensor::from_vec(tail, &[l - 1]).expect("gamma tail shape"));
     }
 
     /// Freezes the γ parameters at their binarised values so that the
@@ -388,7 +401,10 @@ mod tests {
         let sq = tape.square(y);
         let loss = tape.sum(sq);
         tape.backward(loss);
-        assert!(c.gamma_param().grad().abs().sum_all() > 0.0, "gamma should receive gradient");
+        assert!(
+            c.gamma_param().grad().abs().sum_all() > 0.0,
+            "gamma should receive gradient"
+        );
         assert!(c.weight_param().grad().abs().sum_all() > 0.0);
     }
 

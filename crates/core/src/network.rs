@@ -55,7 +55,10 @@ pub trait SearchableNetwork: Layer {
 
     /// Number of γ search parameters (they are not part of the deployed model).
     fn gamma_weights(&self) -> usize {
-        self.pit_layers().iter().map(|l| l.gamma_param().len()).sum()
+        self.pit_layers()
+            .iter()
+            .map(|l| l.gamma_param().len())
+            .sum()
     }
 
     /// Freezes every searchable layer (entering the fine-tuning phase).

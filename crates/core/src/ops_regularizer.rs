@@ -52,7 +52,11 @@ impl OpsRegularizer {
     ///
     /// Panics if `layers` and `seq_lens` have different lengths.
     pub fn term(&self, tape: &mut Tape, layers: &[&PitConv1d], seq_lens: &[usize]) -> Var {
-        assert_eq!(layers.len(), seq_lens.len(), "one sequence length per layer is required");
+        assert_eq!(
+            layers.len(),
+            seq_lens.len(),
+            "one sequence length per layer is required"
+        );
         let mut acc: Option<Var> = None;
         for (layer, &t) in layers.iter().zip(seq_lens.iter()) {
             let coeffs = Self::coefficients(layer, t);
@@ -76,7 +80,11 @@ impl OpsRegularizer {
     ///
     /// Panics if `layers` and `seq_lens` have different lengths.
     pub fn value(&self, layers: &[&PitConv1d], seq_lens: &[usize]) -> f32 {
-        assert_eq!(layers.len(), seq_lens.len(), "one sequence length per layer is required");
+        assert_eq!(
+            layers.len(),
+            seq_lens.len(),
+            "one sequence length per layer is required"
+        );
         let mut total = 0.0f32;
         for (layer, &t) in layers.iter().zip(seq_lens.iter()) {
             let coeffs = Self::coefficients(layer, t);
@@ -119,7 +127,8 @@ mod tests {
     #[test]
     fn value_matches_size_regularizer_for_unit_length() {
         let l = layer();
-        l.gamma_param().set_value(Tensor::from_vec(vec![0.7, 0.4, 0.1], &[3]).unwrap());
+        l.gamma_param()
+            .set_value(Tensor::from_vec(vec![0.7, 0.4, 0.1], &[3]).unwrap());
         let ops = OpsRegularizer::new(0.5).value(&[&l], &[1]);
         let size = SizeRegularizer::new(0.5).value(&[&l]);
         assert!((ops - size).abs() < 1e-6);
@@ -135,7 +144,8 @@ mod tests {
     #[test]
     fn tape_term_matches_value_and_produces_gradient() {
         let l = layer();
-        l.gamma_param().set_value(Tensor::from_vec(vec![0.9, 0.6, 0.4], &[3]).unwrap());
+        l.gamma_param()
+            .set_value(Tensor::from_vec(vec![0.9, 0.6, 0.4], &[3]).unwrap());
         let reg = OpsRegularizer::new(1e-3);
         let mut tape = Tape::new();
         let term = reg.term(&mut tape, &[&l], &[32]);

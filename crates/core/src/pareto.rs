@@ -21,7 +21,12 @@ pub struct ParetoPoint {
 impl ParetoPoint {
     /// Creates a point.
     pub fn new(params: usize, loss: f32, dilations: Vec<usize>, label: impl Into<String>) -> Self {
-        Self { params, loss, dilations, label: label.into() }
+        Self {
+            params,
+            loss,
+            dilations,
+            label: label.into(),
+        }
     }
 
     /// Returns `true` if `self` dominates `other` (no worse on both axes and
@@ -63,7 +68,10 @@ pub fn pick_small_medium_large(
         .iter()
         .min_by_key(|p| p.params.abs_diff(reference_params))?
         .clone();
-    let large = front.iter().min_by(|a, b| a.loss.total_cmp(&b.loss))?.clone();
+    let large = front
+        .iter()
+        .min_by(|a, b| a.loss.total_cmp(&b.loss))?
+        .clone();
     Some((small, medium, large))
 }
 
@@ -85,7 +93,13 @@ mod tests {
 
     #[test]
     fn front_removes_dominated_points() {
-        let points = vec![p(100, 1.0), p(50, 2.0), p(80, 1.5), p(120, 0.9), p(200, 1.0)];
+        let points = vec![
+            p(100, 1.0),
+            p(50, 2.0),
+            p(80, 1.5),
+            p(120, 0.9),
+            p(200, 1.0),
+        ];
         let front = pareto_front(&points);
         let params: Vec<usize> = front.iter().map(|q| q.params).collect();
         assert_eq!(params, vec![50, 80, 100, 120]);

@@ -86,7 +86,8 @@ mod tests {
     #[test]
     fn value_matches_manual_computation() {
         let l = layer(9, 2, 3); // coeffs = [6, 12, 24]
-        l.gamma_param().set_value(Tensor::from_vec(vec![1.0, 0.5, 0.0], &[3]).unwrap());
+        l.gamma_param()
+            .set_value(Tensor::from_vec(vec![1.0, 0.5, 0.0], &[3]).unwrap());
         let reg = SizeRegularizer::new(0.1);
         let expected = 0.1 * (6.0 * 1.0 + 12.0 * 0.5 + 24.0 * 0.0);
         assert!((reg.value(&[&l]) - expected).abs() < 1e-6);
@@ -95,7 +96,8 @@ mod tests {
     #[test]
     fn tape_term_matches_value_and_produces_gradient() {
         let l = layer(9, 2, 3);
-        l.gamma_param().set_value(Tensor::from_vec(vec![0.9, 0.6, 0.4], &[3]).unwrap());
+        l.gamma_param()
+            .set_value(Tensor::from_vec(vec![0.9, 0.6, 0.4], &[3]).unwrap());
         let reg = SizeRegularizer::new(0.01);
         let mut tape = Tape::new();
         let term = reg.term(&mut tape, &[&l]);

@@ -99,7 +99,12 @@ pub struct PitOutcome {
 impl PitOutcome {
     /// Converts the outcome into a point of the accuracy-vs-size plane.
     pub fn to_pareto_point(&self, label: impl Into<String>) -> ParetoPoint {
-        ParetoPoint::new(self.effective_params, self.val_loss, self.dilations.clone(), label)
+        ParetoPoint::new(
+            self.effective_params,
+            self.val_loss,
+            self.dilations.clone(),
+            label,
+        )
     }
 
     /// Compression factor with respect to the un-pruned seed.
@@ -127,7 +132,11 @@ impl PitSearch {
 
     /// Splits the network parameters into (weights, γ) sets.
     fn split_params<N: SearchableNetwork>(net: &N) -> (Vec<Param>, Vec<Param>) {
-        let gammas: Vec<Param> = net.pit_layers().iter().map(|l| l.gamma_param().clone()).collect();
+        let gammas: Vec<Param> = net
+            .pit_layers()
+            .iter()
+            .map(|l| l.gamma_param().clone())
+            .collect();
         let weights: Vec<Param> = net
             .params()
             .into_iter()
@@ -238,7 +247,11 @@ impl PitSearch {
             total_params: net.total_weights() - net.gamma_weights(),
             val_loss,
             train_loss: last_train_loss,
-            timings: PhaseTimings { warmup: warmup_time, search: search_time, finetune: finetune_time },
+            timings: PhaseTimings {
+                warmup: warmup_time,
+                search: search_time,
+                finetune: finetune_time,
+            },
             lambda: cfg.lambda,
             warmup_epochs: cfg.warmup_epochs,
             epochs_run: (warmup_epochs_run, search_epochs_run, finetune_epochs_run),
@@ -299,7 +312,9 @@ mod tests {
     impl LagNet {
         fn new(seed: u64) -> Self {
             let mut rng = StdRng::seed_from_u64(seed);
-            Self { conv: PitConv1d::new(&mut rng, 1, 4, 9, "lag") }
+            Self {
+                conv: PitConv1d::new(&mut rng, 1, 4, 9, "lag"),
+            }
         }
     }
 
@@ -308,7 +323,7 @@ mod tests {
             let h = self.conv.forward(tape, input, mode);
             let h = tape.relu(h);
             let pooled = tape.global_avg_pool_time(h); // [N, 4]
-            // Sum channels to produce a single regression output per sample.
+                                                       // Sum channels to produce a single regression output per sample.
             let n = tape.dims(pooled)[0];
             let w = tape.constant(Tensor::ones(&[4, 1]));
             let out = tape.matmul(pooled, w);
@@ -408,15 +423,25 @@ mod tests {
         };
 
         let weak_net = LagNet::new(11);
-        let weak = PitSearch::new(PitConfig { lambda: 0.0, ..base.clone() })
-            .run(&weak_net, &train, &val, LossKind::Mse);
+        let weak = PitSearch::new(PitConfig {
+            lambda: 0.0,
+            ..base.clone()
+        })
+        .run(&weak_net, &train, &val, LossKind::Mse);
         let strong_net = LagNet::new(11);
-        let strong = PitSearch::new(PitConfig { lambda: 10.0, ..base })
-            .run(&strong_net, &train, &val, LossKind::Mse);
+        let strong = PitSearch::new(PitConfig {
+            lambda: 10.0,
+            ..base
+        })
+        .run(&strong_net, &train, &val, LossKind::Mse);
 
         // A huge lambda must push gamma to zero -> maximum dilation -> fewer params.
-        assert!(strong.effective_params < weak.effective_params,
-            "strong {} vs weak {}", strong.effective_params, weak.effective_params);
+        assert!(
+            strong.effective_params < weak.effective_params,
+            "strong {} vs weak {}",
+            strong.effective_params,
+            weak.effective_params
+        );
         assert_eq!(strong.dilations[0], 8);
     }
 
@@ -445,7 +470,11 @@ mod tests {
             LossKind::Mse,
         );
         assert_eq!(outcomes.len(), 4);
-        assert!(outcomes.iter().any(|o| o.lambda == 0.0 && o.warmup_epochs == 0));
-        assert!(outcomes.iter().any(|o| o.lambda == 1.0 && o.warmup_epochs == 1));
+        assert!(outcomes
+            .iter()
+            .any(|o| o.lambda == 0.0 && o.warmup_epochs == 0));
+        assert!(outcomes
+            .iter()
+            .any(|o| o.lambda == 1.0 && o.warmup_epochs == 1));
     }
 }

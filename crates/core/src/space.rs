@@ -23,7 +23,10 @@ impl SearchSpace {
     /// Panics if any receptive field is smaller than 2.
     pub fn new(rf_max: impl Into<Vec<usize>>) -> Self {
         let rf_max = rf_max.into();
-        assert!(rf_max.iter().all(|&rf| rf >= 2), "every rf_max must be at least 2");
+        assert!(
+            rf_max.iter().all(|&rf| rf >= 2),
+            "every rf_max must be at least 2"
+        );
         Self { rf_max }
     }
 
@@ -69,7 +72,11 @@ impl SearchSpace {
             self.size()
         );
         let per_layer: Vec<Vec<usize>> = (0..self.num_layers())
-            .map(|i| (0..self.choices_for_layer(i)).map(|j| 1usize << j).collect())
+            .map(|i| {
+                (0..self.choices_for_layer(i))
+                    .map(|j| 1usize << j)
+                    .collect()
+            })
             .collect();
         let mut combos: Vec<Vec<usize>> = vec![Vec::new()];
         for choices in &per_layer {
@@ -113,7 +120,11 @@ mod tests {
         // configuration used in `pit-models` (kernel 9 per conv pair and
         // growing rf): here we check the arithmetic only.
         let s = SearchSpace::new(vec![17, 17, 33, 33, 33, 33, 65, 65]);
-        assert!((4.0..6.5).contains(&s.log10_size()), "log10 size = {}", s.log10_size());
+        assert!(
+            (4.0..6.5).contains(&s.log10_size()),
+            "log10 size = {}",
+            s.log10_size()
+        );
     }
 
     #[test]

@@ -39,8 +39,9 @@ proptest! {
             prop_assert!(alive <= last);
             last = alive;
         }
-        // Maximum dilation keeps exactly two taps (first and last) when rf > 2.
-        prop_assert_eq!(last, if rf_max == 2 { 2 } else { 2 });
+        // Maximum dilation keeps exactly two taps (first and last); rf_max
+        // is always (1 << rf_exp) + 1 >= 3 here.
+        prop_assert_eq!(last, 2);
     }
 
     /// The Eq. 6 slice counts sum to `rf_max − 1 − (number of taps at max

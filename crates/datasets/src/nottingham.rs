@@ -89,8 +89,14 @@ impl NottinghamGenerator {
     /// Panics if any size in the configuration is zero.
     pub fn new(config: NottinghamConfig) -> Self {
         assert!(config.num_keys >= 13, "need at least one octave of keys");
-        assert!(config.seq_len > 0 && config.num_sequences > 0, "sizes must be positive");
-        assert!(config.chord_period > 0 && config.progression_length > 0, "periods must be positive");
+        assert!(
+            config.seq_len > 0 && config.num_sequences > 0,
+            "sizes must be positive"
+        );
+        assert!(
+            config.chord_period > 0 && config.progression_length > 0,
+            "periods must be positive"
+        );
         Self { config }
     }
 
@@ -221,7 +227,11 @@ mod tests {
         let a = NottinghamGenerator::new(NottinghamConfig::tiny()).generate();
         let b = NottinghamGenerator::new(NottinghamConfig::tiny()).generate();
         assert_eq!(a.sample(3).0.data(), b.sample(3).0.data());
-        let c = NottinghamGenerator::new(NottinghamConfig { seed: 7, ..NottinghamConfig::tiny() }).generate();
+        let c = NottinghamGenerator::new(NottinghamConfig {
+            seed: 7,
+            ..NottinghamConfig::tiny()
+        })
+        .generate();
         assert_ne!(a.sample(3).0.data(), c.sample(3).0.data());
     }
 
@@ -229,20 +239,29 @@ mod tests {
     fn chords_persist_for_chord_period() {
         // Within one chord period the chord keys stay on, so consecutive
         // frames are highly correlated; across the boundary they change.
-        let cfg = NottinghamConfig { note_noise: 0.0, ..NottinghamConfig::tiny() };
+        let cfg = NottinghamConfig {
+            note_noise: 0.0,
+            ..NottinghamConfig::tiny()
+        };
         let gen = NottinghamGenerator::new(cfg.clone());
         let ds = gen.generate();
         let (x, _) = ds.sample(0);
         // Count active keys per frame: chords always contribute up to 3 notes.
         for t in 0..cfg.seq_len {
             let active: f32 = (0..cfg.num_keys).map(|k| x.at(&[k, t]).unwrap()).sum();
-            assert!(active >= 1.0 && active <= 4.0, "frame {t} has {active} notes");
+            assert!(
+                (1.0..=4.0).contains(&active),
+                "frame {t} has {active} notes"
+            );
         }
     }
 
     #[test]
     fn splits_partition_the_data() {
-        let gen = NottinghamGenerator::new(NottinghamConfig { num_sequences: 40, ..NottinghamConfig::tiny() });
+        let gen = NottinghamGenerator::new(NottinghamConfig {
+            num_sequences: 40,
+            ..NottinghamConfig::tiny()
+        });
         let (train, val, test) = gen.generate_splits();
         assert_eq!(train.len() + val.len() + test.len(), 40);
         assert!(train.len() > val.len());
@@ -251,6 +270,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn too_few_keys_panics() {
-        let _ = NottinghamGenerator::new(NottinghamConfig { num_keys: 4, ..NottinghamConfig::tiny() });
+        let _ = NottinghamGenerator::new(NottinghamConfig {
+            num_keys: 4,
+            ..NottinghamConfig::tiny()
+        });
     }
 }

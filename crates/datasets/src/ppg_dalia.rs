@@ -59,7 +59,12 @@ impl PpgDaliaConfig {
 
     /// A small configuration for fast tests and examples.
     pub fn tiny() -> Self {
-        Self { num_windows: 64, window_len: 64, subjects: 4, ..Self::paper() }
+        Self {
+            num_windows: 64,
+            window_len: 64,
+            subjects: 4,
+            ..Self::paper()
+        }
     }
 }
 
@@ -147,12 +152,17 @@ impl PpgDaliaGenerator {
                 if produced >= cfg.num_windows {
                     break;
                 }
-                let drift = if cfg.hr_drift > 0.0 { rng.gen_range(-cfg.hr_drift..cfg.hr_drift) } else { 0.0 };
+                let drift = if cfg.hr_drift > 0.0 {
+                    rng.gen_range(-cfg.hr_drift..cfg.hr_drift)
+                } else {
+                    0.0
+                };
                 hr = (hr + drift).clamp(cfg.hr_min, cfg.hr_max);
                 let (sample, next_phase) = self.window(&mut rng, hr, phase);
                 phase = next_phase;
                 ds.push(
-                    Tensor::from_vec(sample, &[Self::CHANNELS, cfg.window_len]).expect("input shape"),
+                    Tensor::from_vec(sample, &[Self::CHANNELS, cfg.window_len])
+                        .expect("input shape"),
                     Tensor::from_vec(vec![hr], &[1]).expect("target shape"),
                 );
                 produced += 1;
@@ -233,7 +243,11 @@ mod tests {
             corr += ppg[t] * ppg[t - lag];
             norm += ppg[t] * ppg[t];
         }
-        assert!(corr / norm > 0.5, "autocorrelation at one beat = {}", corr / norm);
+        assert!(
+            corr / norm > 0.5,
+            "autocorrelation at one beat = {}",
+            corr / norm
+        );
     }
 
     #[test]
@@ -246,7 +260,12 @@ mod tests {
 
     #[test]
     fn consecutive_windows_of_a_subject_have_similar_hr() {
-        let cfg = PpgDaliaConfig { subjects: 1, hr_drift: 1.0, num_windows: 16, ..PpgDaliaConfig::tiny() };
+        let cfg = PpgDaliaConfig {
+            subjects: 1,
+            hr_drift: 1.0,
+            num_windows: 16,
+            ..PpgDaliaConfig::tiny()
+        };
         let gen = PpgDaliaGenerator::new(cfg);
         let ds = gen.generate();
         for i in 1..ds.len() {
@@ -275,6 +294,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_hr_range_panics() {
-        let _ = PpgDaliaGenerator::new(PpgDaliaConfig { hr_min: 100.0, hr_max: 90.0, ..PpgDaliaConfig::tiny() });
+        let _ = PpgDaliaGenerator::new(PpgDaliaConfig {
+            hr_min: 100.0,
+            hr_max: 90.0,
+            ..PpgDaliaConfig::tiny()
+        });
     }
 }

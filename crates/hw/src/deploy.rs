@@ -108,7 +108,11 @@ impl Deployment {
 
     /// Analyses a whole network.
     pub fn analyze(&self, descriptor: &NetworkDescriptor) -> DeploymentReport {
-        let layers: Vec<LayerCost> = descriptor.layers.iter().map(|l| self.layer_cost(l)).collect();
+        let layers: Vec<LayerCost> = descriptor
+            .layers
+            .iter()
+            .map(|l| self.layer_cost(l))
+            .collect();
         let latency_s: f64 = layers.iter().map(|l| l.latency_s).sum();
         let energy_j: f64 = layers.iter().map(|l| l.energy_j).sum();
         let weight_bytes: u64 = layers.iter().map(|l| l.weight_bytes).sum();
@@ -133,7 +137,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn conv(c_in: usize, c_out: usize, kernel: usize, t: usize) -> LayerDesc {
-        LayerDesc::Conv1d { c_in, c_out, kernel, dilation: 1, t_in: t, t_out: t }
+        LayerDesc::Conv1d {
+            c_in,
+            c_out,
+            kernel,
+            dilation: 1,
+            t_in: t,
+            t_out: t,
+        }
     }
 
     #[test]
@@ -157,7 +168,10 @@ mod tests {
         let macs_ratio = dense.macs as f64 / pruned.macs as f64;
         let latency_ratio = dense.latency_s / pruned.latency_s;
         assert!((macs_ratio - 4.0).abs() < 1e-9);
-        assert!(latency_ratio < macs_ratio, "latency ratio {latency_ratio} should be sub-linear");
+        assert!(
+            latency_ratio < macs_ratio,
+            "latency ratio {latency_ratio} should be sub-linear"
+        );
         assert!(latency_ratio > 1.0);
     }
 
@@ -165,7 +179,10 @@ mod tests {
     fn analyze_sums_layers_and_checks_l2() {
         let mut d = NetworkDescriptor::new("toy");
         d.push(conv(4, 16, 5, 128));
-        d.push(LayerDesc::Linear { in_features: 16 * 128, out_features: 1 });
+        d.push(LayerDesc::Linear {
+            in_features: 16 * 128,
+            out_features: 1,
+        });
         let dep = Deployment::new(Gap8Config::paper());
         let report = dep.analyze(&d);
         assert_eq!(report.layers.len(), 2);
@@ -179,7 +196,10 @@ mod tests {
     #[test]
     fn big_networks_overflow_l2() {
         let mut d = NetworkDescriptor::new("huge");
-        d.push(LayerDesc::Linear { in_features: 1024, out_features: 1024 }); // ~1 MB of int8 weights
+        d.push(LayerDesc::Linear {
+            in_features: 1024,
+            out_features: 1024,
+        }); // ~1 MB of int8 weights
         let report = Deployment::new(Gap8Config::paper()).analyze(&d);
         assert!(!report.fits_in_l2);
     }

@@ -115,8 +115,22 @@ mod tests {
     #[test]
     fn longer_kernels_are_more_efficient() {
         let cfg = Gap8Config::paper();
-        let short = LayerDesc::Conv1d { c_in: 64, c_out: 64, kernel: 2, dilation: 8, t_in: 64, t_out: 64 };
-        let long = LayerDesc::Conv1d { c_in: 64, c_out: 64, kernel: 17, dilation: 1, t_in: 64, t_out: 64 };
+        let short = LayerDesc::Conv1d {
+            c_in: 64,
+            c_out: 64,
+            kernel: 2,
+            dilation: 8,
+            t_in: 64,
+            t_out: 64,
+        };
+        let long = LayerDesc::Conv1d {
+            c_in: 64,
+            c_out: 64,
+            kernel: 17,
+            dilation: 1,
+            t_in: 64,
+            t_out: 64,
+        };
         assert!(cfg.layer_efficiency(&long) > cfg.layer_efficiency(&short));
         assert!(cfg.layer_efficiency(&long) <= cfg.max_efficiency);
     }
@@ -124,16 +138,40 @@ mod tests {
     #[test]
     fn more_channels_are_more_efficient() {
         let cfg = Gap8Config::paper();
-        let narrow = LayerDesc::Conv1d { c_in: 4, c_out: 2, kernel: 5, dilation: 1, t_in: 64, t_out: 64 };
-        let wide = LayerDesc::Conv1d { c_in: 4, c_out: 128, kernel: 5, dilation: 1, t_in: 64, t_out: 64 };
+        let narrow = LayerDesc::Conv1d {
+            c_in: 4,
+            c_out: 2,
+            kernel: 5,
+            dilation: 1,
+            t_in: 64,
+            t_out: 64,
+        };
+        let wide = LayerDesc::Conv1d {
+            c_in: 4,
+            c_out: 128,
+            kernel: 5,
+            dilation: 1,
+            t_in: 64,
+            t_out: 64,
+        };
         assert!(cfg.layer_efficiency(&wide) > cfg.layer_efficiency(&narrow));
     }
 
     #[test]
     fn linear_layers_are_memory_bound() {
         let cfg = Gap8Config::paper();
-        let fc = LayerDesc::Linear { in_features: 4096, out_features: 64 };
-        let conv = LayerDesc::Conv1d { c_in: 64, c_out: 64, kernel: 9, dilation: 1, t_in: 64, t_out: 64 };
+        let fc = LayerDesc::Linear {
+            in_features: 4096,
+            out_features: 64,
+        };
+        let conv = LayerDesc::Conv1d {
+            c_in: 64,
+            c_out: 64,
+            kernel: 9,
+            dilation: 1,
+            t_in: 64,
+            t_out: 64,
+        };
         assert!(cfg.layer_efficiency(&fc) < cfg.layer_efficiency(&conv));
     }
 

@@ -51,7 +51,11 @@ pub fn quantize_symmetric(t: &Tensor) -> QuantizedTensor {
         .iter()
         .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
         .collect();
-    QuantizedTensor { data, shape: t.dims().to_vec(), scale }
+    QuantizedTensor {
+        data,
+        shape: t.dims().to_vec(),
+        scale,
+    }
 }
 
 /// Mean squared error introduced by symmetric int8 quantization of `t`.
@@ -83,7 +87,12 @@ mod tests {
         let q = quantize_symmetric(&t);
         let back = q.dequantize();
         let half_step = q.scale / 2.0 + 1e-6;
-        assert!(t.max_abs_diff(&back) <= half_step, "max error {} > {}", t.max_abs_diff(&back), half_step);
+        assert!(
+            t.max_abs_diff(&back) <= half_step,
+            "max error {} > {}",
+            t.max_abs_diff(&back),
+            half_step
+        );
     }
 
     #[test]
@@ -113,7 +122,10 @@ mod tests {
         let signal_power = t.data().iter().map(|&v| v * v).sum::<f32>() / t.len() as f32;
         let noise = quantization_mse(&t);
         // int8 SQNR should comfortably exceed 30 dB for a well-scaled tensor.
-        assert!(noise < signal_power / 1000.0, "noise {noise} vs signal {signal_power}");
+        assert!(
+            noise < signal_power / 1000.0,
+            "noise {noise} vs signal {signal_power}"
+        );
     }
 
     #[test]

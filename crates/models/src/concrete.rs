@@ -60,7 +60,11 @@ pub struct ConcreteTcn {
 impl ConcreteTcn {
     /// Creates a concrete network from its blocks and head.
     pub fn new(name: impl Into<String>, blocks: Vec<ConcreteBlock>, head: ConcreteHead) -> Self {
-        Self { name: name.into(), blocks, head }
+        Self {
+            name: name.into(),
+            blocks,
+            head,
+        }
     }
 
     /// The network name.
@@ -79,7 +83,12 @@ impl Layer for ConcreteTcn {
         let mut x = input;
         for block in &self.blocks {
             x = match block {
-                ConcreteBlock::Residual { conv1, conv2, downsample, dropout } => {
+                ConcreteBlock::Residual {
+                    conv1,
+                    conv2,
+                    downsample,
+                    dropout,
+                } => {
                     let h = conv1.forward(tape, x, mode);
                     let h = tape.relu(h);
                     let h = dropout.forward(tape, h, mode);
@@ -122,7 +131,12 @@ impl Layer for ConcreteTcn {
         let mut p = Vec::new();
         for block in &self.blocks {
             match block {
-                ConcreteBlock::Residual { conv1, conv2, downsample, .. } => {
+                ConcreteBlock::Residual {
+                    conv1,
+                    conv2,
+                    downsample,
+                    ..
+                } => {
                     p.extend(conv1.params());
                     p.extend(conv2.params());
                     if let Some(proj) = downsample {

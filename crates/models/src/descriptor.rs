@@ -55,15 +55,23 @@ impl LayerDesc {
     /// Number of multiply-accumulate operations of the layer.
     pub fn macs(&self) -> u64 {
         match self {
-            LayerDesc::Conv1d { c_in, c_out, kernel, t_out, .. } => {
-                (*c_in as u64) * (*c_out as u64) * (*kernel as u64) * (*t_out as u64)
-            }
-            LayerDesc::Linear { in_features, out_features } => {
-                (*in_features as u64) * (*out_features as u64)
-            }
-            LayerDesc::AvgPool { channels, kernel, t_out, .. } => {
-                (*channels as u64) * (*kernel as u64) * (*t_out as u64)
-            }
+            LayerDesc::Conv1d {
+                c_in,
+                c_out,
+                kernel,
+                t_out,
+                ..
+            } => (*c_in as u64) * (*c_out as u64) * (*kernel as u64) * (*t_out as u64),
+            LayerDesc::Linear {
+                in_features,
+                out_features,
+            } => (*in_features as u64) * (*out_features as u64),
+            LayerDesc::AvgPool {
+                channels,
+                kernel,
+                t_out,
+                ..
+            } => (*channels as u64) * (*kernel as u64) * (*t_out as u64),
             LayerDesc::BatchNorm { channels, t } => (*channels as u64) * (*t as u64),
         }
     }
@@ -71,12 +79,16 @@ impl LayerDesc {
     /// Number of weights stored for the layer (biases included).
     pub fn weights(&self) -> u64 {
         match self {
-            LayerDesc::Conv1d { c_in, c_out, kernel, .. } => {
-                (*c_in as u64) * (*c_out as u64) * (*kernel as u64) + *c_out as u64
-            }
-            LayerDesc::Linear { in_features, out_features } => {
-                (*in_features as u64) * (*out_features as u64) + *out_features as u64
-            }
+            LayerDesc::Conv1d {
+                c_in,
+                c_out,
+                kernel,
+                ..
+            } => (*c_in as u64) * (*c_out as u64) * (*kernel as u64) + *c_out as u64,
+            LayerDesc::Linear {
+                in_features,
+                out_features,
+            } => (*in_features as u64) * (*out_features as u64) + *out_features as u64,
             LayerDesc::AvgPool { .. } => 0,
             LayerDesc::BatchNorm { channels, .. } => 2 * *channels as u64,
         }
@@ -87,7 +99,9 @@ impl LayerDesc {
         match self {
             LayerDesc::Conv1d { c_out, t_out, .. } => (*c_out as u64) * (*t_out as u64),
             LayerDesc::Linear { out_features, .. } => *out_features as u64,
-            LayerDesc::AvgPool { channels, t_out, .. } => (*channels as u64) * (*t_out as u64),
+            LayerDesc::AvgPool {
+                channels, t_out, ..
+            } => (*channels as u64) * (*t_out as u64),
             LayerDesc::BatchNorm { channels, t } => (*channels as u64) * (*t as u64),
         }
     }
@@ -115,7 +129,10 @@ pub struct NetworkDescriptor {
 impl NetworkDescriptor {
     /// Creates an empty descriptor.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), layers: Vec::new() }
+        Self {
+            name: name.into(),
+            layers: Vec::new(),
+        }
     }
 
     /// Appends a layer.
@@ -160,7 +177,14 @@ mod tests {
 
     #[test]
     fn conv_macs_and_weights() {
-        let l = LayerDesc::Conv1d { c_in: 2, c_out: 4, kernel: 3, dilation: 2, t_in: 16, t_out: 16 };
+        let l = LayerDesc::Conv1d {
+            c_in: 2,
+            c_out: 4,
+            kernel: 3,
+            dilation: 2,
+            t_in: 16,
+            t_out: 16,
+        };
         assert_eq!(l.macs(), 2 * 4 * 3 * 16);
         assert_eq!(l.weights(), 2 * 4 * 3 + 4);
         assert_eq!(l.output_elements(), 4 * 16);
@@ -169,10 +193,19 @@ mod tests {
 
     #[test]
     fn linear_and_pool_costs() {
-        let lin = LayerDesc::Linear { in_features: 128, out_features: 64 };
+        let lin = LayerDesc::Linear {
+            in_features: 128,
+            out_features: 64,
+        };
         assert_eq!(lin.macs(), 128 * 64);
         assert_eq!(lin.weights(), 128 * 64 + 64);
-        let pool = LayerDesc::AvgPool { channels: 8, kernel: 2, stride: 2, t_in: 16, t_out: 8 };
+        let pool = LayerDesc::AvgPool {
+            channels: 8,
+            kernel: 2,
+            stride: 2,
+            t_in: 16,
+            t_out: 8,
+        };
         assert_eq!(pool.weights(), 0);
         assert_eq!(pool.macs(), 8 * 2 * 8);
         let bn = LayerDesc::BatchNorm { channels: 8, t: 16 };
@@ -182,11 +215,22 @@ mod tests {
     #[test]
     fn descriptor_totals() {
         let mut d = NetworkDescriptor::new("toy");
-        d.push(LayerDesc::Conv1d { c_in: 1, c_out: 2, kernel: 3, dilation: 1, t_in: 8, t_out: 8 });
-        d.push(LayerDesc::Linear { in_features: 16, out_features: 1 });
+        d.push(LayerDesc::Conv1d {
+            c_in: 1,
+            c_out: 2,
+            kernel: 3,
+            dilation: 1,
+            t_in: 8,
+            t_out: 8,
+        });
+        d.push(LayerDesc::Linear {
+            in_features: 16,
+            out_features: 1,
+        });
         assert_eq!(d.len(), 2);
         assert!(!d.is_empty());
-        assert_eq!(d.total_macs(), 1 * 2 * 3 * 8 + 16);
+        // MACs: (c_in=1 · c_out=2 · kernel=3 · t_out=8) for the conv + 16 for the linear.
+        assert_eq!(d.total_macs(), 2 * 3 * 8 + 16);
         assert_eq!(d.total_weights(), (6 + 2) + (16 + 1));
         assert_eq!(d.peak_activation_elements(), 8 + 16);
     }

@@ -25,7 +25,12 @@ pub struct GenericTcnConfig {
 impl GenericTcnConfig {
     /// A tiny two-layer configuration used as a quick-start example.
     pub fn tiny() -> Self {
-        Self { input_channels: 1, channels: vec![8, 8], rf_max: vec![9, 17], outputs: 1 }
+        Self {
+            input_channels: 1,
+            channels: vec![8, 8],
+            rf_max: vec![9, 17],
+            outputs: 1,
+        }
     }
 }
 
@@ -46,8 +51,15 @@ impl GenericTcn {
     ///
     /// Panics if `channels` and `rf_max` have different lengths or are empty.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, config: &GenericTcnConfig) -> Self {
-        assert_eq!(config.channels.len(), config.rf_max.len(), "channels and rf_max lengths differ");
-        assert!(!config.channels.is_empty(), "at least one convolution is required");
+        assert_eq!(
+            config.channels.len(),
+            config.rf_max.len(),
+            "channels and rf_max lengths differ"
+        );
+        assert!(
+            !config.channels.is_empty(),
+            "at least one convolution is required"
+        );
         let mut convs = Vec::with_capacity(config.channels.len());
         let mut in_ch = config.input_channels;
         for (i, (&out_ch, &rf)) in config.channels.iter().zip(config.rf_max.iter()).enumerate() {
@@ -55,7 +67,11 @@ impl GenericTcn {
             in_ch = out_ch;
         }
         let head = Linear::new(rng, in_ch, config.outputs);
-        Self { convs, head, config: config.clone() }
+        Self {
+            convs,
+            head,
+            config: config.clone(),
+        }
     }
 
     /// The configuration used to build the network.
@@ -102,7 +118,11 @@ impl Layer for GenericTcn {
     }
 
     fn describe(&self) -> String {
-        format!("GenericTcn(layers={}, dilations={:?})", self.convs.len(), self.dilations())
+        format!(
+            "GenericTcn(layers={}, dilations={:?})",
+            self.convs.len(),
+            self.dilations()
+        )
     }
 }
 
@@ -145,7 +165,12 @@ mod tests {
     #[should_panic]
     fn mismatched_config_lengths_panic() {
         let mut rng = StdRng::seed_from_u64(0);
-        let cfg = GenericTcnConfig { channels: vec![4], rf_max: vec![9, 9], input_channels: 1, outputs: 1 };
+        let cfg = GenericTcnConfig {
+            channels: vec![4],
+            rf_max: vec![9, 9],
+            input_channels: 1,
+            outputs: 1,
+        };
         let _ = GenericTcn::new(&mut rng, &cfg);
     }
 }

@@ -53,13 +53,18 @@ impl ResTcnConfig {
     /// A topology-preserving scaled-down configuration for fast experiments:
     /// same blocks, kernels and dilation search space, `hidden` channels.
     pub fn scaled(hidden: usize) -> Self {
-        Self { hidden_channels: hidden, ..Self::paper() }
+        Self {
+            hidden_channels: hidden,
+            ..Self::paper()
+        }
     }
 
     /// The hand-tuned dilations of the original network:
     /// `1, 1, 2, 2, 4, 4, 8, 8` (doubling every block).
     pub fn hand_tuned_dilations(&self) -> Vec<usize> {
-        (0..self.num_blocks).flat_map(|b| [1usize << b, 1usize << b]).collect()
+        (0..self.num_blocks)
+            .flat_map(|b| [1usize << b, 1usize << b])
+            .collect()
     }
 
     /// The dilations of the un-dilated seed (all ones).
@@ -137,20 +142,39 @@ impl ResTcn {
         let rf = config.rf_max_per_layer();
         let mut blocks = Vec::with_capacity(config.num_blocks);
         for b in 0..config.num_blocks {
-            let in_ch = if b == 0 { config.input_channels } else { config.hidden_channels };
+            let in_ch = if b == 0 {
+                config.input_channels
+            } else {
+                config.hidden_channels
+            };
             let out_ch = config.hidden_channels;
             let conv1 = PitConv1d::new(rng, in_ch, out_ch, rf[2 * b], format!("block{b}.conv1"));
-            let conv2 = PitConv1d::new(rng, out_ch, out_ch, rf[2 * b + 1], format!("block{b}.conv2"));
+            let conv2 = PitConv1d::new(
+                rng,
+                out_ch,
+                out_ch,
+                rf[2 * b + 1],
+                format!("block{b}.conv2"),
+            );
             let downsample = if in_ch != out_ch {
                 Some(CausalConv1d::new(rng, in_ch, out_ch, 1, 1))
             } else {
                 None
             };
             let dropout = Dropout::new(config.dropout, config.seed.wrapping_add(b as u64));
-            blocks.push(ResBlock { conv1, conv2, downsample, dropout });
+            blocks.push(ResBlock {
+                conv1,
+                conv2,
+                downsample,
+                dropout,
+            });
         }
         let head = CausalConv1d::new(rng, config.hidden_channels, config.output_channels, 1, 1);
-        Self { blocks, head, config: config.clone() }
+        Self {
+            blocks,
+            head,
+            config: config.clone(),
+        }
     }
 
     /// The configuration used to build the network.
@@ -213,7 +237,11 @@ impl ResTcn {
         let rf = config.rf_max_per_layer();
         let mut blocks = Vec::with_capacity(config.num_blocks);
         for b in 0..config.num_blocks {
-            let in_ch = if b == 0 { config.input_channels } else { config.hidden_channels };
+            let in_ch = if b == 0 {
+                config.input_channels
+            } else {
+                config.hidden_channels
+            };
             let out_ch = config.hidden_channels;
             let k1 = (rf[2 * b] - 1) / dilations[2 * b] + 1;
             let k2 = (rf[2 * b + 1] - 1) / dilations[2 * b + 1] + 1;
@@ -282,7 +310,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn small_config() -> ResTcnConfig {
-        ResTcnConfig { hidden_channels: 8, input_channels: 6, output_channels: 6, ..ResTcnConfig::paper() }
+        ResTcnConfig {
+            hidden_channels: 8,
+            input_channels: 6,
+            output_channels: 6,
+            ..ResTcnConfig::paper()
+        }
     }
 
     #[test]
@@ -330,11 +363,17 @@ mod tests {
         let net = ResTcn::new(&mut rng, &cfg);
         // Seed (d = 1, maximally sized filters): Table III reports 3.53 M.
         let seed_params = net.effective_weights();
-        assert!((2_500_000..4_500_000).contains(&seed_params), "seed params = {seed_params}");
+        assert!(
+            (2_500_000..4_500_000).contains(&seed_params),
+            "seed params = {seed_params}"
+        );
         // Hand-tuned dilations: Table III reports 1.05 M.
         net.set_dilations(&cfg.hand_tuned_dilations());
         let hand_params = net.effective_weights();
-        assert!((700_000..1_500_000).contains(&hand_params), "hand-tuned params = {hand_params}");
+        assert!(
+            (700_000..1_500_000).contains(&hand_params),
+            "hand-tuned params = {hand_params}"
+        );
         assert!(seed_params as f32 / hand_params as f32 > 2.0);
     }
 

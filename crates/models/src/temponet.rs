@@ -55,7 +55,11 @@ impl TempoNetConfig {
     pub fn scaled(divisor: usize, input_length: usize) -> Self {
         let base = Self::paper();
         Self {
-            channels: base.channels.iter().map(|&c| (c / divisor).max(2)).collect(),
+            channels: base
+                .channels
+                .iter()
+                .map(|&c| (c / divisor).max(2))
+                .collect(),
             input_length,
             fc_hidden: (base.fc_hidden / divisor).max(2),
             ..base
@@ -146,7 +150,11 @@ impl TempoNet {
     /// Panics if `config.input_length` is not divisible by 8 (three pooling
     /// stages of stride 2).
     pub fn new<R: Rng + ?Sized>(rng: &mut R, config: &TempoNetConfig) -> Self {
-        assert_eq!(config.channels.len(), 7, "TEMPONet needs exactly 7 channel counts");
+        assert_eq!(
+            config.channels.len(),
+            7,
+            "TEMPONet needs exactly 7 channel counts"
+        );
         assert_eq!(
             config.input_length % 8,
             0,
@@ -172,12 +180,21 @@ impl TempoNet {
                 in_ch = out_ch;
                 layer_idx += 1;
             }
-            blocks.push(TempoBlock { convs, norms, pool: AvgPool1d::new(2, 2) });
+            blocks.push(TempoBlock {
+                convs,
+                norms,
+                pool: AvgPool1d::new(2, 2),
+            });
         }
         let flat = config.channels[6] * config.final_length();
         let fc_hidden = Linear::new(rng, flat, config.fc_hidden);
         let fc_out = Linear::new(rng, config.fc_hidden, 1);
-        Self { blocks, fc_hidden, fc_out, config: config.clone() }
+        Self {
+            blocks,
+            fc_hidden,
+            fc_out,
+            config: config.clone(),
+        }
     }
 
     /// The configuration used to build the network.
@@ -200,7 +217,10 @@ impl TempoNet {
                     t_in: t,
                     t_out: t,
                 });
-                d.push(LayerDesc::BatchNorm { channels: conv.out_channels(), t });
+                d.push(LayerDesc::BatchNorm {
+                    channels: conv.out_channels(),
+                    t,
+                });
             }
             let t_out = (t - 2) / 2 + 1;
             d.push(LayerDesc::AvgPool {
@@ -240,12 +260,22 @@ impl TempoNet {
             for _ in 0..block_len {
                 let out_ch = config.channels[layer_idx];
                 let k = (rf[layer_idx] - 1) / dilations[layer_idx] + 1;
-                convs.push(CausalConv1d::new(rng, in_ch, out_ch, k, dilations[layer_idx]));
+                convs.push(CausalConv1d::new(
+                    rng,
+                    in_ch,
+                    out_ch,
+                    k,
+                    dilations[layer_idx],
+                ));
                 norms.push(BatchNorm1d::new(out_ch));
                 in_ch = out_ch;
                 layer_idx += 1;
             }
-            blocks.push(ConcreteBlock::Plain { convs, norms, pool: Some(AvgPool1d::new(2, 2)) });
+            blocks.push(ConcreteBlock::Plain {
+                convs,
+                norms,
+                pool: Some(AvgPool1d::new(2, 2)),
+            });
         }
         let flat = config.channels[6] * config.final_length();
         ConcreteTcn::new(
@@ -279,7 +309,11 @@ impl Layer for TempoNet {
     }
 
     fn describe(&self) -> String {
-        format!("TEMPONet(channels={:?}, dilations={:?})", self.config.channels, self.dilations())
+        format!(
+            "TEMPONet(channels={:?}, dilations={:?})",
+            self.config.channels,
+            self.dilations()
+        )
     }
 }
 
@@ -346,11 +380,17 @@ mod tests {
         let net = TempoNet::new(&mut rng, &cfg);
         // Seed (d = 1): Table III reports 939 k.
         let seed_params = net.effective_weights();
-        assert!((600_000..1_300_000).contains(&seed_params), "seed params = {seed_params}");
+        assert!(
+            (600_000..1_300_000).contains(&seed_params),
+            "seed params = {seed_params}"
+        );
         // Hand-tuned: Table III reports 423 k.
         net.set_dilations(&cfg.hand_tuned_dilations());
         let hand = net.effective_weights();
-        assert!((250_000..600_000).contains(&hand), "hand-tuned params = {hand}");
+        assert!(
+            (250_000..600_000).contains(&hand),
+            "hand-tuned params = {hand}"
+        );
         assert!(seed_params > hand);
     }
 
@@ -384,7 +424,10 @@ mod tests {
     #[should_panic]
     fn input_length_must_be_divisible_by_eight() {
         let mut rng = StdRng::seed_from_u64(0);
-        let cfg = TempoNetConfig { input_length: 30, ..small_config() };
+        let cfg = TempoNetConfig {
+            input_length: 30,
+            ..small_config()
+        };
         let _ = TempoNet::new(&mut rng, &cfg);
     }
 }

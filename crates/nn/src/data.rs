@@ -45,7 +45,11 @@ impl Dataset {
     ///
     /// Panics if the vectors have different lengths or inconsistent shapes.
     pub fn from_pairs(inputs: Vec<Tensor>, targets: Vec<Tensor>) -> Self {
-        assert_eq!(inputs.len(), targets.len(), "inputs and targets must have the same length");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs and targets must have the same length"
+        );
         let ds = Self { inputs, targets };
         ds.validate();
         ds
@@ -118,7 +122,10 @@ impl Dataset {
     ///
     /// Panics unless `0.0 < fraction < 1.0`.
     pub fn split(&self, fraction: f64) -> (Dataset, Dataset) {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0, 1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0, 1)"
+        );
         let cut = ((self.len() as f64 * fraction) as usize).clamp(1.min(self.len()), self.len());
         let first = Dataset {
             inputs: self.inputs[..cut].to_vec(),
@@ -162,7 +169,11 @@ impl Dataset {
     /// # Panics
     ///
     /// Panics if `batch_size` is zero.
-    pub fn batches<R: Rng + ?Sized>(&self, batch_size: usize, shuffle: Option<&mut R>) -> Vec<Batch> {
+    pub fn batches<R: Rng + ?Sized>(
+        &self,
+        batch_size: usize,
+        shuffle: Option<&mut R>,
+    ) -> Vec<Batch> {
         assert!(batch_size > 0, "batch_size must be positive");
         if self.is_empty() {
             return Vec::new();
@@ -171,7 +182,10 @@ impl Dataset {
         if let Some(rng) = shuffle {
             order.shuffle(rng);
         }
-        order.chunks(batch_size).map(|chunk| self.gather(chunk)).collect()
+        order
+            .chunks(batch_size)
+            .map(|chunk| self.gather(chunk))
+            .collect()
     }
 }
 
@@ -184,7 +198,10 @@ mod tests {
     fn toy_dataset(n: usize) -> Dataset {
         let mut ds = Dataset::new();
         for i in 0..n {
-            ds.push(Tensor::full(&[2, 3], i as f32), Tensor::full(&[1], i as f32));
+            ds.push(
+                Tensor::full(&[2, 3], i as f32),
+                Tensor::full(&[1], i as f32),
+            );
         }
         ds
     }
@@ -235,7 +252,10 @@ mod tests {
         assert_eq!(batches.len(), 3);
         let total: usize = batches.iter().map(|b| b.len()).sum();
         assert_eq!(total, 7);
-        let mut seen: Vec<f32> = batches.iter().flat_map(|b| b.targets.data().to_vec()).collect();
+        let mut seen: Vec<f32> = batches
+            .iter()
+            .flat_map(|b| b.targets.data().to_vec())
+            .collect();
         seen.sort_by(f32::total_cmp);
         assert_eq!(seen, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
     }

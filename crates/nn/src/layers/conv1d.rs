@@ -47,7 +47,10 @@ impl CausalConv1d {
         kernel_size: usize,
         dilation: usize,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0 && kernel_size > 0, "conv sizes must be positive");
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel_size > 0,
+            "conv sizes must be positive"
+        );
         assert!(dilation > 0, "dilation must be >= 1");
         let fan_in = in_channels * kernel_size;
         let weight = Param::new(
@@ -58,7 +61,14 @@ impl CausalConv1d {
             pit_tensor::Tensor::zeros(&[out_channels]),
             format!("conv{out_channels}x{in_channels}x{kernel_size}.bias"),
         );
-        Self { weight, bias: Some(bias), in_channels, out_channels, kernel_size, dilation }
+        Self {
+            weight,
+            bias: Some(bias),
+            in_channels,
+            out_channels,
+            kernel_size,
+            dilation,
+        }
     }
 
     /// Creates a convolution without a bias term.
@@ -185,7 +195,11 @@ mod tests {
         let y2 = conv.forward(&mut t2, x2, Mode::Eval);
         let a = t1.value(y1).data();
         let b = t2.value(y2).data();
-        assert_eq!(&a[..5], &b[..5], "outputs before the modified sample must match");
+        assert_eq!(
+            &a[..5],
+            &b[..5],
+            "outputs before the modified sample must match"
+        );
         assert_ne!(a[5], b[5]);
     }
 

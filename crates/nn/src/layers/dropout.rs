@@ -22,8 +22,14 @@ impl Dropout {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1), got {p}");
-        Self { p, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1), got {p}"
+        );
+        Self {
+            p,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
     }
 
     /// The drop probability.

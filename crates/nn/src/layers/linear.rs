@@ -22,13 +22,24 @@ impl Linear {
     ///
     /// Panics if either feature count is zero.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
-        assert!(in_features > 0 && out_features > 0, "linear sizes must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "linear sizes must be positive"
+        );
         let weight = Param::new(
             init::xavier_uniform(rng, &[in_features, out_features], in_features, out_features),
             format!("linear{in_features}x{out_features}.weight"),
         );
-        let bias = Param::new(Tensor::zeros(&[out_features]), format!("linear{in_features}x{out_features}.bias"));
-        Self { weight, bias, in_features, out_features }
+        let bias = Param::new(
+            Tensor::zeros(&[out_features]),
+            format!("linear{in_features}x{out_features}.bias"),
+        );
+        Self {
+            weight,
+            bias,
+            in_features,
+            out_features,
+        }
     }
 
     /// Number of input features.
@@ -92,7 +103,8 @@ mod tests {
     fn zero_input_outputs_bias() {
         let mut rng = StdRng::seed_from_u64(0);
         let l = Linear::new(&mut rng, 2, 2);
-        l.bias().set_value(Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap());
+        l.bias()
+            .set_value(Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap());
         let mut tape = Tape::new();
         let x = tape.constant(Tensor::zeros(&[1, 2]));
         let y = l.forward(&mut tape, x, Mode::Eval);
@@ -108,7 +120,17 @@ mod tests {
         let y = l.forward(&mut tape, x, Mode::Train);
         let loss = tape.sum(y);
         tape.backward(loss);
-        assert!(l.weight().grad().data().iter().all(|&g| (g - 2.0).abs() < 1e-6));
-        assert!(l.bias().grad().data().iter().all(|&g| (g - 2.0).abs() < 1e-6));
+        assert!(l
+            .weight()
+            .grad()
+            .data()
+            .iter()
+            .all(|&g| (g - 2.0).abs() < 1e-6));
+        assert!(l
+            .bias()
+            .grad()
+            .data()
+            .iter()
+            .all(|&g| (g - 2.0).abs() < 1e-6));
     }
 }

@@ -44,7 +44,10 @@ pub fn mse(pred: &Tensor, target: &Tensor) -> f32 {
 ///
 /// Panics if the shapes differ.
 pub fn bce_with_logits(logits: &Tensor, target: &Tensor) -> f32 {
-    assert!(logits.shape().same_as(target.shape()), "bce: shape mismatch");
+    assert!(
+        logits.shape().same_as(target.shape()),
+        "bce: shape mismatch"
+    );
     if logits.is_empty() {
         return 0.0;
     }
@@ -78,7 +81,10 @@ pub fn frame_nll(logits: &Tensor, target: &Tensor) -> f32 {
 ///
 /// Panics if the shapes differ.
 pub fn binary_accuracy(logits: &Tensor, target: &Tensor) -> f32 {
-    assert!(logits.shape().same_as(target.shape()), "accuracy: shape mismatch");
+    assert!(
+        logits.shape().same_as(target.shape()),
+        "accuracy: shape mismatch"
+    );
     if logits.is_empty() {
         return 0.0;
     }

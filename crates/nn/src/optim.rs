@@ -44,7 +44,13 @@ impl Sgd {
     pub fn new(params: Vec<Param>, lr: f32, momentum: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         let velocity = params.iter().map(|p| Tensor::zeros(&p.dims())).collect();
-        Self { params, lr, momentum, weight_decay, velocity }
+        Self {
+            params,
+            lr,
+            momentum,
+            weight_decay,
+            velocity,
+        }
     }
 }
 
@@ -124,7 +130,17 @@ impl Adam {
         assert!(lr > 0.0, "learning rate must be positive");
         let m = params.iter().map(|p| Tensor::zeros(&p.dims())).collect();
         let v = params.iter().map(|p| Tensor::zeros(&p.dims())).collect();
-        Self { params, lr, beta1, beta2, eps, weight_decay, step_count: 0, m, v }
+        Self {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            step_count: 0,
+            m,
+            v,
+        }
     }
 }
 
@@ -134,7 +150,12 @@ impl Optimizer for Adam {
         let t = self.step_count as f32;
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);
-        for ((param, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((param, m), v) in self
+            .params
+            .iter()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             if !param.trainable() {
                 continue;
             }
@@ -224,7 +245,11 @@ mod tests {
             quadratic_step(&p);
             opt.step();
         }
-        assert!(p.value().abs().max_all() < 1e-2, "value {:?}", p.value().data());
+        assert!(
+            p.value().abs().max_all() < 1e-2,
+            "value {:?}",
+            p.value().data()
+        );
     }
 
     #[test]

@@ -4,9 +4,10 @@ use serde::{Deserialize, Serialize};
 
 /// A learning-rate schedule: maps an epoch index to a multiplier of the base
 /// learning rate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum LrSchedule {
     /// Constant learning rate.
+    #[default]
     Constant,
     /// Multiply the learning rate by `gamma` every `step_epochs` epochs.
     StepDecay {
@@ -30,10 +31,17 @@ impl LrSchedule {
         match self {
             LrSchedule::Constant => 1.0,
             LrSchedule::StepDecay { step_epochs, gamma } => {
-                let steps = if *step_epochs == 0 { 0 } else { epoch / step_epochs };
+                let steps = if *step_epochs == 0 {
+                    0
+                } else {
+                    epoch / step_epochs
+                };
                 gamma.powi(steps as i32)
             }
-            LrSchedule::Cosine { total_epochs, min_factor } => {
+            LrSchedule::Cosine {
+                total_epochs,
+                min_factor,
+            } => {
                 let total = (*total_epochs).max(1) as f32;
                 let progress = (epoch as f32 / total).min(1.0);
                 let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
@@ -45,12 +53,6 @@ impl LrSchedule {
     /// The learning rate for the given epoch and base rate.
     pub fn learning_rate(&self, base: f32, epoch: usize) -> f32 {
         base * self.factor(epoch)
-    }
-}
-
-impl Default for LrSchedule {
-    fn default() -> Self {
-        LrSchedule::Constant
     }
 }
 
@@ -66,7 +68,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves_every_period() {
-        let s = LrSchedule::StepDecay { step_epochs: 10, gamma: 0.5 };
+        let s = LrSchedule::StepDecay {
+            step_epochs: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert_eq!(s.factor(9), 1.0);
         assert_eq!(s.factor(10), 0.5);
@@ -76,13 +81,19 @@ mod tests {
 
     #[test]
     fn step_decay_with_zero_period_is_constant() {
-        let s = LrSchedule::StepDecay { step_epochs: 0, gamma: 0.5 };
+        let s = LrSchedule::StepDecay {
+            step_epochs: 0,
+            gamma: 0.5,
+        };
         assert_eq!(s.factor(100), 1.0);
     }
 
     #[test]
     fn cosine_anneals_to_min_factor() {
-        let s = LrSchedule::Cosine { total_epochs: 20, min_factor: 0.1 };
+        let s = LrSchedule::Cosine {
+            total_epochs: 20,
+            min_factor: 0.1,
+        };
         assert!((s.factor(0) - 1.0).abs() < 1e-6);
         assert!((s.factor(20) - 0.1).abs() < 1e-6);
         assert!((s.factor(40) - 0.1).abs() < 1e-6); // clamped after the period

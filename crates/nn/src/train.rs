@@ -27,7 +27,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 10, batch_size: 32, shuffle: true, patience: Some(50), seed: 0 }
+        Self {
+            epochs: 10,
+            batch_size: 32,
+            shuffle: true,
+            patience: Some(50),
+            seed: 0,
+        }
     }
 }
 
@@ -62,7 +68,11 @@ pub struct EarlyStopping {
 impl EarlyStopping {
     /// Creates an early-stopping monitor with the given patience.
     pub fn new(patience: usize) -> Self {
-        Self { patience, best: f32::INFINITY, wait: 0 }
+        Self {
+            patience,
+            best: f32::INFINITY,
+            wait: 0,
+        }
     }
 
     /// Records a new loss value; returns `true` when training should stop.
@@ -238,10 +248,20 @@ mod tests {
         let data = linear_problem(64, 7);
         let (train, val) = data.split(0.75);
         let mut opt = Adam::new(model.params(), 0.05);
-        let trainer = Trainer::new(TrainConfig { epochs: 60, batch_size: 16, shuffle: true, patience: None, seed: 0 });
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 60,
+            batch_size: 16,
+            shuffle: true,
+            patience: None,
+            seed: 0,
+        });
         let report = trainer.train(&model, &train, Some(&val), LossKind::Mse, &mut opt);
         assert_eq!(report.epochs_run, 60);
-        assert!(report.val_loss.last().copied().unwrap() < 0.05, "final val loss {:?}", report.val_loss.last());
+        assert!(
+            report.val_loss.last().copied().unwrap() < 0.05,
+            "final val loss {:?}",
+            report.val_loss.last()
+        );
         assert!(report.train_loss[0] > *report.train_loss.last().unwrap());
         assert!(report.steps >= 60 * 3);
     }
@@ -254,7 +274,13 @@ mod tests {
         let (train, val) = data.split(0.5);
         // Large learning rate makes validation plateau/noisy quickly.
         let mut opt = Sgd::new(model.params(), 0.5, 0.0, 0.0);
-        let trainer = Trainer::new(TrainConfig { epochs: 200, batch_size: 8, shuffle: true, patience: Some(3), seed: 0 });
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 200,
+            batch_size: 8,
+            shuffle: true,
+            patience: Some(3),
+            seed: 0,
+        });
         let report = trainer.train(&model, &train, Some(&val), LossKind::Mse, &mut opt);
         assert!(report.epochs_run < 200);
     }
@@ -273,7 +299,13 @@ mod tests {
         let model = Sequential::new(vec![Box::new(Linear::new(&mut rng, 2, 1))]);
         let data = linear_problem(16, 2);
         let mut opt = Adam::new(model.params(), 0.01);
-        let trainer = Trainer::new(TrainConfig { epochs: 3, batch_size: 8, shuffle: false, patience: None, seed: 0 });
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            shuffle: false,
+            patience: None,
+            seed: 0,
+        });
         let report = trainer.train(&model, &data, None, LossKind::Mse, &mut opt);
         assert!(report.val_loss.is_empty());
         assert_eq!(report.train_loss.len(), 3);

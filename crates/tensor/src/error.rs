@@ -46,12 +46,19 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
             }
-            TensorError::RankMismatch { op, expected, actual } => {
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op}: expected rank {expected}, got rank {actual}")
             }
             TensorError::InvalidArgument { op, message } => {
@@ -69,26 +76,40 @@ mod tests {
 
     #[test]
     fn display_length_mismatch() {
-        let e = TensorError::LengthMismatch { expected: 4, actual: 3 };
+        let e = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
         assert_eq!(e.to_string(), "data length 3 does not match shape volume 4");
     }
 
     #[test]
     fn display_shape_mismatch() {
-        let e = TensorError::ShapeMismatch { op: "add", lhs: vec![2, 2], rhs: vec![3] };
+        let e = TensorError::ShapeMismatch {
+            op: "add",
+            lhs: vec![2, 2],
+            rhs: vec![3],
+        };
         assert!(e.to_string().contains("add"));
         assert!(e.to_string().contains("[2, 2]"));
     }
 
     #[test]
     fn display_rank_mismatch() {
-        let e = TensorError::RankMismatch { op: "conv1d", expected: 3, actual: 2 };
+        let e = TensorError::RankMismatch {
+            op: "conv1d",
+            expected: 3,
+            actual: 2,
+        };
         assert!(e.to_string().contains("expected rank 3"));
     }
 
     #[test]
     fn display_invalid_argument() {
-        let e = TensorError::InvalidArgument { op: "pool", message: "kernel must be > 0".into() };
+        let e = TensorError::InvalidArgument {
+            op: "pool",
+            message: "kernel must be > 0".into(),
+        };
         assert!(e.to_string().contains("kernel must be > 0"));
     }
 

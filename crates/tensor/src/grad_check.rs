@@ -40,7 +40,12 @@ pub fn finite_diff_grad(param: &Param, forward: &dyn Fn() -> f32, eps: f32) -> T
 /// `|analytic_i − numeric_i| / max(1, |analytic_i|, |numeric_i|)`, which
 /// behaves like an absolute error for small gradients and like a relative
 /// error for large ones.
-pub fn check_param_grad(param: &Param, analytic: &Tensor, forward: &dyn Fn() -> f32, eps: f32) -> f32 {
+pub fn check_param_grad(
+    param: &Param,
+    analytic: &Tensor,
+    forward: &dyn Fn() -> f32,
+    eps: f32,
+) -> f32 {
     let numeric = finite_diff_grad(param, forward, eps);
     let mut worst = 0.0f32;
     for (&a, &n) in analytic.data().iter().zip(numeric.data().iter()) {

@@ -22,7 +22,12 @@ pub fn kaiming_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: us
 }
 
 /// Xavier / Glorot uniform initialisation for linear output layers.
-pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
     let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
     uniform(rng, shape, limit)
 }
@@ -78,7 +83,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let t = normal(&mut rng, &[10_000], 2.0);
         let mean = t.mean_all();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

@@ -49,7 +49,9 @@ impl Tape {
             .value(x)
             .mul(&mask)
             .unwrap_or_else(|e| panic!("dropout_with_mask: {e}"));
-        self.push_unary(x, value, move |g| g.mul(&mask).expect("dropout backward shape"))
+        self.push_unary(x, value, move |g| {
+            g.mul(&mask).expect("dropout backward shape")
+        })
     }
 }
 
@@ -88,7 +90,11 @@ mod tests {
             let mut tape = Tape::new();
             let x = tape.param(&p);
             let y = tape.sigmoid(x);
-            assert!(tape.value(y).data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(tape
+                .value(y)
+                .data()
+                .iter()
+                .all(|&v| (0.0..=1.0).contains(&v)));
             assert!((tape.value(y).data()[1] - 0.5).abs() < 1e-6);
             let loss = tape.sum(y);
             tape.backward(loss);
@@ -123,7 +129,10 @@ mod tests {
 
     #[test]
     fn dropout_mask_applies_forward_and_backward() {
-        let p = Param::new(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap(), "p");
+        let p = Param::new(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap(),
+            "p",
+        );
         let mask = Tensor::from_vec(vec![0.0, 2.0, 0.0, 2.0], &[4]).unwrap();
         let mut tape = Tape::new();
         let x = tape.param(&p);

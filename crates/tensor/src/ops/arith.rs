@@ -70,8 +70,10 @@ impl Tape {
         let av = self.value(a).clone();
         let value = av.abs();
         self.push_unary(a, value, move |g| {
-            g.zip_map(&av, |gi, xi| gi * xi.signum() * if xi == 0.0 { 0.0 } else { 1.0 })
-                .expect("abs backward shape")
+            g.zip_map(&av, |gi, xi| {
+                gi * xi.signum() * if xi == 0.0 { 0.0 } else { 1.0 }
+            })
+            .expect("abs backward shape")
         })
     }
 
@@ -80,7 +82,8 @@ impl Tape {
         let av = self.value(a).clone();
         let value = av.map(|x| x * x);
         self.push_unary(a, value, move |g| {
-            g.zip_map(&av, |gi, xi| gi * 2.0 * xi).expect("square backward shape")
+            g.zip_map(&av, |gi, xi| gi * 2.0 * xi)
+                .expect("square backward shape")
         })
     }
 
@@ -94,7 +97,11 @@ impl Tape {
         let bv = self.value(b).clone();
         assert_eq!(xv.dims().len(), 3, "add_bias_channels expects [N, C, T]");
         let (n, c, t) = (xv.dims()[0], xv.dims()[1], xv.dims()[2]);
-        assert_eq!(bv.dims(), [c], "add_bias_channels: bias must have shape [C]");
+        assert_eq!(
+            bv.dims(),
+            [c],
+            "add_bias_channels: bias must have shape [C]"
+        );
         let mut out = xv.clone();
         for bn in 0..n {
             for cc in 0..c {
@@ -115,7 +122,10 @@ impl Tape {
                     }
                 }
             }
-            (g.clone(), Tensor::from_vec(gb, &[c]).expect("bias grad shape"))
+            (
+                g.clone(),
+                Tensor::from_vec(gb, &[c]).expect("bias grad shape"),
+            )
         })
     }
 
@@ -143,7 +153,10 @@ impl Tape {
                     gb[ff] += g.data()[bn * f + ff];
                 }
             }
-            (g.clone(), Tensor::from_vec(gb, &[f]).expect("bias grad shape"))
+            (
+                g.clone(),
+                Tensor::from_vec(gb, &[f]).expect("bias grad shape"),
+            )
         })
     }
 }

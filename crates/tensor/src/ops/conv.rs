@@ -95,9 +95,18 @@ mod tests {
                 let loss = tape.sum(sq);
                 tape.backward(loss);
             }
-            assert!(check_param_grad(&x, &x.grad(), &forward, 1e-3) < 2e-2, "dX mismatch (d={dilation})");
-            assert!(check_param_grad(&w, &w.grad(), &forward, 1e-3) < 2e-2, "dW mismatch (d={dilation})");
-            assert!(check_param_grad(&b, &b.grad(), &forward, 1e-3) < 2e-2, "dB mismatch (d={dilation})");
+            assert!(
+                check_param_grad(&x, &x.grad(), &forward, 1e-3) < 2e-2,
+                "dX mismatch (d={dilation})"
+            );
+            assert!(
+                check_param_grad(&w, &w.grad(), &forward, 1e-3) < 2e-2,
+                "dW mismatch (d={dilation})"
+            );
+            assert!(
+                check_param_grad(&b, &b.grad(), &forward, 1e-3) < 2e-2,
+                "dB mismatch (d={dilation})"
+            );
         }
     }
 }

@@ -48,7 +48,8 @@ impl Tape {
         let diff = pv.sub(target).expect("mae diff");
         let value = Tensor::scalar(diff.data().iter().map(|d| d.abs()).sum::<f32>() / n);
         self.push_unary(pred, value, move |g| {
-            diff.map(|d| if d == 0.0 { 0.0 } else { d.signum() }).mul_scalar(g.item() / n)
+            diff.map(|d| if d == 0.0 { 0.0 } else { d.signum() })
+                .mul_scalar(g.item() / n)
         })
     }
 
@@ -149,7 +150,10 @@ mod tests {
 
     #[test]
     fn bce_gradient_matches_finite_differences() {
-        let p = Param::new(Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.7], &[4]).unwrap(), "p");
+        let p = Param::new(
+            Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.7], &[4]).unwrap(),
+            "p",
+        );
         let t = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[4]).unwrap();
         let forward = {
             let (p, t) = (p.clone(), t.clone());

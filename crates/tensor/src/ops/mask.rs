@@ -122,7 +122,11 @@ impl Tape {
     pub fn mul_time_mask(&mut self, w: Var, m: Var) -> Var {
         let wv = self.value(w).clone();
         let mv = self.value(m).clone();
-        assert_eq!(wv.dims().len(), 3, "mul_time_mask expects [C_out, C_in, K] weights");
+        assert_eq!(
+            wv.dims().len(),
+            3,
+            "mul_time_mask expects [C_out, C_in, K] weights"
+        );
         let (c_out, c_in, k) = (wv.dims()[0], wv.dims()[1], wv.dims()[2]);
         assert_eq!(mv.dims(), [k], "mul_time_mask: mask must have shape [K]");
         let mut out = wv.clone();
@@ -167,7 +171,12 @@ impl Tape {
             coeffs.len(),
             xv.len()
         );
-        let total: f32 = xv.data().iter().zip(coeffs.iter()).map(|(&v, &c)| c * v.abs()).sum();
+        let total: f32 = xv
+            .data()
+            .iter()
+            .zip(coeffs.iter())
+            .map(|(&v, &c)| c * v.abs())
+            .sum();
         let value = Tensor::scalar(total);
         let coeffs = coeffs.to_vec();
         let dims = xv.dims().to_vec();
@@ -177,7 +186,13 @@ impl Tape {
                 .data()
                 .iter()
                 .zip(coeffs.iter())
-                .map(|(&v, &c)| if v == 0.0 { 0.0 } else { scale * c * v.signum() })
+                .map(|(&v, &c)| {
+                    if v == 0.0 {
+                        0.0
+                    } else {
+                        scale * c * v.signum()
+                    }
+                })
                 .collect();
             Tensor::from_vec(data, &dims).expect("weighted abs grad shape")
         })
@@ -227,11 +242,20 @@ mod tests {
         // rf_max = 9, L = 4. gamma tail = (gamma_1, gamma_2, gamma_3).
         let cases: &[(&[f32], &[f32])] = &[
             // gamma_3 = 0 (others 1): dilation 2 -> taps 0,2,4,6,8 alive.
-            (&[1.0, 1.0, 0.0], &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0]),
+            (
+                &[1.0, 1.0, 0.0],
+                &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0],
+            ),
             // gamma_2 = 0: dilation 4 -> taps 0,4,8 alive.
-            (&[1.0, 0.0, 1.0], &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]),
+            (
+                &[1.0, 0.0, 1.0],
+                &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+            ),
             // gamma_1 = 0: dilation 8 -> taps 0,8 alive.
-            (&[0.0, 1.0, 1.0], &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0]),
+            (
+                &[0.0, 1.0, 1.0],
+                &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+            ),
         ];
         for (tail, expected) in cases {
             let p = Param::new(Tensor::from_vec(tail.to_vec(), &[3]).unwrap(), "g");
@@ -261,7 +285,10 @@ mod tests {
 
     #[test]
     fn mul_time_mask_forward_and_grad() {
-        let w = Param::new(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[1, 2, 3]).unwrap(), "w");
+        let w = Param::new(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[1, 2, 3]).unwrap(),
+            "w",
+        );
         let m = Param::new(Tensor::from_vec(vec![1.0, 0.0, 2.0], &[3]).unwrap(), "m");
         let mut tape = Tape::new();
         let vw = tape.param(&w);

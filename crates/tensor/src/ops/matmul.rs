@@ -13,7 +13,9 @@ impl Tape {
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let av = self.value(a).clone();
         let bv = self.value(b).clone();
-        let value = av.matmul(&bv).unwrap_or_else(|e| panic!("tape matmul: {e}"));
+        let value = av
+            .matmul(&bv)
+            .unwrap_or_else(|e| panic!("tape matmul: {e}"));
         self.push_binary(a, b, value, move |g| {
             let bt = bv.transpose2().expect("matmul backward transpose");
             let at = av.transpose2().expect("matmul backward transpose");
@@ -44,8 +46,14 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let a = Param::new(Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.3, 1.5, -0.7], &[2, 3]).unwrap(), "a");
-        let b = Param::new(Tensor::from_vec(vec![1.0, 0.2, -0.4, 0.9, 1.1, -0.6], &[3, 2]).unwrap(), "b");
+        let a = Param::new(
+            Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.3, 1.5, -0.7], &[2, 3]).unwrap(),
+            "a",
+        );
+        let b = Param::new(
+            Tensor::from_vec(vec![1.0, 0.2, -0.4, 0.9, 1.1, -0.6], &[3, 2]).unwrap(),
+            "b",
+        );
         let forward = {
             let a = a.clone();
             let b = b.clone();

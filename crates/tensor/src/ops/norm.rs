@@ -141,7 +141,11 @@ impl Tape {
         eps: f32,
     ) -> Var {
         let xv = self.value(x).clone();
-        assert_eq!(xv.dims().len(), 3, "batch_norm1d_inference expects [N, C, T]");
+        assert_eq!(
+            xv.dims().len(),
+            3,
+            "batch_norm1d_inference expects [N, C, T]"
+        );
         let (n, c, t) = (xv.dims()[0], xv.dims()[1], xv.dims()[2]);
         assert_eq!(running_mean.dims(), [c]);
         assert_eq!(running_var.dims(), [c]);
@@ -284,8 +288,14 @@ mod tests {
             tape.backward(loss);
         }
         assert!(check_param_grad(&x, &x.grad(), &forward, 1e-3) < 5e-2, "dX");
-        assert!(check_param_grad(&gamma, &gamma.grad(), &forward, 1e-3) < 5e-2, "dGamma");
-        assert!(check_param_grad(&beta, &beta.grad(), &forward, 1e-3) < 5e-2, "dBeta");
+        assert!(
+            check_param_grad(&gamma, &gamma.grad(), &forward, 1e-3) < 5e-2,
+            "dGamma"
+        );
+        assert!(
+            check_param_grad(&beta, &beta.grad(), &forward, 1e-3) < 5e-2,
+            "dBeta"
+        );
     }
 
     #[test]

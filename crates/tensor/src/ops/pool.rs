@@ -83,13 +83,20 @@ mod tests {
 
     #[test]
     fn global_avg_pool_forward_and_grad() {
-        let x = Param::new(Tensor::from_vec(vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0], &[1, 2, 3]).unwrap(), "x");
+        let x = Param::new(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0], &[1, 2, 3]).unwrap(),
+            "x",
+        );
         let mut tape = Tape::new();
         let vx = tape.param(&x);
         let y = tape.global_avg_pool_time(vx);
         assert_eq!(tape.value(y).data(), &[2.0, 20.0]);
         let loss = tape.sum(y);
         tape.backward(loss);
-        assert!(x.grad().data().iter().all(|&g| (g - 1.0 / 3.0).abs() < 1e-6));
+        assert!(x
+            .grad()
+            .data()
+            .iter()
+            .all(|&g| (g - 1.0 / 3.0).abs() < 1e-6));
     }
 }

@@ -40,7 +40,10 @@ mod tests {
 
     #[test]
     fn mean_gradient_is_uniform() {
-        let p = Param::new(Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[2, 2]).unwrap(), "p");
+        let p = Param::new(
+            Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[2, 2]).unwrap(),
+            "p",
+        );
         let mut tape = Tape::new();
         let x = tape.param(&p);
         let m = tape.mean(x);

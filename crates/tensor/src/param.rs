@@ -42,7 +42,11 @@ impl Param {
     pub fn new(value: Tensor, name: impl Into<String>) -> Self {
         let grad = value.zeros_like();
         Self {
-            inner: Arc::new(Mutex::new(ParamInner { value, grad, trainable: true })),
+            inner: Arc::new(Mutex::new(ParamInner {
+                value,
+                grad,
+                trainable: true,
+            })),
             name: Arc::new(name.into()),
         }
     }

@@ -25,7 +25,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a slice of dimension sizes.
     pub fn new(dims: &[usize]) -> Self {
-        Self { dims: dims.to_vec() }
+        Self {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Returns the scalar shape (rank 0, one element).

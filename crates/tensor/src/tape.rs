@@ -109,7 +109,12 @@ impl Tape {
         backward: Option<BackwardFn>,
         param: Option<Param>,
     ) -> Var {
-        self.nodes.push(Node { value, parents, backward, param });
+        self.nodes.push(Node {
+            value,
+            parents,
+            backward,
+            param,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -119,7 +124,12 @@ impl Tape {
         value: Tensor,
         backward: impl Fn(&Tensor) -> Tensor + 'static,
     ) -> Var {
-        self.push(value, vec![parent.0], Some(Box::new(move |g| vec![backward(g)])), None)
+        self.push(
+            value,
+            vec![parent.0],
+            Some(Box::new(move |g| vec![backward(g)])),
+            None,
+        )
     }
 
     pub(crate) fn push_binary(
@@ -172,7 +182,9 @@ impl Tape {
         grads[root.0] = Some(seed);
 
         for i in (0..=root.0).rev() {
-            let Some(grad) = grads[i].take() else { continue };
+            let Some(grad) = grads[i].take() else {
+                continue;
+            };
             let node = &self.nodes[i];
             if let Some(backward) = &node.backward {
                 let parent_grads = backward(&grad);
@@ -183,7 +195,7 @@ impl Tape {
                     parent_grads.len(),
                     node.parents.len()
                 );
-                for (&p, pg) in node.parents.iter().zip(parent_grads.into_iter()) {
+                for (&p, pg) in node.parents.iter().zip(parent_grads) {
                     match &mut grads[p] {
                         Some(existing) => existing
                             .add_assign(&pg)

@@ -42,7 +42,10 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
         let shape = Shape::new(shape);
         if data.len() != shape.volume() {
-            return Err(TensorError::LengthMismatch { expected: shape.volume(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
         }
         Ok(Self { shape, data })
     }
@@ -68,18 +71,27 @@ impl Tensor {
 
     /// Creates a rank-0 (scalar) tensor holding `value`.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: Shape::scalar(), data: vec![value] }
+        Self {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// Creates a rank-1 tensor `[0, 1, ..., n-1]`.
     pub fn arange(n: usize) -> Self {
         let data = (0..n).map(|i| i as f32).collect();
-        Self { shape: Shape::new(&[n]), data }
+        Self {
+            shape: Shape::new(&[n]),
+            data,
+        }
     }
 
     /// Creates a tensor with the same shape as `self`, filled with zeros.
     pub fn zeros_like(&self) -> Self {
-        Self { shape: self.shape.clone(), data: vec![0.0; self.data.len()] }
+        Self {
+            shape: self.shape.clone(),
+            data: vec![0.0; self.data.len()],
+        }
     }
 
     // ------------------------------------------------------------------
@@ -127,7 +139,12 @@ impl Tensor {
     ///
     /// Panics if the tensor does not contain exactly one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() requires a single-element tensor, got {}", self.shape);
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() requires a single-element tensor, got {}",
+            self.shape
+        );
         self.data[0]
     }
 
@@ -164,7 +181,10 @@ impl Tensor {
                 actual: self.data.len(),
             });
         }
-        Ok(Self { shape: new_shape, data: self.data.clone() })
+        Ok(Self {
+            shape: new_shape,
+            data: self.data.clone(),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -173,7 +193,10 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f(self[i], other[i])` element-wise.
@@ -189,8 +212,16 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Self { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Self {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Element-wise addition.
@@ -347,10 +378,18 @@ impl Tensor {
     /// dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Result<Self> {
         if self.shape.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.shape.rank(),
+            });
         }
         if other.shape.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: other.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: other.shape.rank(),
+            });
         }
         let (m, k) = (self.shape.dim(0), self.shape.dim(1));
         let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
@@ -375,7 +414,10 @@ impl Tensor {
                 }
             }
         }
-        Ok(Self { shape: Shape::new(&[m, n]), data: out })
+        Ok(Self {
+            shape: Shape::new(&[m, n]),
+            data: out,
+        })
     }
 
     /// Transpose of a rank-2 tensor.
@@ -385,7 +427,11 @@ impl Tensor {
     /// Returns an error if the tensor is not rank 2.
     pub fn transpose2(&self) -> Result<Self> {
         if self.shape.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "transpose2", expected: 2, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "transpose2",
+                expected: 2,
+                actual: self.shape.rank(),
+            });
         }
         let (m, n) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = vec![0.0f32; m * n];
@@ -394,7 +440,10 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Ok(Self { shape: Shape::new(&[n, m]), data: out })
+        Ok(Self {
+            shape: Shape::new(&[n, m]),
+            data: out,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -415,18 +464,38 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns an error on rank or channel mismatches or when `dilation == 0`.
-    pub fn conv1d_causal(&self, weight: &Tensor, bias: Option<&Tensor>, dilation: usize) -> Result<Self> {
+    pub fn conv1d_causal(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        dilation: usize,
+    ) -> Result<Self> {
         if self.shape.rank() != 3 {
-            return Err(TensorError::RankMismatch { op: "conv1d_causal", expected: 3, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "conv1d_causal",
+                expected: 3,
+                actual: self.shape.rank(),
+            });
         }
         if weight.shape.rank() != 3 {
-            return Err(TensorError::RankMismatch { op: "conv1d_causal", expected: 3, actual: weight.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "conv1d_causal",
+                expected: 3,
+                actual: weight.shape.rank(),
+            });
         }
         if dilation == 0 {
-            return Err(TensorError::InvalidArgument { op: "conv1d_causal", message: "dilation must be >= 1".into() });
+            return Err(TensorError::InvalidArgument {
+                op: "conv1d_causal",
+                message: "dilation must be >= 1".into(),
+            });
         }
         let (n, c_in, t) = (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2));
-        let (c_out, c_in_w, k) = (weight.shape.dim(0), weight.shape.dim(1), weight.shape.dim(2));
+        let (c_out, c_in_w, k) = (
+            weight.shape.dim(0),
+            weight.shape.dim(1),
+            weight.shape.dim(2),
+        );
         if c_in != c_in_w {
             return Err(TensorError::ShapeMismatch {
                 op: "conv1d_causal",
@@ -472,7 +541,10 @@ impl Tensor {
                 }
             }
         }
-        Ok(Self { shape: Shape::new(&[n, c_out, t]), data: out })
+        Ok(Self {
+            shape: Shape::new(&[n, c_out, t]),
+            data: out,
+        })
     }
 
     /// Gradient of [`Tensor::conv1d_causal`] with respect to the input.
@@ -490,14 +562,30 @@ impl Tensor {
         dilation: usize,
     ) -> Result<Self> {
         if grad_out.shape.rank() != 3 || weight.shape.rank() != 3 || input_shape.len() != 3 {
-            return Err(TensorError::RankMismatch { op: "conv1d_causal_grad_input", expected: 3, actual: grad_out.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "conv1d_causal_grad_input",
+                expected: 3,
+                actual: grad_out.shape.rank(),
+            });
         }
         if dilation == 0 {
-            return Err(TensorError::InvalidArgument { op: "conv1d_causal_grad_input", message: "dilation must be >= 1".into() });
+            return Err(TensorError::InvalidArgument {
+                op: "conv1d_causal_grad_input",
+                message: "dilation must be >= 1".into(),
+            });
         }
-        let (n, c_out, t) = (grad_out.shape.dim(0), grad_out.shape.dim(1), grad_out.shape.dim(2));
-        let (c_out_w, c_in, k) = (weight.shape.dim(0), weight.shape.dim(1), weight.shape.dim(2));
-        if c_out != c_out_w || input_shape[0] != n || input_shape[2] != t || input_shape[1] != c_in {
+        let (n, c_out, t) = (
+            grad_out.shape.dim(0),
+            grad_out.shape.dim(1),
+            grad_out.shape.dim(2),
+        );
+        let (c_out_w, c_in, k) = (
+            weight.shape.dim(0),
+            weight.shape.dim(1),
+            weight.shape.dim(2),
+        );
+        if c_out != c_out_w || input_shape[0] != n || input_shape[2] != t || input_shape[1] != c_in
+        {
             return Err(TensorError::ShapeMismatch {
                 op: "conv1d_causal_grad_input",
                 lhs: grad_out.dims().to_vec(),
@@ -528,7 +616,10 @@ impl Tensor {
                 }
             }
         }
-        Ok(Self { shape: Shape::new(&[n, c_in, t]), data: out })
+        Ok(Self {
+            shape: Shape::new(&[n, c_in, t]),
+            data: out,
+        })
     }
 
     /// Gradient of [`Tensor::conv1d_causal`] with respect to the weights.
@@ -546,13 +637,24 @@ impl Tensor {
         dilation: usize,
     ) -> Result<Self> {
         if grad_out.shape.rank() != 3 || input.shape.rank() != 3 {
-            return Err(TensorError::RankMismatch { op: "conv1d_causal_grad_weight", expected: 3, actual: input.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "conv1d_causal_grad_weight",
+                expected: 3,
+                actual: input.shape.rank(),
+            });
         }
         if dilation == 0 {
-            return Err(TensorError::InvalidArgument { op: "conv1d_causal_grad_weight", message: "dilation must be >= 1".into() });
+            return Err(TensorError::InvalidArgument {
+                op: "conv1d_causal_grad_weight",
+                message: "dilation must be >= 1".into(),
+            });
         }
         let (n, c_in, t) = (input.shape.dim(0), input.shape.dim(1), input.shape.dim(2));
-        let (n2, c_out, t2) = (grad_out.shape.dim(0), grad_out.shape.dim(1), grad_out.shape.dim(2));
+        let (n2, c_out, t2) = (
+            grad_out.shape.dim(0),
+            grad_out.shape.dim(1),
+            grad_out.shape.dim(2),
+        );
         if n != n2 || t != t2 {
             return Err(TensorError::ShapeMismatch {
                 op: "conv1d_causal_grad_weight",
@@ -582,7 +684,10 @@ impl Tensor {
                 }
             }
         }
-        Ok(Self { shape: Shape::new(&[c_out, c_in, k]), data: out })
+        Ok(Self {
+            shape: Shape::new(&[c_out, c_in, k]),
+            data: out,
+        })
     }
 
     /// Average pooling over the time axis of a `[N, C, T]` tensor.
@@ -595,10 +700,17 @@ impl Tensor {
     /// larger than the sequence.
     pub fn avg_pool1d(&self, kernel: usize, stride: usize) -> Result<Self> {
         if self.shape.rank() != 3 {
-            return Err(TensorError::RankMismatch { op: "avg_pool1d", expected: 3, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "avg_pool1d",
+                expected: 3,
+                actual: self.shape.rank(),
+            });
         }
         if kernel == 0 || stride == 0 {
-            return Err(TensorError::InvalidArgument { op: "avg_pool1d", message: "kernel and stride must be >= 1".into() });
+            return Err(TensorError::InvalidArgument {
+                op: "avg_pool1d",
+                message: "kernel and stride must be >= 1".into(),
+            });
         }
         let (n, c, t) = (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2));
         if kernel > t {
@@ -624,7 +736,10 @@ impl Tensor {
                 }
             }
         }
-        Ok(Self { shape: Shape::new(&[n, c, t_out]), data: out })
+        Ok(Self {
+            shape: Shape::new(&[n, c, t_out]),
+            data: out,
+        })
     }
 
     /// Gradient of [`Tensor::avg_pool1d`]: scatters `grad_out` back to the
@@ -633,12 +748,24 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns an error if shapes or parameters are inconsistent.
-    pub fn avg_pool1d_grad(grad_out: &Tensor, input_shape: &[usize], kernel: usize, stride: usize) -> Result<Self> {
+    pub fn avg_pool1d_grad(
+        grad_out: &Tensor,
+        input_shape: &[usize],
+        kernel: usize,
+        stride: usize,
+    ) -> Result<Self> {
         if grad_out.shape.rank() != 3 || input_shape.len() != 3 {
-            return Err(TensorError::RankMismatch { op: "avg_pool1d_grad", expected: 3, actual: grad_out.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "avg_pool1d_grad",
+                expected: 3,
+                actual: grad_out.shape.rank(),
+            });
         }
         if kernel == 0 || stride == 0 {
-            return Err(TensorError::InvalidArgument { op: "avg_pool1d_grad", message: "kernel and stride must be >= 1".into() });
+            return Err(TensorError::InvalidArgument {
+                op: "avg_pool1d_grad",
+                message: "kernel and stride must be >= 1".into(),
+            });
         }
         let (n, c, t) = (input_shape[0], input_shape[1], input_shape[2]);
         let t_out = grad_out.shape.dim(2);
@@ -657,7 +784,10 @@ impl Tensor {
                 }
             }
         }
-        Ok(Self { shape: Shape::new(&[n, c, t]), data: out })
+        Ok(Self {
+            shape: Shape::new(&[n, c, t]),
+            data: out,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -682,7 +812,10 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
-        assert!(self.shape.same_as(&other.shape), "max_abs_diff requires identical shapes");
+        assert!(
+            self.shape.same_as(&other.shape),
+            "max_abs_diff requires identical shapes"
+        );
         self.data
             .iter()
             .zip(other.data.iter())

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example gap8_deployment`
 
-use pit::prelude::*;
 use pit::hw::quantize_symmetric;
+use pit::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,7 +22,10 @@ fn main() {
         ("PIT ResTCN medium", &[4, 1, 4, 8, 16, 16, 32, 32]),
         ("PIT ResTCN large", &[1, 4, 8, 8, 16, 16, 8, 1]),
     ];
-    println!("{:<22} {:>10} {:>12} {:>10} {:>8}", "network", "weights", "latency[ms]", "energy[mJ]", "fits L2");
+    println!(
+        "{:<22} {:>10} {:>12} {:>10} {:>8}",
+        "network", "weights", "latency[ms]", "energy[mJ]", "fits L2"
+    );
     let cfg = ResTcnConfig::paper();
     for (name, dilations) in restcn {
         let mut rng = StdRng::seed_from_u64(0);
@@ -48,7 +51,10 @@ fn main() {
         ("PIT TEMPONet large", &[1, 1, 1, 1, 1, 1, 16]),
     ];
     println!();
-    println!("{:<22} {:>10} {:>12} {:>10} {:>8}", "network", "weights", "latency[ms]", "energy[mJ]", "fits L2");
+    println!(
+        "{:<22} {:>10} {:>12} {:>10} {:>8}",
+        "network", "weights", "latency[ms]", "energy[mJ]", "fits L2"
+    );
     let tcfg = TempoNetConfig::paper();
     for (name, dilations) in temponet {
         let mut rng = StdRng::seed_from_u64(0);

@@ -28,7 +28,11 @@ fn main() {
         ..NottinghamConfig::paper()
     });
     let (train, val, _test) = generator.generate_splits();
-    println!("synthetic Nottingham: {} train / {} val sequences", train.len(), val.len());
+    println!(
+        "synthetic Nottingham: {} train / {} val sequences",
+        train.len(),
+        val.len()
+    );
     println!(
         "dilation search space: {} combinations",
         SearchSpace::new(config.rf_max_per_layer()).size()
@@ -39,7 +43,13 @@ fn main() {
     let hand_net = ResTcn::new(&mut rng, &config);
     hand_net.set_dilations(&config.hand_tuned_dilations());
     hand_net.freeze_all();
-    let trainer = Trainer::new(TrainConfig { epochs: 8, batch_size: 16, shuffle: true, patience: None, seed: 0 });
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 8,
+        batch_size: 16,
+        shuffle: true,
+        patience: None,
+        seed: 0,
+    });
     let mut opt = Adam::new(hand_net.params(), 5e-3);
     let _ = trainer.train(&hand_net, &train, Some(&val), LossKind::FrameNll, &mut opt);
     let hand_nll = Trainer::evaluate(&hand_net, &val, LossKind::FrameNll, 16);

@@ -5,6 +5,7 @@
 //! 1. the un-dilated seed,
 //! 2. the hand-tuned dilation configuration,
 //! 3. the architecture discovered by a PIT search,
+//!
 //! then deploys all three on the GAP8 model.
 //!
 //! Run with: `cargo run --release --example ppg_heart_rate`
@@ -13,10 +14,22 @@ use pit::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn train_fixed(net: &TempoNet, dilations: &[usize], train: &Dataset, val: &Dataset, epochs: usize) -> f32 {
+fn train_fixed(
+    net: &TempoNet,
+    dilations: &[usize],
+    train: &Dataset,
+    val: &Dataset,
+    epochs: usize,
+) -> f32 {
     net.set_dilations(dilations);
     net.freeze_all();
-    let trainer = Trainer::new(TrainConfig { epochs, batch_size: 16, shuffle: true, patience: Some(20), seed: 0 });
+    let trainer = Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 16,
+        shuffle: true,
+        patience: Some(20),
+        seed: 0,
+    });
     let mut opt = Adam::new(net.params(), 5e-3);
     let _ = trainer.train(net, train, Some(val), LossKind::Mae, &mut opt);
     Trainer::evaluate(net, val, LossKind::Mae, 16)
@@ -25,7 +38,11 @@ fn train_fixed(net: &TempoNet, dilations: &[usize], train: &Dataset, val: &Datas
 fn main() {
     // Scaled-down TEMPONet (same topology and search space as the paper's).
     let config = TempoNetConfig::scaled(8, 64);
-    let generator = PpgDaliaGenerator::new(PpgDaliaConfig { num_windows: 128, window_len: 64, ..PpgDaliaConfig::paper() });
+    let generator = PpgDaliaGenerator::new(PpgDaliaConfig {
+        num_windows: 128,
+        window_len: 64,
+        ..PpgDaliaConfig::paper()
+    });
     let (train, val, test) = generator.generate_splits();
     println!(
         "synthetic PPG-Dalia: {} train / {} val / {} test windows, mean HR {:.0} bpm",
@@ -41,12 +58,26 @@ fn main() {
     // 1. Seed (dilation 1 everywhere).
     let seed_net = TempoNet::new(&mut rng, &config);
     let seed_mae = train_fixed(&seed_net, &config.seed_dilations(), &train, &val, epochs);
-    println!("seed       : {} weights, MAE {:.2} bpm", seed_net.effective_weights(), seed_mae);
+    println!(
+        "seed       : {} weights, MAE {:.2} bpm",
+        seed_net.effective_weights(),
+        seed_mae
+    );
 
     // 2. Hand-tuned dilations.
     let hand_net = TempoNet::new(&mut rng, &config);
-    let hand_mae = train_fixed(&hand_net, &config.hand_tuned_dilations(), &train, &val, epochs);
-    println!("hand-tuned : {} weights, MAE {:.2} bpm", hand_net.effective_weights(), hand_mae);
+    let hand_mae = train_fixed(
+        &hand_net,
+        &config.hand_tuned_dilations(),
+        &train,
+        &val,
+        epochs,
+    );
+    println!(
+        "hand-tuned : {} weights, MAE {:.2} bpm",
+        hand_net.effective_weights(),
+        hand_mae
+    );
 
     // 3. PIT search from the seed.
     let pit_net = TempoNet::new(&mut rng, &config);

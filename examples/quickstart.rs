@@ -33,10 +33,18 @@ fn main() {
     // 1. A seed network: two searchable convolutions with generous receptive
     //    fields (9 and 17 taps), everything still un-dilated.
     let mut rng = StdRng::seed_from_u64(0);
-    let config = GenericTcnConfig { input_channels: 1, channels: vec![8, 8], rf_max: vec![9, 17], outputs: 1 };
+    let config = GenericTcnConfig {
+        input_channels: 1,
+        channels: vec![8, 8],
+        rf_max: vec![9, 17],
+        outputs: 1,
+    };
     let net = GenericTcn::new(&mut rng, &config);
     println!("seed network : {}", net.describe());
-    println!("search space : {} dilation combinations", SearchSpace::new(config.rf_max.clone()).size());
+    println!(
+        "search space : {} dilation combinations",
+        SearchSpace::new(config.rf_max.clone()).size()
+    );
 
     // 2. A synthetic benchmark with long-range temporal structure.
     let data = lag_dataset(128, 32, 1);
@@ -58,7 +66,10 @@ fn main() {
 
     // 4. Inspect the result.
     println!("found dilations     : {:?}", outcome.dilations);
-    println!("deployable weights  : {} (seed had {})", outcome.effective_params, outcome.total_params);
+    println!(
+        "deployable weights  : {} (seed had {})",
+        outcome.effective_params, outcome.total_params
+    );
     println!("compression         : {:.2}x", outcome.compression());
     println!("validation MSE      : {:.4}", outcome.val_loss);
     println!(

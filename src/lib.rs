@@ -40,11 +40,13 @@ pub use pit_tensor as tensor;
 /// The most commonly used types, re-exported in one place.
 pub mod prelude {
     pub use pit_baselines::{ProxylessConfig, ProxylessSearch, ProxylessSupernet, RandomSearch};
-    pub use pit_datasets::{NottinghamConfig, NottinghamGenerator, PpgDaliaConfig, PpgDaliaGenerator};
+    pub use pit_datasets::{
+        NottinghamConfig, NottinghamGenerator, PpgDaliaConfig, PpgDaliaGenerator,
+    };
     pub use pit_hw::{Deployment, DeploymentReport, Gap8Config};
     pub use pit_models::{
-        ConcreteTcn, GenericTcn, GenericTcnConfig, NetworkDescriptor, ResTcn, ResTcnConfig, TempoNet,
-        TempoNetConfig,
+        ConcreteTcn, GenericTcn, GenericTcnConfig, NetworkDescriptor, ResTcn, ResTcnConfig,
+        TempoNet, TempoNetConfig,
     };
     pub use pit_nas::{
         pareto_front, ParetoPoint, PitConfig, PitConv1d, PitOutcome, PitSearch, SearchSpace,

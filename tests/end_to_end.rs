@@ -136,13 +136,22 @@ fn restcn_pipeline_trains_and_improves_over_initialisation() {
     net.freeze_all();
 
     let before = Trainer::evaluate(&net, &val, LossKind::FrameNll, 8);
-    let trainer = Trainer::new(TrainConfig { epochs: 6, batch_size: 8, shuffle: true, patience: None, seed: 0 });
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 6,
+        batch_size: 8,
+        shuffle: true,
+        patience: None,
+        seed: 0,
+    });
     let mut opt = Adam::new(net.params(), 5e-3);
     let report = trainer.train(&net, &train, Some(&val), LossKind::FrameNll, &mut opt);
     let after = Trainer::evaluate(&net, &val, LossKind::FrameNll, 8);
 
     assert_eq!(report.epochs_run, 6);
-    assert!(after < before, "training did not improve NLL: {before} -> {after}");
+    assert!(
+        after < before,
+        "training did not improve NLL: {before} -> {after}"
+    );
 }
 
 #[test]
@@ -162,5 +171,5 @@ fn proxyless_and_pit_explore_the_same_space() {
     net.set_dilations(&max_dilations);
     assert_eq!(net.dilations(), max_dilations);
     // Dense path == seed.
-    assert_eq!(supernet.path_dilations(&vec![0; 7]), vec![1; 7]);
+    assert_eq!(supernet.path_dilations(&[0; 7]), vec![1; 7]);
 }

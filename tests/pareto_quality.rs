@@ -1,8 +1,8 @@
 //! Search-quality integration tests: PIT against exhaustive enumeration and
 //! random sampling on a space small enough to know the ground truth.
 
-use pit::baselines::{ExhaustiveSearch, RandomSearch, RandomSearchConfig};
 use pit::baselines::exhaustive::ExhaustiveConfig;
+use pit::baselines::{ExhaustiveSearch, RandomSearch, RandomSearchConfig};
 use pit::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,7 +30,12 @@ fn lag_dataset(samples: usize, seq_len: usize, seed: u64) -> Dataset {
 }
 
 fn tiny_tcn_config() -> GenericTcnConfig {
-    GenericTcnConfig { input_channels: 1, channels: vec![6], rf_max: vec![9], outputs: 1 }
+    GenericTcnConfig {
+        input_channels: 1,
+        channels: vec![6],
+        rf_max: vec![9],
+        outputs: 1,
+    }
 }
 
 fn make_model(dilations: &[usize], seed: u64) -> (GenericTcn, usize) {
@@ -65,7 +70,13 @@ fn pit_outcome_is_not_dominated_by_random_sampling() {
 
     // Random baseline with a comparable per-architecture budget.
     let random = RandomSearch::new(
-        RandomSearchConfig { samples: 4, epochs: 6, batch_size: 16, learning_rate: 5e-3, seed: 9 },
+        RandomSearchConfig {
+            samples: 4,
+            epochs: 6,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            seed: 9,
+        },
         SearchSpace::new(vec![9]),
     );
     let random_points = random.run(make_model, &train, &val, LossKind::Mse);
@@ -88,7 +99,13 @@ fn exhaustive_front_contains_dominating_architectures() {
     let data = lag_dataset(48, 32, 1);
     let (train, val) = data.split(0.75);
     let search = ExhaustiveSearch::new(
-        ExhaustiveConfig { epochs: 3, batch_size: 16, learning_rate: 5e-3, max_architectures: 8, seed: 0 },
+        ExhaustiveConfig {
+            epochs: 3,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            max_architectures: 8,
+            seed: 0,
+        },
         SearchSpace::new(vec![9]),
     );
     let (points, front) = search.run(make_model, &train, &val, LossKind::Mse);
@@ -96,9 +113,14 @@ fn exhaustive_front_contains_dominating_architectures() {
     assert!(!front.is_empty());
     // Every point not on the front is dominated by some front point.
     for p in &points {
-        let on_front = front.iter().any(|f| f.params == p.params && f.loss == p.loss);
+        let on_front = front
+            .iter()
+            .any(|f| f.params == p.params && f.loss == p.loss);
         if !on_front {
-            assert!(front.iter().any(|f| f.dominates(p)), "point {p:?} is neither on the front nor dominated");
+            assert!(
+                front.iter().any(|f| f.dominates(p)),
+                "point {p:?} is neither on the front nor dominated"
+            );
         }
     }
 }

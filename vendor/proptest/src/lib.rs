@@ -1,0 +1,74 @@
+//! Minimal stand-in for `proptest`, covering the subset the workspace's
+//! property tests use: the [`proptest!`] macro, numeric-range and tuple
+//! strategies, [`collection::vec`], `ProptestConfig::with_cases`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Instead of proptest's adaptive shrinking runner, each test body simply
+//! runs `cases` times with inputs drawn from a deterministic RNG (the case
+//! index seeds the generator), so failures are reproducible run-to-run.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Expands each `fn name(pat in strategy, ...) { body }` into a `#[test]`
+/// that samples the strategies `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut proptest_rng = $crate::test_runner::case_rng(stringify!($name), case);
+                $(let $pat = $crate::strategy::Strategy::sample(
+                    &($strat),
+                    &mut proptest_rng,
+                );)*
+                // The closure gives `prop_assume!` an early exit per case.
+                let _ = (|| -> ::std::result::Result<(), ()> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Panics (failing the test) when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Panics (failing the test) when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}

@@ -1,0 +1,41 @@
+//! Distribution sampling: the [`Uniform`] distribution and the
+//! [`Distribution`] trait, mirroring `rand::distributions`.
+
+use crate::{RngCore, SampleUniform};
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over a fixed range, reusable across draws.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    pub fn new(lo: T, hi: T) -> Self {
+        Uniform {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        Uniform {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.lo, self.hi, self.inclusive)
+    }
+}

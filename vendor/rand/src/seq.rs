@@ -1,0 +1,31 @@
+//! Sequence helpers: Fisher–Yates [`SliceRandom::shuffle`] and
+//! [`SliceRandom::choose`], mirroring `rand::seq`.
+
+use crate::Rng;
+
+pub trait SliceRandom {
+    type Item;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}

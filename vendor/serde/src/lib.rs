@@ -1,0 +1,19 @@
+//! Minimal stand-in for `serde`, sufficient for the `#[derive(Serialize,
+//! Deserialize)]` annotations scattered through the workspace.
+//!
+//! Nothing in the codebase serializes yet (there is no `serde_json`
+//! consumer), so [`Serialize`] and [`Deserialize`] are marker traits with
+//! blanket implementations, and the derive macros (re-exported from
+//! `serde_derive`) expand to nothing. When real serialization lands, this
+//! crate is the seam to replace with the genuine `serde`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<T: ?Sized> Deserialize for T {}

@@ -1,0 +1,15 @@
+//! Derive-macro companion of the vendored `serde` stub. The traits have
+//! blanket implementations, so both derives expand to nothing — they exist
+//! only so `#[derive(Serialize, Deserialize)]` compiles.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
