@@ -1,0 +1,55 @@
+//! Before/after bench of the conv hot path: the im2col/GEMM kernels versus
+//! the seed's naive nested loops (kept under the `reference` feature of
+//! `pit-tensor`), on the acceptance geometry of the kernel-rewrite PR.
+//!
+//! The machine-readable twin of this bench is `bench_json` (see the
+//! "Benchmarks" section of the README); this criterion target exists so
+//! `cargo bench -p pit-bench` shows the same story interactively.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pit_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_kernels");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(0);
+    let (n, c_in, c_out, t, k, d) = (8usize, 32usize, 32usize, 256usize, 9usize, 4usize);
+    let x = init::uniform(&mut rng, &[n, c_in, t], 1.0);
+    let w = init::uniform(&mut rng, &[c_out, c_in, k], 1.0);
+    let b = init::uniform(&mut rng, &[c_out], 1.0);
+    let g = init::uniform(&mut rng, &[n, c_out, t], 1.0);
+    let x_dims = x.dims().to_vec();
+
+    group.bench_with_input(BenchmarkId::new("forward", "fast"), &d, |bch, _| {
+        bch.iter(|| std::hint::black_box(x.conv1d_causal(&w, Some(&b), d).unwrap()))
+    });
+    group.bench_with_input(BenchmarkId::new("forward", "naive"), &d, |bch, _| {
+        bch.iter(|| std::hint::black_box(x.conv1d_causal_naive(&w, Some(&b), d).unwrap()))
+    });
+    group.bench_with_input(BenchmarkId::new("grad_input", "fast"), &d, |bch, _| {
+        bch.iter(|| {
+            std::hint::black_box(Tensor::conv1d_causal_grad_input(&g, &w, &x_dims, d).unwrap())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("grad_input", "naive"), &d, |bch, _| {
+        bch.iter(|| {
+            std::hint::black_box(
+                Tensor::conv1d_causal_grad_input_naive(&g, &w, &x_dims, d).unwrap(),
+            )
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("grad_weight", "fast"), &d, |bch, _| {
+        bch.iter(|| std::hint::black_box(Tensor::conv1d_causal_grad_weight(&x, &g, k, d).unwrap()))
+    });
+    group.bench_with_input(BenchmarkId::new("grad_weight", "naive"), &d, |bch, _| {
+        bch.iter(|| {
+            std::hint::black_box(Tensor::conv1d_causal_grad_weight_naive(&x, &g, k, d).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_kernels);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Machine-readable benchmark runner and regression gate.
+//!
+//! ```text
+//! bench_json [--quick | --full] [--out PATH]
+//!     Runs the conv / masking / search suites and writes the JSON report
+//!     (stdout when --out is omitted). --quick is the default and what CI
+//!     and the committed BENCH_conv.json baseline use.
+//!
+//! bench_json compare <baseline.json> <current.json>
+//!            [--tolerance F] [--normalize]
+//!     Diffs a fresh run against a committed baseline. Fails (exit 1) when a
+//!     baseline record is missing or slower than tolerance × its baseline
+//!     time. --normalize divides out the median machine-speed ratio first,
+//!     which is what CI uses to compare runner hardware against the
+//!     baseline-recording machine.
+//! ```
+//!
+//! Refresh the baseline with `scripts/bench-baseline.sh` (never by hand).
+
+use pit_bench::json::Json;
+use pit_bench::perf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_json [--quick|--full] [--out PATH]\n\
+         \u{20}      bench_json compare <baseline.json> <current.json> [--tolerance F] [--normalize]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        run_compare(&args[1..])
+    } else {
+        run_suites(&args)
+    }
+}
+
+fn run_suites(args: &[String]) -> ExitCode {
+    let mut quick = true;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!("running {mode} suites (conv, masking, search)...");
+    let records = perf::run_suites(quick);
+    for r in &records {
+        eprintln!(
+            "  {:<28} {:<28} {:>12.0} ns/iter  {:>8.2} {}",
+            r.op, r.shape, r.ns_per_iter, r.throughput, r.throughput_unit
+        );
+    }
+    let text = perf::records_to_json(&records, mode).render();
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("bench_json: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("wrote {path} ({} records)", records.len());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_compare(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut tolerance = 2.0f64;
+    let mut normalize = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => tolerance = t,
+                _ => return usage(),
+            },
+            "--normalize" => normalize = true,
+            _ if !arg.starts_with('-') => paths.push(arg),
+            _ => return usage(),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage();
+    };
+    type Loaded = (Vec<perf::BenchRecord>, Option<String>);
+    let load = |path: &str| -> Result<Loaded, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let mode = perf::document_mode(&doc).map(str::to_string);
+        let records = perf::records_from_json(&doc).map_err(|e| format!("{path}: {e}"))?;
+        Ok((records, mode))
+    };
+    let ((baseline, base_mode), (current, cur_mode)) =
+        match (load(baseline_path), load(current_path)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench_json: {e}");
+                return ExitCode::from(2);
+            }
+        };
+    // A quick-mode run can never match a full-mode baseline's record keys
+    // (different shapes); fail with a diagnosis instead of a wall of MISSING.
+    if let (Some(bm), Some(cm)) = (&base_mode, &cur_mode) {
+        if bm != cm {
+            eprintln!(
+                "bench_json: mode mismatch: baseline {baseline_path} was recorded with \
+                 --{bm} but {current_path} ran --{cm}; regenerate the baseline with the \
+                 matching mode (scripts/bench-baseline.sh)"
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let report = perf::compare(&baseline, &current, tolerance, normalize);
+    print!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

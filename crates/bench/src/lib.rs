@@ -17,8 +17,16 @@
 //! a scaled-down "quick" configuration by default, so the whole suite can be
 //! executed on a laptop in minutes. Results print as aligned text tables and
 //! are recorded in the repository's `EXPERIMENTS.md`.
+//!
+//! The crate also hosts the machine-readable perf harness: the `bench_json`
+//! binary runs the [`perf`] suites (conv kernels, masked training,
+//! search-step cost), serialises them through the hand-rolled [`json`]
+//! module into the committed `BENCH_conv.json` baseline, and its `compare`
+//! mode is the regression gate CI runs on every push.
 
 pub mod experiments;
+pub mod json;
+pub mod perf;
 pub mod report;
 pub mod scale;
 

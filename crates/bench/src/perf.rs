@@ -1,0 +1,689 @@
+//! The machine-readable performance harness behind the `bench_json` binary.
+//!
+//! [`run_suites`] times the convolution kernels (im2col/GEMM vs the naive
+//! seed oracle), the PIT masked-training path (fused vs unfused vs the true
+//! dilated deployment network) and one full PIT search step, and returns
+//! plain [`BenchRecord`]s. [`records_to_json`]/[`records_from_json`] move the
+//! records through the hand-rolled [`crate::json`] writer (the serde stub
+//! cannot serialise), and [`compare`] diffs a fresh run against a committed
+//! baseline — the regression gate CI runs on every push.
+
+use crate::json::Json;
+use crate::report::Table;
+use pit_nas::PitConv1d;
+use pit_nn::layers::CausalConv1d;
+use pit_nn::{Layer, Mode};
+use pit_tensor::{init, Tape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One timed operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Which suite produced the record (`conv`, `masking`, `search`).
+    pub suite: String,
+    /// Operation name, including the implementation variant
+    /// (e.g. `conv1d_forward/fast`).
+    pub op: String,
+    /// Human-readable geometry (e.g. `N8 C32->32 T256 K9 d4`).
+    pub shape: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Work rate; unit given by `throughput_unit`.
+    pub throughput: f64,
+    /// `gflop/s` for kernels with a known flop count, `iter/s` otherwise.
+    pub throughput_unit: String,
+}
+
+impl BenchRecord {
+    /// The identity used to match records between baseline and current runs.
+    pub fn key(&self) -> String {
+        format!("{}::{}::{}", self.suite, self.op, self.shape)
+    }
+}
+
+/// Timing-loop configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOpts {
+    /// Samples taken; the median is reported.
+    pub samples: usize,
+    /// Target wall-clock per sample, used to pick the iteration count.
+    pub target_sample_ns: u64,
+}
+
+impl MeasureOpts {
+    /// Fast preset used by `--quick` and CI.
+    pub fn quick() -> Self {
+        Self {
+            samples: 5,
+            target_sample_ns: 20_000_000,
+        }
+    }
+
+    /// Slower, lower-variance preset for `--full`.
+    pub fn full() -> Self {
+        Self {
+            samples: 11,
+            target_sample_ns: 100_000_000,
+        }
+    }
+}
+
+/// Times `f`: one warmup call, an iteration count chosen to fill
+/// `target_sample_ns`, then the median over `samples` samples of the mean
+/// nanoseconds per iteration.
+pub fn measure(opts: &MeasureOpts, mut f: impl FnMut()) -> f64 {
+    // Warmup + single-shot estimate.
+    let start = Instant::now();
+    f();
+    let est = start.elapsed().as_nanos().max(1) as u64;
+    let iters = (opts.target_sample_ns / est).clamp(1, 1_000_000);
+    let mut samples = Vec::with_capacity(opts.samples);
+    for _ in 0..opts.samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn record(suite: &str, op: &str, shape: String, ns: f64, flops: Option<f64>) -> BenchRecord {
+    let (throughput, unit) = match flops {
+        Some(fl) => (fl / ns, "gflop/s"),
+        None => (1e9 / ns, "iter/s"),
+    };
+    BenchRecord {
+        suite: suite.to_string(),
+        op: op.to_string(),
+        shape,
+        ns_per_iter: ns,
+        throughput,
+        throughput_unit: unit.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Suites
+// ---------------------------------------------------------------------------
+
+struct ConvCase {
+    n: usize,
+    c_in: usize,
+    c_out: usize,
+    t: usize,
+    k: usize,
+    dilation: usize,
+}
+
+impl ConvCase {
+    fn shape(&self) -> String {
+        format!(
+            "N{} C{}->{} T{} K{} d{}",
+            self.n, self.c_in, self.c_out, self.t, self.k, self.dilation
+        )
+    }
+
+    /// Flops of the dense forward pass (one multiply + one add per tap).
+    fn flops(&self) -> f64 {
+        2.0 * (self.n * self.c_out * self.c_in * self.k * self.t) as f64
+    }
+}
+
+/// Raw-kernel suite: the im2col/GEMM convolution against the seed's naive
+/// nested loops, for forward, input gradient and weight gradient.
+pub fn conv_suite(opts: &MeasureOpts, quick: bool) -> Vec<BenchRecord> {
+    // First case is the acceptance geometry of the PR that introduced this
+    // harness; keep it stable so the trajectory stays comparable.
+    let mut cases = vec![ConvCase {
+        n: 8,
+        c_in: 32,
+        c_out: 32,
+        t: 256,
+        k: 9,
+        dilation: 4,
+    }];
+    if !quick {
+        cases.push(ConvCase {
+            n: 16,
+            c_in: 64,
+            c_out: 64,
+            t: 512,
+            k: 17,
+            dilation: 8,
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut out = Vec::new();
+    for case in &cases {
+        let x = init::uniform(&mut rng, &[case.n, case.c_in, case.t], 1.0);
+        let w = init::uniform(&mut rng, &[case.c_out, case.c_in, case.k], 1.0);
+        let b = init::uniform(&mut rng, &[case.c_out], 1.0);
+        let g = init::uniform(&mut rng, &[case.n, case.c_out, case.t], 1.0);
+        let x_dims = x.dims().to_vec();
+        let flops = Some(case.flops());
+        let d = case.dilation;
+
+        let ns = measure(opts, || {
+            std::hint::black_box(x.conv1d_causal(&w, Some(&b), d).unwrap());
+        });
+        out.push(record(
+            "conv",
+            "conv1d_forward/fast",
+            case.shape(),
+            ns,
+            flops,
+        ));
+        let ns = measure(opts, || {
+            std::hint::black_box(x.conv1d_causal_naive(&w, Some(&b), d).unwrap());
+        });
+        out.push(record(
+            "conv",
+            "conv1d_forward/naive",
+            case.shape(),
+            ns,
+            flops,
+        ));
+
+        let ns = measure(opts, || {
+            std::hint::black_box(Tensor::conv1d_causal_grad_input(&g, &w, &x_dims, d).unwrap());
+        });
+        out.push(record(
+            "conv",
+            "conv1d_grad_input/fast",
+            case.shape(),
+            ns,
+            flops,
+        ));
+        let ns = measure(opts, || {
+            std::hint::black_box(
+                Tensor::conv1d_causal_grad_input_naive(&g, &w, &x_dims, d).unwrap(),
+            );
+        });
+        out.push(record(
+            "conv",
+            "conv1d_grad_input/naive",
+            case.shape(),
+            ns,
+            flops,
+        ));
+
+        let ns = measure(opts, || {
+            std::hint::black_box(Tensor::conv1d_causal_grad_weight(&x, &g, case.k, d).unwrap());
+        });
+        out.push(record(
+            "conv",
+            "conv1d_grad_weight/fast",
+            case.shape(),
+            ns,
+            flops,
+        ));
+        let ns = measure(opts, || {
+            std::hint::black_box(
+                Tensor::conv1d_causal_grad_weight_naive(&x, &g, case.k, d).unwrap(),
+            );
+        });
+        out.push(record(
+            "conv",
+            "conv1d_grad_weight/naive",
+            case.shape(),
+            ns,
+            flops,
+        ));
+    }
+    out
+}
+
+/// Masked-training suite: one forward+backward step of a `PitConv1d` layer
+/// through the fused mask kernel versus the unfused `W ⊙ M` composition,
+/// versus the true dilated convolution the search would deploy.
+pub fn masking_suite(opts: &MeasureOpts, quick: bool) -> Vec<BenchRecord> {
+    let rf_max = 33usize;
+    let (n, c, t) = if quick { (4, 16, 64) } else { (8, 32, 256) };
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = init::uniform(&mut rng, &[n, c, t], 1.0);
+    let mut out = Vec::new();
+    for dilation in [1usize, 16] {
+        let masked = PitConv1d::new(&mut rng, c, c, rf_max, "bench");
+        masked.set_dilation(dilation);
+        let alive = (rf_max - 1) / dilation + 1;
+        let dilated = CausalConv1d::new(&mut rng, c, c, alive, dilation);
+        let shape = format!("N{n} C{c}->{c} T{t} rf{rf_max} d{dilation}");
+        let flops = Some(2.0 * (n * c * c * rf_max * t) as f64);
+
+        let ns = measure(opts, || {
+            let mut tape = Tape::new();
+            let vx = tape.constant(x.clone());
+            let y = masked.forward(&mut tape, vx, Mode::Train);
+            let loss = tape.sum(y);
+            tape.backward(loss);
+        });
+        out.push(record(
+            "masking",
+            "masked_step/fused",
+            shape.clone(),
+            ns,
+            flops,
+        ));
+
+        let ns = measure(opts, || {
+            let mut tape = Tape::new();
+            let vx = tape.constant(x.clone());
+            let w = tape.param(masked.weight_param());
+            let b = tape.param(masked.bias_param());
+            let m = masked.mask(&mut tape);
+            let wm = tape.mul_time_mask(w, m);
+            let y = tape.conv1d_causal(vx, wm, Some(b), 1);
+            let loss = tape.sum(y);
+            tape.backward(loss);
+        });
+        out.push(record(
+            "masking",
+            "masked_step/unfused",
+            shape.clone(),
+            ns,
+            flops,
+        ));
+
+        let ns = measure(opts, || {
+            let mut tape = Tape::new();
+            let vx = tape.constant(x.clone());
+            let y = dilated.forward(&mut tape, vx, Mode::Train);
+            let loss = tape.sum(y);
+            tape.backward(loss);
+        });
+        out.push(record("masking", "true_dilated_step", shape, ns, flops));
+    }
+    out
+}
+
+/// Search-cost suite: one full PIT search step (masked forward, task loss,
+/// size regulariser, backward, Adam update) at the quick experiment scale.
+pub fn search_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
+    use crate::experiments::{build_benchmark, build_network, pit_config};
+    use crate::{ExperimentScale, SeedKind};
+    use pit_nas::{SearchableNetwork, SizeRegularizer};
+    use pit_nn::{Adam, LossKind, Optimizer};
+
+    let scale = ExperimentScale::quick();
+    let bench = build_benchmark(SeedKind::TempoNet, &scale);
+    let batch = bench
+        .train
+        .gather(&(0..scale.batch_size.min(bench.train.len())).collect::<Vec<_>>());
+    let net = build_network(SeedKind::TempoNet, &scale, 0);
+    let cfg = pit_config(&scale, 1e-4, 0);
+    let regularizer = SizeRegularizer::new(cfg.lambda);
+    let mut opt = Adam::new(net.params(), cfg.learning_rate);
+    let shape = format!(
+        "TempoNet/quick B{} T{}",
+        batch.inputs.dims()[0],
+        scale.temponet_window
+    );
+    let ns = measure(opts, || {
+        opt.zero_grad();
+        let mut tape = Tape::new();
+        let x = tape.constant(batch.inputs.clone());
+        let pred = net.forward(&mut tape, x, Mode::Train);
+        let task = LossKind::Mae.apply(&mut tape, pred, &batch.targets);
+        let reg = regularizer.term(&mut tape, &net.pit_layers());
+        let total = tape.add(task, reg);
+        tape.backward(total);
+        opt.step();
+    });
+    vec![record("search", "pit_search_step", shape, ns, None)]
+}
+
+/// Runs every suite.
+pub fn run_suites(quick: bool) -> Vec<BenchRecord> {
+    let opts = if quick {
+        MeasureOpts::quick()
+    } else {
+        MeasureOpts::full()
+    };
+    let mut records = conv_suite(&opts, quick);
+    records.extend(masking_suite(&opts, quick));
+    records.extend(search_suite(&opts));
+    records
+}
+
+// ---------------------------------------------------------------------------
+// JSON round trip
+// ---------------------------------------------------------------------------
+
+/// Serialises records to the committed `BENCH_conv.json` schema.
+pub fn records_to_json(records: &[BenchRecord], mode: &str) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("pit-bench/1".into())),
+        ("mode".into(), Json::Str(mode.into())),
+        (
+            "records".into(),
+            Json::Arr(
+                records
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("suite".into(), Json::Str(r.suite.clone())),
+                            ("op".into(), Json::Str(r.op.clone())),
+                            ("shape".into(), Json::Str(r.shape.clone())),
+                            ("ns_per_iter".into(), Json::Num(r.ns_per_iter)),
+                            ("throughput".into(), Json::Num(r.throughput)),
+                            (
+                                "throughput_unit".into(),
+                                Json::Str(r.throughput_unit.clone()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The `mode` a `BENCH_conv.json` document was recorded with
+/// (`quick`/`full`), when present.
+pub fn document_mode(doc: &Json) -> Option<&str> {
+    doc.get("mode").and_then(Json::as_str)
+}
+
+/// Parses a `BENCH_conv.json` document back into records.
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or ill-typed field.
+pub fn records_from_json(doc: &Json) -> Result<Vec<BenchRecord>, String> {
+    let records = doc
+        .get("records")
+        .and_then(Json::as_array)
+        .ok_or("missing 'records' array")?;
+    records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let text = |field: &str| -> Result<String, String> {
+                r.get(field)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("record {i}: missing string field '{field}'"))
+            };
+            let num = |field: &str| -> Result<f64, String> {
+                r.get(field)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("record {i}: missing number field '{field}'"))
+            };
+            Ok(BenchRecord {
+                suite: text("suite")?,
+                op: text("op")?,
+                shape: text("shape")?,
+                ns_per_iter: num("ns_per_iter")?,
+                throughput: num("throughput")?,
+                throughput_unit: text("throughput_unit")?,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Baseline comparison
+// ---------------------------------------------------------------------------
+
+/// Verdict for one baseline record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Pass,
+    Regressed,
+    Missing,
+}
+
+/// One row of a baseline comparison.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    pub key: String,
+    pub baseline_ns: f64,
+    pub current_ns: Option<f64>,
+    /// `current / baseline` after normalisation (1.0 = unchanged).
+    pub ratio: Option<f64>,
+    pub verdict: Verdict,
+}
+
+/// Result of diffing a current run against a committed baseline.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    pub rows: Vec<CompareRow>,
+    /// Machine-speed factor divided out of the ratios (1.0 when not
+    /// normalising).
+    pub speed_factor: f64,
+    pub tolerance: f64,
+}
+
+impl CompareReport {
+    /// `true` when no baseline record regressed or went missing.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.verdict == Verdict::Pass)
+    }
+
+    /// Renders the comparison as an aligned table plus a one-line summary.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            format!("bench compare (tolerance {:.2}x)", self.tolerance),
+            &["op::shape", "baseline ns", "current ns", "ratio", "verdict"],
+        );
+        for row in &self.rows {
+            table.row(&[
+                row.key.clone(),
+                format!("{:.0}", row.baseline_ns),
+                row.current_ns
+                    .map(|ns| format!("{ns:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+                row.ratio
+                    .map(|r| format!("{r:.2}x"))
+                    .unwrap_or_else(|| "-".into()),
+                match row.verdict {
+                    Verdict::Pass => "ok".into(),
+                    Verdict::Regressed => "REGRESSED".into(),
+                    Verdict::Missing => "MISSING".into(),
+                },
+            ]);
+        }
+        let failures = self
+            .rows
+            .iter()
+            .filter(|r| r.verdict != Verdict::Pass)
+            .count();
+        format!(
+            "{}machine speed factor: {:.2} | {} of {} checks failed\n",
+            table.render(),
+            self.speed_factor,
+            failures,
+            self.rows.len()
+        )
+    }
+}
+
+/// Diffs `current` against `baseline`.
+///
+/// Every baseline record must appear in the current run and take at most
+/// `tolerance ×` its baseline time. With `normalize`, a machine-speed factor
+/// is divided out first, so the gate measures *relative* kernel regressions
+/// rather than the raw speed of the CI machine — the right setting for
+/// cross-machine comparisons.
+///
+/// The factor is the median current/baseline ratio over the `/naive`
+/// reference records when any exist (they never change between PRs and do
+/// not thread, so they anchor pure machine speed; using the optimised
+/// records would let a uniform regression of the fast kernels normalise
+/// itself away), over all records otherwise.
+pub fn compare(
+    baseline: &[BenchRecord],
+    current: &[BenchRecord],
+    tolerance: f64,
+    normalize: bool,
+) -> CompareReport {
+    let lookup = |records: &[BenchRecord], key: &str| -> Option<f64> {
+        records
+            .iter()
+            .find(|r| r.key() == key)
+            .map(|r| r.ns_per_iter)
+    };
+    let ratios_of = |anchor_only: bool| -> Vec<f64> {
+        let mut ratios: Vec<f64> = baseline
+            .iter()
+            .filter(|b| !anchor_only || b.op.ends_with("/naive"))
+            .filter_map(|b| lookup(current, &b.key()).map(|cur| cur / b.ns_per_iter))
+            .collect();
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        ratios
+    };
+    let speed_factor = if normalize {
+        let anchors = ratios_of(true);
+        let ratios = if anchors.is_empty() {
+            ratios_of(false)
+        } else {
+            anchors
+        };
+        if ratios.is_empty() {
+            1.0
+        } else {
+            ratios[ratios.len() / 2]
+        }
+    } else {
+        1.0
+    };
+    let rows = baseline
+        .iter()
+        .map(|b| {
+            let key = b.key();
+            let current_ns = lookup(current, &key);
+            let ratio = current_ns.map(|cur| cur / b.ns_per_iter / speed_factor);
+            let verdict = match ratio {
+                None => Verdict::Missing,
+                Some(r) if r > tolerance => Verdict::Regressed,
+                Some(_) => Verdict::Pass,
+            };
+            CompareRow {
+                key,
+                baseline_ns: b.ns_per_iter,
+                current_ns,
+                ratio,
+                verdict,
+            }
+        })
+        .collect();
+    CompareReport {
+        rows,
+        speed_factor,
+        tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(op: &str, ns: f64) -> BenchRecord {
+        BenchRecord {
+            suite: "conv".into(),
+            op: op.into(),
+            shape: "N1".into(),
+            ns_per_iter: ns,
+            throughput: 1e9 / ns,
+            throughput_unit: "iter/s".into(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_records() {
+        let records = vec![rec("a/fast", 1200.0), rec("b/naive", 34567.5)];
+        let doc = records_to_json(&records, "quick");
+        let text = doc.render();
+        let parsed = records_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn records_from_json_rejects_missing_fields() {
+        let doc = Json::parse(r#"{"records": [{"op": "x"}]}"#).unwrap();
+        let err = records_from_json(&doc).unwrap_err();
+        assert!(err.contains("suite"), "{err}");
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance_and_fails_beyond() {
+        let baseline = vec![rec("a", 1000.0), rec("b", 1000.0)];
+        let ok = vec![rec("a", 1500.0), rec("b", 900.0)];
+        assert!(compare(&baseline, &ok, 2.0, false).passed());
+        let slow = vec![rec("a", 2500.0), rec("b", 900.0)];
+        let report = compare(&baseline, &slow, 2.0, false);
+        assert!(!report.passed());
+        assert_eq!(report.rows[0].verdict, Verdict::Regressed);
+        assert_eq!(report.rows[1].verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn compare_flags_missing_records() {
+        let baseline = vec![rec("a", 1000.0), rec("gone", 1000.0)];
+        let current = vec![rec("a", 1000.0)];
+        let report = compare(&baseline, &current, 2.0, false);
+        assert!(!report.passed());
+        assert_eq!(report.rows[1].verdict, Verdict::Missing);
+        assert!(report.render().contains("MISSING"));
+    }
+
+    #[test]
+    fn normalization_divides_out_machine_speed() {
+        // The whole machine is 3x slower: raw comparison fails, normalised
+        // passes because every kernel kept its relative cost.
+        let baseline = vec![rec("a", 1000.0), rec("b", 2000.0), rec("c", 500.0)];
+        let slower = vec![rec("a", 3000.0), rec("b", 6000.0), rec("c", 1500.0)];
+        assert!(!compare(&baseline, &slower, 2.0, false).passed());
+        let report = compare(&baseline, &slower, 2.0, true);
+        assert!((report.speed_factor - 3.0).abs() < 1e-9);
+        assert!(report.passed());
+        // A kernel-specific regression still fails after normalisation.
+        let one_bad = vec![rec("a", 3000.0), rec("b", 2000.0), rec("c", 500.0)];
+        assert!(!compare(&baseline, &one_bad, 2.0, true).passed());
+    }
+
+    #[test]
+    fn normalization_anchors_on_naive_reference_records() {
+        let baseline = vec![
+            rec("conv/naive", 1000.0),
+            rec("conv/fast", 1000.0),
+            rec("grads/fast", 1000.0),
+        ];
+        // A multi-core runner: the threaded fast kernels got 4x faster, the
+        // serial naive anchors did not. The anchor keeps the fast speedup
+        // from being mistaken for machine speed — everything passes.
+        let multicore = vec![
+            rec("conv/naive", 1000.0),
+            rec("conv/fast", 250.0),
+            rec("grads/fast", 250.0),
+        ];
+        let report = compare(&baseline, &multicore, 2.0, true);
+        assert!((report.speed_factor - 1.0).abs() < 1e-9);
+        assert!(report.passed());
+        // A uniform regression of every fast kernel must NOT normalise
+        // itself away: the naive anchor pins the machine factor at 1.
+        let fast_rot = vec![
+            rec("conv/naive", 1000.0),
+            rec("conv/fast", 3000.0),
+            rec("grads/fast", 3000.0),
+        ];
+        assert!(!compare(&baseline, &fast_rot, 2.0, true).passed());
+    }
+
+    #[test]
+    fn measure_reports_plausible_time() {
+        let opts = MeasureOpts {
+            samples: 3,
+            target_sample_ns: 100_000,
+        };
+        let mut acc = 0u64;
+        let ns = measure(&opts, || {
+            acc = acc.wrapping_add(std::hint::black_box(1));
+        });
+        assert!(ns > 0.0 && ns < 1e7, "implausible ns/iter: {ns}");
+    }
+}

@@ -44,11 +44,17 @@ impl Table {
     }
 
     /// Renders the table as an aligned string.
+    ///
+    /// Column widths are computed over the header *and* every data row, in
+    /// characters rather than bytes, so cells wider than their header — or
+    /// containing multi-byte glyphs like the `→` of layer descriptions — do
+    /// not push later columns out of alignment.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let display_width = |s: &str| s.chars().count();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| display_width(h)).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+                widths[i] = widths[i].max(display_width(cell));
             }
         }
         let mut out = String::new();
@@ -57,7 +63,12 @@ impl Table {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:<width$}", c, width = widths[i] + 2))
+                .map(|(i, c)| {
+                    // `{:<width$}` pads to a byte-derived width for non-ASCII
+                    // content; pad by character count instead.
+                    let pad = (widths[i] + 2).saturating_sub(display_width(c));
+                    format!("{}{}", c, " ".repeat(pad))
+                })
                 .collect::<String>()
         };
         out.push_str(&fmt_row(&self.header));
@@ -103,6 +114,33 @@ mod tests {
         assert!(s.contains("a much longer name"));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn alignment_survives_wide_and_non_ascii_cells() {
+        // Regression test: cells wider than their header, and cells with
+        // multi-byte glyphs, must not shift the columns that follow them.
+        let mut t = Table::new("align", &["a", "b", "c"]);
+        t.row(&["x".into(), "1".into(), "end".into()]);
+        t.row(&["PitConv1d(2→4, d=8)".into(), "123456".into(), "end".into()]);
+        t.row(&["§§§".into(), "2".into(), "end".into()]);
+        let s = t.render();
+        let positions: Vec<usize> = s
+            .lines()
+            .filter(|l| l.contains("end"))
+            .map(|l| {
+                l.char_indices()
+                    .enumerate()
+                    .find(|(_, (byte, _))| l[*byte..].starts_with("end"))
+                    .map(|(chars, _)| chars)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(positions.len(), 3);
+        assert!(
+            positions.windows(2).all(|w| w[0] == w[1]),
+            "column 'c' drifts: {positions:?}\n{s}"
+        );
     }
 
     #[test]

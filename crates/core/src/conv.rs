@@ -249,8 +249,9 @@ impl Layer for PitConv1d {
         let w = tape.param(&self.weight);
         let b = tape.param(&self.bias);
         let mask = self.mask(tape);
-        let masked_w = tape.mul_time_mask(w, mask);
-        tape.conv1d_causal(input, masked_w, Some(b), 1)
+        // Fused mask ⊙ weight gather: one pass, no materialised W ⊙ M node,
+        // and fully masked taps are skipped by the conv kernels.
+        tape.conv1d_causal_masked(input, w, mask, Some(b), 1)
     }
 
     fn params(&self) -> Vec<Param> {

@@ -41,8 +41,10 @@
 pub mod error;
 pub mod grad_check;
 pub mod init;
+pub(crate) mod kernels;
 pub mod ops;
 pub mod param;
+pub mod pool;
 pub mod shape;
 pub mod tape;
 pub mod tensor;

@@ -1,0 +1,191 @@
+//! A tiny batch-parallel worker pool for the numerical kernels.
+//!
+//! The convolution kernels in this crate are embarrassingly parallel over the
+//! batch axis: every sample of a `[N, C, T]` activation writes a disjoint
+//! slice of the output. This module provides the two execution shapes those
+//! kernels need:
+//!
+//! * [`for_each_chunk`] — run a closure over disjoint `&mut` chunks of an
+//!   output buffer (forward pass, input gradients);
+//! * [`map_accumulate`] — run a closure per item into per-worker accumulator
+//!   buffers and sum them (weight gradients, which reduce over the batch).
+//!
+//! Workers are scoped threads pulling indices from a shared
+//! [`parking_lot::Mutex`]-guarded queue, so the vendored `parking_lot` stub is
+//! all the synchronisation the pool needs. Threading only kicks in when
+//! [`plan_threads`] decides the work amortises the spawn cost; on a
+//! single-core host (or for small tensors) everything runs inline on the
+//! caller's thread.
+//!
+//! The worker count is capped by `std::thread::available_parallelism`, or by
+//! the `PIT_NUM_THREADS` environment variable when set (`PIT_NUM_THREADS=1`
+//! forces fully deterministic serial execution).
+
+use parking_lot::Mutex;
+use std::sync::OnceLock;
+
+/// Minimum multiply-accumulate operations a thread must receive before
+/// spawning it is worth the ~tens-of-microseconds thread start cost.
+const MIN_WORK_PER_THREAD: usize = 1 << 20;
+
+/// Maximum worker count: `PIT_NUM_THREADS` if set, otherwise the detected
+/// hardware parallelism (1 when detection fails).
+pub fn max_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        if let Some(n) = std::env::var("PIT_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Picks a worker count for `items` units of work costing `work_per_item`
+/// multiply-accumulates each. Returns 1 (run inline) when the work would not
+/// amortise thread spawning.
+pub fn plan_threads(items: usize, work_per_item: usize) -> usize {
+    let by_work = (items.saturating_mul(work_per_item) / MIN_WORK_PER_THREAD).max(1);
+    max_threads().min(items).min(by_work).max(1)
+}
+
+/// Splits `out` into consecutive chunks of `chunk_len` and runs
+/// `f(chunk_index, chunk)` for each, using up to `threads` workers.
+///
+/// Chunks are disjoint, so workers never alias; a trailing chunk shorter than
+/// `chunk_len` (when `out.len()` is not a multiple) is processed like any
+/// other.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero and `out` is non-empty.
+pub fn for_each_chunk(
+    out: &mut [f32],
+    chunk_len: usize,
+    threads: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if out.is_empty() {
+        return;
+    }
+    if threads <= 1 {
+        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let chunks: Vec<(usize, &mut [f32])> = out.chunks_mut(chunk_len).enumerate().collect();
+    let queue = Mutex::new(chunks.into_iter());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = queue.lock().next();
+                match next {
+                    Some((i, chunk)) => f(i, chunk),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Runs `f(item_index, accumulator)` for every item in `0..items`, where each
+/// worker owns a zero-initialised accumulator of `acc_len` floats that `f`
+/// adds into; the per-worker accumulators are summed into the returned buffer.
+///
+/// With `threads <= 1` a single accumulator is reused serially, which is also
+/// the fully deterministic path (`PIT_NUM_THREADS=1`).
+pub fn map_accumulate(
+    items: usize,
+    acc_len: usize,
+    threads: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) -> Vec<f32> {
+    if threads <= 1 || items <= 1 {
+        let mut acc = vec![0.0f32; acc_len];
+        for i in 0..items {
+            f(i, &mut acc);
+        }
+        return acc;
+    }
+    let queue = Mutex::new(0..items);
+    let partials: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::with_capacity(threads));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut acc = vec![0.0f32; acc_len];
+                loop {
+                    let next = queue.lock().next();
+                    match next {
+                        Some(i) => f(i, &mut acc),
+                        None => break,
+                    }
+                }
+                partials.lock().push(acc);
+            });
+        }
+    });
+    let mut total = vec![0.0f32; acc_len];
+    for partial in partials.into_inner() {
+        for (t, v) in total.iter_mut().zip(partial) {
+            *t += v;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_iteration_covers_every_chunk() {
+        for threads in [1usize, 3] {
+            let mut buf = vec![0.0f32; 10];
+            for_each_chunk(&mut buf, 3, threads, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = i as f32 + 1.0;
+                }
+            });
+            assert_eq!(
+                buf,
+                vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0],
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_a_no_op() {
+        let mut buf: Vec<f32> = Vec::new();
+        for_each_chunk(&mut buf, 4, 4, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn accumulate_sums_every_item_once() {
+        for threads in [1usize, 4] {
+            let total = map_accumulate(7, 2, threads, |i, acc| {
+                acc[0] += i as f32;
+                acc[1] += 1.0;
+            });
+            assert_eq!(total, vec![21.0, 7.0], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn plan_threads_stays_serial_for_small_work() {
+        assert_eq!(plan_threads(8, 10), 1);
+        assert_eq!(plan_threads(0, 1 << 30), 1);
+        // Huge work is capped by the item count and the hardware.
+        assert!(plan_threads(2, 1 << 24) <= 2);
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -150,6 +150,25 @@ impl Tape {
         )
     }
 
+    pub(crate) fn push_ternary(
+        &mut self,
+        a: Var,
+        b: Var,
+        c: Var,
+        value: Tensor,
+        backward: impl Fn(&Tensor) -> (Tensor, Tensor, Tensor) + 'static,
+    ) -> Var {
+        self.push(
+            value,
+            vec![a.0, b.0, c.0],
+            Some(Box::new(move |g| {
+                let (ga, gb, gc) = backward(g);
+                vec![ga, gb, gc]
+            })),
+            None,
+        )
+    }
+
     /// Runs reverse-mode differentiation from `root`.
     ///
     /// The adjoint of `root` is seeded with ones (for the usual scalar-loss

@@ -401,19 +401,7 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += a * brow[j];
-                }
-            }
-        }
+        crate::kernels::gemm(m, k, n, &self.data, &other.data, &mut out);
         Ok(Self {
             shape: Shape::new(&[m, n]),
             data: out,
@@ -450,26 +438,15 @@ impl Tensor {
     // Convolution / pooling kernels (raw, non-autograd)
     // ------------------------------------------------------------------
 
-    /// Causal dilated 1-D convolution.
-    ///
-    /// * `self`: input of shape `[N, C_in, T]`
-    /// * `weight`: filters of shape `[C_out, C_in, K]`
-    /// * `bias`: optional bias of shape `[C_out]`
-    /// * `dilation`: step between taps along the time axis (must be >= 1)
-    ///
-    /// Output `[N, C_out, T]` with `y[n, co, t] = Σ_ci Σ_k x[n, ci, t − d·k] · w[co, ci, k]`,
-    /// where out-of-range (negative-time) samples contribute zero. Tap index
-    /// `k = 0` is the most recent sample, matching Eq. (1) of the PIT paper.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on rank or channel mismatches or when `dilation == 0`.
-    pub fn conv1d_causal(
+    /// Validates the operand shapes of a causal convolution and returns its
+    /// geometry.
+    fn conv1d_check(
         &self,
         weight: &Tensor,
         bias: Option<&Tensor>,
+        mask: Option<&Tensor>,
         dilation: usize,
-    ) -> Result<Self> {
+    ) -> Result<crate::kernels::ConvShape> {
         if self.shape.rank() != 3 {
             return Err(TensorError::RankMismatch {
                 op: "conv1d_causal",
@@ -512,37 +489,94 @@ impl Tensor {
                 });
             }
         }
-        let mut out = vec![0.0f32; n * c_out * t];
-        for bn in 0..n {
-            for co in 0..c_out {
-                let out_base = (bn * c_out + co) * t;
-                let b = bias.map(|b| b.data[co]).unwrap_or(0.0);
-                if b != 0.0 {
-                    for v in &mut out[out_base..out_base + t] {
-                        *v = b;
-                    }
-                }
-                for ci in 0..c_in {
-                    let x_base = (bn * c_in + ci) * t;
-                    let w_base = (co * c_in + ci) * k;
-                    for kk in 0..k {
-                        let w = weight.data[w_base + kk];
-                        if w == 0.0 {
-                            continue;
-                        }
-                        let shift = kk * dilation;
-                        if shift >= t {
-                            continue;
-                        }
-                        for tt in shift..t {
-                            out[out_base + tt] += w * self.data[x_base + tt - shift];
-                        }
-                    }
-                }
+        if let Some(m) = mask {
+            if m.dims() != [k] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "conv1d_causal(mask)",
+                    lhs: vec![k],
+                    rhs: m.dims().to_vec(),
+                });
             }
         }
+        Ok(crate::kernels::ConvShape {
+            n,
+            c_in,
+            t,
+            c_out,
+            k,
+            dilation,
+        })
+    }
+
+    /// Causal dilated 1-D convolution.
+    ///
+    /// * `self`: input of shape `[N, C_in, T]`
+    /// * `weight`: filters of shape `[C_out, C_in, K]`
+    /// * `bias`: optional bias of shape `[C_out]`
+    /// * `dilation`: step between taps along the time axis (must be >= 1)
+    ///
+    /// Output `[N, C_out, T]` with `y[n, co, t] = Σ_ci Σ_k x[n, ci, t − d·k] · w[co, ci, k]`,
+    /// where out-of-range (negative-time) samples contribute zero. Tap index
+    /// `k = 0` is the most recent sample, matching Eq. (1) of the PIT paper.
+    ///
+    /// Runs through the im2col/GEMM kernels of this crate, batch-parallel
+    /// over `N` for large tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank or channel mismatches or when `dilation == 0`.
+    pub fn conv1d_causal(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        dilation: usize,
+    ) -> Result<Self> {
+        let s = self.conv1d_check(weight, bias, None, dilation)?;
+        let mut out = vec![0.0f32; s.n * s.c_out * s.t];
+        crate::kernels::conv1d_forward(
+            &self.data,
+            &weight.data,
+            bias.map(|b| b.data.as_slice()),
+            None,
+            &s,
+            &mut out,
+        );
         Ok(Self {
-            shape: Shape::new(&[n, c_out, t]),
+            shape: Shape::new(&[s.n, s.c_out, s.t]),
+            data: out,
+        })
+    }
+
+    /// Causal dilated 1-D convolution with a per-tap time mask fused into the
+    /// weight gather: computes `conv(x, W ⊙ M)` without materialising
+    /// `W ⊙ M`, and skips fully masked taps entirely.
+    ///
+    /// * `mask`: shape `[K]`, one multiplier per filter tap (the PIT mask
+    ///   `M` of Eq. 3–5).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank, channel, bias or mask-shape mismatches or
+    /// when `dilation == 0`.
+    pub fn conv1d_causal_masked(
+        &self,
+        weight: &Tensor,
+        mask: &Tensor,
+        bias: Option<&Tensor>,
+        dilation: usize,
+    ) -> Result<Self> {
+        let s = self.conv1d_check(weight, bias, Some(mask), dilation)?;
+        let mut out = vec![0.0f32; s.n * s.c_out * s.t];
+        crate::kernels::conv1d_forward(
+            &self.data,
+            &weight.data,
+            bias.map(|b| b.data.as_slice()),
+            Some(&mask.data),
+            &s,
+            &mut out,
+        );
+        Ok(Self {
+            shape: Shape::new(&[s.n, s.c_out, s.t]),
             data: out,
         })
     }
@@ -558,6 +592,34 @@ impl Tensor {
     pub fn conv1d_causal_grad_input(
         grad_out: &Tensor,
         weight: &Tensor,
+        input_shape: &[usize],
+        dilation: usize,
+    ) -> Result<Self> {
+        Self::conv1d_grad_input_impl(grad_out, weight, None, input_shape, dilation)
+    }
+
+    /// Gradient of [`Tensor::conv1d_causal_masked`] with respect to the
+    /// input: like [`Tensor::conv1d_causal_grad_input`] but with the `[K]`
+    /// time mask fused into the weight gather.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank or mask-shape mismatches or when
+    /// `dilation == 0`.
+    pub fn conv1d_causal_masked_grad_input(
+        grad_out: &Tensor,
+        weight: &Tensor,
+        mask: &Tensor,
+        input_shape: &[usize],
+        dilation: usize,
+    ) -> Result<Self> {
+        Self::conv1d_grad_input_impl(grad_out, weight, Some(mask), input_shape, dilation)
+    }
+
+    fn conv1d_grad_input_impl(
+        grad_out: &Tensor,
+        weight: &Tensor,
+        mask: Option<&Tensor>,
         input_shape: &[usize],
         dilation: usize,
     ) -> Result<Self> {
@@ -592,30 +654,31 @@ impl Tensor {
                 rhs: weight.dims().to_vec(),
             });
         }
-        let mut out = vec![0.0f32; n * c_in * t];
-        for bn in 0..n {
-            for co in 0..c_out {
-                let go_base = (bn * c_out + co) * t;
-                for ci in 0..c_in {
-                    let gx_base = (bn * c_in + ci) * t;
-                    let w_base = (co * c_in + ci) * k;
-                    for kk in 0..k {
-                        let w = weight.data[w_base + kk];
-                        if w == 0.0 {
-                            continue;
-                        }
-                        let shift = kk * dilation;
-                        if shift >= t {
-                            continue;
-                        }
-                        // y[t] += w * x[t - shift]  =>  dx[t - shift] += w * dy[t]
-                        for tt in shift..t {
-                            out[gx_base + tt - shift] += w * grad_out.data[go_base + tt];
-                        }
-                    }
-                }
+        if let Some(m) = mask {
+            if m.dims() != [k] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "conv1d_causal_grad_input(mask)",
+                    lhs: vec![k],
+                    rhs: m.dims().to_vec(),
+                });
             }
         }
+        let s = crate::kernels::ConvShape {
+            n,
+            c_in,
+            t,
+            c_out,
+            k,
+            dilation,
+        };
+        let mut out = vec![0.0f32; n * c_in * t];
+        crate::kernels::conv1d_grad_input(
+            &grad_out.data,
+            &weight.data,
+            mask.map(|m| m.data.as_slice()),
+            &s,
+            &mut out,
+        );
         Ok(Self {
             shape: Shape::new(&[n, c_in, t]),
             data: out,
@@ -663,29 +726,119 @@ impl Tensor {
             });
         }
         let k = kernel_size;
+        let s = crate::kernels::ConvShape {
+            n,
+            c_in,
+            t,
+            c_out,
+            k,
+            dilation,
+        };
         let mut out = vec![0.0f32; c_out * c_in * k];
-        for bn in 0..n {
-            for co in 0..c_out {
-                let go_base = (bn * c_out + co) * t;
-                for ci in 0..c_in {
-                    let x_base = (bn * c_in + ci) * t;
-                    let w_base = (co * c_in + ci) * k;
-                    for kk in 0..k {
-                        let shift = kk * dilation;
-                        if shift >= t {
-                            continue;
-                        }
-                        let mut acc = 0.0f32;
-                        for tt in shift..t {
-                            acc += grad_out.data[go_base + tt] * input.data[x_base + tt - shift];
-                        }
-                        out[w_base + kk] += acc;
-                    }
-                }
-            }
-        }
+        crate::kernels::conv1d_grad_weight(&input.data, &grad_out.data, &s, &mut out);
         Ok(Self {
             shape: Shape::new(&[c_out, c_in, k]),
+            data: out,
+        })
+    }
+
+    /// The seed's nested-loop causal convolution, kept as the reference
+    /// oracle for the im2col/GEMM kernels (tests and the `pit-bench`
+    /// before/after suite).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::conv1d_causal`].
+    #[cfg(any(test, feature = "reference"))]
+    pub fn conv1d_causal_naive(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        dilation: usize,
+    ) -> Result<Self> {
+        let s = self.conv1d_check(weight, bias, None, dilation)?;
+        let mut out = vec![0.0f32; s.n * s.c_out * s.t];
+        crate::kernels::naive_conv1d_forward(
+            &self.data,
+            &weight.data,
+            bias.map(|b| b.data.as_slice()),
+            &s,
+            &mut out,
+        );
+        Ok(Self {
+            shape: Shape::new(&[s.n, s.c_out, s.t]),
+            data: out,
+        })
+    }
+
+    /// Reference-oracle counterpart of [`Tensor::conv1d_causal_grad_input`]
+    /// (the seed's nested-loop implementation).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::conv1d_causal_grad_input`].
+    #[cfg(any(test, feature = "reference"))]
+    pub fn conv1d_causal_grad_input_naive(
+        grad_out: &Tensor,
+        weight: &Tensor,
+        input_shape: &[usize],
+        dilation: usize,
+    ) -> Result<Self> {
+        if grad_out.shape.rank() != 3 || weight.shape.rank() != 3 || input_shape.len() != 3 {
+            return Err(TensorError::RankMismatch {
+                op: "conv1d_causal_grad_input_naive",
+                expected: 3,
+                actual: grad_out.shape.rank(),
+            });
+        }
+        let s = crate::kernels::ConvShape {
+            n: input_shape[0],
+            c_in: input_shape[1],
+            t: input_shape[2],
+            c_out: weight.shape.dim(0),
+            k: weight.shape.dim(2),
+            dilation,
+        };
+        let mut out = vec![0.0f32; s.n * s.c_in * s.t];
+        crate::kernels::naive_conv1d_grad_input(&grad_out.data, &weight.data, &s, &mut out);
+        Ok(Self {
+            shape: Shape::new(&[s.n, s.c_in, s.t]),
+            data: out,
+        })
+    }
+
+    /// Reference-oracle counterpart of [`Tensor::conv1d_causal_grad_weight`]
+    /// (the seed's nested-loop implementation).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::conv1d_causal_grad_weight`].
+    #[cfg(any(test, feature = "reference"))]
+    pub fn conv1d_causal_grad_weight_naive(
+        input: &Tensor,
+        grad_out: &Tensor,
+        kernel_size: usize,
+        dilation: usize,
+    ) -> Result<Self> {
+        if grad_out.shape.rank() != 3 || input.shape.rank() != 3 {
+            return Err(TensorError::RankMismatch {
+                op: "conv1d_causal_grad_weight_naive",
+                expected: 3,
+                actual: input.shape.rank(),
+            });
+        }
+        let s = crate::kernels::ConvShape {
+            n: input.shape.dim(0),
+            c_in: input.shape.dim(1),
+            t: input.shape.dim(2),
+            c_out: grad_out.shape.dim(1),
+            k: kernel_size,
+            dilation,
+        };
+        let mut out = vec![0.0f32; s.c_out * s.c_in * s.k];
+        crate::kernels::naive_conv1d_grad_weight(&input.data, &grad_out.data, &s, &mut out);
+        Ok(Self {
+            shape: Shape::new(&[s.c_out, s.c_in, s.k]),
             data: out,
         })
     }
