@@ -1,10 +1,13 @@
 //! Machine-readable benchmark runner and regression gate.
 //!
 //! ```text
-//! bench_json [--quick | --full] [--out PATH]
-//!     Runs the conv / masking / search suites and writes the JSON report
-//!     (stdout when --out is omitted). --quick is the default and what CI
-//!     and the committed BENCH_conv.json baseline use.
+//! bench_json [--quick | --full] [--suites LIST] [--out PATH]
+//!     Runs benchmark suites and writes the JSON report (stdout when --out
+//!     is omitted). --suites is a comma-separated subset of
+//!     conv,masking,search,infer; the default (conv,masking,search) is the
+//!     committed BENCH_conv.json record set and `--suites infer` is the
+//!     committed BENCH_infer.json record set. --quick is the default and
+//!     what CI and both committed baselines use.
 //!
 //! bench_json compare <baseline.json> <current.json>
 //!            [--tolerance F] [--normalize]
@@ -23,7 +26,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench_json [--quick|--full] [--out PATH]\n\
+        "usage: bench_json [--quick|--full] [--suites conv,masking,search,infer] [--out PATH]\n\
          \u{20}      bench_json compare <baseline.json> <current.json> [--tolerance F] [--normalize]"
     );
     ExitCode::from(2)
@@ -41,11 +44,21 @@ fn main() -> ExitCode {
 fn run_suites(args: &[String]) -> ExitCode {
     let mut quick = true;
     let mut out_path: Option<String> = None;
+    let mut suites: Vec<String> = ["conv", "masking", "search"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--full" => quick = false,
+            "--suites" => match it.next() {
+                Some(list) => {
+                    suites = list.split(',').map(|s| s.trim().to_string()).collect();
+                }
+                None => return usage(),
+            },
             "--out" => match it.next() {
                 Some(p) => out_path = Some(p.clone()),
                 None => return usage(),
@@ -54,8 +67,14 @@ fn run_suites(args: &[String]) -> ExitCode {
         }
     }
     let mode = if quick { "quick" } else { "full" };
-    eprintln!("running {mode} suites (conv, masking, search)...");
-    let records = perf::run_suites(quick);
+    eprintln!("running {mode} suites ({})...", suites.join(", "));
+    let records = match perf::run_named_suites(&suites, quick) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("bench_json: {e}");
+            return usage();
+        }
+    };
     for r in &records {
         eprintln!(
             "  {:<28} {:<28} {:>12.0} ns/iter  {:>8.2} {}",

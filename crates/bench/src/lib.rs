@@ -20,14 +20,16 @@
 //!
 //! The crate also hosts the machine-readable perf harness: the `bench_json`
 //! binary runs the [`perf`] suites (conv kernels, masked training,
-//! search-step cost), serialises them through the hand-rolled [`json`]
-//! module into the committed `BENCH_conv.json` baseline, and its `compare`
-//! mode is the regression gate CI runs on every push.
+//! search-step cost, streaming inference), serialises them through the
+//! hand-rolled [`json`] module (now hosted by `pit-tensor` and re-exported
+//! here) into the committed `BENCH_conv.json` / `BENCH_infer.json` baselines,
+//! and its `compare` mode is the regression gate CI runs on every push.
 
 pub mod experiments;
-pub mod json;
 pub mod perf;
 pub mod report;
+
+pub use pit_tensor::json;
 pub mod scale;
 
 pub use experiments::{fig4, fig5, table1, table2, table3};

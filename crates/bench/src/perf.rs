@@ -2,11 +2,14 @@
 //!
 //! [`run_suites`] times the convolution kernels (im2col/GEMM vs the naive
 //! seed oracle), the PIT masked-training path (fused vs unfused vs the true
-//! dilated deployment network) and one full PIT search step, and returns
-//! plain [`BenchRecord`]s. [`records_to_json`]/[`records_from_json`] move the
+//! dilated deployment network) and one full PIT search step;
+//! [`infer_suite`] times the serving side (offline tape replay vs the
+//! compiled streaming engine of `pit-infer`). [`run_named_suites`] selects
+//! suites by name. [`records_to_json`]/[`records_from_json`] move the
 //! records through the hand-rolled [`crate::json`] writer (the serde stub
 //! cannot serialise), and [`compare`] diffs a fresh run against a committed
-//! baseline — the regression gate CI runs on every push.
+//! baseline (`BENCH_conv.json`, `BENCH_infer.json`) — the regression gate CI
+//! runs on every push.
 
 use crate::json::Json;
 use crate::report::Table;
@@ -336,17 +339,125 @@ pub fn search_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
     vec![record("search", "pit_search_step", shape, ns, None)]
 }
 
-/// Runs every suite.
+/// Streaming-inference suite: what one new timestep of a searched PPG model
+/// costs under four serving strategies.
+///
+/// * `offline_replay/step` — re-run the offline masked forward (tape) over
+///   the full window to produce one new prediction: the only serving path
+///   that existed before `pit-infer`;
+/// * `plan_offline/window` — the compiled plan's tape-free forward over a
+///   whole window (throughput amortised over its timesteps);
+/// * `stream/step` — one stateful [`pit_infer::Session`] ring-buffer step;
+/// * `sessions32/step` — a 32-stream [`pit_infer::SessionPool`] fed one
+///   sample per stream and flushed as one batched wave (cost per timestep).
+///
+/// The committed `BENCH_infer.json` baseline is the acceptance evidence that
+/// `stream/step` beats `offline_replay/step` by well over an order of
+/// magnitude.
+pub fn infer_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
+    use pit_infer::{compile_temponet, Session, SessionPool};
+    use pit_models::{TempoNet, TempoNetConfig};
+    use pit_nas::SearchableNetwork;
+    use std::sync::Arc;
+
+    let cfg = TempoNetConfig::scaled(8, 64);
+    let t = cfg.input_length;
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = TempoNet::new(&mut rng, &cfg);
+    // Stand-in for a search result: the paper's hand-tuned dilations.
+    net.set_dilations(&cfg.hand_tuned_dilations());
+    let plan = Arc::new(compile_temponet(&net));
+    let x = init::uniform(&mut rng, &[1, cfg.input_channels, t], 1.0);
+    // Column-major sample stream for the stateful paths.
+    let columns: Vec<Vec<f32>> = (0..t)
+        .map(|tt| {
+            (0..cfg.input_channels)
+                .map(|ci| x.data()[ci * t + tt])
+                .collect()
+        })
+        .collect();
+    let shape = format!("TEMPONet/8 C{} T{t}", cfg.input_channels);
+    let step_record = |op: &str, ns: f64, steps_per_iter: f64| BenchRecord {
+        suite: "infer".into(),
+        op: op.into(),
+        shape: shape.clone(),
+        ns_per_iter: ns,
+        throughput: steps_per_iter * 1e9 / ns,
+        throughput_unit: "steps/s".into(),
+    };
+    let mut out = Vec::new();
+
+    // 1. Tape replay of the full window per new sample.
+    let ns = measure(opts, || {
+        let mut tape = Tape::new();
+        let vx = tape.constant(x.clone());
+        std::hint::black_box(net.forward(&mut tape, vx, Mode::Eval));
+    });
+    out.push(step_record("offline_replay/step", ns, 1.0));
+
+    // 2. Compiled plan, offline over the whole window.
+    let ns = measure(opts, || {
+        std::hint::black_box(plan.forward(&x).unwrap());
+    });
+    out.push(step_record("plan_offline/window", ns, t as f64));
+
+    // 3. Stateful streaming, one ring-buffer step per sample.
+    let mut session = Session::new(Arc::clone(&plan));
+    let mut step_out = vec![0.0f32; plan.output_dim()];
+    let mut cursor = 0usize;
+    let ns = measure(opts, || {
+        session.push_into(&columns[cursor], &mut step_out);
+        std::hint::black_box(step_out[0]);
+        cursor = (cursor + 1) % t;
+    });
+    out.push(step_record("stream/step", ns, 1.0));
+
+    // 4. Batched sessions: 32 streams, one sample each, one flushed wave.
+    const STREAMS: usize = 32;
+    let mut pool = SessionPool::new(Arc::clone(&plan), STREAMS);
+    let mut cursor = 0usize;
+    let ns = measure(opts, || {
+        for sid in 0..STREAMS {
+            pool.push(sid, &columns[(cursor + sid) % t]);
+        }
+        std::hint::black_box(pool.flush());
+        cursor = (cursor + 1) % t;
+    });
+    out.push(step_record("sessions32/step", ns / STREAMS as f64, 1.0));
+    out
+}
+
+/// Runs the training-side suites (the `BENCH_conv.json` record set).
 pub fn run_suites(quick: bool) -> Vec<BenchRecord> {
+    let names: Vec<String> = ["conv", "masking", "search"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    run_named_suites(&names, quick).expect("default suite names are valid")
+}
+
+/// Runs suites by name (`conv`, `masking`, `search`, `infer`).
+///
+/// # Errors
+///
+/// Returns the first unknown suite name.
+pub fn run_named_suites(names: &[String], quick: bool) -> Result<Vec<BenchRecord>, String> {
     let opts = if quick {
         MeasureOpts::quick()
     } else {
         MeasureOpts::full()
     };
-    let mut records = conv_suite(&opts, quick);
-    records.extend(masking_suite(&opts, quick));
-    records.extend(search_suite(&opts));
-    records
+    let mut records = Vec::new();
+    for name in names {
+        match name.as_str() {
+            "conv" => records.extend(conv_suite(&opts, quick)),
+            "masking" => records.extend(masking_suite(&opts, quick)),
+            "search" => records.extend(search_suite(&opts)),
+            "infer" => records.extend(infer_suite(&opts)),
+            other => return Err(format!("unknown suite '{other}'")),
+        }
+    }
+    Ok(records)
 }
 
 // ---------------------------------------------------------------------------

@@ -214,6 +214,21 @@ impl PitConv1d {
         self.slice_counts().iter().map(|&s| cc * s).collect()
     }
 
+    /// The binarised time mask `M` (length `rf_max`) under the current γ
+    /// values, computed without a tape.
+    ///
+    /// This is the inference-side mask extraction API: with γ binarised, the
+    /// Γ-product construction of Eq. 3–4 collapses to the dilation pattern
+    /// `M[i] = 1 ⇔ d | i` for the dilation `d` encoded by the all-ones γ
+    /// prefix, so the mask can be read directly off [`PitConv1d::dilation`]
+    /// and matches the tape-built [`PitConv1d::mask`] exactly.
+    pub fn time_mask_values(&self) -> Vec<f32> {
+        let d = self.dilation();
+        (0..self.rf_max)
+            .map(|i| if i % d == 0 { 1.0 } else { 0.0 })
+            .collect()
+    }
+
     /// Builds the differentiable time mask `M` for this layer on `tape`
     /// (binarised γ → Γ products → mask), as used in the forward pass.
     pub fn mask(&self, tape: &mut Tape) -> Var {
@@ -370,6 +385,31 @@ mod tests {
         let v2 = t2.constant(x);
         let y2 = plain.forward(&mut t2, v2, Mode::Eval);
         assert!(t1.value(y1).approx_eq(t2.value(y2), 1e-5));
+    }
+
+    #[test]
+    fn time_mask_values_match_tape_mask() {
+        // The tape-free extraction must agree with the differentiable mask
+        // for arbitrary (not just prefix-shaped) gamma patterns.
+        let tails: &[&[f32]] = &[
+            &[1.0, 1.0, 1.0],
+            &[1.0, 1.0, 0.2],
+            &[0.9, 0.3, 0.7],
+            &[0.1, 0.8, 0.8],
+            &[0.0, 0.0, 0.0],
+        ];
+        for tail in tails {
+            let c = conv(9);
+            c.gamma_param()
+                .set_value(Tensor::from_vec(tail.to_vec(), &[3]).unwrap());
+            let mut tape = Tape::new();
+            let m = c.mask(&mut tape);
+            assert_eq!(
+                tape.value(m).data(),
+                c.time_mask_values().as_slice(),
+                "tail {tail:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! # pit-infer
+//!
+//! The streaming inference engine of the PIT reproduction: it **compiles** a
+//! searched temporal convolutional network into a tape-free, deployable
+//! serving plan and executes it statefully, per timestep, for many concurrent
+//! streams.
+//!
+//! The PIT search's payoff (Risso et al., DAC 2021) is that the mask-trained
+//! dense network collapses into a tiny, *truly dilated* TCN. Training-side
+//! crates express that network through the autograd [`pit_tensor::Tape`];
+//! this crate is the other half of the story — what actually serves traffic:
+//!
+//! * **Compile** ([`plan`]): binarised γ masks fold into real dilations (only
+//!   alive taps stored, packed contiguously), batch normalisation fuses into
+//!   convolution weights, and the result is an [`InferencePlan`] executed
+//!   through the tiled kernels of [`pit_tensor::kernels`] — no tape, no
+//!   gradient bookkeeping. Plans round-trip their geometry through
+//!   [`pit_models::NetworkDescriptor`] JSON, so a searched architecture can
+//!   be persisted and re-compiled without re-running the search.
+//! * **Stream** ([`stream`]): a [`Session`] keeps one ring buffer per
+//!   convolution (its receptive field), pool windows and the head state, so
+//!   one new timestep costs `O(C_out · C_in · alive_taps)` — not a full
+//!   window re-forward. Zero state ≡ causal zero padding: streaming a window
+//!   sample-by-sample reproduces the offline forward to `1e-5`.
+//! * **Serve** ([`session`]): a [`SessionPool`] batches the pending timesteps
+//!   of N concurrent sessions into single GEMM calls per layer — N streams,
+//!   one kernel invocation.
+//!
+//! ```
+//! use pit_infer::{compile_generic, Session};
+//! use pit_models::{GenericTcn, GenericTcnConfig};
+//! use pit_nas::SearchableNetwork;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let net = GenericTcn::new(&mut rng, &GenericTcnConfig::tiny());
+//! net.set_dilations(&[4, 8]); // "the search result"
+//! let plan = Arc::new(compile_generic(&net));
+//! let mut session = Session::new(plan);
+//! let out = session.push(&[0.5]).expect("per-step head emits every step");
+//! assert_eq!(out.len(), 1);
+//! ```
+
+pub mod plan;
+pub mod session;
+pub mod stream;
+
+pub use plan::{
+    compile_concrete, compile_generic, compile_restcn, compile_temponet, CompiledConv, Dense,
+    InferencePlan, PlanBlock, PlanHead, PoolSpec,
+};
+pub use session::SessionPool;
+pub use stream::Session;

@@ -1,0 +1,645 @@
+//! Stateful per-timestep execution of a compiled plan.
+//!
+//! A [`Session`] holds, for every layer of an [`InferencePlan`], exactly the
+//! state a causal network needs to continue from where it stopped:
+//!
+//! * each convolution keeps a **ring buffer of its receptive field** — one
+//!   new timestep then costs `O(C_out · C_in · alive_taps)` instead of
+//!   re-running the whole window (`O(T)` columns) through a tape;
+//! * each pooling stage keeps its window and phase, so strided pooling
+//!   naturally gates how often deeper layers (and the head) advance;
+//! * the head keeps its flatten window (TEMPONet-style `Fc`) or running mean
+//!   (`GlobalPoolFc`).
+//!
+//! Feeding a fresh session the samples `x[0..T]` one at a time reproduces the
+//! offline forward on `[1, C, T]` exactly (zero initial state ≡ causal zero
+//! padding); the parity tests in `tests/parity.rs` pin this to `1e-5`.
+//!
+//! The per-step hot path is allocation-free: scratch buffers are owned by the
+//! session and reused ([`Session::push_into`]); [`Session::push`] is the
+//! allocating convenience wrapper.
+
+use crate::plan::{CompiledConv, Dense, InferencePlan, PlanBlock, PlanHead, PoolSpec};
+use std::sync::Arc;
+
+/// Ring buffer holding one convolution's receptive field of input history.
+#[derive(Debug, Clone)]
+pub(crate) struct ConvState {
+    /// `[C_in, rf]` ring; column `pos` is the next write slot.
+    hist: Vec<f32>,
+    rf: usize,
+    pos: usize,
+}
+
+impl ConvState {
+    pub(crate) fn new(conv: &CompiledConv) -> Self {
+        let rf = conv.receptive_field();
+        Self {
+            hist: vec![0.0; conv.c_in * rf],
+            rf,
+            pos: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.hist.fill(0.0);
+        self.pos = 0;
+    }
+
+    /// Writes one input column (length `C_in`) into the ring.
+    pub(crate) fn push(&mut self, input: &[f32]) {
+        let rf = self.rf;
+        for (ci, &v) in input.iter().enumerate() {
+            self.hist[ci * rf + self.pos] = v;
+        }
+        self.pos = (self.pos + 1) % rf;
+    }
+
+    /// Gathers the current tap window into `row` (`[C_in · K]`, tap-major per
+    /// channel, newest sample at tap 0) — the im2col row of this timestep.
+    pub(crate) fn gather(&self, conv: &CompiledConv, row: &mut [f32]) {
+        let rf = self.rf;
+        // Newest sample sits just before the write cursor.
+        let newest = (self.pos + rf - 1) % rf;
+        for ci in 0..conv.c_in {
+            let base = ci * rf;
+            for kk in 0..conv.k {
+                let idx = (newest + rf - (kk * conv.dilation) % rf) % rf;
+                row[ci * conv.k + kk] = self.hist[base + idx];
+            }
+        }
+    }
+
+    /// Pushes one column and computes the layer's output column into `out`
+    /// (length `C_out`), using `row` as `[C_in · K]` gather scratch.
+    fn step(&mut self, conv: &CompiledConv, input: &[f32], row: &mut [f32], out: &mut [f32]) {
+        self.push(input);
+        let ck = conv.c_in * conv.k;
+        self.gather(conv, &mut row[..ck]);
+        let w = conv.weight.data();
+        for (co, slot) in out.iter_mut().take(conv.c_out).enumerate() {
+            let wrow = &w[co * ck..(co + 1) * ck];
+            let mut acc = conv.bias.data()[co];
+            for (a, b) in wrow.iter().zip(row.iter()) {
+                acc += a * b;
+            }
+            *slot = acc;
+        }
+    }
+}
+
+/// State of a strided average-pooling stage.
+#[derive(Debug, Clone)]
+pub(crate) struct PoolState {
+    /// `[C, kernel]` ring of the most recent columns.
+    buf: Vec<f32>,
+    channels: usize,
+    seen: usize,
+}
+
+impl PoolState {
+    fn new(channels: usize, spec: &PoolSpec) -> Self {
+        Self {
+            buf: vec![0.0; channels * spec.kernel],
+            channels,
+            seen: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.buf.fill(0.0);
+        self.seen = 0;
+    }
+
+    /// Pushes one column; returns `true` (with the pooled column in `out`)
+    /// when the stage emits, mirroring the offline output grid
+    /// `t_out = (t − kernel)/stride + 1`.
+    pub(crate) fn step(&mut self, spec: &PoolSpec, input: &[f32], out: &mut [f32]) -> bool {
+        let k = spec.kernel;
+        let slot = self.seen % k;
+        for (ci, &v) in input.iter().enumerate() {
+            self.buf[ci * k + slot] = v;
+        }
+        self.seen += 1;
+        if self.seen < k || !(self.seen - k).is_multiple_of(spec.stride) {
+            return false;
+        }
+        let inv = 1.0 / k as f32;
+        for ci in 0..self.channels {
+            out[ci] = self.buf[ci * k..(ci + 1) * k].iter().sum::<f32>() * inv;
+        }
+        true
+    }
+}
+
+/// Per-block streaming state.
+#[derive(Debug, Clone)]
+pub(crate) enum BlockState {
+    /// States for [`PlanBlock::Residual`].
+    Residual {
+        s1: ConvState,
+        s2: ConvState,
+        ds: Option<ConvState>,
+    },
+    /// States for [`PlanBlock::Plain`].
+    Plain {
+        convs: Vec<ConvState>,
+        pool: Option<PoolState>,
+    },
+}
+
+impl BlockState {
+    pub(crate) fn new(block: &PlanBlock) -> Self {
+        match block {
+            PlanBlock::Residual {
+                conv1,
+                conv2,
+                downsample,
+            } => BlockState::Residual {
+                s1: ConvState::new(conv1),
+                s2: ConvState::new(conv2),
+                ds: downsample.as_ref().map(ConvState::new),
+            },
+            PlanBlock::Plain { convs, pool } => BlockState::Plain {
+                convs: convs.iter().map(ConvState::new).collect(),
+                pool: pool
+                    .as_ref()
+                    .map(|spec| PoolState::new(convs.last().map(|c| c.c_out).unwrap_or(0), spec)),
+            },
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            BlockState::Residual { s1, s2, ds } => {
+                s1.reset();
+                s2.reset();
+                if let Some(ds) = ds {
+                    ds.reset();
+                }
+            }
+            BlockState::Plain { convs, pool } => {
+                for c in convs {
+                    c.reset();
+                }
+                if let Some(p) = pool {
+                    p.reset();
+                }
+            }
+        }
+    }
+}
+
+/// Streaming head state.
+#[derive(Debug, Clone)]
+pub(crate) enum HeadState {
+    /// Ring for the per-step output convolution.
+    PerStep(ConvState),
+    /// `[channels, window]` flatten ring for the MLP head; `pos` is the next
+    /// (oldest) slot. Unwritten slots are zero, matching the causal pad.
+    Fc { buf: Vec<f32>, pos: usize },
+    /// Running mean over time per channel.
+    GlobalPool { sum: Vec<f32>, count: usize },
+}
+
+impl HeadState {
+    pub(crate) fn new(head: &PlanHead) -> Self {
+        match head {
+            PlanHead::PerStep(conv) => HeadState::PerStep(ConvState::new(conv)),
+            PlanHead::Fc {
+                channels, window, ..
+            } => HeadState::Fc {
+                buf: vec![0.0; channels * window],
+                pos: 0,
+            },
+            PlanHead::GlobalPoolFc(dense) => HeadState::GlobalPool {
+                sum: vec![0.0; dense.in_features],
+                count: 0,
+            },
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            HeadState::PerStep(s) => s.reset(),
+            HeadState::Fc { buf, pos } => {
+                buf.fill(0.0);
+                *pos = 0;
+            }
+            HeadState::GlobalPool { sum, count } => {
+                sum.fill(0.0);
+                *count = 0;
+            }
+        }
+    }
+}
+
+/// Applies a compiled dense layer to `input`, writing to `out`; `relu`
+/// applies the activation in place afterwards.
+pub(crate) fn dense_forward(dense: &Dense, input: &[f32], out: &mut [f32], relu: bool) {
+    let (nin, nout) = (dense.in_features, dense.out_features);
+    out[..nout].copy_from_slice(dense.bias.data());
+    let w = dense.weight.data();
+    for (i, &x) in input.iter().take(nin).enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        let wrow = &w[i * nout..(i + 1) * nout];
+        for (o, wv) in out.iter_mut().take(nout).zip(wrow.iter()) {
+            *o += x * wv;
+        }
+    }
+    if relu {
+        relu_in_place(&mut out[..nout]);
+    }
+}
+
+/// Gathers the flatten window of an Fc head state into `feat`
+/// (`[channels · window]`, oldest step first — the offline flatten order).
+pub(crate) fn gather_fc_window(
+    buf: &[f32],
+    pos: usize,
+    channels: usize,
+    window: usize,
+    feat: &mut [f32],
+) {
+    for ci in 0..channels {
+        let base = ci * window;
+        for j in 0..window {
+            feat[base + j] = buf[base + (pos + j) % window];
+        }
+    }
+}
+
+/// Pushes one column into an Fc head window ring.
+pub(crate) fn push_fc_window(buf: &mut [f32], pos: &mut usize, window: usize, input: &[f32]) {
+    for (ci, &v) in input.iter().enumerate() {
+        buf[ci * window + *pos] = v;
+    }
+    *pos = (*pos + 1) % window;
+}
+
+/// One stream's stateful execution of a compiled plan.
+///
+/// Feed samples with [`Session::push`]/[`Session::push_into`]; the session
+/// emits an output whenever the head advances (every step for per-step and
+/// un-pooled heads, every `Π strideᵢ` steps behind strided pooling).
+pub struct Session {
+    plan: Arc<InferencePlan>,
+    pub(crate) blocks: Vec<BlockState>,
+    pub(crate) head: HeadState,
+    /// Ping-pong column scratch (each sized to the widest layer).
+    buf_a: Vec<f32>,
+    buf_b: Vec<f32>,
+    /// Residual skip column scratch.
+    buf_skip: Vec<f32>,
+    /// Im2col gather scratch (widest `C_in · K`).
+    row: Vec<f32>,
+    /// Head scratch: flatten features and hidden activations.
+    feat: Vec<f32>,
+    hidden: Vec<f32>,
+}
+
+/// Widest column / gather row any layer of the plan needs.
+pub(crate) fn scratch_widths(plan: &InferencePlan) -> (usize, usize) {
+    let mut width = plan.input_channels;
+    let mut row = 1;
+    let mut visit = |c: &CompiledConv| {
+        width = width.max(c.c_in).max(c.c_out);
+        row = row.max(c.c_in * c.k);
+    };
+    for block in &plan.blocks {
+        match block {
+            PlanBlock::Residual {
+                conv1,
+                conv2,
+                downsample,
+            } => {
+                visit(conv1);
+                visit(conv2);
+                if let Some(ds) = downsample {
+                    visit(ds);
+                }
+            }
+            PlanBlock::Plain { convs, .. } => convs.iter().for_each(&mut visit),
+        }
+    }
+    if let PlanHead::PerStep(conv) = &plan.head {
+        visit(conv);
+    }
+    (width, row)
+}
+
+impl Session {
+    /// Creates a fresh (all-zero state) session for `plan`.
+    pub fn new(plan: Arc<InferencePlan>) -> Self {
+        let blocks = plan.blocks.iter().map(BlockState::new).collect();
+        let head = HeadState::new(&plan.head);
+        let (width, row) = scratch_widths(&plan);
+        let (feat_len, hidden_len) = match &plan.head {
+            PlanHead::Fc { hidden, .. } => (hidden.in_features, hidden.out_features),
+            PlanHead::GlobalPoolFc(dense) => (dense.in_features, 0),
+            PlanHead::PerStep(_) => (0, 0),
+        };
+        Self {
+            plan,
+            blocks,
+            head,
+            buf_a: vec![0.0; width],
+            buf_b: vec![0.0; width],
+            buf_skip: vec![0.0; width],
+            row: vec![0.0; row],
+            feat: vec![0.0; feat_len],
+            hidden: vec![0.0; hidden_len],
+        }
+    }
+
+    /// The plan this session executes.
+    pub fn plan(&self) -> &Arc<InferencePlan> {
+        &self.plan
+    }
+
+    /// Clears all stream state back to the zero (causal-padding) state.
+    pub fn reset(&mut self) {
+        for b in &mut self.blocks {
+            b.reset();
+        }
+        self.head.reset();
+    }
+
+    /// Pushes one input sample (length `input_channels`); returns the head
+    /// output when this step made it emit.
+    pub fn push(&mut self, sample: &[f32]) -> Option<Vec<f32>> {
+        let mut out = vec![0.0; self.plan.output_dim()];
+        self.push_into(sample, &mut out).then_some(out)
+    }
+
+    /// Allocation-free variant of [`Session::push`]: writes the head output
+    /// into `out` (length [`InferencePlan::output_dim`]) and returns whether
+    /// it emitted this step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is shorter than the plan's input channels or `out`
+    /// shorter than the output dimension.
+    pub fn push_into(&mut self, sample: &[f32], out: &mut [f32]) -> bool {
+        let plan = Arc::clone(&self.plan);
+        assert!(
+            sample.len() >= plan.input_channels,
+            "sample has {} channels, plan needs {}",
+            sample.len(),
+            plan.input_channels
+        );
+        assert!(
+            out.len() >= plan.output_dim(),
+            "output buffer has {} slots, plan emits {}",
+            out.len(),
+            plan.output_dim()
+        );
+        self.buf_a[..plan.input_channels].copy_from_slice(&sample[..plan.input_channels]);
+        let mut width = plan.input_channels;
+        for (block, state) in plan.blocks.iter().zip(self.blocks.iter_mut()) {
+            match (block, state) {
+                (
+                    PlanBlock::Residual {
+                        conv1,
+                        conv2,
+                        downsample,
+                    },
+                    BlockState::Residual { s1, s2, ds },
+                ) => {
+                    self.buf_skip[..width].copy_from_slice(&self.buf_a[..width]);
+                    s1.step(conv1, &self.buf_a[..width], &mut self.row, &mut self.buf_b);
+                    relu_in_place(&mut self.buf_b[..conv1.c_out]);
+                    s2.step(
+                        conv2,
+                        &self.buf_b[..conv1.c_out],
+                        &mut self.row,
+                        &mut self.buf_a,
+                    );
+                    relu_in_place(&mut self.buf_a[..conv2.c_out]);
+                    match (downsample, ds) {
+                        (Some(proj), Some(pstate)) => {
+                            pstate.step(
+                                proj,
+                                &self.buf_skip[..width],
+                                &mut self.row,
+                                &mut self.buf_b,
+                            );
+                        }
+                        _ => self.buf_b[..width].copy_from_slice(&self.buf_skip[..width]),
+                    }
+                    width = conv2.c_out;
+                    for (a, b) in self.buf_a[..width].iter_mut().zip(self.buf_b.iter()) {
+                        *a = (*a + b).max(0.0);
+                    }
+                }
+                (
+                    PlanBlock::Plain { convs, pool },
+                    BlockState::Plain {
+                        convs: cs,
+                        pool: ps,
+                    },
+                ) => {
+                    for (conv, cstate) in convs.iter().zip(cs.iter_mut()) {
+                        cstate.step(conv, &self.buf_a[..width], &mut self.row, &mut self.buf_b);
+                        width = conv.c_out;
+                        relu_in_place(&mut self.buf_b[..width]);
+                        std::mem::swap(&mut self.buf_a, &mut self.buf_b);
+                    }
+                    if let (Some(spec), Some(pstate)) = (pool, ps) {
+                        let emitted =
+                            pstate.step(spec, &self.buf_a[..width], &mut self.buf_b[..width]);
+                        if !emitted {
+                            return false;
+                        }
+                        std::mem::swap(&mut self.buf_a, &mut self.buf_b);
+                    }
+                }
+                _ => unreachable!("block/state shape mismatch"),
+            }
+        }
+        match (&plan.head, &mut self.head) {
+            (PlanHead::PerStep(conv), HeadState::PerStep(state)) => {
+                state.step(conv, &self.buf_a[..width], &mut self.row, out);
+                true
+            }
+            (
+                PlanHead::Fc {
+                    hidden,
+                    output,
+                    channels,
+                    window,
+                },
+                HeadState::Fc { buf, pos },
+            ) => {
+                push_fc_window(buf, pos, *window, &self.buf_a[..*channels]);
+                gather_fc_window(buf, *pos, *channels, *window, &mut self.feat);
+                dense_forward(hidden, &self.feat, &mut self.hidden, true);
+                dense_forward(output, &self.hidden, out, false);
+                true
+            }
+            (PlanHead::GlobalPoolFc(dense), HeadState::GlobalPool { sum, count }) => {
+                for (s, &v) in sum.iter_mut().zip(self.buf_a.iter()) {
+                    *s += v;
+                }
+                *count += 1;
+                let inv = 1.0 / *count as f32;
+                for (f, &s) in self.feat.iter_mut().zip(sum.iter()) {
+                    *f = s * inv;
+                }
+                dense_forward(dense, &self.feat, out, false);
+                true
+            }
+            _ => unreachable!("head/state shape mismatch"),
+        }
+    }
+}
+
+pub(crate) fn relu_in_place(buf: &mut [f32]) {
+    for v in buf {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{compile_generic, compile_restcn, compile_temponet};
+    use pit_models::{
+        GenericTcn, GenericTcnConfig, ResTcn, ResTcnConfig, TempoNet, TempoNetConfig,
+    };
+    use pit_nas::SearchableNetwork;
+    use pit_tensor::{init, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stream_all(session: &mut Session, x: &Tensor) -> Vec<Vec<f32>> {
+        let (c, t) = (x.dims()[1], x.dims()[2]);
+        let mut sample = vec![0.0f32; c];
+        let mut outputs = Vec::new();
+        for tt in 0..t {
+            for ci in 0..c {
+                sample[ci] = x.data()[ci * t + tt];
+            }
+            if let Some(out) = session.push(&sample) {
+                outputs.push(out);
+            }
+        }
+        outputs
+    }
+
+    #[test]
+    fn streaming_restcn_matches_offline_per_step_outputs() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = ResTcnConfig {
+            hidden_channels: 8,
+            input_channels: 5,
+            output_channels: 5,
+            dropout: 0.0,
+            ..ResTcnConfig::paper()
+        };
+        let net = ResTcn::new(&mut rng, &cfg);
+        net.set_dilations(&cfg.hand_tuned_dilations());
+        let plan = Arc::new(compile_restcn(&net));
+        let x = init::uniform(&mut rng, &[1, 5, 40], 1.0);
+        let offline = plan.forward(&x).unwrap();
+
+        let mut session = Session::new(Arc::clone(&plan));
+        let outputs = stream_all(&mut session, &x);
+        assert_eq!(outputs.len(), 40);
+        let c_out = plan.output_dim();
+        for (tt, col) in outputs.iter().enumerate() {
+            for co in 0..c_out {
+                let want = offline.data()[co * 40 + tt];
+                assert!(
+                    (col[co] - want).abs() < 1e-5,
+                    "t={tt} co={co}: {} vs {want}",
+                    col[co]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_temponet_matches_offline_window_prediction() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = TempoNetConfig::scaled(8, 64);
+        let net = TempoNet::new(&mut rng, &cfg);
+        net.set_dilations(&cfg.hand_tuned_dilations());
+        let plan = Arc::new(compile_temponet(&net));
+        let x = init::uniform(&mut rng, &[1, 4, 64], 1.0);
+        let offline = plan.forward(&x).unwrap();
+
+        let mut session = Session::new(Arc::clone(&plan));
+        let outputs = stream_all(&mut session, &x);
+        // Three stride-2 pools: the head advances every 8 samples.
+        assert_eq!(outputs.len(), 64 / 8);
+        let last = outputs.last().unwrap();
+        assert!(
+            (last[0] - offline.data()[0]).abs() < 1e-5,
+            "{} vs {}",
+            last[0],
+            offline.data()[0]
+        );
+    }
+
+    #[test]
+    fn streaming_generic_running_mean_matches_offline_prefixes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let net = GenericTcn::new(&mut rng, &GenericTcnConfig::tiny());
+        net.set_dilations(&[2, 4]);
+        let plan = Arc::new(compile_generic(&net));
+        let x = init::uniform(&mut rng, &[1, 1, 24], 1.0);
+        let mut session = Session::new(Arc::clone(&plan));
+        let outputs = stream_all(&mut session, &x);
+        assert_eq!(outputs.len(), 24);
+        // Every step's output equals the offline forward of the prefix.
+        for t in [1usize, 7, 24] {
+            let prefix = Tensor::from_vec(x.data()[..t].to_vec(), &[1, 1, t]).unwrap();
+            let offline = plan.forward(&prefix).unwrap();
+            assert!(
+                (outputs[t - 1][0] - offline.data()[0]).abs() < 1e-5,
+                "prefix {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_restores_the_zero_state() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let net = GenericTcn::new(&mut rng, &GenericTcnConfig::tiny());
+        let plan = Arc::new(compile_generic(&net));
+        let x = init::uniform(&mut rng, &[1, 1, 10], 1.0);
+        let mut session = Session::new(Arc::clone(&plan));
+        let first = stream_all(&mut session, &x);
+        session.reset();
+        let second = stream_all(&mut session, &x);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn push_into_is_equivalent_and_reports_emission() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let cfg = TempoNetConfig::scaled(8, 64);
+        let net = TempoNet::new(&mut rng, &cfg);
+        let plan = Arc::new(compile_temponet(&net));
+        let mut a = Session::new(Arc::clone(&plan));
+        let mut b = Session::new(Arc::clone(&plan));
+        let mut out = vec![0.0f32; plan.output_dim()];
+        let mut emitted = 0;
+        for i in 0..32 {
+            let sample = [i as f32 * 0.1, -0.2, 0.3, 0.05];
+            let via_push = a.push(&sample);
+            let did = b.push_into(&sample, &mut out);
+            assert_eq!(via_push.is_some(), did);
+            if let Some(v) = via_push {
+                emitted += 1;
+                assert_eq!(v, out);
+            }
+        }
+        assert_eq!(emitted, 32 / 8);
+    }
+}

@@ -76,6 +76,16 @@ impl ConcreteTcn {
     pub fn num_blocks(&self) -> usize {
         self.blocks.len()
     }
+
+    /// The blocks in network order, for lowering into an inference plan.
+    pub fn blocks(&self) -> &[ConcreteBlock] {
+        &self.blocks
+    }
+
+    /// The output head, for lowering into an inference plan.
+    pub fn head(&self) -> &ConcreteHead {
+        &self.head
+    }
 }
 
 impl Layer for ConcreteTcn {

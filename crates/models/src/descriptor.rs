@@ -1,6 +1,12 @@
-//! Static per-layer network descriptions consumed by the deployment model.
+//! Static per-layer network descriptions consumed by the deployment model,
+//! with a JSON round trip so a searched architecture can be saved and later
+//! compiled by `pit-infer` without re-running the search.
 
+use pit_tensor::json::Json;
 use serde::{Deserialize, Serialize};
+
+/// Schema tag written into exported descriptor documents.
+pub const DESCRIPTOR_SCHEMA: &str = "pit-arch/1";
 
 /// One layer of a deployable network, with the static information the GAP8
 /// model needs: tensor sizes, kernel geometry and arithmetic cost.
@@ -106,6 +112,110 @@ impl LayerDesc {
         }
     }
 
+    /// Serialises the layer to a JSON object tagged with a `kind` field.
+    pub fn to_json(&self) -> Json {
+        let num = |v: usize| Json::Num(v as f64);
+        match self {
+            LayerDesc::Conv1d {
+                c_in,
+                c_out,
+                kernel,
+                dilation,
+                t_in,
+                t_out,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::Str("conv1d".into())),
+                ("c_in".into(), num(*c_in)),
+                ("c_out".into(), num(*c_out)),
+                ("kernel".into(), num(*kernel)),
+                ("dilation".into(), num(*dilation)),
+                ("t_in".into(), num(*t_in)),
+                ("t_out".into(), num(*t_out)),
+            ]),
+            LayerDesc::Linear {
+                in_features,
+                out_features,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::Str("linear".into())),
+                ("in_features".into(), num(*in_features)),
+                ("out_features".into(), num(*out_features)),
+            ]),
+            LayerDesc::AvgPool {
+                channels,
+                kernel,
+                stride,
+                t_in,
+                t_out,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::Str("avg_pool".into())),
+                ("channels".into(), num(*channels)),
+                ("kernel".into(), num(*kernel)),
+                ("stride".into(), num(*stride)),
+                ("t_in".into(), num(*t_in)),
+                ("t_out".into(), num(*t_out)),
+            ]),
+            LayerDesc::BatchNorm { channels, t } => Json::Obj(vec![
+                ("kind".into(), Json::Str("batch_norm".into())),
+                ("channels".into(), num(*channels)),
+                ("t".into(), num(*t)),
+            ]),
+        }
+    }
+
+    /// Parses a layer from the JSON object produced by [`LayerDesc::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing/ill-typed field or unknown
+    /// `kind`.
+    pub fn from_json(node: &Json) -> Result<Self, String> {
+        let field = |name: &str| -> Result<usize, String> {
+            let v = node
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or(format!("layer missing number field '{name}'"))?;
+            // `as usize` would silently truncate fractions and saturate
+            // negatives to 0; reject anything that is not a small whole
+            // non-negative number instead.
+            if !v.is_finite() || v < 0.0 || v.fract() != 0.0 || v > (1u64 << 52) as f64 {
+                return Err(format!(
+                    "layer field '{name}': {v} is not a non-negative integer"
+                ));
+            }
+            Ok(v as usize)
+        };
+        let kind = node
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("layer missing string field 'kind'")?;
+        match kind {
+            "conv1d" => Ok(LayerDesc::Conv1d {
+                c_in: field("c_in")?,
+                c_out: field("c_out")?,
+                kernel: field("kernel")?,
+                dilation: field("dilation")?,
+                t_in: field("t_in")?,
+                t_out: field("t_out")?,
+            }),
+            "linear" => Ok(LayerDesc::Linear {
+                in_features: field("in_features")?,
+                out_features: field("out_features")?,
+            }),
+            "avg_pool" => Ok(LayerDesc::AvgPool {
+                channels: field("channels")?,
+                kernel: field("kernel")?,
+                stride: field("stride")?,
+                t_in: field("t_in")?,
+                t_out: field("t_out")?,
+            }),
+            "batch_norm" => Ok(LayerDesc::BatchNorm {
+                channels: field("channels")?,
+                t: field("t")?,
+            }),
+            other => Err(format!("unknown layer kind '{other}'")),
+        }
+    }
+
     /// Size in elements of the layer's input activation.
     pub fn input_elements(&self) -> u64 {
         match self {
@@ -168,6 +278,64 @@ impl NetworkDescriptor {
     /// Returns `true` when the descriptor holds no layers.
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()
+    }
+
+    /// Serialises the descriptor to a JSON document (schema `pit-arch/1`).
+    ///
+    /// This is the persistence format of a *searched architecture*: commit
+    /// the rendered text next to a training run and the network geometry can
+    /// be re-compiled by `pit-infer` without re-running the search.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(DESCRIPTOR_SCHEMA.into())),
+            ("name".into(), Json::Str(self.name.clone())),
+            (
+                "layers".into(),
+                Json::Arr(self.layers.iter().map(LayerDesc::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Renders the descriptor as committed-file-friendly JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses a descriptor from the document shape written by
+    /// [`NetworkDescriptor::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a schema mismatch or the first malformed layer.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(DESCRIPTOR_SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported descriptor schema '{other}'")),
+            None => return Err("missing 'schema' field".into()),
+        }
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("missing string field 'name'")?
+            .to_string();
+        let layers = doc
+            .get("layers")
+            .and_then(Json::as_array)
+            .ok_or("missing 'layers' array")?
+            .iter()
+            .enumerate()
+            .map(|(i, node)| LayerDesc::from_json(node).map_err(|e| format!("layer {i}: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { name, layers })
+    }
+
+    /// Parses a descriptor from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on JSON syntax errors or schema mismatches.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text)?)
     }
 }
 
@@ -233,6 +401,59 @@ mod tests {
         assert_eq!(d.total_macs(), 2 * 3 * 8 + 16);
         assert_eq!(d.total_weights(), (6 + 2) + (16 + 1));
         assert_eq!(d.peak_activation_elements(), 8 + 16);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_layer_kind() {
+        let mut d = NetworkDescriptor::new("roundtrip");
+        d.push(LayerDesc::Conv1d {
+            c_in: 3,
+            c_out: 8,
+            kernel: 5,
+            dilation: 4,
+            t_in: 64,
+            t_out: 64,
+        });
+        d.push(LayerDesc::BatchNorm { channels: 8, t: 64 });
+        d.push(LayerDesc::AvgPool {
+            channels: 8,
+            kernel: 2,
+            stride: 2,
+            t_in: 64,
+            t_out: 32,
+        });
+        d.push(LayerDesc::Linear {
+            in_features: 256,
+            out_features: 1,
+        });
+        let text = d.to_json_string();
+        let back = NetworkDescriptor::from_json_str(&text).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.total_macs(), d.total_macs());
+    }
+
+    #[test]
+    fn json_import_rejects_bad_documents() {
+        assert!(NetworkDescriptor::from_json_str("{").is_err());
+        assert!(NetworkDescriptor::from_json_str("{\"schema\": \"other/9\"}").is_err());
+        let missing_kind = r#"{"schema": "pit-arch/1", "name": "x",
+            "layers": [{"c_in": 1}]}"#;
+        let err = NetworkDescriptor::from_json_str(missing_kind).unwrap_err();
+        assert!(err.contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn json_import_rejects_non_integer_numbers() {
+        // `as usize` would truncate 2.7 and saturate -3 to 0; both must be
+        // parse errors instead of silent geometry corruption.
+        for bad in ["2.7", "-3", "1e300"] {
+            let doc = format!(
+                r#"{{"schema": "pit-arch/1", "name": "x", "layers": [
+                    {{"kind": "linear", "in_features": {bad}, "out_features": 1}}]}}"#
+            );
+            let err = NetworkDescriptor::from_json_str(&doc).unwrap_err();
+            assert!(err.contains("in_features"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -79,6 +79,16 @@ impl GenericTcn {
         &self.config
     }
 
+    /// The searchable convolutions in network order (for plan lowering).
+    pub fn conv_layers(&self) -> &[PitConv1d] {
+        &self.convs
+    }
+
+    /// The linear regression head applied after global average pooling.
+    pub fn head(&self) -> &Linear {
+        &self.head
+    }
+
     /// Static per-layer description for an input of length `t`.
     pub fn descriptor(&self, t: usize) -> NetworkDescriptor {
         let mut d = NetworkDescriptor::new("GenericTcn");

@@ -27,8 +27,8 @@ pub mod generic;
 pub mod restcn;
 pub mod temponet;
 
-pub use concrete::ConcreteTcn;
-pub use descriptor::{LayerDesc, NetworkDescriptor};
+pub use concrete::{ConcreteBlock, ConcreteHead, ConcreteTcn};
+pub use descriptor::{LayerDesc, NetworkDescriptor, DESCRIPTOR_SCHEMA};
 pub use generic::{GenericTcn, GenericTcnConfig};
-pub use restcn::{ResTcn, ResTcnConfig};
-pub use temponet::{TempoNet, TempoNetConfig};
+pub use restcn::{ResBlockView, ResTcn, ResTcnConfig};
+pub use temponet::{TempoBlockView, TempoNet, TempoNetConfig};

@@ -126,6 +126,17 @@ impl ResBlock {
     }
 }
 
+/// Immutable view of one residual block's layers, exposed for lowering the
+/// searched network into a deployable inference plan.
+pub struct ResBlockView<'a> {
+    /// First searchable convolution of the block.
+    pub conv1: &'a PitConv1d,
+    /// Second searchable convolution of the block.
+    pub conv2: &'a PitConv1d,
+    /// Optional 1×1 projection on the skip path.
+    pub downsample: Option<&'a CausalConv1d>,
+}
+
 /// The searchable ResTCN network: four residual blocks of two [`PitConv1d`]
 /// layers each, followed by a per-time-step 1×1 output convolution.
 ///
@@ -180,6 +191,23 @@ impl ResTcn {
     /// The configuration used to build the network.
     pub fn config(&self) -> &ResTcnConfig {
         &self.config
+    }
+
+    /// Per-block views of the layers, in network order (for plan lowering).
+    pub fn block_views(&self) -> Vec<ResBlockView<'_>> {
+        self.blocks
+            .iter()
+            .map(|b| ResBlockView {
+                conv1: &b.conv1,
+                conv2: &b.conv2,
+                downsample: b.downsample.as_ref(),
+            })
+            .collect()
+    }
+
+    /// The per-time-step 1×1 output convolution.
+    pub fn head(&self) -> &CausalConv1d {
+        &self.head
     }
 
     /// Static per-layer description of the *currently pruned* network for an

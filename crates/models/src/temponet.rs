@@ -132,6 +132,17 @@ impl TempoBlock {
     }
 }
 
+/// Immutable view of one TEMPONet block's layers, exposed for lowering the
+/// searched network into a deployable inference plan.
+pub struct TempoBlockView<'a> {
+    /// The searchable convolutions of the block, in order.
+    pub convs: &'a [PitConv1d],
+    /// The batch norms following each convolution (same length as `convs`).
+    pub norms: &'a [BatchNorm1d],
+    /// The pooling stage closing the block.
+    pub pool: &'a AvgPool1d,
+}
+
 /// The searchable TEMPONet network.
 ///
 /// Input `[N, 4, input_length]`, output `[N, 1]` heart-rate estimates.
@@ -200,6 +211,23 @@ impl TempoNet {
     /// The configuration used to build the network.
     pub fn config(&self) -> &TempoNetConfig {
         &self.config
+    }
+
+    /// Per-block views of the layers, in network order (for plan lowering).
+    pub fn block_views(&self) -> Vec<TempoBlockView<'_>> {
+        self.blocks
+            .iter()
+            .map(|b| TempoBlockView {
+                convs: &b.convs,
+                norms: &b.norms,
+                pool: &b.pool,
+            })
+            .collect()
+    }
+
+    /// The two dense layers of the regression head (hidden, output).
+    pub fn fc_layers(&self) -> (&Linear, &Linear) {
+        (&self.fc_hidden, &self.fc_out)
     }
 
     /// Static per-layer description of the currently pruned network for the

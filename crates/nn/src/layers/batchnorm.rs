@@ -44,6 +44,12 @@ impl BatchNorm1d {
         self.channels
     }
 
+    /// The numerical-stability constant ε added to the variance, needed by
+    /// consumers that fold the normalisation into convolution weights.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Current running mean estimate.
     pub fn running_mean(&self) -> Tensor {
         self.running_mean.lock().clone()

@@ -1,10 +1,13 @@
 //! A hand-rolled JSON value, writer and parser.
 //!
-//! The vendored `serde` stub's derives are no-ops (see ROADMAP), so the
-//! machine-readable benchmark reports serialise through this minimal JSON
-//! implementation instead. It covers the full JSON data model — objects,
-//! arrays, strings with escapes, numbers, booleans, null — which is more than
-//! the benchmark schema needs, so baseline files survive hand-editing and
+//! The vendored `serde` stub's derives are no-ops (see ROADMAP), so anything
+//! in the workspace that needs machine-readable persistence serialises
+//! through this minimal JSON implementation instead: the `pit-bench`
+//! baselines (`BENCH_*.json`) and the `pit-models` architecture descriptors
+//! both round-trip through it. It lives in `pit-tensor` — the crate every
+//! other member depends on — and covers the full JSON data model: objects,
+//! arrays, strings with escapes, numbers, booleans, null. That is more than
+//! any one schema needs, so the committed files survive hand-editing and
 //! reformatting.
 
 use std::fmt::Write as _;

@@ -5,17 +5,17 @@
 //! of the output row. These kernels restructure the work the way a BLAS GEMM
 //! does:
 //!
-//! 1. **im2col pack** ([`pack_im2col`]): each alive `(c_in, tap)` pair becomes
+//! 1. **im2col pack** (`pack_im2col`): each alive `(c_in, tap)` pair becomes
 //!    one contiguous, pre-shifted row of a patch matrix, so the causal left
 //!    padding is paid once per row as a `fill`/`copy_from_slice` instead of a
 //!    per-element bounds decision in the hot loop;
-//! 2. **register-tiled GEMM** ([`gemm`], [`gemm_nt`]): [`MR`] output rows are
-//!    produced together over a [`TILE`]-wide time slab held in accumulator
+//! 2. **register-tiled GEMM** ([`gemm`], [`gemm_nt`]): `MR` output rows are
+//!    produced together over a `TILE`-wide time slab held in accumulator
 //!    registers, so every packed input value is reused `MR` times and the
 //!    output is touched once per slab instead of once per tap;
 //! 3. **mask fusion**: the PIT time mask `M` is folded into the weight pack
-//!    ([`pack_weights`]) and fully masked taps are dropped from the im2col
-//!    plan ([`plan_rows`]), so masked training does one pass over the data and
+//!    (`pack_weights`) and fully masked taps are dropped from the im2col
+//!    plan (`plan_rows`), so masked training does one pass over the data and
 //!    skips the work a dilated deployment convolution would skip — without
 //!    ever materialising `W ⊙ M`;
 //! 4. **batch parallelism**: every kernel fans the batch axis out through
@@ -24,6 +24,10 @@
 //! The seed's naive nests are preserved verbatim at the bottom of this module
 //! (gated behind `cfg(test)` and the `reference` feature) as the oracle the
 //! test suite and the `pit-bench` before/after benchmarks compare against.
+//!
+//! The module is public so tape-free consumers (the `pit-infer` streaming
+//! engine) can drive [`gemm`]/[`conv1d_forward`] directly into preallocated
+//! buffers; the gradient kernels stay crate-private behind the autograd ops.
 
 use crate::pool;
 
@@ -34,12 +38,18 @@ const TILE: usize = 16;
 
 /// Geometry of one causal-convolution call.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct ConvShape {
+pub struct ConvShape {
+    /// Batch size.
     pub n: usize,
+    /// Input channels.
     pub c_in: usize,
+    /// Sequence length.
     pub t: usize,
+    /// Output channels.
     pub c_out: usize,
+    /// Kernel taps.
     pub k: usize,
+    /// Dilation between taps.
     pub dilation: usize,
 }
 
@@ -131,7 +141,7 @@ struct MacRow {
 }
 
 /// Multiply-accumulate driver over virtual shifted rows:
-/// dispatches [`mac_rows`] in blocks of [`MR`] output rows.
+/// dispatches `mac_rows` in blocks of `MR` output rows.
 ///
 /// * `LEFT = false` (forward): `out[i, tt] += wp[i, j] · src[row_j, tt − shift_j]`
 ///   (reads before the start of the row contribute zero — the causal pad);
@@ -163,8 +173,8 @@ fn conv_mac<const LEFT: bool>(
     }
 }
 
-/// Produces output rows `i0..i0 + R` of [`conv_mac`], register-tiling
-/// [`TILE`]-wide time slabs.
+/// Produces output rows `i0..i0 + R` of `conv_mac`, register-tiling
+/// `TILE`-wide time slabs.
 ///
 /// `rows` must be sorted by `shift`: for any slab the rows then split into a
 /// *full* prefix (whole slab valid — the hot, branch-free loop), a *partial*
@@ -279,9 +289,18 @@ fn mac_rows<const R: usize, const LEFT: bool>(
 // GEMM microkernels
 // ----------------------------------------------------------------------
 
-/// `out[m, n] += a[m, kd] · b[kd, n]`, producing [`MR`] output rows at a time
-/// over [`TILE`]-wide column slabs held in registers.
-pub(crate) fn gemm(m: usize, kd: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+/// `out[m, n] += a[m, kd] · b[kd, n]`, producing `MR` output rows at a time
+/// over `TILE`-wide column slabs held in registers.
+///
+/// This is the tape-free GEMM entry point the streaming inference engine
+/// dispatches batched session steps through: `out` accumulates, so callers
+/// pre-fill it with zeros or a bias.
+///
+/// # Panics
+///
+/// Panics (by slice indexing) if `a`, `b` or `out` are shorter than
+/// `m·kd`, `kd·n` and `m·n` respectively.
+pub fn gemm(m: usize, kd: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     let mut i = 0;
     while i + MR <= m {
         gemm_rows::<MR>(i, kd, n, a, b, out);
@@ -348,8 +367,13 @@ fn gemm_rows<const R: usize>(i: usize, kd: usize, n: usize, a: &[f32], b: &[f32]
 /// `out[m, n] += a[m, kd] · bt[n, kd]ᵀ` — inner-product form, for gradients
 /// where both operands are stored row-major along the shared `kd` axis.
 ///
-/// Each `a` row slab is loaded once per [`MR`] `bt` rows.
-pub(crate) fn gemm_nt(m: usize, n: usize, kd: usize, a: &[f32], bt: &[f32], out: &mut [f32]) {
+/// Each `a` row slab is loaded once per `MR` `bt` rows.
+///
+/// # Panics
+///
+/// Panics (by slice indexing) if `a`, `bt` or `out` are shorter than
+/// `m·kd`, `n·kd` and `m·n` respectively.
+pub fn gemm_nt(m: usize, n: usize, kd: usize, a: &[f32], bt: &[f32], out: &mut [f32]) {
     for i in 0..m {
         let arow = &a[i * kd..(i + 1) * kd];
         let mut j = 0;
@@ -405,7 +429,17 @@ fn dot_rows<const R: usize>(a: &[f32], bt: &[f32], j0: usize, kd: usize) -> [f32
 
 /// Forward causal convolution: `out[n, co, t] = Σ (w ⊙ m)[co, ci, k] · x[n, ci, t − k·d]`
 /// plus bias, batch-parallel over `n`.
-pub(crate) fn conv1d_forward(
+///
+/// Tape-free, allocation-free into `out` apart from the internal weight pack;
+/// this is the kernel both [`crate::Tensor::conv1d_causal`] and the compiled
+/// inference plans execute through.
+///
+/// # Panics
+///
+/// Panics (by slice indexing) if the buffers are shorter than the geometry in
+/// `s` implies (`x`: `n·c_in·t`, `w`: `c_out·c_in·k`, `bias`: `c_out`,
+/// `mask`: `k`, `out`: `n·c_out·t`).
+pub fn conv1d_forward(
     x: &[f32],
     w: &[f32],
     bias: Option<&[f32]>,

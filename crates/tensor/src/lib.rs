@@ -41,7 +41,8 @@
 pub mod error;
 pub mod grad_check;
 pub mod init;
-pub(crate) mod kernels;
+pub mod json;
+pub mod kernels;
 pub mod ops;
 pub mod param;
 pub mod pool;

@@ -1,24 +1,27 @@
 #!/usr/bin/env sh
-# Regenerates the committed benchmark baseline (BENCH_conv.json).
+# Regenerates the committed benchmark baselines (BENCH_conv.json and
+# BENCH_infer.json).
 #
 # Run this — never hand-edit the JSON — when a PR intentionally changes
-# performance, then commit the refreshed file alongside the change. CI's
-# bench-regression job diffs every push against this baseline with
+# performance, then commit the refreshed files alongside the change. CI's
+# bench-regression job diffs every push against these baselines with
 # `bench_json compare --normalize --tolerance 2.0`.
 #
-# The baseline is always recorded with the --quick suites (the exact record
-# set CI reruns; a --full baseline would make every quick record MISSING and
+# The baselines are always recorded with the --quick suites (the exact record
+# sets CI reruns; a --full baseline would make every quick record MISSING and
 # the gate permanently red) and with PIT_NUM_THREADS=1, so the numbers do
 # not encode the core count of whoever refreshed them — CI pins the same.
 #
 # Usage: scripts/bench-baseline.sh
 set -eu
 if [ "$#" -gt 0 ]; then
-    echo "bench-baseline.sh takes no arguments: the committed baseline must" >&2
-    echo "match CI's \`bench_json --quick\` record set (see comments)." >&2
+    echo "bench-baseline.sh takes no arguments: the committed baselines must" >&2
+    echo "match CI's \`bench_json --quick\` record sets (see comments)." >&2
     exit 2
 fi
 cd "$(dirname "$0")/.."
 echo "regenerating BENCH_conv.json (release build, quick suites, 1 thread)..."
 PIT_NUM_THREADS=1 cargo run --locked --release -p pit-bench --bin bench_json -- --quick --out BENCH_conv.json
-echo "done. review the diff and commit BENCH_conv.json."
+echo "regenerating BENCH_infer.json (release build, infer suite, 1 thread)..."
+PIT_NUM_THREADS=1 cargo run --locked --release -p pit-bench --bin bench_json -- --quick --suites infer --out BENCH_infer.json
+echo "done. review the diff and commit BENCH_conv.json + BENCH_infer.json."

@@ -10,6 +10,8 @@
 //! * [`nas`] — the PIT optimizer itself (searchable convolution, size
 //!   regulariser, three-phase search, Pareto tooling);
 //! * [`models`] — the ResTCN and TEMPONet seed architectures;
+//! * [`infer`] — the streaming inference engine (compiled plans, stateful
+//!   sessions, batch-of-sessions serving);
 //! * [`datasets`] — synthetic Nottingham and PPG-Dalia workloads;
 //! * [`baselines`] — ProxylessNAS-style and random-search baselines;
 //! * [`hw`] — the GAP8 deployment model (int8, latency, energy).
@@ -32,6 +34,7 @@
 pub use pit_baselines as baselines;
 pub use pit_datasets as datasets;
 pub use pit_hw as hw;
+pub use pit_infer as infer;
 pub use pit_models as models;
 pub use pit_nas as nas;
 pub use pit_nn as nn;
@@ -44,6 +47,7 @@ pub mod prelude {
         NottinghamConfig, NottinghamGenerator, PpgDaliaConfig, PpgDaliaGenerator,
     };
     pub use pit_hw::{Deployment, DeploymentReport, Gap8Config};
+    pub use pit_infer::{InferencePlan, Session, SessionPool};
     pub use pit_models::{
         ConcreteTcn, GenericTcn, GenericTcnConfig, NetworkDescriptor, ResTcn, ResTcnConfig,
         TempoNet, TempoNetConfig,
