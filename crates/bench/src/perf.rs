@@ -4,12 +4,13 @@
 //! seed oracle), the PIT masked-training path (fused vs unfused vs the true
 //! dilated deployment network) and one full PIT search step;
 //! [`infer_suite`] times the serving side (offline tape replay vs the
-//! compiled streaming engine of `pit-infer`). [`run_named_suites`] selects
-//! suites by name. [`records_to_json`]/[`records_from_json`] move the
-//! records through the hand-rolled [`crate::json`] writer (the serde stub
-//! cannot serialise), and [`compare`] diffs a fresh run against a committed
-//! baseline (`BENCH_conv.json`, `BENCH_infer.json`) — the regression gate CI
-//! runs on every push.
+//! compiled streaming engine of `pit-infer`) and [`quant_suite`] the int8
+//! serving path against its f32 twin. [`run_named_suites`] selects suites
+//! by name. [`records_to_json`]/[`records_from_json`] move the records
+//! through the hand-rolled [`crate::json`] writer (the serde stub cannot
+//! serialise), and [`compare`] diffs a fresh run against a committed
+//! baseline (`BENCH_conv.json`, `BENCH_infer.json`, `BENCH_int8.json`) —
+//! the regression gate CI runs on every push.
 
 use crate::json::Json;
 use crate::report::Table;
@@ -427,6 +428,93 @@ pub fn infer_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
     out
 }
 
+/// Quantized-serving suite: the f32 streaming step against its int8
+/// counterpart on the same searched PPG model — the acceptance evidence for
+/// the int8 serving path.
+///
+/// * `stream_f32/step` — one stateful f32 [`pit_infer::Session`] step (the
+///   serial f32 dot product cannot be reordered, so it stays scalar);
+/// * `stream_i8/step` — one [`pit_infer::QuantizedSession`] step: `i8` ring
+///   buffers, exact `i8·i8→i32` dots that the compiler vectorizes freely;
+/// * `sessions32_i8/step` — a 32-stream [`pit_infer::QuantizedSessionPool`]
+///   flushed as one `i8` GEMM wave per layer (cost per timestep).
+///
+/// The committed `BENCH_int8.json` baseline pins `stream_i8/step` at ≥ 2x
+/// faster than `stream_f32/step`, and CI gates both against drift.
+pub fn quant_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
+    use pit_infer::{
+        compile_temponet, QuantizedPlan, QuantizedSession, QuantizedSessionPool, Session,
+    };
+    use pit_models::{TempoNet, TempoNetConfig};
+    use pit_nas::SearchableNetwork;
+    use std::sync::Arc;
+
+    let cfg = TempoNetConfig::scaled(8, 64);
+    let t = cfg.input_length;
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = TempoNet::new(&mut rng, &cfg);
+    net.set_dilations(&cfg.hand_tuned_dilations());
+    let plan = Arc::new(compile_temponet(&net));
+    let x = init::uniform(&mut rng, &[1, cfg.input_channels, t], 1.0);
+    let qplan = Arc::new(
+        QuantizedPlan::quantize(&plan, std::slice::from_ref(&x)).expect("benchmark plan quantizes"),
+    );
+    let columns: Vec<Vec<f32>> = (0..t)
+        .map(|tt| {
+            (0..cfg.input_channels)
+                .map(|ci| x.data()[ci * t + tt])
+                .collect()
+        })
+        .collect();
+    let shape = format!("TEMPONet/8 C{} T{t}", cfg.input_channels);
+    let step_record = |op: &str, ns: f64| BenchRecord {
+        suite: "quant".into(),
+        op: op.into(),
+        shape: shape.clone(),
+        ns_per_iter: ns,
+        throughput: 1e9 / ns,
+        throughput_unit: "steps/s".into(),
+    };
+    let mut out = Vec::new();
+
+    // 1. The f32 streaming step (the quantized path's comparison anchor).
+    let mut session = Session::new(Arc::clone(&plan));
+    let mut step_out = vec![0.0f32; plan.output_dim()];
+    let mut cursor = 0usize;
+    let ns = measure(opts, || {
+        session.push_into(&columns[cursor], &mut step_out);
+        std::hint::black_box(step_out[0]);
+        cursor = (cursor + 1) % t;
+    });
+    out.push(step_record("stream_f32/step", ns));
+
+    // 2. The int8 streaming step.
+    let mut qsession = QuantizedSession::new(Arc::clone(&qplan));
+    let mut cursor = 0usize;
+    let ns = measure(opts, || {
+        qsession.push_into(&columns[cursor], &mut step_out);
+        std::hint::black_box(step_out[0]);
+        cursor = (cursor + 1) % t;
+    });
+    out.push(step_record("stream_i8/step", ns));
+
+    // 3. Batched int8 sessions: 32 streams, one GEMM wave per layer.
+    const STREAMS: usize = 32;
+    let mut pool = QuantizedSessionPool::new(Arc::clone(&qplan), STREAMS);
+    let mut cursor = 0usize;
+    let ns = measure(opts, || {
+        for sid in 0..STREAMS {
+            pool.push(sid, &columns[(cursor + sid) % t]);
+        }
+        std::hint::black_box(pool.flush());
+        cursor = (cursor + 1) % t;
+    });
+    let mut rec = step_record("sessions32_i8/step", ns / STREAMS as f64);
+    rec.throughput = STREAMS as f64 * 1e9 / ns;
+    out.push(rec);
+    out
+}
+
 /// Runs the training-side suites (the `BENCH_conv.json` record set).
 pub fn run_suites(quick: bool) -> Vec<BenchRecord> {
     let names: Vec<String> = ["conv", "masking", "search"]
@@ -436,7 +524,7 @@ pub fn run_suites(quick: bool) -> Vec<BenchRecord> {
     run_named_suites(&names, quick).expect("default suite names are valid")
 }
 
-/// Runs suites by name (`conv`, `masking`, `search`, `infer`).
+/// Runs suites by name (`conv`, `masking`, `search`, `infer`, `quant`).
 ///
 /// # Errors
 ///
@@ -454,6 +542,7 @@ pub fn run_named_suites(names: &[String], quick: bool) -> Result<Vec<BenchRecord
             "masking" => records.extend(masking_suite(&opts, quick)),
             "search" => records.extend(search_suite(&opts)),
             "infer" => records.extend(infer_suite(&opts)),
+            "quant" => records.extend(quant_suite(&opts)),
             other => return Err(format!("unknown suite '{other}'")),
         }
     }
@@ -621,11 +710,13 @@ impl CompareReport {
 /// rather than the raw speed of the CI machine — the right setting for
 /// cross-machine comparisons.
 ///
-/// The factor is the median current/baseline ratio over the `/naive`
-/// reference records when any exist (they never change between PRs and do
-/// not thread, so they anchor pure machine speed; using the optimised
+/// The factor is the median current/baseline ratio over the *anchor*
+/// records when any exist — ops ending in `/naive` (the frozen seed
+/// kernels) or in `_f32/step` (the f32 serving step the quant suite
+/// measures against). Anchors never speed up with the optimised paths and
+/// do not thread, so they pin pure machine speed; using the optimised
 /// records would let a uniform regression of the fast kernels normalise
-/// itself away), over all records otherwise.
+/// itself away. With no anchors the median over all records is used.
 pub fn compare(
     baseline: &[BenchRecord],
     current: &[BenchRecord],
@@ -638,10 +729,11 @@ pub fn compare(
             .find(|r| r.key() == key)
             .map(|r| r.ns_per_iter)
     };
+    let is_anchor = |op: &str| op.ends_with("/naive") || op.ends_with("_f32/step");
     let ratios_of = |anchor_only: bool| -> Vec<f64> {
         let mut ratios: Vec<f64> = baseline
             .iter()
-            .filter(|b| !anchor_only || b.op.ends_with("/naive"))
+            .filter(|b| !anchor_only || is_anchor(&b.op))
             .filter_map(|b| lookup(current, &b.key()).map(|cur| cur / b.ns_per_iter))
             .collect();
         ratios.sort_by(|a, b| a.total_cmp(b));
@@ -783,6 +875,25 @@ mod tests {
             rec("grads/fast", 3000.0),
         ];
         assert!(!compare(&baseline, &fast_rot, 2.0, true).passed());
+    }
+
+    #[test]
+    fn normalization_anchors_on_the_f32_serving_step() {
+        // The quant suite has no /naive records; its f32 step is the anchor.
+        let baseline = vec![rec("stream_f32/step", 1000.0), rec("stream_i8/step", 400.0)];
+        // The int8 path regresses 3x while the anchor holds: the gate must
+        // trip — a median over all records would absorb half of it.
+        let bad = vec![
+            rec("stream_f32/step", 1000.0),
+            rec("stream_i8/step", 1200.0),
+        ];
+        assert!(!compare(&baseline, &bad, 2.0, true).passed());
+        // A uniformly slower machine still normalises away.
+        let slow = vec![
+            rec("stream_f32/step", 3000.0),
+            rec("stream_i8/step", 1200.0),
+        ];
+        assert!(compare(&baseline, &slow, 2.0, true).passed());
     }
 
     #[test]

@@ -30,4 +30,7 @@ pub mod quant;
 
 pub use deploy::{Deployment, DeploymentReport, LayerCost};
 pub use gap8::Gap8Config;
-pub use quant::{quantization_mse, quantize_symmetric, QuantizedTensor};
+pub use quant::{
+    quantization_mse, quantize_per_channel, quantize_symmetric, ChannelQuantized, MaxAbsObserver,
+    QuantizedTensor,
+};

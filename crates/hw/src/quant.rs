@@ -1,7 +1,50 @@
-//! Symmetric int8 post-training quantization.
+//! Symmetric int8 post-training quantization: per-tensor
+//! ([`quantize_symmetric`]), per-channel ([`quantize_per_channel`]) and the
+//! max-abs activation calibration ([`MaxAbsObserver`]) the int8 serving path
+//! of `pit-infer` quantizes its layer seams with.
 
 use pit_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+
+/// The symmetric scale mapping `[-max_abs, max_abs]` onto `[-127, 127]`
+/// (1.0 for an all-zero range, so zeros round-trip exactly).
+pub fn symmetric_scale(max_abs: f32) -> f32 {
+    if max_abs > 0.0 {
+        max_abs / 127.0
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes one value: `round(v / scale)` (ties to even) clamped to
+/// `[-127, 127]`.
+///
+/// For `|v| ≤ 127 · scale` the absolute round-trip error is at most
+/// `scale / 2`; beyond that range the value saturates.
+#[inline]
+pub fn quantize_value(v: f32, scale: f32) -> i8 {
+    (v / scale).round_ties_even().clamp(-127.0, 127.0) as i8
+}
+
+/// Hot-path form of [`quantize_value`] taking the *reciprocal* scale, so a
+/// streaming seam pays one multiply per element instead of a divide. The
+/// rounded result can differ from the divide form by one code in rare
+/// borderline cases (`v · (1/s)` vs `v / s` differ by an ulp), which stays
+/// within the `scale/2 (+ ulp)` error bound either way.
+#[inline]
+pub fn quantize_value_inv(v: f32, inv_scale: f32) -> i8 {
+    (v * inv_scale).round_ties_even().clamp(-127.0, 127.0) as i8
+}
+
+/// Quantizes a slice into `out` with one shared scale (the activation-seam
+/// primitive of the int8 path — allocation free). Quantizes
+/// `min(xs.len(), out.len())` elements; any excess on either side is left
+/// untouched.
+pub fn quantize_slice(xs: &[f32], scale: f32, out: &mut [i8]) {
+    for (o, &v) in out.iter_mut().zip(xs.iter()) {
+        *o = quantize_value(v, scale);
+    }
+}
 
 /// An int8-quantized tensor with its (symmetric, per-tensor) scale.
 ///
@@ -44,17 +87,135 @@ impl QuantizedTensor {
 ///
 /// An all-zero tensor quantizes to all zeros with scale 1.
 pub fn quantize_symmetric(t: &Tensor) -> QuantizedTensor {
-    let max_abs = t.abs().max_all();
-    let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
-    let data: Vec<i8> = t
-        .data()
-        .iter()
-        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
-        .collect();
+    let scale = symmetric_scale(t.abs().max_all());
+    let data: Vec<i8> = t.data().iter().map(|&v| quantize_value(v, scale)).collect();
     QuantizedTensor {
         data,
         shape: t.dims().to_vec(),
         scale,
+    }
+}
+
+/// An int8 tensor quantized with one symmetric scale per leading-dimension
+/// slice (per output channel for a `[C_out, ...]` weight tensor).
+///
+/// Per-channel scales track each channel's own dynamic range, so a channel
+/// of small weights is not crushed onto a handful of integer levels by one
+/// outlier channel — the round-trip error of channel `c` is bounded by
+/// `scales[c] / 2` per element, which is never worse (and usually much
+/// better) than the per-tensor bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelQuantized {
+    /// Quantized values, same layout as the source tensor.
+    pub data: Vec<i8>,
+    /// Original tensor shape (`shape[0]` is the channel dimension).
+    pub shape: Vec<usize>,
+    /// One dequantization scale per channel (`shape[0]` entries).
+    pub scales: Vec<f32>,
+}
+
+impl ChannelQuantized {
+    /// Number of channels (leading-dimension slices).
+    pub fn channels(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Elements per channel slice.
+    pub fn channel_len(&self) -> usize {
+        if self.scales.is_empty() {
+            0
+        } else {
+            self.data.len() / self.scales.len()
+        }
+    }
+
+    /// Storage size in bytes (one byte per element; scales not counted).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reconstructs the floating-point tensor, channel by channel.
+    pub fn dequantize(&self) -> Tensor {
+        let cl = self.channel_len();
+        let data: Vec<f32> = self
+            .data
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| f32::from(q) * self.scales[i / cl.max(1)])
+            .collect();
+        Tensor::from_vec(data, &self.shape).expect("shape preserved by quantization")
+    }
+}
+
+/// Quantizes a tensor to int8 with a symmetric scale per leading-dimension
+/// slice (`scale[c] = max(|x[c, ...]|) / 127`; all-zero channels get scale
+/// 1 so they round-trip exactly).
+///
+/// # Panics
+///
+/// Panics if `t` has rank 0.
+pub fn quantize_per_channel(t: &Tensor) -> ChannelQuantized {
+    assert!(
+        !t.dims().is_empty(),
+        "per-channel needs a channel dimension"
+    );
+    let channels = t.dims()[0];
+    let cl = t.len().checked_div(channels).unwrap_or(0);
+    let mut scales = Vec::with_capacity(channels);
+    let mut data = vec![0i8; t.len()];
+    for c in 0..channels {
+        let row = &t.data()[c * cl..(c + 1) * cl];
+        let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = symmetric_scale(max_abs);
+        scales.push(scale);
+        quantize_slice(row, scale, &mut data[c * cl..(c + 1) * cl]);
+    }
+    ChannelQuantized {
+        data,
+        shape: t.dims().to_vec(),
+        scales,
+    }
+}
+
+/// Running max-abs activation observer: the calibration primitive for int8
+/// activation scales. Feed it every tensor that crosses a quantization seam
+/// during a calibration run; [`MaxAbsObserver::scale`] then maps the
+/// observed range onto `[-127, 127]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MaxAbsObserver {
+    max_abs: f32,
+}
+
+impl MaxAbsObserver {
+    /// A fresh observer (empty range).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds a slice of activations into the running range.
+    pub fn observe_slice(&mut self, xs: &[f32]) {
+        for &v in xs {
+            let a = v.abs();
+            if a > self.max_abs {
+                self.max_abs = a;
+            }
+        }
+    }
+
+    /// Folds a whole tensor into the running range.
+    pub fn observe(&mut self, t: &Tensor) {
+        self.observe_slice(t.data());
+    }
+
+    /// Largest absolute activation seen so far.
+    pub fn max_abs(&self) -> f32 {
+        self.max_abs
+    }
+
+    /// The symmetric int8 scale for the observed range (1.0 when nothing —
+    /// or only zeros — was observed).
+    pub fn scale(&self) -> f32 {
+        symmetric_scale(self.max_abs)
     }
 }
 

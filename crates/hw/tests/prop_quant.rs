@@ -1,0 +1,171 @@
+//! Property tests for `pit_hw::quant`: round-trip error bounds, degenerate
+//! tensors, per-channel vs per-tensor scale dominance and idempotence of
+//! `quantize ∘ dequantize ∘ quantize`. Failures shrink to minimal
+//! counterexamples through the vendored proptest's halving shrinker.
+
+use pit_hw::quant::{
+    quantize_per_channel, quantize_symmetric, quantize_value, symmetric_scale, MaxAbsObserver,
+};
+use pit_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_1d(values: Vec<f32>) -> Tensor {
+    let n = values.len();
+    Tensor::from_vec(values, &[n]).unwrap()
+}
+
+/// Builds a `[channels, cl]` tensor from a flat value vector (truncating to
+/// a whole number of rows; at least one row is always kept).
+fn tensor_2d(mut values: Vec<f32>, channels: usize) -> Tensor {
+    let channels = channels.clamp(1, values.len().max(1));
+    let cl = (values.len() / channels).max(1);
+    values.truncate(channels * cl);
+    while values.len() < channels * cl {
+        values.push(0.0);
+    }
+    Tensor::from_vec(values, &[channels, cl]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-tensor round trip: every element comes back within half a
+    /// quantization step.
+    #[test]
+    fn per_tensor_roundtrip_error_is_at_most_half_a_step(
+        values in proptest::collection::vec(-40.0f32..40.0, 1..48),
+    ) {
+        let t = tensor_1d(values);
+        let q = quantize_symmetric(&t);
+        let back = q.dequantize();
+        let half = q.scale / 2.0 + 1e-6;
+        for (i, (&a, &b)) in t.data().iter().zip(back.data().iter()).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= half,
+                "element {}: {} -> {} exceeds half-step {}", i, a, b, half
+            );
+        }
+    }
+
+    /// Per-channel round trip: each channel honours its own half-step bound.
+    #[test]
+    fn per_channel_roundtrip_error_is_at_most_half_a_channel_step(
+        values in proptest::collection::vec(-40.0f32..40.0, 1..48),
+        channels in 1usize..6,
+    ) {
+        let t = tensor_2d(values, channels);
+        let q = quantize_per_channel(&t);
+        let back = q.dequantize();
+        let cl = q.channel_len();
+        for (i, (&a, &b)) in t.data().iter().zip(back.data().iter()).enumerate() {
+            let half = q.scales[i / cl] / 2.0 + 1e-6;
+            prop_assert!(
+                (a - b).abs() <= half,
+                "element {}: {} -> {} exceeds channel half-step {}", i, a, b, half
+            );
+        }
+    }
+
+    /// Per-channel scales never exceed the per-tensor scale, so the
+    /// per-channel error bound dominates: per-channel reconstruction is
+    /// always within the per-*tensor* half-step too.
+    #[test]
+    fn per_channel_scales_are_dominated_by_the_per_tensor_scale(
+        values in proptest::collection::vec(-40.0f32..40.0, 1..48),
+        channels in 1usize..6,
+    ) {
+        let t = tensor_2d(values, channels);
+        let per_tensor = quantize_symmetric(&t);
+        let per_channel = quantize_per_channel(&t);
+        for (c, &s) in per_channel.scales.iter().enumerate() {
+            prop_assert!(
+                s <= per_tensor.scale + 1e-9,
+                "channel {} scale {} exceeds tensor scale {}", c, s, per_tensor.scale
+            );
+        }
+        let back = per_channel.dequantize();
+        let half = per_tensor.scale / 2.0 + 1e-6;
+        for (&a, &b) in t.data().iter().zip(back.data().iter()) {
+            prop_assert!((a - b).abs() <= half, "{} -> {} vs tensor half-step {}", a, b, half);
+        }
+    }
+
+    /// `quantize ∘ dequantize ∘ quantize = quantize`: the element with the
+    /// largest magnitude maps to exactly ±127, so requantizing the
+    /// dequantized tensor picks the same scale and the same codes.
+    #[test]
+    fn quantize_dequantize_quantize_is_idempotent(
+        values in proptest::collection::vec(-40.0f32..40.0, 1..48),
+        channels in 1usize..6,
+    ) {
+        let t = tensor_1d(values.clone());
+        let q1 = quantize_symmetric(&t);
+        let q2 = quantize_symmetric(&q1.dequantize());
+        prop_assert_eq!(&q1, &q2);
+
+        let t2 = tensor_2d(values, channels);
+        let c1 = quantize_per_channel(&t2);
+        let c2 = quantize_per_channel(&c1.dequantize());
+        prop_assert_eq!(&c1, &c2);
+    }
+
+    /// The observer scale covers everything it saw: quantizing any observed
+    /// value with the calibrated scale keeps the half-step error bound
+    /// (nothing saturates).
+    #[test]
+    fn observer_scale_covers_observed_activations(
+        values in proptest::collection::vec(-40.0f32..40.0, 1..48),
+    ) {
+        let mut obs = MaxAbsObserver::new();
+        obs.observe_slice(&values);
+        let scale = obs.scale();
+        prop_assert_eq!(scale, symmetric_scale(obs.max_abs()));
+        for &v in &values {
+            let back = f32::from(quantize_value(v, scale)) * scale;
+            prop_assert!(
+                (v - back).abs() <= scale / 2.0 + 1e-6,
+                "{} -> {} with scale {}", v, back, scale
+            );
+        }
+    }
+}
+
+#[test]
+fn all_zero_tensor_quantizes_exactly_per_channel() {
+    let t = Tensor::zeros(&[3, 5]);
+    let q = quantize_per_channel(&t);
+    assert!(q.data.iter().all(|&v| v == 0));
+    assert!(q.scales.iter().all(|&s| s == 1.0));
+    assert!(q.dequantize().approx_eq(&t, 0.0));
+    assert_eq!(q.channels(), 3);
+    assert_eq!(q.channel_len(), 5);
+    assert_eq!(q.size_bytes(), 15);
+}
+
+#[test]
+fn single_extreme_element_saturates_only_its_own_channel() {
+    // One huge outlier in channel 0 must not crush channel 1's resolution.
+    let t = Tensor::from_vec(vec![1000.0, 0.0, 0.01, -0.02], &[2, 2]).unwrap();
+    let q = quantize_per_channel(&t);
+    assert_eq!(q.data[0], 127);
+    assert!((q.scales[0] - 1000.0 / 127.0).abs() < 1e-4);
+    // Channel 1 keeps its own fine scale: both small values survive.
+    let back = q.dequantize();
+    assert!((back.data()[2] - 0.01).abs() <= q.scales[1] / 2.0 + 1e-9);
+    assert!((back.data()[3] + 0.02).abs() <= q.scales[1] / 2.0 + 1e-9);
+    assert!(q.scales[1] < 1e-3, "outlier leaked into channel 1's scale");
+    // The per-tensor quantization, by contrast, flattens channel 1 to zero.
+    let pt = quantize_symmetric(&t);
+    assert_eq!(&pt.data[2..], &[0, 0]);
+}
+
+#[test]
+fn observer_starts_empty_and_tracks_the_running_max() {
+    let mut obs = MaxAbsObserver::new();
+    assert_eq!(obs.max_abs(), 0.0);
+    assert_eq!(obs.scale(), 1.0); // all-zero range: exact zero round trip
+    obs.observe(&Tensor::from_vec(vec![0.5, -2.0], &[2]).unwrap());
+    obs.observe_slice(&[1.0]);
+    assert_eq!(obs.max_abs(), 2.0);
+    assert!((obs.scale() - 2.0 / 127.0).abs() < 1e-9);
+}

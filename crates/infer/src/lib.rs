@@ -25,6 +25,12 @@
 //! * **Serve** ([`session`]): a [`SessionPool`] batches the pending timesteps
 //!   of N concurrent sessions into single GEMM calls per layer — N streams,
 //!   one kernel invocation.
+//! * **Quantize** ([`quant`]): [`Calibration`] records max-abs activation
+//!   ranges per layer seam, [`QuantizedPlan`] lowers the plan to int8
+//!   (per-output-channel weight scales, exact `i8×i8→i32` arithmetic) and
+//!   [`QuantizedSession`] / [`QuantizedSessionPool`] stream it with `i8`
+//!   ring state — ~4x smaller per stream, over 2x faster per step, and
+//!   provably within [`QuantizedPlan::error_bound`] of the f32 engine.
 //!
 //! ```
 //! use pit_infer::{compile_generic, Session};
@@ -44,12 +50,17 @@
 //! ```
 
 pub mod plan;
+pub mod quant;
 pub mod session;
 pub mod stream;
 
 pub use plan::{
     compile_concrete, compile_generic, compile_restcn, compile_temponet, CompiledConv, Dense,
     InferencePlan, PlanBlock, PlanHead, PoolSpec,
+};
+pub use quant::{
+    Calibration, QuantBlock, QuantHead, QuantizedConv, QuantizedDense, QuantizedPlan,
+    QuantizedSession, QuantizedSessionPool,
 };
 pub use session::SessionPool;
 pub use stream::Session;

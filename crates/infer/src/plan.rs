@@ -314,10 +314,11 @@ impl InferencePlan {
     /// Panics when the parts do not chain: a convolution whose input channels
     /// differ from what the previous stage produces, a residual block whose
     /// skip path cannot add to its branch (no downsample despite a channel
-    /// change, or a downsample with the wrong geometry), or a head that does
-    /// not match the final feature width. The streaming executor trusts these
-    /// invariants, so they are enforced at build time rather than surfacing
-    /// as silently wrong outputs per step.
+    /// change, or a downsample with the wrong geometry), a pooling stage
+    /// with a zero kernel or stride, or a head that does not match the final
+    /// feature width. The streaming executor trusts these invariants, so
+    /// they are enforced at build time rather than surfacing as silently
+    /// wrong outputs (or counter underflows) per step.
     pub fn new(
         name: impl Into<String>,
         input_channels: usize,
@@ -349,10 +350,18 @@ impl InferencePlan {
                     }
                     width = conv2.c_out;
                 }
-                PlanBlock::Plain { convs, .. } => {
+                PlanBlock::Plain { convs, pool } => {
                     for (j, conv) in convs.iter().enumerate() {
                         assert_eq!(conv.c_in, width, "block {i} conv {j}: input channels");
                         width = conv.c_out;
+                    }
+                    if let Some(spec) = pool {
+                        // The streaming pool clocks count in units of these;
+                        // zero would underflow the emission countdown.
+                        assert!(
+                            spec.kernel >= 1 && spec.stride >= 1,
+                            "block {i}: pooling kernel and stride must be >= 1"
+                        );
                     }
                 }
             }
@@ -534,7 +543,59 @@ impl InferencePlan {
     /// Returns an error on shape mismatches (wrong channel count, or a window
     /// shorter than a pooling stage needs).
     pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        self.forward_seams(x, &mut |_, _| {})
+    }
+
+    /// Number of quantization seams of the plan: one per convolution, dense
+    /// layer or pooling-stage input, in the fixed order
+    /// [`InferencePlan::forward_seams`] observes them. This is the length of
+    /// a calibration record.
+    pub fn num_seams(&self) -> usize {
+        let mut seams = 0usize;
+        for block in &self.blocks {
+            seams += match block {
+                PlanBlock::Residual { downsample, .. } => 2 + usize::from(downsample.is_some()),
+                PlanBlock::Plain { convs, pool } => convs.len() + usize::from(pool.is_some()),
+            };
+        }
+        seams
+            + match &self.head {
+                PlanHead::PerStep(_) | PlanHead::GlobalPoolFc(_) => 1,
+                PlanHead::Fc { .. } => 2,
+            }
+    }
+
+    /// [`InferencePlan::forward`] with an observer called once per
+    /// quantization *seam* — the tensor a layer reads, right before the
+    /// layer executes. This is the calibration hook of the int8 path: a
+    /// max-abs observer per seam yields the activation scales a
+    /// [`crate::QuantizedPlan`] quantizes with.
+    ///
+    /// Seam order (stable; indices are `0..self.num_seams()`):
+    ///
+    /// * per block, in block order — residual: `conv1` input, `conv2` input,
+    ///   then the `downsample` input (the block input again) when present;
+    ///   plain: each convolution's input in chain order, then the pooling
+    ///   stage's input when the block pools (the int8 engine keeps pool
+    ///   windows quantized too);
+    /// * head — per-step: the head convolution's input; `Fc`: the *unpooled*
+    ///   feature map feeding the flatten (covering every window position a
+    ///   streaming session will ever flatten), then the hidden activations
+    ///   feeding the output layer; `GlobalPoolFc`: the feature map *before*
+    ///   the global average (a running streaming mean over any prefix is
+    ///   bounded by the columns it averages, so calibrating pre-pool covers
+    ///   mid-stream emissions too).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches, as [`InferencePlan::forward`].
+    pub fn forward_seams(
+        &self,
+        x: &Tensor,
+        observe: &mut dyn FnMut(usize, &Tensor),
+    ) -> Result<Tensor> {
         let relu = |t: Tensor| t.map(|v| v.max(0.0));
+        let mut seam = 0usize;
         let mut x = x.clone();
         for block in &self.blocks {
             x = match block {
@@ -543,10 +604,18 @@ impl InferencePlan {
                     conv2,
                     downsample,
                 } => {
+                    observe(seam, &x);
+                    seam += 1;
                     let h = relu(conv1.forward_offline(&x)?);
+                    observe(seam, &h);
+                    seam += 1;
                     let h = relu(conv2.forward_offline(&h)?);
                     let skip = match downsample {
-                        Some(ds) => ds.forward_offline(&x)?,
+                        Some(ds) => {
+                            observe(seam, &x);
+                            seam += 1;
+                            ds.forward_offline(&x)?
+                        }
                         None => x,
                     };
                     relu(h.add(&skip)?)
@@ -554,24 +623,37 @@ impl InferencePlan {
                 PlanBlock::Plain { convs, pool } => {
                     let mut h = x;
                     for conv in convs {
+                        observe(seam, &h);
+                        seam += 1;
                         h = relu(conv.forward_offline(&h)?);
                     }
                     match pool {
-                        Some(spec) => h.avg_pool1d(spec.kernel, spec.stride)?,
+                        Some(spec) => {
+                            observe(seam, &h);
+                            seam += 1;
+                            h.avg_pool1d(spec.kernel, spec.stride)?
+                        }
                         None => h,
                     }
                 }
             };
         }
         match &self.head {
-            PlanHead::PerStep(conv) => conv.forward_offline(&x),
+            PlanHead::PerStep(conv) => {
+                observe(seam, &x);
+                conv.forward_offline(&x)
+            }
             PlanHead::Fc { hidden, output, .. } => {
+                observe(seam, &x);
+                seam += 1;
                 let (n, c, t) = (x.dims()[0], x.dims()[1], x.dims()[2]);
                 let flat = x.reshape(&[n, c * t])?;
                 let h = relu(hidden.forward_offline(&flat)?);
+                observe(seam, &h);
                 output.forward_offline(&h)
             }
             PlanHead::GlobalPoolFc(dense) => {
+                observe(seam, &x);
                 let (n, c, t) = (x.dims()[0], x.dims()[1], x.dims()[2]);
                 let mut pooled = Tensor::zeros(&[n, c]);
                 for bn in 0..n {
@@ -726,6 +808,11 @@ impl InferencePlan {
                 LayerDesc::AvgPool { kernel, stride, .. } => {
                     if convs.is_empty() {
                         return Err(format!("layer {i}: pooling with no preceding convolution"));
+                    }
+                    if *kernel == 0 || *stride == 0 {
+                        return Err(format!(
+                            "layer {i}: degenerate pooling (kernel {kernel}, stride {stride})"
+                        ));
                     }
                     blocks.push(PlanBlock::Plain {
                         convs: std::mem::take(&mut convs),
@@ -1119,6 +1206,56 @@ mod tests {
         });
         let err = InferencePlan::from_descriptor(&degenerate).unwrap_err();
         assert!(err.contains("degenerate"), "{err}");
+    }
+
+    #[test]
+    fn from_descriptor_rejects_degenerate_pooling() {
+        let mut d = NetworkDescriptor::new("zp");
+        d.push(LayerDesc::Conv1d {
+            c_in: 2,
+            c_out: 2,
+            kernel: 1,
+            dilation: 1,
+            t_in: 8,
+            t_out: 8,
+        });
+        d.push(LayerDesc::AvgPool {
+            channels: 2,
+            kernel: 2,
+            stride: 0,
+            t_in: 8,
+            t_out: 8,
+        });
+        d.push(LayerDesc::Conv1d {
+            c_in: 2,
+            c_out: 1,
+            kernel: 1,
+            dilation: 1,
+            t_in: 8,
+            t_out: 8,
+        });
+        let err = InferencePlan::from_descriptor(&d).unwrap_err();
+        assert!(err.contains("degenerate pooling"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pooling kernel and stride")]
+    fn zero_stride_pool_refuses_to_build() {
+        // The streaming pool clock counts in stride units; a zero stride
+        // must fail at build time, not underflow a counter mid-stream.
+        let conv = CompiledConv::new(Tensor::zeros(&[2, 2, 1]), Tensor::zeros(&[2]), 1);
+        let _ = InferencePlan::new(
+            "bad-pool",
+            2,
+            vec![PlanBlock::Plain {
+                convs: vec![conv.clone()],
+                pool: Some(PoolSpec {
+                    kernel: 2,
+                    stride: 0,
+                }),
+            }],
+            PlanHead::PerStep(conv),
+        );
     }
 
     #[test]

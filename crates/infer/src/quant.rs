@@ -1,0 +1,1611 @@
+//! Int8 quantized serving: calibrate → quantize → stream.
+//!
+//! This module is the deployment contract of the PIT story (Risso et al.,
+//! DAC 2021 target int8 execution on GAP8-class edge devices): it lowers a
+//! compiled f32 [`InferencePlan`] into an int8 [`QuantizedPlan`] and executes
+//! it statefully with the same streaming semantics as the f32 engine —
+//! identical emission schedule, `i8` ring buffers (4x smaller per-stream
+//! state) and exact `i8×i8→i32` arithmetic (input-major accumulation per
+//! step, [`pit_tensor::kernels::gemm_i8`] per batched wave). Integer
+//! accumulators carry no ordering constraint, so the hot loops vectorize
+//! where the f32 engine's serial dot products cannot — that, not just the
+//! 4x data width, is where the step-time win comes from.
+//!
+//! **Scheme.** Weights are quantized symmetrically *per output channel*
+//! ([`pit_hw::quant::quantize_per_channel`]); activations are quantized *per
+//! layer seam* with one scale from a max-abs calibration pass
+//! ([`Calibration::collect`] drives [`InferencePlan::forward_seams`]).
+//! Execution keeps f32 columns *between* layers: each layer quantizes its
+//! input column at the seam, accumulates exactly in `i32`, and dequantizes
+//! through `in_scale · w_scale[co]` plus the f32 bias (batch norm was already
+//! folded by the f32 compile). Biases, pooling windows and the global-pool
+//! running mean stay f32 — they are tiny next to the conv rings.
+//!
+//! **Parity bound.** Integer accumulation is exact, so the only error
+//! sources are the rounding at the seams (≤ `in_scale/2` per element, also
+//! valid under saturation for inputs inside the calibrated range) and the
+//! weight rounding (`Σ|ŵ−w|` per output channel, known exactly after
+//! quantization). [`QuantizedPlan::error_bound`] composes these through the
+//! network — `Σ|ŵ|` is each layer's Lipschitz factor, ReLU and average
+//! pooling are 1-Lipschitz, residual branches add — into an analytic bound
+//! on `|quantized − f32|` per output, **valid for any input whose seam
+//! activations stay inside the calibrated ranges** (in particular, for the
+//! calibration inputs themselves). The property tests in
+//! `tests/quant_parity.rs` hold the streamed int8 outputs to this bound.
+
+use crate::plan::{CompiledConv, Dense, InferencePlan, PlanBlock, PlanHead, PoolSpec};
+use crate::stream::{relu_in_place, PoolClock};
+use pit_hw::quant::{quantize_per_channel, quantize_value_inv, symmetric_scale, MaxAbsObserver};
+use pit_tensor::kernels::gemm_i8;
+use pit_tensor::{Result, Tensor};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------------
+
+/// Max-abs activation ranges, one per quantization seam of a plan (the seam
+/// order of [`InferencePlan::forward_seams`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    max_abs: Vec<f32>,
+}
+
+impl Calibration {
+    /// Runs every calibration window through the f32 plan and records the
+    /// max-abs activation at each quantization seam.
+    ///
+    /// The resulting [`QuantizedPlan::error_bound`] is sound for inputs
+    /// whose seam activations stay inside these ranges — calibrate on data
+    /// drawn from the serving distribution (or, for a parity check, on the
+    /// exact windows being compared).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no calibration windows are given (all-zero
+    /// ranges would quantize every activation onto the `{-1, 0, 1}` codes —
+    /// a silently destroyed model), or when a window does not match the
+    /// plan's input shape.
+    pub fn collect(plan: &InferencePlan, windows: &[Tensor]) -> Result<Self> {
+        if windows.is_empty() {
+            return Err(pit_tensor::TensorError::InvalidArgument {
+                op: "calibrate",
+                message: "calibration needs at least one window".into(),
+            });
+        }
+        let mut observers = vec![MaxAbsObserver::new(); plan.num_seams()];
+        // An Fc head emits on *every* streamed step from a zero-padded
+        // flatten ring, so its hidden activations are not offline
+        // activations: a mid-fill window can excite a hidden unit far beyond
+        // anything the aligned full-window forward produces (cancelling
+        // terms drop out with the padding). Capture the pooled feature map
+        // at the flatten seam and walk every ring position the stream will
+        // see, folding those hidden activations into the output seam's
+        // range — without this the error bound is unsound before (and
+        // between) window-aligned emissions. Every other seam is covered by
+        // streaming ≡ offline parity of the conv/pool stack (zero state ≡
+        // causal pad) or, for the global-pool head, by the pre-pool
+        // observation dominating every prefix mean.
+        let fc_flat_seam = match plan.head() {
+            PlanHead::Fc { .. } => Some(plan.num_seams() - 2),
+            _ => None,
+        };
+        let mut pooled_maps: Vec<Tensor> = Vec::new();
+        for window in windows {
+            plan.forward_seams(window, &mut |seam, t| {
+                observers[seam].observe(t);
+                if Some(seam) == fc_flat_seam {
+                    pooled_maps.push(t.clone());
+                }
+            })?;
+        }
+        if let PlanHead::Fc {
+            hidden,
+            channels,
+            window,
+            ..
+        } = plan.head()
+        {
+            let hidden_seam = plan.num_seams() - 1;
+            let (c, w) = (*channels, *window);
+            let wm = hidden.weight.data();
+            let out_f = hidden.out_features;
+            let mut flat = vec![0.0f32; c * w];
+            for map in &pooled_maps {
+                let (n, t) = (map.dims()[0], map.dims()[2]);
+                for bn in 0..n {
+                    for s in 0..t {
+                        // The streamed flatten at pooled step `s`: the last
+                        // `w` pooled columns, zero-padded before step 0,
+                        // oldest first (ring gather order).
+                        for ci in 0..c {
+                            for j in 0..w {
+                                let idx = s as isize + 1 - w as isize + j as isize;
+                                flat[ci * w + j] = if idx < 0 {
+                                    0.0
+                                } else {
+                                    map.data()[(bn * c + ci) * t + idx as usize]
+                                };
+                            }
+                        }
+                        for o in 0..out_f {
+                            let mut acc = hidden.bias.data()[o];
+                            for (i, &f) in flat.iter().enumerate() {
+                                acc += f * wm[i * out_f + o];
+                            }
+                            observers[hidden_seam].observe_slice(&[acc.max(0.0)]);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            max_abs: observers.iter().map(MaxAbsObserver::max_abs).collect(),
+        })
+    }
+
+    /// Number of seams recorded.
+    pub fn len(&self) -> usize {
+        self.max_abs.len()
+    }
+
+    /// Returns `true` when no seams were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.max_abs.is_empty()
+    }
+
+    /// Max-abs range observed at seam `i`.
+    pub fn seam_max_abs(&self, i: usize) -> f32 {
+        self.max_abs[i]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized layers
+// ---------------------------------------------------------------------------
+
+/// An int8 convolution: per-output-channel weight scales, one activation
+/// scale at the input seam, exact `i32` accumulation, f32 bias.
+#[derive(Debug, Clone)]
+pub struct QuantizedConv {
+    pub(crate) c_in: usize,
+    pub(crate) c_out: usize,
+    pub(crate) k: usize,
+    pub(crate) dilation: usize,
+    /// Execution pack `[(tap, channel), C_out]` (`j = kk·C_in + ci` rows):
+    /// both the per-step input-major accumulation and the batched wave GEMM
+    /// read this, matching the tap-major gather rows.
+    pub(crate) wt_q: Vec<i8>,
+    /// Input activation scale (from calibration).
+    pub(crate) in_scale: f32,
+    /// Reciprocal of `in_scale` — the seam quantizes with one multiply.
+    pub(crate) inv_in_scale: f32,
+    /// Calibrated max-abs of the layer's (f32 reference) input.
+    pub(crate) in_max: f32,
+    /// Bias `[C_out]`, applied in f32 after dequantization.
+    pub(crate) bias: Vec<f32>,
+    /// Dequantization factor per output channel: `in_scale · w_scale[co]`.
+    pub(crate) deq: Vec<f32>,
+    /// `Σ_j |ŵ[co, j]|` over dequantized weights — the per-channel Lipschitz
+    /// factor of the error-bound recursion.
+    pub(crate) l1q: Vec<f32>,
+    /// `Σ_j |ŵ[co, j] − w[co, j]|` — the exact weight-rounding mass.
+    pub(crate) dw_l1: Vec<f32>,
+}
+
+impl QuantizedConv {
+    /// Quantizes a compiled (mask-folded, BN-folded) convolution given the
+    /// calibrated max-abs of its input activations.
+    pub fn from_compiled(conv: &CompiledConv, in_max: f32) -> Self {
+        let (c_in, c_out, k) = (conv.in_channels(), conv.out_channels(), conv.kernel());
+        let ck = c_in * k;
+        let q = quantize_per_channel(&conv.weight);
+        let in_scale = symmetric_scale(in_max);
+        // Transposed pack in *(tap, channel)* order: gather row `j` is
+        // `(kk, ci)` with `j = kk·C_in + ci`, so a streaming gather is one
+        // contiguous column copy per tap (see `QConvState`).
+        let mut wt_q = vec![0i8; ck * c_out];
+        for co in 0..c_out {
+            for ci in 0..c_in {
+                for kk in 0..k {
+                    wt_q[(kk * c_in + ci) * c_out + co] = q.data[co * ck + ci * k + kk];
+                }
+            }
+        }
+        let mut l1q = vec![0.0f32; c_out];
+        let mut dw_l1 = vec![0.0f32; c_out];
+        for co in 0..c_out {
+            let scale = q.scales[co];
+            for j in 0..ck {
+                let wv = f32::from(q.data[co * ck + j]) * scale;
+                l1q[co] += wv.abs();
+                dw_l1[co] += (wv - conv.weight.data()[co * ck + j]).abs();
+            }
+        }
+        Self {
+            c_in,
+            c_out,
+            k,
+            dilation: conv.dilation(),
+            wt_q,
+            in_scale,
+            inv_in_scale: 1.0 / in_scale,
+            in_max,
+            bias: conv.bias.data().to_vec(),
+            deq: q.scales.iter().map(|&s| s * in_scale).collect(),
+            l1q,
+            dw_l1,
+        }
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.c_in
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.c_out
+    }
+
+    /// Stored (alive) taps.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Dilation between stored taps.
+    pub fn dilation(&self) -> usize {
+        self.dilation
+    }
+
+    /// Receptive field in input samples — the `i8` ring length per stream.
+    pub fn receptive_field(&self) -> usize {
+        (self.k - 1) * self.dilation + 1
+    }
+
+    /// One step of the error-bound recursion: the worst-case output error
+    /// when the layer's input carries error at most `e_in` against an f32
+    /// reference whose activations stay within the calibrated range.
+    fn bound(&self, e_in: f32) -> f32 {
+        rounding_bound(&self.l1q, &self.dw_l1, self.in_scale, self.in_max, e_in)
+    }
+}
+
+/// The per-layer error-bound step shared by conv and dense layers. Per
+/// output channel: `Σ|ŵ| · (e_in + in_scale/2) + Σ|ŵ−w| · in_max` (input
+/// rounding through the quantized weights, plus weight rounding against the
+/// bounded reference input); the bound is the channel max.
+fn rounding_bound(l1q: &[f32], dw_l1: &[f32], in_scale: f32, in_max: f32, e_in: f32) -> f32 {
+    let q_in = 0.5 * in_scale;
+    l1q.iter()
+        .zip(dw_l1.iter())
+        .map(|(&l1, &dw)| l1 * (e_in + q_in) + dw * in_max)
+        .fold(0.0f32, f32::max)
+}
+
+/// An int8 dense layer `y = x · W + b`: per-output-feature weight scales,
+/// one activation scale at the input seam.
+#[derive(Debug, Clone)]
+pub struct QuantizedDense {
+    pub(crate) in_features: usize,
+    pub(crate) out_features: usize,
+    /// Quantized weights `[in, out]` (the wave-GEMM operand, matching the
+    /// f32 [`Dense`] layout; also the per-step operand — the solo path
+    /// accumulates input-major so ReLU zeros skip whole rows).
+    pub(crate) wq_cols: Vec<i8>,
+    pub(crate) in_scale: f32,
+    pub(crate) inv_in_scale: f32,
+    pub(crate) in_max: f32,
+    pub(crate) bias: Vec<f32>,
+    /// `in_scale · w_scale[o]` per output feature.
+    pub(crate) deq: Vec<f32>,
+    pub(crate) l1q: Vec<f32>,
+    pub(crate) dw_l1: Vec<f32>,
+}
+
+impl QuantizedDense {
+    /// Quantizes a compiled dense layer given the calibrated max-abs of its
+    /// input activations.
+    pub fn from_dense(dense: &Dense, in_max: f32) -> Self {
+        let (in_f, out_f) = (dense.in_features(), dense.out_features());
+        // Transpose to [out, in] so per-channel quantization scales each
+        // output feature independently.
+        let mut wt = vec![0.0f32; out_f * in_f];
+        for i in 0..in_f {
+            for o in 0..out_f {
+                wt[o * in_f + i] = dense.weight.data()[i * out_f + o];
+            }
+        }
+        let q = quantize_per_channel(
+            &Tensor::from_vec(wt.clone(), &[out_f, in_f]).expect("transposed weight shape"),
+        );
+        let in_scale = symmetric_scale(in_max);
+        let mut wq_cols = vec![0i8; in_f * out_f];
+        for o in 0..out_f {
+            for i in 0..in_f {
+                wq_cols[i * out_f + o] = q.data[o * in_f + i];
+            }
+        }
+        let mut l1q = vec![0.0f32; out_f];
+        let mut dw_l1 = vec![0.0f32; out_f];
+        for o in 0..out_f {
+            let scale = q.scales[o];
+            for i in 0..in_f {
+                let wv = f32::from(q.data[o * in_f + i]) * scale;
+                l1q[o] += wv.abs();
+                dw_l1[o] += (wv - wt[o * in_f + i]).abs();
+            }
+        }
+        Self {
+            in_features: in_f,
+            out_features: out_f,
+            wq_cols,
+            in_scale,
+            inv_in_scale: 1.0 / in_scale,
+            in_max,
+            bias: dense.bias.data().to_vec(),
+            deq: q.scales.iter().map(|&s| s * in_scale).collect(),
+            l1q,
+            dw_l1,
+        }
+    }
+
+    /// Input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Dense analogue of [`QuantizedConv::bound`].
+    fn bound(&self, e_in: f32) -> f32 {
+        rounding_bound(&self.l1q, &self.dw_l1, self.in_scale, self.in_max, e_in)
+    }
+
+    /// Quantizes `input` at the seam and applies the layer per step,
+    /// input-major over the `[in, out]` pack: integer accumulation in `acc`,
+    /// dequantize + bias (+ ReLU) into `out`.
+    fn forward_q(
+        &self,
+        input: &[f32],
+        qbuf: &mut [i8],
+        acc: &mut [i32],
+        out: &mut [f32],
+        relu: bool,
+    ) {
+        let (in_f, out_f) = (self.in_features, self.out_features);
+        for (q, &v) in qbuf.iter_mut().take(in_f).zip(input.iter()) {
+            *q = quantize_value_inv(v, self.inv_in_scale);
+        }
+        accumulate_rows(&self.wq_cols, &qbuf[..in_f], out_f, acc);
+        for o in 0..out_f {
+            out[o] = acc[o] as f32 * self.deq[o] + self.bias[o];
+        }
+        if relu {
+            relu_in_place(&mut out[..out_f]);
+        }
+    }
+}
+
+/// `acc[o] = Σ_j x[j] · w[j·out_f + o]` — the input-major `i8·i8→i32`
+/// microkernel of the solo streaming path. Integer accumulators carry no
+/// ordering constraint (the f32 twin's serial dot cannot be reordered), so
+/// register-blocking the output lane into fixed-width accumulator arrays
+/// lets the whole reduction vectorize with no per-row loop-bound checks —
+/// the runtime-width form of this loop measured *slower* than the f32 dot.
+fn accumulate_rows(wq: &[i8], x: &[i8], out_f: usize, acc: &mut [i32]) {
+    let mut col = 0;
+    while col + 16 <= out_f {
+        accumulate_block::<16>(wq, x, out_f, col, acc);
+        col += 16;
+    }
+    if col + 8 <= out_f {
+        accumulate_block::<8>(wq, x, out_f, col, acc);
+        col += 8;
+    }
+    if col + 4 <= out_f {
+        accumulate_block::<4>(wq, x, out_f, col, acc);
+        col += 4;
+    }
+    while col < out_f {
+        accumulate_block::<1>(wq, x, out_f, col, acc);
+        col += 1;
+    }
+}
+
+/// Computes output lanes `col..col + R` across every input row, holding the
+/// `R` partial sums in a fixed-size (register-resident) array. Lane blocks
+/// cover disjoint column ranges, so the writeback assigns — no pre-zeroing
+/// pass over `acc`.
+fn accumulate_block<const R: usize>(
+    wq: &[i8],
+    x: &[i8],
+    out_f: usize,
+    col: usize,
+    acc: &mut [i32],
+) {
+    let mut a = [0i32; R];
+    for (j, &xq) in x.iter().enumerate() {
+        let xv = i32::from(xq);
+        let wrow: &[i8; R] = wq[j * out_f + col..j * out_f + col + R]
+            .try_into()
+            .expect("lane block");
+        for l in 0..R {
+            a[l] += xv * i32::from(wrow[l]);
+        }
+    }
+    acc[col..col + R].copy_from_slice(&a);
+}
+
+// ---------------------------------------------------------------------------
+// Quantized plan
+// ---------------------------------------------------------------------------
+
+/// A quantized average-pooling stage: the window ring is stored as `i8` at
+/// its own calibrated seam scale (pooling is linear, so the mean of the
+/// quantized columns dequantizes in one multiply), keeping *all* per-stream
+/// ring state one byte per slot.
+#[derive(Debug, Clone)]
+pub struct QuantPool {
+    /// Pooling geometry.
+    pub(crate) spec: PoolSpec,
+    /// Input activation scale (from calibration).
+    pub(crate) in_scale: f32,
+    /// Reciprocal of `in_scale` — the seam quantizes with one multiply.
+    pub(crate) inv_in_scale: f32,
+    /// Dequantization of the window mean: `in_scale / kernel`.
+    pub(crate) deq: f32,
+}
+
+impl QuantPool {
+    fn new(spec: PoolSpec, in_max: f32) -> Self {
+        let in_scale = symmetric_scale(in_max);
+        Self {
+            spec,
+            in_scale,
+            inv_in_scale: 1.0 / in_scale,
+            deq: in_scale / spec.kernel as f32,
+        }
+    }
+}
+
+/// One block of a quantized plan, mirroring [`PlanBlock`].
+// Mirrors the f32 plan's variant size trade-off (see `PlanBlock`): built
+// once per quantization, never moved on a hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum QuantBlock {
+    /// Two int8 convolutions with a skip connection; the skip adds in f32
+    /// before the block's final ReLU.
+    Residual {
+        /// First convolution.
+        conv1: QuantizedConv,
+        /// Second convolution.
+        conv2: QuantizedConv,
+        /// Optional 1×1 projection on the skip path.
+        downsample: Option<QuantizedConv>,
+    },
+    /// A feed-forward chain of int8 convolutions, optionally closed by
+    /// int8-windowed average pooling over time.
+    Plain {
+        /// Convolutions, each followed by an implicit ReLU.
+        convs: Vec<QuantizedConv>,
+        /// Optional pooling stage closing the block.
+        pool: Option<QuantPool>,
+    },
+}
+
+/// The output head of a quantized plan, mirroring [`PlanHead`].
+#[derive(Debug, Clone)]
+pub enum QuantHead {
+    /// Per-time-step int8 output convolution.
+    PerStep(QuantizedConv),
+    /// Flatten window + two int8 dense layers (TEMPONet-style).
+    Fc {
+        /// Hidden dense layer (ReLU after it).
+        hidden: QuantizedDense,
+        /// Output dense layer (linear).
+        output: QuantizedDense,
+        /// Channels of the feature map feeding the head.
+        channels: usize,
+        /// Time steps flattened into the head input.
+        window: usize,
+    },
+    /// Global average pooling (f32 running mean) + one int8 dense layer.
+    GlobalPoolFc(QuantizedDense),
+}
+
+/// The int8 form of an [`InferencePlan`]: same structure, same streaming
+/// semantics, `i8` weights and ring buffers, and an analytic parity bound
+/// against the f32 plan it was lowered from.
+#[derive(Debug, Clone)]
+pub struct QuantizedPlan {
+    name: String,
+    input_channels: usize,
+    blocks: Vec<QuantBlock>,
+    head: QuantHead,
+    output_dim: usize,
+    error_bound: f32,
+}
+
+impl QuantizedPlan {
+    /// Lowers an f32 plan into int8 using a previously collected
+    /// [`Calibration`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the calibration's seam count does not match
+    /// the plan (it was collected for a different plan).
+    pub fn new(plan: &InferencePlan, cal: &Calibration) -> std::result::Result<Self, String> {
+        if cal.len() != plan.num_seams() {
+            return Err(format!(
+                "calibration covers {} seams but the plan has {}",
+                cal.len(),
+                plan.num_seams()
+            ));
+        }
+        let mut seam = 0usize;
+        let mut next = || {
+            let m = cal.seam_max_abs(seam);
+            seam += 1;
+            m
+        };
+        let mut blocks = Vec::with_capacity(plan.blocks().len());
+        let mut e = 0.0f32;
+        for block in plan.blocks() {
+            match block {
+                PlanBlock::Residual {
+                    conv1,
+                    conv2,
+                    downsample,
+                } => {
+                    let q1 = QuantizedConv::from_compiled(conv1, next());
+                    let q2 = QuantizedConv::from_compiled(conv2, next());
+                    let qd = downsample
+                        .as_ref()
+                        .map(|ds| QuantizedConv::from_compiled(ds, next()));
+                    let e_branch = q2.bound(q1.bound(e));
+                    let e_skip = qd.as_ref().map(|d| d.bound(e)).unwrap_or(e);
+                    e = e_branch + e_skip;
+                    blocks.push(QuantBlock::Residual {
+                        conv1: q1,
+                        conv2: q2,
+                        downsample: qd,
+                    });
+                }
+                PlanBlock::Plain { convs, pool } => {
+                    let mut qconvs = Vec::with_capacity(convs.len());
+                    for conv in convs {
+                        let q = QuantizedConv::from_compiled(conv, next());
+                        e = q.bound(e);
+                        qconvs.push(q);
+                    }
+                    // Averaging is 1-Lipschitz; quantizing the pool window
+                    // adds one half-step of its seam scale to the bound.
+                    let qpool = pool.map(|spec| QuantPool::new(spec, next()));
+                    if let Some(qp) = &qpool {
+                        e += 0.5 * qp.in_scale;
+                    }
+                    blocks.push(QuantBlock::Plain {
+                        convs: qconvs,
+                        pool: qpool,
+                    });
+                }
+            }
+        }
+        let head = match plan.head() {
+            PlanHead::PerStep(conv) => {
+                let q = QuantizedConv::from_compiled(conv, next());
+                e = q.bound(e);
+                QuantHead::PerStep(q)
+            }
+            PlanHead::Fc {
+                hidden,
+                output,
+                channels,
+                window,
+            } => {
+                let qh = QuantizedDense::from_dense(hidden, next());
+                let qo = QuantizedDense::from_dense(output, next());
+                e = qo.bound(qh.bound(e));
+                QuantHead::Fc {
+                    hidden: qh,
+                    output: qo,
+                    channels: *channels,
+                    window: *window,
+                }
+            }
+            PlanHead::GlobalPoolFc(dense) => {
+                // The f32 running mean is 1-Lipschitz; the dense seam was
+                // calibrated pre-pool, which dominates every prefix mean.
+                let q = QuantizedDense::from_dense(dense, next());
+                e = q.bound(e);
+                QuantHead::GlobalPoolFc(q)
+            }
+        };
+        Ok(Self {
+            name: format!("{}-int8", plan.name()),
+            input_channels: plan.input_channels(),
+            blocks,
+            head,
+            output_dim: plan.output_dim(),
+            error_bound: e,
+        })
+    }
+
+    /// Calibrates on `windows` and lowers in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a window does not match the plan's input
+    /// shape.
+    pub fn quantize(plan: &InferencePlan, windows: &[Tensor]) -> std::result::Result<Self, String> {
+        let cal = Calibration::collect(plan, windows).map_err(|e| e.to_string())?;
+        Self::new(plan, &cal)
+    }
+
+    /// The plan name (`<f32 name>-int8`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Channels of the input stream.
+    pub fn input_channels(&self) -> usize {
+        self.input_channels
+    }
+
+    /// The quantized blocks in execution order.
+    pub fn blocks(&self) -> &[QuantBlock] {
+        &self.blocks
+    }
+
+    /// The quantized head.
+    pub fn head(&self) -> &QuantHead {
+        &self.head
+    }
+
+    /// Width of one emitted output vector.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Analytic worst-case `|int8 − f32|` per output value, for inputs whose
+    /// seam activations stay inside the calibrated ranges. Integer
+    /// accumulation is exact, so this composes only the seam rounding
+    /// (`in_scale/2`) and the measured weight-rounding mass through each
+    /// layer's `Σ|ŵ|` Lipschitz factor (see the module docs for the
+    /// derivation).
+    pub fn error_bound(&self) -> f32 {
+        self.error_bound
+    }
+
+    /// Bytes of weight payload the int8 plan ships: one byte per weight plus
+    /// four per scale and per f32 bias entry.
+    pub fn weight_bytes(&self) -> usize {
+        let conv = |c: &QuantizedConv| c.wt_q.len() + 4 * (c.deq.len() + c.bias.len());
+        let dense = |d: &QuantizedDense| d.wq_cols.len() + 4 * (d.deq.len() + d.bias.len());
+        let mut total = 0usize;
+        for block in &self.blocks {
+            match block {
+                QuantBlock::Residual {
+                    conv1,
+                    conv2,
+                    downsample,
+                } => {
+                    total += conv(conv1) + conv(conv2);
+                    if let Some(ds) = downsample {
+                        total += conv(ds);
+                    }
+                }
+                QuantBlock::Plain { convs, .. } => total += convs.iter().map(&conv).sum::<usize>(),
+            }
+        }
+        total
+            + match &self.head {
+                QuantHead::PerStep(c) => conv(c),
+                QuantHead::Fc { hidden, output, .. } => dense(hidden) + dense(output),
+                QuantHead::GlobalPoolFc(d) => dense(d),
+            }
+    }
+
+    /// Bytes one streaming [`QuantizedSession`] keeps as state: `i8` conv
+    /// rings, pooling windows and flatten windows (one byte per slot); only
+    /// the global-pool running mean stays f32 (four bytes per slot). Compare
+    /// with `4 · InferencePlan::session_state_floats()` for the f32 engine —
+    /// the ratio approaches 4x.
+    pub fn session_state_bytes(&self) -> usize {
+        let ring = |c: &QuantizedConv| c.c_in * c.receptive_field();
+        let mut total = 0usize;
+        for block in &self.blocks {
+            match block {
+                QuantBlock::Residual {
+                    conv1,
+                    conv2,
+                    downsample,
+                } => {
+                    total += ring(conv1) + ring(conv2);
+                    if let Some(ds) = downsample {
+                        total += ring(ds);
+                    }
+                }
+                QuantBlock::Plain { convs, pool } => {
+                    total += convs.iter().map(&ring).sum::<usize>();
+                    if let (Some(qp), Some(last)) = (pool, convs.last()) {
+                        total += last.c_out * qp.spec.kernel;
+                    }
+                }
+            }
+        }
+        total
+            + match &self.head {
+                QuantHead::PerStep(c) => ring(c),
+                QuantHead::Fc {
+                    channels, window, ..
+                } => channels * window,
+                QuantHead::GlobalPoolFc(d) => 4 * d.in_features,
+            }
+    }
+}
+
+/// Widest column / gather row / quantize buffer any layer of the plan needs.
+fn scratch_widths_q(plan: &QuantizedPlan) -> (usize, usize) {
+    let mut width = plan.input_channels.max(plan.output_dim);
+    let mut row = 1;
+    let mut visit = |c: &QuantizedConv| {
+        width = width.max(c.c_in).max(c.c_out);
+        row = row.max(c.c_in * c.k);
+    };
+    for block in &plan.blocks {
+        match block {
+            QuantBlock::Residual {
+                conv1,
+                conv2,
+                downsample,
+            } => {
+                visit(conv1);
+                visit(conv2);
+                if let Some(ds) = downsample {
+                    visit(ds);
+                }
+            }
+            QuantBlock::Plain { convs, .. } => convs.iter().for_each(&mut visit),
+        }
+    }
+    if let QuantHead::PerStep(conv) = &plan.head {
+        visit(conv);
+    }
+    (width, row)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming state
+// ---------------------------------------------------------------------------
+
+/// Ring buffer holding one quantized convolution's receptive field of `i8`
+/// input history — four times smaller than the f32 ring it replaces.
+///
+/// Laid out *time-major* (`[rf, C_in]`, one contiguous column per row),
+/// unlike the f32 engine's channel-major ring: a push is then one
+/// unit-stride quantize pass and a gather is one `memcpy` per alive tap —
+/// no strided element loops anywhere on the step path.
+#[derive(Debug, Clone)]
+struct QConvState {
+    /// `[rf, C_in]` ring; row `pos` is the next write slot.
+    hist: Vec<i8>,
+    rf: usize,
+    pos: usize,
+}
+
+/// Over-allocation past the live ring/row bytes, letting gathers run as
+/// fixed 16-byte copies (compiled to plain loads/stores) instead of
+/// variable-length `memcpy` calls for the narrow columns PIT networks have.
+const COPY_PAD: usize = 16;
+
+impl QConvState {
+    fn new(conv: &QuantizedConv) -> Self {
+        let rf = conv.receptive_field();
+        Self {
+            hist: vec![0; conv.c_in * rf + COPY_PAD],
+            rf,
+            pos: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.hist.fill(0);
+        self.pos = 0;
+    }
+
+    /// Quantizes one f32 column at the layer seam straight into the ring —
+    /// one unit-stride multiply-round pass, no intermediate buffer.
+    fn push_quantized(&mut self, input: &[f32], inv_scale: f32, c_in: usize) {
+        let base = self.pos * c_in;
+        for (h, &v) in self.hist[base..base + c_in].iter_mut().zip(input.iter()) {
+            *h = quantize_value_inv(v, inv_scale);
+        }
+        self.pos += 1;
+        if self.pos == self.rf {
+            self.pos = 0;
+        }
+    }
+
+    /// Gathers the current tap window into `row` (`[K, C_in]` — tap-major,
+    /// matching the `wt_q` pack): one contiguous column copy per alive tap.
+    /// Tap shifts never exceed `rf − 1`, so a single conditional wrap
+    /// replaces any modulo arithmetic; narrow columns copy as one fixed
+    /// 16-byte block into the padded scratch (no `memcpy` call).
+    fn gather(&self, conv: &QuantizedConv, row: &mut [i8]) {
+        let rf = self.rf;
+        let c_in = conv.c_in;
+        let newest = if self.pos == 0 { rf - 1 } else { self.pos - 1 };
+        for kk in 0..conv.k {
+            let shift = kk * conv.dilation; // ≤ (K−1)·d = rf − 1
+            let idx = if newest >= shift {
+                newest - shift
+            } else {
+                newest + rf - shift
+            };
+            let (src, dst) = (idx * c_in, kk * c_in);
+            if c_in <= COPY_PAD {
+                // Both buffers carry COPY_PAD slack; later taps overwrite
+                // the spill and `accumulate_rows` reads only `C_in · K`.
+                let chunk: &[i8; COPY_PAD] = self.hist[src..src + COPY_PAD]
+                    .try_into()
+                    .expect("padded ring");
+                row[dst..dst + COPY_PAD].copy_from_slice(chunk);
+            } else {
+                row[dst..dst + c_in].copy_from_slice(&self.hist[src..src + c_in]);
+            }
+        }
+    }
+
+    /// One streaming step: fused quantize-push, gather, input-major exact
+    /// `i32` accumulation, dequantize + bias (+ fused ReLU) into the f32
+    /// output column.
+    fn step(
+        &mut self,
+        conv: &QuantizedConv,
+        input: &[f32],
+        row: &mut [i8],
+        acc: &mut [i32],
+        out: &mut [f32],
+        relu: bool,
+    ) {
+        self.push_quantized(&input[..conv.c_in], conv.inv_in_scale, conv.c_in);
+        if conv.k == 1 {
+            // Single-tap convolution (rf = 1): the ring is the gathered row.
+            accumulate_rows(&conv.wt_q, &self.hist[..conv.c_in], conv.c_out, acc);
+        } else {
+            let ck = conv.c_in * conv.k;
+            self.gather(conv, row);
+            accumulate_rows(&conv.wt_q, &row[..ck], conv.c_out, acc);
+        }
+        let deq = out
+            .iter_mut()
+            .zip(acc.iter())
+            .zip(conv.deq.iter().zip(conv.bias.iter()));
+        if relu {
+            for ((slot, &a), (&d, &b)) in deq {
+                *slot = (a as f32 * d + b).max(0.0);
+            }
+        } else {
+            for ((slot, &a), (&d, &b)) in deq {
+                *slot = a as f32 * d + b;
+            }
+        }
+    }
+}
+
+/// State of a quantized strided average-pooling stage: an `i8` window ring
+/// at the pool's seam scale, driven by the same [`PoolClock`] as the f32
+/// engine so the emission grids cannot drift apart.
+#[derive(Debug, Clone)]
+struct QPoolState {
+    /// `[kernel, C]` ring of quantized columns; row `slot` is next.
+    buf: Vec<i8>,
+    channels: usize,
+    clock: PoolClock,
+}
+
+impl QPoolState {
+    fn new(channels: usize, qp: &QuantPool) -> Self {
+        Self {
+            buf: vec![0; qp.spec.kernel * channels],
+            channels,
+            clock: PoolClock::default(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.buf.fill(0);
+        self.clock.reset();
+    }
+
+    /// Quantizes one f32 column into the ring; returns `true` (with the
+    /// dequantized window mean in `out`) when the stage emits. Sums of at
+    /// most `kernel` i8 codes are exact in f32, so pooled and solo waves
+    /// stay bit-identical.
+    fn step(&mut self, qp: &QuantPool, input: &[f32], out: &mut [f32]) -> bool {
+        let k = qp.spec.kernel;
+        let c = self.channels;
+        let (slot, emits) = self.clock.tick(&qp.spec);
+        let base = slot * c;
+        for (q, &v) in self.buf[base..base + c].iter_mut().zip(input.iter()) {
+            *q = quantize_value_inv(v, qp.inv_in_scale);
+        }
+        if !emits {
+            return false;
+        }
+        out[..c].fill(0.0);
+        for r in 0..k {
+            let row = &self.buf[r * c..(r + 1) * c];
+            for (o, &q) in out[..c].iter_mut().zip(row.iter()) {
+                *o += f32::from(q);
+            }
+        }
+        for o in &mut out[..c] {
+            *o *= qp.deq;
+        }
+        true
+    }
+}
+
+/// Per-block streaming state of a quantized session.
+#[derive(Debug, Clone)]
+enum QBlockState {
+    Residual {
+        s1: QConvState,
+        s2: QConvState,
+        ds: Option<QConvState>,
+    },
+    Plain {
+        convs: Vec<QConvState>,
+        pool: Option<QPoolState>,
+    },
+}
+
+impl QBlockState {
+    fn new(block: &QuantBlock) -> Self {
+        match block {
+            QuantBlock::Residual {
+                conv1,
+                conv2,
+                downsample,
+            } => QBlockState::Residual {
+                s1: QConvState::new(conv1),
+                s2: QConvState::new(conv2),
+                ds: downsample.as_ref().map(QConvState::new),
+            },
+            QuantBlock::Plain { convs, pool } => QBlockState::Plain {
+                convs: convs.iter().map(QConvState::new).collect(),
+                pool: pool
+                    .as_ref()
+                    .map(|qp| QPoolState::new(convs.last().map(|c| c.c_out).unwrap_or(0), qp)),
+            },
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            QBlockState::Residual { s1, s2, ds } => {
+                s1.reset();
+                s2.reset();
+                if let Some(ds) = ds {
+                    ds.reset();
+                }
+            }
+            QBlockState::Plain { convs, pool } => {
+                for c in convs {
+                    c.reset();
+                }
+                if let Some(p) = pool {
+                    p.reset();
+                }
+            }
+        }
+    }
+}
+
+/// Streaming head state of a quantized session.
+#[derive(Debug, Clone)]
+enum QHeadState {
+    PerStep(QConvState),
+    /// `[channels, window]` `i8` flatten ring, quantized at the hidden
+    /// layer's seam scale; `pos` is the next (oldest) slot.
+    Fc {
+        buf: Vec<i8>,
+        pos: usize,
+    },
+    /// f32 running mean over time per channel.
+    GlobalPool {
+        sum: Vec<f32>,
+        count: usize,
+    },
+}
+
+impl QHeadState {
+    fn new(head: &QuantHead) -> Self {
+        match head {
+            QuantHead::PerStep(conv) => QHeadState::PerStep(QConvState::new(conv)),
+            QuantHead::Fc {
+                channels, window, ..
+            } => QHeadState::Fc {
+                buf: vec![0; channels * window],
+                pos: 0,
+            },
+            QuantHead::GlobalPoolFc(dense) => QHeadState::GlobalPool {
+                sum: vec![0.0; dense.in_features],
+                count: 0,
+            },
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            QHeadState::PerStep(s) => s.reset(),
+            QHeadState::Fc { buf, pos } => {
+                buf.fill(0);
+                *pos = 0;
+            }
+            QHeadState::GlobalPool { sum, count } => {
+                sum.fill(0.0);
+                *count = 0;
+            }
+        }
+    }
+}
+
+/// One stream's stateful int8 execution of a quantized plan: the same
+/// emission schedule as the f32 [`crate::Session`], `i8` ring state, and
+/// outputs within [`QuantizedPlan::error_bound`] of the f32 engine.
+pub struct QuantizedSession {
+    plan: Arc<QuantizedPlan>,
+    blocks: Vec<QBlockState>,
+    head: QHeadState,
+    /// Ping-pong f32 column scratch (each sized to the widest layer).
+    buf_a: Vec<f32>,
+    buf_b: Vec<f32>,
+    /// Residual skip column scratch.
+    buf_skip: Vec<f32>,
+    /// `i8` gather / seam scratch (widest `C_in · K` or dense input).
+    row: Vec<i8>,
+    /// `i32` accumulator scratch (widest output column).
+    acc: Vec<i32>,
+    /// Hidden activations of an Fc head.
+    hidden: Vec<f32>,
+}
+
+impl QuantizedSession {
+    /// Creates a fresh (all-zero state) int8 session for `plan`.
+    pub fn new(plan: Arc<QuantizedPlan>) -> Self {
+        let blocks = plan.blocks.iter().map(QBlockState::new).collect();
+        let head = QHeadState::new(&plan.head);
+        let (width, row) = scratch_widths_q(&plan);
+        let (feat_len, hidden_len) = match &plan.head {
+            QuantHead::Fc { hidden, .. } => (hidden.in_features, hidden.out_features),
+            QuantHead::GlobalPoolFc(dense) => (dense.in_features, 0),
+            QuantHead::PerStep(_) => (0, 0),
+        };
+        Self {
+            blocks,
+            head,
+            buf_a: vec![0.0; width],
+            buf_b: vec![0.0; width],
+            buf_skip: vec![0.0; width],
+            row: vec![0; row.max(width).max(feat_len).max(hidden_len) + COPY_PAD],
+            acc: vec![0; width.max(hidden_len).max(plan.output_dim)],
+            hidden: vec![0.0; hidden_len],
+            plan,
+        }
+    }
+
+    /// The plan this session executes.
+    pub fn plan(&self) -> &Arc<QuantizedPlan> {
+        &self.plan
+    }
+
+    /// Clears all stream state back to the zero (causal-padding) state.
+    pub fn reset(&mut self) {
+        for b in &mut self.blocks {
+            b.reset();
+        }
+        self.head.reset();
+    }
+
+    /// Pushes one input sample (length `input_channels`); returns the head
+    /// output when this step made it emit.
+    pub fn push(&mut self, sample: &[f32]) -> Option<Vec<f32>> {
+        let mut out = vec![0.0; self.plan.output_dim];
+        self.push_into(sample, &mut out).then_some(out)
+    }
+
+    /// Allocation-free variant of [`QuantizedSession::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is shorter than the plan's input channels or `out`
+    /// shorter than the output dimension.
+    pub fn push_into(&mut self, sample: &[f32], out: &mut [f32]) -> bool {
+        // Destructuring splits the borrows without touching the Arc's
+        // reference count — an atomic pair per timestep is measurable at
+        // sub-microsecond step times.
+        let Self {
+            plan,
+            blocks,
+            head,
+            buf_a,
+            buf_b,
+            buf_skip,
+            row,
+            acc,
+            hidden: hidden_buf,
+        } = self;
+        let plan: &QuantizedPlan = plan;
+        assert!(
+            sample.len() >= plan.input_channels,
+            "sample has {} channels, plan needs {}",
+            sample.len(),
+            plan.input_channels
+        );
+        assert!(
+            out.len() >= plan.output_dim,
+            "output buffer has {} slots, plan emits {}",
+            out.len(),
+            plan.output_dim
+        );
+        buf_a[..plan.input_channels].copy_from_slice(&sample[..plan.input_channels]);
+        let mut width = plan.input_channels;
+        for (block, state) in plan.blocks.iter().zip(blocks.iter_mut()) {
+            match (block, state) {
+                (
+                    QuantBlock::Residual {
+                        conv1,
+                        conv2,
+                        downsample,
+                    },
+                    QBlockState::Residual { s1, s2, ds },
+                ) => {
+                    buf_skip[..width].copy_from_slice(&buf_a[..width]);
+                    s1.step(conv1, &buf_a[..width], row, acc, buf_b, true);
+                    s2.step(conv2, &buf_b[..conv1.c_out], row, acc, buf_a, true);
+                    match (downsample, ds) {
+                        (Some(proj), Some(pstate)) => {
+                            pstate.step(proj, &buf_skip[..width], row, acc, buf_b, false);
+                        }
+                        _ => buf_b[..width].copy_from_slice(&buf_skip[..width]),
+                    }
+                    width = conv2.c_out;
+                    for (a, b) in buf_a[..width].iter_mut().zip(buf_b.iter()) {
+                        *a = (*a + b).max(0.0);
+                    }
+                }
+                (
+                    QuantBlock::Plain { convs, pool },
+                    QBlockState::Plain {
+                        convs: cs,
+                        pool: ps,
+                    },
+                ) => {
+                    for (conv, cstate) in convs.iter().zip(cs.iter_mut()) {
+                        cstate.step(conv, &buf_a[..width], row, acc, buf_b, true);
+                        width = conv.c_out;
+                        std::mem::swap(buf_a, buf_b);
+                    }
+                    if let (Some(qp), Some(pstate)) = (pool, ps) {
+                        let emitted = pstate.step(qp, &buf_a[..width], &mut buf_b[..width]);
+                        if !emitted {
+                            return false;
+                        }
+                        std::mem::swap(buf_a, buf_b);
+                    }
+                }
+                _ => unreachable!("block/state shape mismatch"),
+            }
+        }
+        match (&plan.head, head) {
+            (QuantHead::PerStep(conv), QHeadState::PerStep(state)) => {
+                state.step(conv, &buf_a[..width], row, acc, out, false);
+                true
+            }
+            (
+                QuantHead::Fc {
+                    hidden,
+                    output,
+                    channels,
+                    window,
+                },
+                QHeadState::Fc { buf, pos },
+            ) => {
+                // The flatten ring is quantized at the hidden layer's seam.
+                push_fc_window_quantize(
+                    buf,
+                    pos,
+                    *window,
+                    &buf_a[..*channels],
+                    hidden.inv_in_scale,
+                );
+                gather_fc_window_q(buf, *pos, *channels, *window, row);
+                let in_f = hidden.in_features;
+                accumulate_rows(&hidden.wq_cols, &row[..in_f], hidden.out_features, acc);
+                for (o, slot) in hidden_buf.iter_mut().enumerate() {
+                    *slot = (acc[o] as f32 * hidden.deq[o] + hidden.bias[o]).max(0.0);
+                }
+                // The feats in `row` are spent; reuse it as the output
+                // layer's seam buffer.
+                output.forward_q(hidden_buf, row, acc, out, false);
+                true
+            }
+            (QuantHead::GlobalPoolFc(dense), QHeadState::GlobalPool { sum, count }) => {
+                for (s, &v) in sum.iter_mut().zip(buf_a.iter()) {
+                    *s += v;
+                }
+                *count += 1;
+                let inv = 1.0 / *count as f32;
+                for (b, &s) in buf_b.iter_mut().zip(sum.iter()) {
+                    *b = s * inv;
+                }
+                dense.forward_q(buf_b, row, acc, out, false);
+                true
+            }
+            _ => unreachable!("head/state shape mismatch"),
+        }
+    }
+}
+
+/// Quantizes one f32 column at the hidden seam straight into an Fc head
+/// window ring.
+fn push_fc_window_quantize(
+    buf: &mut [i8],
+    pos: &mut usize,
+    window: usize,
+    input: &[f32],
+    inv_scale: f32,
+) {
+    for (ci, &v) in input.iter().enumerate() {
+        buf[ci * window + *pos] = quantize_value_inv(v, inv_scale);
+    }
+    *pos = (*pos + 1) % window;
+}
+
+/// Gathers the flatten window of a quantized Fc head into `feat`
+/// (`[channels · window]`, oldest step first — the offline flatten order).
+/// Two contiguous copies per channel instead of a modulo per element.
+fn gather_fc_window_q(buf: &[i8], pos: usize, channels: usize, window: usize, feat: &mut [i8]) {
+    let head = window - pos;
+    for ci in 0..channels {
+        let base = ci * window;
+        feat[base..base + head].copy_from_slice(&buf[base + pos..base + window]);
+        feat[base + head..base + window].copy_from_slice(&buf[base..base + pos]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched quantized sessions
+// ---------------------------------------------------------------------------
+
+/// A pool of concurrent int8 streaming sessions executed in batched waves:
+/// the int8 counterpart of [`crate::SessionPool`], with each layer's wave
+/// running as one `i8×i8→i32` GEMM ([`pit_tensor::kernels::gemm_i8`]).
+pub struct QuantizedSessionPool {
+    plan: Arc<QuantizedPlan>,
+    sessions: Vec<QuantizedSession>,
+    /// Pending samples per session, flattened (`input_channels` floats each).
+    queues: Vec<VecDeque<f32>>,
+    // Wave scratch, reused across flushes.
+    active: Vec<usize>,
+    cur: Vec<f32>,
+    nxt: Vec<f32>,
+    skip: Vec<f32>,
+    xrows_q: Vec<i8>,
+    acc: Vec<i32>,
+}
+
+impl QuantizedSessionPool {
+    /// Creates a pool of `sessions` fresh int8 streams over one shared plan.
+    pub fn new(plan: Arc<QuantizedPlan>, sessions: usize) -> Self {
+        let (width, row) = scratch_widths_q(&plan);
+        let width = width.max(plan.output_dim());
+        let (feat_len, hid_len) = match plan.head() {
+            QuantHead::Fc { hidden, .. } => (hidden.in_features(), hidden.out_features()),
+            QuantHead::GlobalPoolFc(dense) => (dense.in_features(), 0),
+            QuantHead::PerStep(_) => (0, 0),
+        };
+        let row = row.max(feat_len).max(hid_len);
+        // The f32 column/accumulator scratch must also hold the dense head's
+        // hidden activations, which can be wider than any convolution.
+        let width = width.max(hid_len);
+        Self {
+            sessions: (0..sessions)
+                .map(|_| QuantizedSession::new(Arc::clone(&plan)))
+                .collect(),
+            queues: (0..sessions).map(|_| VecDeque::new()).collect(),
+            active: Vec::with_capacity(sessions),
+            cur: vec![0.0; sessions * width.max(1)],
+            nxt: vec![0.0; sessions * width.max(1)],
+            skip: vec![0.0; sessions * width.max(1)],
+            xrows_q: vec![0; sessions * row.max(1) + COPY_PAD],
+            acc: vec![0; sessions * width.max(1)],
+            plan,
+        }
+    }
+
+    /// The shared plan.
+    pub fn plan(&self) -> &Arc<QuantizedPlan> {
+        &self.plan
+    }
+
+    /// Number of sessions in the pool.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Pending (queued, not yet flushed) timesteps across all sessions.
+    pub fn pending_steps(&self) -> usize {
+        let c = self.plan.input_channels().max(1);
+        self.queues.iter().map(|q| q.len() / c).sum()
+    }
+
+    /// Resets one session's stream state and drops its queued samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sid` is out of range.
+    pub fn reset_session(&mut self, sid: usize) {
+        self.sessions[sid].reset();
+        self.queues[sid].clear();
+    }
+
+    /// Queues one input sample for session `sid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sid` is out of range or the sample length differs from the
+    /// plan's input channels.
+    pub fn push(&mut self, sid: usize, sample: &[f32]) {
+        assert_eq!(
+            sample.len(),
+            self.plan.input_channels(),
+            "sample length must equal the plan's input channels"
+        );
+        self.queues[sid].extend(sample.iter().copied());
+    }
+
+    /// Drains every queue in waves and returns the emitted head outputs as
+    /// `(session_id, output)` in emission order (per session:
+    /// chronological) — the int8 counterpart of
+    /// [`crate::SessionPool::flush`].
+    pub fn flush(&mut self) -> Vec<(usize, Vec<f32>)> {
+        let plan = Arc::clone(&self.plan);
+        let c_in = plan.input_channels();
+        let mut results = Vec::new();
+        loop {
+            self.active.clear();
+            for (sid, q) in self.queues.iter().enumerate() {
+                if q.len() >= c_in {
+                    self.active.push(sid);
+                }
+            }
+            if self.active.is_empty() {
+                return results;
+            }
+            for (r, &sid) in self.active.iter().enumerate() {
+                for ci in 0..c_in {
+                    self.cur[r * c_in + ci] = self.queues[sid].pop_front().expect("queued sample");
+                }
+            }
+            self.run_wave(&plan, c_in, &mut results);
+        }
+    }
+
+    /// Executes one wave currently held in `self.cur` over `self.active`.
+    fn run_wave(
+        &mut self,
+        plan: &QuantizedPlan,
+        c_in: usize,
+        results: &mut Vec<(usize, Vec<f32>)>,
+    ) {
+        let mut width = c_in;
+        for (bi, block) in plan.blocks().iter().enumerate() {
+            match block {
+                QuantBlock::Residual {
+                    conv1,
+                    conv2,
+                    downsample,
+                } => {
+                    let n = self.active.len();
+                    self.skip[..n * width].copy_from_slice(&self.cur[..n * width]);
+                    self.conv_wave(bi, 0, conv1, width, true);
+                    self.conv_wave(bi, 1, conv2, conv1.out_channels(), true);
+                    let c_out = conv2.out_channels();
+                    if let Some(proj) = downsample {
+                        std::mem::swap(&mut self.cur, &mut self.skip);
+                        self.conv_wave(bi, 2, proj, width, false);
+                        std::mem::swap(&mut self.cur, &mut self.skip);
+                    }
+                    width = c_out;
+                    for (a, b) in self.cur[..n * width].iter_mut().zip(self.skip.iter()) {
+                        *a = (*a + b).max(0.0);
+                    }
+                }
+                QuantBlock::Plain { convs, pool } => {
+                    for (cj, conv) in convs.iter().enumerate() {
+                        self.conv_wave(bi, cj, conv, width, true);
+                        width = conv.out_channels();
+                    }
+                    if let Some(qp) = pool {
+                        let mut kept = 0usize;
+                        for r in 0..self.active.len() {
+                            let sid = self.active[r];
+                            let QBlockState::Plain { pool: Some(ps), .. } =
+                                &mut self.sessions[sid].blocks[bi]
+                            else {
+                                unreachable!("pool state missing")
+                            };
+                            let (src, dst) = (r * width, kept * width);
+                            let emitted = ps.step(
+                                qp,
+                                &self.cur[src..src + width],
+                                &mut self.nxt[dst..dst + width],
+                            );
+                            if emitted {
+                                self.active[kept] = sid;
+                                kept += 1;
+                            }
+                        }
+                        self.active.truncate(kept);
+                        if self.active.is_empty() {
+                            return;
+                        }
+                        std::mem::swap(&mut self.cur, &mut self.nxt);
+                    }
+                }
+            }
+        }
+        let n = self.active.len();
+        match plan.head() {
+            QuantHead::PerStep(conv) => {
+                let ck = conv.c_in * conv.k;
+                for (r, &sid) in self.active.iter().enumerate() {
+                    let QHeadState::PerStep(state) = &mut self.sessions[sid].head else {
+                        unreachable!("per-step head state missing")
+                    };
+                    state.push_quantized(
+                        &self.cur[r * width..r * width + conv.c_in],
+                        conv.inv_in_scale,
+                        conv.c_in,
+                    );
+                    state.gather(conv, &mut self.xrows_q[r * ck..]);
+                }
+                self.i8_wave(&conv.wt_q, ck, &conv.deq, &conv.bias, false);
+                let c_out = conv.c_out;
+                for (r, &sid) in self.active.iter().enumerate() {
+                    results.push((sid, self.cur[r * c_out..(r + 1) * c_out].to_vec()));
+                }
+            }
+            QuantHead::Fc {
+                hidden,
+                output,
+                channels,
+                window,
+            } => {
+                let in_f = hidden.in_features;
+                for (r, &sid) in self.active.iter().enumerate() {
+                    let QHeadState::Fc { buf, pos } = &mut self.sessions[sid].head else {
+                        unreachable!("fc head state missing")
+                    };
+                    push_fc_window_quantize(
+                        buf,
+                        pos,
+                        *window,
+                        &self.cur[r * width..r * width + *channels],
+                        hidden.inv_in_scale,
+                    );
+                    gather_fc_window_q(
+                        buf,
+                        *pos,
+                        *channels,
+                        *window,
+                        &mut self.xrows_q[r * in_f..(r + 1) * in_f],
+                    );
+                }
+                let hid_f = hidden.out_features;
+                self.i8_wave(&hidden.wq_cols, in_f, &hidden.deq, &hidden.bias, true);
+                // Requantize the hidden activations (now in `cur`) at the
+                // output layer's seam, then run the output dense as a second
+                // i8 wave.
+                for r in 0..n {
+                    for (q, &v) in self.xrows_q[r * hid_f..(r + 1) * hid_f]
+                        .iter_mut()
+                        .zip(&self.cur[r * hid_f..(r + 1) * hid_f])
+                    {
+                        *q = quantize_value_inv(v, output.inv_in_scale);
+                    }
+                }
+                self.i8_wave(&output.wq_cols, hid_f, &output.deq, &output.bias, false);
+                let out_f = output.out_features;
+                for (r, &sid) in self.active.iter().enumerate() {
+                    results.push((sid, self.cur[r * out_f..(r + 1) * out_f].to_vec()));
+                }
+            }
+            QuantHead::GlobalPoolFc(dense) => {
+                let in_f = dense.in_features;
+                for (r, &sid) in self.active.iter().enumerate() {
+                    let QHeadState::GlobalPool { sum, count } = &mut self.sessions[sid].head else {
+                        unreachable!("global-pool head state missing")
+                    };
+                    for (s, &v) in sum.iter_mut().zip(&self.cur[r * width..(r + 1) * width]) {
+                        *s += v;
+                    }
+                    *count += 1;
+                    let inv = 1.0 / *count as f32;
+                    // Same expression shape as the solo session (mean first,
+                    // then the seam multiply) so pooled and solo emissions
+                    // stay bit-identical.
+                    for (q, &s) in self.xrows_q[r * in_f..(r + 1) * in_f]
+                        .iter_mut()
+                        .zip(sum.iter())
+                    {
+                        let mean = s * inv;
+                        *q = quantize_value_inv(mean, dense.inv_in_scale);
+                    }
+                }
+                self.i8_wave(&dense.wq_cols, in_f, &dense.deq, &dense.bias, false);
+                let out_f = dense.out_features;
+                for (r, &sid) in self.active.iter().enumerate() {
+                    results.push((sid, self.cur[r * out_f..(r + 1) * out_f].to_vec()));
+                }
+            }
+        }
+    }
+
+    /// Batched int8 step of one block convolution over the active wave:
+    /// quantizes each session's column at the seam, pushes its `i8` ring,
+    /// gathers the rows and runs one `i8` GEMM. Reads from `cur`, leaves the
+    /// dequantized f32 output columns in `cur`.
+    fn conv_wave(&mut self, bi: usize, cj: usize, conv: &QuantizedConv, width: usize, relu: bool) {
+        let ck = conv.c_in * conv.k;
+        for (r, &sid) in self.active.iter().enumerate() {
+            let session = &mut self.sessions[sid];
+            let state = match &mut session.blocks[bi] {
+                QBlockState::Residual { s1, s2, ds } => match cj {
+                    0 => s1,
+                    1 => s2,
+                    _ => ds.as_mut().expect("downsample state"),
+                },
+                QBlockState::Plain { convs, .. } => &mut convs[cj],
+            };
+            state.push_quantized(
+                &self.cur[r * width..r * width + conv.c_in],
+                conv.inv_in_scale,
+                conv.c_in,
+            );
+            state.gather(conv, &mut self.xrows_q[r * ck..]);
+        }
+        self.i8_wave(&conv.wt_q, ck, &conv.deq, &conv.bias, relu);
+    }
+
+    /// The shared tail of every conv and dense wave: one `i8` GEMM over the
+    /// quantized rows in `xrows_q` (`[n, kd]`) against the `[kd, out]` pack,
+    /// dequantize + bias (+ ReLU), leaving the f32 results in `cur`. Using
+    /// one finisher for both layer kinds keeps the solo-vs-pool
+    /// bit-exactness property a single piece of arithmetic.
+    fn i8_wave(&mut self, wq: &[i8], kd: usize, deq: &[f32], bias: &[f32], relu: bool) {
+        let n = self.active.len();
+        let out_f = deq.len();
+        self.acc[..n * out_f].fill(0);
+        gemm_i8(n, kd, out_f, &self.xrows_q, wq, &mut self.acc);
+        for r in 0..n {
+            for o in 0..out_f {
+                self.nxt[r * out_f + o] = self.acc[r * out_f + o] as f32 * deq[o] + bias[o];
+            }
+        }
+        if relu {
+            relu_in_place(&mut self.nxt[..n * out_f]);
+        }
+        std::mem::swap(&mut self.cur, &mut self.nxt);
+    }
+}

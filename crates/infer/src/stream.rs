@@ -88,40 +88,85 @@ impl ConvState {
     }
 }
 
+/// Emission schedule of a strided pooling stage, shared by the f32 and int8
+/// engines so "identical emission schedule" is a single piece of code, not
+/// an invariant across copies. Counter-based: no modulo on the step path.
+///
+/// Plan construction guarantees `kernel ≥ 1` and `stride ≥ 1` (see
+/// [`crate::InferencePlan::new`]), which the countdown arithmetic relies on.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PoolClock {
+    /// Next write slot (`seen mod kernel`, kept as a counter).
+    slot: usize,
+    /// Columns seen until the first full window (saturates at `kernel`).
+    fill: usize,
+    /// Steps remaining until the next emission once the window is full.
+    countdown: usize,
+}
+
+impl PoolClock {
+    pub(crate) fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Advances one step; returns the ring slot the incoming column must be
+    /// written to and whether the stage emits this step — the offline grid
+    /// `t_out = (t − kernel)/stride + 1` (first emission once the window
+    /// fills, then every `stride` steps).
+    pub(crate) fn tick(&mut self, spec: &PoolSpec) -> (usize, bool) {
+        let slot = self.slot;
+        self.slot += 1;
+        if self.slot == spec.kernel {
+            self.slot = 0;
+        }
+        if self.fill < spec.kernel {
+            self.fill += 1;
+            if self.fill < spec.kernel {
+                return (slot, false);
+            }
+            self.countdown = 1;
+        }
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return (slot, false);
+        }
+        self.countdown = spec.stride;
+        (slot, true)
+    }
+}
+
 /// State of a strided average-pooling stage.
 #[derive(Debug, Clone)]
 pub(crate) struct PoolState {
     /// `[C, kernel]` ring of the most recent columns.
     buf: Vec<f32>,
     channels: usize,
-    seen: usize,
+    clock: PoolClock,
 }
 
 impl PoolState {
-    fn new(channels: usize, spec: &PoolSpec) -> Self {
+    pub(crate) fn new(channels: usize, spec: &PoolSpec) -> Self {
         Self {
             buf: vec![0.0; channels * spec.kernel],
             channels,
-            seen: 0,
+            clock: PoolClock::default(),
         }
     }
 
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.buf.fill(0.0);
-        self.seen = 0;
+        self.clock.reset();
     }
 
     /// Pushes one column; returns `true` (with the pooled column in `out`)
-    /// when the stage emits, mirroring the offline output grid
-    /// `t_out = (t − kernel)/stride + 1`.
+    /// when the stage emits (see [`PoolClock::tick`]).
     pub(crate) fn step(&mut self, spec: &PoolSpec, input: &[f32], out: &mut [f32]) -> bool {
         let k = spec.kernel;
-        let slot = self.seen % k;
+        let (slot, emits) = self.clock.tick(spec);
         for (ci, &v) in input.iter().enumerate() {
             self.buf[ci * k + slot] = v;
         }
-        self.seen += 1;
-        if self.seen < k || !(self.seen - k).is_multiple_of(spec.stride) {
+        if !emits {
             return false;
         }
         let inv = 1.0 / k as f32;

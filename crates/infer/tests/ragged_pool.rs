@@ -1,0 +1,231 @@
+//! Ragged-workload coverage for the batched session pools: streams of
+//! unequal lengths that *join and finish mid-wave* must match per-session
+//! streaming exactly. The uniform-wave parity tests elsewhere never shrink
+//! or grow the active set between flushes; real serving traffic does little
+//! else.
+
+use pit_infer::{
+    compile_generic, compile_restcn, compile_temponet, InferencePlan, QuantizedPlan,
+    QuantizedSession, QuantizedSessionPool, Session, SessionPool,
+};
+use pit_models::{GenericTcn, GenericTcnConfig, ResTcn, ResTcnConfig, TempoNet, TempoNetConfig};
+use pit_nas::SearchableNetwork;
+use pit_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// One stream's lifetime inside the ragged schedule: it joins at round
+/// `start` and contributes `len` samples, one per round.
+#[derive(Debug, Clone, Copy)]
+struct Lifetime {
+    start: usize,
+    len: usize,
+}
+
+/// Builds per-stream inputs and a staggered schedule: stream `sid` is silent
+/// until `start`, pushes one sample per round while alive, then goes silent —
+/// so every wave boundary (join, finish) lands mid-flush for some stream.
+fn ragged_inputs(
+    rng: &mut StdRng,
+    streams: usize,
+    c: usize,
+    max_len: usize,
+) -> (Vec<Vec<f32>>, Vec<Lifetime>) {
+    let inputs: Vec<Vec<f32>> = (0..streams)
+        .map(|_| (0..max_len * c).map(|_| rng.gen::<f32>() - 0.5).collect())
+        .collect();
+    let lifetimes: Vec<Lifetime> = (0..streams)
+        .map(|sid| Lifetime {
+            start: rng.gen_range(0..max_len / 2) * (sid % 3),
+            len: rng.gen_range(1..=max_len),
+        })
+        .collect();
+    (inputs, lifetimes)
+}
+
+/// Drives the ragged schedule through the f32 pool and through solo
+/// sessions; emissions must agree stream by stream, value by value.
+fn assert_f32_ragged_parity(plan: Arc<InferencePlan>, streams: usize, max_len: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c = plan.input_channels();
+    let (inputs, lifetimes) = ragged_inputs(&mut rng, streams, c, max_len);
+
+    let mut pool = SessionPool::new(Arc::clone(&plan), streams);
+    let mut pooled: Vec<Vec<Vec<f32>>> = vec![Vec::new(); streams];
+    let rounds = lifetimes.iter().map(|l| l.start + l.len).max().unwrap();
+    for round in 0..rounds {
+        for (sid, life) in lifetimes.iter().enumerate() {
+            if round >= life.start && round < life.start + life.len {
+                let t = round - life.start;
+                pool.push(sid, &inputs[sid][t * c..(t + 1) * c]);
+            }
+        }
+        for (sid, out) in pool.flush() {
+            pooled[sid].push(out);
+        }
+    }
+    assert_eq!(pool.pending_steps(), 0);
+
+    for (sid, life) in lifetimes.iter().enumerate() {
+        let mut solo = Session::new(Arc::clone(&plan));
+        let mut outs = Vec::new();
+        for t in 0..life.len {
+            if let Some(out) = solo.push(&inputs[sid][t * c..(t + 1) * c]) {
+                outs.push(out);
+            }
+        }
+        assert_eq!(
+            outs.len(),
+            pooled[sid].len(),
+            "stream {sid} ({life:?}): emission count"
+        );
+        for (i, (a, b)) in outs.iter().zip(pooled[sid].iter()).enumerate() {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!(
+                    (x - y).abs() < 1e-5,
+                    "stream {sid} emission {i}: solo {x} vs pooled {y}"
+                );
+            }
+        }
+    }
+}
+
+/// Quantized twin of [`assert_f32_ragged_parity`]; int8 arithmetic is exact,
+/// so pooled and solo emissions must be *bit-identical*.
+fn assert_i8_ragged_parity(qplan: Arc<QuantizedPlan>, streams: usize, max_len: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c = qplan.input_channels();
+    let (inputs, lifetimes) = ragged_inputs(&mut rng, streams, c, max_len);
+
+    let mut pool = QuantizedSessionPool::new(Arc::clone(&qplan), streams);
+    let mut pooled: Vec<Vec<Vec<f32>>> = vec![Vec::new(); streams];
+    let rounds = lifetimes.iter().map(|l| l.start + l.len).max().unwrap();
+    for round in 0..rounds {
+        for (sid, life) in lifetimes.iter().enumerate() {
+            if round >= life.start && round < life.start + life.len {
+                let t = round - life.start;
+                pool.push(sid, &inputs[sid][t * c..(t + 1) * c]);
+            }
+        }
+        for (sid, out) in pool.flush() {
+            pooled[sid].push(out);
+        }
+    }
+    assert_eq!(pool.pending_steps(), 0);
+
+    for (sid, life) in lifetimes.iter().enumerate() {
+        let mut solo = QuantizedSession::new(Arc::clone(&qplan));
+        let mut outs = Vec::new();
+        for t in 0..life.len {
+            if let Some(out) = solo.push(&inputs[sid][t * c..(t + 1) * c]) {
+                outs.push(out);
+            }
+        }
+        assert_eq!(&outs, &pooled[sid], "stream {sid} ({life:?}) diverged");
+    }
+}
+
+/// Calibration windows wide enough to cover any ragged stream prefix.
+fn calibration_windows(rng: &mut StdRng, c: usize, t: usize) -> Vec<Tensor> {
+    (0..3)
+        .map(|_| init::uniform(rng, &[1, c, t], 1.0))
+        .collect()
+}
+
+#[test]
+fn ragged_temponet_pool_matches_solo_sessions() {
+    // Strided pooling + Fc window head: the active set shrinks both from
+    // ragged queues *and* per-session pool phase.
+    let mut rng = StdRng::seed_from_u64(50);
+    let cfg = TempoNetConfig::scaled(8, 64);
+    let net = TempoNet::new(&mut rng, &cfg);
+    net.set_dilations(&cfg.hand_tuned_dilations());
+    assert_f32_ragged_parity(Arc::new(compile_temponet(&net)), 6, 48, 51);
+}
+
+#[test]
+fn ragged_restcn_pool_matches_solo_sessions() {
+    let mut rng = StdRng::seed_from_u64(52);
+    let cfg = ResTcnConfig {
+        hidden_channels: 6,
+        input_channels: 3,
+        output_channels: 3,
+        dropout: 0.0,
+        ..ResTcnConfig::paper()
+    };
+    let net = ResTcn::new(&mut rng, &cfg);
+    net.set_dilations(&cfg.hand_tuned_dilations());
+    assert_f32_ragged_parity(Arc::new(compile_restcn(&net)), 5, 30, 53);
+}
+
+#[test]
+fn ragged_generic_pool_matches_solo_sessions() {
+    let mut rng = StdRng::seed_from_u64(54);
+    let net = GenericTcn::new(&mut rng, &GenericTcnConfig::tiny());
+    net.set_dilations(&[4, 8]);
+    assert_f32_ragged_parity(Arc::new(compile_generic(&net)), 7, 25, 55);
+}
+
+#[test]
+fn ragged_quantized_temponet_pool_is_bit_exact() {
+    let mut rng = StdRng::seed_from_u64(56);
+    let cfg = TempoNetConfig::scaled(8, 64);
+    let net = TempoNet::new(&mut rng, &cfg);
+    net.set_dilations(&cfg.hand_tuned_dilations());
+    let plan = Arc::new(compile_temponet(&net));
+    let windows = calibration_windows(&mut rng, plan.input_channels(), 64);
+    let qplan = Arc::new(QuantizedPlan::quantize(&plan, &windows).expect("quantizes"));
+    assert_i8_ragged_parity(qplan, 6, 48, 57);
+}
+
+#[test]
+fn ragged_quantized_generic_pool_is_bit_exact() {
+    let mut rng = StdRng::seed_from_u64(58);
+    let net = GenericTcn::new(&mut rng, &GenericTcnConfig::tiny());
+    net.set_dilations(&[4, 8]);
+    let plan = Arc::new(compile_generic(&net));
+    let windows = calibration_windows(&mut rng, plan.input_channels(), 32);
+    let qplan = Arc::new(QuantizedPlan::quantize(&plan, &windows).expect("quantizes"));
+    assert_i8_ragged_parity(qplan, 7, 25, 59);
+}
+
+#[test]
+fn burst_pushes_drain_in_narrowing_waves() {
+    // One flush covering several waves: session 0 queues 4 samples, session
+    // 1 queues 2, session 2 queues 1 — the first wave runs 3 sessions, the
+    // second 2, then 1, 1. Chronology per session must survive.
+    let mut rng = StdRng::seed_from_u64(60);
+    let net = GenericTcn::new(&mut rng, &GenericTcnConfig::tiny());
+    net.set_dilations(&[2, 4]);
+    let plan = Arc::new(compile_generic(&net));
+    let mut pool = SessionPool::new(Arc::clone(&plan), 3);
+    let samples: Vec<f32> = (0..4).map(|i| 0.1 * i as f32 - 0.15).collect();
+    for (sid, n) in [(0usize, 4usize), (1, 2), (2, 1)] {
+        for s in samples.iter().take(n) {
+            pool.push(sid, &[*s]);
+        }
+    }
+    assert_eq!(pool.pending_steps(), 7);
+    let results = pool.flush();
+    assert_eq!(results.len(), 7);
+    for (sid, n) in [(0usize, 4usize), (1, 2), (2, 1)] {
+        let mut solo = Session::new(Arc::clone(&plan));
+        let solo_outs: Vec<_> = samples
+            .iter()
+            .take(n)
+            .filter_map(|s| solo.push(&[*s]))
+            .collect();
+        let pooled: Vec<_> = results
+            .iter()
+            .filter(|(id, _)| *id == sid)
+            .map(|(_, v)| v.clone())
+            .collect();
+        assert_eq!(solo_outs.len(), pooled.len(), "stream {sid}");
+        for (a, b) in solo_outs.iter().zip(pooled.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-5, "stream {sid}: {x} vs {y}");
+            }
+        }
+    }
+}

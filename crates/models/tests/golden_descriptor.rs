@@ -1,0 +1,83 @@
+//! Golden-fixture test for the `pit-arch/1` descriptor JSON format.
+//!
+//! The fixture under `tests/fixtures/` is a committed artifact of the
+//! serialization format as shipped: saved architectures live outside the
+//! repository, so a silent format change would orphan them. If this test
+//! fails because the format intentionally changed, bump the schema tag
+//! (`pit-arch/2`), keep parsing `pit-arch/1`, and add a new fixture — do not
+//! regenerate this one.
+
+use pit_models::{LayerDesc, NetworkDescriptor, DESCRIPTOR_SCHEMA};
+
+const FIXTURE: &str = include_str!("fixtures/pit_arch_v1.json");
+
+#[test]
+fn golden_fixture_still_parses() {
+    let d = NetworkDescriptor::from_json_str(FIXTURE).expect("committed fixture must parse");
+    assert_eq!(d.name, "ppg-temponet-searched");
+    // A searched TEMPONet shape: 7 convs + 7 batch norms + 4 pools + 2 FC.
+    assert_eq!(d.len(), 20);
+    assert_eq!(
+        d.layers
+            .iter()
+            .filter(|l| matches!(l, LayerDesc::Conv1d { .. }))
+            .count(),
+        7
+    );
+    assert_eq!(
+        d.layers
+            .iter()
+            .filter(|l| matches!(l, LayerDesc::AvgPool { .. }))
+            .count(),
+        4
+    );
+    // Spot-check concrete geometry so a field rename or reorder that still
+    // "parses" cannot slip through with default values.
+    let LayerDesc::Conv1d {
+        c_in,
+        c_out,
+        kernel,
+        dilation,
+        t_in,
+        t_out,
+    } = d.layers[0]
+    else {
+        panic!("layer 0 must be the first convolution");
+    };
+    assert_eq!(
+        (c_in, c_out, kernel, dilation, t_in, t_out),
+        (4, 8, 5, 2, 64, 64)
+    );
+    let LayerDesc::Linear {
+        in_features,
+        out_features,
+    } = d.layers[19]
+    else {
+        panic!("layer 19 must be the output linear");
+    };
+    assert_eq!((in_features, out_features), (64, 1));
+    // Derived totals are part of the contract too (pit-hw deployment
+    // modelling consumes them).
+    assert_eq!(d.total_weights(), 22_385);
+    assert_eq!(d.total_macs(), 122_432);
+}
+
+#[test]
+fn golden_fixture_roundtrip_is_byte_stable() {
+    let d = NetworkDescriptor::from_json_str(FIXTURE).unwrap();
+    let rendered = d.to_json_string();
+    assert_eq!(
+        rendered.trim_end(),
+        FIXTURE.trim_end(),
+        "parse → render no longer reproduces the committed fixture: the \
+         serialization format changed — bump the schema instead"
+    );
+    // And the re-rendered text parses back to the same descriptor.
+    assert_eq!(NetworkDescriptor::from_json_str(&rendered).unwrap(), d);
+}
+
+#[test]
+fn golden_fixture_schema_tag_is_stable() {
+    assert_eq!(DESCRIPTOR_SCHEMA, "pit-arch/1");
+    assert!(FIXTURE.contains("\"pit-arch/1\""));
+}

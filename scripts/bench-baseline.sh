@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
-# Regenerates the committed benchmark baselines (BENCH_conv.json and
-# BENCH_infer.json).
+# Regenerates the committed benchmark baselines (BENCH_conv.json,
+# BENCH_infer.json and BENCH_int8.json).
 #
 # Run this — never hand-edit the JSON — when a PR intentionally changes
 # performance, then commit the refreshed files alongside the change. CI's
@@ -24,4 +24,6 @@ echo "regenerating BENCH_conv.json (release build, quick suites, 1 thread)..."
 PIT_NUM_THREADS=1 cargo run --locked --release -p pit-bench --bin bench_json -- --quick --out BENCH_conv.json
 echo "regenerating BENCH_infer.json (release build, infer suite, 1 thread)..."
 PIT_NUM_THREADS=1 cargo run --locked --release -p pit-bench --bin bench_json -- --quick --suites infer --out BENCH_infer.json
-echo "done. review the diff and commit BENCH_conv.json + BENCH_infer.json."
+echo "regenerating BENCH_int8.json (release build, quant suite, 1 thread)..."
+PIT_NUM_THREADS=1 cargo run --locked --release -p pit-bench --bin bench_json -- --quick --suites quant --out BENCH_int8.json
+echo "done. review the diff and commit BENCH_conv.json + BENCH_infer.json + BENCH_int8.json."

@@ -43,12 +43,39 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
         let len = rng.gen_range(self.size.lo..self.size.hi);
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    /// Shrinks the length first (halve toward the minimum, then drop the last
+    /// element), then each element in place through the element strategy.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        if len > self.size.lo {
+            let half = self.size.lo + (len - self.size.lo) / 2;
+            if half < len {
+                out.push(value[..half].to_vec());
+            }
+            if len - 1 != half {
+                out.push(value[..len - 1].to_vec());
+            }
+        }
+        for (i, elem) in value.iter().enumerate() {
+            for cand in self.element.shrink(elem) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 
@@ -57,5 +84,29 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy {
         element,
         size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_shrink_prefers_shorter_prefixes_then_elements() {
+        let strat = vec(0usize..10, 1..8);
+        let cands = strat.shrink(&std::vec![5, 6, 7, 8]);
+        // Prefix halving toward the minimum length (1), then len - 1.
+        assert_eq!(cands[0], std::vec![5, 6]);
+        assert_eq!(cands[1], std::vec![5, 6, 7]);
+        // Element shrinks keep the length.
+        assert!(cands[2..].iter().all(|v| v.len() == 4));
+        assert!(cands.contains(&std::vec![0, 6, 7, 8]));
+    }
+
+    #[test]
+    fn vec_shrink_respects_the_minimum_length() {
+        let strat = vec(0usize..10, 3);
+        let cands = strat.shrink(&std::vec![1, 2, 3]);
+        assert!(cands.iter().all(|v| v.len() == 3), "fixed size must hold");
     }
 }

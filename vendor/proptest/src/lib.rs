@@ -3,9 +3,15 @@
 //! strategies, [`collection::vec`], `ProptestConfig::with_cases`, and the
 //! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
 //!
-//! Instead of proptest's adaptive shrinking runner, each test body simply
-//! runs `cases` times with inputs drawn from a deterministic RNG (the case
-//! index seeds the generator), so failures are reproducible run-to-run.
+//! Each test body runs `cases` times with inputs drawn from a deterministic
+//! RNG (the case index seeds the generator), so failures are reproducible
+//! run-to-run. Unlike real proptest's lazy value trees, shrinking is eager
+//! and greedy: on a failing case the runner asks the strategy for candidate
+//! simplifications (binary-search halving for numbers, prefix/element
+//! shrinking for vectors, componentwise for tuples), keeps the first
+//! candidate that still fails, and repeats until the failure is minimal —
+//! the reported counterexample names the simplest input found, not just the
+//! case seed.
 
 pub mod collection;
 pub mod strategy;
@@ -18,7 +24,8 @@ pub mod prelude {
 }
 
 /// Expands each `fn name(pat in strategy, ...) { body }` into a `#[test]`
-/// that samples the strategies `cases` times and runs the body.
+/// that samples the strategies `cases` times and runs the body; a failing
+/// case is shrunk to a minimal counterexample before the test panics.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -31,18 +38,24 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
+            let strategy = ($(($strat),)*);
             for case in 0..config.cases {
                 let mut proptest_rng = $crate::test_runner::case_rng(stringify!($name), case);
-                $(let $pat = $crate::strategy::Strategy::sample(
-                    &($strat),
-                    &mut proptest_rng,
-                );)*
-                // The closure gives `prop_assume!` an early exit per case.
-                let _ = (|| -> ::std::result::Result<(), ()> {
-                    $body
-                    #[allow(unreachable_code)]
-                    Ok(())
-                })();
+                let value = $crate::strategy::Strategy::sample(&strategy, &mut proptest_rng);
+                // The closure gives `prop_assume!` an early exit per case;
+                // failures are panics, caught and shrunk by `check_case`.
+                $crate::test_runner::check_case(
+                    stringify!($name),
+                    case,
+                    &strategy,
+                    value,
+                    &mut |candidate| -> ::std::result::Result<(), ()> {
+                        let ($($pat,)*) = ::std::clone::Clone::clone(candidate);
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
             }
         }
     )*};
@@ -71,4 +84,34 @@ macro_rules! prop_assume {
             return Ok(());
         }
     };
+}
+
+#[cfg(test)]
+mod macro_tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro still drives passing properties across tuple, range and
+        /// vec strategies (sampling order unchanged by the shrink upgrade).
+        #[test]
+        fn samples_stay_inside_their_ranges(
+            a in 1usize..10,
+            b in -2.0f32..2.0,
+            v in crate::collection::vec(0u64..100, 0..5),
+        ) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        /// `prop_assume!` keeps skipping cases that miss the precondition.
+        #[test]
+        fn assume_skips_cases(a in 0usize..10, b in 0usize..10) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+    }
 }

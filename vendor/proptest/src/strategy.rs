@@ -3,14 +3,25 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// A recipe for generating values of `Self::Value`.
+/// A recipe for generating values of `Self::Value` and for simplifying a
+/// failing value toward a minimal counterexample.
 ///
-/// Unlike real proptest there is no value tree and no shrinking: a strategy
-/// is just a sampler over a deterministic RNG.
+/// Unlike real proptest there is no lazy value tree: [`Strategy::shrink`]
+/// eagerly proposes a short list of candidate simplifications (simplest
+/// first), and the runner keeps the first candidate that still fails,
+/// repeating until no candidate reproduces the failure.
 pub trait Strategy {
     type Value;
 
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, simplest first. Every candidate
+    /// must itself be a value this strategy could have produced, and must be
+    /// strictly "smaller" than `value` under some well-founded order so the
+    /// shrink loop terminates. The default is no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -19,15 +30,40 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn sample(&self, rng: &mut StdRng) -> Self::Value {
         (**self).sample(rng)
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
-macro_rules! impl_range_strategy {
+/// Integer shrink candidates inside `[lo, v)`: the range minimum, the
+/// binary-search midpoint and the immediate predecessor.
+fn int_candidates(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v > lo {
+        for c in [lo, lo + (v - lo) / 2, v - 1] {
+            if c != v && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
             type Value = $t;
 
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_candidates(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
 
@@ -37,15 +73,78 @@ macro_rules! impl_range_strategy {
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_candidates(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )*};
 }
 
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Float shrink candidates: the range minimum, zero when it lies between,
+/// and the binary-search midpoint toward the minimum.
+fn float_candidates(lo: f64, v: f64) -> Vec<f64> {
+    let mut out: Vec<f64> = Vec::new();
+    let mut push = |c: f64| {
+        if c.is_finite() && c != v && (c - lo).abs() < (v - lo).abs() && !out.contains(&c) {
+            out.push(c);
+        }
+    };
+    push(lo);
+    if lo <= 0.0 && v > 0.0 {
+        push(0.0);
+    }
+    push(lo + (v - lo) / 2.0);
+    out
+}
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_candidates(self.start as f64, *value as f64)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_candidates(*self.start() as f64, *value as f64)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -53,14 +152,40 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.sample(rng),)+)
             }
+
+            /// Shrinks one component at a time, the others held fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7)
+);
 
 /// A strategy producing one fixed value, like `proptest::strategy::Just`.
 #[derive(Debug, Clone)]
@@ -71,5 +196,44 @@ impl<T: Clone> Strategy for Just<T> {
 
     fn sample(&self, _rng: &mut StdRng) -> T {
         self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_shrink_halves_toward_the_low_bound() {
+        let strat = 0usize..100;
+        assert_eq!(strat.shrink(&83), vec![0, 41, 82]);
+        assert_eq!(strat.shrink(&1), vec![0]);
+        assert!(strat.shrink(&0).is_empty());
+        let inclusive = 5u64..=20;
+        assert_eq!(inclusive.shrink(&9), vec![5, 7, 8]);
+    }
+
+    #[test]
+    fn float_shrink_moves_toward_the_low_bound() {
+        let strat = -2.0f32..2.0;
+        let cands = strat.shrink(&1.5);
+        assert!(cands.contains(&-2.0));
+        assert!(cands.contains(&0.0));
+        for c in &cands {
+            assert!((c + 2.0).abs() < 3.5, "candidate {c} not simpler");
+        }
+        assert!(strat.shrink(&-2.0).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let strat = (0usize..10, 0usize..10);
+        let cands = strat.shrink(&(4, 6));
+        assert!(cands.contains(&(0, 6)));
+        assert!(cands.contains(&(4, 0)));
+        for (a, b) in &cands {
+            assert!((*a, *b) != (4, 6));
+            assert!(*a == 4 || *b == 6, "both components moved at once");
+        }
     }
 }

@@ -1,7 +1,12 @@
-//! The runner configuration and per-case RNG derivation.
+//! The runner configuration, per-case RNG derivation and the shrinking
+//! engine behind the [`crate::proptest!`] macro.
 
+use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
 
 /// Mirror of `proptest::test_runner::Config` (only `cases` is honoured).
 #[derive(Debug, Clone)]
@@ -30,4 +35,178 @@ pub fn case_rng(test_name: &str, case: u32) -> StdRng {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     StdRng::seed_from_u64(hash ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+/// Probe budget of one shrink session: enough for binary-search halving over
+/// any realistic input, small enough that a pathological strategy cannot hang
+/// the suite.
+pub const MAX_SHRINK_PROBES: usize = 512;
+
+thread_local! {
+    /// Set while a shrink probe (or the initial guarded run) executes, so
+    /// the panic hook stays quiet for panics the runner is going to catch.
+    static SILENT: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+/// Wraps the current panic hook (once, process-wide) with one that skips
+/// printing while this thread is inside a guarded proptest execution.
+fn install_silencing_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SILENT.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs one case body silently; `Err` carries the panic message when it
+/// failed. A body that returns early via `prop_assume!` counts as passing.
+fn runs_clean<V, F>(run: &mut F, value: &V) -> Result<(), String>
+where
+    F: FnMut(&V) -> Result<(), ()>,
+{
+    install_silencing_hook();
+    SILENT.with(|s| s.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let _ = run(value);
+    }));
+    SILENT.with(|s| s.set(false));
+    result.map_err(|p| payload_message(p.as_ref()))
+}
+
+/// The pure shrink loop: starting from a value for which `fails` holds,
+/// repeatedly takes the first candidate from [`Strategy::shrink`] that still
+/// fails, until no candidate fails or the probe budget is spent. Returns the
+/// minimal failing value and the number of probes used.
+pub fn shrink_to_minimal<S: Strategy>(
+    strategy: &S,
+    initial: S::Value,
+    fails: &mut dyn FnMut(&S::Value) -> bool,
+    max_probes: usize,
+) -> (S::Value, usize) {
+    let mut current = initial;
+    let mut probes = 0usize;
+    'outer: loop {
+        for cand in strategy.shrink(&current) {
+            if probes >= max_probes {
+                break 'outer;
+            }
+            probes += 1;
+            if fails(&cand) {
+                current = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, probes)
+}
+
+/// Executes one sampled case for the [`crate::proptest!`] macro: on failure,
+/// shrinks the input to a minimal counterexample and panics with it.
+pub fn check_case<S, F>(name: &str, case: u32, strategy: &S, value: S::Value, run: &mut F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: FnMut(&S::Value) -> Result<(), ()>,
+{
+    let original_msg = match runs_clean(run, &value) {
+        Ok(()) => return,
+        Err(msg) => msg,
+    };
+    let original = value.clone();
+    let mut message = original_msg.clone();
+    let (minimal, probes) = shrink_to_minimal(
+        strategy,
+        value,
+        &mut |cand| match runs_clean(run, cand) {
+            Ok(()) => false,
+            Err(msg) => {
+                message = msg;
+                true
+            }
+        },
+        MAX_SHRINK_PROBES,
+    );
+    panic!(
+        "proptest '{name}' failed (case {case}, {probes} shrink probes)\n\
+         minimal counterexample: {minimal:?}\n\
+         failure: {message}\n\
+         original input: {original:?}\n\
+         original failure: {original_msg}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_to_minimal_finds_the_boundary_of_a_threshold_failure() {
+        // "Fails whenever v >= 7": halving from 83 must land exactly on 7.
+        let strat = 0usize..100;
+        let (minimal, probes) = shrink_to_minimal(&strat, 83, &mut |v| *v >= 7, 512);
+        assert_eq!(minimal, 7);
+        assert!(probes > 0 && probes < 64, "probes {probes}");
+    }
+
+    #[test]
+    fn shrink_to_minimal_respects_the_probe_budget() {
+        // Only the topmost values fail, so each round burns probes on the
+        // low candidates before inching down — the budget must cut it off.
+        let strat = 0usize..1_000_000;
+        let (minimal, probes) = shrink_to_minimal(&strat, 999_999, &mut |v| *v >= 999_000, 3);
+        assert_eq!(probes, 3);
+        assert!(minimal >= 999_000, "stopped at a still-failing value");
+    }
+
+    #[test]
+    fn shrink_to_minimal_shrinks_vectors_by_prefix_and_element() {
+        // "Fails when any element >= 5": minimal case is a single [5].
+        let strat = crate::collection::vec(0usize..100, 1..10);
+        let (minimal, _) = shrink_to_minimal(
+            &strat,
+            vec![12, 3, 40, 7],
+            &mut |v| v.iter().any(|&x| x >= 5),
+            512,
+        );
+        assert_eq!(minimal, vec![5]);
+    }
+
+    #[test]
+    fn check_case_reports_the_minimal_counterexample() {
+        let strat = 0usize..100;
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            check_case("boundary", 0, &strat, 83, &mut |v: &usize| {
+                assert!(*v < 7, "value {v} crossed the threshold");
+                Ok(())
+            });
+        }));
+        let msg = payload_message(caught.unwrap_err().as_ref());
+        assert!(
+            msg.contains("minimal counterexample: 7"),
+            "message did not name the minimal case: {msg}"
+        );
+        assert!(msg.contains("value 7 crossed the threshold"), "{msg}");
+    }
+
+    #[test]
+    fn check_case_passes_silently_on_success() {
+        let strat = 0usize..100;
+        check_case("fine", 0, &strat, 42, &mut |_: &usize| Ok(()));
+    }
 }
