@@ -4,10 +4,11 @@
 //! bench_json [--quick | --full] [--suites LIST] [--out PATH]
 //!     Runs benchmark suites and writes the JSON report (stdout when --out
 //!     is omitted). --suites is a comma-separated subset of
-//!     conv,masking,search,infer,quant; the default (conv,masking,search)
+//!     conv,masking,search,infer,quant,serve; the default (conv,masking,search)
 //!     is the committed BENCH_conv.json record set, `--suites infer` is
-//!     BENCH_infer.json and `--suites quant` is BENCH_int8.json. --quick is
-//!     the default and what CI and all committed baselines use.
+//!     BENCH_infer.json, `--suites quant` is BENCH_int8.json and
+//!     `--suites serve` is BENCH_serve.json. --quick is the default and
+//!     what CI and all committed baselines use.
 //!
 //! bench_json compare <baseline.json> <current.json>
 //!            [--tolerance F] [--normalize]
@@ -26,7 +27,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench_json [--quick|--full] [--suites conv,masking,search,infer,quant] [--out PATH]\n\
+        "usage: bench_json [--quick|--full] [--suites conv,masking,search,infer,quant,serve] [--out PATH]\n\
          \u{20}      bench_json compare <baseline.json> <current.json> [--tolerance F] [--normalize]"
     );
     ExitCode::from(2)

@@ -4,13 +4,15 @@
 //! seed oracle), the PIT masked-training path (fused vs unfused vs the true
 //! dilated deployment network) and one full PIT search step;
 //! [`infer_suite`] times the serving side (offline tape replay vs the
-//! compiled streaming engine of `pit-infer`) and [`quant_suite`] the int8
-//! serving path against its f32 twin. [`run_named_suites`] selects suites
-//! by name. [`records_to_json`]/[`records_from_json`] move the records
-//! through the hand-rolled [`crate::json`] writer (the serde stub cannot
-//! serialise), and [`compare`] diffs a fresh run against a committed
-//! baseline (`BENCH_conv.json`, `BENCH_infer.json`, `BENCH_int8.json`) —
-//! the regression gate CI runs on every push.
+//! compiled streaming engine of `pit-infer`), [`quant_suite`] the int8
+//! serving path against its f32 twin, and [`serve_suite`] the `pit-serve`
+//! TCP daemon end to end over loopback. [`run_named_suites`] selects
+//! suites by name. [`records_to_json`]/[`records_from_json`] move the
+//! records through the hand-rolled [`crate::json`] writer (the serde stub
+//! cannot serialise), and [`compare`] diffs a fresh run against a
+//! committed baseline (`BENCH_conv.json`, `BENCH_infer.json`,
+//! `BENCH_int8.json`, `BENCH_serve.json`) — the regression gate CI runs on
+//! every push.
 
 use crate::json::Json;
 use crate::report::Table;
@@ -515,6 +517,154 @@ pub fn quant_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
     out
 }
 
+/// Serving-daemon suite: end-to-end loopback throughput and wave latency of
+/// the `pit-serve` TCP daemon on the same searched PPG model as the
+/// `infer`/`quant` suites.
+///
+/// * `loopback_f32/step` — one timestep end to end (client encode → TCP →
+///   wave batcher → pooled GEMM wave → TCP → client decode), 16 concurrent
+///   streams pushed in 64-step bursts over one connection. This is the
+///   suite's machine-speed anchor (the `_f32/step` rule of [`compare`]).
+/// * `loopback_i8/step` — the same fleet on the int8 engine.
+/// * `serve_ping/rtt` — a PING/PONG round trip through the batcher thread:
+///   the control-path floor under the loopback numbers.
+/// * `wave_f32/p50` — the server's own median flush latency over the f32
+///   run (from its STATS counters): what one batched wave costs, excluding
+///   the wire. The p99 is deliberately *not* a gated record — it swings
+///   several-fold run to run even on idle hardware (it measures scheduler
+///   tail noise, not kernels) and lives in the STATS frame instead.
+pub fn serve_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
+    use pit_infer::{compile_temponet, QuantizedPlan};
+    use pit_models::{TempoNet, TempoNetConfig};
+    use pit_nas::SearchableNetwork;
+    use pit_serve::{Client, ServeEngine, Server, ServerConfig, ServerFrame, StatsSnapshot};
+    use std::sync::Arc;
+
+    const STREAMS: usize = 16;
+    const BURST: usize = 64; // steps per stream per iteration
+
+    let cfg = TempoNetConfig::scaled(8, 64);
+    let c_in = cfg.input_channels;
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = TempoNet::new(&mut rng, &cfg);
+    net.set_dilations(&cfg.hand_tuned_dilations());
+    let plan = Arc::new(compile_temponet(&net));
+    let x = init::uniform(&mut rng, &[1, c_in, cfg.input_length], 1.0);
+    let qplan = Arc::new(
+        QuantizedPlan::quantize(&plan, std::slice::from_ref(&x)).expect("benchmark plan quantizes"),
+    );
+    // One 64-step burst per stream, reused every iteration (sessions are
+    // stateful; emission cadence is 8, so 64 steps always yield 8 outputs).
+    let mut burst = Vec::with_capacity(BURST * c_in);
+    for t in 0..BURST {
+        for ci in 0..c_in {
+            burst.push(x.data()[ci * cfg.input_length + t]);
+        }
+    }
+    let shape = format!("TEMPONet/8 C{c_in} {STREAMS}x{BURST} steps");
+    let record = |op: &str, ns_per_step: f64| BenchRecord {
+        suite: "serve".into(),
+        op: op.into(),
+        shape: shape.clone(),
+        ns_per_iter: ns_per_step,
+        throughput: 1e9 / ns_per_step,
+        throughput_unit: "steps/s".into(),
+    };
+
+    /// Pushes the burst to all streams and drains the expected emissions —
+    /// one full loopback iteration.
+    fn loopback_iter(client: &mut Client, burst: &[f32], c_in: usize) {
+        for sid in 0..STREAMS as u32 {
+            client.push(sid, c_in as u32, burst).expect("push");
+        }
+        let want = STREAMS * BURST / 8;
+        let mut got = 0usize;
+        while got < want {
+            match client
+                .recv_timeout(std::time::Duration::from_secs(30))
+                .expect("transport")
+                .expect("emissions before timeout")
+            {
+                ServerFrame::Emit { count, .. } => got += count as usize,
+                ServerFrame::Opened { .. } => {}
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+
+    let run_engine = |engine: ServeEngine, op: &str, want_stats: bool| {
+        let server = Server::bind(engine, ServerConfig::default()).expect("bind loopback");
+        let addr = server.local_addr();
+        let handle = server.spawn();
+        let mut client = Client::connect(addr).expect("connect");
+        for sid in 0..STREAMS as u32 {
+            client.open(sid).expect("open");
+        }
+        let ns = measure(opts, || loopback_iter(&mut client, &burst, c_in));
+        let mut out = vec![record(op, ns / (STREAMS * BURST) as f64)];
+        if want_stats {
+            client.stats().expect("stats");
+            let json = loop {
+                match client
+                    .recv_timeout(std::time::Duration::from_secs(30))
+                    .expect("transport")
+                    .expect("stats reply")
+                {
+                    ServerFrame::StatsJson { json } => break json,
+                    _ => continue,
+                }
+            };
+            let snap = StatsSnapshot::from_json_str(&json).expect("stats parse");
+            // A wave latency is not a per-timestep figure: publish its rate
+            // as plain iterations, not steps.
+            let mut wave = record("wave_f32/p50", snap.wave_p50_ns as f64);
+            wave.throughput_unit = "iter/s".into();
+            out.push(wave);
+        }
+        handle.shutdown();
+        out
+    };
+
+    let mut out = Vec::new();
+    out.extend(run_engine(
+        ServeEngine::F32(Arc::clone(&plan)),
+        "loopback_f32/step",
+        true,
+    ));
+    out.extend(run_engine(
+        ServeEngine::I8(Arc::clone(&qplan)),
+        "loopback_i8/step",
+        false,
+    ));
+
+    // Control-path round trip: PING through the batcher and back.
+    let server = Server::bind(ServeEngine::F32(Arc::clone(&plan)), ServerConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).expect("connect");
+    let mut token = 0u64;
+    let ns = measure(opts, || {
+        token += 1;
+        client.ping(token).expect("ping");
+        loop {
+            match client
+                .recv_timeout(std::time::Duration::from_secs(30))
+                .expect("transport")
+                .expect("pong")
+            {
+                ServerFrame::Pong { token: t } if t == token => break,
+                _ => continue,
+            }
+        }
+    });
+    handle.shutdown();
+    let mut rec = record("serve_ping/rtt", ns);
+    rec.throughput_unit = "iter/s".into();
+    out.push(rec);
+    out
+}
+
 /// Runs the training-side suites (the `BENCH_conv.json` record set).
 pub fn run_suites(quick: bool) -> Vec<BenchRecord> {
     let names: Vec<String> = ["conv", "masking", "search"]
@@ -524,7 +674,8 @@ pub fn run_suites(quick: bool) -> Vec<BenchRecord> {
     run_named_suites(&names, quick).expect("default suite names are valid")
 }
 
-/// Runs suites by name (`conv`, `masking`, `search`, `infer`, `quant`).
+/// Runs suites by name (`conv`, `masking`, `search`, `infer`, `quant`,
+/// `serve`).
 ///
 /// # Errors
 ///
@@ -543,6 +694,7 @@ pub fn run_named_suites(names: &[String], quick: bool) -> Result<Vec<BenchRecord
             "search" => records.extend(search_suite(&opts)),
             "infer" => records.extend(infer_suite(&opts)),
             "quant" => records.extend(quant_suite(&opts)),
+            "serve" => records.extend(serve_suite(&opts)),
             other => return Err(format!("unknown suite '{other}'")),
         }
     }

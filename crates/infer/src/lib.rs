@@ -31,6 +31,12 @@
 //!   [`QuantizedSession`] / [`QuantizedSessionPool`] stream it with `i8`
 //!   ring state — ~4x smaller per stream, over 2x faster per step, and
 //!   provably within [`QuantizedPlan::error_bound`] of the f32 engine.
+//! * **Persist** ([`artifact`]): plans serialise *with their weights* as
+//!   `pit-arch/2` JSON artifacts ([`InferencePlan::to_artifact`],
+//!   [`QuantizedPlan::to_artifact`], base64 tensor payloads) and load back
+//!   bit-identically ([`PlanArtifact::load`]) — the boot path of the
+//!   `pit-serve` daemon, no model code or calibration data needed at serve
+//!   time.
 //!
 //! ```
 //! use pit_infer::{compile_generic, Session};
@@ -49,11 +55,13 @@
 //! assert_eq!(out.len(), 1);
 //! ```
 
+pub mod artifact;
 pub mod plan;
 pub mod quant;
 pub mod session;
 pub mod stream;
 
+pub use artifact::{PlanArtifact, ARTIFACT_SCHEMA};
 pub use plan::{
     compile_concrete, compile_generic, compile_restcn, compile_temponet, CompiledConv, Dense,
     InferencePlan, PlanBlock, PlanHead, PoolSpec,

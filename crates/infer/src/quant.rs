@@ -185,6 +185,9 @@ pub struct QuantizedConv {
     pub(crate) in_max: f32,
     /// Bias `[C_out]`, applied in f32 after dequantization.
     pub(crate) bias: Vec<f32>,
+    /// Per-output-channel weight scales (kept verbatim so artifact round
+    /// trips are bit-stable; `deq` is the product with `in_scale`).
+    pub(crate) w_scales: Vec<f32>,
     /// Dequantization factor per output channel: `in_scale · w_scale[co]`.
     pub(crate) deq: Vec<f32>,
     /// `Σ_j |ŵ[co, j]|` over dequantized weights — the per-channel Lipschitz
@@ -201,6 +204,55 @@ impl QuantizedConv {
         let (c_in, c_out, k) = (conv.in_channels(), conv.out_channels(), conv.kernel());
         let ck = c_in * k;
         let q = quantize_per_channel(&conv.weight);
+        let mut dw_l1 = vec![0.0f32; c_out];
+        for co in 0..c_out {
+            let scale = q.scales[co];
+            for j in 0..ck {
+                let wv = f32::from(q.data[co * ck + j]) * scale;
+                dw_l1[co] += (wv - conv.weight.data()[co * ck + j]).abs();
+            }
+        }
+        Self::from_quantized_parts(
+            c_in,
+            c_out,
+            k,
+            conv.dilation(),
+            &q.data,
+            q.scales,
+            in_max,
+            conv.bias.data().to_vec(),
+            dw_l1,
+        )
+    }
+
+    /// Rebuilds a quantized convolution from its canonical serialized parts:
+    /// codes `wq` in `[C_out, C_in, K]` order, per-output-channel `scales`,
+    /// the calibrated input max-abs, the f32 bias and the weight-rounding
+    /// mass `dw_l1` (which cannot be recomputed without the original f32
+    /// weights). The execution pack and the derived bound factors are
+    /// reconstructed, bit-identically to [`QuantizedConv::from_compiled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the geometry; the artifact
+    /// parser validates lengths before calling this.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_quantized_parts(
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        dilation: usize,
+        wq: &[i8],
+        scales: Vec<f32>,
+        in_max: f32,
+        bias: Vec<f32>,
+        dw_l1: Vec<f32>,
+    ) -> Self {
+        let ck = c_in * k;
+        assert_eq!(wq.len(), ck * c_out, "quantized weight length");
+        assert_eq!(scales.len(), c_out, "scale count");
+        assert_eq!(bias.len(), c_out, "bias length");
+        assert_eq!(dw_l1.len(), c_out, "dw_l1 length");
         let in_scale = symmetric_scale(in_max);
         // Transposed pack in *(tap, channel)* order: gather row `j` is
         // `(kk, ci)` with `j = kk·C_in + ci`, so a streaming gather is one
@@ -209,34 +261,48 @@ impl QuantizedConv {
         for co in 0..c_out {
             for ci in 0..c_in {
                 for kk in 0..k {
-                    wt_q[(kk * c_in + ci) * c_out + co] = q.data[co * ck + ci * k + kk];
+                    wt_q[(kk * c_in + ci) * c_out + co] = wq[co * ck + ci * k + kk];
                 }
             }
         }
         let mut l1q = vec![0.0f32; c_out];
-        let mut dw_l1 = vec![0.0f32; c_out];
         for co in 0..c_out {
-            let scale = q.scales[co];
+            let scale = scales[co];
             for j in 0..ck {
-                let wv = f32::from(q.data[co * ck + j]) * scale;
-                l1q[co] += wv.abs();
-                dw_l1[co] += (wv - conv.weight.data()[co * ck + j]).abs();
+                l1q[co] += (f32::from(wq[co * ck + j]) * scale).abs();
             }
         }
         Self {
             c_in,
             c_out,
             k,
-            dilation: conv.dilation(),
+            dilation,
             wt_q,
             in_scale,
             inv_in_scale: 1.0 / in_scale,
             in_max,
-            bias: conv.bias.data().to_vec(),
-            deq: q.scales.iter().map(|&s| s * in_scale).collect(),
+            bias,
+            deq: scales.iter().map(|&s| s * in_scale).collect(),
+            w_scales: scales,
             l1q,
             dw_l1,
         }
+    }
+
+    /// The quantized codes back in canonical `[C_out, C_in, K]` order (the
+    /// inverse of the execution pack) — the artifact serialization layout.
+    pub(crate) fn canonical_wq(&self) -> Vec<i8> {
+        let ck = self.c_in * self.k;
+        let mut wq = vec![0i8; ck * self.c_out];
+        for co in 0..self.c_out {
+            for ci in 0..self.c_in {
+                for kk in 0..self.k {
+                    wq[co * ck + ci * self.k + kk] =
+                        self.wt_q[(kk * self.c_in + ci) * self.c_out + co];
+                }
+            }
+        }
+        wq
     }
 
     /// Input channels.
@@ -298,6 +364,9 @@ pub struct QuantizedDense {
     pub(crate) inv_in_scale: f32,
     pub(crate) in_max: f32,
     pub(crate) bias: Vec<f32>,
+    /// Per-output-feature weight scales (kept verbatim so artifact round
+    /// trips are bit-stable; `deq` is the product with `in_scale`).
+    pub(crate) w_scales: Vec<f32>,
     /// `in_scale · w_scale[o]` per output feature.
     pub(crate) deq: Vec<f32>,
     pub(crate) l1q: Vec<f32>,
@@ -320,21 +389,59 @@ impl QuantizedDense {
         let q = quantize_per_channel(
             &Tensor::from_vec(wt.clone(), &[out_f, in_f]).expect("transposed weight shape"),
         );
-        let in_scale = symmetric_scale(in_max);
-        let mut wq_cols = vec![0i8; in_f * out_f];
-        for o in 0..out_f {
-            for i in 0..in_f {
-                wq_cols[i * out_f + o] = q.data[o * in_f + i];
-            }
-        }
-        let mut l1q = vec![0.0f32; out_f];
         let mut dw_l1 = vec![0.0f32; out_f];
         for o in 0..out_f {
             let scale = q.scales[o];
             for i in 0..in_f {
                 let wv = f32::from(q.data[o * in_f + i]) * scale;
-                l1q[o] += wv.abs();
                 dw_l1[o] += (wv - wt[o * in_f + i]).abs();
+            }
+        }
+        Self::from_quantized_parts(
+            in_f,
+            out_f,
+            &q.data,
+            q.scales,
+            in_max,
+            dense.bias.data().to_vec(),
+            dw_l1,
+        )
+    }
+
+    /// Rebuilds a quantized dense layer from its canonical serialized parts:
+    /// codes `wq` in `[out, in]` order (the per-channel quantization
+    /// layout), per-output-feature `scales`, the calibrated input max-abs,
+    /// the f32 bias and the weight-rounding mass `dw_l1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the geometry; the artifact
+    /// parser validates lengths before calling this.
+    pub(crate) fn from_quantized_parts(
+        in_f: usize,
+        out_f: usize,
+        wq: &[i8],
+        scales: Vec<f32>,
+        in_max: f32,
+        bias: Vec<f32>,
+        dw_l1: Vec<f32>,
+    ) -> Self {
+        assert_eq!(wq.len(), in_f * out_f, "quantized weight length");
+        assert_eq!(scales.len(), out_f, "scale count");
+        assert_eq!(bias.len(), out_f, "bias length");
+        assert_eq!(dw_l1.len(), out_f, "dw_l1 length");
+        let in_scale = symmetric_scale(in_max);
+        let mut wq_cols = vec![0i8; in_f * out_f];
+        for o in 0..out_f {
+            for i in 0..in_f {
+                wq_cols[i * out_f + o] = wq[o * in_f + i];
+            }
+        }
+        let mut l1q = vec![0.0f32; out_f];
+        for o in 0..out_f {
+            let scale = scales[o];
+            for i in 0..in_f {
+                l1q[o] += (f32::from(wq[o * in_f + i]) * scale).abs();
             }
         }
         Self {
@@ -344,11 +451,25 @@ impl QuantizedDense {
             in_scale,
             inv_in_scale: 1.0 / in_scale,
             in_max,
-            bias: dense.bias.data().to_vec(),
-            deq: q.scales.iter().map(|&s| s * in_scale).collect(),
+            bias,
+            deq: scales.iter().map(|&s| s * in_scale).collect(),
+            w_scales: scales,
             l1q,
             dw_l1,
         }
+    }
+
+    /// The quantized codes back in canonical `[out, in]` order — the
+    /// artifact serialization layout.
+    pub(crate) fn canonical_wq(&self) -> Vec<i8> {
+        let (in_f, out_f) = (self.in_features, self.out_features);
+        let mut wq = vec![0i8; in_f * out_f];
+        for o in 0..out_f {
+            for i in 0..in_f {
+                wq[o * in_f + i] = self.wq_cols[i * out_f + o];
+            }
+        }
+        wq
     }
 
     /// Input features.
@@ -453,6 +574,9 @@ fn accumulate_block<const R: usize>(
 pub struct QuantPool {
     /// Pooling geometry.
     pub(crate) spec: PoolSpec,
+    /// Calibrated max-abs of the window's (f32 reference) input, kept
+    /// verbatim so artifact round trips are bit-stable.
+    pub(crate) in_max: f32,
     /// Input activation scale (from calibration).
     pub(crate) in_scale: f32,
     /// Reciprocal of `in_scale` — the seam quantizes with one multiply.
@@ -462,10 +586,11 @@ pub struct QuantPool {
 }
 
 impl QuantPool {
-    fn new(spec: PoolSpec, in_max: f32) -> Self {
+    pub(crate) fn new(spec: PoolSpec, in_max: f32) -> Self {
         let in_scale = symmetric_scale(in_max);
         Self {
             spec,
+            in_max,
             in_scale,
             inv_in_scale: 1.0 / in_scale,
             deq: in_scale / spec.kernel as f32,
@@ -524,15 +649,81 @@ pub enum QuantHead {
 /// against the f32 plan it was lowered from.
 #[derive(Debug, Clone)]
 pub struct QuantizedPlan {
-    name: String,
-    input_channels: usize,
-    blocks: Vec<QuantBlock>,
-    head: QuantHead,
-    output_dim: usize,
-    error_bound: f32,
+    pub(crate) name: String,
+    pub(crate) input_channels: usize,
+    pub(crate) blocks: Vec<QuantBlock>,
+    pub(crate) head: QuantHead,
+    pub(crate) output_dim: usize,
+    pub(crate) error_bound: f32,
+}
+
+/// Composes the analytic error bound of a quantized plan from its layers —
+/// the recursion described in the module docs: each conv/dense layer maps an
+/// incoming error `e` through [`rounding_bound`], residual branches add,
+/// average pooling is 1-Lipschitz plus half a step of its own seam scale.
+/// One function serves both [`QuantizedPlan::new`] and the artifact loader,
+/// so a plan and its deserialized twin carry the same bound.
+fn compose_error_bound(blocks: &[QuantBlock], head: &QuantHead) -> f32 {
+    let mut e = 0.0f32;
+    for block in blocks {
+        match block {
+            QuantBlock::Residual {
+                conv1,
+                conv2,
+                downsample,
+            } => {
+                let e_branch = conv2.bound(conv1.bound(e));
+                let e_skip = downsample.as_ref().map(|d| d.bound(e)).unwrap_or(e);
+                e = e_branch + e_skip;
+            }
+            QuantBlock::Plain { convs, pool } => {
+                for conv in convs {
+                    e = conv.bound(e);
+                }
+                // Averaging is 1-Lipschitz; quantizing the pool window adds
+                // one half-step of its seam scale to the bound.
+                if let Some(qp) = pool {
+                    e += 0.5 * qp.in_scale;
+                }
+            }
+        }
+    }
+    match head {
+        QuantHead::PerStep(conv) => conv.bound(e),
+        QuantHead::Fc { hidden, output, .. } => output.bound(hidden.bound(e)),
+        // The f32 running mean is 1-Lipschitz; the dense seam was calibrated
+        // pre-pool, which dominates every prefix mean.
+        QuantHead::GlobalPoolFc(dense) => dense.bound(e),
+    }
 }
 
 impl QuantizedPlan {
+    /// Assembles a quantized plan from already-built parts, deriving the
+    /// output width and the composed error bound. Geometry invariants
+    /// (channel chaining) are the caller's responsibility — the public
+    /// constructors ([`QuantizedPlan::new`], the artifact loader) establish
+    /// them before calling this.
+    pub(crate) fn assemble(
+        name: String,
+        input_channels: usize,
+        blocks: Vec<QuantBlock>,
+        head: QuantHead,
+    ) -> Self {
+        let output_dim = match &head {
+            QuantHead::PerStep(conv) => conv.c_out,
+            QuantHead::Fc { output, .. } => output.out_features,
+            QuantHead::GlobalPoolFc(dense) => dense.out_features,
+        };
+        let error_bound = compose_error_bound(&blocks, &head);
+        Self {
+            name,
+            input_channels,
+            blocks,
+            head,
+            output_dim,
+            error_bound,
+        }
+    }
     /// Lowers an f32 plan into int8 using a previously collected
     /// [`Calibration`].
     ///
@@ -555,7 +746,6 @@ impl QuantizedPlan {
             m
         };
         let mut blocks = Vec::with_capacity(plan.blocks().len());
-        let mut e = 0.0f32;
         for block in plan.blocks() {
             match block {
                 PlanBlock::Residual {
@@ -568,9 +758,6 @@ impl QuantizedPlan {
                     let qd = downsample
                         .as_ref()
                         .map(|ds| QuantizedConv::from_compiled(ds, next()));
-                    let e_branch = q2.bound(q1.bound(e));
-                    let e_skip = qd.as_ref().map(|d| d.bound(e)).unwrap_or(e);
-                    e = e_branch + e_skip;
                     blocks.push(QuantBlock::Residual {
                         conv1: q1,
                         conv2: q2,
@@ -578,63 +765,42 @@ impl QuantizedPlan {
                     });
                 }
                 PlanBlock::Plain { convs, pool } => {
-                    let mut qconvs = Vec::with_capacity(convs.len());
-                    for conv in convs {
-                        let q = QuantizedConv::from_compiled(conv, next());
-                        e = q.bound(e);
-                        qconvs.push(q);
-                    }
-                    // Averaging is 1-Lipschitz; quantizing the pool window
-                    // adds one half-step of its seam scale to the bound.
-                    let qpool = pool.map(|spec| QuantPool::new(spec, next()));
-                    if let Some(qp) = &qpool {
-                        e += 0.5 * qp.in_scale;
-                    }
+                    let qconvs = convs
+                        .iter()
+                        .map(|conv| QuantizedConv::from_compiled(conv, next()))
+                        .collect();
                     blocks.push(QuantBlock::Plain {
                         convs: qconvs,
-                        pool: qpool,
+                        pool: pool.map(|spec| QuantPool::new(spec, next())),
                     });
                 }
             }
         }
         let head = match plan.head() {
             PlanHead::PerStep(conv) => {
-                let q = QuantizedConv::from_compiled(conv, next());
-                e = q.bound(e);
-                QuantHead::PerStep(q)
+                QuantHead::PerStep(QuantizedConv::from_compiled(conv, next()))
             }
             PlanHead::Fc {
                 hidden,
                 output,
                 channels,
                 window,
-            } => {
-                let qh = QuantizedDense::from_dense(hidden, next());
-                let qo = QuantizedDense::from_dense(output, next());
-                e = qo.bound(qh.bound(e));
-                QuantHead::Fc {
-                    hidden: qh,
-                    output: qo,
-                    channels: *channels,
-                    window: *window,
-                }
-            }
+            } => QuantHead::Fc {
+                hidden: QuantizedDense::from_dense(hidden, next()),
+                output: QuantizedDense::from_dense(output, next()),
+                channels: *channels,
+                window: *window,
+            },
             PlanHead::GlobalPoolFc(dense) => {
-                // The f32 running mean is 1-Lipschitz; the dense seam was
-                // calibrated pre-pool, which dominates every prefix mean.
-                let q = QuantizedDense::from_dense(dense, next());
-                e = q.bound(e);
-                QuantHead::GlobalPoolFc(q)
+                QuantHead::GlobalPoolFc(QuantizedDense::from_dense(dense, next()))
             }
         };
-        Ok(Self {
-            name: format!("{}-int8", plan.name()),
-            input_channels: plan.input_channels(),
+        Ok(Self::assemble(
+            format!("{}-int8", plan.name()),
+            plan.input_channels(),
             blocks,
             head,
-            output_dim: plan.output_dim(),
-            error_bound: e,
-        })
+        ))
     }
 
     /// Calibrates on `windows` and lowers in one call.
@@ -1295,6 +1461,15 @@ pub struct QuantizedSessionPool {
     sessions: Vec<QuantizedSession>,
     /// Pending samples per session, flattened (`input_channels` floats each).
     queues: Vec<VecDeque<f32>>,
+    /// Whether each slot currently belongs to a live stream.
+    open: Vec<bool>,
+    /// Closed slots available for reuse by
+    /// [`QuantizedSessionPool::open_stream`].
+    free: Vec<usize>,
+    // Per-session scratch widths, kept so open_stream can grow the wave
+    // buffers past the initial session count.
+    col_w: usize,
+    row_w: usize,
     // Wave scratch, reused across flushes.
     active: Vec<usize>,
     cur: Vec<f32>,
@@ -1305,7 +1480,8 @@ pub struct QuantizedSessionPool {
 }
 
 impl QuantizedSessionPool {
-    /// Creates a pool of `sessions` fresh int8 streams over one shared plan.
+    /// Creates a pool of `sessions` fresh (already open) int8 streams over
+    /// one shared plan. Pass `0` to start empty and open streams on demand.
     pub fn new(plan: Arc<QuantizedPlan>, sessions: usize) -> Self {
         let (width, row) = scratch_widths_q(&plan);
         let width = width.max(plan.output_dim());
@@ -1323,6 +1499,10 @@ impl QuantizedSessionPool {
                 .map(|_| QuantizedSession::new(Arc::clone(&plan)))
                 .collect(),
             queues: (0..sessions).map(|_| VecDeque::new()).collect(),
+            open: vec![true; sessions],
+            free: Vec::new(),
+            col_w: width.max(1),
+            row_w: row.max(1),
             active: Vec::with_capacity(sessions),
             cur: vec![0.0; sessions * width.max(1)],
             nxt: vec![0.0; sessions * width.max(1)],
@@ -1338,15 +1518,71 @@ impl QuantizedSessionPool {
         &self.plan
     }
 
-    /// Number of sessions in the pool.
+    /// Number of session slots in the pool (open or recycled).
     pub fn num_sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Number of currently open streams.
+    pub fn open_streams(&self) -> usize {
+        self.open.iter().filter(|&&o| o).count()
+    }
+
+    /// Whether slot `sid` currently belongs to a live stream.
+    pub fn is_open(&self, sid: usize) -> bool {
+        self.open.get(sid).copied().unwrap_or(false)
+    }
+
+    /// Opens a stream with fresh (zero) state, reusing a closed slot when
+    /// one exists and growing the pool otherwise. Returns the stream id.
+    pub fn open_stream(&mut self) -> usize {
+        if let Some(sid) = self.free.pop() {
+            self.open[sid] = true;
+            return sid;
+        }
+        let sid = self.sessions.len();
+        self.sessions
+            .push(QuantizedSession::new(Arc::clone(&self.plan)));
+        self.queues.push(VecDeque::new());
+        self.open.push(true);
+        let n = self.sessions.len();
+        self.cur.resize(n * self.col_w, 0.0);
+        self.nxt.resize(n * self.col_w, 0.0);
+        self.skip.resize(n * self.col_w, 0.0);
+        self.xrows_q.resize(n * self.row_w + COPY_PAD, 0);
+        self.acc.resize(n * self.col_w, 0);
+        sid
+    }
+
+    /// Closes stream `sid`: drops its queued samples, resets its state and
+    /// recycles the slot — the int8 twin of
+    /// [`crate::SessionPool::close_stream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sid` is out of range or already closed.
+    pub fn close_stream(&mut self, sid: usize) {
+        assert!(self.open[sid], "stream {sid} is not open");
+        self.sessions[sid].reset();
+        self.queues[sid].clear();
+        self.open[sid] = false;
+        self.free.push(sid);
     }
 
     /// Pending (queued, not yet flushed) timesteps across all sessions.
     pub fn pending_steps(&self) -> usize {
         let c = self.plan.input_channels().max(1);
         self.queues.iter().map(|q| q.len() / c).sum()
+    }
+
+    /// Pending (queued, not yet flushed) timesteps of one session — what a
+    /// serving front end checks against its backpressure cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sid` is out of range.
+    pub fn pending_for(&self, sid: usize) -> usize {
+        self.queues[sid].len() / self.plan.input_channels().max(1)
     }
 
     /// Resets one session's stream state and drops its queued samples.
@@ -1363,14 +1599,15 @@ impl QuantizedSessionPool {
     ///
     /// # Panics
     ///
-    /// Panics if `sid` is out of range or the sample length differs from the
-    /// plan's input channels.
+    /// Panics if `sid` is out of range, the stream is closed, or the sample
+    /// length differs from the plan's input channels.
     pub fn push(&mut self, sid: usize, sample: &[f32]) {
         assert_eq!(
             sample.len(),
             self.plan.input_channels(),
             "sample length must equal the plan's input channels"
         );
+        assert!(self.open[sid], "stream {sid} is not open");
         self.queues[sid].extend(sample.iter().copied());
     }
 

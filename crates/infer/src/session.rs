@@ -23,11 +23,27 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// A pool of concurrent streaming sessions executed in batched waves.
+///
+/// Streams have a lifecycle: [`SessionPool::new`] pre-opens a fixed count,
+/// and a serving front end grows/shrinks the live set with
+/// [`SessionPool::open_stream`] / [`SessionPool::close_stream`] — closing
+/// resets the slot and recycles it, so a long-running server's pool does not
+/// grow with connection churn.
 pub struct SessionPool {
     plan: Arc<InferencePlan>,
     sessions: Vec<Session>,
     /// Pending samples per session, flattened (`input_channels` floats each).
     queues: Vec<VecDeque<f32>>,
+    /// Whether each slot currently belongs to a live stream.
+    open: Vec<bool>,
+    /// Closed slots available for reuse by [`SessionPool::open_stream`].
+    free: Vec<usize>,
+    // Per-session scratch widths, kept so open_stream can grow the wave
+    // buffers past the initial session count.
+    col_w: usize,
+    row_w: usize,
+    feat_w: usize,
+    hid_w: usize,
     // Wave scratch, reused across flushes.
     active: Vec<usize>,
     cur: Vec<f32>,
@@ -39,7 +55,8 @@ pub struct SessionPool {
 }
 
 impl SessionPool {
-    /// Creates a pool of `sessions` fresh streams over one shared plan.
+    /// Creates a pool of `sessions` fresh (already open) streams over one
+    /// shared plan. Pass `0` to start empty and open streams on demand.
     pub fn new(plan: Arc<InferencePlan>, sessions: usize) -> Self {
         let (width, row) = scratch_widths(&plan);
         let width = width.max(plan.output_dim());
@@ -53,7 +70,13 @@ impl SessionPool {
                 .map(|_| Session::new(Arc::clone(&plan)))
                 .collect(),
             queues: (0..sessions).map(|_| VecDeque::new()).collect(),
+            open: vec![true; sessions],
+            free: Vec::new(),
             plan,
+            col_w: width.max(1),
+            row_w: row.max(1),
+            feat_w: feat_len.max(1),
+            hid_w: hid_len.max(1),
             active: Vec::with_capacity(sessions),
             cur: vec![0.0; sessions * width.max(1)],
             nxt: vec![0.0; sessions * width.max(1)],
@@ -69,15 +92,72 @@ impl SessionPool {
         &self.plan
     }
 
-    /// Number of sessions in the pool.
+    /// Number of session slots in the pool (open or recycled).
     pub fn num_sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Number of currently open streams.
+    pub fn open_streams(&self) -> usize {
+        self.open.iter().filter(|&&o| o).count()
+    }
+
+    /// Whether slot `sid` currently belongs to a live stream.
+    pub fn is_open(&self, sid: usize) -> bool {
+        self.open.get(sid).copied().unwrap_or(false)
+    }
+
+    /// Opens a stream with fresh (zero) state, reusing a closed slot when
+    /// one exists and growing the pool otherwise. Returns the stream id.
+    pub fn open_stream(&mut self) -> usize {
+        if let Some(sid) = self.free.pop() {
+            self.open[sid] = true;
+            return sid;
+        }
+        let sid = self.sessions.len();
+        self.sessions.push(Session::new(Arc::clone(&self.plan)));
+        self.queues.push(VecDeque::new());
+        self.open.push(true);
+        let n = self.sessions.len();
+        self.cur.resize(n * self.col_w, 0.0);
+        self.nxt.resize(n * self.col_w, 0.0);
+        self.skip.resize(n * self.col_w, 0.0);
+        self.xrows.resize(n * self.row_w, 0.0);
+        self.feats.resize(n * self.feat_w, 0.0);
+        self.hid.resize(n * self.hid_w, 0.0);
+        sid
+    }
+
+    /// Closes stream `sid`: drops its queued samples, resets its state and
+    /// recycles the slot for a future [`SessionPool::open_stream`]. The
+    /// eviction/drain path of a serving front end — no other stream is
+    /// disturbed and no pool-wide drain is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sid` is out of range or already closed.
+    pub fn close_stream(&mut self, sid: usize) {
+        assert!(self.open[sid], "stream {sid} is not open");
+        self.sessions[sid].reset();
+        self.queues[sid].clear();
+        self.open[sid] = false;
+        self.free.push(sid);
     }
 
     /// Pending (queued, not yet flushed) timesteps across all sessions.
     pub fn pending_steps(&self) -> usize {
         let c = self.plan.input_channels().max(1);
         self.queues.iter().map(|q| q.len() / c).sum()
+    }
+
+    /// Pending (queued, not yet flushed) timesteps of one session — what a
+    /// serving front end checks against its backpressure cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sid` is out of range.
+    pub fn pending_for(&self, sid: usize) -> usize {
+        self.queues[sid].len() / self.plan.input_channels().max(1)
     }
 
     /// Resets one session's stream state and drops its queued samples.
@@ -94,14 +174,15 @@ impl SessionPool {
     ///
     /// # Panics
     ///
-    /// Panics if `sid` is out of range or the sample length differs from the
-    /// plan's input channels.
+    /// Panics if `sid` is out of range, the stream is closed, or the sample
+    /// length differs from the plan's input channels.
     pub fn push(&mut self, sid: usize, sample: &[f32]) {
         assert_eq!(
             sample.len(),
             self.plan.input_channels(),
             "sample length must equal the plan's input channels"
         );
+        assert!(self.open[sid], "stream {sid} is not open");
         self.queues[sid].extend(sample.iter().copied());
     }
 

@@ -1,0 +1,215 @@
+//! Golden-fixture tests freezing the weight-bearing `pit-arch/2` artifact
+//! format.
+//!
+//! The fixtures live beside the `pit-arch/1` geometry fixture in
+//! `crates/models/tests/fixtures/` and are committed artifacts of the
+//! serialization format as shipped: model files live outside the
+//! repository, so a silent format change would orphan every deployed
+//! artifact. If these tests fail because the format intentionally changed,
+//! bump the schema tag (`pit-arch/3`), keep parsing `pit-arch/2`, and add
+//! new fixtures — do not regenerate these.
+//!
+//! To (re)create the fixtures after an intentional schema bump:
+//! `cargo test -p pit-infer --test golden_artifact -- --ignored`.
+
+use pit_infer::{
+    CompiledConv, Dense, InferencePlan, PlanArtifact, PlanBlock, PlanHead, PoolSpec, QuantizedPlan,
+    QuantizedSession, Session, ARTIFACT_SCHEMA,
+};
+use pit_tensor::Tensor;
+use std::sync::Arc;
+
+const FIXTURE_F32: &str = include_str!("../../models/tests/fixtures/pit_arch_v2_f32.json");
+const FIXTURE_I8: &str = include_str!("../../models/tests/fixtures/pit_arch_v2_i8.json");
+const FIXTURE_V1: &str = include_str!("../../models/tests/fixtures/pit_arch_v1.json");
+
+/// Deterministic pattern weights: exactly representable values so the
+/// fixture bytes are identical on every platform.
+fn patterned(dims: &[usize], salt: usize) -> Tensor {
+    let len: usize = dims.iter().product();
+    let data: Vec<f32> = (0..len)
+        .map(|i| ((i * 37 + salt * 13 + 11) % 29) as f32 / 32.0 - 0.4375)
+        .collect();
+    Tensor::from_vec(data, dims).expect("pattern shape")
+}
+
+/// The fixture network: one residual block with a downsample projection,
+/// one plain block closed by strided pooling, and a flatten-window MLP head
+/// — every structural feature of the artifact schema in one small plan.
+fn fixture_plan() -> InferencePlan {
+    let conv = |c_in: usize, c_out: usize, k: usize, d: usize, salt: usize| {
+        CompiledConv::new(
+            patterned(&[c_out, c_in, k], salt),
+            patterned(&[c_out], salt + 100),
+            d,
+        )
+    };
+    let blocks = vec![
+        PlanBlock::Residual {
+            conv1: conv(3, 6, 3, 2, 1),
+            conv2: conv(6, 6, 2, 4, 2),
+            downsample: Some(conv(3, 6, 1, 1, 3)),
+        },
+        PlanBlock::Plain {
+            convs: vec![conv(6, 5, 3, 1, 4)],
+            pool: Some(PoolSpec {
+                kernel: 2,
+                stride: 2,
+            }),
+        },
+    ];
+    let head = PlanHead::Fc {
+        hidden: Dense::new(patterned(&[20, 8], 5), patterned(&[8], 6)),
+        output: Dense::new(patterned(&[8, 2], 7), patterned(&[2], 8)),
+        channels: 5,
+        window: 4,
+    };
+    InferencePlan::new("golden-fixture", 3, blocks, head)
+}
+
+fn fixture_calibration() -> Tensor {
+    patterned(&[1, 3, 8], 9)
+}
+
+fn fixture_qplan() -> QuantizedPlan {
+    QuantizedPlan::quantize(
+        &fixture_plan(),
+        std::slice::from_ref(&fixture_calibration()),
+    )
+    .expect("fixture quantizes")
+}
+
+#[test]
+fn golden_f32_fixture_still_parses() {
+    let plan = InferencePlan::from_artifact_str(FIXTURE_F32).expect("committed fixture parses");
+    assert_eq!(plan.name(), "golden-fixture");
+    assert_eq!(plan.input_channels(), 3);
+    assert_eq!(plan.output_dim(), 2);
+    assert_eq!(plan.blocks().len(), 2);
+    // Spot-check real weight values so a payload reorder that still parses
+    // cannot slip through.
+    let reference = fixture_plan();
+    assert_eq!(plan.num_weights(), reference.num_weights());
+    let x = patterned(&[1, 3, 8], 20);
+    let a = plan.forward(&x).unwrap();
+    let b = reference.forward(&x).unwrap();
+    assert_eq!(a.data(), b.data(), "fixture weights must match the builder");
+}
+
+#[test]
+fn golden_f32_fixture_roundtrip_is_byte_stable() {
+    let plan = InferencePlan::from_artifact_str(FIXTURE_F32).unwrap();
+    assert_eq!(
+        plan.to_artifact_string().trim_end(),
+        FIXTURE_F32.trim_end(),
+        "parse → render no longer reproduces the committed fixture: the \
+         serialization format changed — bump the schema instead"
+    );
+}
+
+#[test]
+fn golden_i8_fixture_still_parses_and_streams() {
+    let qplan = QuantizedPlan::from_artifact_str(FIXTURE_I8).expect("committed fixture parses");
+    assert_eq!(qplan.name(), "golden-fixture-int8");
+    assert_eq!(qplan.output_dim(), 2);
+    assert!(qplan.error_bound() > 0.0);
+    // The deserialized plan must stream bit-identically to a freshly
+    // quantized twin.
+    let reference = fixture_qplan();
+    assert_eq!(qplan.error_bound(), reference.error_bound());
+    let mut a = QuantizedSession::new(Arc::new(qplan));
+    let mut b = QuantizedSession::new(Arc::new(reference));
+    let x = fixture_calibration();
+    let mut sample = [0.0f32; 3];
+    for t in 0..8 {
+        for (ci, slot) in sample.iter_mut().enumerate() {
+            *slot = x.data()[ci * 8 + t];
+        }
+        assert_eq!(a.push(&sample), b.push(&sample), "step {t}");
+    }
+}
+
+#[test]
+fn golden_i8_fixture_roundtrip_is_byte_stable() {
+    let qplan = QuantizedPlan::from_artifact_str(FIXTURE_I8).unwrap();
+    assert_eq!(
+        qplan.to_artifact_string().trim_end(),
+        FIXTURE_I8.trim_end(),
+        "parse → render no longer reproduces the committed fixture: the \
+         serialization format changed — bump the schema instead"
+    );
+}
+
+#[test]
+fn golden_fixtures_carry_the_v2_schema_tag() {
+    assert_eq!(ARTIFACT_SCHEMA, "pit-arch/2");
+    assert!(FIXTURE_F32.contains("\"pit-arch/2\""));
+    assert!(FIXTURE_I8.contains("\"pit-arch/2\""));
+}
+
+#[test]
+fn v2_fixtures_parse_as_geometry_descriptors() {
+    // A pit-arch/2 artifact is a superset of the v1 geometry document.
+    for text in [FIXTURE_F32, FIXTURE_I8] {
+        let desc = pit_models::NetworkDescriptor::from_json_str(text).expect("geometry parses");
+        assert!(!desc.name.is_empty());
+        assert!(desc.total_macs() > 0);
+        assert!(desc
+            .layers
+            .iter()
+            .any(|l| matches!(l, pit_models::LayerDesc::AvgPool { .. })));
+    }
+}
+
+#[test]
+fn v1_geometry_fixture_still_parses_and_is_distinguished_from_v2() {
+    // The weight-less v1 format keeps parsing as geometry…
+    let desc = pit_models::NetworkDescriptor::from_json_str(FIXTURE_V1).expect("v1 parses");
+    assert_eq!(desc.name, "ppg-temponet-searched");
+    // …and the artifact loader refuses it with a pointed error instead of
+    // serving a zero-weight model.
+    let err = PlanArtifact::from_json_str(FIXTURE_V1).unwrap_err();
+    assert!(err.contains("geometry only"), "{err}");
+    // Geometry-only loading still has its explicit path.
+    let plan = InferencePlan::from_descriptor(&desc).expect("geometry-only plan");
+    assert_eq!(plan.output_dim(), 1);
+}
+
+#[test]
+fn v2_loader_round_trips_the_session_outputs() {
+    let loaded = match PlanArtifact::from_json_str(FIXTURE_F32).unwrap() {
+        PlanArtifact::F32(plan) => plan,
+        PlanArtifact::I8(_) => panic!("f32 fixture"),
+    };
+    let mut session = Session::new(Arc::new(loaded));
+    let x = fixture_calibration();
+    let mut reference = Session::new(Arc::new(fixture_plan()));
+    let mut sample = [0.0f32; 3];
+    for t in 0..8 {
+        for (ci, slot) in sample.iter_mut().enumerate() {
+            *slot = x.data()[ci * 8 + t];
+        }
+        assert_eq!(session.push(&sample), reference.push(&sample));
+    }
+}
+
+/// Regenerates the committed fixtures. Run only on an intentional schema
+/// change: `cargo test -p pit-infer --test golden_artifact -- --ignored`.
+#[test]
+#[ignore = "writes the committed fixtures; run only on an intentional schema change"]
+fn regenerate_golden_fixtures() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../models/tests/fixtures")
+        .canonicalize()
+        .expect("fixtures dir");
+    std::fs::write(
+        dir.join("pit_arch_v2_f32.json"),
+        fixture_plan().to_artifact_string(),
+    )
+    .expect("write f32 fixture");
+    std::fs::write(
+        dir.join("pit_arch_v2_i8.json"),
+        fixture_qplan().to_artifact_string(),
+    )
+    .expect("write i8 fixture");
+}

@@ -8,6 +8,13 @@ use serde::{Deserialize, Serialize};
 /// Schema tag written into exported descriptor documents.
 pub const DESCRIPTOR_SCHEMA: &str = "pit-arch/1";
 
+/// Schema tag of weight-bearing model artifacts (`pit-infer`'s
+/// `to_artifact`/`from_artifact`). A `pit-arch/2` document is a superset of
+/// `pit-arch/1`: it carries the same `name`/`layers` geometry plus the
+/// compiled plan's weight payloads, so geometry-only consumers (this parser,
+/// the `pit-hw` deployment model) read both versions interchangeably.
+pub const DESCRIPTOR_SCHEMA_V2: &str = "pit-arch/2";
+
 /// One layer of a deployable network, with the static information the GAP8
 /// model needs: tensor sizes, kernel geometry and arithmetic cost.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -302,14 +309,16 @@ impl NetworkDescriptor {
     }
 
     /// Parses a descriptor from the document shape written by
-    /// [`NetworkDescriptor::to_json`].
+    /// [`NetworkDescriptor::to_json`]. Weight-bearing `pit-arch/2` artifacts
+    /// are accepted too — the geometry fields are identical and the weight
+    /// payloads are simply not read here.
     ///
     /// # Errors
     ///
     /// Returns a message on a schema mismatch or the first malformed layer.
     pub fn from_json(doc: &Json) -> Result<Self, String> {
         match doc.get("schema").and_then(Json::as_str) {
-            Some(DESCRIPTOR_SCHEMA) => {}
+            Some(DESCRIPTOR_SCHEMA) | Some(DESCRIPTOR_SCHEMA_V2) => {}
             Some(other) => return Err(format!("unsupported descriptor schema '{other}'")),
             None => return Err("missing 'schema' field".into()),
         }

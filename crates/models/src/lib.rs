@@ -28,7 +28,7 @@ pub mod restcn;
 pub mod temponet;
 
 pub use concrete::{ConcreteBlock, ConcreteHead, ConcreteTcn};
-pub use descriptor::{LayerDesc, NetworkDescriptor, DESCRIPTOR_SCHEMA};
+pub use descriptor::{LayerDesc, NetworkDescriptor, DESCRIPTOR_SCHEMA, DESCRIPTOR_SCHEMA_V2};
 pub use generic::{GenericTcn, GenericTcnConfig};
 pub use restcn::{ResBlockView, ResTcn, ResTcnConfig};
 pub use temponet::{TempoBlockView, TempoNet, TempoNetConfig};

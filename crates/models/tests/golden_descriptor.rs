@@ -7,9 +7,11 @@
 //! (`pit-arch/2`), keep parsing `pit-arch/1`, and add a new fixture — do not
 //! regenerate this one.
 
-use pit_models::{LayerDesc, NetworkDescriptor, DESCRIPTOR_SCHEMA};
+use pit_models::{LayerDesc, NetworkDescriptor, DESCRIPTOR_SCHEMA, DESCRIPTOR_SCHEMA_V2};
 
 const FIXTURE: &str = include_str!("fixtures/pit_arch_v1.json");
+const FIXTURE_V2_F32: &str = include_str!("fixtures/pit_arch_v2_f32.json");
+const FIXTURE_V2_I8: &str = include_str!("fixtures/pit_arch_v2_i8.json");
 
 #[test]
 fn golden_fixture_still_parses() {
@@ -80,4 +82,28 @@ fn golden_fixture_roundtrip_is_byte_stable() {
 fn golden_fixture_schema_tag_is_stable() {
     assert_eq!(DESCRIPTOR_SCHEMA, "pit-arch/1");
     assert!(FIXTURE.contains("\"pit-arch/1\""));
+}
+
+#[test]
+fn weight_bearing_v2_artifacts_parse_as_geometry() {
+    // `pit-arch/2` (the weight-bearing artifact format of `pit-infer`) is a
+    // superset of this geometry document: the descriptor parser reads the
+    // same `name`/`layers` fields and ignores the weight payloads, so
+    // deployment modelling works on served artifacts without re-export.
+    assert_eq!(DESCRIPTOR_SCHEMA_V2, "pit-arch/2");
+    for (label, text) in [("f32", FIXTURE_V2_F32), ("i8", FIXTURE_V2_I8)] {
+        let d = NetworkDescriptor::from_json_str(text)
+            .unwrap_or_else(|e| panic!("{label} artifact must parse as geometry: {e}"));
+        assert_eq!(
+            d.name,
+            "golden-fixture".to_string() + if label == "i8" { "-int8" } else { "" }
+        );
+        assert!(d.total_macs() > 0, "{label}: derived costs must compute");
+        assert!(
+            d.layers
+                .iter()
+                .all(|l| l.weights() > 0 || matches!(l, LayerDesc::AvgPool { .. })),
+            "{label}: every layer kind must round-trip"
+        );
+    }
 }

@@ -1,0 +1,98 @@
+//! The `pit-serve` daemon binary.
+//!
+//! ```text
+//! pit-serve --artifact MODEL.json [--addr 127.0.0.1:7878] [--max-streams N]
+//!           [--tick-us N] [--idle-ms N] [--max-pending N]
+//! ```
+//!
+//! Boots a serving daemon from a `pit-arch/2` model artifact (f32 or int8 —
+//! the file's `kind` field decides the engine) and serves the frame
+//! protocol of `pit_serve::protocol` until the process is terminated.
+//! Export an artifact with `InferencePlan::to_artifact_string()` /
+//! `QuantizedPlan::to_artifact_string()`, or see
+//! `examples/serving_daemon.rs` for the full compile → quantize → write →
+//! boot → stream loop.
+
+use pit_serve::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pit-serve --artifact MODEL.json [--addr HOST:PORT] [--max-streams N]\n\
+         \u{20}               [--tick-us N] [--idle-ms N] [--max-pending N]\n\
+         \n\
+         \u{20} --artifact     pit-arch/2 model artifact to serve (required)\n\
+         \u{20} --addr         bind address (default 127.0.0.1:7878)\n\
+         \u{20} --max-streams  concurrent stream cap (default 256)\n\
+         \u{20} --tick-us      wave-batching tick in microseconds (default 200)\n\
+         \u{20} --idle-ms      evict streams idle this long; 0 = never (default 0)\n\
+         \u{20} --max-pending  per-connection queued-timestep cap (default 4096)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut artifact: Option<String> = None;
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("pit-serve: {name} needs a value");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--artifact" => match value("--artifact") {
+                Some(v) => artifact = Some(v),
+                None => return usage(),
+            },
+            "--addr" => match value("--addr") {
+                Some(v) => config.addr = v,
+                None => return usage(),
+            },
+            "--max-streams" => match value("--max-streams").and_then(|v| v.parse().ok()) {
+                Some(v) => config.max_streams = v,
+                None => return usage(),
+            },
+            "--tick-us" => match value("--tick-us").and_then(|v| v.parse().ok()) {
+                Some(v) => config.tick = Duration::from_micros(v),
+                None => return usage(),
+            },
+            "--idle-ms" => match value("--idle-ms").and_then(|v| v.parse::<u64>().ok()) {
+                Some(0) => config.idle_timeout = None,
+                Some(v) => config.idle_timeout = Some(Duration::from_millis(v)),
+                None => return usage(),
+            },
+            "--max-pending" => match value("--max-pending").and_then(|v| v.parse().ok()) {
+                Some(v) => config.max_pending_per_conn = v,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(artifact) = artifact else {
+        eprintln!("pit-serve: --artifact is required");
+        return usage();
+    };
+    let server = match Server::bind_artifact(std::path::Path::new(&artifact), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("pit-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "pit-serve: listening on {} (artifact {artifact})",
+        server.local_addr()
+    );
+    let stats = server.run();
+    eprintln!("pit-serve: drained — {stats}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,154 @@
+//! A small blocking client for the `pit-serve` protocol — what the
+//! integration tests, benchmarks and examples drive the daemon with, and a
+//! reference implementation for clients in other languages.
+
+use crate::protocol::{
+    decode_server, encode_client, ClientFrame, FrameReader, ReadOutcome, ServerFrame,
+};
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking protocol client over one TCP connection. One connection can
+/// multiplex any number of streams (client-chosen `u32` ids).
+pub struct Client {
+    writer: TcpStream,
+    reader: FrameReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            writer,
+            reader: FrameReader::new(stream),
+        })
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn send(&mut self, frame: &ClientFrame) -> std::io::Result<()> {
+        self.writer.write_all(&encode_client(frame))
+    }
+
+    /// Sends OPEN for a connection-scoped stream id.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn open(&mut self, stream_id: u32) -> std::io::Result<()> {
+        self.send(&ClientFrame::Open { stream_id })
+    }
+
+    /// Sends PUSH with `samples.len() / channels` timesteps.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn push(&mut self, stream_id: u32, channels: u32, samples: &[f32]) -> std::io::Result<()> {
+        self.send(&ClientFrame::Push {
+            stream_id,
+            channels,
+            samples: samples.to_vec(),
+        })
+    }
+
+    /// Sends CLOSE for a stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn close(&mut self, stream_id: u32) -> std::io::Result<()> {
+        self.send(&ClientFrame::Close { stream_id })
+    }
+
+    /// Sends PING with a token the server echoes.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn ping(&mut self, token: u64) -> std::io::Result<()> {
+        self.send(&ClientFrame::Ping { token })
+    }
+
+    /// Requests a stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn stats(&mut self) -> std::io::Result<()> {
+        self.send(&ClientFrame::Stats)
+    }
+
+    /// Blocks until the next server frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors, `UnexpectedEof` when the server hung up,
+    /// and `InvalidData` when the body does not decode.
+    pub fn recv(&mut self) -> std::io::Result<ServerFrame> {
+        loop {
+            match self.recv_step()? {
+                Some(frame) => return Ok(frame),
+                None => continue,
+            }
+        }
+    }
+
+    /// Waits up to `timeout` for the next server frame (`Ok(None)` on
+    /// timeout).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::recv`].
+    pub fn recv_timeout(&mut self, timeout: Duration) -> std::io::Result<Option<ServerFrame>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let result = loop {
+            // Re-arm each read with the *remaining* budget, not the full
+            // timeout: a peer dribbling partial frames must not restart the
+            // clock on every byte.
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break Ok(None);
+            }
+            self.reader
+                .get_ref()
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+            match self.recv_step() {
+                Ok(Some(frame)) => break Ok(Some(frame)),
+                Ok(None) => {}
+                Err(e) => break Err(e),
+            }
+        };
+        self.reader.get_ref().set_read_timeout(None)?;
+        result
+    }
+
+    /// One poll step: `Ok(Some)` on a frame, `Ok(None)` on a read timeout.
+    fn recv_step(&mut self) -> std::io::Result<Option<ServerFrame>> {
+        match self.reader.poll() {
+            Ok(ReadOutcome::Frame(body)) => decode_server(&body)
+                .map(Some)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
+            Ok(ReadOutcome::WouldBlock) => Ok(None),
+            Ok(ReadOutcome::Eof) => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Err(e) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                e.to_string(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # pit-serve
+//!
+//! The serving daemon of the PIT reproduction: a long-running TCP server
+//! that boots from an on-disk `pit-arch/2` model artifact
+//! ([`pit_infer::PlanArtifact`] — weights included, f32 or int8) and
+//! multiplexes many client connections onto the batched session-pool waves
+//! of `pit-infer`.
+//!
+//! * **Protocol** ([`protocol`]): length-prefixed binary frames — OPEN a
+//!   stream, PUSH timesteps, receive EMIT frames back, CLOSE; plus
+//!   PING/STATS/LOAD_MODEL control frames. Decoding is defensive: malformed
+//!   or hostile input yields ERROR frames, never a daemon panic.
+//! * **Server** ([`server`]): one reader and one bounded-queue writer
+//!   thread per connection, and a single wave-batcher thread that owns the
+//!   [`pit_infer::SessionPool`] / [`pit_infer::QuantizedSessionPool`] —
+//!   every tick, the pending timesteps of *all* connections flush through
+//!   the plan as one batched GEMM per layer per wave. Per-connection
+//!   backpressure caps, idle-stream eviction and graceful drain on
+//!   shutdown are built in.
+//! * **Stats** ([`stats`]): a [`StatsSnapshot`] counter block (streams
+//!   open, timesteps served, wave occupancy, p50/p99 wave latency) served
+//!   over the STATS frame as JSON.
+//! * **Client** ([`client`]): a small blocking client used by the tests,
+//!   benches and examples.
+//!
+//! ```no_run
+//! use pit_serve::{Client, Server, ServerConfig};
+//! use std::path::Path;
+//!
+//! let server = Server::bind_artifact(Path::new("model.pit2.json"), ServerConfig::default())
+//!     .expect("artifact loads");
+//! let addr = server.local_addr();
+//! let handle = server.spawn();
+//!
+//! let mut client = Client::connect(addr).expect("daemon reachable");
+//! client.open(0).expect("send");
+//! client.push(0, 4, &[0.1, 0.2, 0.3, 0.4]).expect("send");
+//! // ... read EMIT frames with client.recv() ...
+//! let stats = handle.shutdown();
+//! println!("served {} timesteps", stats.timesteps_in);
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::Client;
+pub use protocol::{ClientFrame, CloseReason, ErrorCode, FrameError, ServerFrame};
+pub use server::{ServeEngine, Server, ServerConfig, ServerHandle};
+pub use stats::StatsSnapshot;

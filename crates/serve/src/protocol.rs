@@ -1,0 +1,762 @@
+//! The `pit-serve` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is `u32` little-endian *body length* followed by the body:
+//! one opcode byte plus an opcode-specific payload. All integers are
+//! little-endian; samples and emissions are `f32` little-endian. One
+//! connection multiplexes many streams — the client names each stream with
+//! its own `u32` id, scoped to the connection.
+//!
+//! | dir | opcode | frame        | payload                                            |
+//! |-----|--------|--------------|----------------------------------------------------|
+//! | →   | `0x01` | OPEN         | `u32` stream id                                    |
+//! | →   | `0x02` | PUSH         | `u32` stream, `u32` count, `u32` channels, samples |
+//! | →   | `0x03` | CLOSE        | `u32` stream id                                    |
+//! | →   | `0x04` | PING         | `u64` token                                        |
+//! | →   | `0x05` | STATS        | —                                                  |
+//! | →   | `0x06` | LOAD_MODEL   | UTF-8 artifact path                                |
+//! | ←   | `0x81` | OPENED       | `u32` stream id                                    |
+//! | ←   | `0x82` | EMIT         | `u32` stream, `u32` count, `u32` dim, outputs      |
+//! | ←   | `0x83` | CLOSED       | `u32` stream id, `u8` reason                       |
+//! | ←   | `0x84` | PONG         | `u64` token                                        |
+//! | ←   | `0x85` | STATS_JSON   | UTF-8 JSON (a [`crate::StatsSnapshot`])            |
+//! | ←   | `0x86` | MODEL_LOADED | UTF-8 plan name                                    |
+//! | ←   | `0xFF` | ERROR        | `u8` code, UTF-8 message                           |
+//!
+//! Decoding is defensive by construction: bodies are bounded by
+//! [`MAX_FRAME_BODY`] before any allocation, every multi-byte field checks
+//! the remaining length, and a malformed body yields a [`FrameError`] — the
+//! daemon replies with an ERROR frame instead of dying. Only a length
+//! prefix beyond the bound is fatal to the connection (framing can no
+//! longer be trusted), and even that never takes the daemon down.
+
+use std::io::Read;
+
+/// Upper bound on one frame body. Large enough for a burst PUSH of
+/// thousands of wide timesteps; small enough that a hostile length prefix
+/// cannot make the daemon allocate unbounded memory.
+pub const MAX_FRAME_BODY: usize = 1 << 20;
+
+/// Why the server closed a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The client asked (CLOSE frame).
+    ByClient = 0,
+    /// Evicted after the configured idle timeout.
+    IdleEvicted = 1,
+    /// Server drained the stream during graceful shutdown.
+    Drained = 2,
+}
+
+impl CloseReason {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(CloseReason::ByClient),
+            1 => Some(CloseReason::IdleEvicted),
+            2 => Some(CloseReason::Drained),
+            _ => None,
+        }
+    }
+}
+
+/// Error codes carried by ERROR frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed frame body (truncated fields, bad counts, bad UTF-8).
+    BadFrame = 1,
+    /// Opcode the server does not understand.
+    UnknownOpcode = 2,
+    /// PUSH/CLOSE for a stream id that was never opened (or already closed).
+    UnknownStream = 3,
+    /// OPEN for a stream id already open on this connection.
+    DuplicateStream = 4,
+    /// The connection's pending-timestep backpressure cap was hit; the PUSH
+    /// was dropped — flush emissions before pushing more.
+    Backpressure = 5,
+    /// The server-wide stream limit was hit.
+    ServerFull = 6,
+    /// LOAD_MODEL failed (unreadable file, corrupt artifact).
+    LoadFailed = 7,
+    /// LOAD_MODEL rejected because streams are open.
+    StreamsActive = 8,
+    /// The server is draining; no new work accepted.
+    ShuttingDown = 9,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ErrorCode::BadFrame),
+            2 => Some(ErrorCode::UnknownOpcode),
+            3 => Some(ErrorCode::UnknownStream),
+            4 => Some(ErrorCode::DuplicateStream),
+            5 => Some(ErrorCode::Backpressure),
+            6 => Some(ErrorCode::ServerFull),
+            7 => Some(ErrorCode::LoadFailed),
+            8 => Some(ErrorCode::StreamsActive),
+            9 => Some(ErrorCode::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+/// A frame the client sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Open a stream under a connection-scoped id of the client's choosing.
+    Open {
+        /// Connection-scoped stream id.
+        stream_id: u32,
+    },
+    /// Push `samples.len() / channels` timesteps onto an open stream.
+    Push {
+        /// Connection-scoped stream id.
+        stream_id: u32,
+        /// Channels per timestep (must match the served plan).
+        channels: u32,
+        /// `count × channels` values, timestep-major.
+        samples: Vec<f32>,
+    },
+    /// Close a stream in an orderly way: timesteps already pushed are
+    /// flushed and their emissions delivered before the CLOSED reply, then
+    /// the pool slot is recycled.
+    Close {
+        /// Connection-scoped stream id.
+        stream_id: u32,
+    },
+    /// Liveness / latency probe; the server echoes the token.
+    Ping {
+        /// Echo token.
+        token: u64,
+    },
+    /// Request a [`crate::StatsSnapshot`] as JSON.
+    Stats,
+    /// Hot-swap the served model from an artifact file on the server's
+    /// filesystem (rejected while any stream is open).
+    LoadModel {
+        /// Path to a `pit-arch/2` artifact on the server host.
+        path: String,
+    },
+}
+
+/// A frame the server sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// OPEN accepted.
+    Opened {
+        /// The stream id from the OPEN frame.
+        stream_id: u32,
+    },
+    /// `count` head outputs of `dim` values each, chronological.
+    Emit {
+        /// Connection-scoped stream id.
+        stream_id: u32,
+        /// Number of output vectors.
+        count: u32,
+        /// Values per output vector.
+        dim: u32,
+        /// `count × dim` values.
+        outputs: Vec<f32>,
+    },
+    /// A stream ended (client request, idle eviction or server drain).
+    Closed {
+        /// Connection-scoped stream id.
+        stream_id: u32,
+        /// Why the stream ended.
+        reason: CloseReason,
+    },
+    /// PING reply.
+    Pong {
+        /// The token from the PING frame.
+        token: u64,
+    },
+    /// STATS reply.
+    StatsJson {
+        /// A rendered [`crate::StatsSnapshot`].
+        json: String,
+    },
+    /// LOAD_MODEL succeeded.
+    ModelLoaded {
+        /// Name of the now-served plan.
+        name: String,
+    },
+    /// A request failed; the connection stays usable unless the transport
+    /// itself broke.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Why a frame body failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Empty body (no opcode byte).
+    Empty,
+    /// Opcode outside the protocol.
+    UnknownOpcode(u8),
+    /// Body shorter/longer than its opcode's payload demands, or field
+    /// values that contradict the body length.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Empty => write!(f, "empty frame body"),
+            FrameError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            FrameError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_FRAME_BODY);
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn put_f32s(body: &mut Vec<u8>, values: &[f32]) {
+    body.reserve(values.len() * 4);
+    for v in values {
+        body.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Encodes a client frame, length prefix included.
+pub fn encode_client(f: &ClientFrame) -> Vec<u8> {
+    let mut body = Vec::new();
+    match f {
+        ClientFrame::Open { stream_id } => {
+            body.push(0x01);
+            body.extend_from_slice(&stream_id.to_le_bytes());
+        }
+        ClientFrame::Push {
+            stream_id,
+            channels,
+            samples,
+        } => {
+            body.push(0x02);
+            body.extend_from_slice(&stream_id.to_le_bytes());
+            let count = if *channels == 0 {
+                0
+            } else {
+                (samples.len() / *channels as usize) as u32
+            };
+            body.extend_from_slice(&count.to_le_bytes());
+            body.extend_from_slice(&channels.to_le_bytes());
+            put_f32s(&mut body, samples);
+        }
+        ClientFrame::Close { stream_id } => {
+            body.push(0x03);
+            body.extend_from_slice(&stream_id.to_le_bytes());
+        }
+        ClientFrame::Ping { token } => {
+            body.push(0x04);
+            body.extend_from_slice(&token.to_le_bytes());
+        }
+        ClientFrame::Stats => body.push(0x05),
+        ClientFrame::LoadModel { path } => {
+            body.push(0x06);
+            body.extend_from_slice(path.as_bytes());
+        }
+    }
+    frame(body)
+}
+
+/// Encodes a server frame, length prefix included.
+pub fn encode_server(f: &ServerFrame) -> Vec<u8> {
+    let mut body = Vec::new();
+    match f {
+        ServerFrame::Opened { stream_id } => {
+            body.push(0x81);
+            body.extend_from_slice(&stream_id.to_le_bytes());
+        }
+        ServerFrame::Emit {
+            stream_id,
+            count,
+            dim,
+            outputs,
+        } => {
+            body.push(0x82);
+            body.extend_from_slice(&stream_id.to_le_bytes());
+            body.extend_from_slice(&count.to_le_bytes());
+            body.extend_from_slice(&dim.to_le_bytes());
+            put_f32s(&mut body, outputs);
+        }
+        ServerFrame::Closed { stream_id, reason } => {
+            body.push(0x83);
+            body.extend_from_slice(&stream_id.to_le_bytes());
+            body.push(*reason as u8);
+        }
+        ServerFrame::Pong { token } => {
+            body.push(0x84);
+            body.extend_from_slice(&token.to_le_bytes());
+        }
+        ServerFrame::StatsJson { json } => {
+            body.push(0x85);
+            body.extend_from_slice(json.as_bytes());
+        }
+        ServerFrame::ModelLoaded { name } => {
+            body.push(0x86);
+            body.extend_from_slice(name.as_bytes());
+        }
+        ServerFrame::Error { code, message } => {
+            body.push(0xFF);
+            body.push(*code as u8);
+            body.extend_from_slice(message.as_bytes());
+        }
+    }
+    frame(body)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], FrameError> {
+        if self.body.len() - self.pos < n {
+            return Err(FrameError::Malformed(format!(
+                "truncated before {what} ({} of {n} bytes left)",
+                self.body.len() - self.pos
+            )));
+        }
+        let slice = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, FrameError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, FrameError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, FrameError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("eight bytes")))
+    }
+
+    fn f32s(&mut self, n: usize, what: &str) -> Result<Vec<f32>, FrameError> {
+        let bytes = self.take(n * 4, what)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn rest_utf8(&mut self, what: &str) -> Result<String, FrameError> {
+        let bytes = &self.body[self.pos..];
+        self.pos = self.body.len();
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| FrameError::Malformed(format!("{what} is not valid UTF-8")))
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos != self.body.len() {
+            return Err(FrameError::Malformed(format!(
+                "{} trailing bytes",
+                self.body.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Checked `count × channels` for a PUSH/EMIT payload: both fields are
+/// attacker-controlled u32s whose product must match the remaining bytes.
+fn checked_grid(count: u32, dim: u32, what: &str) -> Result<usize, FrameError> {
+    let total = u128::from(count) * u128::from(dim);
+    if total * 4 > MAX_FRAME_BODY as u128 {
+        return Err(FrameError::Malformed(format!(
+            "{what} claims {total} values, beyond the frame bound"
+        )));
+    }
+    Ok(total as usize)
+}
+
+/// Decodes one client frame body (without the length prefix).
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] on unknown opcodes or payloads that do not
+/// match their opcode's layout; the connection remains usable.
+pub fn decode_client(body: &[u8]) -> Result<ClientFrame, FrameError> {
+    let mut c = Cursor { body, pos: 0 };
+    let op = c.u8("opcode").map_err(|_| FrameError::Empty)?;
+    let frame = match op {
+        0x01 => ClientFrame::Open {
+            stream_id: c.u32("stream id")?,
+        },
+        0x02 => {
+            let stream_id = c.u32("stream id")?;
+            let count = c.u32("count")?;
+            let channels = c.u32("channels")?;
+            if channels == 0 {
+                return Err(FrameError::Malformed("PUSH with zero channels".into()));
+            }
+            if count == 0 {
+                return Err(FrameError::Malformed("PUSH with zero timesteps".into()));
+            }
+            let total = checked_grid(count, channels, "PUSH")?;
+            ClientFrame::Push {
+                stream_id,
+                channels,
+                samples: c.f32s(total, "samples")?,
+            }
+        }
+        0x03 => ClientFrame::Close {
+            stream_id: c.u32("stream id")?,
+        },
+        0x04 => ClientFrame::Ping {
+            token: c.u64("token")?,
+        },
+        0x05 => ClientFrame::Stats,
+        0x06 => ClientFrame::LoadModel {
+            path: c.rest_utf8("path")?,
+        },
+        other => return Err(FrameError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// Decodes one server frame body (without the length prefix).
+///
+/// # Errors
+///
+/// As [`decode_client`].
+pub fn decode_server(body: &[u8]) -> Result<ServerFrame, FrameError> {
+    let mut c = Cursor { body, pos: 0 };
+    let op = c.u8("opcode").map_err(|_| FrameError::Empty)?;
+    let frame = match op {
+        0x81 => ServerFrame::Opened {
+            stream_id: c.u32("stream id")?,
+        },
+        0x82 => {
+            let stream_id = c.u32("stream id")?;
+            let count = c.u32("count")?;
+            let dim = c.u32("dim")?;
+            let total = checked_grid(count, dim, "EMIT")?;
+            ServerFrame::Emit {
+                stream_id,
+                count,
+                dim,
+                outputs: c.f32s(total, "outputs")?,
+            }
+        }
+        0x83 => {
+            let stream_id = c.u32("stream id")?;
+            let reason = c.u8("reason")?;
+            ServerFrame::Closed {
+                stream_id,
+                reason: CloseReason::from_u8(reason)
+                    .ok_or_else(|| FrameError::Malformed(format!("bad close reason {reason}")))?,
+            }
+        }
+        0x84 => ServerFrame::Pong {
+            token: c.u64("token")?,
+        },
+        0x85 => ServerFrame::StatsJson {
+            json: c.rest_utf8("stats json")?,
+        },
+        0x86 => ServerFrame::ModelLoaded {
+            name: c.rest_utf8("name")?,
+        },
+        0xFF => {
+            let code = c.u8("error code")?;
+            ServerFrame::Error {
+                code: ErrorCode::from_u8(code)
+                    .ok_or_else(|| FrameError::Malformed(format!("bad error code {code}")))?,
+                message: c.rest_utf8("message")?,
+            }
+        }
+        other => return Err(FrameError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------------
+// Frame reading
+// ---------------------------------------------------------------------------
+
+/// One `poll` result of a [`FrameReader`].
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete frame body.
+    Frame(Vec<u8>),
+    /// The read timed out (or would block) mid-frame; call again.
+    WouldBlock,
+    /// The peer closed the connection.
+    Eof,
+}
+
+/// Errors a [`FrameReader`] can hit. Both are fatal to the connection —
+/// framing can no longer be trusted.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The length prefix exceeds [`MAX_FRAME_BODY`].
+    Oversized(usize),
+    /// The transport failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_BODY} bound")
+            }
+            ReadError::Io(e) => write!(f, "read failed: {e}"),
+        }
+    }
+}
+
+/// Incremental, timeout-tolerant frame reader: buffers partial reads so a
+/// read timeout mid-frame never desynchronises the stream (the reader
+/// resumes exactly where it stopped).
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    chunk: [u8; 4096],
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream (typically a `TcpStream` with a read timeout).
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+            chunk: [0; 4096],
+        }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    fn buffered_frame(&mut self) -> Result<Option<Vec<u8>>, ReadError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_BODY {
+            return Err(ReadError::Oversized(len));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(body))
+    }
+
+    /// Reads until one complete frame body is available, the read would
+    /// block / times out, or the peer hangs up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError`] on transport failures or an oversized length
+    /// prefix — both fatal to the connection.
+    pub fn poll(&mut self) -> Result<ReadOutcome, ReadError> {
+        loop {
+            if let Some(body) = self.buffered_frame()? {
+                return Ok(ReadOutcome::Frame(body));
+            }
+            match self.inner.read(&mut self.chunk) {
+                Ok(0) => return Ok(ReadOutcome::Eof),
+                Ok(n) => self.buf.extend_from_slice(&self.chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(ReadOutcome::WouldBlock)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ReadError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client_roundtrip(f: ClientFrame) {
+        let encoded = encode_client(&f);
+        let body = &encoded[4..];
+        assert_eq!(
+            u32::from_le_bytes(encoded[..4].try_into().unwrap()) as usize,
+            body.len()
+        );
+        assert_eq!(decode_client(body).unwrap(), f);
+    }
+
+    fn server_roundtrip(f: ServerFrame) {
+        let encoded = encode_server(&f);
+        assert_eq!(decode_server(&encoded[4..]).unwrap(), f);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        client_roundtrip(ClientFrame::Open { stream_id: 7 });
+        client_roundtrip(ClientFrame::Push {
+            stream_id: 7,
+            channels: 2,
+            samples: vec![1.0, -2.5, 0.0, 3.25],
+        });
+        client_roundtrip(ClientFrame::Close { stream_id: 7 });
+        client_roundtrip(ClientFrame::Ping { token: u64::MAX });
+        client_roundtrip(ClientFrame::Stats);
+        client_roundtrip(ClientFrame::LoadModel {
+            path: "models/ppg.json".into(),
+        });
+        server_roundtrip(ServerFrame::Opened { stream_id: 3 });
+        server_roundtrip(ServerFrame::Emit {
+            stream_id: 3,
+            count: 2,
+            dim: 2,
+            outputs: vec![0.5, -0.5, 1.0, 2.0],
+        });
+        server_roundtrip(ServerFrame::Closed {
+            stream_id: 3,
+            reason: CloseReason::IdleEvicted,
+        });
+        server_roundtrip(ServerFrame::Pong { token: 9 });
+        server_roundtrip(ServerFrame::StatsJson {
+            json: "{\"waves\": 1}".into(),
+        });
+        server_roundtrip(ServerFrame::ModelLoaded {
+            name: "TEMPONet-plan".into(),
+        });
+        server_roundtrip(ServerFrame::Error {
+            code: ErrorCode::Backpressure,
+            message: "slow down".into(),
+        });
+    }
+
+    #[test]
+    fn decode_rejects_malformed_bodies() {
+        assert_eq!(decode_client(&[]).unwrap_err(), FrameError::Empty);
+        assert!(matches!(
+            decode_client(&[0x42]).unwrap_err(),
+            FrameError::UnknownOpcode(0x42)
+        ));
+        // OPEN truncated mid-field.
+        assert!(matches!(
+            decode_client(&[0x01, 1, 2]).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // OPEN with trailing garbage.
+        assert!(matches!(
+            decode_client(&[0x01, 1, 0, 0, 0, 9]).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // PUSH whose count does not match the payload.
+        let mut push = vec![0x02];
+        push.extend_from_slice(&1u32.to_le_bytes()); // stream
+        push.extend_from_slice(&3u32.to_le_bytes()); // count 3
+        push.extend_from_slice(&2u32.to_le_bytes()); // channels 2
+        push.extend_from_slice(&1.0f32.to_le_bytes()); // only 1 value
+        assert!(matches!(
+            decode_client(&push).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // PUSH claiming more values than any frame can hold.
+        let mut huge = vec![0x02];
+        huge.extend_from_slice(&1u32.to_le_bytes());
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_client(&huge).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Zero channels / zero count.
+        let mut zc = vec![0x02];
+        zc.extend_from_slice(&1u32.to_le_bytes());
+        zc.extend_from_slice(&1u32.to_le_bytes());
+        zc.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_client(&zc).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // LOAD_MODEL with invalid UTF-8.
+        assert!(matches!(
+            decode_client(&[0x06, 0xFF, 0xFE]).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_and_batched_frames() {
+        // Two frames delivered in awkward chunks: byte-by-byte, then both
+        // tails at once.
+        let a = encode_client(&ClientFrame::Ping { token: 1 });
+        let b = encode_client(&ClientFrame::Stats);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&a);
+        wire.extend_from_slice(&b);
+        struct Dribble {
+            data: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for Dribble {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.data.len() {
+                    return Ok(0);
+                }
+                // First half dribbles one byte at a time, then the rest.
+                let n = if self.pos < self.data.len() / 2 {
+                    1
+                } else {
+                    self.data.len() - self.pos
+                };
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let mut reader = FrameReader::new(Dribble { data: wire, pos: 0 });
+        let ReadOutcome::Frame(body) = reader.poll().unwrap() else {
+            panic!("first frame")
+        };
+        assert_eq!(
+            decode_client(&body).unwrap(),
+            ClientFrame::Ping { token: 1 }
+        );
+        let ReadOutcome::Frame(body) = reader.poll().unwrap() else {
+            panic!("second frame")
+        };
+        assert_eq!(decode_client(&body).unwrap(), ClientFrame::Stats);
+        assert!(matches!(reader.poll().unwrap(), ReadOutcome::Eof));
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_length_prefixes() {
+        let wire = (u32::MAX).to_le_bytes().to_vec();
+        let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+        assert!(matches!(
+            reader.poll().unwrap_err(),
+            ReadError::Oversized(_)
+        ));
+    }
+}

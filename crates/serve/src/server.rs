@@ -1,0 +1,907 @@
+//! The serving daemon: TCP front end, per-connection reader/writer threads
+//! and the wave-batcher thread that multiplexes every live stream onto
+//! batched session-pool waves.
+//!
+//! ## Thread model
+//!
+//! * **Accept loop** (the thread that calls [`Server::run`]): accepts
+//!   connections and spawns one reader thread per connection.
+//! * **Reader threads**: parse frames off the socket
+//!   ([`crate::protocol::FrameReader`] — resilient to read timeouts
+//!   mid-frame) and forward decoded frames as events. Readers never touch
+//!   the pools.
+//! * **Writer threads**: one per connection, draining a bounded queue of
+//!   encoded reply frames. A slow client fills its own queue and starts
+//!   dropping *its* replies ([`StatsSnapshot::replies_dropped`]) — it cannot
+//!   stall the batcher or other clients.
+//! * **Wave batcher** (one thread): owns the [`SessionPool`] /
+//!   [`QuantizedSessionPool`] and every stream table. It collects pushed
+//!   timesteps across all connections, runs one pool flush per tick — each
+//!   layer of the plan executes as a single batched GEMM over every stream
+//!   with pending input — and routes emissions back to their connections.
+//!   Because everything funnels through this thread, the pools need no
+//!   locks at all.
+//!
+//! ## Lifecycle
+//!
+//! Streams are opened per connection (OPEN), served until CLOSE, idle
+//! eviction ([`ServerConfig::idle_timeout`]) or disconnect, and their pool
+//! slots are recycled via `close_stream`. [`ServerHandle::shutdown`] drains
+//! gracefully: queued timesteps are flushed, final emissions delivered,
+//! every stream gets a CLOSED frame, and the final [`StatsSnapshot`] is
+//! returned.
+
+use crate::protocol::{
+    decode_client, encode_server, ClientFrame, CloseReason, ErrorCode, FrameReader, ReadOutcome,
+    ServerFrame,
+};
+use crate::stats::{ServerStats, StatsSnapshot};
+use pit_infer::{InferencePlan, PlanArtifact, QuantizedPlan, QuantizedSessionPool, SessionPool};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Server-wide cap on concurrently open streams.
+    pub max_streams: usize,
+    /// Backpressure cap: maximum queued-but-unflushed timesteps per
+    /// connection; a PUSH that would exceed it is rejected with an ERROR
+    /// frame.
+    pub max_pending_per_conn: usize,
+    /// Wave cadence: the batcher runs at most one pool flush per tick, so
+    /// timesteps arriving within a tick batch into the same waves.
+    pub tick: Duration,
+    /// Evict streams with no client activity for this long (`None` = never).
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            max_streams: 256,
+            max_pending_per_conn: 4096,
+            tick: Duration::from_micros(200),
+            idle_timeout: None,
+        }
+    }
+}
+
+/// The model a server serves: an f32 plan or an int8 quantized plan.
+#[derive(Clone)]
+pub enum ServeEngine {
+    /// Serve through [`SessionPool`].
+    F32(Arc<InferencePlan>),
+    /// Serve through [`QuantizedSessionPool`].
+    I8(Arc<QuantizedPlan>),
+}
+
+impl ServeEngine {
+    /// Wraps a loaded artifact.
+    pub fn from_artifact(artifact: PlanArtifact) -> Self {
+        match artifact {
+            PlanArtifact::F32(plan) => ServeEngine::F32(Arc::new(plan)),
+            PlanArtifact::I8(plan) => ServeEngine::I8(Arc::new(plan)),
+        }
+    }
+}
+
+/// The batcher's pool, generic over precision. All stream ids below are
+/// *pool* slot ids; the protocol's connection-scoped ids map onto them.
+enum EnginePool {
+    F32(SessionPool),
+    I8(QuantizedSessionPool),
+}
+
+impl EnginePool {
+    fn new(engine: &ServeEngine) -> Self {
+        match engine {
+            ServeEngine::F32(plan) => EnginePool::F32(SessionPool::new(Arc::clone(plan), 0)),
+            ServeEngine::I8(plan) => EnginePool::I8(QuantizedSessionPool::new(Arc::clone(plan), 0)),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            EnginePool::F32(_) => "f32",
+            EnginePool::I8(_) => "i8",
+        }
+    }
+
+    fn name(&self) -> String {
+        match self {
+            EnginePool::F32(p) => p.plan().name().to_string(),
+            EnginePool::I8(p) => p.plan().name().to_string(),
+        }
+    }
+
+    fn input_channels(&self) -> usize {
+        match self {
+            EnginePool::F32(p) => p.plan().input_channels(),
+            EnginePool::I8(p) => p.plan().input_channels(),
+        }
+    }
+
+    fn output_dim(&self) -> usize {
+        match self {
+            EnginePool::F32(p) => p.plan().output_dim(),
+            EnginePool::I8(p) => p.plan().output_dim(),
+        }
+    }
+
+    fn open_stream(&mut self) -> usize {
+        match self {
+            EnginePool::F32(p) => p.open_stream(),
+            EnginePool::I8(p) => p.open_stream(),
+        }
+    }
+
+    fn close_stream(&mut self, sid: usize) {
+        match self {
+            EnginePool::F32(p) => p.close_stream(sid),
+            EnginePool::I8(p) => p.close_stream(sid),
+        }
+    }
+
+    fn push(&mut self, sid: usize, sample: &[f32]) {
+        match self {
+            EnginePool::F32(p) => p.push(sid, sample),
+            EnginePool::I8(p) => p.push(sid, sample),
+        }
+    }
+
+    fn flush(&mut self) -> Vec<(usize, Vec<f32>)> {
+        match self {
+            EnginePool::F32(p) => p.flush(),
+            EnginePool::I8(p) => p.flush(),
+        }
+    }
+
+    fn pending_steps(&self) -> usize {
+        match self {
+            EnginePool::F32(p) => p.pending_steps(),
+            EnginePool::I8(p) => p.pending_steps(),
+        }
+    }
+
+    fn pending_for(&self, sid: usize) -> usize {
+        match self {
+            EnginePool::F32(p) => p.pending_for(sid),
+            EnginePool::I8(p) => p.pending_for(sid),
+        }
+    }
+}
+
+type ConnId = u64;
+
+/// What reader threads hand the batcher.
+enum Event {
+    Connected {
+        conn: ConnId,
+        tx: SyncSender<Vec<u8>>,
+    },
+    Frame {
+        conn: ConnId,
+        frame: ClientFrame,
+    },
+    /// A frame body arrived but would not decode (the connection survives),
+    /// or framing broke entirely (`fatal`, the reader hung up).
+    Malformed {
+        conn: ConnId,
+        error: String,
+        fatal: bool,
+    },
+    Disconnected {
+        conn: ConnId,
+    },
+}
+
+struct ConnState {
+    tx: SyncSender<Vec<u8>>,
+    /// Connection-scoped stream id → pool slot.
+    streams: HashMap<u32, usize>,
+    /// Queued-but-unflushed timesteps across this connection's streams —
+    /// the backpressure cap compares against this counter (O(1) per PUSH)
+    /// instead of re-summing per-stream queues on the batcher hot path.
+    /// Maintained as: `+= count` on an accepted PUSH, reset to zero by every
+    /// wave (a flush drains all queues), decremented when a stream is
+    /// closed with samples still queued.
+    pending: usize,
+}
+
+struct StreamInfo {
+    conn: ConnId,
+    client_id: u32,
+    last_activity: Instant,
+}
+
+struct Batcher {
+    pool: EnginePool,
+    config: ServerConfig,
+    conns: HashMap<ConnId, ConnState>,
+    /// Pool slot → owner.
+    streams: HashMap<usize, StreamInfo>,
+    stats: ServerStats,
+    /// Set once shutdown is requested: new OPEN/LOAD_MODEL work is refused
+    /// with [`ErrorCode::ShuttingDown`] while the final flush happens.
+    draining: bool,
+}
+
+impl Batcher {
+    fn new(engine: &ServeEngine, config: ServerConfig) -> Self {
+        Self {
+            pool: EnginePool::new(engine),
+            config,
+            conns: HashMap::new(),
+            streams: HashMap::new(),
+            stats: ServerStats::default(),
+            draining: false,
+        }
+    }
+
+    /// Sends one reply frame to a connection, dropping it (with a counter)
+    /// when the client's outbound queue is full and pruning the connection
+    /// when its writer is gone.
+    fn send(&mut self, conn: ConnId, frame: &ServerFrame) {
+        let Some(state) = self.conns.get(&conn) else {
+            return;
+        };
+        match state.tx.try_send(encode_server(frame)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => self.stats.replies_dropped += 1,
+            Err(TrySendError::Disconnected(_)) => {
+                // Writer thread died (socket gone); the reader will follow
+                // with a Disconnected event that cleans the stream table.
+            }
+        }
+    }
+
+    fn send_error(&mut self, conn: ConnId, code: ErrorCode, message: impl Into<String>) {
+        self.stats.frames_rejected += 1;
+        self.send(
+            conn,
+            &ServerFrame::Error {
+                code,
+                message: message.into(),
+            },
+        );
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Connected { conn, tx } => {
+                self.stats.connections_total += 1;
+                self.stats.connections_open += 1;
+                self.conns.insert(
+                    conn,
+                    ConnState {
+                        tx,
+                        streams: HashMap::new(),
+                        pending: 0,
+                    },
+                );
+            }
+            Event::Disconnected { conn } => {
+                if let Some(state) = self.conns.remove(&conn) {
+                    self.stats.connections_open -= 1;
+                    for (_, sid) in state.streams {
+                        self.pool.close_stream(sid);
+                        self.streams.remove(&sid);
+                    }
+                }
+            }
+            Event::Malformed { conn, error, fatal } => {
+                let code = if error.contains("opcode") {
+                    ErrorCode::UnknownOpcode
+                } else {
+                    ErrorCode::BadFrame
+                };
+                self.send_error(conn, code, error);
+                // A fatal framing error is followed by the reader's
+                // Disconnected event; nothing more to do here.
+                let _ = fatal;
+            }
+            Event::Frame { conn, frame } => self.handle_frame(conn, frame),
+        }
+    }
+
+    fn handle_frame(&mut self, conn: ConnId, frame: ClientFrame) {
+        match frame {
+            ClientFrame::Open { stream_id } => self.handle_open(conn, stream_id),
+            ClientFrame::Push {
+                stream_id,
+                channels,
+                samples,
+            } => self.handle_push(conn, stream_id, channels, samples),
+            ClientFrame::Close { stream_id } => {
+                let Some(sid) = self
+                    .conns
+                    .get_mut(&conn)
+                    .and_then(|c| c.streams.remove(&stream_id))
+                else {
+                    self.send_error(
+                        conn,
+                        ErrorCode::UnknownStream,
+                        format!("stream {stream_id} is not open"),
+                    );
+                    return;
+                };
+                // CLOSE is an orderly end, not an abort: timesteps the
+                // stream already pushed must become final emissions, not
+                // vanish depending on where the tick happened to land.
+                if self.pool.pending_for(sid) > 0 {
+                    self.run_wave();
+                }
+                self.pool.close_stream(sid);
+                self.streams.remove(&sid);
+                self.send(
+                    conn,
+                    &ServerFrame::Closed {
+                        stream_id,
+                        reason: CloseReason::ByClient,
+                    },
+                );
+            }
+            ClientFrame::Ping { token } => self.send(conn, &ServerFrame::Pong { token }),
+            ClientFrame::Stats => {
+                let snapshot = self.snapshot();
+                self.send(
+                    conn,
+                    &ServerFrame::StatsJson {
+                        json: snapshot.to_json().render(),
+                    },
+                );
+            }
+            ClientFrame::LoadModel { path } => self.handle_load_model(conn, path),
+        }
+    }
+
+    fn handle_open(&mut self, conn: ConnId, stream_id: u32) {
+        if self.draining {
+            self.send_error(
+                conn,
+                ErrorCode::ShuttingDown,
+                "server is draining; no new streams",
+            );
+            return;
+        }
+        let Some(state) = self.conns.get(&conn) else {
+            return;
+        };
+        if state.streams.contains_key(&stream_id) {
+            self.send_error(
+                conn,
+                ErrorCode::DuplicateStream,
+                format!("stream {stream_id} is already open"),
+            );
+            return;
+        }
+        if self.streams.len() >= self.config.max_streams {
+            self.send_error(
+                conn,
+                ErrorCode::ServerFull,
+                format!("server is at its {}-stream limit", self.config.max_streams),
+            );
+            return;
+        }
+        let sid = self.pool.open_stream();
+        self.streams.insert(
+            sid,
+            StreamInfo {
+                conn,
+                client_id: stream_id,
+                last_activity: Instant::now(),
+            },
+        );
+        if let Some(state) = self.conns.get_mut(&conn) {
+            state.streams.insert(stream_id, sid);
+        }
+        self.stats.streams_opened += 1;
+        self.send(conn, &ServerFrame::Opened { stream_id });
+    }
+
+    fn handle_push(&mut self, conn: ConnId, stream_id: u32, channels: u32, samples: Vec<f32>) {
+        let c_in = self.pool.input_channels();
+        if channels as usize != c_in {
+            self.send_error(
+                conn,
+                ErrorCode::BadFrame,
+                format!("PUSH carries {channels} channels, the served plan takes {c_in}"),
+            );
+            return;
+        }
+        let Some(&sid) = self
+            .conns
+            .get(&conn)
+            .and_then(|c| c.streams.get(&stream_id))
+        else {
+            self.send_error(
+                conn,
+                ErrorCode::UnknownStream,
+                format!("stream {stream_id} is not open"),
+            );
+            return;
+        };
+        let count = samples.len() / c_in;
+        let conn_pending = self.conns.get(&conn).map(|c| c.pending).unwrap_or(0);
+        if conn_pending + count > self.config.max_pending_per_conn {
+            self.send_error(
+                conn,
+                ErrorCode::Backpressure,
+                format!(
+                    "connection has {conn_pending} timesteps pending, cap is {}",
+                    self.config.max_pending_per_conn
+                ),
+            );
+            return;
+        }
+        for sample in samples.chunks_exact(c_in) {
+            self.pool.push(sid, sample);
+        }
+        if let Some(state) = self.conns.get_mut(&conn) {
+            state.pending += count;
+        }
+        self.stats.timesteps_in += count as u64;
+        if let Some(info) = self.streams.get_mut(&sid) {
+            info.last_activity = Instant::now();
+        }
+    }
+
+    fn handle_load_model(&mut self, conn: ConnId, path: String) {
+        if self.draining {
+            self.send_error(
+                conn,
+                ErrorCode::ShuttingDown,
+                "server is draining; no model swaps",
+            );
+            return;
+        }
+        if !self.streams.is_empty() {
+            self.send_error(
+                conn,
+                ErrorCode::StreamsActive,
+                format!(
+                    "{} streams are open; drain before swapping",
+                    self.streams.len()
+                ),
+            );
+            return;
+        }
+        match PlanArtifact::load(std::path::Path::new(&path)) {
+            Ok(artifact) => {
+                let engine = ServeEngine::from_artifact(artifact);
+                self.pool = EnginePool::new(&engine);
+                let name = self.pool.name();
+                self.send(conn, &ServerFrame::ModelLoaded { name });
+            }
+            Err(e) => self.send_error(conn, ErrorCode::LoadFailed, e),
+        }
+    }
+
+    /// One batched wave: flush every queued timestep through the pool (one
+    /// GEMM per layer per wave) and route emissions back per stream.
+    fn run_wave(&mut self) {
+        let occupancy = self
+            .streams
+            .keys()
+            .filter(|&&sid| self.pool.pending_for(sid) > 0)
+            .count();
+        if occupancy == 0 {
+            return;
+        }
+        let t0 = Instant::now();
+        let results = self.pool.flush();
+        self.stats.record_wave(occupancy, t0.elapsed());
+        // A flush drains every queue, so no connection has pending samples
+        // any more.
+        for state in self.conns.values_mut() {
+            state.pending = 0;
+        }
+        if results.is_empty() {
+            return;
+        }
+        // Coalesce each stream's chronological emissions into one EMIT.
+        let dim = self.pool.output_dim();
+        let mut per_stream: HashMap<usize, Vec<f32>> = HashMap::new();
+        let mut order: Vec<usize> = Vec::new();
+        for (sid, out) in results {
+            let entry = per_stream.entry(sid).or_insert_with(|| {
+                order.push(sid);
+                Vec::new()
+            });
+            entry.extend_from_slice(&out);
+        }
+        // One EMIT frame must stay under the protocol's body bound: cap the
+        // vectors per frame and split a stream's backlog across frames when
+        // a burst emits more than that (order within the stream preserved).
+        let max_vectors_per_frame =
+            ((crate::protocol::MAX_FRAME_BODY - 64) / (4 * dim.max(1))).max(1);
+        for sid in order {
+            let outputs = per_stream.remove(&sid).expect("grouped above");
+            let count = outputs.len() / dim.max(1);
+            self.stats.emissions_out += count as u64;
+            let Some(info) = self.streams.get(&sid) else {
+                continue;
+            };
+            let (conn, stream_id) = (info.conn, info.client_id);
+            for chunk in outputs.chunks(max_vectors_per_frame * dim.max(1)) {
+                self.send(
+                    conn,
+                    &ServerFrame::Emit {
+                        stream_id,
+                        count: (chunk.len() / dim.max(1)) as u32,
+                        dim: dim as u32,
+                        outputs: chunk.to_vec(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn evict_idle(&mut self) {
+        let Some(timeout) = self.config.idle_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        let stale: Vec<usize> = self
+            .streams
+            .iter()
+            .filter(|(_, info)| now.duration_since(info.last_activity) > timeout)
+            .map(|(&sid, _)| sid)
+            .collect();
+        for sid in stale {
+            let Some(info) = self.streams.remove(&sid) else {
+                continue;
+            };
+            let dropped = self.pool.pending_for(sid);
+            self.pool.close_stream(sid);
+            if let Some(conn) = self.conns.get_mut(&info.conn) {
+                conn.streams.remove(&info.client_id);
+                conn.pending = conn.pending.saturating_sub(dropped);
+            }
+            self.stats.streams_evicted += 1;
+            self.send(
+                info.conn,
+                &ServerFrame::Closed {
+                    stream_id: info.client_id,
+                    reason: CloseReason::IdleEvicted,
+                },
+            );
+        }
+    }
+
+    /// Graceful drain: flush whatever is queued, deliver the final
+    /// emissions, tell every stream it is over, and let the writer threads
+    /// flush their queues as their senders drop.
+    fn drain(&mut self) {
+        if self.pool.pending_steps() > 0 {
+            self.run_wave();
+        }
+        let open: Vec<usize> = self.streams.keys().copied().collect();
+        for sid in open {
+            let Some(info) = self.streams.remove(&sid) else {
+                continue;
+            };
+            self.pool.close_stream(sid);
+            if let Some(conn) = self.conns.get_mut(&info.conn) {
+                conn.streams.remove(&info.client_id);
+            }
+            self.send(
+                info.conn,
+                &ServerFrame::Closed {
+                    stream_id: info.client_id,
+                    reason: CloseReason::Drained,
+                },
+            );
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot(
+            &self.pool.name(),
+            self.pool.kind(),
+            self.streams.len() as u64,
+        )
+    }
+
+    fn run(
+        mut self,
+        rx: Receiver<Event>,
+        shutdown: Arc<AtomicBool>,
+        drained: Arc<AtomicBool>,
+    ) -> StatsSnapshot {
+        let mut next_wave = Instant::now();
+        loop {
+            let timeout = if self.pool.pending_steps() > 0 {
+                next_wave.saturating_duration_since(Instant::now())
+            } else {
+                // Idle: wake occasionally for eviction and shutdown checks.
+                Duration::from_millis(5)
+            };
+            match rx.recv_timeout(timeout) {
+                Ok(event) => {
+                    self.handle(event);
+                    while let Ok(event) = rx.try_recv() {
+                        self.handle(event);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                // Absorb everything clients already got onto the wire —
+                // decoded PUSH events still sitting in the channel (readers
+                // keep their connections open until `drained` flips, so
+                // these are complete, ordered frames) — before the final
+                // flush, so "queued timesteps become final emissions" holds
+                // for the event queue too, not just the pool queues. New
+                // OPENs and model swaps among them are refused.
+                self.draining = true;
+                while let Ok(event) = rx.try_recv() {
+                    self.handle(event);
+                }
+                self.drain();
+                break;
+            }
+            if self.pool.pending_steps() > 0 && Instant::now() >= next_wave {
+                self.run_wave();
+                next_wave = Instant::now() + self.config.tick;
+            }
+            self.evict_idle();
+        }
+        // Readers hold their connections open until this flips, so the
+        // drain above always runs with every stream still registered —
+        // queued timesteps become final emissions instead of being dropped
+        // by an early Disconnected.
+        drained.store(true, Ordering::SeqCst);
+        self.snapshot()
+        // Dropping `self.conns` here releases every writer sender: writers
+        // flush their remaining queued frames (final emissions, CLOSED) and
+        // exit.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection plumbing
+// ---------------------------------------------------------------------------
+
+/// Encoded reply frames a writer queue holds before a slow client starts
+/// losing replies.
+const WRITER_QUEUE_FRAMES: usize = 1024;
+/// Reader poll granularity: how stale the shutdown flag can look to a
+/// blocked reader.
+const READ_TIMEOUT: Duration = Duration::from_millis(20);
+/// Cap on a blocking socket write: a client that stops reading while its
+/// kernel buffer is full gets disconnected instead of pinning its writer
+/// thread (and, through the join chain, graceful shutdown) forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Decoded-but-unprocessed events the batcher will buffer before readers
+/// block (which in turn stalls the offending connections' TCP windows):
+/// the memory backstop behind the per-connection pending caps.
+const EVENT_QUEUE_DEPTH: usize = 1024;
+
+fn reader_loop(
+    conn: ConnId,
+    stream: TcpStream,
+    events: SyncSender<Event>,
+    drained: Arc<AtomicBool>,
+) {
+    let (wtx, wrx) = mpsc::sync_channel::<Vec<u8>>(WRITER_QUEUE_FRAMES);
+    let writer = stream.try_clone().ok().map(|mut out| {
+        std::thread::spawn(move || {
+            // A client that stops reading must error this thread out, not
+            // park it forever with a full socket buffer.
+            let _ = out.set_write_timeout(Some(WRITE_TIMEOUT));
+            while let Ok(buf) = wrx.recv() {
+                if out.write_all(&buf).is_err() {
+                    break;
+                }
+            }
+            let _ = out.flush();
+        })
+    });
+    if writer.is_none() || events.send(Event::Connected { conn, tx: wtx }).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut reader = FrameReader::new(stream);
+    // Exit on the *drained* flag, not the shutdown request: a reader that
+    // hung up before the batcher's graceful drain would take its streams
+    // (and their queued timesteps) down with it.
+    while !drained.load(Ordering::SeqCst) {
+        match reader.poll() {
+            Ok(ReadOutcome::Frame(body)) => {
+                let event = match decode_client(&body) {
+                    Ok(frame) => Event::Frame { conn, frame },
+                    Err(e) => Event::Malformed {
+                        conn,
+                        error: e.to_string(),
+                        fatal: false,
+                    },
+                };
+                if events.send(event).is_err() {
+                    break;
+                }
+            }
+            Ok(ReadOutcome::WouldBlock) => continue,
+            Ok(ReadOutcome::Eof) => break,
+            Err(e) => {
+                // Framing is unrecoverable (oversized prefix or transport
+                // error): report and hang up.
+                let _ = events.send(Event::Malformed {
+                    conn,
+                    error: e.to_string(),
+                    fatal: true,
+                });
+                break;
+            }
+        }
+    }
+    let _ = events.send(Event::Disconnected { conn });
+    if let Some(writer) = writer {
+        // The batcher drops this connection's sender when it processes the
+        // Disconnected event (or exits), ending the writer after it flushed
+        // everything still queued.
+        let _ = writer.join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public server API
+// ---------------------------------------------------------------------------
+
+/// A bound (not yet running) serving daemon.
+pub struct Server {
+    listener: TcpListener,
+    engine: ServeEngine,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    drained: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the configured address and prepares the engine. The server
+    /// does not accept connections until [`Server::run`] or
+    /// [`Server::spawn`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error, if any.
+    pub fn bind(engine: ServeEngine, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            engine,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            drained: Arc::new(AtomicBool::new(false)),
+            addr,
+        })
+    }
+
+    /// Loads a `pit-arch/2` artifact file and binds — the one-call boot
+    /// path of the `pit-serve` binary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on artifact or bind failures.
+    pub fn bind_artifact(path: &std::path::Path, config: ServerConfig) -> Result<Self, String> {
+        let artifact = PlanArtifact::load(path)?;
+        let addr = config.addr.clone();
+        Self::bind(ServeEngine::from_artifact(artifact), config)
+            .map_err(|e| format!("cannot bind {addr}: {e}"))
+    }
+
+    /// The actually-bound address (resolves `:0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs the daemon on a background thread, returning a handle for
+    /// shutdown.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            shutdown,
+            thread,
+        }
+    }
+
+    /// Runs the accept loop on the calling thread until shutdown is
+    /// requested (via a handle created before with [`Server::spawn`] — when
+    /// calling `run` directly the process typically serves until killed).
+    /// Returns the final stats snapshot after a graceful drain.
+    pub fn run(self) -> StatsSnapshot {
+        // Bounded: when the batcher falls behind, readers block here, their
+        // sockets stop being read, and TCP pushes the backpressure all the
+        // way to the offending clients — queued-event memory stays bounded
+        // no matter how fast clients push.
+        let (events_tx, events_rx) = mpsc::sync_channel::<Event>(EVENT_QUEUE_DEPTH);
+        let batcher = Batcher::new(&self.engine, self.config.clone());
+        let batcher_shutdown = Arc::clone(&self.shutdown);
+        let batcher_drained = Arc::clone(&self.drained);
+        let batcher_thread =
+            std::thread::spawn(move || batcher.run(events_rx, batcher_shutdown, batcher_drained));
+        self.listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking");
+        let mut readers: Vec<JoinHandle<()>> = Vec::new();
+        let mut next_conn: ConnId = 0;
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // The accepted socket must block (with a timeout) even
+                    // though the listener does not.
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_nodelay(true);
+                    next_conn += 1;
+                    let conn = next_conn;
+                    let tx = events_tx.clone();
+                    let flag = Arc::clone(&self.drained);
+                    readers.push(std::thread::spawn(move || {
+                        reader_loop(conn, stream, tx, flag);
+                    }));
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => {
+                    // Transient accept failures (fd exhaustion under load,
+                    // aborted handshakes) must not silently end the accept
+                    // loop with live connections still running — that would
+                    // leave the daemon unreachable *and* undrainable. Back
+                    // off and retry; a real shutdown still lands through
+                    // the flag.
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+            // Reap finished reader threads so a long-lived daemon does not
+            // accumulate handles across connection churn.
+            readers.retain(|h| !h.is_finished());
+        }
+        drop(events_tx);
+        for reader in readers {
+            let _ = reader.join();
+        }
+        batcher_thread.join().expect("batcher thread")
+    }
+}
+
+/// Handle to a running server (see [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: JoinHandle<StatsSnapshot>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain — queued timesteps are flushed, final
+    /// emissions delivered, streams closed with a CLOSED frame — and waits
+    /// for the daemon to exit. Returns the final stats.
+    pub fn shutdown(self) -> StatsSnapshot {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.thread.join().expect("server thread")
+    }
+}

@@ -1,0 +1,242 @@
+//! Serving counters and the snapshot the STATS frame returns.
+
+use pit_tensor::json::Json;
+
+/// A point-in-time view of the daemon's counters, as returned by the STATS
+/// frame (rendered to JSON) and by [`crate::ServerHandle::shutdown`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// Name of the served plan.
+    pub model: String,
+    /// `"f32"` or `"i8"`.
+    pub kind: String,
+    /// Connections accepted since boot.
+    pub connections_total: u64,
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Streams currently open.
+    pub streams_open: u64,
+    /// Streams opened since boot.
+    pub streams_opened: u64,
+    /// Streams evicted for idleness.
+    pub streams_evicted: u64,
+    /// Timesteps accepted into pool queues since boot.
+    pub timesteps_in: u64,
+    /// Head outputs sent back since boot.
+    pub emissions_out: u64,
+    /// Frames refused with an ERROR reply (malformed, backpressure, …).
+    pub frames_rejected: u64,
+    /// Reply frames dropped because a client's outbound queue was full.
+    pub replies_dropped: u64,
+    /// Pool waves (flush calls that served at least one stream).
+    pub waves: u64,
+    /// Mean number of streams served per wave.
+    pub wave_occupancy: f64,
+    /// Median wave (flush) latency in nanoseconds, over the recent window.
+    pub wave_p50_ns: u64,
+    /// 99th-percentile wave latency in nanoseconds, over the recent window.
+    pub wave_p99_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Renders the snapshot as the JSON document the STATS frame carries.
+    pub fn to_json(&self) -> Json {
+        let n = |v: u64| Json::Num(v as f64);
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("pit-serve-stats/1".into())),
+            ("model".into(), Json::Str(self.model.clone())),
+            ("kind".into(), Json::Str(self.kind.clone())),
+            ("connections_total".into(), n(self.connections_total)),
+            ("connections_open".into(), n(self.connections_open)),
+            ("streams_open".into(), n(self.streams_open)),
+            ("streams_opened".into(), n(self.streams_opened)),
+            ("streams_evicted".into(), n(self.streams_evicted)),
+            ("timesteps_in".into(), n(self.timesteps_in)),
+            ("emissions_out".into(), n(self.emissions_out)),
+            ("frames_rejected".into(), n(self.frames_rejected)),
+            ("replies_dropped".into(), n(self.replies_dropped)),
+            ("waves".into(), n(self.waves)),
+            ("wave_occupancy".into(), Json::Num(self.wave_occupancy)),
+            ("wave_p50_ns".into(), n(self.wave_p50_ns)),
+            ("wave_p99_ns".into(), n(self.wave_p99_ns)),
+        ])
+    }
+
+    /// Parses a snapshot back from STATS-frame JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or ill-typed field.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let num = |name: &str| -> Result<f64, String> {
+            doc.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing number field '{name}'"))
+        };
+        let int = |name: &str| -> Result<u64, String> { Ok(num(name)? as u64) };
+        let text_field = |name: &str| -> Result<String, String> {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{name}'"))
+        };
+        Ok(Self {
+            model: text_field("model")?,
+            kind: text_field("kind")?,
+            connections_total: int("connections_total")?,
+            connections_open: int("connections_open")?,
+            streams_open: int("streams_open")?,
+            streams_opened: int("streams_opened")?,
+            streams_evicted: int("streams_evicted")?,
+            timesteps_in: int("timesteps_in")?,
+            emissions_out: int("emissions_out")?,
+            frames_rejected: int("frames_rejected")?,
+            replies_dropped: int("replies_dropped")?,
+            waves: int("waves")?,
+            wave_occupancy: num("wave_occupancy")?,
+            wave_p50_ns: int("wave_p50_ns")?,
+            wave_p99_ns: int("wave_p99_ns")?,
+        })
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({}): {} conns ({} open), {} streams open ({} opened, {} evicted), \
+             {} timesteps in, {} emissions out, {} rejected, {} waves \
+             (occupancy {:.1}, p50 {} ns, p99 {} ns)",
+            self.model,
+            self.kind,
+            self.connections_total,
+            self.connections_open,
+            self.streams_open,
+            self.streams_opened,
+            self.streams_evicted,
+            self.timesteps_in,
+            self.emissions_out,
+            self.frames_rejected,
+            self.waves,
+            self.wave_occupancy,
+            self.wave_p50_ns,
+            self.wave_p99_ns,
+        )
+    }
+}
+
+/// Size of the rolling wave-latency window percentiles are computed over.
+const LATENCY_WINDOW: usize = 4096;
+
+/// The batcher-owned counter block. Single-threaded by design: every event
+/// funnels through the wave-batcher thread, so counters are plain integers,
+/// not atomics.
+#[derive(Debug, Default)]
+pub(crate) struct ServerStats {
+    pub(crate) connections_total: u64,
+    pub(crate) connections_open: u64,
+    pub(crate) streams_opened: u64,
+    pub(crate) streams_evicted: u64,
+    pub(crate) timesteps_in: u64,
+    pub(crate) emissions_out: u64,
+    pub(crate) frames_rejected: u64,
+    pub(crate) replies_dropped: u64,
+    pub(crate) waves: u64,
+    occupancy_sum: u64,
+    /// Rolling window of recent wave latencies (ns).
+    wave_ns: Vec<u64>,
+    wave_ns_next: usize,
+}
+
+impl ServerStats {
+    /// Records one flushed wave: how many streams it served and how long the
+    /// flush took.
+    pub(crate) fn record_wave(&mut self, occupancy: usize, elapsed: std::time::Duration) {
+        self.waves += 1;
+        self.occupancy_sum += occupancy as u64;
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if self.wave_ns.len() < LATENCY_WINDOW {
+            self.wave_ns.push(ns);
+        } else {
+            self.wave_ns[self.wave_ns_next] = ns;
+            self.wave_ns_next = (self.wave_ns_next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    fn percentile(sorted: &[u64], p: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    }
+
+    pub(crate) fn snapshot(&self, model: &str, kind: &str, streams_open: u64) -> StatsSnapshot {
+        let mut window = self.wave_ns.clone();
+        window.sort_unstable();
+        StatsSnapshot {
+            model: model.to_string(),
+            kind: kind.to_string(),
+            connections_total: self.connections_total,
+            connections_open: self.connections_open,
+            streams_open,
+            streams_opened: self.streams_opened,
+            streams_evicted: self.streams_evicted,
+            timesteps_in: self.timesteps_in,
+            emissions_out: self.emissions_out,
+            frames_rejected: self.frames_rejected,
+            replies_dropped: self.replies_dropped,
+            waves: self.waves,
+            wave_occupancy: if self.waves == 0 {
+                0.0
+            } else {
+                self.occupancy_sum as f64 / self.waves as f64
+            },
+            wave_p50_ns: Self::percentile(&window, 0.50),
+            wave_p99_ns: Self::percentile(&window, 0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut stats = ServerStats {
+            connections_total: 3,
+            connections_open: 2,
+            streams_opened: 5,
+            timesteps_in: 1000,
+            emissions_out: 125,
+            ..ServerStats::default()
+        };
+        for i in 0..100u64 {
+            stats.record_wave(4, Duration::from_nanos(1000 + i));
+        }
+        let snap = stats.snapshot("TEMPONet-plan", "f32", 4);
+        assert_eq!(snap.waves, 100);
+        assert!((snap.wave_occupancy - 4.0).abs() < 1e-9);
+        assert!(snap.wave_p50_ns >= 1000 && snap.wave_p99_ns >= snap.wave_p50_ns);
+        let text = snap.to_json().render();
+        let back = StatsSnapshot::from_json_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn latency_window_rolls_over() {
+        let mut stats = ServerStats::default();
+        for _ in 0..LATENCY_WINDOW {
+            stats.record_wave(1, Duration::from_nanos(10));
+        }
+        // A second full window of slower waves displaces the fast ones.
+        for _ in 0..LATENCY_WINDOW {
+            stats.record_wave(1, Duration::from_nanos(1_000_000));
+        }
+        let snap = stats.snapshot("m", "f32", 0);
+        assert_eq!(snap.wave_p50_ns, 1_000_000);
+    }
+}

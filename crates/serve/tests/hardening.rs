@@ -1,0 +1,270 @@
+//! Malformed-input hardening: hostile bytes on the wire and corrupt
+//! artifacts must produce ERROR frames or clean disconnects — never a
+//! daemon panic. Each scenario is followed by a proof of life (a fresh
+//! connection that PINGs successfully).
+
+use pit_infer::{compile_generic, InferencePlan};
+use pit_models::{GenericTcn, GenericTcnConfig};
+use pit_nas::SearchableNetwork;
+use pit_serve::{
+    Client, ClientFrame, ErrorCode, ServeEngine, Server, ServerConfig, ServerFrame, ServerHandle,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const RECV_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn tiny_plan() -> Arc<InferencePlan> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = GenericTcn::new(&mut rng, &GenericTcnConfig::tiny());
+    net.set_dilations(&[2, 4]);
+    Arc::new(compile_generic(&net))
+}
+
+fn spawn_server() -> (SocketAddr, ServerHandle) {
+    let server =
+        Server::bind(ServeEngine::F32(tiny_plan()), ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    (addr, server.spawn())
+}
+
+/// The daemon still answers a PING on a *new* connection.
+fn assert_alive(addr: SocketAddr) {
+    let mut probe = Client::connect(addr).expect("daemon accepts connections");
+    probe.ping(42).expect("ping");
+    assert!(
+        matches!(
+            probe.recv_timeout(RECV_TIMEOUT).expect("transport"),
+            Some(ServerFrame::Pong { token: 42 })
+        ),
+        "daemon must keep serving after hostile input"
+    );
+}
+
+fn expect_error(client: &mut Client, want: ErrorCode) {
+    match client.recv_timeout(RECV_TIMEOUT).expect("transport") {
+        Some(ServerFrame::Error { code, .. }) => assert_eq!(code, want),
+        other => panic!("expected {want:?} error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_frame_then_disconnect_does_not_kill_the_daemon() {
+    let (addr, handle) = spawn_server();
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        // A length prefix promising 100 bytes, then only 3, then hang up.
+        raw.write_all(&100u32.to_le_bytes()).unwrap();
+        raw.write_all(&[0x01, 0x02, 0x03]).unwrap();
+    }
+    assert_alive(addr);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_unbounded_allocation() {
+    let (addr, handle) = spawn_server();
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        raw.write_all(&[0u8; 64]).unwrap();
+        // The server may send an ERROR and/or just drop us; either way it
+        // must survive.
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_alive(addr);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_opcode_gets_an_error_and_the_connection_survives() {
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(addr).expect("connect");
+    // Hand-craft a frame with opcode 0x7E.
+    let mut raw = TcpStream::connect(addr).expect("second connect");
+    raw.write_all(&1u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0x7E]).unwrap();
+    drop(raw);
+    // The well-behaved client still works throughout.
+    client.ping(7).expect("ping");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Pong { token: 7 })
+    ));
+    assert_alive(addr);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_opcode_error_arrives_on_the_offending_connection() {
+    use pit_serve::protocol::{decode_server, FrameReader, ReadOutcome};
+    let (addr, handle) = spawn_server();
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.write_all(&1u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0x7F]).unwrap();
+    raw.flush().unwrap();
+    raw.set_read_timeout(Some(RECV_TIMEOUT)).unwrap();
+    let mut reader = FrameReader::new(raw);
+    let body = loop {
+        match reader.poll().expect("read") {
+            ReadOutcome::Frame(body) => break body,
+            ReadOutcome::WouldBlock => continue,
+            ReadOutcome::Eof => panic!("server hung up instead of replying"),
+        }
+    };
+    match decode_server(&body).expect("reply decodes") {
+        ServerFrame::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownOpcode),
+        other => panic!("expected unknown-opcode error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn push_before_open_is_an_unknown_stream_error() {
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(addr).expect("connect");
+    client.push(3, 1, &[0.5]).expect("send");
+    expect_error(&mut client, ErrorCode::UnknownStream);
+    assert_alive(addr);
+    handle.shutdown();
+}
+
+#[test]
+fn close_before_open_is_an_unknown_stream_error() {
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(addr).expect("connect");
+    client.close(3).expect("send");
+    expect_error(&mut client, ErrorCode::UnknownStream);
+    handle.shutdown();
+}
+
+#[test]
+fn duplicate_open_is_rejected() {
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(addr).expect("connect");
+    client.open(1).expect("send");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Opened { stream_id: 1 })
+    ));
+    client.open(1).expect("send");
+    expect_error(&mut client, ErrorCode::DuplicateStream);
+    handle.shutdown();
+}
+
+#[test]
+fn wrong_channel_count_is_a_bad_frame() {
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(addr).expect("connect");
+    client.open(0).expect("send");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Opened { .. })
+    ));
+    // The tiny plan takes 1 channel; push 3-channel samples.
+    client.push(0, 3, &[0.1, 0.2, 0.3]).expect("send");
+    expect_error(&mut client, ErrorCode::BadFrame);
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_push_body_is_a_bad_frame_not_a_panic() {
+    let (addr, handle) = spawn_server();
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    // PUSH claiming 4 timesteps × 1 channel but carrying one value.
+    let mut body = vec![0x02];
+    body.extend_from_slice(&0u32.to_le_bytes());
+    body.extend_from_slice(&4u32.to_le_bytes());
+    body.extend_from_slice(&1u32.to_le_bytes());
+    body.extend_from_slice(&1.0f32.to_le_bytes());
+    raw.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+    raw.write_all(&body).unwrap();
+    raw.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    assert_alive(addr);
+    handle.shutdown();
+}
+
+#[test]
+fn random_garbage_streams_never_panic_the_daemon() {
+    let (addr, handle) = spawn_server();
+    let mut state = 0x12345678u32;
+    for round in 0..8 {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        let mut junk = Vec::with_capacity(512);
+        for _ in 0..512 {
+            // Tiny xorshift so the junk is deterministic.
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            junk.push(state as u8);
+        }
+        // Prefix half the rounds with a plausible small length so the
+        // garbage lands in the decoder rather than the length check.
+        if round % 2 == 0 {
+            let _ = raw.write_all(&64u32.to_le_bytes());
+        }
+        let _ = raw.write_all(&junk);
+        drop(raw);
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    assert_alive(addr);
+    handle.shutdown();
+}
+
+#[test]
+fn corrupt_artifacts_fail_to_boot_with_an_error() {
+    let dir = std::env::temp_dir().join(format!("pit-serve-hardening-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let plan = tiny_plan();
+    let good = plan.to_artifact_string();
+
+    // Bad base64 payload.
+    let bad_b64 = good.replacen("\"weight\": \"", "\"weight\": \"####", 1);
+    // Wrong tensor length (valid base64 of too few floats).
+    let start = good.find("\"weight\": \"").unwrap() + "\"weight\": \"".len();
+    let end = start + good[start..].find('"').unwrap();
+    let mut short = good.clone();
+    short.replace_range(start..end, &pit_tensor::json::encode_f32s(&[0.5]));
+    // Not JSON at all.
+    let not_json = "\u{90}\u{0}this is not an artifact".to_string();
+
+    for (name, text) in [
+        ("bad_b64.json", bad_b64),
+        ("short.json", short),
+        ("not_json.json", not_json),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, text).expect("write corrupt artifact");
+        let err = Server::bind_artifact(&path, ServerConfig::default())
+            .err()
+            .unwrap_or_else(|| panic!("{name} must be rejected"));
+        assert!(!err.is_empty());
+    }
+
+    // Non-regular files (directories, FIFOs, device nodes) must be refused
+    // before any read — a LOAD_MODEL of /dev/zero must not hang the boot.
+    let err = Server::bind_artifact(&dir, ServerConfig::default())
+        .err()
+        .expect("a directory must be rejected");
+    assert!(err.contains("regular file"), "{err}");
+
+    // And LOAD_MODEL of a corrupt file at runtime errors without killing
+    // the daemon.
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .send(&ClientFrame::LoadModel {
+            path: dir.join("bad_b64.json").display().to_string(),
+        })
+        .expect("send");
+    expect_error(&mut client, ErrorCode::LoadFailed);
+    assert_alive(addr);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

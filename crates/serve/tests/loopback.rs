@@ -1,0 +1,513 @@
+//! End-to-end loopback tests: a real daemon on an ephemeral port, real TCP
+//! clients, and emissions checked against solo `Session` /
+//! `QuantizedSession` runs — within 1e-5 for f32, bit-for-bit for int8.
+
+use pit_infer::{compile_temponet, InferencePlan, QuantizedPlan, QuantizedSession, Session};
+use pit_models::{TempoNet, TempoNetConfig};
+use pit_nas::SearchableNetwork;
+use pit_serve::{
+    Client, ClientFrame, CloseReason, ErrorCode, ServeEngine, Server, ServerConfig, ServerFrame,
+    StatsSnapshot,
+};
+use pit_tensor::init;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+const C: usize = 4;
+const RECV_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn searched_plan(seed: u64) -> Arc<InferencePlan> {
+    let cfg = TempoNetConfig::scaled(8, 64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = TempoNet::new(&mut rng, &cfg);
+    net.set_dilations(&cfg.hand_tuned_dilations());
+    Arc::new(compile_temponet(&net))
+}
+
+fn quantized_plan(plan: &InferencePlan, seed: u64) -> Arc<QuantizedPlan> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = init::uniform(&mut rng, &[1, C, 64], 1.0);
+    Arc::new(QuantizedPlan::quantize(plan, std::slice::from_ref(&x)).unwrap())
+}
+
+fn random_stream(rng: &mut StdRng, steps: usize) -> Vec<f32> {
+    (0..steps * C).map(|_| rng.gen::<f32>() - 0.5).collect()
+}
+
+/// Drains EMIT frames for one single-stream client until `want` output
+/// vectors arrived (other frame kinds are ignored).
+fn collect_emissions(client: &mut Client, want: usize, dim: usize) -> Vec<Vec<f32>> {
+    let mut out = Vec::new();
+    while out.len() < want {
+        match client
+            .recv_timeout(RECV_TIMEOUT)
+            .expect("transport healthy")
+            .expect("emissions arrive before the timeout")
+        {
+            ServerFrame::Emit { outputs, .. } => {
+                for chunk in outputs.chunks_exact(dim) {
+                    out.push(chunk.to_vec());
+                }
+            }
+            ServerFrame::Opened { .. } | ServerFrame::Closed { .. } => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(out.len(), want, "no extra emissions expected");
+    out
+}
+
+fn assert_f32_close(got: &[Vec<f32>], want: &[Vec<f32>], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: emission count");
+    for (a, b) in got.iter().zip(want.iter()) {
+        assert_eq!(a.len(), b.len(), "{label}: output dim");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-5, "{label}: {x} vs {y}");
+        }
+    }
+}
+
+/// 16 concurrent client threads (one connection + one stream each), ragged
+/// stream lengths and staggered open/close, against one daemon. Shared
+/// scenario for both engines.
+fn sixteen_ragged_streams(engine: ServeEngine, mut solo: impl FnMut(&[f32]) -> Vec<Vec<f32>>) {
+    const STREAMS: usize = 16;
+    let server = Server::bind(engine, ServerConfig::default()).expect("bind ephemeral");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    // Ragged lengths: 8..=68 steps, deliberately crossing the pooled
+    // emission period (8) unevenly.
+    let inputs: Vec<Vec<f32>> = (0..STREAMS)
+        .map(|i| random_stream(&mut rng, 8 + 4 * i))
+        .collect();
+
+    let dim = 1usize;
+    let workers: Vec<_> = inputs
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, input)| {
+            std::thread::spawn(move || -> Vec<Vec<f32>> {
+                // Stagger connects and disconnects.
+                std::thread::sleep(Duration::from_millis((i as u64 % 5) * 3));
+                let mut client = Client::connect(addr).expect("connect");
+                client.open(i as u32).expect("open");
+                let steps = input.len() / C;
+                // Push in ragged bursts: single samples for even streams,
+                // multi-step bursts for odd ones.
+                let burst = if i % 2 == 0 { 1 } else { 5 };
+                let mut pushed = 0;
+                while pushed < steps {
+                    let take = burst.min(steps - pushed);
+                    client
+                        .push(i as u32, C as u32, &input[pushed * C..(pushed + take) * C])
+                        .expect("push");
+                    pushed += take;
+                }
+                let want = steps / 8; // three stride-2 pools → emit every 8
+                let out = collect_emissions(&mut client, want, dim);
+                client.close(i as u32).expect("close");
+                out
+            })
+        })
+        .collect();
+
+    let results: Vec<Vec<Vec<f32>>> = workers
+        .into_iter()
+        .map(|w| w.join().expect("worker"))
+        .collect();
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.streams_opened, STREAMS as u64);
+    assert_eq!(
+        stats.timesteps_in,
+        inputs.iter().map(|i| (i.len() / C) as u64).sum::<u64>()
+    );
+    assert!(stats.waves > 0);
+
+    for (i, (input, got)) in inputs.iter().zip(results.iter()).enumerate() {
+        let want = solo(input);
+        assert_f32_close(got, &want, &format!("stream {i}"));
+    }
+}
+
+#[test]
+fn f32_sixteen_ragged_streams_match_solo_sessions() {
+    let plan = searched_plan(1);
+    let solo_plan = Arc::clone(&plan);
+    sixteen_ragged_streams(ServeEngine::F32(plan), move |input| {
+        let mut session = Session::new(Arc::clone(&solo_plan));
+        input.chunks(C).filter_map(|s| session.push(s)).collect()
+    });
+}
+
+#[test]
+fn i8_sixteen_ragged_streams_match_solo_sessions_bit_for_bit() {
+    let plan = searched_plan(2);
+    let qplan = quantized_plan(&plan, 3);
+    let solo_plan = Arc::clone(&qplan);
+    // The shared scenario checks 1e-5; int8 must actually be bit-exact, so
+    // re-check equality inside the solo closure by returning the session's
+    // own outputs and comparing exactly below.
+    let server = Server::bind(ServeEngine::I8(Arc::clone(&qplan)), ServerConfig::default())
+        .expect("bind ephemeral");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let inputs: Vec<Vec<f32>> = (0..16)
+        .map(|i| random_stream(&mut rng, 16 + 3 * i))
+        .collect();
+    let workers: Vec<_> = inputs
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, input)| {
+            std::thread::spawn(move || -> Vec<Vec<f32>> {
+                let mut client = Client::connect(addr).expect("connect");
+                client.open(900 + i as u32).expect("open");
+                let steps = input.len() / C;
+                client.push(900 + i as u32, C as u32, &input).expect("push");
+                collect_emissions(&mut client, steps / 8, 1)
+            })
+        })
+        .collect();
+    let results: Vec<Vec<Vec<f32>>> = workers
+        .into_iter()
+        .map(|w| w.join().expect("worker"))
+        .collect();
+    handle.shutdown();
+
+    for (i, (input, got)) in inputs.iter().zip(results.iter()).enumerate() {
+        let mut session = QuantizedSession::new(Arc::clone(&solo_plan));
+        let want: Vec<Vec<f32>> = input.chunks(C).filter_map(|s| session.push(s)).collect();
+        assert_eq!(got, &want, "stream {i} must be bit-exact");
+    }
+}
+
+#[test]
+fn graceful_drain_delivers_pending_emissions_and_closed_frames() {
+    let plan = searched_plan(4);
+    let solo_plan = Arc::clone(&plan);
+    let server = Server::bind(
+        ServeEngine::F32(plan),
+        ServerConfig {
+            // A slow tick so the shutdown lands while timesteps are queued.
+            tick: Duration::from_millis(250),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut rng = StdRng::seed_from_u64(13);
+    let input = random_stream(&mut rng, 16);
+    let mut client = Client::connect(addr).expect("connect");
+    client.open(5).expect("open");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Opened { stream_id: 5 })
+    ));
+    // First burst flushes in the immediate first wave; the second lands
+    // inside the 250 ms tick window and is still queued at shutdown — the
+    // drain must flush it.
+    client.push(5, C as u32, &input[..8 * C]).expect("push");
+    std::thread::sleep(Duration::from_millis(30));
+    client.push(5, C as u32, &input[8 * C..]).expect("push");
+    std::thread::sleep(Duration::from_millis(30));
+    let stats = handle.shutdown();
+    assert_eq!(stats.timesteps_in, 16);
+    assert_eq!(stats.emissions_out, 2);
+
+    let mut outputs = Vec::new();
+    let mut closed = false;
+    while let Ok(Some(frame)) = client.recv_timeout(Duration::from_secs(2)) {
+        match frame {
+            ServerFrame::Emit { outputs: o, .. } => {
+                outputs.extend(o.chunks_exact(1).map(|c| c.to_vec()))
+            }
+            ServerFrame::Closed { stream_id, reason } => {
+                assert_eq!(stream_id, 5);
+                assert_eq!(reason, CloseReason::Drained);
+                closed = true;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+        if closed && outputs.len() >= 2 {
+            break;
+        }
+    }
+    assert!(closed, "drain must notify the stream");
+    let mut session = Session::new(solo_plan);
+    let want: Vec<Vec<f32>> = input.chunks(C).filter_map(|s| session.push(s)).collect();
+    assert_f32_close(&outputs, &want, "drained stream");
+}
+
+#[test]
+fn idle_streams_are_evicted_and_slots_recycled() {
+    let plan = searched_plan(5);
+    let server = Server::bind(
+        ServeEngine::F32(plan),
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(50)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.open(1).expect("open");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Opened { stream_id: 1 })
+    ));
+    // Stop pushing; the stream must be evicted.
+    let frame = client.recv_timeout(RECV_TIMEOUT).unwrap();
+    assert!(
+        matches!(
+            frame,
+            Some(ServerFrame::Closed {
+                stream_id: 1,
+                reason: CloseReason::IdleEvicted,
+            })
+        ),
+        "expected eviction, got {frame:?}"
+    );
+    // The id is free again on this connection.
+    client.open(1).expect("reopen");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Opened { stream_id: 1 })
+    ));
+    let stats = handle.shutdown();
+    assert_eq!(stats.streams_evicted, 1);
+    assert_eq!(stats.streams_opened, 2);
+}
+
+#[test]
+fn backpressure_cap_rejects_oversized_pushes() {
+    let plan = searched_plan(6);
+    let server = Server::bind(
+        ServeEngine::F32(plan),
+        ServerConfig {
+            max_pending_per_conn: 12,
+            // A leisurely tick so later bursts land while earlier ones are
+            // still queued.
+            tick: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.open(0).expect("open");
+    let mut rng = StdRng::seed_from_u64(17);
+    let burst = random_stream(&mut rng, 8);
+    // Three 8-step bursts against a 12-step cap: wherever the first wave
+    // lands relative to these, at least one burst finds ≥ 8 steps already
+    // queued and must be rejected.
+    client.push(0, C as u32, &burst).expect("push 1");
+    client.push(0, C as u32, &burst).expect("push 2");
+    client.push(0, C as u32, &burst).expect("push 3");
+    let mut saw_backpressure = false;
+    for _ in 0..8 {
+        match client.recv_timeout(Duration::from_secs(2)).unwrap() {
+            Some(ServerFrame::Error { code, .. }) => {
+                assert_eq!(code, ErrorCode::Backpressure);
+                saw_backpressure = true;
+                break;
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+    assert!(saw_backpressure, "a burst must trip the cap");
+    let stats = handle.shutdown();
+    assert!(
+        stats.frames_rejected >= 1,
+        "rejected: {}",
+        stats.frames_rejected
+    );
+    assert!(
+        stats.timesteps_in <= 16,
+        "rejected bursts must not enqueue (got {})",
+        stats.timesteps_in
+    );
+}
+
+#[test]
+fn stats_frame_reports_live_counters() {
+    let plan = searched_plan(8);
+    let server = Server::bind(ServeEngine::F32(plan), ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.open(0).expect("open");
+    let mut rng = StdRng::seed_from_u64(19);
+    client
+        .push(0, C as u32, &random_stream(&mut rng, 16))
+        .expect("push");
+    let _ = collect_emissions(&mut client, 2, 1);
+    client.ping(0xDEAD).expect("ping");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Pong { token: 0xDEAD })
+    ));
+    client.stats().expect("stats");
+    let Some(ServerFrame::StatsJson { json }) = client.recv_timeout(RECV_TIMEOUT).unwrap() else {
+        panic!("expected stats json")
+    };
+    let snap = StatsSnapshot::from_json_str(&json).expect("stats json parses");
+    assert_eq!(snap.kind, "f32");
+    assert_eq!(snap.model, "TEMPONet-plan");
+    assert_eq!(snap.streams_open, 1);
+    assert_eq!(snap.timesteps_in, 16);
+    assert_eq!(snap.emissions_out, 2);
+    assert!(snap.waves > 0 && snap.wave_p50_ns > 0);
+    assert!(snap.wave_occupancy > 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn server_boots_from_artifact_file_and_hot_swaps_models() {
+    let plan = searched_plan(9);
+    let qplan = quantized_plan(&plan, 10);
+    let dir = std::env::temp_dir().join(format!("pit-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let f32_path = dir.join("model_f32.json");
+    let i8_path = dir.join("model_i8.json");
+    std::fs::write(&f32_path, plan.to_artifact_string()).expect("write f32 artifact");
+    std::fs::write(&i8_path, qplan.to_artifact_string()).expect("write i8 artifact");
+
+    // Boot from the f32 file.
+    let server = Server::bind_artifact(&f32_path, ServerConfig::default()).expect("boot");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A LOAD_MODEL while a stream is open must be refused.
+    client.open(0).expect("open");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Opened { .. })
+    ));
+    client
+        .send(&ClientFrame::LoadModel {
+            path: i8_path.display().to_string(),
+        })
+        .expect("send");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Error {
+            code: ErrorCode::StreamsActive,
+            ..
+        })
+    ));
+
+    // After closing, the swap to the int8 artifact goes through.
+    client.close(0).expect("close");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Closed { .. })
+    ));
+    client
+        .send(&ClientFrame::LoadModel {
+            path: i8_path.display().to_string(),
+        })
+        .expect("send");
+    let Some(ServerFrame::ModelLoaded { name }) = client.recv_timeout(RECV_TIMEOUT).unwrap() else {
+        panic!("expected model swap")
+    };
+    assert_eq!(name, "TEMPONet-plan-int8");
+
+    // A nonexistent path fails cleanly, daemon stays up.
+    client
+        .send(&ClientFrame::LoadModel {
+            path: dir.join("missing.json").display().to_string(),
+        })
+        .expect("send");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Error {
+            code: ErrorCode::LoadFailed,
+            ..
+        })
+    ));
+
+    // And the swapped-in int8 engine actually serves.
+    client.open(1).expect("open on i8");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Opened { .. })
+    ));
+    let mut rng = StdRng::seed_from_u64(23);
+    let input = random_stream(&mut rng, 8);
+    client.push(1, C as u32, &input).expect("push");
+    let got = collect_emissions(&mut client, 1, 1);
+    let mut session = QuantizedSession::new(qplan);
+    let want: Vec<Vec<f32>> = input.chunks(C).filter_map(|s| session.push(s)).collect();
+    assert_eq!(got, want, "swapped model must serve bit-exactly");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disconnect_without_close_frees_the_streams() {
+    let plan = searched_plan(12);
+    let server = Server::bind(
+        ServeEngine::F32(plan),
+        ServerConfig {
+            max_streams: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    {
+        let mut doomed = Client::connect(addr).expect("connect");
+        doomed.open(0).expect("open");
+        doomed.open(1).expect("open");
+        assert!(matches!(
+            doomed.recv_timeout(RECV_TIMEOUT).unwrap(),
+            Some(ServerFrame::Opened { .. })
+        ));
+        assert!(matches!(
+            doomed.recv_timeout(RECV_TIMEOUT).unwrap(),
+            Some(ServerFrame::Opened { .. })
+        ));
+        // Dropped here: the TCP connection closes without CLOSE frames.
+    }
+
+    // The server must reclaim both slots; a new client can fill the pool.
+    let mut client = Client::connect(addr).expect("connect");
+    let deadline = std::time::Instant::now() + RECV_TIMEOUT;
+    loop {
+        client.open(7).expect("open");
+        match client.recv_timeout(RECV_TIMEOUT).unwrap() {
+            Some(ServerFrame::Opened { stream_id: 7 }) => break,
+            Some(ServerFrame::Error {
+                code: ErrorCode::ServerFull,
+                ..
+            }) if std::time::Instant::now() < deadline => {
+                // Disconnect cleanup is asynchronous; retry.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.streams_open, 0);
+}

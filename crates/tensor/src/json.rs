@@ -315,6 +315,141 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Binary payloads
+// ---------------------------------------------------------------------------
+//
+// JSON has no byte-array type, so weight payloads (the `pit-arch/2` model
+// artifacts) travel as base64 strings of little-endian bytes. The codec is
+// hand-rolled for the same reason the JSON above is: the vendored serde stub
+// cannot serialise, and no base64 crate is reachable from the build
+// environment.
+
+const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard (RFC 4648, padded) base64.
+pub fn encode_base64(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(BASE64_ALPHABET[(triple >> 18) as usize & 63] as char);
+        out.push(BASE64_ALPHABET[(triple >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            BASE64_ALPHABET[(triple >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            BASE64_ALPHABET[triple as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn base64_value(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some((c - b'A') as u32),
+        b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+        b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes standard padded base64.
+///
+/// # Errors
+///
+/// Returns a message on characters outside the alphabet, a length that is
+/// not a multiple of four, or misplaced padding.
+pub fn decode_base64(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!(
+            "base64 length {} is not a multiple of four",
+            bytes.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = quad.iter().filter(|&&c| c == b'=').count();
+        if pad > 0 && (!last || pad > 2 || quad[..4 - pad].contains(&b'=')) {
+            return Err(format!("misplaced base64 padding near byte {}", i * 4));
+        }
+        let mut triple = 0u32;
+        for (j, &c) in quad.iter().enumerate() {
+            let v = if c == b'=' {
+                0
+            } else {
+                base64_value(c)
+                    .ok_or_else(|| format!("invalid base64 character at byte {}", i * 4 + j))?
+            };
+            triple |= v << (18 - 6 * j);
+        }
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// Encodes `f32` values as base64 of their little-endian bytes — the weight
+/// payload encoding of the `pit-arch/2` artifact format.
+pub fn encode_f32s(values: &[f32]) -> String {
+    let mut bytes = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    encode_base64(&bytes)
+}
+
+/// Decodes a base64 string of little-endian `f32` bytes.
+///
+/// # Errors
+///
+/// Returns a message on invalid base64 or a byte count that is not a
+/// multiple of four.
+pub fn decode_f32s(text: &str) -> Result<Vec<f32>, String> {
+    let bytes = decode_base64(text)?;
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!(
+            "f32 payload holds {} bytes, not a multiple of four",
+            bytes.len()
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Encodes `i8` values (int8 weight payloads) as base64, one byte each.
+pub fn encode_i8s(values: &[i8]) -> String {
+    let bytes: Vec<u8> = values.iter().map(|&v| v as u8).collect();
+    encode_base64(&bytes)
+}
+
+/// Decodes a base64 string of `i8` bytes.
+///
+/// # Errors
+///
+/// Returns a message on invalid base64.
+pub fn decode_i8s(text: &str) -> Result<Vec<i8>, String> {
+    Ok(decode_base64(text)?.into_iter().map(|b| b as i8).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,5 +524,62 @@ mod tests {
     fn duplicate_keys_keep_the_last_value() {
         let doc = Json::parse(r#"{"k": 1, "k": 2}"#).unwrap();
         assert_eq!(doc.get("k").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn base64_matches_known_vectors() {
+        // RFC 4648 test vectors cover every padding case.
+        for (plain, encoded) in [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ] {
+            assert_eq!(encode_base64(plain.as_bytes()), encoded);
+            assert_eq!(decode_base64(encoded).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn base64_roundtrips_all_byte_values() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode_base64(&encode_base64(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn base64_rejects_malformed_input() {
+        assert!(decode_base64("abc").is_err()); // not a multiple of 4
+        assert!(decode_base64("ab!d").is_err()); // bad character
+        assert!(decode_base64("a==b").is_err()); // padding inside a quad
+        assert!(decode_base64("Zg==Zg==").is_err()); // padding mid-stream
+        assert!(decode_base64("Z===").is_err()); // more than two pads
+    }
+
+    #[test]
+    fn f32_payload_roundtrips_exactly() {
+        let values = [0.0f32, -1.5, 3.25e-7, f32::MAX, f32::MIN_POSITIVE, -0.0];
+        let text = encode_f32s(&values);
+        let back = decode_f32s(&text).unwrap();
+        assert_eq!(back.len(), values.len());
+        for (a, b) in values.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_payload_rejects_wrong_byte_counts() {
+        // Five bytes survive base64 but are not a whole number of f32s.
+        let text = encode_base64(&[1, 2, 3, 4, 5]);
+        let err = decode_f32s(&text).unwrap_err();
+        assert!(err.contains("multiple of four"), "{err}");
+    }
+
+    #[test]
+    fn i8_payload_roundtrips_the_full_range() {
+        let values: Vec<i8> = (-128..=127).collect();
+        assert_eq!(decode_i8s(&encode_i8s(&values)).unwrap(), values);
     }
 }

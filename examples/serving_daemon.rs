@@ -1,0 +1,200 @@
+//! The full serving story, end to end: search result → weight-bearing
+//! artifact on disk → long-running TCP daemon → a fleet of concurrent
+//! client streams — with emissions verified against solo sessions.
+//!
+//! 1. compile a searched TEMPONet into an f32 plan, calibrate + quantize it,
+//!    and write **both** as `pit-arch/2` artifacts (weights included);
+//! 2. boot `pit-serve` from the int8 artifact *file* — the daemon never
+//!    sees model code, a searched network or calibration data;
+//! 3. drive 16 concurrent client connections with ragged stream lengths
+//!    and staggered open/close, and assert every emission is bit-for-bit
+//!    identical to a solo `QuantizedSession`;
+//! 4. hot-swap to the f32 artifact over the wire (LOAD_MODEL) and verify
+//!    the f32 engine serves within 1e-5 of a solo `Session`;
+//! 5. read the STATS counters and drain gracefully.
+//!
+//! Run with: `cargo run --release --example serving_daemon`
+
+use pit::prelude::*;
+use pit_infer::{compile_temponet, QuantizedPlan, QuantizedSession};
+use pit_serve::{Client, ClientFrame, ServerConfig, ServerFrame, StatsSnapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const C: usize = 4;
+const STREAMS: usize = 16;
+const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn main() {
+    // 1. A searched TEMPONet (random weights stand in for a trained model;
+    //    the numerics of serving are identical), compiled and quantized.
+    let config = TempoNetConfig::scaled(8, 64);
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = TempoNet::new(&mut rng, &config);
+    net.set_dilations(&[2, 4, 4, 8, 8, 16, 16]);
+    let plan = Arc::new(compile_temponet(&net));
+    let calibration = pit_tensor::init::uniform(&mut rng, &[1, C, 64], 1.0);
+    let qplan = Arc::new(
+        QuantizedPlan::quantize(&plan, std::slice::from_ref(&calibration)).expect("plan quantizes"),
+    );
+
+    let dir = std::env::temp_dir().join(format!("pit-serving-daemon-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let f32_path = dir.join("temponet_f32.pit2.json");
+    let i8_path = dir.join("temponet_i8.pit2.json");
+    std::fs::write(&f32_path, plan.to_artifact_string()).expect("write f32 artifact");
+    std::fs::write(&i8_path, qplan.to_artifact_string()).expect("write i8 artifact");
+    println!(
+        "artifacts             : {} ({} bytes f32) / {} ({} bytes i8)",
+        f32_path.display(),
+        std::fs::metadata(&f32_path).unwrap().len(),
+        i8_path.display(),
+        std::fs::metadata(&i8_path).unwrap().len(),
+    );
+
+    // 2. Boot the daemon from the int8 artifact file, on an ephemeral port.
+    let server = pit_serve::Server::bind_artifact(&i8_path, ServerConfig::default())
+        .expect("daemon boots from the artifact");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    println!("daemon                : listening on {addr} (kind i8, booted from file)");
+
+    // 3. Sixteen concurrent client connections, ragged lengths (24..=84
+    //    steps), staggered connects, bursty pushes — every emission must be
+    //    bit-for-bit a solo QuantizedSession's output.
+    let mut rng = StdRng::seed_from_u64(1);
+    let inputs: Vec<Vec<f32>> = (0..STREAMS)
+        .map(|i| {
+            (0..(24 + 4 * i) * C)
+                .map(|_| rng.gen::<f32>() - 0.5)
+                .collect()
+        })
+        .collect();
+    let started = Instant::now();
+    let workers: Vec<_> = inputs
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, input)| {
+            std::thread::spawn(move || -> Vec<Vec<f32>> {
+                std::thread::sleep(Duration::from_millis((i % 4) as u64 * 2));
+                let mut client = Client::connect(addr).expect("connect");
+                client.open(i as u32).expect("open");
+                let steps = input.len() / C;
+                let burst = 1 + i % 7; // ragged push sizes
+                let mut pushed = 0;
+                while pushed < steps {
+                    let take = burst.min(steps - pushed);
+                    client
+                        .push(i as u32, C as u32, &input[pushed * C..(pushed + take) * C])
+                        .expect("push");
+                    pushed += take;
+                }
+                let mut outputs = Vec::new();
+                while outputs.len() < steps / 8 {
+                    match client
+                        .recv_timeout(RECV_TIMEOUT)
+                        .expect("transport")
+                        .expect("emissions before timeout")
+                    {
+                        ServerFrame::Emit {
+                            outputs: o, dim, ..
+                        } => {
+                            outputs.extend(o.chunks_exact(dim as usize).map(|c| c.to_vec()));
+                        }
+                        ServerFrame::Opened { .. } => {}
+                        other => panic!("unexpected frame {other:?}"),
+                    }
+                }
+                client.close(i as u32).expect("close");
+                outputs
+            })
+        })
+        .collect();
+    let results: Vec<Vec<Vec<f32>>> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let mut timesteps = 0usize;
+    for (i, (input, got)) in inputs.iter().zip(results.iter()).enumerate() {
+        timesteps += input.len() / C;
+        let mut solo = QuantizedSession::new(Arc::clone(&qplan));
+        let want: Vec<Vec<f32>> = input.chunks(C).filter_map(|s| solo.push(s)).collect();
+        assert_eq!(
+            got, &want,
+            "stream {i}: daemon must be bit-exact vs solo i8"
+        );
+    }
+    let elapsed = started.elapsed();
+    println!(
+        "i8 fleet              : {STREAMS} ragged streams, {timesteps} timesteps in {:.1} ms \
+         ({:.0} timesteps/s) — all emissions bit-exact vs solo sessions",
+        elapsed.as_secs_f64() * 1e3,
+        timesteps as f64 / elapsed.as_secs_f64()
+    );
+
+    // 4. Hot-swap to the f32 artifact over the wire and verify 1e-5 parity.
+    // The workers' CLOSE frames race this connection's LOAD_MODEL through
+    // separate reader threads, so retry while the server still counts their
+    // streams as open.
+    let mut client = Client::connect(addr).expect("connect");
+    let mut swapped = false;
+    for _ in 0..200 {
+        client
+            .send(&ClientFrame::LoadModel {
+                path: f32_path.display().to_string(),
+            })
+            .expect("send");
+        match client.recv_timeout(RECV_TIMEOUT).unwrap() {
+            Some(ServerFrame::ModelLoaded { name }) => {
+                println!("hot swap              : now serving {name} (f32)");
+                swapped = true;
+                break;
+            }
+            Some(ServerFrame::Error {
+                code: pit_serve::ErrorCode::StreamsActive,
+                ..
+            }) => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            other => panic!("swap failed: {other:?}"),
+        }
+    }
+    assert!(swapped, "workers' streams never finished closing");
+    let f32_input: Vec<f32> = (0..32 * C).map(|_| rng.gen::<f32>() - 0.5).collect();
+    client.open(0).expect("open");
+    client.push(0, C as u32, &f32_input).expect("push");
+    let mut got = Vec::new();
+    while got.len() < 32 / 8 {
+        match client.recv_timeout(RECV_TIMEOUT).unwrap().expect("frames") {
+            ServerFrame::Emit { outputs, dim, .. } => {
+                got.extend(outputs.chunks_exact(dim as usize).map(|c| c.to_vec()));
+            }
+            ServerFrame::Opened { .. } => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    let mut solo = Session::new(Arc::clone(&plan));
+    let want: Vec<Vec<f32>> = f32_input.chunks(C).filter_map(|s| solo.push(s)).collect();
+    for (a, b) in got.iter().zip(want.iter()) {
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-5, "f32 serving parity: {x} vs {y}");
+        }
+    }
+    println!("f32 parity            : swapped engine matches solo Session within 1e-5");
+
+    // 5. Live stats, then graceful drain.
+    client.stats().expect("stats");
+    let Some(ServerFrame::StatsJson { json }) = client.recv_timeout(RECV_TIMEOUT).unwrap() else {
+        panic!("expected stats")
+    };
+    let snap = StatsSnapshot::from_json_str(&json).expect("stats parse");
+    println!(
+        "stats                 : {} waves, occupancy {:.1}, wave p50 {} ns / p99 {} ns",
+        snap.waves, snap.wave_occupancy, snap.wave_p50_ns, snap.wave_p99_ns
+    );
+    let stats = handle.shutdown();
+    println!("drained               : {stats}");
+    assert_eq!(stats.streams_open, 0, "drain closes every stream");
+    assert_eq!(stats.streams_opened, STREAMS as u64 + 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
