@@ -5,14 +5,15 @@
 //! dilated deployment network) and one full PIT search step;
 //! [`infer_suite`] times the serving side (offline tape replay vs the
 //! compiled streaming engine of `pit-infer`), [`quant_suite`] the int8
-//! serving path against its f32 twin, and [`serve_suite`] the `pit-serve`
-//! TCP daemon end to end over loopback. [`run_named_suites`] selects
-//! suites by name. [`records_to_json`]/[`records_from_json`] move the
+//! serving path against its f32 twin, [`serve_suite`] the `pit-serve`
+//! TCP daemon end to end over loopback, and [`scale_suite`] the daemon's
+//! throughput as the stream fleet grows 16 → 4096 across batcher shards.
+//! [`run_named_suites`] selects suites by name. [`records_to_json`]/[`records_from_json`] move the
 //! records through the hand-rolled [`crate::json`] writer (the serde stub
 //! cannot serialise), and [`compare`] diffs a fresh run against a
 //! committed baseline (`BENCH_conv.json`, `BENCH_infer.json`,
-//! `BENCH_int8.json`, `BENCH_serve.json`) — the regression gate CI runs on
-//! every push.
+//! `BENCH_int8.json`, `BENCH_serve.json`, `BENCH_scale.json`) — the
+//! regression gate CI runs on every push.
 
 use crate::json::Json;
 use crate::report::Table;
@@ -665,6 +666,152 @@ pub fn serve_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
     out
 }
 
+/// Thousand-stream scaling suite: ops/sec of the event-driven daemon as the
+/// fleet grows 16 → 256 → 1024 → 4096 streams, plus a 1-shard/4-shard A/B
+/// at 1024 streams. Clients push protocol-v2 PUSH_N frames (8 steps per
+/// stream per round) from several connection threads and drain the
+/// coalesced EMIT_N replies; a round completes when every stream's emission
+/// arrived, so the numbers are honest end-to-end serving throughput,
+/// including the wave tick.
+///
+/// * `scale16_f32/step` — small-fleet f32 run; the suite's machine-speed
+///   anchor (the `_f32/step` rule of [`compare`]).
+/// * `scale256_i8/step`, `scale1024_i8/step`, `scale4096_i8/step` — the
+///   int8 sweep (1024/4096 on four shards).
+/// * `shard1_1024_i8/step` — 1024 streams forced onto a single shard: the
+///   contrast against `scale1024_i8/step` isolates what sharding buys.
+///   On a single-core recording host the two land close together; the gap
+///   opens with physical cores.
+pub fn scale_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
+    use pit_infer::{compile_temponet, QuantizedPlan};
+    use pit_models::{TempoNet, TempoNetConfig};
+    use pit_nas::SearchableNetwork;
+    use pit_serve::{Client, ServeEngine, Server, ServerConfig, ServerFrame};
+    use std::sync::{Arc, Barrier};
+
+    let cfg = TempoNetConfig::scaled(8, 64);
+    let c_in = cfg.input_channels;
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = TempoNet::new(&mut rng, &cfg);
+    net.set_dilations(&cfg.hand_tuned_dilations());
+    let plan = Arc::new(compile_temponet(&net));
+    let x = init::uniform(&mut rng, &[1, c_in, cfg.input_length], 1.0);
+    let qplan = Arc::new(
+        QuantizedPlan::quantize(&plan, std::slice::from_ref(&x)).expect("benchmark plan quantizes"),
+    );
+    // One 8-step burst (the emission period), reused by every stream.
+    let mut burst = Vec::with_capacity(8 * c_in);
+    for t in 0..8 {
+        for ci in 0..c_in {
+            burst.push(x.data()[ci * cfg.input_length + t]);
+        }
+    }
+    let burst = Arc::new(burst);
+
+    // Boots a daemon, spreads `streams` over `conns` connection threads,
+    // and times `samples` phases of `rounds` push-all/drain-all rounds
+    // (after one warmup phase). Returns median ns per timestep.
+    let scale_run =
+        |engine: ServeEngine, streams: usize, conns: usize, shards: usize, rounds: usize| -> f64 {
+            let per_conn = streams / conns;
+            let server = Server::bind(
+                engine,
+                ServerConfig {
+                    max_streams: streams,
+                    shards,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind loopback");
+            let addr = server.local_addr();
+            let handle = server.spawn();
+            let phases = opts.samples + 1; // phase 0 is warmup
+            let barrier = Arc::new(Barrier::new(conns + 1));
+            let workers: Vec<_> = (0..conns)
+                .map(|_| {
+                    let barrier = Arc::clone(&barrier);
+                    let burst = Arc::clone(&burst);
+                    std::thread::spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        for sid in 0..per_conn as u32 {
+                            client.open(sid).expect("open");
+                        }
+                        let entries: Vec<(u32, u32)> =
+                            (0..per_conn as u32).map(|sid| (sid, 8)).collect();
+                        let samples: Vec<f32> =
+                            (0..per_conn).flat_map(|_| burst.iter().copied()).collect();
+                        for _ in 0..phases {
+                            barrier.wait(); // phase start
+                            for _ in 0..rounds {
+                                client
+                                    .push_n(c_in as u32, &entries, &samples)
+                                    .expect("push_n");
+                                // One emission per stream per 8-step round.
+                                let mut got = 0usize;
+                                while got < per_conn {
+                                    match client
+                                        .recv_timeout(std::time::Duration::from_secs(60))
+                                        .expect("transport")
+                                        .expect("emissions before timeout")
+                                    {
+                                        ServerFrame::Emit { count, .. } => got += count as usize,
+                                        ServerFrame::EmitN { entries, .. } => {
+                                            got += entries
+                                                .iter()
+                                                .map(|&(_, n)| n as usize)
+                                                .sum::<usize>()
+                                        }
+                                        ServerFrame::Opened { .. } => {}
+                                        other => panic!("unexpected frame {other:?}"),
+                                    }
+                                }
+                            }
+                            barrier.wait(); // phase end
+                        }
+                    })
+                })
+                .collect();
+            let mut timed = Vec::with_capacity(opts.samples);
+            for phase in 0..phases {
+                barrier.wait(); // release workers into the phase
+                let start = Instant::now();
+                barrier.wait(); // workers done
+                if phase > 0 {
+                    let steps = (streams * rounds * 8) as f64;
+                    timed.push(start.elapsed().as_nanos() as f64 / steps);
+                }
+            }
+            for w in workers {
+                w.join().expect("scale worker");
+            }
+            handle.shutdown();
+            timed.sort_by(|a, b| a.total_cmp(b));
+            timed[timed.len() / 2]
+        };
+
+    let record = |op: &str, streams: usize, conns: usize, shards: usize, ns: f64| BenchRecord {
+        suite: "scale".into(),
+        op: op.into(),
+        shape: format!("TEMPONet/8 C{c_in} {streams} streams x{conns} conns shards{shards}"),
+        ns_per_iter: ns,
+        throughput: 1e9 / ns,
+        throughput_unit: "steps/s".into(),
+    };
+
+    let mut out = Vec::new();
+    let ns = scale_run(ServeEngine::F32(Arc::clone(&plan)), 16, 4, 1, 32);
+    out.push(record("scale16_f32/step", 16, 4, 1, ns));
+    let ns = scale_run(ServeEngine::I8(Arc::clone(&qplan)), 256, 8, 4, 8);
+    out.push(record("scale256_i8/step", 256, 8, 4, ns));
+    let ns = scale_run(ServeEngine::I8(Arc::clone(&qplan)), 1024, 32, 1, 4);
+    out.push(record("shard1_1024_i8/step", 1024, 32, 1, ns));
+    let ns = scale_run(ServeEngine::I8(Arc::clone(&qplan)), 1024, 32, 4, 4);
+    out.push(record("scale1024_i8/step", 1024, 32, 4, ns));
+    let ns = scale_run(ServeEngine::I8(Arc::clone(&qplan)), 4096, 32, 4, 2);
+    out.push(record("scale4096_i8/step", 4096, 32, 4, ns));
+    out
+}
+
 /// Runs the training-side suites (the `BENCH_conv.json` record set).
 pub fn run_suites(quick: bool) -> Vec<BenchRecord> {
     let names: Vec<String> = ["conv", "masking", "search"]
@@ -675,7 +822,7 @@ pub fn run_suites(quick: bool) -> Vec<BenchRecord> {
 }
 
 /// Runs suites by name (`conv`, `masking`, `search`, `infer`, `quant`,
-/// `serve`).
+/// `serve`, `scale`).
 ///
 /// # Errors
 ///
@@ -695,6 +842,7 @@ pub fn run_named_suites(names: &[String], quick: bool) -> Result<Vec<BenchRecord
             "infer" => records.extend(infer_suite(&opts)),
             "quant" => records.extend(quant_suite(&opts)),
             "serve" => records.extend(serve_suite(&opts)),
+            "scale" => records.extend(scale_suite(&opts)),
             other => return Err(format!("unknown suite '{other}'")),
         }
     }

@@ -60,6 +60,7 @@ pub mod plan;
 pub mod quant;
 pub mod session;
 pub mod stream;
+pub mod stream_pool;
 
 pub use artifact::{PlanArtifact, ARTIFACT_SCHEMA};
 pub use plan::{
@@ -72,3 +73,4 @@ pub use quant::{
 };
 pub use session::SessionPool;
 pub use stream::Session;
+pub use stream_pool::StreamPool;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pit-serve --artifact MODEL.json [--addr 127.0.0.1:7878] [--max-streams N]
-//!           [--tick-us N] [--idle-ms N] [--max-pending N]
+//!           [--tick-us N] [--idle-ms N] [--max-pending N] [--shards N]
 //! ```
 //!
 //! Boots a serving daemon from a `pit-arch/2` model artifact (f32 or int8 —
@@ -20,14 +20,15 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: pit-serve --artifact MODEL.json [--addr HOST:PORT] [--max-streams N]\n\
-         \u{20}               [--tick-us N] [--idle-ms N] [--max-pending N]\n\
+         \u{20}               [--tick-us N] [--idle-ms N] [--max-pending N] [--shards N]\n\
          \n\
          \u{20} --artifact     pit-arch/2 model artifact to serve (required)\n\
          \u{20} --addr         bind address (default 127.0.0.1:7878)\n\
-         \u{20} --max-streams  concurrent stream cap (default 256)\n\
+         \u{20} --max-streams  concurrent stream cap (default 4096)\n\
          \u{20} --tick-us      wave-batching tick in microseconds (default 200)\n\
          \u{20} --idle-ms      evict streams idle this long; 0 = never (default 0)\n\
-         \u{20} --max-pending  per-connection queued-timestep cap (default 4096)"
+         \u{20} --max-pending  per-connection queued-timestep cap (default 4096)\n\
+         \u{20} --shards       wave-batcher shard threads (default: CPU count, max 8)"
     );
     ExitCode::from(2)
 }
@@ -73,6 +74,10 @@ fn main() -> ExitCode {
             "--max-pending" => match value("--max-pending").and_then(|v| v.parse().ok()) {
                 Some(v) => config.max_pending_per_conn = v,
                 None => return usage(),
+            },
+            "--shards" => match value("--shards").and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.shards = v,
+                _ => return usage(),
             },
             _ => return usage(),
         }

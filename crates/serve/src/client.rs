@@ -1,6 +1,11 @@
 //! A small blocking client for the `pit-serve` protocol — what the
 //! integration tests, benchmarks and examples drive the daemon with, and a
 //! reference implementation for clients in other languages.
+//!
+//! Construction goes through [`ClientBuilder`] (connect/read timeouts,
+//! write batching) and errors are typed [`ServeError`]s;
+//! [`Client::connect`] remains as a thin compatibility constructor with
+//! the defaults and an `io::Result` signature.
 
 use crate::protocol::{
     decode_server, encode_client, ClientFrame, FrameReader, ReadOutcome, ServerFrame,
@@ -9,36 +14,214 @@ use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// What can go wrong talking to a daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport-level failure (connect, read, write).
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode as a protocol frame.
+    Protocol(String),
+    /// The server closed the connection.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "transport error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ServeError> for std::io::Error {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Io(io) => io,
+            ServeError::Protocol(msg) => std::io::Error::new(std::io::ErrorKind::InvalidData, msg),
+            ServeError::Disconnected => std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ),
+        }
+    }
+}
+
+/// Configures and connects a [`Client`].
+///
+/// ```no_run
+/// use pit_serve::ClientBuilder;
+/// use std::time::Duration;
+///
+/// let client = ClientBuilder::new()
+///     .connect_timeout(Duration::from_secs(2))
+///     .read_timeout(Duration::from_secs(10))
+///     .write_batch(64)
+///     .connect("127.0.0.1:7878")
+///     .expect("daemon reachable");
+/// # drop(client);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+    write_batch: usize,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        Self {
+            connect_timeout: None,
+            read_timeout: None,
+            write_batch: 1,
+        }
+    }
+}
+
+impl ClientBuilder {
+    /// A builder with the defaults: block forever on connect and read,
+    /// write every frame immediately (batch size 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gives up on `connect` after `timeout`. Requires the address to
+    /// resolve to at least one socket address.
+    #[must_use]
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Default budget for [`Client::recv`]: with a read timeout set,
+    /// `recv` returns [`ServeError::Io`] (`TimedOut`) instead of blocking
+    /// forever on a silent server. [`Client::recv_timeout`] overrides it
+    /// per call.
+    #[must_use]
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Stages up to `frames` outbound frames in a local buffer before
+    /// writing them with one syscall. Any `recv*` call flushes first, so
+    /// batching never deadlocks request/reply exchanges; call
+    /// [`Client::flush`] to force bytes out early. `0` is treated as `1`.
+    #[must_use]
+    pub fn write_batch(mut self, frames: usize) -> Self {
+        self.write_batch = frames.max(1);
+        self
+    }
+
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on resolution, connect, or socket-option
+    /// failures.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = match self.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                let mut last = None;
+                let mut connected = None;
+                for sock in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sock, timeout) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to no socket addresses",
+                        )
+                    })
+                })?
+            }
+        };
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: FrameReader::new(stream),
+            staged: Vec::new(),
+            staged_frames: 0,
+            write_batch: self.write_batch,
+            read_timeout: self.read_timeout,
+        })
+    }
+}
+
 /// A blocking protocol client over one TCP connection. One connection can
 /// multiplex any number of streams (client-chosen `u32` ids).
 pub struct Client {
     writer: TcpStream,
     reader: FrameReader<TcpStream>,
+    staged: Vec<u8>,
+    staged_frames: usize,
+    write_batch: usize,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects to a running daemon.
+    /// Connects with the default [`ClientBuilder`] settings — the
+    /// compatibility constructor predating the builder.
     ///
     /// # Errors
     ///
     /// Returns connection errors.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
-        Ok(Self {
-            writer,
-            reader: FrameReader::new(stream),
-        })
+        ClientBuilder::new().connect(addr).map_err(Into::into)
     }
 
-    /// Sends one frame.
+    /// Sends one frame (staged until the write batch fills; see
+    /// [`ClientBuilder::write_batch`]).
     ///
     /// # Errors
     ///
     /// Returns transport errors.
-    pub fn send(&mut self, frame: &ClientFrame) -> std::io::Result<()> {
-        self.writer.write_all(&encode_client(frame))
+    pub fn send(&mut self, frame: &ClientFrame) -> Result<(), ServeError> {
+        self.staged.extend_from_slice(&encode_client(frame));
+        self.staged_frames += 1;
+        if self.staged_frames >= self.write_batch {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes out any staged frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn flush(&mut self) -> Result<(), ServeError> {
+        if !self.staged.is_empty() {
+            self.writer.write_all(&self.staged)?;
+            self.staged.clear();
+        }
+        self.staged_frames = 0;
+        Ok(())
     }
 
     /// Sends OPEN for a connection-scoped stream id.
@@ -46,7 +229,7 @@ impl Client {
     /// # Errors
     ///
     /// Returns transport errors.
-    pub fn open(&mut self, stream_id: u32) -> std::io::Result<()> {
+    pub fn open(&mut self, stream_id: u32) -> Result<(), ServeError> {
         self.send(&ClientFrame::Open { stream_id })
     }
 
@@ -55,10 +238,37 @@ impl Client {
     /// # Errors
     ///
     /// Returns transport errors.
-    pub fn push(&mut self, stream_id: u32, channels: u32, samples: &[f32]) -> std::io::Result<()> {
+    pub fn push(
+        &mut self,
+        stream_id: u32,
+        channels: u32,
+        samples: &[f32],
+    ) -> Result<(), ServeError> {
         self.send(&ClientFrame::Push {
             stream_id,
             channels,
+            samples: samples.to_vec(),
+        })
+    }
+
+    /// Sends one protocol-v2 PUSH_N frame carrying timesteps for several
+    /// streams: `entries` lists `(stream_id, timestep_count)` and
+    /// `samples` concatenates the per-stream values in entry order. The
+    /// server replies with coalesced EMIT_N frames on this connection from
+    /// then on.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn push_n(
+        &mut self,
+        channels: u32,
+        entries: &[(u32, u32)],
+        samples: &[f32],
+    ) -> Result<(), ServeError> {
+        self.send(&ClientFrame::PushN {
+            channels,
+            entries: entries.to_vec(),
             samples: samples.to_vec(),
         })
     }
@@ -68,7 +278,7 @@ impl Client {
     /// # Errors
     ///
     /// Returns transport errors.
-    pub fn close(&mut self, stream_id: u32) -> std::io::Result<()> {
+    pub fn close(&mut self, stream_id: u32) -> Result<(), ServeError> {
         self.send(&ClientFrame::Close { stream_id })
     }
 
@@ -77,7 +287,7 @@ impl Client {
     /// # Errors
     ///
     /// Returns transport errors.
-    pub fn ping(&mut self, token: u64) -> std::io::Result<()> {
+    pub fn ping(&mut self, token: u64) -> Result<(), ServeError> {
         self.send(&ClientFrame::Ping { token })
     }
 
@@ -86,22 +296,33 @@ impl Client {
     /// # Errors
     ///
     /// Returns transport errors.
-    pub fn stats(&mut self) -> std::io::Result<()> {
+    pub fn stats(&mut self) -> Result<(), ServeError> {
         self.send(&ClientFrame::Stats)
     }
 
-    /// Blocks until the next server frame arrives.
+    /// Blocks until the next server frame arrives (bounded by the
+    /// builder's [`ClientBuilder::read_timeout`], if one was set).
     ///
     /// # Errors
     ///
-    /// Returns transport errors, `UnexpectedEof` when the server hung up,
-    /// and `InvalidData` when the body does not decode.
-    pub fn recv(&mut self) -> std::io::Result<ServerFrame> {
-        loop {
-            match self.recv_step()? {
-                Some(frame) => return Ok(frame),
-                None => continue,
-            }
+    /// [`ServeError::Io`] on transport errors (`TimedOut` when the read
+    /// timeout lapses), [`ServeError::Disconnected`] when the server hung
+    /// up, [`ServeError::Protocol`] when the body does not decode.
+    pub fn recv(&mut self) -> Result<ServerFrame, ServeError> {
+        self.flush()?;
+        match self.read_timeout {
+            None => loop {
+                match self.recv_step()? {
+                    Some(frame) => return Ok(frame),
+                    None => continue,
+                }
+            },
+            Some(timeout) => self.recv_timeout(timeout)?.ok_or_else(|| {
+                ServeError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "no frame within the client read timeout",
+                ))
+            }),
         }
     }
 
@@ -111,7 +332,8 @@ impl Client {
     /// # Errors
     ///
     /// As [`Client::recv`].
-    pub fn recv_timeout(&mut self, timeout: Duration) -> std::io::Result<Option<ServerFrame>> {
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<ServerFrame>, ServeError> {
+        self.flush()?;
         let deadline = std::time::Instant::now() + timeout;
         let result = loop {
             // Re-arm each read with the *remaining* budget, not the full
@@ -135,20 +357,14 @@ impl Client {
     }
 
     /// One poll step: `Ok(Some)` on a frame, `Ok(None)` on a read timeout.
-    fn recv_step(&mut self) -> std::io::Result<Option<ServerFrame>> {
+    fn recv_step(&mut self) -> Result<Option<ServerFrame>, ServeError> {
         match self.reader.poll() {
             Ok(ReadOutcome::Frame(body)) => decode_server(&body)
                 .map(Some)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
+                .map_err(|e| ServeError::Protocol(e.to_string())),
             Ok(ReadOutcome::WouldBlock) => Ok(None),
-            Ok(ReadOutcome::Eof) => Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )),
-            Err(e) => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                e.to_string(),
-            )),
+            Ok(ReadOutcome::Eof) => Err(ServeError::Disconnected),
+            Err(e) => Err(ServeError::Protocol(e.to_string())),
         }
     }
 }

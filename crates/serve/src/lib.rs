@@ -3,25 +3,30 @@
 //! The serving daemon of the PIT reproduction: a long-running TCP server
 //! that boots from an on-disk `pit-arch/2` model artifact
 //! ([`pit_infer::PlanArtifact`] — weights included, f32 or int8) and
-//! multiplexes many client connections onto the batched session-pool waves
-//! of `pit-infer`.
+//! multiplexes thousands of client streams onto the batched session-pool
+//! waves of `pit-infer`.
 //!
 //! * **Protocol** ([`protocol`]): length-prefixed binary frames — OPEN a
 //!   stream, PUSH timesteps, receive EMIT frames back, CLOSE; plus
-//!   PING/STATS/LOAD_MODEL control frames. Decoding is defensive: malformed
-//!   or hostile input yields ERROR frames, never a daemon panic.
-//! * **Server** ([`server`]): one reader and one bounded-queue writer
-//!   thread per connection, and a single wave-batcher thread that owns the
-//!   [`pit_infer::SessionPool`] / [`pit_infer::QuantizedSessionPool`] —
-//!   every tick, the pending timesteps of *all* connections flush through
-//!   the plan as one batched GEMM per layer per wave. Per-connection
-//!   backpressure caps, idle-stream eviction and graceful drain on
-//!   shutdown are built in.
+//!   PING/STATS/LOAD_MODEL control frames. Protocol v2 adds the coalesced
+//!   PUSH_N/EMIT_N frames carrying many streams' timesteps per frame.
+//!   Decoding is defensive: malformed or hostile input yields ERROR
+//!   frames, never a daemon panic.
+//! * **Server** ([`server`]): an event-driven edge — one thread owning
+//!   every socket through a `poll(2)` readiness loop, no per-connection
+//!   threads — in front of [`ServerConfig::shards`] wave-batcher threads.
+//!   Each shard owns one session-pool shard behind the
+//!   [`pit_infer::StreamPool`] trait (f32 and int8 served by the same
+//!   code); streams pin to a shard at OPEN time, and every tick each
+//!   shard flushes its pending timesteps as one batched GEMM per layer.
+//!   Per-connection backpressure caps, bounded reply buffers, idle-stream
+//!   eviction and graceful drain on shutdown are built in.
 //! * **Stats** ([`stats`]): a [`StatsSnapshot`] counter block (streams
-//!   open, timesteps served, wave occupancy, p50/p99 wave latency) served
-//!   over the STATS frame as JSON.
+//!   open, timesteps served, wave occupancy, p50/p99 wave latency,
+//!   aggregated across shards) served over the STATS frame as JSON.
 //! * **Client** ([`client`]): a small blocking client used by the tests,
-//!   benches and examples.
+//!   benches and examples — [`ClientBuilder`] for timeouts and write
+//!   batching, typed [`ServeError`]s.
 //!
 //! ```no_run
 //! use pit_serve::{Client, Server, ServerConfig};
@@ -41,11 +46,13 @@
 //! ```
 
 pub mod client;
+pub(crate) mod edge;
 pub mod protocol;
 pub mod server;
+pub(crate) mod shard;
 pub mod stats;
 
-pub use client::Client;
+pub use client::{Client, ClientBuilder, ServeError};
 pub use protocol::{ClientFrame, CloseReason, ErrorCode, FrameError, ServerFrame};
 pub use server::{ServeEngine, Server, ServerConfig, ServerHandle};
 pub use stats::StatsSnapshot;

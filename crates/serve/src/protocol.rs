@@ -14,13 +14,27 @@
 //! | →   | `0x04` | PING         | `u64` token                                        |
 //! | →   | `0x05` | STATS        | —                                                  |
 //! | →   | `0x06` | LOAD_MODEL   | UTF-8 artifact path                                |
+//! | →   | `0x07` | PUSH_N       | `u32` channels, `u32` n, n×(`u32` stream, `u32` count), samples |
 //! | ←   | `0x81` | OPENED       | `u32` stream id                                    |
 //! | ←   | `0x82` | EMIT         | `u32` stream, `u32` count, `u32` dim, outputs      |
 //! | ←   | `0x83` | CLOSED       | `u32` stream id, `u8` reason                       |
 //! | ←   | `0x84` | PONG         | `u64` token                                        |
 //! | ←   | `0x85` | STATS_JSON   | UTF-8 JSON (a [`crate::StatsSnapshot`])            |
 //! | ←   | `0x86` | MODEL_LOADED | UTF-8 plan name                                    |
+//! | ←   | `0x87` | EMIT_N       | `u32` dim, `u32` n, n×(`u32` stream, `u32` count), outputs |
 //! | ←   | `0xFF` | ERROR        | `u8` code, UTF-8 message                           |
+//!
+//! ## Protocol v2: batched frames
+//!
+//! `PUSH_N`/`EMIT_N` are the v2 additions: one frame carries timesteps for
+//! *many streams at once*, amortizing the length prefix, opcode dispatch and
+//! — far more importantly — the per-frame syscalls across a whole fleet of
+//! streams on the connection. Samples/outputs are concatenated in entry
+//! order, each entry contributing `count × channels` (resp. `count × dim`)
+//! values, timestep-major. v1 single-stream frames keep working unchanged: a
+//! connection opts into v2 replies simply by sending any `PUSH_N` — from
+//! then on the server coalesces each wave's emissions into `EMIT_N` frames
+//! (v1 connections keep receiving per-stream `EMIT`).
 //!
 //! Decoding is defensive by construction: bodies are bounded by
 //! [`MAX_FRAME_BODY`] before any allocation, every multi-byte field checks
@@ -136,6 +150,18 @@ pub enum ClientFrame {
         /// Path to a `pit-arch/2` artifact on the server host.
         path: String,
     },
+    /// Protocol v2: push timesteps for many streams in one frame. Sending
+    /// this opts the connection into coalesced [`ServerFrame::EmitN`]
+    /// replies.
+    PushN {
+        /// Channels per timestep (must match the served plan).
+        channels: u32,
+        /// `(stream_id, timestep count)` per stream, in payload order.
+        entries: Vec<(u32, u32)>,
+        /// Concatenated samples: `Σ countᵢ × channels` values, entry-major
+        /// then timestep-major.
+        samples: Vec<f32>,
+    },
 }
 
 /// A frame the server sends.
@@ -178,6 +204,17 @@ pub enum ServerFrame {
     ModelLoaded {
         /// Name of the now-served plan.
         name: String,
+    },
+    /// Protocol v2: one wave's emissions for many streams in one frame (sent
+    /// to connections that have pushed with [`ClientFrame::PushN`]).
+    EmitN {
+        /// Values per output vector.
+        dim: u32,
+        /// `(stream_id, output-vector count)` per stream, in payload order.
+        entries: Vec<(u32, u32)>,
+        /// Concatenated outputs: `Σ countᵢ × dim` values, entry-major then
+        /// chronological per stream.
+        outputs: Vec<f32>,
     },
     /// A request failed; the connection stays usable unless the transport
     /// itself broke.
@@ -267,8 +304,26 @@ pub fn encode_client(f: &ClientFrame) -> Vec<u8> {
             body.push(0x06);
             body.extend_from_slice(path.as_bytes());
         }
+        ClientFrame::PushN {
+            channels,
+            entries,
+            samples,
+        } => {
+            body.push(0x07);
+            body.extend_from_slice(&channels.to_le_bytes());
+            put_entries(&mut body, entries);
+            put_f32s(&mut body, samples);
+        }
     }
     frame(body)
+}
+
+fn put_entries(body: &mut Vec<u8>, entries: &[(u32, u32)]) {
+    body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (stream_id, count) in entries {
+        body.extend_from_slice(&stream_id.to_le_bytes());
+        body.extend_from_slice(&count.to_le_bytes());
+    }
 }
 
 /// Encodes a server frame, length prefix included.
@@ -307,6 +362,16 @@ pub fn encode_server(f: &ServerFrame) -> Vec<u8> {
         ServerFrame::ModelLoaded { name } => {
             body.push(0x86);
             body.extend_from_slice(name.as_bytes());
+        }
+        ServerFrame::EmitN {
+            dim,
+            entries,
+            outputs,
+        } => {
+            body.push(0x87);
+            body.extend_from_slice(&dim.to_le_bytes());
+            put_entries(&mut body, entries);
+            put_f32s(&mut body, outputs);
         }
         ServerFrame::Error { code, message } => {
             body.push(0xFF);
@@ -368,6 +433,10 @@ impl<'a> Cursor<'a> {
             .map_err(|_| FrameError::Malformed(format!("{what} is not valid UTF-8")))
     }
 
+    fn remaining(&self) -> usize {
+        self.body.len() - self.pos
+    }
+
     fn finish(self) -> Result<(), FrameError> {
         if self.pos != self.body.len() {
             return Err(FrameError::Malformed(format!(
@@ -389,6 +458,45 @@ fn checked_grid(count: u32, dim: u32, what: &str) -> Result<usize, FrameError> {
         )));
     }
     Ok(total as usize)
+}
+
+/// Decodes a v2 `(stream, count)` entry list. The entry count is
+/// attacker-controlled: it is bounded against the remaining bytes *before*
+/// any allocation, each entry must carry at least one timestep, and the
+/// checked sum `Σ countᵢ × width` is returned for the payload read.
+fn take_entries(
+    c: &mut Cursor,
+    width: u32,
+    what: &str,
+) -> Result<(Vec<(u32, u32)>, usize), FrameError> {
+    let n = c.u32("entry count")?;
+    if n == 0 {
+        return Err(FrameError::Malformed(format!("{what} with zero entries")));
+    }
+    if u64::from(n) * 8 > c.remaining() as u64 {
+        return Err(FrameError::Malformed(format!(
+            "{what} claims {n} entries, beyond the body length"
+        )));
+    }
+    let mut entries = Vec::with_capacity(n as usize);
+    let mut total: u128 = 0;
+    for _ in 0..n {
+        let stream_id = c.u32("entry stream id")?;
+        let count = c.u32("entry count field")?;
+        if count == 0 {
+            return Err(FrameError::Malformed(format!(
+                "{what} entry for stream {stream_id} has zero timesteps"
+            )));
+        }
+        total += u128::from(count) * u128::from(width);
+        entries.push((stream_id, count));
+    }
+    if total * 4 > MAX_FRAME_BODY as u128 {
+        return Err(FrameError::Malformed(format!(
+            "{what} claims {total} values, beyond the frame bound"
+        )));
+    }
+    Ok((entries, total as usize))
 }
 
 /// Decodes one client frame body (without the length prefix).
@@ -431,6 +539,18 @@ pub fn decode_client(body: &[u8]) -> Result<ClientFrame, FrameError> {
         0x06 => ClientFrame::LoadModel {
             path: c.rest_utf8("path")?,
         },
+        0x07 => {
+            let channels = c.u32("channels")?;
+            if channels == 0 {
+                return Err(FrameError::Malformed("PUSH_N with zero channels".into()));
+            }
+            let (entries, total) = take_entries(&mut c, channels, "PUSH_N")?;
+            ClientFrame::PushN {
+                channels,
+                entries,
+                samples: c.f32s(total, "samples")?,
+            }
+        }
         other => return Err(FrameError::UnknownOpcode(other)),
     };
     c.finish()?;
@@ -479,6 +599,18 @@ pub fn decode_server(body: &[u8]) -> Result<ServerFrame, FrameError> {
         0x86 => ServerFrame::ModelLoaded {
             name: c.rest_utf8("name")?,
         },
+        0x87 => {
+            let dim = c.u32("dim")?;
+            if dim == 0 {
+                return Err(FrameError::Malformed("EMIT_N with zero dim".into()));
+            }
+            let (entries, total) = take_entries(&mut c, dim, "EMIT_N")?;
+            ServerFrame::EmitN {
+                dim,
+                entries,
+                outputs: c.f32s(total, "outputs")?,
+            }
+        }
         0xFF => {
             let code = c.u8("error code")?;
             ServerFrame::Error {
@@ -529,31 +661,40 @@ impl std::fmt::Display for ReadError {
     }
 }
 
-/// Incremental, timeout-tolerant frame reader: buffers partial reads so a
-/// read timeout mid-frame never desynchronises the stream (the reader
-/// resumes exactly where it stopped).
-pub struct FrameReader<R> {
-    inner: R,
+/// Incremental frame reassembly decoupled from any transport: feed raw
+/// bytes in with [`FrameAssembler::extend`], take complete frame bodies out
+/// with [`FrameAssembler::next_frame`]. The event-driven edge feeds it from
+/// nonblocking socket reads; [`FrameReader`] wraps it over a blocking
+/// [`Read`] for clients. Partial frames simply stay buffered, so a short
+/// read mid-frame never desynchronises the stream.
+#[derive(Default)]
+pub struct FrameAssembler {
     buf: Vec<u8>,
-    chunk: [u8; 4096],
 }
 
-impl<R: Read> FrameReader<R> {
-    /// Wraps a byte stream (typically a `TcpStream` with a read timeout).
-    pub fn new(inner: R) -> Self {
-        Self {
-            inner,
-            buf: Vec::new(),
-            chunk: [0; 4096],
-        }
+impl FrameAssembler {
+    /// An assembler with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// The wrapped stream.
-    pub fn get_ref(&self) -> &R {
-        &self.inner
+    /// Appends raw bytes off the wire.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
     }
 
-    fn buffered_frame(&mut self) -> Result<Option<Vec<u8>>, ReadError> {
+    /// Bytes currently buffered (complete or partial frames).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame body, if one is fully buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError::Oversized`] when the next length prefix exceeds
+    /// [`MAX_FRAME_BODY`] — fatal, the byte stream can no longer be framed.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ReadError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
@@ -568,6 +709,30 @@ impl<R: Read> FrameReader<R> {
         self.buf.drain(..4 + len);
         Ok(Some(body))
     }
+}
+
+/// Incremental, timeout-tolerant frame reader: a [`FrameAssembler`] over a
+/// blocking byte stream, resuming exactly where a timed-out read stopped.
+pub struct FrameReader<R> {
+    inner: R,
+    assembler: FrameAssembler,
+    chunk: [u8; 4096],
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream (typically a `TcpStream` with a read timeout).
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            assembler: FrameAssembler::new(),
+            chunk: [0; 4096],
+        }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
 
     /// Reads until one complete frame body is available, the read would
     /// block / times out, or the peer hangs up.
@@ -578,12 +743,12 @@ impl<R: Read> FrameReader<R> {
     /// prefix — both fatal to the connection.
     pub fn poll(&mut self) -> Result<ReadOutcome, ReadError> {
         loop {
-            if let Some(body) = self.buffered_frame()? {
+            if let Some(body) = self.assembler.next_frame()? {
                 return Ok(ReadOutcome::Frame(body));
             }
             match self.inner.read(&mut self.chunk) {
                 Ok(0) => return Ok(ReadOutcome::Eof),
-                Ok(n) => self.buf.extend_from_slice(&self.chunk[..n]),
+                Ok(n) => self.assembler.extend(&self.chunk[..n]),
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -652,6 +817,97 @@ mod tests {
             code: ErrorCode::Backpressure,
             message: "slow down".into(),
         });
+        // v2 batched frames.
+        client_roundtrip(ClientFrame::PushN {
+            channels: 2,
+            entries: vec![(7, 2), (9, 1)],
+            samples: vec![1.0, -2.5, 0.0, 3.25, 0.5, 0.5],
+        });
+        server_roundtrip(ServerFrame::EmitN {
+            dim: 2,
+            entries: vec![(7, 1), (9, 2)],
+            outputs: vec![0.5, -0.5, 1.0, 2.0, -1.0, 0.0],
+        });
+    }
+
+    #[test]
+    fn decode_rejects_malformed_push_n_counts() {
+        let frame =
+            |entries: &[(u32, u32)], channels: u32, n_override: Option<u32>, values: usize| {
+                let mut body = vec![0x07];
+                body.extend_from_slice(&channels.to_le_bytes());
+                body.extend_from_slice(&n_override.unwrap_or(entries.len() as u32).to_le_bytes());
+                for (sid, count) in entries {
+                    body.extend_from_slice(&sid.to_le_bytes());
+                    body.extend_from_slice(&count.to_le_bytes());
+                }
+                for _ in 0..values {
+                    body.extend_from_slice(&0.0f32.to_le_bytes());
+                }
+                body
+            };
+        // Zero channels.
+        assert!(matches!(
+            decode_client(&frame(&[(1, 1)], 0, None, 1)).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Zero entries.
+        assert!(matches!(
+            decode_client(&frame(&[], 1, None, 0)).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Entry count far beyond the body: must be rejected before any
+        // allocation, not by running off the end entry-by-entry.
+        assert!(matches!(
+            decode_client(&frame(&[(1, 1)], 1, Some(u32::MAX), 1)).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // An entry with zero timesteps.
+        assert!(matches!(
+            decode_client(&frame(&[(1, 2), (2, 0)], 1, None, 2)).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Per-entry counts that sum past the frame bound.
+        assert!(matches!(
+            decode_client(&frame(&[(1, u32::MAX), (2, u32::MAX)], 64, None, 0)).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Payload shorter than Σ countᵢ × channels.
+        assert!(matches!(
+            decode_client(&frame(&[(1, 2), (2, 2)], 2, None, 3)).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Payload longer than claimed (trailing bytes).
+        assert!(matches!(
+            decode_client(&frame(&[(1, 1)], 1, None, 2)).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // The well-formed version of the same frame decodes.
+        assert!(decode_client(&frame(&[(1, 2), (2, 2)], 2, None, 8)).is_ok());
+    }
+
+    #[test]
+    fn frame_assembler_pops_frames_from_raw_bytes() {
+        let mut asm = FrameAssembler::new();
+        let a = encode_client(&ClientFrame::Ping { token: 5 });
+        let b = encode_client(&ClientFrame::Open { stream_id: 2 });
+        // Feed a split mid-prefix: nothing pops until the body completes.
+        asm.extend(&a[..2]);
+        assert!(asm.next_frame().unwrap().is_none());
+        asm.extend(&a[2..]);
+        asm.extend(&b);
+        let body = asm.next_frame().unwrap().expect("first frame complete");
+        assert_eq!(
+            decode_client(&body).unwrap(),
+            ClientFrame::Ping { token: 5 }
+        );
+        let body = asm.next_frame().unwrap().expect("second frame complete");
+        assert_eq!(
+            decode_client(&body).unwrap(),
+            ClientFrame::Open { stream_id: 2 }
+        );
+        assert!(asm.next_frame().unwrap().is_none());
+        assert_eq!(asm.buffered_bytes(), 0);
     }
 
     #[test]

@@ -1,48 +1,50 @@
-//! The serving daemon: TCP front end, per-connection reader/writer threads
-//! and the wave-batcher thread that multiplexes every live stream onto
-//! batched session-pool waves.
+//! The serving daemon: an event-driven TCP edge in front of N sharded
+//! wave-batcher threads.
 //!
 //! ## Thread model
 //!
-//! * **Accept loop** (the thread that calls [`Server::run`]): accepts
-//!   connections and spawns one reader thread per connection.
-//! * **Reader threads**: parse frames off the socket
-//!   ([`crate::protocol::FrameReader`] — resilient to read timeouts
-//!   mid-frame) and forward decoded frames as events. Readers never touch
-//!   the pools.
-//! * **Writer threads**: one per connection, draining a bounded queue of
-//!   encoded reply frames. A slow client fills its own queue and starts
-//!   dropping *its* replies ([`StatsSnapshot::replies_dropped`]) — it cannot
-//!   stall the batcher or other clients.
-//! * **Wave batcher** (one thread): owns the [`SessionPool`] /
-//!   [`QuantizedSessionPool`] and every stream table. It collects pushed
-//!   timesteps across all connections, runs one pool flush per tick — each
-//!   layer of the plan executes as a single batched GEMM over every stream
-//!   with pending input — and routes emissions back to their connections.
-//!   Because everything funnels through this thread, the pools need no
-//!   locks at all.
+//! * **Edge** (the thread that calls [`Server::run`]): owns the listener,
+//!   *every* client socket (nonblocking) and the self-pipe, multiplexed
+//!   through one `poll(2)` readiness loop — no per-connection threads, so
+//!   4096 streams cost 4096 sockets, not 8192 stacks. The edge reassembles
+//!   and decodes frames, answers PING/STATS/LOAD_MODEL in place, validates
+//!   OPEN/PUSH (duplicates, server capacity, channel count, backpressure)
+//!   and routes stream work to shards. Outbound frames accumulate in
+//!   bounded per-connection outbufs drained with vectored writes whenever
+//!   the socket accepts them.
+//! * **Shards** ([`ServerConfig::shards`] wave-batcher threads): each owns
+//!   one session-pool shard behind the [`pit_infer::StreamPool`] trait —
+//!   one generic batcher for both precisions. A stream is pinned to
+//!   `shard_of(conn, stream_id)` at OPEN; every wave flushes the shard's
+//!   pending timesteps as one batched GEMM per layer. Shards write replies
+//!   into the outbufs and ring the edge's self-pipe to flush them.
 //!
 //! ## Lifecycle
 //!
 //! Streams are opened per connection (OPEN), served until CLOSE, idle
 //! eviction ([`ServerConfig::idle_timeout`]) or disconnect, and their pool
-//! slots are recycled via `close_stream`. [`ServerHandle::shutdown`] drains
-//! gracefully: queued timesteps are flushed, final emissions delivered,
-//! every stream gets a CLOSED frame, and the final [`StatsSnapshot`] is
-//! returned.
+//! slots are recycled shard-side. [`ServerHandle::shutdown`] drains
+//! gracefully: the edge sweeps already-arrived bytes, shards flush queued
+//! timesteps into final emissions, every stream gets a CLOSED frame, and
+//! the aggregated [`crate::StatsSnapshot`] is returned.
 
-use crate::protocol::{
-    decode_client, encode_server, ClientFrame, CloseReason, ErrorCode, FrameReader, ReadOutcome,
-    ServerFrame,
+use crate::edge::{
+    poll_fds, pollfd, OutBuf, PollFd, WakePipe, Waker, POLLERR, POLLHUP, POLLIN, POLLOUT,
 };
-use crate::stats::{ServerStats, StatsSnapshot};
-use pit_infer::{InferencePlan, PlanArtifact, QuantizedPlan, QuantizedSessionPool, SessionPool};
-use std::collections::HashMap;
-use std::io::Write;
+use crate::protocol::{
+    decode_client, encode_server, ClientFrame, ErrorCode, FrameAssembler, FrameError, ServerFrame,
+};
+use crate::shard::{Shard, ShardEvent, ShardNote};
+use crate::stats::{aggregate_snapshot, EdgeCounters, ShardStats, StatsSnapshot};
+use pit_infer::{
+    InferencePlan, PlanArtifact, QuantizedPlan, QuantizedSessionPool, SessionPool, StreamPool,
+};
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -57,26 +59,35 @@ pub struct ServerConfig {
     /// connection; a PUSH that would exceed it is rejected with an ERROR
     /// frame.
     pub max_pending_per_conn: usize,
-    /// Wave cadence: the batcher runs at most one pool flush per tick, so
+    /// Wave cadence: each shard runs at most one pool flush per tick, so
     /// timesteps arriving within a tick batch into the same waves.
     pub tick: Duration,
     /// Evict streams with no client activity for this long (`None` = never).
     pub idle_timeout: Option<Duration>,
+    /// Wave-batcher shards (threads), each owning one pool shard. Defaults
+    /// to the machine's available parallelism, clamped to `1..=8`.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".into(),
-            max_streams: 256,
+            max_streams: 4096,
             max_pending_per_conn: 4096,
             tick: Duration::from_micros(200),
             idle_timeout: None,
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 8),
         }
     }
 }
 
-/// The model a server serves: an f32 plan or an int8 quantized plan.
+/// The model a server serves: an f32 plan or an int8 quantized plan. This
+/// enum is the *only* precision seam left in the daemon — everything past
+/// its pool constructor runs generically over [`pit_infer::StreamPool`].
 #[derive(Clone)]
 pub enum ServeEngine {
     /// Serve through [`SessionPool`].
@@ -93,180 +104,105 @@ impl ServeEngine {
             PlanArtifact::I8(plan) => ServeEngine::I8(Arc::new(plan)),
         }
     }
-}
 
-/// The batcher's pool, generic over precision. All stream ids below are
-/// *pool* slot ids; the protocol's connection-scoped ids map onto them.
-enum EnginePool {
-    F32(SessionPool),
-    I8(QuantizedSessionPool),
-}
-
-impl EnginePool {
-    fn new(engine: &ServeEngine) -> Self {
-        match engine {
-            ServeEngine::F32(plan) => EnginePool::F32(SessionPool::new(Arc::clone(plan), 0)),
-            ServeEngine::I8(plan) => EnginePool::I8(QuantizedSessionPool::new(Arc::clone(plan), 0)),
+    /// A fresh zero-stream pool shard over this engine.
+    pub(crate) fn new_pool(&self) -> Box<dyn StreamPool> {
+        match self {
+            ServeEngine::F32(plan) => Box::new(SessionPool::new(Arc::clone(plan), 0)),
+            ServeEngine::I8(plan) => Box::new(QuantizedSessionPool::new(Arc::clone(plan), 0)),
         }
     }
 
-    fn kind(&self) -> &'static str {
+    pub(crate) fn kind(&self) -> &'static str {
         match self {
-            EnginePool::F32(_) => "f32",
-            EnginePool::I8(_) => "i8",
+            ServeEngine::F32(_) => "f32",
+            ServeEngine::I8(_) => "i8",
         }
     }
 
-    fn name(&self) -> String {
+    pub(crate) fn name(&self) -> String {
         match self {
-            EnginePool::F32(p) => p.plan().name().to_string(),
-            EnginePool::I8(p) => p.plan().name().to_string(),
+            ServeEngine::F32(plan) => plan.name().to_string(),
+            ServeEngine::I8(plan) => plan.name().to_string(),
         }
     }
 
-    fn input_channels(&self) -> usize {
+    pub(crate) fn input_channels(&self) -> usize {
         match self {
-            EnginePool::F32(p) => p.plan().input_channels(),
-            EnginePool::I8(p) => p.plan().input_channels(),
-        }
-    }
-
-    fn output_dim(&self) -> usize {
-        match self {
-            EnginePool::F32(p) => p.plan().output_dim(),
-            EnginePool::I8(p) => p.plan().output_dim(),
-        }
-    }
-
-    fn open_stream(&mut self) -> usize {
-        match self {
-            EnginePool::F32(p) => p.open_stream(),
-            EnginePool::I8(p) => p.open_stream(),
-        }
-    }
-
-    fn close_stream(&mut self, sid: usize) {
-        match self {
-            EnginePool::F32(p) => p.close_stream(sid),
-            EnginePool::I8(p) => p.close_stream(sid),
-        }
-    }
-
-    fn push(&mut self, sid: usize, sample: &[f32]) {
-        match self {
-            EnginePool::F32(p) => p.push(sid, sample),
-            EnginePool::I8(p) => p.push(sid, sample),
-        }
-    }
-
-    fn flush(&mut self) -> Vec<(usize, Vec<f32>)> {
-        match self {
-            EnginePool::F32(p) => p.flush(),
-            EnginePool::I8(p) => p.flush(),
-        }
-    }
-
-    fn pending_steps(&self) -> usize {
-        match self {
-            EnginePool::F32(p) => p.pending_steps(),
-            EnginePool::I8(p) => p.pending_steps(),
-        }
-    }
-
-    fn pending_for(&self, sid: usize) -> usize {
-        match self {
-            EnginePool::F32(p) => p.pending_for(sid),
-            EnginePool::I8(p) => p.pending_for(sid),
+            ServeEngine::F32(plan) => plan.input_channels(),
+            ServeEngine::I8(plan) => plan.input_channels(),
         }
     }
 }
 
-type ConnId = u64;
+pub(crate) type ConnId = u64;
 
-/// What reader threads hand the batcher.
-enum Event {
-    Connected {
-        conn: ConnId,
-        tx: SyncSender<Vec<u8>>,
-    },
-    Frame {
-        conn: ConnId,
-        frame: ClientFrame,
-    },
-    /// A frame body arrived but would not decode (the connection survives),
-    /// or framing broke entirely (`fatal`, the reader hung up).
-    Malformed {
-        conn: ConnId,
-        error: String,
-        fatal: bool,
-    },
-    Disconnected {
-        conn: ConnId,
-    },
+/// Stable `(connection, stream id) → shard` pinning, decided at OPEN time
+/// and recomputed identically for every later PUSH/CLOSE (splitmix-style
+/// mix so consecutive ids spread evenly).
+fn shard_of(conn: ConnId, stream_id: u32, shards: usize) -> usize {
+    let mut x = conn
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(stream_id).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    (x % shards as u64) as usize
 }
 
-struct ConnState {
-    tx: SyncSender<Vec<u8>>,
-    /// Connection-scoped stream id → pool slot.
-    streams: HashMap<u32, usize>,
-    /// Queued-but-unflushed timesteps across this connection's streams —
-    /// the backpressure cap compares against this counter (O(1) per PUSH)
-    /// instead of re-summing per-stream queues on the batcher hot path.
-    /// Maintained as: `+= count` on an accepted PUSH, reset to zero by every
-    /// wave (a flush drains all queues), decremented when a stream is
-    /// closed with samples still queued.
-    pending: usize,
+/// Edge-side per-connection state. The socket lives here (and only here);
+/// shards reach the connection exclusively through the shared `out`
+/// buffer and the counters.
+struct EdgeConn {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    out: Arc<OutBuf>,
+    pending: Arc<AtomicUsize>,
+    v2: Arc<AtomicBool>,
+    /// Client stream ids opened (and not yet closed) on this connection —
+    /// the edge's authoritative view for duplicate/capacity checks.
+    streams: HashSet<u32>,
+    /// Set when the last vectored write left bytes queued: poll for
+    /// `POLLOUT` instead of busy-retrying.
+    want_write: bool,
 }
 
-struct StreamInfo {
-    conn: ConnId,
-    client_id: u32,
-    last_activity: Instant,
-}
+/// How long the post-drain flush keeps trying to hand final emissions and
+/// CLOSED frames to slow clients before giving up.
+const DRAIN_FLUSH_TIMEOUT: Duration = Duration::from_secs(5);
+/// Edge poll timeout: the latency floor for noticing a shutdown requested
+/// without a waker (e.g. a signal handler flipping the flag).
+const EDGE_POLL_MS: i32 = 100;
 
-struct Batcher {
-    pool: EnginePool,
+struct Edge {
     config: ServerConfig,
-    conns: HashMap<ConnId, ConnState>,
-    /// Pool slot → owner.
-    streams: HashMap<usize, StreamInfo>,
-    stats: ServerStats,
-    /// Set once shutdown is requested: new OPEN/LOAD_MODEL work is refused
-    /// with [`ErrorCode::ShuttingDown`] while the final flush happens.
+    engine: ServeEngine,
+    conns: HashMap<ConnId, EdgeConn>,
+    shard_txs: Vec<Sender<ShardEvent>>,
+    shard_stats: Vec<Arc<ShardStats>>,
+    counters: EdgeCounters,
+    /// Server-wide open-stream budget (edge-authoritative: incremented on
+    /// OPEN, decremented on CLOSE, disconnect, and shard eviction notes).
+    total_open: usize,
     draining: bool,
+    next_conn: ConnId,
+    read_buf: Vec<u8>,
+    dead: Vec<ConnId>,
 }
 
-impl Batcher {
-    fn new(engine: &ServeEngine, config: ServerConfig) -> Self {
-        Self {
-            pool: EnginePool::new(engine),
-            config,
-            conns: HashMap::new(),
-            streams: HashMap::new(),
-            stats: ServerStats::default(),
-            draining: false,
-        }
+impl Edge {
+    fn shard_for(&self, conn: ConnId, stream_id: u32) -> &Sender<ShardEvent> {
+        &self.shard_txs[shard_of(conn, stream_id, self.shard_txs.len())]
     }
 
-    /// Sends one reply frame to a connection, dropping it (with a counter)
-    /// when the client's outbound queue is full and pruning the connection
-    /// when its writer is gone.
     fn send(&mut self, conn: ConnId, frame: &ServerFrame) {
-        let Some(state) = self.conns.get(&conn) else {
-            return;
-        };
-        match state.tx.try_send(encode_server(frame)) {
-            Ok(()) => {}
-            Err(TrySendError::Full(_)) => self.stats.replies_dropped += 1,
-            Err(TrySendError::Disconnected(_)) => {
-                // Writer thread died (socket gone); the reader will follow
-                // with a Disconnected event that cleans the stream table.
-            }
+        if let Some(state) = self.conns.get(&conn) {
+            state.out.push(encode_server(frame));
         }
     }
 
     fn send_error(&mut self, conn: ConnId, code: ErrorCode, message: impl Into<String>) {
-        self.stats.frames_rejected += 1;
+        self.counters.frames_rejected += 1;
         self.send(
             conn,
             &ServerFrame::Error {
@@ -276,81 +212,99 @@ impl Batcher {
         );
     }
 
-    fn handle(&mut self, event: Event) {
-        match event {
-            Event::Connected { conn, tx } => {
-                self.stats.connections_total += 1;
-                self.stats.connections_open += 1;
-                self.conns.insert(
+    fn accept_loop(&mut self, listener: &TcpListener) {
+        // WouldBlock ends the loop: everything queued has been accepted.
+        // Other transient failures (fd exhaustion, aborted handshakes) must
+        // not end the daemon either; the listener stays in the poll set and
+        // the next readiness retries.
+        while let Ok((stream, _peer)) = listener.accept() {
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            self.next_conn += 1;
+            let conn = self.next_conn;
+            let out = Arc::new(OutBuf::new(Arc::clone(&self.counters.replies_dropped)));
+            let pending = Arc::new(AtomicUsize::new(0));
+            let v2 = Arc::new(AtomicBool::new(false));
+            for tx in &self.shard_txs {
+                let _ = tx.send(ShardEvent::Connected {
                     conn,
-                    ConnState {
-                        tx,
-                        streams: HashMap::new(),
-                        pending: 0,
-                    },
-                );
+                    out: Arc::clone(&out),
+                    pending: Arc::clone(&pending),
+                    v2: Arc::clone(&v2),
+                });
             }
-            Event::Disconnected { conn } => {
-                if let Some(state) = self.conns.remove(&conn) {
-                    self.stats.connections_open -= 1;
-                    for (_, sid) in state.streams {
-                        self.pool.close_stream(sid);
-                        self.streams.remove(&sid);
-                    }
-                }
-            }
-            Event::Malformed { conn, error, fatal } => {
-                let code = if error.contains("opcode") {
-                    ErrorCode::UnknownOpcode
-                } else {
-                    ErrorCode::BadFrame
-                };
-                self.send_error(conn, code, error);
-                // A fatal framing error is followed by the reader's
-                // Disconnected event; nothing more to do here.
-                let _ = fatal;
-            }
-            Event::Frame { conn, frame } => self.handle_frame(conn, frame),
+            self.counters.connections_total += 1;
+            self.counters.connections_open += 1;
+            self.conns.insert(
+                conn,
+                EdgeConn {
+                    stream,
+                    assembler: FrameAssembler::new(),
+                    out,
+                    pending,
+                    v2,
+                    streams: HashSet::new(),
+                    want_write: false,
+                },
+            );
         }
     }
 
-    fn handle_frame(&mut self, conn: ConnId, frame: ClientFrame) {
-        match frame {
-            ClientFrame::Open { stream_id } => self.handle_open(conn, stream_id),
-            ClientFrame::Push {
-                stream_id,
-                channels,
-                samples,
-            } => self.handle_push(conn, stream_id, channels, samples),
-            ClientFrame::Close { stream_id } => {
-                let Some(sid) = self
-                    .conns
-                    .get_mut(&conn)
-                    .and_then(|c| c.streams.remove(&stream_id))
-                else {
-                    self.send_error(
-                        conn,
-                        ErrorCode::UnknownStream,
-                        format!("stream {stream_id} is not open"),
-                    );
+    /// Reads everything currently available on `conn`, decoding and
+    /// dispatching complete frames. Marks the connection dead on EOF,
+    /// transport errors, or unrecoverable framing.
+    fn read_conn(&mut self, conn: ConnId) {
+        loop {
+            let Some(state) = self.conns.get_mut(&conn) else {
+                return;
+            };
+            use std::io::Read;
+            let n = match (&state.stream).read(&mut self.read_buf) {
+                Ok(0) => {
+                    self.drop_conn(conn);
+                    return;
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_conn(conn);
+                    return;
+                }
+            };
+            state.assembler.extend(&self.read_buf[..n]);
+            loop {
+                let Some(state) = self.conns.get_mut(&conn) else {
                     return;
                 };
-                // CLOSE is an orderly end, not an abort: timesteps the
-                // stream already pushed must become final emissions, not
-                // vanish depending on where the tick happened to land.
-                if self.pool.pending_for(sid) > 0 {
-                    self.run_wave();
-                }
-                self.pool.close_stream(sid);
-                self.streams.remove(&sid);
-                self.send(
-                    conn,
-                    &ServerFrame::Closed {
-                        stream_id,
-                        reason: CloseReason::ByClient,
+                match state.assembler.next_frame() {
+                    Ok(Some(body)) => match decode_client(&body) {
+                        Ok(frame) => self.dispatch(conn, frame),
+                        Err(e) => {
+                            let code = match e {
+                                FrameError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+                                _ => ErrorCode::BadFrame,
+                            };
+                            self.send_error(conn, code, e.to_string());
+                        }
                     },
-                );
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Framing can no longer be trusted (oversized
+                        // length prefix): report best-effort and hang up.
+                        self.send_error(conn, ErrorCode::BadFrame, e.to_string());
+                        self.drop_conn(conn);
+                        return;
+                    }
+                }
             }
+        }
+    }
+
+    fn dispatch(&mut self, conn: ConnId, frame: ClientFrame) {
+        match frame {
             ClientFrame::Ping { token } => self.send(conn, &ServerFrame::Pong { token }),
             ClientFrame::Stats => {
                 let snapshot = self.snapshot();
@@ -361,6 +315,45 @@ impl Batcher {
                     },
                 );
             }
+            ClientFrame::Open { stream_id } => self.handle_open(conn, stream_id),
+            ClientFrame::Close { stream_id } => {
+                let Some(state) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                if !state.streams.remove(&stream_id) {
+                    self.send_error(
+                        conn,
+                        ErrorCode::UnknownStream,
+                        format!("stream {stream_id} is not open"),
+                    );
+                    return;
+                }
+                self.total_open -= 1;
+                let _ = self
+                    .shard_for(conn, stream_id)
+                    .send(ShardEvent::Close { conn, stream_id });
+            }
+            ClientFrame::Push {
+                stream_id,
+                channels,
+                samples,
+            } => {
+                let count = samples.len() / channels.max(1) as usize;
+                if !self.admit_push(conn, &[stream_id], channels, count) {
+                    return;
+                }
+                let _ = self.shard_for(conn, stream_id).send(ShardEvent::Push {
+                    conn,
+                    stream_id,
+                    count,
+                    samples,
+                });
+            }
+            ClientFrame::PushN {
+                channels,
+                entries,
+                samples,
+            } => self.handle_push_n(conn, channels, &entries, samples),
             ClientFrame::LoadModel { path } => self.handle_load_model(conn, path),
         }
     }
@@ -374,10 +367,10 @@ impl Batcher {
             );
             return;
         }
-        let Some(state) = self.conns.get(&conn) else {
+        let Some(state) = self.conns.get_mut(&conn) else {
             return;
         };
-        if state.streams.contains_key(&stream_id) {
+        if state.streams.contains(&stream_id) {
             self.send_error(
                 conn,
                 ErrorCode::DuplicateStream,
@@ -385,7 +378,7 @@ impl Batcher {
             );
             return;
         }
-        if self.streams.len() >= self.config.max_streams {
+        if self.total_open >= self.config.max_streams {
             self.send_error(
                 conn,
                 ErrorCode::ServerFull,
@@ -393,46 +386,47 @@ impl Batcher {
             );
             return;
         }
-        let sid = self.pool.open_stream();
-        self.streams.insert(
-            sid,
-            StreamInfo {
-                conn,
-                client_id: stream_id,
-                last_activity: Instant::now(),
-            },
-        );
-        if let Some(state) = self.conns.get_mut(&conn) {
-            state.streams.insert(stream_id, sid);
-        }
-        self.stats.streams_opened += 1;
-        self.send(conn, &ServerFrame::Opened { stream_id });
+        state.streams.insert(stream_id);
+        self.total_open += 1;
+        // The shard opens the pool slot and replies Opened, keeping reply
+        // order consistent with the emissions that follow.
+        let _ = self
+            .shard_for(conn, stream_id)
+            .send(ShardEvent::Open { conn, stream_id });
     }
 
-    fn handle_push(&mut self, conn: ConnId, stream_id: u32, channels: u32, samples: Vec<f32>) {
-        let c_in = self.pool.input_channels();
+    /// Shared admission for PUSH and each PUSH_N: channel count must match
+    /// the served plan, every stream must be open on this connection, and
+    /// the connection must be under its pending-timestep cap. On success
+    /// charges `count` to the pending counter.
+    fn admit_push(
+        &mut self,
+        conn: ConnId,
+        stream_ids: &[u32],
+        channels: u32,
+        count: usize,
+    ) -> bool {
+        let c_in = self.engine.input_channels();
         if channels as usize != c_in {
             self.send_error(
                 conn,
                 ErrorCode::BadFrame,
                 format!("PUSH carries {channels} channels, the served plan takes {c_in}"),
             );
-            return;
+            return false;
         }
-        let Some(&sid) = self
-            .conns
-            .get(&conn)
-            .and_then(|c| c.streams.get(&stream_id))
-        else {
+        let Some(state) = self.conns.get(&conn) else {
+            return false;
+        };
+        if let Some(&unknown) = stream_ids.iter().find(|sid| !state.streams.contains(sid)) {
             self.send_error(
                 conn,
                 ErrorCode::UnknownStream,
-                format!("stream {stream_id} is not open"),
+                format!("stream {unknown} is not open"),
             );
-            return;
-        };
-        let count = samples.len() / c_in;
-        let conn_pending = self.conns.get(&conn).map(|c| c.pending).unwrap_or(0);
+            return false;
+        }
+        let conn_pending = state.pending.load(Ordering::Relaxed);
         if conn_pending + count > self.config.max_pending_per_conn {
             self.send_error(
                 conn,
@@ -442,17 +436,41 @@ impl Batcher {
                     self.config.max_pending_per_conn
                 ),
             );
+            return false;
+        }
+        state.pending.fetch_add(count, Ordering::Relaxed);
+        true
+    }
+
+    fn handle_push_n(
+        &mut self,
+        conn: ConnId,
+        channels: u32,
+        entries: &[(u32, u32)],
+        samples: Vec<f32>,
+    ) {
+        let stream_ids: Vec<u32> = entries.iter().map(|&(sid, _)| sid).collect();
+        let total: usize = entries.iter().map(|&(_, count)| count as usize).sum();
+        // Admission is all-or-nothing: one unknown stream or a cap overrun
+        // rejects the whole frame, so a v2 batch never half-applies.
+        if !self.admit_push(conn, &stream_ids, channels, total) {
             return;
         }
-        for sample in samples.chunks_exact(c_in) {
-            self.pool.push(sid, sample);
+        if let Some(state) = self.conns.get(&conn) {
+            state.v2.store(true, Ordering::Relaxed);
         }
-        if let Some(state) = self.conns.get_mut(&conn) {
-            state.pending += count;
-        }
-        self.stats.timesteps_in += count as u64;
-        if let Some(info) = self.streams.get_mut(&sid) {
-            info.last_activity = Instant::now();
+        let c_in = channels as usize;
+        let mut offset = 0usize;
+        for &(stream_id, count) in entries {
+            let count = count as usize;
+            let end = offset + count * c_in;
+            let _ = self.shard_for(conn, stream_id).send(ShardEvent::Push {
+                conn,
+                stream_id,
+                count,
+                samples: samples[offset..end].to_vec(),
+            });
+            offset = end;
         }
     }
 
@@ -465,13 +483,13 @@ impl Batcher {
             );
             return;
         }
-        if !self.streams.is_empty() {
+        if self.total_open > 0 {
             self.send_error(
                 conn,
                 ErrorCode::StreamsActive,
                 format!(
                     "{} streams are open; drain before swapping",
-                    self.streams.len()
+                    self.total_open
                 ),
             );
             return;
@@ -479,279 +497,72 @@ impl Batcher {
         match PlanArtifact::load(std::path::Path::new(&path)) {
             Ok(artifact) => {
                 let engine = ServeEngine::from_artifact(artifact);
-                self.pool = EnginePool::new(&engine);
-                let name = self.pool.name();
+                for tx in &self.shard_txs {
+                    let _ = tx.send(ShardEvent::Swap {
+                        engine: engine.clone(),
+                    });
+                }
+                let name = engine.name();
+                self.engine = engine;
                 self.send(conn, &ServerFrame::ModelLoaded { name });
             }
             Err(e) => self.send_error(conn, ErrorCode::LoadFailed, e),
         }
     }
 
-    /// One batched wave: flush every queued timestep through the pool (one
-    /// GEMM per layer per wave) and route emissions back per stream.
-    fn run_wave(&mut self) {
-        let occupancy = self
-            .streams
-            .keys()
-            .filter(|&&sid| self.pool.pending_for(sid) > 0)
-            .count();
-        if occupancy == 0 {
-            return;
-        }
-        let t0 = Instant::now();
-        let results = self.pool.flush();
-        self.stats.record_wave(occupancy, t0.elapsed());
-        // A flush drains every queue, so no connection has pending samples
-        // any more.
-        for state in self.conns.values_mut() {
-            state.pending = 0;
-        }
-        if results.is_empty() {
-            return;
-        }
-        // Coalesce each stream's chronological emissions into one EMIT.
-        let dim = self.pool.output_dim();
-        let mut per_stream: HashMap<usize, Vec<f32>> = HashMap::new();
-        let mut order: Vec<usize> = Vec::new();
-        for (sid, out) in results {
-            let entry = per_stream.entry(sid).or_insert_with(|| {
-                order.push(sid);
-                Vec::new()
-            });
-            entry.extend_from_slice(&out);
-        }
-        // One EMIT frame must stay under the protocol's body bound: cap the
-        // vectors per frame and split a stream's backlog across frames when
-        // a burst emits more than that (order within the stream preserved).
-        let max_vectors_per_frame =
-            ((crate::protocol::MAX_FRAME_BODY - 64) / (4 * dim.max(1))).max(1);
-        for sid in order {
-            let outputs = per_stream.remove(&sid).expect("grouped above");
-            let count = outputs.len() / dim.max(1);
-            self.stats.emissions_out += count as u64;
-            let Some(info) = self.streams.get(&sid) else {
-                continue;
-            };
-            let (conn, stream_id) = (info.conn, info.client_id);
-            for chunk in outputs.chunks(max_vectors_per_frame * dim.max(1)) {
-                self.send(
-                    conn,
-                    &ServerFrame::Emit {
-                        stream_id,
-                        count: (chunk.len() / dim.max(1)) as u32,
-                        dim: dim as u32,
-                        outputs: chunk.to_vec(),
-                    },
-                );
-            }
-        }
-    }
-
-    fn evict_idle(&mut self) {
-        let Some(timeout) = self.config.idle_timeout else {
+    /// Removes a connection: releases its stream budget and tells every
+    /// shard to close its streams. The socket closes when the state drops.
+    fn drop_conn(&mut self, conn: ConnId) {
+        let Some(state) = self.conns.remove(&conn) else {
             return;
         };
-        let now = Instant::now();
-        let stale: Vec<usize> = self
-            .streams
-            .iter()
-            .filter(|(_, info)| now.duration_since(info.last_activity) > timeout)
-            .map(|(&sid, _)| sid)
-            .collect();
-        for sid in stale {
-            let Some(info) = self.streams.remove(&sid) else {
-                continue;
-            };
-            let dropped = self.pool.pending_for(sid);
-            self.pool.close_stream(sid);
-            if let Some(conn) = self.conns.get_mut(&info.conn) {
-                conn.streams.remove(&info.client_id);
-                conn.pending = conn.pending.saturating_sub(dropped);
+        self.counters.connections_open -= 1;
+        self.total_open -= state.streams.len();
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardEvent::Disconnected { conn });
+        }
+        self.dead.push(conn);
+    }
+
+    fn handle_note(&mut self, note: ShardNote) {
+        match note {
+            ShardNote::StreamClosed { conn, stream_id } => {
+                // Ignore notes for streams the edge already released (a
+                // CLOSE or disconnect raced the eviction).
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    if state.streams.remove(&stream_id) {
+                        self.total_open -= 1;
+                    }
+                }
             }
-            self.stats.streams_evicted += 1;
-            self.send(
-                info.conn,
-                &ServerFrame::Closed {
-                    stream_id: info.client_id,
-                    reason: CloseReason::IdleEvicted,
-                },
-            );
         }
     }
 
-    /// Graceful drain: flush whatever is queued, deliver the final
-    /// emissions, tell every stream it is over, and let the writer threads
-    /// flush their queues as their senders drop.
-    fn drain(&mut self) {
-        if self.pool.pending_steps() > 0 {
-            self.run_wave();
-        }
-        let open: Vec<usize> = self.streams.keys().copied().collect();
-        for sid in open {
-            let Some(info) = self.streams.remove(&sid) else {
+    /// Drains every connection's outbuf as far as the sockets allow,
+    /// dropping connections whose transport failed.
+    fn flush_writes(&mut self) {
+        let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        for conn in ids {
+            let Some(state) = self.conns.get_mut(&conn) else {
                 continue;
             };
-            self.pool.close_stream(sid);
-            if let Some(conn) = self.conns.get_mut(&info.conn) {
-                conn.streams.remove(&info.client_id);
+            if !state.want_write && !state.out.has_pending() {
+                continue;
             }
-            self.send(
-                info.conn,
-                &ServerFrame::Closed {
-                    stream_id: info.client_id,
-                    reason: CloseReason::Drained,
-                },
-            );
+            match state.out.write_to(&mut &state.stream) {
+                Ok(pending) => state.want_write = pending,
+                Err(_) => self.drop_conn(conn),
+            }
         }
     }
 
     fn snapshot(&self) -> StatsSnapshot {
-        self.stats.snapshot(
-            &self.pool.name(),
-            self.pool.kind(),
-            self.streams.len() as u64,
+        aggregate_snapshot(
+            &self.engine.name(),
+            self.engine.kind(),
+            &self.counters,
+            &self.shard_stats,
         )
-    }
-
-    fn run(
-        mut self,
-        rx: Receiver<Event>,
-        shutdown: Arc<AtomicBool>,
-        drained: Arc<AtomicBool>,
-    ) -> StatsSnapshot {
-        let mut next_wave = Instant::now();
-        loop {
-            let timeout = if self.pool.pending_steps() > 0 {
-                next_wave.saturating_duration_since(Instant::now())
-            } else {
-                // Idle: wake occasionally for eviction and shutdown checks.
-                Duration::from_millis(5)
-            };
-            match rx.recv_timeout(timeout) {
-                Ok(event) => {
-                    self.handle(event);
-                    while let Ok(event) = rx.try_recv() {
-                        self.handle(event);
-                    }
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
-            }
-            if shutdown.load(Ordering::SeqCst) {
-                // Absorb everything clients already got onto the wire —
-                // decoded PUSH events still sitting in the channel (readers
-                // keep their connections open until `drained` flips, so
-                // these are complete, ordered frames) — before the final
-                // flush, so "queued timesteps become final emissions" holds
-                // for the event queue too, not just the pool queues. New
-                // OPENs and model swaps among them are refused.
-                self.draining = true;
-                while let Ok(event) = rx.try_recv() {
-                    self.handle(event);
-                }
-                self.drain();
-                break;
-            }
-            if self.pool.pending_steps() > 0 && Instant::now() >= next_wave {
-                self.run_wave();
-                next_wave = Instant::now() + self.config.tick;
-            }
-            self.evict_idle();
-        }
-        // Readers hold their connections open until this flips, so the
-        // drain above always runs with every stream still registered —
-        // queued timesteps become final emissions instead of being dropped
-        // by an early Disconnected.
-        drained.store(true, Ordering::SeqCst);
-        self.snapshot()
-        // Dropping `self.conns` here releases every writer sender: writers
-        // flush their remaining queued frames (final emissions, CLOSED) and
-        // exit.
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Connection plumbing
-// ---------------------------------------------------------------------------
-
-/// Encoded reply frames a writer queue holds before a slow client starts
-/// losing replies.
-const WRITER_QUEUE_FRAMES: usize = 1024;
-/// Reader poll granularity: how stale the shutdown flag can look to a
-/// blocked reader.
-const READ_TIMEOUT: Duration = Duration::from_millis(20);
-/// Cap on a blocking socket write: a client that stops reading while its
-/// kernel buffer is full gets disconnected instead of pinning its writer
-/// thread (and, through the join chain, graceful shutdown) forever.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
-/// Decoded-but-unprocessed events the batcher will buffer before readers
-/// block (which in turn stalls the offending connections' TCP windows):
-/// the memory backstop behind the per-connection pending caps.
-const EVENT_QUEUE_DEPTH: usize = 1024;
-
-fn reader_loop(
-    conn: ConnId,
-    stream: TcpStream,
-    events: SyncSender<Event>,
-    drained: Arc<AtomicBool>,
-) {
-    let (wtx, wrx) = mpsc::sync_channel::<Vec<u8>>(WRITER_QUEUE_FRAMES);
-    let writer = stream.try_clone().ok().map(|mut out| {
-        std::thread::spawn(move || {
-            // A client that stops reading must error this thread out, not
-            // park it forever with a full socket buffer.
-            let _ = out.set_write_timeout(Some(WRITE_TIMEOUT));
-            while let Ok(buf) = wrx.recv() {
-                if out.write_all(&buf).is_err() {
-                    break;
-                }
-            }
-            let _ = out.flush();
-        })
-    });
-    if writer.is_none() || events.send(Event::Connected { conn, tx: wtx }).is_err() {
-        return;
-    }
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let mut reader = FrameReader::new(stream);
-    // Exit on the *drained* flag, not the shutdown request: a reader that
-    // hung up before the batcher's graceful drain would take its streams
-    // (and their queued timesteps) down with it.
-    while !drained.load(Ordering::SeqCst) {
-        match reader.poll() {
-            Ok(ReadOutcome::Frame(body)) => {
-                let event = match decode_client(&body) {
-                    Ok(frame) => Event::Frame { conn, frame },
-                    Err(e) => Event::Malformed {
-                        conn,
-                        error: e.to_string(),
-                        fatal: false,
-                    },
-                };
-                if events.send(event).is_err() {
-                    break;
-                }
-            }
-            Ok(ReadOutcome::WouldBlock) => continue,
-            Ok(ReadOutcome::Eof) => break,
-            Err(e) => {
-                // Framing is unrecoverable (oversized prefix or transport
-                // error): report and hang up.
-                let _ = events.send(Event::Malformed {
-                    conn,
-                    error: e.to_string(),
-                    fatal: true,
-                });
-                break;
-            }
-        }
-    }
-    let _ = events.send(Event::Disconnected { conn });
-    if let Some(writer) = writer {
-        // The batcher drops this connection's sender when it processes the
-        // Disconnected event (or exits), ending the writer after it flushed
-        // everything still queued.
-        let _ = writer.join();
     }
 }
 
@@ -765,7 +576,8 @@ pub struct Server {
     engine: ServeEngine,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
-    drained: Arc<AtomicBool>,
+    wake_pipe: WakePipe,
+    waker: Waker,
     addr: SocketAddr,
 }
 
@@ -780,12 +592,14 @@ impl Server {
     pub fn bind(engine: ServeEngine, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let (wake_pipe, waker) = WakePipe::new()?;
         Ok(Self {
             listener,
             engine,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
-            drained: Arc::new(AtomicBool::new(false)),
+            wake_pipe,
+            waker,
             addr,
         })
     }
@@ -813,74 +627,136 @@ impl Server {
     pub fn spawn(self) -> ServerHandle {
         let addr = self.addr;
         let shutdown = Arc::clone(&self.shutdown);
+        let waker = self.waker.clone();
         let thread = std::thread::spawn(move || self.run());
         ServerHandle {
             addr,
             shutdown,
+            waker,
             thread,
         }
     }
 
-    /// Runs the accept loop on the calling thread until shutdown is
+    /// Runs the edge loop on the calling thread until shutdown is
     /// requested (via a handle created before with [`Server::spawn`] — when
     /// calling `run` directly the process typically serves until killed).
     /// Returns the final stats snapshot after a graceful drain.
     pub fn run(self) -> StatsSnapshot {
-        // Bounded: when the batcher falls behind, readers block here, their
-        // sockets stop being read, and TCP pushes the backpressure all the
-        // way to the offending clients — queued-event memory stays bounded
-        // no matter how fast clients push.
-        let (events_tx, events_rx) = mpsc::sync_channel::<Event>(EVENT_QUEUE_DEPTH);
-        let batcher = Batcher::new(&self.engine, self.config.clone());
-        let batcher_shutdown = Arc::clone(&self.shutdown);
-        let batcher_drained = Arc::clone(&self.drained);
-        let batcher_thread =
-            std::thread::spawn(move || batcher.run(events_rx, batcher_shutdown, batcher_drained));
+        let shards = self.config.shards.max(1);
+        let (note_tx, note_rx) = mpsc::channel::<ShardNote>();
+        let mut shard_txs = Vec::with_capacity(shards);
+        let mut shard_stats = Vec::with_capacity(shards);
+        let mut shard_threads = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            // Unbounded on purpose: the edge must never block. Depth stays
+            // bounded anyway — PUSH events are capped by the per-connection
+            // pending counters *before* forwarding, and control events are
+            // a handful per connection.
+            let (tx, rx) = mpsc::channel::<ShardEvent>();
+            let stats = Arc::new(ShardStats::default());
+            let shard = Shard::new(
+                &self.engine,
+                self.config.tick,
+                self.config.idle_timeout,
+                Arc::clone(&stats),
+                note_tx.clone(),
+                self.waker.clone(),
+            );
+            shard_txs.push(tx);
+            shard_stats.push(stats);
+            shard_threads.push(std::thread::spawn(move || shard.run(rx)));
+        }
+        drop(note_tx);
         self.listener
             .set_nonblocking(true)
             .expect("listener nonblocking");
-        let mut readers: Vec<JoinHandle<()>> = Vec::new();
-        let mut next_conn: ConnId = 0;
-        while !self.shutdown.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    // The accepted socket must block (with a timeout) even
-                    // though the listener does not.
-                    let _ = stream.set_nonblocking(false);
-                    let _ = stream.set_nodelay(true);
-                    next_conn += 1;
-                    let conn = next_conn;
-                    let tx = events_tx.clone();
-                    let flag = Arc::clone(&self.drained);
-                    readers.push(std::thread::spawn(move || {
-                        reader_loop(conn, stream, tx, flag);
-                    }));
+
+        let mut edge = Edge {
+            config: self.config,
+            engine: self.engine,
+            conns: HashMap::new(),
+            shard_txs,
+            shard_stats,
+            counters: EdgeCounters::default(),
+            total_open: 0,
+            draining: false,
+            next_conn: 0,
+            read_buf: vec![0u8; 64 * 1024],
+            dead: Vec::new(),
+        };
+
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut ids: Vec<ConnId> = Vec::new();
+        loop {
+            fds.clear();
+            ids.clear();
+            fds.push(pollfd(self.wake_pipe.fd(), POLLIN));
+            fds.push(pollfd(self.listener.as_raw_fd(), POLLIN));
+            for (&conn, state) in &edge.conns {
+                let mut events = POLLIN;
+                if state.want_write {
+                    events |= POLLOUT;
                 }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-                Err(_) => {
-                    // Transient accept failures (fd exhaustion under load,
-                    // aborted handshakes) must not silently end the accept
-                    // loop with live connections still running — that would
-                    // leave the daemon unreachable *and* undrainable. Back
-                    // off and retry; a real shutdown still lands through
-                    // the flag.
-                    std::thread::sleep(Duration::from_millis(10));
+                fds.push(pollfd(state.stream.as_raw_fd(), events));
+                ids.push(conn);
+            }
+            let _ = poll_fds(&mut fds, EDGE_POLL_MS);
+            self.wake_pipe.drain();
+            while let Ok(note) = note_rx.try_recv() {
+                edge.handle_note(note);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if fds[1].revents & (POLLIN | POLLERR) != 0 {
+                edge.accept_loop(&self.listener);
+            }
+            for (i, &conn) in ids.iter().enumerate() {
+                if fds[2 + i].revents & (POLLIN | POLLHUP | POLLERR) != 0 {
+                    edge.read_conn(conn);
                 }
             }
-            // Reap finished reader threads so a long-lived daemon does not
-            // accumulate handles across connection churn.
-            readers.retain(|h| !h.is_finished());
+            edge.flush_writes();
+            edge.dead.clear();
         }
-        drop(events_tx);
-        for reader in readers {
-            let _ = reader.join();
+
+        // Graceful drain. 1) Sweep bytes clients already got onto the wire
+        // so queued PUSHes become final emissions (new OPENs and swaps are
+        // refused from here).
+        edge.draining = true;
+        let ids: Vec<ConnId> = edge.conns.keys().copied().collect();
+        for conn in ids {
+            edge.read_conn(conn);
         }
-        batcher_thread.join().expect("batcher thread")
+        // 2) Close the shard channels: each shard finishes its routed
+        // events, flushes pending timesteps, writes final emissions and
+        // CLOSED frames into the outbufs, and exits.
+        drop(edge.shard_txs.drain(..).collect::<Vec<_>>());
+        for thread in shard_threads {
+            let _ = thread.join();
+        }
+        let snapshot = aggregate_snapshot(
+            &edge.engine.name(),
+            edge.engine.kind(),
+            &edge.counters,
+            &edge.shard_stats,
+        );
+        // 3) Hand the buffered frames to the clients, within reason.
+        let deadline = Instant::now() + DRAIN_FLUSH_TIMEOUT;
+        loop {
+            edge.flush_writes();
+            let mut blocked: Vec<PollFd> = Vec::new();
+            for state in edge.conns.values() {
+                if state.out.has_pending() {
+                    blocked.push(pollfd(state.stream.as_raw_fd(), POLLOUT));
+                }
+            }
+            if blocked.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            let _ = poll_fds(&mut blocked, 50);
+        }
+        snapshot
     }
 }
 
@@ -888,6 +764,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    waker: Waker,
     thread: JoinHandle<StatsSnapshot>,
 }
 
@@ -902,6 +779,33 @@ impl ServerHandle {
     /// for the daemon to exit. Returns the final stats.
     pub fn shutdown(self) -> StatsSnapshot {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
         self.thread.join().expect("server thread")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_pinning_is_stable_and_spreads() {
+        // Stability: the same (conn, stream) always lands on the same shard.
+        for conn in 0..50u64 {
+            for sid in 0..50u32 {
+                let a = shard_of(conn, sid, 4);
+                assert_eq!(a, shard_of(conn, sid, 4));
+                assert!(a < 4);
+            }
+        }
+        // Spread: 1024 consecutive streams of one connection cover all
+        // shards reasonably evenly (no shard under half its fair share).
+        let mut counts = [0usize; 4];
+        for sid in 0..1024u32 {
+            counts[shard_of(7, sid, 4)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 128, "unbalanced shard assignment: {counts:?}");
+        }
     }
 }

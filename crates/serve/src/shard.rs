@@ -1,0 +1,534 @@
+//! The sharded wave batcher: N independent threads, each owning one
+//! [`StreamPool`] shard, together serving thousands of streams.
+//!
+//! A stream is pinned to its shard at OPEN time by a stable hash of
+//! `(connection, stream id)` — the edge routes every later PUSH/CLOSE for
+//! that stream to the same shard, so a shard's pool and stream tables are
+//! single-threaded and lock-free exactly like the old one-batcher design,
+//! just `shards`-times over. One generic implementation serves both
+//! precisions through `Box<dyn StreamPool>` (this file replaced 24
+//! hand-written `F32`/`I8` match arms).
+//!
+//! Shards never touch a socket: replies are encoded into the connection's
+//! [`OutBuf`] and the edge is woken through the self-pipe [`Waker`] to
+//! drain them. The little cross-thread state a shard shares is explicit:
+//! the per-connection pending-timestep counter (backpressure, edge
+//! increments / shard decrements), the per-connection v2 latch (EMIT vs
+//! EMIT_N formatting), its [`ShardStats`] block, and a note channel back to
+//! the edge so idle evictions release the server-wide stream budget.
+
+use crate::edge::{OutBuf, Waker};
+use crate::protocol::{encode_server, CloseReason, ErrorCode, ServerFrame, MAX_FRAME_BODY};
+use crate::server::{ConnId, ServeEngine};
+use crate::stats::ShardStats;
+use pit_infer::StreamPool;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What the edge routes to a shard.
+pub(crate) enum ShardEvent {
+    /// A connection exists (broadcast to every shard on accept): the
+    /// handles a shard needs to reply to it and account for it.
+    Connected {
+        conn: ConnId,
+        out: Arc<OutBuf>,
+        pending: Arc<AtomicUsize>,
+        v2: Arc<AtomicBool>,
+    },
+    /// The connection is gone (broadcast): close its streams on this shard.
+    Disconnected { conn: ConnId },
+    /// OPEN, pre-validated by the edge (duplicate + capacity checks).
+    Open { conn: ConnId, stream_id: u32 },
+    /// CLOSE, pre-validated by the edge (the stream was open there).
+    Close { conn: ConnId, stream_id: u32 },
+    /// `count` timesteps for one stream (a v1 PUSH, or one entry of a v2
+    /// PUSH_N). The edge already validated channels and charged `count`
+    /// to the connection's pending counter.
+    Push {
+        conn: ConnId,
+        stream_id: u32,
+        count: usize,
+        samples: Vec<f32>,
+    },
+    /// Hot-swap the engine (broadcast; only sent with zero open streams).
+    Swap { engine: ServeEngine },
+}
+
+/// What a shard reports back to the edge (processed on each wakeup).
+pub(crate) enum ShardNote {
+    /// A stream ended shard-side (idle eviction): the edge must release
+    /// its slot in the server-wide stream budget.
+    StreamClosed { conn: ConnId, stream_id: u32 },
+}
+
+struct ShardConn {
+    out: Arc<OutBuf>,
+    /// Connection-wide queued-timestep counter (shared with the edge,
+    /// which enforces the backpressure cap against it before forwarding).
+    pending: Arc<AtomicUsize>,
+    /// Latched once the connection sends a PUSH_N: emissions coalesce into
+    /// EMIT_N frames.
+    v2: Arc<AtomicBool>,
+    /// Connection-scoped stream id → pool slot on this shard.
+    streams: HashMap<u32, usize>,
+    /// Timesteps this shard queued for the connection since the last wave
+    /// (this shard's share of `pending`).
+    queued: usize,
+}
+
+struct StreamInfo {
+    conn: ConnId,
+    client_id: u32,
+    last_activity: Instant,
+}
+
+pub(crate) struct Shard {
+    pool: Box<dyn StreamPool>,
+    tick: Duration,
+    idle_timeout: Option<Duration>,
+    conns: HashMap<ConnId, ShardConn>,
+    /// Pool slot → owner.
+    streams: HashMap<usize, StreamInfo>,
+    stats: Arc<ShardStats>,
+    notes: Sender<ShardNote>,
+    waker: Waker,
+    /// Set when this iteration queued reply bytes: ring the edge once per
+    /// iteration, not once per frame.
+    wrote: bool,
+}
+
+impl Shard {
+    pub(crate) fn new(
+        engine: &ServeEngine,
+        tick: Duration,
+        idle_timeout: Option<Duration>,
+        stats: Arc<ShardStats>,
+        notes: Sender<ShardNote>,
+        waker: Waker,
+    ) -> Self {
+        Self {
+            pool: engine.new_pool(),
+            tick,
+            idle_timeout,
+            conns: HashMap::new(),
+            streams: HashMap::new(),
+            stats,
+            notes,
+            waker,
+            wrote: false,
+        }
+    }
+
+    fn send(&mut self, conn: ConnId, frame: &ServerFrame) {
+        if let Some(state) = self.conns.get(&conn) {
+            state.out.push(encode_server(frame));
+            self.wrote = true;
+        }
+    }
+
+    fn send_error(&mut self, conn: ConnId, code: ErrorCode, message: impl Into<String>) {
+        self.stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+        self.send(
+            conn,
+            &ServerFrame::Error {
+                code,
+                message: message.into(),
+            },
+        );
+    }
+
+    fn handle(&mut self, event: ShardEvent) {
+        match event {
+            ShardEvent::Connected {
+                conn,
+                out,
+                pending,
+                v2,
+            } => {
+                self.conns.insert(
+                    conn,
+                    ShardConn {
+                        out,
+                        pending,
+                        v2,
+                        streams: HashMap::new(),
+                        queued: 0,
+                    },
+                );
+            }
+            ShardEvent::Disconnected { conn } => {
+                if let Some(state) = self.conns.remove(&conn) {
+                    state.pending.fetch_sub(state.queued, Ordering::Relaxed);
+                    for (_, sid) in state.streams {
+                        self.pool.close_stream(sid);
+                        self.streams.remove(&sid);
+                    }
+                    self.stats
+                        .streams_open
+                        .store(self.streams.len() as u64, Ordering::Relaxed);
+                }
+            }
+            ShardEvent::Open { conn, stream_id } => self.handle_open(conn, stream_id),
+            ShardEvent::Close { conn, stream_id } => self.handle_close(conn, stream_id),
+            ShardEvent::Push {
+                conn,
+                stream_id,
+                count,
+                samples,
+            } => self.handle_push(conn, stream_id, count, &samples),
+            ShardEvent::Swap { engine } => {
+                // Only broadcast with zero open streams server-wide; a shard
+                // with live streams (an impossible race would be an edge
+                // bug) keeps its pool rather than corrupting them.
+                if self.streams.is_empty() {
+                    self.pool = engine.new_pool();
+                }
+            }
+        }
+    }
+
+    fn handle_open(&mut self, conn: ConnId, stream_id: u32) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let sid = self.pool.open_stream();
+        state.streams.insert(stream_id, sid);
+        self.streams.insert(
+            sid,
+            StreamInfo {
+                conn,
+                client_id: stream_id,
+                last_activity: Instant::now(),
+            },
+        );
+        self.stats.streams_opened.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .streams_open
+            .store(self.streams.len() as u64, Ordering::Relaxed);
+        self.send(conn, &ServerFrame::Opened { stream_id });
+    }
+
+    fn handle_close(&mut self, conn: ConnId, stream_id: u32) {
+        let Some(sid) = self
+            .conns
+            .get_mut(&conn)
+            .and_then(|c| c.streams.remove(&stream_id))
+        else {
+            // The edge validated liveness against its own table, but an
+            // idle eviction can race the CLOSE: the stream is simply gone.
+            self.send_error(
+                conn,
+                ErrorCode::UnknownStream,
+                format!("stream {stream_id} is not open"),
+            );
+            return;
+        };
+        // CLOSE is an orderly end, not an abort: timesteps the stream
+        // already pushed must become final emissions, not vanish depending
+        // on where the tick happened to land.
+        if self.pool.pending_for(sid) > 0 {
+            self.run_wave();
+        }
+        self.pool.close_stream(sid);
+        self.streams.remove(&sid);
+        self.stats
+            .streams_open
+            .store(self.streams.len() as u64, Ordering::Relaxed);
+        self.send(
+            conn,
+            &ServerFrame::Closed {
+                stream_id,
+                reason: CloseReason::ByClient,
+            },
+        );
+    }
+
+    fn handle_push(&mut self, conn: ConnId, stream_id: u32, count: usize, samples: &[f32]) {
+        let Some(&sid) = self
+            .conns
+            .get(&conn)
+            .and_then(|c| c.streams.get(&stream_id))
+        else {
+            // Evicted (or closed) between the edge's check and now: refund
+            // the pending charge the edge made and tell the client.
+            if let Some(state) = self.conns.get(&conn) {
+                state.pending.fetch_sub(count, Ordering::Relaxed);
+            }
+            self.send_error(
+                conn,
+                ErrorCode::UnknownStream,
+                format!("stream {stream_id} is not open"),
+            );
+            return;
+        };
+        let c_in = self.pool.input_channels();
+        for sample in samples.chunks_exact(c_in) {
+            self.pool.push(sid, sample);
+        }
+        if let Some(state) = self.conns.get_mut(&conn) {
+            state.queued += count;
+        }
+        self.stats
+            .timesteps_in
+            .fetch_add(count as u64, Ordering::Relaxed);
+        if let Some(info) = self.streams.get_mut(&sid) {
+            info.last_activity = Instant::now();
+        }
+    }
+
+    /// One batched wave: flush every queued timestep through this shard's
+    /// pool (one GEMM per layer per wave) and route emissions back —
+    /// per-stream EMIT frames for v1 connections, one coalesced EMIT_N per
+    /// connection for v2.
+    fn run_wave(&mut self) {
+        let occupancy = self
+            .streams
+            .keys()
+            .filter(|&&sid| self.pool.pending_for(sid) > 0)
+            .count();
+        if occupancy == 0 {
+            return;
+        }
+        let t0 = Instant::now();
+        let results = self.pool.flush();
+        self.stats.record_wave(occupancy, t0.elapsed());
+        // A flush drains every queue on this shard: refund each
+        // connection's share of its pending counter.
+        for state in self.conns.values_mut() {
+            if state.queued > 0 {
+                state.pending.fetch_sub(state.queued, Ordering::Relaxed);
+                state.queued = 0;
+            }
+        }
+        if results.is_empty() {
+            return;
+        }
+        // Coalesce each stream's chronological emissions.
+        let dim = self.pool.output_dim().max(1);
+        let mut per_stream: HashMap<usize, Vec<f32>> = HashMap::new();
+        let mut order: Vec<usize> = Vec::new();
+        for (sid, out) in results {
+            let entry = per_stream.entry(sid).or_insert_with(|| {
+                order.push(sid);
+                Vec::new()
+            });
+            entry.extend_from_slice(&out);
+        }
+        // Frames must stay under the protocol's body bound: cap the vectors
+        // per frame and split a backlog across frames (order preserved).
+        let max_vectors_per_frame = ((MAX_FRAME_BODY - 64) / (4 * dim)).max(1);
+        let mut emit_n: HashMap<ConnId, EmitNBuilder> = HashMap::new();
+        let mut conn_order: Vec<ConnId> = Vec::new();
+        for sid in order {
+            let outputs = per_stream.remove(&sid).expect("grouped above");
+            self.stats
+                .emissions_out
+                .fetch_add((outputs.len() / dim) as u64, Ordering::Relaxed);
+            let Some(info) = self.streams.get(&sid) else {
+                continue;
+            };
+            let (conn, stream_id) = (info.conn, info.client_id);
+            let v2 = self
+                .conns
+                .get(&conn)
+                .map(|c| c.v2.load(Ordering::Relaxed))
+                .unwrap_or(false);
+            if v2 {
+                let builder = emit_n.entry(conn).or_insert_with(|| {
+                    conn_order.push(conn);
+                    EmitNBuilder::new(dim)
+                });
+                for chunk in outputs.chunks(max_vectors_per_frame * dim) {
+                    if let Some(full) = builder.add(stream_id, chunk) {
+                        self.send(conn, &full);
+                    }
+                }
+            } else {
+                for chunk in outputs.chunks(max_vectors_per_frame * dim) {
+                    self.send(
+                        conn,
+                        &ServerFrame::Emit {
+                            stream_id,
+                            count: (chunk.len() / dim) as u32,
+                            dim: dim as u32,
+                            outputs: chunk.to_vec(),
+                        },
+                    );
+                }
+            }
+        }
+        for conn in conn_order {
+            if let Some(frame) = emit_n.remove(&conn).expect("built above").finish() {
+                self.send(conn, &frame);
+            }
+        }
+    }
+
+    fn evict_idle(&mut self) {
+        let Some(timeout) = self.idle_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        let stale: Vec<usize> = self
+            .streams
+            .iter()
+            .filter(|(_, info)| now.duration_since(info.last_activity) > timeout)
+            .map(|(&sid, _)| sid)
+            .collect();
+        for sid in stale {
+            let Some(info) = self.streams.remove(&sid) else {
+                continue;
+            };
+            let dropped = self.pool.pending_for(sid);
+            self.pool.close_stream(sid);
+            if let Some(state) = self.conns.get_mut(&info.conn) {
+                state.streams.remove(&info.client_id);
+                state.queued = state.queued.saturating_sub(dropped);
+                state.pending.fetch_sub(dropped, Ordering::Relaxed);
+            }
+            self.stats.streams_evicted.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .streams_open
+                .store(self.streams.len() as u64, Ordering::Relaxed);
+            // Release the edge's stream budget before the client learns —
+            // a reopen after CLOSED must find the slot free.
+            let _ = self.notes.send(ShardNote::StreamClosed {
+                conn: info.conn,
+                stream_id: info.client_id,
+            });
+            self.send(
+                info.conn,
+                &ServerFrame::Closed {
+                    stream_id: info.client_id,
+                    reason: CloseReason::IdleEvicted,
+                },
+            );
+        }
+    }
+
+    /// Graceful drain: flush whatever is queued, deliver the final
+    /// emissions, and tell every stream it is over.
+    fn drain(&mut self) {
+        if self.pool.pending_steps() > 0 {
+            self.run_wave();
+        }
+        let open: Vec<usize> = self.streams.keys().copied().collect();
+        for sid in open {
+            let Some(info) = self.streams.remove(&sid) else {
+                continue;
+            };
+            self.pool.close_stream(sid);
+            if let Some(state) = self.conns.get_mut(&info.conn) {
+                state.streams.remove(&info.client_id);
+            }
+            self.send(
+                info.conn,
+                &ServerFrame::Closed {
+                    stream_id: info.client_id,
+                    reason: CloseReason::Drained,
+                },
+            );
+        }
+        self.stats.streams_open.store(0, Ordering::Relaxed);
+    }
+
+    /// The shard thread: collect routed events, run at most one wave per
+    /// tick, evict idle streams, and drain when the edge closes the
+    /// channel.
+    pub(crate) fn run(mut self, rx: Receiver<ShardEvent>) {
+        let mut next_wave = Instant::now();
+        loop {
+            let timeout = if self.pool.pending_steps() > 0 {
+                next_wave.saturating_duration_since(Instant::now())
+            } else {
+                // Idle: wake occasionally for eviction checks.
+                Duration::from_millis(5)
+            };
+            let mut disconnected = false;
+            match rx.recv_timeout(timeout) {
+                Ok(event) => {
+                    self.handle(event);
+                    while let Ok(event) = rx.try_recv() {
+                        self.handle(event);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => disconnected = true,
+            }
+            if disconnected {
+                // The edge dropped the senders after its final read sweep:
+                // everything routed is already handled (the channel delivers
+                // buffered events before reporting disconnect).
+                self.drain();
+                break;
+            }
+            if self.pool.pending_steps() > 0 && Instant::now() >= next_wave {
+                self.run_wave();
+                next_wave = Instant::now() + self.tick;
+            }
+            self.evict_idle();
+            if self.wrote {
+                self.wrote = false;
+                self.waker.wake();
+            }
+        }
+        // Final emissions and CLOSED frames are in the outbufs; the edge is
+        // joining us and flushes them once we are gone.
+        self.waker.wake();
+    }
+}
+
+/// Accumulates one wave's emissions for one v2 connection into EMIT_N
+/// frames, splitting when a frame would exceed the protocol body bound.
+struct EmitNBuilder {
+    dim: usize,
+    entries: Vec<(u32, u32)>,
+    outputs: Vec<f32>,
+}
+
+impl EmitNBuilder {
+    fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            entries: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    fn frame_bytes(entries: usize, values: usize) -> usize {
+        // opcode + dim + entry count + entries + payload.
+        1 + 4 + 4 + entries * 8 + values * 4
+    }
+
+    /// Adds one stream's chunk of output values; returns a finished frame
+    /// first when adding would overflow the body bound.
+    fn add(&mut self, stream_id: u32, values: &[f32]) -> Option<ServerFrame> {
+        let flushed = if !self.entries.is_empty()
+            && Self::frame_bytes(self.entries.len() + 1, self.outputs.len() + values.len())
+                > MAX_FRAME_BODY
+        {
+            self.finish()
+        } else {
+            None
+        };
+        self.entries
+            .push((stream_id, (values.len() / self.dim) as u32));
+        self.outputs.extend_from_slice(values);
+        flushed
+    }
+
+    /// The accumulated frame, if any emissions are pending.
+    fn finish(&mut self) -> Option<ServerFrame> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        Some(ServerFrame::EmitN {
+            dim: self.dim as u32,
+            entries: std::mem::take(&mut self.entries),
+            outputs: std::mem::take(&mut self.outputs),
+        })
+    }
+}

@@ -1,6 +1,16 @@
 //! Serving counters and the snapshot the STATS frame returns.
+//!
+//! The daemon's counters live in two places, mirroring its thread layout:
+//! the edge thread owns connection-level counters as plain integers
+//! (`EdgeCounters`), while each wave-batcher shard owns a `ShardStats`
+//! block of atomics it updates lock-free from its own thread. A STATS
+//! request aggregates all of them into one [`StatsSnapshot`] at the edge —
+//! per-shard latency windows are merged before computing percentiles, so
+//! p50/p99 describe the whole daemon, not one shard.
 
 use pit_tensor::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A point-in-time view of the daemon's counters, as returned by the STATS
 /// frame (rendered to JSON) and by [`crate::ServerHandle::shutdown`].
@@ -10,6 +20,8 @@ pub struct StatsSnapshot {
     pub model: String,
     /// `"f32"` or `"i8"`.
     pub kind: String,
+    /// Number of wave-batcher shards serving the pool.
+    pub shards: u64,
     /// Connections accepted since boot.
     pub connections_total: u64,
     /// Connections currently open.
@@ -43,9 +55,10 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> Json {
         let n = |v: u64| Json::Num(v as f64);
         Json::Obj(vec![
-            ("schema".into(), Json::Str("pit-serve-stats/1".into())),
+            ("schema".into(), Json::Str("pit-serve-stats/2".into())),
             ("model".into(), Json::Str(self.model.clone())),
             ("kind".into(), Json::Str(self.kind.clone())),
+            ("shards".into(), n(self.shards)),
             ("connections_total".into(), n(self.connections_total)),
             ("connections_open".into(), n(self.connections_open)),
             ("streams_open".into(), n(self.streams_open)),
@@ -84,6 +97,8 @@ impl StatsSnapshot {
         Ok(Self {
             model: text_field("model")?,
             kind: text_field("kind")?,
+            // Absent in pit-serve-stats/1 documents: default to one shard.
+            shards: doc.get("shards").and_then(Json::as_f64).unwrap_or(1.0) as u64,
             connections_total: int("connections_total")?,
             connections_open: int("connections_open")?,
             streams_open: int("streams_open")?,
@@ -105,11 +120,12 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} ({}): {} conns ({} open), {} streams open ({} opened, {} evicted), \
+            "{} ({}, {} shards): {} conns ({} open), {} streams open ({} opened, {} evicted), \
              {} timesteps in, {} emissions out, {} rejected, {} waves \
              (occupancy {:.1}, p50 {} ns, p99 {} ns)",
             self.model,
             self.kind,
+            self.shards,
             self.connections_total,
             self.connections_open,
             self.streams_open,
@@ -126,98 +142,154 @@ impl std::fmt::Display for StatsSnapshot {
     }
 }
 
-/// Size of the rolling wave-latency window percentiles are computed over.
+/// Size of each shard's rolling wave-latency window. Percentiles are
+/// computed over the merged windows of every shard.
 const LATENCY_WINDOW: usize = 4096;
 
-/// The batcher-owned counter block. Single-threaded by design: every event
-/// funnels through the wave-batcher thread, so counters are plain integers,
-/// not atomics.
+/// Rolling window of recent wave latencies (ns), overwritten oldest-first.
 #[derive(Debug, Default)]
-pub(crate) struct ServerStats {
-    pub(crate) connections_total: u64,
-    pub(crate) connections_open: u64,
-    pub(crate) streams_opened: u64,
-    pub(crate) streams_evicted: u64,
-    pub(crate) timesteps_in: u64,
-    pub(crate) emissions_out: u64,
-    pub(crate) frames_rejected: u64,
-    pub(crate) replies_dropped: u64,
-    pub(crate) waves: u64,
-    occupancy_sum: u64,
-    /// Rolling window of recent wave latencies (ns).
+struct LatencyWindow {
     wave_ns: Vec<u64>,
-    wave_ns_next: usize,
+    next: usize,
 }
 
-impl ServerStats {
-    /// Records one flushed wave: how many streams it served and how long the
-    /// flush took.
-    pub(crate) fn record_wave(&mut self, occupancy: usize, elapsed: std::time::Duration) {
-        self.waves += 1;
-        self.occupancy_sum += occupancy as u64;
-        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+impl LatencyWindow {
+    fn record(&mut self, ns: u64) {
         if self.wave_ns.len() < LATENCY_WINDOW {
             self.wave_ns.push(ns);
         } else {
-            self.wave_ns[self.wave_ns_next] = ns;
-            self.wave_ns_next = (self.wave_ns_next + 1) % LATENCY_WINDOW;
+            self.wave_ns[self.next] = ns;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
         }
     }
+}
 
-    fn percentile(sorted: &[u64], p: f64) -> u64 {
-        if sorted.is_empty() {
-            return 0;
-        }
-        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-        sorted[idx]
+/// One wave-batcher shard's counter block. The owning shard thread updates
+/// the atomics lock-free; the edge thread reads them (and briefly locks the
+/// latency window) only when a STATS request or shutdown aggregates a
+/// snapshot.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStats {
+    pub(crate) streams_open: AtomicU64,
+    pub(crate) streams_opened: AtomicU64,
+    pub(crate) streams_evicted: AtomicU64,
+    pub(crate) timesteps_in: AtomicU64,
+    pub(crate) emissions_out: AtomicU64,
+    pub(crate) frames_rejected: AtomicU64,
+    pub(crate) waves: AtomicU64,
+    occupancy_sum: AtomicU64,
+    window: Mutex<LatencyWindow>,
+}
+
+impl ShardStats {
+    /// Records one flushed wave: how many streams it served and how long the
+    /// flush took.
+    pub(crate) fn record_wave(&self, occupancy: usize, elapsed: std::time::Duration) {
+        self.waves.fetch_add(1, Ordering::Relaxed);
+        self.occupancy_sum
+            .fetch_add(occupancy as u64, Ordering::Relaxed);
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.window.lock().expect("window lock").record(ns);
     }
+}
 
-    pub(crate) fn snapshot(&self, model: &str, kind: &str, streams_open: u64) -> StatsSnapshot {
-        let mut window = self.wave_ns.clone();
-        window.sort_unstable();
-        StatsSnapshot {
-            model: model.to_string(),
-            kind: kind.to_string(),
-            connections_total: self.connections_total,
-            connections_open: self.connections_open,
-            streams_open,
-            streams_opened: self.streams_opened,
-            streams_evicted: self.streams_evicted,
-            timesteps_in: self.timesteps_in,
-            emissions_out: self.emissions_out,
-            frames_rejected: self.frames_rejected,
-            replies_dropped: self.replies_dropped,
-            waves: self.waves,
-            wave_occupancy: if self.waves == 0 {
-                0.0
-            } else {
-                self.occupancy_sum as f64 / self.waves as f64
-            },
-            wave_p50_ns: Self::percentile(&window, 0.50),
-            wave_p99_ns: Self::percentile(&window, 0.99),
-        }
+/// Edge-thread-owned counters: plain integers, since every connection event
+/// funnels through the single edge thread. `replies_dropped` is the one
+/// shared counter — shard threads drop replies too, when a connection's
+/// write buffer is full — so it is an atomic the edge and all shards share.
+#[derive(Debug, Default)]
+pub(crate) struct EdgeCounters {
+    pub(crate) connections_total: u64,
+    pub(crate) connections_open: u64,
+    pub(crate) frames_rejected: u64,
+    pub(crate) replies_dropped: std::sync::Arc<AtomicU64>,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Aggregates the edge's counters and every shard's counters into one
+/// daemon-wide snapshot.
+pub(crate) fn aggregate_snapshot(
+    model: &str,
+    kind: &str,
+    edge: &EdgeCounters,
+    shards: &[std::sync::Arc<ShardStats>],
+) -> StatsSnapshot {
+    let sum = |f: &dyn Fn(&ShardStats) -> &AtomicU64| -> u64 {
+        shards.iter().map(|s| f(s).load(Ordering::Relaxed)).sum()
+    };
+    let waves = sum(&|s| &s.waves);
+    let occupancy_sum = sum(&|s| &s.occupancy_sum);
+    let mut window: Vec<u64> = Vec::new();
+    for shard in shards {
+        window.extend_from_slice(&shard.window.lock().expect("window lock").wave_ns);
+    }
+    window.sort_unstable();
+    StatsSnapshot {
+        model: model.to_string(),
+        kind: kind.to_string(),
+        shards: shards.len() as u64,
+        connections_total: edge.connections_total,
+        connections_open: edge.connections_open,
+        streams_open: sum(&|s| &s.streams_open),
+        streams_opened: sum(&|s| &s.streams_opened),
+        streams_evicted: sum(&|s| &s.streams_evicted),
+        timesteps_in: sum(&|s| &s.timesteps_in),
+        emissions_out: sum(&|s| &s.emissions_out),
+        frames_rejected: edge.frames_rejected + sum(&|s| &s.frames_rejected),
+        replies_dropped: edge.replies_dropped.load(Ordering::Relaxed),
+        waves,
+        wave_occupancy: if waves == 0 {
+            0.0
+        } else {
+            occupancy_sum as f64 / waves as f64
+        },
+        wave_p50_ns: percentile(&window, 0.50),
+        wave_p99_ns: percentile(&window, 0.99),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use std::time::Duration;
 
     #[test]
-    fn snapshot_roundtrips_through_json() {
-        let mut stats = ServerStats {
+    fn snapshot_aggregates_shards_and_roundtrips_through_json() {
+        let edge = EdgeCounters {
             connections_total: 3,
             connections_open: 2,
-            streams_opened: 5,
-            timesteps_in: 1000,
-            emissions_out: 125,
-            ..ServerStats::default()
+            frames_rejected: 1,
+            ..EdgeCounters::default()
         };
-        for i in 0..100u64 {
-            stats.record_wave(4, Duration::from_nanos(1000 + i));
+        edge.replies_dropped.store(7, Ordering::Relaxed);
+        let shards: Vec<Arc<ShardStats>> =
+            (0..2).map(|_| Arc::new(ShardStats::default())).collect();
+        for (i, shard) in shards.iter().enumerate() {
+            shard.streams_open.store(2, Ordering::Relaxed);
+            shard.streams_opened.store(5, Ordering::Relaxed);
+            shard.timesteps_in.store(500, Ordering::Relaxed);
+            shard.emissions_out.store(60 + i as u64, Ordering::Relaxed);
+            shard.frames_rejected.store(1, Ordering::Relaxed);
+            for j in 0..50u64 {
+                shard.record_wave(4, Duration::from_nanos(1000 + j));
+            }
         }
-        let snap = stats.snapshot("TEMPONet-plan", "f32", 4);
+        let snap = aggregate_snapshot("TEMPONet-plan", "f32", &edge, &shards);
+        assert_eq!(snap.shards, 2);
+        assert_eq!(snap.streams_open, 4);
+        assert_eq!(snap.streams_opened, 10);
+        assert_eq!(snap.timesteps_in, 1000);
+        assert_eq!(snap.emissions_out, 121);
+        assert_eq!(snap.frames_rejected, 3, "edge + shard rejections");
+        assert_eq!(snap.replies_dropped, 7);
         assert_eq!(snap.waves, 100);
         assert!((snap.wave_occupancy - 4.0).abs() < 1e-9);
         assert!(snap.wave_p50_ns >= 1000 && snap.wave_p99_ns >= snap.wave_p50_ns);
@@ -227,8 +299,21 @@ mod tests {
     }
 
     #[test]
+    fn v1_documents_without_a_shard_count_parse_as_one_shard() {
+        let snap = aggregate_snapshot(
+            "m",
+            "i8",
+            &EdgeCounters::default(),
+            &[Arc::new(ShardStats::default())],
+        );
+        let text = snap.to_json().render().replace("\"shards\": 1, ", "");
+        let back = StatsSnapshot::from_json_str(&text).unwrap();
+        assert_eq!(back.shards, 1);
+    }
+
+    #[test]
     fn latency_window_rolls_over() {
-        let mut stats = ServerStats::default();
+        let stats = ShardStats::default();
         for _ in 0..LATENCY_WINDOW {
             stats.record_wave(1, Duration::from_nanos(10));
         }
@@ -236,7 +321,7 @@ mod tests {
         for _ in 0..LATENCY_WINDOW {
             stats.record_wave(1, Duration::from_nanos(1_000_000));
         }
-        let snap = stats.snapshot("m", "f32", 0);
+        let snap = aggregate_snapshot("m", "f32", &EdgeCounters::default(), &[Arc::new(stats)]);
         assert_eq!(snap.wave_p50_ns, 1_000_000);
     }
 }

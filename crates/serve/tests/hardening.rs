@@ -189,6 +189,104 @@ fn truncated_push_body_is_a_bad_frame_not_a_panic() {
     handle.shutdown();
 }
 
+/// Hand-crafts a PUSH_N frame body: opcode 0x07, channels, an entry count
+/// (overridable to lie), `(stream_id, count)` pairs, then samples.
+fn raw_push_n(
+    channels: u32,
+    n_override: Option<u32>,
+    entries: &[(u32, u32)],
+    samples: &[f32],
+) -> Vec<u8> {
+    let mut body = vec![0x07];
+    body.extend_from_slice(&channels.to_le_bytes());
+    body.extend_from_slice(&n_override.unwrap_or(entries.len() as u32).to_le_bytes());
+    for &(sid, count) in entries {
+        body.extend_from_slice(&sid.to_le_bytes());
+        body.extend_from_slice(&count.to_le_bytes());
+    }
+    for v in samples {
+        body.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    frame
+}
+
+#[test]
+fn malformed_push_n_counts_error_without_killing_the_daemon() {
+    let (addr, handle) = spawn_server();
+    // Each case on its own raw connection; the daemon must survive all.
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("zero entries", raw_push_n(1, None, &[], &[])),
+        ("zero channels", raw_push_n(0, None, &[(0, 1)], &[0.5])),
+        ("zero-count entry", raw_push_n(1, None, &[(0, 0)], &[])),
+        (
+            "entry count lies past the payload",
+            raw_push_n(1, Some(u32::MAX), &[(0, 1)], &[0.5]),
+        ),
+        (
+            "counts sum past the frame bound",
+            raw_push_n(1, None, &[(0, u32::MAX), (1, u32::MAX)], &[0.5]),
+        ),
+        (
+            "payload shorter than the counts claim",
+            raw_push_n(1, None, &[(0, 4)], &[0.5]),
+        ),
+    ];
+    for (label, frame) in cases {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.write_all(&frame).unwrap();
+        raw.flush().unwrap();
+        // The reply must be a BAD_FRAME error on the offending connection.
+        use pit_serve::protocol::{decode_server, FrameReader, ReadOutcome};
+        raw.set_read_timeout(Some(RECV_TIMEOUT)).unwrap();
+        let mut reader = FrameReader::new(raw);
+        let body = loop {
+            match reader.poll().expect("read") {
+                ReadOutcome::Frame(body) => break body,
+                ReadOutcome::WouldBlock => continue,
+                ReadOutcome::Eof => panic!("{label}: server hung up instead of replying"),
+            }
+        };
+        match decode_server(&body).unwrap_or_else(|e| panic!("{label}: reply decodes ({e})")) {
+            ServerFrame::Error { code, .. } => {
+                assert_eq!(code, ErrorCode::BadFrame, "{label}")
+            }
+            other => panic!("{label}: expected BAD_FRAME, got {other:?}"),
+        }
+    }
+    assert_alive(addr);
+    handle.shutdown();
+}
+
+#[test]
+fn push_n_with_an_unknown_stream_rejects_the_whole_frame() {
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(addr).expect("connect");
+    client.open(0).expect("open");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Opened { stream_id: 0 })
+    ));
+    // Stream 1 was never opened: the whole batch must be refused — stream
+    // 0's timesteps must not half-apply.
+    client
+        .push_n(1, &[(0, 2), (1, 2)], &[0.1, 0.2, 0.3, 0.4])
+        .expect("send");
+    expect_error(&mut client, ErrorCode::UnknownStream);
+    client.stats().expect("stats");
+    let Some(ServerFrame::StatsJson { json }) = client.recv_timeout(RECV_TIMEOUT).unwrap() else {
+        panic!("expected stats json")
+    };
+    let snap = pit_serve::StatsSnapshot::from_json_str(&json).expect("parses");
+    assert_eq!(
+        snap.timesteps_in, 0,
+        "a rejected PUSH_N must not enqueue any entry"
+    );
+    assert_alive(addr);
+    handle.shutdown();
+}
+
 #[test]
 fn random_garbage_streams_never_panic_the_daemon() {
     let (addr, handle) = spawn_server();

@@ -72,9 +72,13 @@ fn assert_f32_close(got: &[Vec<f32>], want: &[Vec<f32>], label: &str) {
 /// 16 concurrent client threads (one connection + one stream each), ragged
 /// stream lengths and staggered open/close, against one daemon. Shared
 /// scenario for both engines.
-fn sixteen_ragged_streams(engine: ServeEngine, mut solo: impl FnMut(&[f32]) -> Vec<Vec<f32>>) {
+fn sixteen_ragged_streams(
+    engine: ServeEngine,
+    config: ServerConfig,
+    mut solo: impl FnMut(&[f32]) -> Vec<Vec<f32>>,
+) {
     const STREAMS: usize = 16;
-    let server = Server::bind(engine, ServerConfig::default()).expect("bind ephemeral");
+    let server = Server::bind(engine, config).expect("bind ephemeral");
     let addr = server.local_addr();
     let handle = server.spawn();
 
@@ -139,10 +143,31 @@ fn sixteen_ragged_streams(engine: ServeEngine, mut solo: impl FnMut(&[f32]) -> V
 fn f32_sixteen_ragged_streams_match_solo_sessions() {
     let plan = searched_plan(1);
     let solo_plan = Arc::clone(&plan);
-    sixteen_ragged_streams(ServeEngine::F32(plan), move |input| {
-        let mut session = Session::new(Arc::clone(&solo_plan));
-        input.chunks(C).filter_map(|s| session.push(s)).collect()
-    });
+    sixteen_ragged_streams(
+        ServeEngine::F32(plan),
+        ServerConfig::default(),
+        move |input| {
+            let mut session = Session::new(Arc::clone(&solo_plan));
+            input.chunks(C).filter_map(|s| session.push(s)).collect()
+        },
+    );
+}
+
+#[test]
+fn f32_ragged_streams_across_four_shards_match_solo_sessions() {
+    let plan = searched_plan(21);
+    let solo_plan = Arc::clone(&plan);
+    sixteen_ragged_streams(
+        ServeEngine::F32(plan),
+        ServerConfig {
+            shards: 4,
+            ..ServerConfig::default()
+        },
+        move |input| {
+            let mut session = Session::new(Arc::clone(&solo_plan));
+            input.chunks(C).filter_map(|s| session.push(s)).collect()
+        },
+    );
 }
 
 #[test]
@@ -187,6 +212,287 @@ fn i8_sixteen_ragged_streams_match_solo_sessions_bit_for_bit() {
         let want: Vec<Vec<f32>> = input.chunks(C).filter_map(|s| session.push(s)).collect();
         assert_eq!(got, &want, "stream {i} must be bit-exact");
     }
+}
+
+/// Drains frames until every stream in `want` reached its expected output
+/// count, demuxing both v1 EMIT and v2 EMIT_N frames per stream.
+fn collect_demuxed(
+    client: &mut Client,
+    want: &std::collections::HashMap<u32, usize>,
+    dim: usize,
+) -> (std::collections::HashMap<u32, Vec<Vec<f32>>>, usize) {
+    let mut out: std::collections::HashMap<u32, Vec<Vec<f32>>> = std::collections::HashMap::new();
+    let mut emit_n_frames = 0usize;
+    let done = |out: &std::collections::HashMap<u32, Vec<Vec<f32>>>| {
+        want.iter()
+            .all(|(sid, &n)| out.get(sid).map_or(n == 0, |v| v.len() >= n))
+    };
+    while !done(&out) {
+        match client
+            .recv_timeout(RECV_TIMEOUT)
+            .expect("transport healthy")
+            .expect("emissions arrive before the timeout")
+        {
+            ServerFrame::Emit {
+                stream_id, outputs, ..
+            } => {
+                let per = out.entry(stream_id).or_default();
+                for chunk in outputs.chunks_exact(dim) {
+                    per.push(chunk.to_vec());
+                }
+            }
+            ServerFrame::EmitN {
+                entries, outputs, ..
+            } => {
+                emit_n_frames += 1;
+                let mut offset = 0usize;
+                for (stream_id, count) in entries {
+                    let per = out.entry(stream_id).or_default();
+                    let end = offset + count as usize * dim;
+                    for chunk in outputs[offset..end].chunks_exact(dim) {
+                        per.push(chunk.to_vec());
+                    }
+                    offset = end;
+                }
+            }
+            ServerFrame::Opened { .. } | ServerFrame::Closed { .. } => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    for (sid, &n) in want {
+        assert_eq!(
+            out.get(sid).map_or(0, Vec::len),
+            n,
+            "stream {sid}: no extra emissions expected"
+        );
+    }
+    (out, emit_n_frames)
+}
+
+/// 32 streams spread over 4 connections and 4 shards, several streams per
+/// connection, pushed in interleaved bursts — the demux (stream → shard at
+/// OPEN, per-stream reassembly on EMIT) must keep every stream bit-exact
+/// with a solo int8 session.
+#[test]
+fn i8_multi_connection_streams_across_four_shards_are_bit_exact() {
+    const CONNS: usize = 4;
+    const PER_CONN: usize = 8;
+    let plan = searched_plan(31);
+    let qplan = quantized_plan(&plan, 32);
+    let server = Server::bind(
+        ServeEngine::I8(Arc::clone(&qplan)),
+        ServerConfig {
+            shards: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut rng = StdRng::seed_from_u64(33);
+    // Ragged: stream s on conn c runs 8..=64 steps.
+    let inputs: Vec<Vec<Vec<f32>>> = (0..CONNS)
+        .map(|c| {
+            (0..PER_CONN)
+                .map(|s| random_stream(&mut rng, 8 + 8 * ((c + 2 * s) % 8)))
+                .collect()
+        })
+        .collect();
+
+    let workers: Vec<_> = inputs
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(c, conn_inputs)| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for s in 0..PER_CONN {
+                    client.open(s as u32).expect("open");
+                }
+                // Interleave bursts of 4 timesteps round-robin across the
+                // connection's streams, so shards see mixed arrivals.
+                let mut offsets = [0usize; PER_CONN];
+                loop {
+                    let mut progressed = false;
+                    for (s, input) in conn_inputs.iter().enumerate() {
+                        let steps = input.len() / C;
+                        if offsets[s] < steps {
+                            let take = 4.min(steps - offsets[s]);
+                            client
+                                .push(
+                                    s as u32,
+                                    C as u32,
+                                    &input[offsets[s] * C..(offsets[s] + take) * C],
+                                )
+                                .expect("push");
+                            offsets[s] += take;
+                            progressed = true;
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                let want: std::collections::HashMap<u32, usize> = conn_inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(s, input)| (s as u32, input.len() / C / 8))
+                    .collect();
+                let (out, _) = collect_demuxed(&mut client, &want, 1);
+                (c, out)
+            })
+        })
+        .collect();
+
+    let results: Vec<_> = workers
+        .into_iter()
+        .map(|w| w.join().expect("worker"))
+        .collect();
+    let stats = handle.shutdown();
+    assert_eq!(stats.streams_opened, (CONNS * PER_CONN) as u64);
+    assert_eq!(stats.shards, 4);
+
+    for (c, out) in results {
+        for (s, input) in inputs[c].iter().enumerate() {
+            let mut session = QuantizedSession::new(Arc::clone(&qplan));
+            let want: Vec<Vec<f32>> = input.chunks(C).filter_map(|x| session.push(x)).collect();
+            assert_eq!(
+                out.get(&(s as u32)).map_or(0, Vec::len),
+                want.len(),
+                "conn {c} stream {s}: emission count"
+            );
+            assert_eq!(
+                out[&(s as u32)],
+                want,
+                "conn {c} stream {s} must be bit-exact"
+            );
+        }
+    }
+}
+
+/// Protocol v2: PUSH_N batches several streams' timesteps into one frame;
+/// the server latches the connection into v2 and replies with coalesced
+/// EMIT_N frames. Outputs stay bit-exact with solo int8 sessions.
+#[test]
+fn push_n_batches_serve_bit_exact_and_reply_with_emit_n() {
+    const STREAMS: usize = 6;
+    const STEPS: usize = 32;
+    let plan = searched_plan(41);
+    let qplan = quantized_plan(&plan, 42);
+    let server = Server::bind(
+        ServeEngine::I8(Arc::clone(&qplan)),
+        ServerConfig {
+            shards: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut rng = StdRng::seed_from_u64(43);
+    let inputs: Vec<Vec<f32>> = (0..STREAMS)
+        .map(|_| random_stream(&mut rng, STEPS))
+        .collect();
+
+    let mut client = Client::connect(addr).expect("connect");
+    for s in 0..STREAMS {
+        client.open(s as u32).expect("open");
+    }
+    // Push all streams 8 timesteps at a time through single PUSH_N frames.
+    for round in 0..STEPS / 8 {
+        let entries: Vec<(u32, u32)> = (0..STREAMS).map(|s| (s as u32, 8)).collect();
+        let samples: Vec<f32> = inputs
+            .iter()
+            .flat_map(|input| input[round * 8 * C..(round + 1) * 8 * C].iter().copied())
+            .collect();
+        client.push_n(C as u32, &entries, &samples).expect("push_n");
+    }
+    let want: std::collections::HashMap<u32, usize> =
+        (0..STREAMS as u32).map(|s| (s, STEPS / 8)).collect();
+    let (out, emit_n_frames) = collect_demuxed(&mut client, &want, 1);
+    assert!(
+        emit_n_frames > 0,
+        "a PUSH_N connection must get coalesced EMIT_N replies"
+    );
+    handle.shutdown();
+
+    for (s, input) in inputs.iter().enumerate() {
+        let mut session = QuantizedSession::new(Arc::clone(&qplan));
+        let solo: Vec<Vec<f32>> = input.chunks(C).filter_map(|x| session.push(x)).collect();
+        assert_eq!(out[&(s as u32)], solo, "stream {s} must be bit-exact");
+    }
+}
+
+/// A connection with streams pinned across all shards drops mid-sweep
+/// (queued timesteps unflushed). Every shard must reclaim its slots and the
+/// server-wide budget must free up for a new connection.
+#[test]
+fn mid_sweep_disconnect_reclaims_slots_on_every_shard() {
+    const STREAMS: usize = 8;
+    let plan = searched_plan(51);
+    let server = Server::bind(
+        ServeEngine::F32(plan),
+        ServerConfig {
+            shards: 4,
+            max_streams: STREAMS,
+            // Slow tick: the disconnect lands while pushes are queued.
+            tick: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut rng = StdRng::seed_from_u64(53);
+    {
+        let mut doomed = Client::connect(addr).expect("connect");
+        for s in 0..STREAMS {
+            doomed.open(s as u32).expect("open");
+        }
+        // Read the OPENED acks before vanishing: a socket dropped with
+        // unread replies resets the connection, and a reset may discard
+        // frames still in flight toward the server — the test pins down
+        // slot reclamation, not TCP loss semantics.
+        for _ in 0..STREAMS {
+            assert!(matches!(
+                doomed.recv_timeout(RECV_TIMEOUT).unwrap(),
+                Some(ServerFrame::Opened { .. })
+            ));
+        }
+        for s in 0..STREAMS {
+            let input = random_stream(&mut rng, 8);
+            doomed.push(s as u32, C as u32, &input).expect("push");
+        }
+        // Dropped here, mid-sweep: no CLOSE frames, timesteps still queued.
+    }
+
+    // All eight slots must come back; cleanup is asynchronous, so retry.
+    let mut client = Client::connect(addr).expect("connect");
+    let deadline = std::time::Instant::now() + RECV_TIMEOUT;
+    let mut opened = 0u32;
+    while opened < STREAMS as u32 {
+        client.open(100 + opened).expect("open");
+        match client.recv_timeout(RECV_TIMEOUT).unwrap() {
+            Some(ServerFrame::Opened { stream_id }) => {
+                assert_eq!(stream_id, 100 + opened);
+                opened += 1;
+            }
+            Some(ServerFrame::Error {
+                code: ErrorCode::ServerFull,
+                ..
+            }) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.streams_opened, 2 * STREAMS as u64);
+    assert_eq!(stats.streams_open, 0);
+    assert_eq!(stats.shards, 4);
 }
 
 #[test]

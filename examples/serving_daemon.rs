@@ -11,13 +11,16 @@
 //!    identical to a solo `QuantizedSession`;
 //! 4. hot-swap to the f32 artifact over the wire (LOAD_MODEL) and verify
 //!    the f32 engine serves within 1e-5 of a solo `Session`;
-//! 5. read the STATS counters and drain gracefully.
+//! 5. batch several streams into single protocol-v2 PUSH_N frames through
+//!    a `ClientBuilder` client and demux the coalesced EMIT_N replies;
+//! 6. read the STATS counters (aggregated across the wave-batcher shards)
+//!    and drain gracefully.
 //!
 //! Run with: `cargo run --release --example serving_daemon`
 
 use pit::prelude::*;
 use pit_infer::{compile_temponet, QuantizedPlan, QuantizedSession};
-use pit_serve::{Client, ClientFrame, ServerConfig, ServerFrame, StatsSnapshot};
+use pit_serve::{Client, ClientBuilder, ClientFrame, ServerConfig, ServerFrame, StatsSnapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -54,12 +57,20 @@ fn main() {
         std::fs::metadata(&i8_path).unwrap().len(),
     );
 
-    // 2. Boot the daemon from the int8 artifact file, on an ephemeral port.
-    let server = pit_serve::Server::bind_artifact(&i8_path, ServerConfig::default())
-        .expect("daemon boots from the artifact");
+    // 2. Boot the daemon from the int8 artifact file, on an ephemeral port:
+    //    one event-driven edge thread owning every socket, four wave-batcher
+    //    shards owning the session pools.
+    let server = pit_serve::Server::bind_artifact(
+        &i8_path,
+        ServerConfig {
+            shards: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("daemon boots from the artifact");
     let addr = server.local_addr();
     let handle = server.spawn();
-    println!("daemon                : listening on {addr} (kind i8, booted from file)");
+    println!("daemon                : listening on {addr} (kind i8, 4 shards, booted from file)");
 
     // 3. Sixteen concurrent client connections, ragged lengths (24..=84
     //    steps), staggered connects, bursty pushes — every emission must be
@@ -134,8 +145,8 @@ fn main() {
 
     // 4. Hot-swap to the f32 artifact over the wire and verify 1e-5 parity.
     // The workers' CLOSE frames race this connection's LOAD_MODEL through
-    // separate reader threads, so retry while the server still counts their
-    // streams as open.
+    // the shards, so retry while the server still counts their streams as
+    // open.
     let mut client = Client::connect(addr).expect("connect");
     let mut swapped = false;
     for _ in 0..200 {
@@ -182,19 +193,95 @@ fn main() {
     }
     println!("f32 parity            : swapped engine matches solo Session within 1e-5");
 
-    // 5. Live stats, then graceful drain.
+    // 5. Protocol v2: a builder-configured client batches four streams into
+    //    one PUSH_N frame per 8-step round; the server latches the
+    //    connection into v2 and coalesces replies into EMIT_N frames.
+    const V2_STREAMS: usize = 4;
+    const V2_STEPS: usize = 32;
+    let mut v2 = ClientBuilder::new()
+        .connect_timeout(Duration::from_secs(5))
+        .read_timeout(RECV_TIMEOUT)
+        .write_batch(8)
+        .connect(addr)
+        .expect("connect v2 client");
+    let v2_inputs: Vec<Vec<f32>> = (0..V2_STREAMS)
+        .map(|_| (0..V2_STEPS * C).map(|_| rng.gen::<f32>() - 0.5).collect())
+        .collect();
+    for sid in 0..V2_STREAMS as u32 {
+        v2.open(100 + sid).expect("open");
+    }
+    for round in 0..V2_STEPS / 8 {
+        let entries: Vec<(u32, u32)> = (0..V2_STREAMS as u32).map(|sid| (100 + sid, 8)).collect();
+        let samples: Vec<f32> = v2_inputs
+            .iter()
+            .flat_map(|input| input[round * 8 * C..(round + 1) * 8 * C].iter().copied())
+            .collect();
+        v2.push_n(C as u32, &entries, &samples).expect("push_n");
+    }
+    let mut v2_out: std::collections::HashMap<u32, Vec<Vec<f32>>> = Default::default();
+    let mut emit_n_frames = 0usize;
+    while v2_out.len() < V2_STREAMS || v2_out.values().any(|v| v.len() < V2_STEPS / 8) {
+        match v2.recv().expect("v2 frames") {
+            ServerFrame::EmitN {
+                dim,
+                entries,
+                outputs,
+            } => {
+                emit_n_frames += 1;
+                let mut offset = 0usize;
+                for (sid, count) in entries {
+                    let end = offset + count as usize * dim as usize;
+                    v2_out.entry(sid).or_default().extend(
+                        outputs[offset..end]
+                            .chunks_exact(dim as usize)
+                            .map(|c| c.to_vec()),
+                    );
+                    offset = end;
+                }
+            }
+            ServerFrame::Emit {
+                stream_id,
+                outputs,
+                dim,
+                ..
+            } => v2_out
+                .entry(stream_id)
+                .or_default()
+                .extend(outputs.chunks_exact(dim as usize).map(|c| c.to_vec())),
+            ServerFrame::Opened { .. } => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    for (s, input) in v2_inputs.iter().enumerate() {
+        let mut solo = Session::new(Arc::clone(&plan));
+        let want: Vec<Vec<f32>> = input.chunks(C).filter_map(|x| solo.push(x)).collect();
+        let got = &v2_out[&(100 + s as u32)];
+        assert_eq!(got.len(), want.len(), "v2 stream {s}: emission count");
+        for (a, b) in got.iter().zip(want.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-5, "v2 stream {s} parity: {x} vs {y}");
+            }
+        }
+    }
+    println!(
+        "protocol v2           : {V2_STREAMS} streams x {V2_STEPS} steps over PUSH_N, \
+         {emit_n_frames} coalesced EMIT_N frames back — 1e-5 parity vs solo sessions"
+    );
+
+    // 6. Live stats, then graceful drain.
     client.stats().expect("stats");
     let Some(ServerFrame::StatsJson { json }) = client.recv_timeout(RECV_TIMEOUT).unwrap() else {
         panic!("expected stats")
     };
     let snap = StatsSnapshot::from_json_str(&json).expect("stats parse");
     println!(
-        "stats                 : {} waves, occupancy {:.1}, wave p50 {} ns / p99 {} ns",
-        snap.waves, snap.wave_occupancy, snap.wave_p50_ns, snap.wave_p99_ns
+        "stats                 : {} waves over {} shards, occupancy {:.1}, \
+         wave p50 {} ns / p99 {} ns",
+        snap.waves, snap.shards, snap.wave_occupancy, snap.wave_p50_ns, snap.wave_p99_ns
     );
     let stats = handle.shutdown();
     println!("drained               : {stats}");
     assert_eq!(stats.streams_open, 0, "drain closes every stream");
-    assert_eq!(stats.streams_opened, STREAMS as u64 + 1);
+    assert_eq!(stats.streams_opened, STREAMS as u64 + 1 + V2_STREAMS as u64);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Regenerates the committed benchmark baselines (BENCH_conv.json,
-# BENCH_infer.json, BENCH_int8.json and BENCH_serve.json).
+# BENCH_infer.json, BENCH_int8.json, BENCH_serve.json and
+# BENCH_scale.json).
 #
 # Run this — never hand-edit the JSON — when a PR intentionally changes
 # performance, then commit the refreshed files alongside the change. CI's
@@ -28,4 +29,6 @@ echo "regenerating BENCH_int8.json (release build, quant suite, 1 thread)..."
 PIT_NUM_THREADS=1 cargo run --locked --release -p pit-bench --bin bench_json -- --quick --suites quant --out BENCH_int8.json
 echo "regenerating BENCH_serve.json (release build, serve suite, 1 thread)..."
 PIT_NUM_THREADS=1 cargo run --locked --release -p pit-bench --bin bench_json -- --quick --suites serve --out BENCH_serve.json
-echo "done. review the diff and commit BENCH_conv.json + BENCH_infer.json + BENCH_int8.json + BENCH_serve.json."
+echo "regenerating BENCH_scale.json (release build, scale suite, 1 thread)..."
+PIT_NUM_THREADS=1 cargo run --locked --release -p pit-bench --bin bench_json -- --quick --suites scale --out BENCH_scale.json
+echo "done. review the diff and commit BENCH_conv.json + BENCH_infer.json + BENCH_int8.json + BENCH_serve.json + BENCH_scale.json."
