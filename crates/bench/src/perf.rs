@@ -534,6 +534,9 @@ pub fn quant_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
 ///   the wire. The p99 is deliberately *not* a gated record — it swings
 ///   several-fold run to run even on idle hardware (it measures scheduler
 ///   tail noise, not kernels) and lives in the STATS frame instead.
+/// * `model_switch/open` — a protocol-v3 named OPEN/CLOSE round trip
+///   alternating between a two-model registry's entries: the per-stream
+///   cost of model selection.
 pub fn serve_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
     use pit_infer::{compile_temponet, QuantizedPlan};
     use pit_models::{TempoNet, TempoNetConfig};
@@ -661,6 +664,53 @@ pub fn serve_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
     });
     handle.shutdown();
     let mut rec = record("serve_ping/rtt", ns);
+    rec.throughput_unit = "iter/s".into();
+    out.push(rec);
+
+    // Per-stream model selection (protocol v3): a named OPEN → OPENED →
+    // CLOSE → CLOSED round trip alternating between the two registry
+    // models — what switching models costs a client per stream.
+    let server = Server::bind_models(
+        vec![
+            ("fp".into(), ServeEngine::F32(Arc::clone(&plan))),
+            ("q8".into(), ServeEngine::I8(Arc::clone(&qplan))),
+        ],
+        "fp",
+        ServerConfig::default(),
+    )
+    .expect("bind registry");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).expect("connect");
+    let mut flips = 0u64;
+    let ns = measure(opts, || {
+        flips += 1;
+        let model = if flips.is_multiple_of(2) { "fp" } else { "q8" };
+        client.open_with_model(7, model).expect("open");
+        loop {
+            match client
+                .recv_timeout(std::time::Duration::from_secs(30))
+                .expect("transport")
+                .expect("opened")
+            {
+                ServerFrame::Opened { .. } => break,
+                _ => continue,
+            }
+        }
+        client.close(7).expect("close");
+        loop {
+            match client
+                .recv_timeout(std::time::Duration::from_secs(30))
+                .expect("transport")
+                .expect("closed")
+            {
+                ServerFrame::Closed { .. } => break,
+                _ => continue,
+            }
+        }
+    });
+    handle.shutdown();
+    let mut rec = record("model_switch/open", ns);
     rec.throughput_unit = "iter/s".into();
     out.push(rec);
     out

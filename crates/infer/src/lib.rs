@@ -37,6 +37,10 @@
 //!   bit-identically ([`PlanArtifact::load`]) — the boot path of the
 //!   `pit-serve` daemon, no model code or calibration data needed at serve
 //!   time.
+//! * **Library** ([`zoo`]): a whole searched Pareto front ships as one
+//!   directory — artifact files plus a `pit-zoo/1` manifest
+//!   ([`ZooManifest`]) naming each model and its size/accuracy metadata, the
+//!   hand-off from `pit-search` to a multi-model daemon.
 //!
 //! ```
 //! use pit_infer::{compile_generic, Session};
@@ -61,6 +65,7 @@ pub mod quant;
 pub mod session;
 pub mod stream;
 pub mod stream_pool;
+pub mod zoo;
 
 pub use artifact::{PlanArtifact, ARTIFACT_SCHEMA};
 pub use plan::{
@@ -74,3 +79,4 @@ pub use quant::{
 pub use session::SessionPool;
 pub use stream::Session;
 pub use stream_pool::StreamPool;
+pub use zoo::{ZooEntry, ZooManifest, ZOO_SCHEMA};

@@ -401,6 +401,15 @@ impl InferencePlan {
         &self.name
     }
 
+    /// Returns the plan under a new name. Model-zoo builders use this to
+    /// give each searched point a unique registry name before writing its
+    /// artifact (quantizing afterwards derives `<name>-int8`).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
     /// Channels of the input stream.
     pub fn input_channels(&self) -> usize {
         self.input_channels

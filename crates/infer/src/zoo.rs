@@ -1,0 +1,347 @@
+//! The model-zoo manifest: a searched Pareto front as an on-disk library.
+//!
+//! A `pit-search` run precomputes the accuracy/latency front once — search,
+//! calibrate, quantize — and leaves behind a directory of `pit-arch/2`
+//! artifact files plus one `zoo.json` manifest describing them. The manifest
+//! is the hand-off point between search and serving: `pit-serve` boots from
+//! it and registers every listed model side by side, so clients can pick
+//! their operating point per stream by name.
+//!
+//! The schema (`pit-zoo/1`) is deliberately small and hand-rolled over
+//! [`pit_tensor::json::Json`]:
+//!
+//! ```json
+//! {
+//!   "schema": "pit-zoo/1",
+//!   "default": "pit-842p-i8",
+//!   "models": [
+//!     {
+//!       "name": "pit-842p-i8",
+//!       "path": "pit-842p-i8.pit2.json",
+//!       "kind": "i8",
+//!       "seed": 7,
+//!       "lambda": 0.001,
+//!       "params": 842,
+//!       "receptive_field": 17,
+//!       "val_loss": 0.052,
+//!       "error_bound": 0.013,
+//!       "input_channels": 2,
+//!       "output_dim": 1
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `path` is relative to the manifest's own directory, so a library can be
+//! moved or shipped as one folder. Parsing is defensive (every malformed
+//! field is an `Err`, never a panic) — a serving daemon loads untrusted
+//! manifests.
+
+use pit_tensor::json::Json;
+use std::path::{Path, PathBuf};
+
+/// Manifest schema identifier.
+pub const ZOO_SCHEMA: &str = "pit-zoo/1";
+
+/// One artifact of the library: a `pit-arch/2` file plus the search-time
+/// metadata a client needs to pick it (size, accuracy, quantization bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZooEntry {
+    /// Registry name the daemon serves this model under (unique in the zoo).
+    pub name: String,
+    /// Artifact file path, relative to the manifest's directory.
+    pub path: String,
+    /// `"f32"` or `"i8"` (mirrors the artifact's `kind` field).
+    pub kind: String,
+    /// RNG seed of the search run that produced this point.
+    pub seed: u64,
+    /// Size-regulariser strength λ of the search run.
+    pub lambda: f32,
+    /// Deployed (effective) weight count — the size axis of the front.
+    pub params: usize,
+    /// Receptive field of the compiled plan, in timesteps.
+    pub receptive_field: usize,
+    /// Validation loss of the fine-tuned model — the accuracy axis.
+    pub val_loss: f32,
+    /// Analytic int8 parity bound (`0.0` for f32 artifacts).
+    pub error_bound: f32,
+    /// Input channels per timestep.
+    pub input_channels: usize,
+    /// Values per emitted head output.
+    pub output_dim: usize,
+}
+
+impl ZooEntry {
+    /// The entry's artifact path resolved against the manifest's directory.
+    pub fn artifact_path(&self, base: &Path) -> PathBuf {
+        base.join(&self.path)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("path".into(), Json::Str(self.path.clone())),
+            ("kind".into(), Json::Str(self.kind.clone())),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("lambda".into(), Json::Num(f64::from(self.lambda))),
+            ("params".into(), Json::Num(self.params as f64)),
+            (
+                "receptive_field".into(),
+                Json::Num(self.receptive_field as f64),
+            ),
+            ("val_loss".into(), Json::Num(f64::from(self.val_loss))),
+            ("error_bound".into(), Json::Num(f64::from(self.error_bound))),
+            (
+                "input_channels".into(),
+                Json::Num(self.input_channels as f64),
+            ),
+            ("output_dim".into(), Json::Num(self.output_dim as f64)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        let text = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("zoo entry: missing string field '{key}'"))
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("zoo entry: missing number field '{key}'"))
+        };
+        let dim = |key: &str| -> Result<usize, String> {
+            let v = num(key)?;
+            if !v.is_finite() || v < 0.0 || v.fract() != 0.0 || v > 1e12 {
+                return Err(format!("zoo entry: field '{key}' is not a valid count"));
+            }
+            Ok(v as usize)
+        };
+        let name = text("name")?;
+        if name.is_empty() {
+            return Err("zoo entry: empty model name".into());
+        }
+        let kind = text("kind")?;
+        if kind != "f32" && kind != "i8" {
+            return Err(format!("zoo entry '{name}': unknown kind '{kind}'"));
+        }
+        Ok(Self {
+            path: text("path")?,
+            kind,
+            seed: dim("seed")? as u64,
+            lambda: num("lambda")? as f32,
+            params: dim("params")?,
+            receptive_field: dim("receptive_field")?,
+            val_loss: num("val_loss")? as f32,
+            error_bound: num("error_bound")? as f32,
+            input_channels: dim("input_channels")?,
+            output_dim: dim("output_dim")?,
+            name,
+        })
+    }
+}
+
+/// The `zoo.json` document: the library's model list plus which entry a
+/// model-less OPEN should get.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZooManifest {
+    /// Name of the default model (must match one entry).
+    pub default: String,
+    /// The library, in Pareto order (ascending size) by convention.
+    pub models: Vec<ZooEntry>,
+}
+
+impl ZooManifest {
+    /// Builds a manifest over `models`, defaulting to `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `models` is empty, a name repeats, or
+    /// `default` names no entry.
+    pub fn new(default: impl Into<String>, models: Vec<ZooEntry>) -> Result<Self, String> {
+        let default = default.into();
+        if models.is_empty() {
+            return Err("zoo manifest: no models".into());
+        }
+        for (i, entry) in models.iter().enumerate() {
+            if models[..i].iter().any(|m| m.name == entry.name) {
+                return Err(format!(
+                    "zoo manifest: duplicate model name '{}'",
+                    entry.name
+                ));
+            }
+        }
+        if !models.iter().any(|m| m.name == default) {
+            return Err(format!("zoo manifest: default '{default}' names no model"));
+        }
+        Ok(Self { default, models })
+    }
+
+    /// The entry `name` refers to, if any.
+    pub fn get(&self, name: &str) -> Option<&ZooEntry> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// Renders the manifest as a `pit-zoo/1` JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(ZOO_SCHEMA.into())),
+            ("default".into(), Json::Str(self.default.clone())),
+            (
+                "models".into(),
+                Json::Arr(self.models.iter().map(ZooEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// [`ZooManifest::to_json`] rendered as text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses a `pit-zoo/1` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a schema mismatch or any malformed entry —
+    /// never panics.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("zoo manifest: missing 'schema'")?;
+        if schema != ZOO_SCHEMA {
+            return Err(format!(
+                "zoo manifest: schema '{schema}' is not '{ZOO_SCHEMA}'"
+            ));
+        }
+        let default = doc
+            .get("default")
+            .and_then(Json::as_str)
+            .ok_or("zoo manifest: missing 'default'")?
+            .to_string();
+        let models = doc
+            .get("models")
+            .and_then(Json::as_array)
+            .ok_or("zoo manifest: missing 'models' array")?
+            .iter()
+            .map(ZooEntry::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(default, models)
+    }
+
+    /// Reads and parses a manifest file, returning it along with the
+    /// directory its relative artifact paths resolve against.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on read or parse failures.
+    pub fn load(path: &Path) -> Result<(Self, PathBuf), String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read zoo manifest {}: {e}", path.display()))?;
+        let manifest = Self::from_json_str(&text)
+            .map_err(|e| format!("zoo manifest {}: {e}", path.display()))?;
+        let base = path
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .to_path_buf();
+        Ok((manifest, base))
+    }
+
+    /// Writes the manifest as `zoo.json` into `dir`, returning the file
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on write failures.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, String> {
+        let path = dir.join("zoo.json");
+        std::fs::write(&path, self.to_json_string())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, kind: &str, params: usize) -> ZooEntry {
+        ZooEntry {
+            name: name.into(),
+            path: format!("{name}.pit2.json"),
+            kind: kind.into(),
+            seed: 7,
+            lambda: 1e-3,
+            params,
+            receptive_field: 17,
+            val_loss: 0.25,
+            error_bound: if kind == "i8" { 0.01 } else { 0.0 },
+            input_channels: 2,
+            output_dim: 1,
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let manifest = ZooManifest::new(
+            "small-i8",
+            vec![entry("small-i8", "i8", 100), entry("big-f32", "f32", 900)],
+        )
+        .unwrap();
+        let text = manifest.to_json_string();
+        let back = ZooManifest::from_json_str(&text).unwrap();
+        assert_eq!(back, manifest);
+        assert_eq!(back.get("big-f32").unwrap().params, 900);
+        assert!(back.get("nope").is_none());
+        assert_eq!(
+            back.models[0].artifact_path(Path::new("/tmp/zoo")),
+            Path::new("/tmp/zoo/small-i8.pit2.json")
+        );
+    }
+
+    #[test]
+    fn malformed_manifests_are_rejected() {
+        assert!(ZooManifest::from_json_str("not json").is_err());
+        assert!(ZooManifest::from_json_str("{\"schema\": \"pit-zoo/9\"}").is_err());
+        // Missing default / models.
+        assert!(ZooManifest::from_json_str("{\"schema\": \"pit-zoo/1\"}").is_err());
+        // Default naming no entry.
+        let orphan = Json::Obj(vec![
+            ("schema".into(), Json::Str(ZOO_SCHEMA.into())),
+            ("default".into(), Json::Str("gone".into())),
+            (
+                "models".into(),
+                Json::Arr(vec![entry("small-i8", "i8", 1).to_json()]),
+            ),
+        ]);
+        assert!(ZooManifest::from_json_str(&orphan.render()).is_err());
+        // Duplicate names.
+        assert!(ZooManifest::new("a", vec![entry("a", "i8", 1), entry("a", "f32", 2)]).is_err());
+        // Bad kind.
+        let mut bad = entry("a", "i8", 1);
+        bad.kind = "f16".into();
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str(ZOO_SCHEMA.into())),
+            ("default".into(), Json::Str("a".into())),
+            ("models".into(), Json::Arr(vec![bad.to_json()])),
+        ]);
+        assert!(ZooManifest::from_json_str(&doc.render()).is_err());
+        // Empty model list.
+        assert!(ZooManifest::new("a", vec![]).is_err());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("pit-zoo-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = ZooManifest::new("m-i8", vec![entry("m-i8", "i8", 5)]).unwrap();
+        let path = manifest.save(&dir).unwrap();
+        let (back, base) = ZooManifest::load(&path).unwrap();
+        assert_eq!(back, manifest);
+        assert_eq!(base, dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

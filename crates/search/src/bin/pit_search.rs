@@ -1,0 +1,97 @@
+//! `pit-search` — run parallel multi-seed PIT searches and emit an artifact
+//! library a `pit-serve --zoo` daemon boots directly.
+//!
+//! ```text
+//! pit-search --out DIR [--quick] [--jobs N]
+//!
+//!   --out DIR    directory to write the library into (created if missing)
+//!   --quick      CI-sized build: 2 fixed-seed combos, a few epochs
+//!   --jobs N     parallel search jobs (default: worker-pool width)
+//! ```
+//!
+//! The library is a set of `pit-arch/2` files (one f32 + one int8 per
+//! Pareto-optimal searched point) plus `zoo.json`, a `pit-zoo/1` manifest
+//! naming every model with its size / receptive-field / error-bound
+//! metadata and a default selection.
+
+use pit_search::{run_library_search, write_library, LibraryConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: pit-search --out DIR [--quick] [--jobs N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut quick = false;
+    let mut jobs: Option<usize> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => match argv.next() {
+                Some(dir) => out = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--quick" => quick = true,
+            "--jobs" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => jobs = Some(n),
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("pit-search: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let Some(out) = out else { usage() };
+
+    let mut cfg = if quick {
+        LibraryConfig::quick()
+    } else {
+        LibraryConfig::full()
+    };
+    if let Some(n) = jobs {
+        cfg.jobs = n;
+    }
+
+    eprintln!(
+        "pit-search: {} combos ({} jobs), {}+{}+{} epochs",
+        cfg.combos.len(),
+        cfg.jobs,
+        cfg.warmup_epochs,
+        cfg.search_epochs,
+        cfg.finetune_epochs,
+    );
+    let points = run_library_search(&cfg);
+    eprintln!("pit-search: {} Pareto-optimal points", points.len());
+    for p in &points {
+        eprintln!(
+            "  {:24} {} params  val_loss {:.5}  (seed {}, lambda {})",
+            p.plan.name(),
+            p.outcome.effective_params,
+            p.outcome.val_loss,
+            p.seed,
+            p.lambda,
+        );
+    }
+
+    match write_library(&points, &out) {
+        Ok((manifest, path)) => {
+            println!(
+                "wrote {} models to {} (default: {})",
+                manifest.models.len(),
+                path.display(),
+                manifest.default,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pit-search: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,17 +1,19 @@
 //! The `pit-serve` daemon binary.
 //!
 //! ```text
-//! pit-serve --artifact MODEL.json [--addr 127.0.0.1:7878] [--max-streams N]
+//! pit-serve --artifact MODEL.json | --zoo ZOO.json
+//!           [--default-model NAME] [--check]
+//!           [--addr 127.0.0.1:7878] [--max-streams N]
 //!           [--tick-us N] [--idle-ms N] [--max-pending N] [--shards N]
 //! ```
 //!
-//! Boots a serving daemon from a `pit-arch/2` model artifact (f32 or int8 —
-//! the file's `kind` field decides the engine) and serves the frame
-//! protocol of `pit_serve::protocol` until the process is terminated.
-//! Export an artifact with `InferencePlan::to_artifact_string()` /
-//! `QuantizedPlan::to_artifact_string()`, or see
-//! `examples/serving_daemon.rs` for the full compile → quantize → write →
-//! boot → stream loop.
+//! Boots a serving daemon from a single `pit-arch/2` model artifact (f32 or
+//! int8 — the file's `kind` field decides the engine) **or** from a whole
+//! `pit-zoo/1` artifact library written by `pit-search`, registering every
+//! listed model so clients pick one per stream at OPEN (protocol v3). The
+//! daemon then serves the frame protocol of `pit_serve::protocol` until the
+//! process is terminated. `--check` validates the boot source — manifest,
+//! artifacts, registry — prints the model table and exits without serving.
 
 use pit_serve::{Server, ServerConfig};
 use std::process::ExitCode;
@@ -19,16 +21,22 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pit-serve --artifact MODEL.json [--addr HOST:PORT] [--max-streams N]\n\
+        "usage: pit-serve --artifact MODEL.json | --zoo ZOO.json\n\
+         \u{20}               [--default-model NAME] [--check]\n\
+         \u{20}               [--addr HOST:PORT] [--max-streams N]\n\
          \u{20}               [--tick-us N] [--idle-ms N] [--max-pending N] [--shards N]\n\
          \n\
-         \u{20} --artifact     pit-arch/2 model artifact to serve (required)\n\
-         \u{20} --addr         bind address (default 127.0.0.1:7878)\n\
-         \u{20} --max-streams  concurrent stream cap (default 4096)\n\
-         \u{20} --tick-us      wave-batching tick in microseconds (default 200)\n\
-         \u{20} --idle-ms      evict streams idle this long; 0 = never (default 0)\n\
-         \u{20} --max-pending  per-connection queued-timestep cap (default 4096)\n\
-         \u{20} --shards       wave-batcher shard threads (default: CPU count, max 8)"
+         \u{20} --artifact      pit-arch/2 model artifact to serve\n\
+         \u{20} --zoo           pit-zoo/1 manifest — serve the whole library\n\
+         \u{20} --default-model registry entry a model-less OPEN gets (zoo only;\n\
+         \u{20}                 default: the manifest's default entry)\n\
+         \u{20} --check         validate the boot source, print models, exit\n\
+         \u{20} --addr          bind address (default 127.0.0.1:7878)\n\
+         \u{20} --max-streams   concurrent stream cap (default 4096)\n\
+         \u{20} --tick-us       wave-batching tick in microseconds (default 200)\n\
+         \u{20} --idle-ms       evict streams idle this long; 0 = never (default 0)\n\
+         \u{20} --max-pending   per-connection queued-timestep cap (default 4096)\n\
+         \u{20} --shards        wave-batcher shard threads (default: CPU count, max 8)"
     );
     ExitCode::from(2)
 }
@@ -36,6 +44,9 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut artifact: Option<String> = None;
+    let mut zoo: Option<String> = None;
+    let mut default_model: Option<String> = None;
+    let mut check = false;
     let mut config = ServerConfig {
         addr: "127.0.0.1:7878".into(),
         ..ServerConfig::default()
@@ -54,6 +65,15 @@ fn main() -> ExitCode {
                 Some(v) => artifact = Some(v),
                 None => return usage(),
             },
+            "--zoo" => match value("--zoo") {
+                Some(v) => zoo = Some(v),
+                None => return usage(),
+            },
+            "--default-model" => match value("--default-model") {
+                Some(v) => default_model = Some(v),
+                None => return usage(),
+            },
+            "--check" => check = true,
             "--addr" => match value("--addr") {
                 Some(v) => config.addr = v,
                 None => return usage(),
@@ -82,20 +102,58 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    let Some(artifact) = artifact else {
-        eprintln!("pit-serve: --artifact is required");
-        return usage();
+    let (source, server) = match (&artifact, &zoo) {
+        (Some(_), Some(_)) => {
+            eprintln!("pit-serve: --artifact and --zoo are mutually exclusive");
+            return usage();
+        }
+        (None, None) => {
+            eprintln!("pit-serve: --artifact or --zoo is required");
+            return usage();
+        }
+        (Some(path), None) => {
+            if default_model.is_some() {
+                eprintln!("pit-serve: --default-model needs --zoo");
+                return usage();
+            }
+            (
+                path.clone(),
+                Server::bind_artifact(std::path::Path::new(path), config),
+            )
+        }
+        (None, Some(path)) => (
+            path.clone(),
+            Server::bind_zoo_with_default(
+                std::path::Path::new(path),
+                default_model.as_deref(),
+                config,
+            ),
+        ),
     };
-    let server = match Server::bind_artifact(std::path::Path::new(&artifact), config) {
+    let server = match server {
         Ok(server) => server,
         Err(e) => {
             eprintln!("pit-serve: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if check {
+        println!("{source}: ok");
+        for (name, kind) in server.model_names() {
+            let default = if name == server.default_model_name() {
+                "  (default)"
+            } else {
+                ""
+            };
+            println!("  {name} [{kind}]{default}");
+        }
+        return ExitCode::SUCCESS;
+    }
     eprintln!(
-        "pit-serve: listening on {} (artifact {artifact})",
-        server.local_addr()
+        "pit-serve: listening on {} ({} models from {source}, default {})",
+        server.local_addr(),
+        server.model_names().len(),
+        server.default_model_name(),
     );
     let stats = server.run();
     eprintln!("pit-serve: drained — {stats}");

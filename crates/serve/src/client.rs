@@ -3,13 +3,17 @@
 //! reference implementation for clients in other languages.
 //!
 //! Construction goes through [`ClientBuilder`] (connect/read timeouts,
-//! write batching) and errors are typed [`ServeError`]s;
-//! [`Client::connect`] remains as a thin compatibility constructor with
-//! the defaults and an `io::Result` signature.
+//! write batching, a default model for protocol-v3 stream opens) and
+//! errors are typed [`ServeError`]s; [`Client::connect`] remains as a thin
+//! compatibility constructor with the defaults and an `io::Result`
+//! signature. Against a model-zoo daemon, pick a model per stream with
+//! [`Client::open_with_model`] (or set [`ClientBuilder::default_model`])
+//! and inspect the registry with [`Client::list_models`].
 
 use crate::protocol::{
     decode_server, encode_client, ClientFrame, FrameReader, ReadOutcome, ServerFrame,
 };
+use pit_tensor::json::Json;
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -82,6 +86,7 @@ pub struct ClientBuilder {
     connect_timeout: Option<Duration>,
     read_timeout: Option<Duration>,
     write_batch: usize,
+    default_model: Option<String>,
 }
 
 impl Default for ClientBuilder {
@@ -90,6 +95,7 @@ impl Default for ClientBuilder {
             connect_timeout: None,
             read_timeout: None,
             write_batch: 1,
+            default_model: None,
         }
     }
 }
@@ -126,6 +132,14 @@ impl ClientBuilder {
     #[must_use]
     pub fn write_batch(mut self, frames: usize) -> Self {
         self.write_batch = frames.max(1);
+        self
+    }
+
+    /// Model every [`Client::open`] selects (protocol v3). Unset, `open`
+    /// sends the v1 frame and gets the server's default model.
+    #[must_use]
+    pub fn default_model(mut self, name: impl Into<String>) -> Self {
+        self.default_model = Some(name.into());
         self
     }
 
@@ -169,7 +183,68 @@ impl ClientBuilder {
             staged_frames: 0,
             write_batch: self.write_batch,
             read_timeout: self.read_timeout,
+            default_model: self.default_model,
         })
+    }
+}
+
+/// One registry model's metadata, parsed from a MODELS_JSON reply (see
+/// [`Client::list_models`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfo {
+    /// Registry name — what OPEN's model field selects.
+    pub name: String,
+    /// `"f32"` or `"i8"`.
+    pub kind: String,
+    /// Input channels per timestep the model expects.
+    pub input_channels: usize,
+    /// Values per emitted head output.
+    pub output_dim: usize,
+    /// Receptive field of the served plan, in timesteps.
+    pub receptive_field: usize,
+    /// Streams currently open on this model.
+    pub streams_open: u64,
+    /// Whether a model-less OPEN gets this entry.
+    pub default: bool,
+}
+
+impl ModelInfo {
+    /// Parses a MODELS_JSON payload into the registry listing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or a missing/ill-typed field.
+    pub fn parse_list(json: &str) -> Result<Vec<ModelInfo>, String> {
+        let doc = Json::parse(json)?;
+        let arr = doc
+            .as_array()
+            .ok_or("MODELS_JSON payload is not an array")?;
+        arr.iter()
+            .map(|entry| {
+                let text = |key: &str| -> Result<String, String> {
+                    entry
+                        .get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("model entry: missing string field '{key}'"))
+                };
+                let num = |key: &str| -> Result<f64, String> {
+                    entry
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("model entry: missing number field '{key}'"))
+                };
+                Ok(ModelInfo {
+                    name: text("name")?,
+                    kind: text("kind")?,
+                    input_channels: num("input_channels")? as usize,
+                    output_dim: num("output_dim")? as usize,
+                    receptive_field: num("receptive_field")? as usize,
+                    streams_open: num("streams_open")? as u64,
+                    default: matches!(entry.get("default"), Some(Json::Bool(true))),
+                })
+            })
+            .collect()
     }
 }
 
@@ -182,6 +257,7 @@ pub struct Client {
     staged_frames: usize,
     write_batch: usize,
     read_timeout: Option<Duration>,
+    default_model: Option<String>,
 }
 
 impl Client {
@@ -224,13 +300,33 @@ impl Client {
         Ok(())
     }
 
-    /// Sends OPEN for a connection-scoped stream id.
+    /// Sends OPEN for a connection-scoped stream id, selecting the
+    /// builder's [`ClientBuilder::default_model`] if one was set (else the
+    /// plain v1 frame, which gets the server's default model).
     ///
     /// # Errors
     ///
     /// Returns transport errors.
     pub fn open(&mut self, stream_id: u32) -> Result<(), ServeError> {
-        self.send(&ClientFrame::Open { stream_id })
+        let model = self.default_model.clone();
+        self.send(&ClientFrame::Open { stream_id, model })
+    }
+
+    /// Sends a protocol-v3 OPEN selecting a registry model by name for
+    /// this stream, regardless of any builder default.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors.
+    pub fn open_with_model(
+        &mut self,
+        stream_id: u32,
+        model: impl Into<String>,
+    ) -> Result<(), ServeError> {
+        self.send(&ClientFrame::Open {
+            stream_id,
+            model: Some(model.into()),
+        })
     }
 
     /// Sends PUSH with `samples.len() / channels` timesteps.
@@ -298,6 +394,32 @@ impl Client {
     /// Returns transport errors.
     pub fn stats(&mut self) -> Result<(), ServeError> {
         self.send(&ClientFrame::Stats)
+    }
+
+    /// Requests the model registry and blocks for the reply: sends
+    /// LIST_MODELS, then reads until the MODELS_JSON frame arrives
+    /// (EMIT/EMIT_N/CLOSED frames arriving first are NOT buffered — use
+    /// this between exchanges, not mid-burst).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::recv`], plus [`ServeError::Protocol`] when the payload
+    /// does not parse.
+    pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, ServeError> {
+        self.send(&ClientFrame::ListModels)?;
+        loop {
+            match self.recv()? {
+                ServerFrame::ModelsJson { json } => {
+                    return ModelInfo::parse_list(&json).map_err(ServeError::Protocol)
+                }
+                ServerFrame::Error { code, message } => {
+                    return Err(ServeError::Protocol(format!(
+                        "LIST_MODELS refused: {code:?}: {message}"
+                    )))
+                }
+                _ => continue,
+            }
+        }
     }
 
     /// Blocks until the next server frame arrives (bounded by the

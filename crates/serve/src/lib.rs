@@ -25,8 +25,13 @@
 //!   open, timesteps served, wave occupancy, p50/p99 wave latency,
 //!   aggregated across shards) served over the STATS frame as JSON.
 //! * **Client** ([`client`]): a small blocking client used by the tests,
-//!   benches and examples — [`ClientBuilder`] for timeouts and write
-//!   batching, typed [`ServeError`]s.
+//!   benches and examples — [`ClientBuilder`] for timeouts, write
+//!   batching and a default model, per-stream model selection via
+//!   [`Client::open_with_model`], registry listing via
+//!   [`Client::list_models`], typed [`ServeError`]s.
+//! * **Model zoo**: the server can boot a whole registry from a
+//!   `pit-zoo/1` manifest ([`Server::bind_zoo`]) — one daemon serving
+//!   many searched models, each OPEN picking one by name (protocol v3).
 //!
 //! ```no_run
 //! use pit_serve::{Client, Server, ServerConfig};
@@ -52,7 +57,7 @@ pub mod server;
 pub(crate) mod shard;
 pub mod stats;
 
-pub use client::{Client, ClientBuilder, ServeError};
+pub use client::{Client, ClientBuilder, ModelInfo, ServeError};
 pub use protocol::{ClientFrame, CloseReason, ErrorCode, FrameError, ServerFrame};
 pub use server::{ServeEngine, Server, ServerConfig, ServerHandle};
-pub use stats::StatsSnapshot;
+pub use stats::{ModelSnapshot, StatsSnapshot};

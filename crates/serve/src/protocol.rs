@@ -8,13 +8,14 @@
 //!
 //! | dir | opcode | frame        | payload                                            |
 //! |-----|--------|--------------|----------------------------------------------------|
-//! | →   | `0x01` | OPEN         | `u32` stream id                                    |
+//! | →   | `0x01` | OPEN         | `u32` stream id \[, `u16` name len, UTF-8 model name\] |
 //! | →   | `0x02` | PUSH         | `u32` stream, `u32` count, `u32` channels, samples |
 //! | →   | `0x03` | CLOSE        | `u32` stream id                                    |
 //! | →   | `0x04` | PING         | `u64` token                                        |
 //! | →   | `0x05` | STATS        | —                                                  |
 //! | →   | `0x06` | LOAD_MODEL   | UTF-8 artifact path                                |
 //! | →   | `0x07` | PUSH_N       | `u32` channels, `u32` n, n×(`u32` stream, `u32` count), samples |
+//! | →   | `0x08` | LIST_MODELS  | —                                                  |
 //! | ←   | `0x81` | OPENED       | `u32` stream id                                    |
 //! | ←   | `0x82` | EMIT         | `u32` stream, `u32` count, `u32` dim, outputs      |
 //! | ←   | `0x83` | CLOSED       | `u32` stream id, `u8` reason                       |
@@ -22,6 +23,7 @@
 //! | ←   | `0x85` | STATS_JSON   | UTF-8 JSON (a [`crate::StatsSnapshot`])            |
 //! | ←   | `0x86` | MODEL_LOADED | UTF-8 plan name                                    |
 //! | ←   | `0x87` | EMIT_N       | `u32` dim, `u32` n, n×(`u32` stream, `u32` count), outputs |
+//! | ←   | `0x88` | MODELS_JSON  | UTF-8 JSON (model registry metadata)               |
 //! | ←   | `0xFF` | ERROR        | `u8` code, UTF-8 message                           |
 //!
 //! ## Protocol v2: batched frames
@@ -35,6 +37,28 @@
 //! connection opts into v2 replies simply by sending any `PUSH_N` — from
 //! then on the server coalesces each wave's emissions into `EMIT_N` frames
 //! (v1 connections keep receiving per-stream `EMIT`).
+//!
+//! ## Protocol v3: the model zoo
+//!
+//! v3 makes the daemon multi-model. `OPEN` grows an *optional* trailing
+//! model-name field — `u16` LE length then that many UTF-8 bytes, selecting
+//! which registry entry serves the stream. A 5-byte v1/v2 OPEN body means
+//! "the default model", so old clients are bit-for-bit unchanged; a name the
+//! registry does not hold is refused with [`ErrorCode::UnknownModel`]. A
+//! zero-length or length-mismatched name field is malformed
+//! ([`ErrorCode::BadFrame`]). `LIST_MODELS` (`0x08`, empty payload) asks for
+//! the registry: the `MODELS_JSON` (`0x88`) reply carries one JSON object
+//! per model (name, kind, channels/dim, receptive field, open-stream gauge,
+//! default flag).
+//!
+//! `LOAD_MODEL` is re-specified as **add-or-replace-by-name**: loading an
+//! artifact whose plan name is new *adds* it to the registry (even while
+//! other models serve streams); loading one whose name already exists
+//! atomically *replaces* that entry — refused with
+//! [`ErrorCode::StreamsActive`] while the named model itself has open
+//! streams, so no stream ever hops pools mid-life. Pre-v3 daemons served
+//! exactly one model, for which these semantics degenerate to the old
+//! whole-daemon swap.
 //!
 //! Decoding is defensive by construction: bodies are bounded by
 //! [`MAX_FRAME_BODY`] before any allocation, every multi-byte field checks
@@ -90,10 +114,12 @@ pub enum ErrorCode {
     ServerFull = 6,
     /// LOAD_MODEL failed (unreadable file, corrupt artifact).
     LoadFailed = 7,
-    /// LOAD_MODEL rejected because streams are open.
+    /// LOAD_MODEL replace rejected because the named model has open streams.
     StreamsActive = 8,
     /// The server is draining; no new work accepted.
     ShuttingDown = 9,
+    /// OPEN named a model the registry does not hold.
+    UnknownModel = 10,
 }
 
 impl ErrorCode {
@@ -108,6 +134,7 @@ impl ErrorCode {
             7 => Some(ErrorCode::LoadFailed),
             8 => Some(ErrorCode::StreamsActive),
             9 => Some(ErrorCode::ShuttingDown),
+            10 => Some(ErrorCode::UnknownModel),
             _ => None,
         }
     }
@@ -120,6 +147,9 @@ pub enum ClientFrame {
     Open {
         /// Connection-scoped stream id.
         stream_id: u32,
+        /// Protocol v3: which registry model serves the stream. `None`
+        /// encodes the 5-byte v1 body and means the server's default model.
+        model: Option<String>,
     },
     /// Push `samples.len() / channels` timesteps onto an open stream.
     Push {
@@ -144,8 +174,9 @@ pub enum ClientFrame {
     },
     /// Request a [`crate::StatsSnapshot`] as JSON.
     Stats,
-    /// Hot-swap the served model from an artifact file on the server's
-    /// filesystem (rejected while any stream is open).
+    /// Load a `pit-arch/2` artifact into the registry under its plan name:
+    /// a new name is added beside the existing models, an existing name is
+    /// atomically replaced (refused while that model has open streams).
     LoadModel {
         /// Path to a `pit-arch/2` artifact on the server host.
         path: String,
@@ -162,6 +193,9 @@ pub enum ClientFrame {
         /// then timestep-major.
         samples: Vec<f32>,
     },
+    /// Protocol v3: request the model registry as a
+    /// [`ServerFrame::ModelsJson`] reply.
+    ListModels,
 }
 
 /// A frame the server sends.
@@ -215,6 +249,12 @@ pub enum ServerFrame {
         /// Concatenated outputs: `Σ countᵢ × dim` values, entry-major then
         /// chronological per stream.
         outputs: Vec<f32>,
+    },
+    /// Protocol v3: LIST_MODELS reply — a JSON array of registry entries
+    /// (the wire form behind [`crate::ModelInfo`]).
+    ModelsJson {
+        /// Rendered JSON array, one object per model.
+        json: String,
     },
     /// A request failed; the connection stays usable unless the transport
     /// itself broke.
@@ -271,9 +311,14 @@ fn put_f32s(body: &mut Vec<u8>, values: &[f32]) {
 pub fn encode_client(f: &ClientFrame) -> Vec<u8> {
     let mut body = Vec::new();
     match f {
-        ClientFrame::Open { stream_id } => {
+        ClientFrame::Open { stream_id, model } => {
             body.push(0x01);
             body.extend_from_slice(&stream_id.to_le_bytes());
+            if let Some(name) = model {
+                debug_assert!(!name.is_empty() && name.len() <= u16::MAX as usize);
+                body.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                body.extend_from_slice(name.as_bytes());
+            }
         }
         ClientFrame::Push {
             stream_id,
@@ -314,6 +359,7 @@ pub fn encode_client(f: &ClientFrame) -> Vec<u8> {
             put_entries(&mut body, entries);
             put_f32s(&mut body, samples);
         }
+        ClientFrame::ListModels => body.push(0x08),
     }
     frame(body)
 }
@@ -373,6 +419,10 @@ pub fn encode_server(f: &ServerFrame) -> Vec<u8> {
             put_entries(&mut body, entries);
             put_f32s(&mut body, outputs);
         }
+        ServerFrame::ModelsJson { json } => {
+            body.push(0x88);
+            body.extend_from_slice(json.as_bytes());
+        }
         ServerFrame::Error { code, message } => {
             body.push(0xFF);
             body.push(*code as u8);
@@ -406,6 +456,11 @@ impl<'a> Cursor<'a> {
 
     fn u8(&mut self, what: &str) -> Result<u8, FrameError> {
         Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, FrameError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, FrameError> {
@@ -509,9 +564,25 @@ pub fn decode_client(body: &[u8]) -> Result<ClientFrame, FrameError> {
     let mut c = Cursor { body, pos: 0 };
     let op = c.u8("opcode").map_err(|_| FrameError::Empty)?;
     let frame = match op {
-        0x01 => ClientFrame::Open {
-            stream_id: c.u32("stream id")?,
-        },
+        0x01 => {
+            let stream_id = c.u32("stream id")?;
+            // v3: an optional trailing length-prefixed model name; a bare
+            // 5-byte body is the v1 form and selects the default model.
+            let model =
+                if c.remaining() == 0 {
+                    None
+                } else {
+                    let len = c.u16("model name length")? as usize;
+                    if len == 0 {
+                        return Err(FrameError::Malformed("OPEN with empty model name".into()));
+                    }
+                    let bytes = c.take(len, "model name")?;
+                    Some(String::from_utf8(bytes.to_vec()).map_err(|_| {
+                        FrameError::Malformed("model name is not valid UTF-8".into())
+                    })?)
+                };
+            ClientFrame::Open { stream_id, model }
+        }
         0x02 => {
             let stream_id = c.u32("stream id")?;
             let count = c.u32("count")?;
@@ -551,6 +622,7 @@ pub fn decode_client(body: &[u8]) -> Result<ClientFrame, FrameError> {
                 samples: c.f32s(total, "samples")?,
             }
         }
+        0x08 => ClientFrame::ListModels,
         other => return Err(FrameError::UnknownOpcode(other)),
     };
     c.finish()?;
@@ -611,6 +683,9 @@ pub fn decode_server(body: &[u8]) -> Result<ServerFrame, FrameError> {
                 outputs: c.f32s(total, "outputs")?,
             }
         }
+        0x88 => ServerFrame::ModelsJson {
+            json: c.rest_utf8("models json")?,
+        },
         0xFF => {
             let code = c.u8("error code")?;
             ServerFrame::Error {
@@ -783,7 +858,10 @@ mod tests {
 
     #[test]
     fn frames_roundtrip() {
-        client_roundtrip(ClientFrame::Open { stream_id: 7 });
+        client_roundtrip(ClientFrame::Open {
+            stream_id: 7,
+            model: None,
+        });
         client_roundtrip(ClientFrame::Push {
             stream_id: 7,
             channels: 2,
@@ -828,6 +906,50 @@ mod tests {
             entries: vec![(7, 1), (9, 2)],
             outputs: vec![0.5, -0.5, 1.0, 2.0, -1.0, 0.0],
         });
+        // v3 zoo frames.
+        client_roundtrip(ClientFrame::Open {
+            stream_id: 11,
+            model: Some("TEMPONet-plan-int8".into()),
+        });
+        client_roundtrip(ClientFrame::ListModels);
+        server_roundtrip(ServerFrame::ModelsJson {
+            json: "[{\"name\": \"a\"}]".into(),
+        });
+    }
+
+    #[test]
+    fn v1_open_body_is_bitwise_unchanged_and_model_field_is_checked() {
+        // The v1 5-byte OPEN body must be exactly what pre-v3 clients sent.
+        let encoded = encode_client(&ClientFrame::Open {
+            stream_id: 0x0403_0201,
+            model: None,
+        });
+        assert_eq!(&encoded[4..], &[0x01, 0x01, 0x02, 0x03, 0x04]);
+        // Empty model name.
+        assert!(matches!(
+            decode_client(&[0x01, 1, 0, 0, 0, 0, 0]).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Name length claiming past the body.
+        assert!(matches!(
+            decode_client(&[0x01, 1, 0, 0, 0, 9, 0, b'a']).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Name shorter than the body (trailing bytes).
+        assert!(matches!(
+            decode_client(&[0x01, 1, 0, 0, 0, 1, 0, b'a', b'b']).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // A lone length byte (truncated u16).
+        assert!(matches!(
+            decode_client(&[0x01, 1, 0, 0, 0, 2]).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Invalid UTF-8 in the name.
+        assert!(matches!(
+            decode_client(&[0x01, 1, 0, 0, 0, 2, 0, 0xFF, 0xFE]).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
     }
 
     #[test]
@@ -890,7 +1012,10 @@ mod tests {
     fn frame_assembler_pops_frames_from_raw_bytes() {
         let mut asm = FrameAssembler::new();
         let a = encode_client(&ClientFrame::Ping { token: 5 });
-        let b = encode_client(&ClientFrame::Open { stream_id: 2 });
+        let b = encode_client(&ClientFrame::Open {
+            stream_id: 2,
+            model: None,
+        });
         // Feed a split mid-prefix: nothing pops until the body completes.
         asm.extend(&a[..2]);
         assert!(asm.next_frame().unwrap().is_none());
@@ -904,7 +1029,10 @@ mod tests {
         let body = asm.next_frame().unwrap().expect("second frame complete");
         assert_eq!(
             decode_client(&body).unwrap(),
-            ClientFrame::Open { stream_id: 2 }
+            ClientFrame::Open {
+                stream_id: 2,
+                model: None,
+            }
         );
         assert!(asm.next_frame().unwrap().is_none());
         assert_eq!(asm.buffered_bytes(), 0);

@@ -35,11 +35,13 @@ use crate::protocol::{
     decode_client, encode_server, ClientFrame, ErrorCode, FrameAssembler, FrameError, ServerFrame,
 };
 use crate::shard::{Shard, ShardEvent, ShardNote};
-use crate::stats::{aggregate_snapshot, EdgeCounters, ShardStats, StatsSnapshot};
+use crate::stats::{aggregate_snapshot, EdgeCounters, ModelStats, ShardStats, StatsSnapshot};
 use pit_infer::{
     InferencePlan, PlanArtifact, QuantizedPlan, QuantizedSessionPool, SessionPool, StreamPool,
+    ZooManifest,
 };
-use std::collections::{HashMap, HashSet};
+use pit_tensor::json::Json;
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -64,9 +66,14 @@ pub struct ServerConfig {
     pub tick: Duration,
     /// Evict streams with no client activity for this long (`None` = never).
     pub idle_timeout: Option<Duration>,
-    /// Wave-batcher shards (threads), each owning one pool shard. Defaults
-    /// to the machine's available parallelism, clamped to `1..=8`.
+    /// Wave-batcher shards (threads), each owning one pool shard per
+    /// registry model. Defaults to the machine's available parallelism,
+    /// clamped to `1..=8`.
     pub shards: usize,
+    /// Cap on registry models (boot-time plus LOAD_MODEL additions): each
+    /// model costs one pool per shard, so the registry must not grow
+    /// unboundedly at a client's request.
+    pub max_models: usize,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +88,7 @@ impl Default for ServerConfig {
                 .map(|n| n.get())
                 .unwrap_or(1)
                 .clamp(1, 8),
+            max_models: 32,
         }
     }
 }
@@ -133,6 +141,31 @@ impl ServeEngine {
             ServeEngine::I8(plan) => plan.input_channels(),
         }
     }
+
+    pub(crate) fn output_dim(&self) -> usize {
+        match self {
+            ServeEngine::F32(plan) => plan.output_dim(),
+            ServeEngine::I8(plan) => plan.output_dim(),
+        }
+    }
+
+    pub(crate) fn receptive_field(&self) -> usize {
+        match self {
+            ServeEngine::F32(plan) => plan.receptive_field(),
+            ServeEngine::I8(plan) => plan.receptive_field(),
+        }
+    }
+}
+
+/// One registry entry at the edge: the engine, the per-model counter block
+/// every shard shares, and the edge-authoritative open-stream gauge.
+struct ModelEntry {
+    /// Registry name: the zoo-manifest name at boot, or the artifact's plan
+    /// name for single-artifact boots and LOAD_MODEL additions.
+    name: String,
+    engine: ServeEngine,
+    stats: Arc<ModelStats>,
+    open_streams: usize,
 }
 
 pub(crate) type ConnId = u64;
@@ -159,9 +192,10 @@ struct EdgeConn {
     out: Arc<OutBuf>,
     pending: Arc<AtomicUsize>,
     v2: Arc<AtomicBool>,
-    /// Client stream ids opened (and not yet closed) on this connection —
-    /// the edge's authoritative view for duplicate/capacity checks.
-    streams: HashSet<u32>,
+    /// Client stream ids opened (and not yet closed) on this connection,
+    /// each mapped to its registry model index — the edge's authoritative
+    /// view for duplicate/capacity checks and per-stream channel checks.
+    streams: HashMap<u32, usize>,
     /// Set when the last vectored write left bytes queued: poll for
     /// `POLLOUT` instead of busy-retrying.
     want_write: bool,
@@ -176,7 +210,10 @@ const EDGE_POLL_MS: i32 = 100;
 
 struct Edge {
     config: ServerConfig,
-    engine: ServeEngine,
+    /// The model registry, index-aligned with every shard's pool vector.
+    models: Vec<ModelEntry>,
+    /// Registry index a model-less OPEN gets.
+    default_model: usize,
     conns: HashMap<ConnId, EdgeConn>,
     shard_txs: Vec<Sender<ShardEvent>>,
     shard_stats: Vec<Arc<ShardStats>>,
@@ -245,7 +282,7 @@ impl Edge {
                     out,
                     pending,
                     v2,
-                    streams: HashSet::new(),
+                    streams: HashMap::new(),
                     want_write: false,
                 },
             );
@@ -315,20 +352,25 @@ impl Edge {
                     },
                 );
             }
-            ClientFrame::Open { stream_id } => self.handle_open(conn, stream_id),
+            ClientFrame::Open { stream_id, model } => self.handle_open(conn, stream_id, model),
+            ClientFrame::ListModels => {
+                let json = self.models_json();
+                self.send(conn, &ServerFrame::ModelsJson { json });
+            }
             ClientFrame::Close { stream_id } => {
                 let Some(state) = self.conns.get_mut(&conn) else {
                     return;
                 };
-                if !state.streams.remove(&stream_id) {
+                let Some(model) = state.streams.remove(&stream_id) else {
                     self.send_error(
                         conn,
                         ErrorCode::UnknownStream,
                         format!("stream {stream_id} is not open"),
                     );
                     return;
-                }
+                };
                 self.total_open -= 1;
+                self.models[model].open_streams -= 1;
                 let _ = self
                     .shard_for(conn, stream_id)
                     .send(ShardEvent::Close { conn, stream_id });
@@ -358,7 +400,15 @@ impl Edge {
         }
     }
 
-    fn handle_open(&mut self, conn: ConnId, stream_id: u32) {
+    /// Resolves an OPEN's optional model name against the registry.
+    fn resolve_model(&self, model: &Option<String>) -> Option<usize> {
+        match model {
+            None => Some(self.default_model),
+            Some(name) => self.models.iter().position(|m| &m.name == name),
+        }
+    }
+
+    fn handle_open(&mut self, conn: ConnId, stream_id: u32, model: Option<String>) {
         if self.draining {
             self.send_error(
                 conn,
@@ -367,10 +417,19 @@ impl Edge {
             );
             return;
         }
+        let Some(model) = self.resolve_model(&model) else {
+            let name = model.unwrap_or_default();
+            self.send_error(
+                conn,
+                ErrorCode::UnknownModel,
+                format!("no model named '{name}' in the registry"),
+            );
+            return;
+        };
         let Some(state) = self.conns.get_mut(&conn) else {
             return;
         };
-        if state.streams.contains(&stream_id) {
+        if state.streams.contains_key(&stream_id) {
             self.send_error(
                 conn,
                 ErrorCode::DuplicateStream,
@@ -386,19 +445,23 @@ impl Edge {
             );
             return;
         }
-        state.streams.insert(stream_id);
+        state.streams.insert(stream_id, model);
         self.total_open += 1;
+        self.models[model].open_streams += 1;
         // The shard opens the pool slot and replies Opened, keeping reply
         // order consistent with the emissions that follow.
-        let _ = self
-            .shard_for(conn, stream_id)
-            .send(ShardEvent::Open { conn, stream_id });
+        let _ = self.shard_for(conn, stream_id).send(ShardEvent::Open {
+            conn,
+            stream_id,
+            model,
+        });
     }
 
-    /// Shared admission for PUSH and each PUSH_N: channel count must match
-    /// the served plan, every stream must be open on this connection, and
-    /// the connection must be under its pending-timestep cap. On success
-    /// charges `count` to the pending counter.
+    /// Shared admission for PUSH and each PUSH_N: the channel count must
+    /// match *each named stream's own model* (streams of differently-shaped
+    /// models cannot share one frame), every stream must be open on this
+    /// connection, and the connection must be under its pending-timestep
+    /// cap. On success charges `count` to the pending counter.
     fn admit_push(
         &mut self,
         conn: ConnId,
@@ -406,19 +469,27 @@ impl Edge {
         channels: u32,
         count: usize,
     ) -> bool {
-        let c_in = self.engine.input_channels();
-        if channels as usize != c_in {
-            self.send_error(
-                conn,
-                ErrorCode::BadFrame,
-                format!("PUSH carries {channels} channels, the served plan takes {c_in}"),
-            );
-            return false;
-        }
         let Some(state) = self.conns.get(&conn) else {
             return false;
         };
-        if let Some(&unknown) = stream_ids.iter().find(|sid| !state.streams.contains(sid)) {
+        let mut unknown = None;
+        let mut mismatch = None;
+        for sid in stream_ids {
+            match state.streams.get(sid) {
+                None => {
+                    unknown = Some(*sid);
+                    break;
+                }
+                Some(&model) => {
+                    let c_in = self.models[model].engine.input_channels();
+                    if channels as usize != c_in {
+                        mismatch = Some((*sid, model, c_in));
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(unknown) = unknown {
             self.send_error(
                 conn,
                 ErrorCode::UnknownStream,
@@ -426,6 +497,17 @@ impl Edge {
             );
             return false;
         }
+        if let Some((sid, model, c_in)) = mismatch {
+            let name = &self.models[model].name;
+            let msg = format!(
+                "PUSH carries {channels} channels, stream {sid}'s model '{name}' takes {c_in}"
+            );
+            self.send_error(conn, ErrorCode::BadFrame, msg);
+            return false;
+        }
+        let Some(state) = self.conns.get(&conn) else {
+            return false;
+        };
         let conn_pending = state.pending.load(Ordering::Relaxed);
         if conn_pending + count > self.config.max_pending_per_conn {
             self.send_error(
@@ -474,6 +556,11 @@ impl Edge {
         }
     }
 
+    /// LOAD_MODEL: add-or-replace-by-name. The artifact's plan name keys
+    /// the registry — an unseen name *adds* the model beside the existing
+    /// ones (other models keep serving their streams untouched); a known
+    /// name atomically *replaces* that entry, refused while the named model
+    /// itself has open streams so no live stream ever hops pools.
     fn handle_load_model(&mut self, conn: ConnId, path: String) {
         if self.draining {
             self.send_error(
@@ -483,31 +570,82 @@ impl Edge {
             );
             return;
         }
-        if self.total_open > 0 {
-            self.send_error(
-                conn,
-                ErrorCode::StreamsActive,
-                format!(
-                    "{} streams are open; drain before swapping",
-                    self.total_open
-                ),
-            );
-            return;
-        }
-        match PlanArtifact::load(std::path::Path::new(&path)) {
-            Ok(artifact) => {
-                let engine = ServeEngine::from_artifact(artifact);
-                for tx in &self.shard_txs {
-                    let _ = tx.send(ShardEvent::Swap {
-                        engine: engine.clone(),
-                    });
-                }
-                let name = engine.name();
-                self.engine = engine;
-                self.send(conn, &ServerFrame::ModelLoaded { name });
+        let artifact = match PlanArtifact::load(std::path::Path::new(&path)) {
+            Ok(artifact) => artifact,
+            Err(e) => {
+                self.send_error(conn, ErrorCode::LoadFailed, e);
+                return;
             }
-            Err(e) => self.send_error(conn, ErrorCode::LoadFailed, e),
+        };
+        let engine = ServeEngine::from_artifact(artifact);
+        let name = engine.name();
+        if let Some(model) = self.models.iter().position(|m| m.name == name) {
+            let open = self.models[model].open_streams;
+            if open > 0 {
+                self.send_error(
+                    conn,
+                    ErrorCode::StreamsActive,
+                    format!("model '{name}' has {open} open streams; drain it before replacing"),
+                );
+                return;
+            }
+            self.models[model].engine = engine.clone();
+            for tx in &self.shard_txs {
+                let _ = tx.send(ShardEvent::Swap {
+                    model,
+                    engine: engine.clone(),
+                });
+            }
+        } else {
+            if self.models.len() >= self.config.max_models {
+                self.send_error(
+                    conn,
+                    ErrorCode::LoadFailed,
+                    format!(
+                        "registry is at its {}-model limit; replace an existing model instead",
+                        self.config.max_models
+                    ),
+                );
+                return;
+            }
+            let stats = Arc::new(ModelStats::default());
+            for tx in &self.shard_txs {
+                let _ = tx.send(ShardEvent::AddModel {
+                    engine: engine.clone(),
+                    stats: Arc::clone(&stats),
+                });
+            }
+            self.models.push(ModelEntry {
+                name: name.clone(),
+                engine,
+                stats,
+                open_streams: 0,
+            });
         }
+        self.send(conn, &ServerFrame::ModelLoaded { name });
+    }
+
+    /// The MODELS_JSON payload: one object per registry entry.
+    fn models_json(&self) -> String {
+        let n = |v: usize| Json::Num(v as f64);
+        Json::Arr(
+            self.models
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::Str(m.name.clone())),
+                        ("kind".into(), Json::Str(m.engine.kind().into())),
+                        ("input_channels".into(), n(m.engine.input_channels())),
+                        ("output_dim".into(), n(m.engine.output_dim())),
+                        ("receptive_field".into(), n(m.engine.receptive_field())),
+                        ("streams_open".into(), n(m.open_streams)),
+                        ("default".into(), Json::Bool(i == self.default_model)),
+                    ])
+                })
+                .collect(),
+        )
+        .render()
     }
 
     /// Removes a connection: releases its stream budget and tells every
@@ -518,6 +656,9 @@ impl Edge {
         };
         self.counters.connections_open -= 1;
         self.total_open -= state.streams.len();
+        for (_, model) in state.streams {
+            self.models[model].open_streams -= 1;
+        }
         for tx in &self.shard_txs {
             let _ = tx.send(ShardEvent::Disconnected { conn });
         }
@@ -530,8 +671,9 @@ impl Edge {
                 // Ignore notes for streams the edge already released (a
                 // CLOSE or disconnect raced the eviction).
                 if let Some(state) = self.conns.get_mut(&conn) {
-                    if state.streams.remove(&stream_id) {
+                    if let Some(model) = state.streams.remove(&stream_id) {
                         self.total_open -= 1;
+                        self.models[model].open_streams -= 1;
                     }
                 }
             }
@@ -557,11 +699,19 @@ impl Edge {
     }
 
     fn snapshot(&self) -> StatsSnapshot {
+        let default = &self.models[self.default_model];
         aggregate_snapshot(
-            &self.engine.name(),
-            self.engine.kind(),
+            &default.name,
+            default.engine.kind(),
             &self.counters,
             &self.shard_stats,
+            self.models
+                .iter()
+                .map(|m| {
+                    m.stats
+                        .snapshot(&m.name, m.engine.kind(), m.open_streams as u64)
+                })
+                .collect(),
         )
     }
 }
@@ -573,7 +723,10 @@ impl Edge {
 /// A bound (not yet running) serving daemon.
 pub struct Server {
     listener: TcpListener,
-    engine: ServeEngine,
+    /// Boot-time registry: `(name, engine)` pairs, index order preserved.
+    models: Vec<(String, ServeEngine)>,
+    /// Registry index of the default model.
+    default_model: usize,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     wake_pipe: WakePipe,
@@ -582,20 +735,59 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the configured address and prepares the engine. The server
-    /// does not accept connections until [`Server::run`] or
-    /// [`Server::spawn`].
+    /// Binds the configured address with a one-model registry named after
+    /// the engine's plan. The server does not accept connections until
+    /// [`Server::run`] or [`Server::spawn`].
     ///
     /// # Errors
     ///
     /// Returns the bind error, if any.
     pub fn bind(engine: ServeEngine, config: ServerConfig) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
-        let (wake_pipe, waker) = WakePipe::new()?;
+        let name = engine.name();
+        Self::bind_models(vec![(name.clone(), engine)], &name, config)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Binds with a multi-model registry. `models` become the registry in
+    /// order; `default` names the entry a model-less OPEN gets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the registry is empty, a name repeats,
+    /// `default` names no entry, the registry exceeds
+    /// [`ServerConfig::max_models`], or the bind fails.
+    pub fn bind_models(
+        models: Vec<(String, ServeEngine)>,
+        default: &str,
+        config: ServerConfig,
+    ) -> Result<Self, String> {
+        if models.is_empty() {
+            return Err("model registry is empty".into());
+        }
+        if models.len() > config.max_models {
+            return Err(format!(
+                "{} models exceed the {}-model registry cap",
+                models.len(),
+                config.max_models
+            ));
+        }
+        for (i, (name, _)) in models.iter().enumerate() {
+            if models[..i].iter().any(|(other, _)| other == name) {
+                return Err(format!("duplicate model name '{name}'"));
+            }
+        }
+        let default_model = models
+            .iter()
+            .position(|(name, _)| name == default)
+            .ok_or_else(|| format!("default model '{default}' is not in the registry"))?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let (wake_pipe, waker) = WakePipe::new().map_err(|e| e.to_string())?;
         Ok(Self {
             listener,
-            engine,
+            models,
+            default_model,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
             wake_pipe,
@@ -612,14 +804,61 @@ impl Server {
     /// Returns a message on artifact or bind failures.
     pub fn bind_artifact(path: &std::path::Path, config: ServerConfig) -> Result<Self, String> {
         let artifact = PlanArtifact::load(path)?;
-        let addr = config.addr.clone();
-        Self::bind(ServeEngine::from_artifact(artifact), config)
-            .map_err(|e| format!("cannot bind {addr}: {e}"))
+        let engine = ServeEngine::from_artifact(artifact);
+        let name = engine.name();
+        Self::bind_models(vec![(name.clone(), engine)], &name, config)
+    }
+
+    /// Loads a whole model-zoo library — a `pit-zoo/1` manifest plus its
+    /// artifact files — and binds with every listed model registered under
+    /// its manifest name, defaulting to the manifest's `default` entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on manifest, artifact or bind failures.
+    pub fn bind_zoo(manifest_path: &std::path::Path, config: ServerConfig) -> Result<Self, String> {
+        Self::bind_zoo_with_default(manifest_path, None, config)
+    }
+
+    /// [`Server::bind_zoo`] with the manifest's default entry overridden by
+    /// `default` when given (the `pit-serve --default-model` flag).
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::bind_zoo`], plus when `default` names no manifest entry.
+    pub fn bind_zoo_with_default(
+        manifest_path: &std::path::Path,
+        default: Option<&str>,
+        config: ServerConfig,
+    ) -> Result<Self, String> {
+        let (manifest, base) = ZooManifest::load(manifest_path)?;
+        let mut models = Vec::with_capacity(manifest.models.len());
+        for entry in &manifest.models {
+            let path = entry.artifact_path(&base);
+            let artifact =
+                PlanArtifact::load(&path).map_err(|e| format!("model '{}': {e}", entry.name))?;
+            models.push((entry.name.clone(), ServeEngine::from_artifact(artifact)));
+        }
+        Self::bind_models(models, default.unwrap_or(&manifest.default), config)
     }
 
     /// The actually-bound address (resolves `:0` to the ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// `(name, kind)` of every registry model in registry order, the
+    /// default entry first-class nowhere — pair with [`Server::default_model_name`].
+    pub fn model_names(&self) -> Vec<(String, &'static str)> {
+        self.models
+            .iter()
+            .map(|(name, engine)| (name.clone(), engine.kind()))
+            .collect()
+    }
+
+    /// Name of the model a model-less OPEN selects.
+    pub fn default_model_name(&self) -> &str {
+        &self.models[self.default_model].0
     }
 
     /// Runs the daemon on a background thread, returning a handle for
@@ -644,6 +883,12 @@ impl Server {
     pub fn run(self) -> StatsSnapshot {
         let shards = self.config.shards.max(1);
         let (note_tx, note_rx) = mpsc::channel::<ShardNote>();
+        // One counter block per registry model, shared across every shard.
+        let shard_models: Vec<(ServeEngine, Arc<ModelStats>)> = self
+            .models
+            .iter()
+            .map(|(_, engine)| (engine.clone(), Arc::new(ModelStats::default())))
+            .collect();
         let mut shard_txs = Vec::with_capacity(shards);
         let mut shard_stats = Vec::with_capacity(shards);
         let mut shard_threads = Vec::with_capacity(shards);
@@ -655,7 +900,7 @@ impl Server {
             let (tx, rx) = mpsc::channel::<ShardEvent>();
             let stats = Arc::new(ShardStats::default());
             let shard = Shard::new(
-                &self.engine,
+                &shard_models,
                 self.config.tick,
                 self.config.idle_timeout,
                 Arc::clone(&stats),
@@ -671,9 +916,21 @@ impl Server {
             .set_nonblocking(true)
             .expect("listener nonblocking");
 
+        let models: Vec<ModelEntry> = self
+            .models
+            .into_iter()
+            .zip(shard_models)
+            .map(|((name, engine), (_, stats))| ModelEntry {
+                name,
+                engine,
+                stats,
+                open_streams: 0,
+            })
+            .collect();
         let mut edge = Edge {
             config: self.config,
-            engine: self.engine,
+            models,
+            default_model: self.default_model,
             conns: HashMap::new(),
             shard_txs,
             shard_stats,
@@ -735,12 +992,7 @@ impl Server {
         for thread in shard_threads {
             let _ = thread.join();
         }
-        let snapshot = aggregate_snapshot(
-            &edge.engine.name(),
-            edge.engine.kind(),
-            &edge.counters,
-            &edge.shard_stats,
-        );
+        let snapshot = edge.snapshot();
         // 3) Hand the buffered frames to the clients, within reason.
         let deadline = Instant::now() + DRAIN_FLUSH_TIMEOUT;
         loop {

@@ -1,26 +1,32 @@
 //! The sharded wave batcher: N independent threads, each owning one
-//! [`StreamPool`] shard, together serving thousands of streams.
+//! [`StreamPool`] shard *per registry model*, together serving thousands
+//! of streams across a whole model zoo.
 //!
 //! A stream is pinned to its shard at OPEN time by a stable hash of
 //! `(connection, stream id)` — the edge routes every later PUSH/CLOSE for
-//! that stream to the same shard, so a shard's pool and stream tables are
+//! that stream to the same shard, so a shard's pools and stream tables are
 //! single-threaded and lock-free exactly like the old one-batcher design,
 //! just `shards`-times over. One generic implementation serves both
 //! precisions through `Box<dyn StreamPool>` (this file replaced 24
-//! hand-written `F32`/`I8` match arms).
+//! hand-written `F32`/`I8` match arms). Multi-model serving keeps the
+//! layout: the shard holds one pool per model (same index order as the
+//! edge registry), the edge resolves a stream's model at OPEN, and a wave
+//! flushes every pool with pending timesteps — each model still batches
+//! its own streams into single GEMMs.
 //!
 //! Shards never touch a socket: replies are encoded into the connection's
 //! [`OutBuf`] and the edge is woken through the self-pipe [`Waker`] to
 //! drain them. The little cross-thread state a shard shares is explicit:
 //! the per-connection pending-timestep counter (backpressure, edge
 //! increments / shard decrements), the per-connection v2 latch (EMIT vs
-//! EMIT_N formatting), its [`ShardStats`] block, and a note channel back to
+//! EMIT_N formatting), its [`ShardStats`] block, the per-model
+//! [`ModelStats`] blocks shared by every shard, and a note channel back to
 //! the edge so idle evictions release the server-wide stream budget.
 
 use crate::edge::{OutBuf, Waker};
 use crate::protocol::{encode_server, CloseReason, ErrorCode, ServerFrame, MAX_FRAME_BODY};
 use crate::server::{ConnId, ServeEngine};
-use crate::stats::ShardStats;
+use crate::stats::{ModelStats, ShardStats};
 use pit_infer::StreamPool;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -40,8 +46,13 @@ pub(crate) enum ShardEvent {
     },
     /// The connection is gone (broadcast): close its streams on this shard.
     Disconnected { conn: ConnId },
-    /// OPEN, pre-validated by the edge (duplicate + capacity checks).
-    Open { conn: ConnId, stream_id: u32 },
+    /// OPEN, pre-validated by the edge (duplicate + capacity checks, and
+    /// `model` resolved against the registry).
+    Open {
+        conn: ConnId,
+        stream_id: u32,
+        model: usize,
+    },
     /// CLOSE, pre-validated by the edge (the stream was open there).
     Close { conn: ConnId, stream_id: u32 },
     /// `count` timesteps for one stream (a v1 PUSH, or one entry of a v2
@@ -53,8 +64,15 @@ pub(crate) enum ShardEvent {
         count: usize,
         samples: Vec<f32>,
     },
-    /// Hot-swap the engine (broadcast; only sent with zero open streams).
-    Swap { engine: ServeEngine },
+    /// Register one more model (broadcast): the shard appends a fresh pool
+    /// at the next registry index, mirroring the edge's table.
+    AddModel {
+        engine: ServeEngine,
+        stats: Arc<ModelStats>,
+    },
+    /// Atomically replace model `model`'s engine (broadcast; only sent
+    /// while that model has zero open streams).
+    Swap { model: usize, engine: ServeEngine },
 }
 
 /// What a shard reports back to the edge (processed on each wakeup).
@@ -72,8 +90,8 @@ struct ShardConn {
     /// Latched once the connection sends a PUSH_N: emissions coalesce into
     /// EMIT_N frames.
     v2: Arc<AtomicBool>,
-    /// Connection-scoped stream id → pool slot on this shard.
-    streams: HashMap<u32, usize>,
+    /// Connection-scoped stream id → `(model, pool slot)` on this shard.
+    streams: HashMap<u32, (usize, usize)>,
     /// Timesteps this shard queued for the connection since the last wave
     /// (this shard's share of `pending`).
     queued: usize,
@@ -86,12 +104,15 @@ struct StreamInfo {
 }
 
 pub(crate) struct Shard {
-    pool: Box<dyn StreamPool>,
+    /// One pool per registry model, same index order as the edge's table.
+    pools: Vec<Box<dyn StreamPool>>,
+    /// Per-model counter blocks, shared with every other shard.
+    model_stats: Vec<Arc<ModelStats>>,
     tick: Duration,
     idle_timeout: Option<Duration>,
     conns: HashMap<ConnId, ShardConn>,
-    /// Pool slot → owner.
-    streams: HashMap<usize, StreamInfo>,
+    /// `(model, pool slot)` → owner.
+    streams: HashMap<(usize, usize), StreamInfo>,
     stats: Arc<ShardStats>,
     notes: Sender<ShardNote>,
     waker: Waker,
@@ -102,7 +123,7 @@ pub(crate) struct Shard {
 
 impl Shard {
     pub(crate) fn new(
-        engine: &ServeEngine,
+        models: &[(ServeEngine, Arc<ModelStats>)],
         tick: Duration,
         idle_timeout: Option<Duration>,
         stats: Arc<ShardStats>,
@@ -110,7 +131,8 @@ impl Shard {
         waker: Waker,
     ) -> Self {
         Self {
-            pool: engine.new_pool(),
+            pools: models.iter().map(|(e, _)| e.new_pool()).collect(),
+            model_stats: models.iter().map(|(_, s)| Arc::clone(s)).collect(),
             tick,
             idle_timeout,
             conns: HashMap::new(),
@@ -162,16 +184,20 @@ impl Shard {
             ShardEvent::Disconnected { conn } => {
                 if let Some(state) = self.conns.remove(&conn) {
                     state.pending.fetch_sub(state.queued, Ordering::Relaxed);
-                    for (_, sid) in state.streams {
-                        self.pool.close_stream(sid);
-                        self.streams.remove(&sid);
+                    for (_, (model, slot)) in state.streams {
+                        self.pools[model].close_stream(slot);
+                        self.streams.remove(&(model, slot));
                     }
                     self.stats
                         .streams_open
                         .store(self.streams.len() as u64, Ordering::Relaxed);
                 }
             }
-            ShardEvent::Open { conn, stream_id } => self.handle_open(conn, stream_id),
+            ShardEvent::Open {
+                conn,
+                stream_id,
+                model,
+            } => self.handle_open(conn, stream_id, model),
             ShardEvent::Close { conn, stream_id } => self.handle_close(conn, stream_id),
             ShardEvent::Push {
                 conn,
@@ -179,25 +205,30 @@ impl Shard {
                 count,
                 samples,
             } => self.handle_push(conn, stream_id, count, &samples),
-            ShardEvent::Swap { engine } => {
-                // Only broadcast with zero open streams server-wide; a shard
-                // with live streams (an impossible race would be an edge
-                // bug) keeps its pool rather than corrupting them.
-                if self.streams.is_empty() {
-                    self.pool = engine.new_pool();
+            ShardEvent::AddModel { engine, stats } => {
+                self.pools.push(engine.new_pool());
+                self.model_stats.push(stats);
+            }
+            ShardEvent::Swap { model, engine } => {
+                // Only broadcast while the named model has zero open
+                // streams server-wide; a shard with live streams of it (an
+                // impossible race would be an edge bug) keeps its pool
+                // rather than corrupting them.
+                if self.streams.keys().all(|&(m, _)| m != model) {
+                    self.pools[model] = engine.new_pool();
                 }
             }
         }
     }
 
-    fn handle_open(&mut self, conn: ConnId, stream_id: u32) {
+    fn handle_open(&mut self, conn: ConnId, stream_id: u32, model: usize) {
         let Some(state) = self.conns.get_mut(&conn) else {
             return;
         };
-        let sid = self.pool.open_stream();
-        state.streams.insert(stream_id, sid);
+        let slot = self.pools[model].open_stream();
+        state.streams.insert(stream_id, (model, slot));
         self.streams.insert(
-            sid,
+            (model, slot),
             StreamInfo {
                 conn,
                 client_id: stream_id,
@@ -205,6 +236,9 @@ impl Shard {
             },
         );
         self.stats.streams_opened.fetch_add(1, Ordering::Relaxed);
+        self.model_stats[model]
+            .streams_opened
+            .fetch_add(1, Ordering::Relaxed);
         self.stats
             .streams_open
             .store(self.streams.len() as u64, Ordering::Relaxed);
@@ -212,7 +246,7 @@ impl Shard {
     }
 
     fn handle_close(&mut self, conn: ConnId, stream_id: u32) {
-        let Some(sid) = self
+        let Some((model, slot)) = self
             .conns
             .get_mut(&conn)
             .and_then(|c| c.streams.remove(&stream_id))
@@ -229,11 +263,11 @@ impl Shard {
         // CLOSE is an orderly end, not an abort: timesteps the stream
         // already pushed must become final emissions, not vanish depending
         // on where the tick happened to land.
-        if self.pool.pending_for(sid) > 0 {
+        if self.pools[model].pending_for(slot) > 0 {
             self.run_wave();
         }
-        self.pool.close_stream(sid);
-        self.streams.remove(&sid);
+        self.pools[model].close_stream(slot);
+        self.streams.remove(&(model, slot));
         self.stats
             .streams_open
             .store(self.streams.len() as u64, Ordering::Relaxed);
@@ -247,7 +281,7 @@ impl Shard {
     }
 
     fn handle_push(&mut self, conn: ConnId, stream_id: u32, count: usize, samples: &[f32]) {
-        let Some(&sid) = self
+        let Some(&(model, slot)) = self
             .conns
             .get(&conn)
             .and_then(|c| c.streams.get(&stream_id))
@@ -264,9 +298,9 @@ impl Shard {
             );
             return;
         };
-        let c_in = self.pool.input_channels();
+        let c_in = self.pools[model].input_channels();
         for sample in samples.chunks_exact(c_in) {
-            self.pool.push(sid, sample);
+            self.pools[model].push(slot, sample);
         }
         if let Some(state) = self.conns.get_mut(&conn) {
             state.queued += count;
@@ -274,28 +308,41 @@ impl Shard {
         self.stats
             .timesteps_in
             .fetch_add(count as u64, Ordering::Relaxed);
-        if let Some(info) = self.streams.get_mut(&sid) {
+        self.model_stats[model]
+            .timesteps_in
+            .fetch_add(count as u64, Ordering::Relaxed);
+        if let Some(info) = self.streams.get_mut(&(model, slot)) {
             info.last_activity = Instant::now();
         }
     }
 
-    /// One batched wave: flush every queued timestep through this shard's
-    /// pool (one GEMM per layer per wave) and route emissions back —
+    /// One batched wave: flush every model pool with queued timesteps (one
+    /// GEMM per layer per model per wave) and route emissions back —
     /// per-stream EMIT frames for v1 connections, one coalesced EMIT_N per
-    /// connection for v2.
+    /// connection per model for v2.
     fn run_wave(&mut self) {
-        let occupancy = self
-            .streams
-            .keys()
-            .filter(|&&sid| self.pool.pending_for(sid) > 0)
-            .count();
-        if occupancy == 0 {
+        let mut flushed = false;
+        for model in 0..self.pools.len() {
+            let occupancy = self
+                .streams
+                .keys()
+                .filter(|&&(m, slot)| m == model && self.pools[model].pending_for(slot) > 0)
+                .count();
+            if occupancy == 0 {
+                continue;
+            }
+            let t0 = Instant::now();
+            let results = self.pools[model].flush();
+            let elapsed = t0.elapsed();
+            self.stats.record_wave(occupancy, elapsed);
+            self.model_stats[model].record_wave(occupancy, elapsed);
+            flushed = true;
+            self.route_emissions(model, results);
+        }
+        if !flushed {
             return;
         }
-        let t0 = Instant::now();
-        let results = self.pool.flush();
-        self.stats.record_wave(occupancy, t0.elapsed());
-        // A flush drains every queue on this shard: refund each
+        // The flushes drained every queue on this shard: refund each
         // connection's share of its pending counter.
         for state in self.conns.values_mut() {
             if state.queued > 0 {
@@ -303,16 +350,20 @@ impl Shard {
                 state.queued = 0;
             }
         }
+    }
+
+    /// Routes one model's flush results to their connections.
+    fn route_emissions(&mut self, model: usize, results: Vec<(usize, Vec<f32>)>) {
         if results.is_empty() {
             return;
         }
         // Coalesce each stream's chronological emissions.
-        let dim = self.pool.output_dim().max(1);
+        let dim = self.pools[model].output_dim().max(1);
         let mut per_stream: HashMap<usize, Vec<f32>> = HashMap::new();
         let mut order: Vec<usize> = Vec::new();
-        for (sid, out) in results {
-            let entry = per_stream.entry(sid).or_insert_with(|| {
-                order.push(sid);
+        for (slot, out) in results {
+            let entry = per_stream.entry(slot).or_insert_with(|| {
+                order.push(slot);
                 Vec::new()
             });
             entry.extend_from_slice(&out);
@@ -322,12 +373,16 @@ impl Shard {
         let max_vectors_per_frame = ((MAX_FRAME_BODY - 64) / (4 * dim)).max(1);
         let mut emit_n: HashMap<ConnId, EmitNBuilder> = HashMap::new();
         let mut conn_order: Vec<ConnId> = Vec::new();
-        for sid in order {
-            let outputs = per_stream.remove(&sid).expect("grouped above");
+        for slot in order {
+            let outputs = per_stream.remove(&slot).expect("grouped above");
+            let emitted = (outputs.len() / dim) as u64;
             self.stats
                 .emissions_out
-                .fetch_add((outputs.len() / dim) as u64, Ordering::Relaxed);
-            let Some(info) = self.streams.get(&sid) else {
+                .fetch_add(emitted, Ordering::Relaxed);
+            self.model_stats[model]
+                .emissions_out
+                .fetch_add(emitted, Ordering::Relaxed);
+            let Some(info) = self.streams.get(&(model, slot)) else {
                 continue;
             };
             let (conn, stream_id) = (info.conn, info.client_id);
@@ -372,18 +427,18 @@ impl Shard {
             return;
         };
         let now = Instant::now();
-        let stale: Vec<usize> = self
+        let stale: Vec<(usize, usize)> = self
             .streams
             .iter()
             .filter(|(_, info)| now.duration_since(info.last_activity) > timeout)
-            .map(|(&sid, _)| sid)
+            .map(|(&key, _)| key)
             .collect();
-        for sid in stale {
-            let Some(info) = self.streams.remove(&sid) else {
+        for (model, slot) in stale {
+            let Some(info) = self.streams.remove(&(model, slot)) else {
                 continue;
             };
-            let dropped = self.pool.pending_for(sid);
-            self.pool.close_stream(sid);
+            let dropped = self.pools[model].pending_for(slot);
+            self.pools[model].close_stream(slot);
             if let Some(state) = self.conns.get_mut(&info.conn) {
                 state.streams.remove(&info.client_id);
                 state.queued = state.queued.saturating_sub(dropped);
@@ -409,18 +464,23 @@ impl Shard {
         }
     }
 
+    /// Timesteps queued across every model pool on this shard.
+    fn pending_steps(&self) -> usize {
+        self.pools.iter().map(|p| p.pending_steps()).sum()
+    }
+
     /// Graceful drain: flush whatever is queued, deliver the final
     /// emissions, and tell every stream it is over.
     fn drain(&mut self) {
-        if self.pool.pending_steps() > 0 {
+        if self.pending_steps() > 0 {
             self.run_wave();
         }
-        let open: Vec<usize> = self.streams.keys().copied().collect();
-        for sid in open {
-            let Some(info) = self.streams.remove(&sid) else {
+        let open: Vec<(usize, usize)> = self.streams.keys().copied().collect();
+        for (model, slot) in open {
+            let Some(info) = self.streams.remove(&(model, slot)) else {
                 continue;
             };
-            self.pool.close_stream(sid);
+            self.pools[model].close_stream(slot);
             if let Some(state) = self.conns.get_mut(&info.conn) {
                 state.streams.remove(&info.client_id);
             }
@@ -441,7 +501,7 @@ impl Shard {
     pub(crate) fn run(mut self, rx: Receiver<ShardEvent>) {
         let mut next_wave = Instant::now();
         loop {
-            let timeout = if self.pool.pending_steps() > 0 {
+            let timeout = if self.pending_steps() > 0 {
                 next_wave.saturating_duration_since(Instant::now())
             } else {
                 // Idle: wake occasionally for eviction checks.
@@ -465,7 +525,7 @@ impl Shard {
                 self.drain();
                 break;
             }
-            if self.pool.pending_steps() > 0 && Instant::now() >= next_wave {
+            if self.pending_steps() > 0 && Instant::now() >= next_wave {
                 self.run_wave();
                 next_wave = Instant::now() + self.tick;
             }

@@ -1,12 +1,17 @@
 //! Serving counters and the snapshot the STATS frame returns.
 //!
-//! The daemon's counters live in two places, mirroring its thread layout:
-//! the edge thread owns connection-level counters as plain integers
-//! (`EdgeCounters`), while each wave-batcher shard owns a `ShardStats`
-//! block of atomics it updates lock-free from its own thread. A STATS
+//! The daemon's counters live in three places, mirroring its thread and
+//! registry layout: the edge thread owns connection-level counters as plain
+//! integers (`EdgeCounters`), each wave-batcher shard owns a `ShardStats`
+//! block of atomics it updates lock-free from its own thread, and each
+//! *registry model* owns a `ModelStats` block all shards share — serving a
+//! zoo means one model's streams spread across every shard, so its traffic
+//! is accounted where the model is, not where the thread is. A STATS
 //! request aggregates all of them into one [`StatsSnapshot`] at the edge —
 //! per-shard latency windows are merged before computing percentiles, so
-//! p50/p99 describe the whole daemon, not one shard.
+//! p50/p99 describe the whole daemon, not one shard — with one
+//! [`ModelSnapshot`] per registry entry (`pit-serve-stats/3`; v1/v2
+//! documents still parse, they simply carry no model breakdown).
 
 use pit_tensor::json::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,6 +53,80 @@ pub struct StatsSnapshot {
     pub wave_p50_ns: u64,
     /// 99th-percentile wave latency in nanoseconds, over the recent window.
     pub wave_p99_ns: u64,
+    /// Per-model breakdown, one entry per registry model (v3; empty when
+    /// parsed from a v1/v2 document).
+    pub models: Vec<ModelSnapshot>,
+}
+
+/// One registry model's share of the daemon's traffic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModelSnapshot {
+    /// Registry name the model serves under.
+    pub name: String,
+    /// `"f32"` or `"i8"`.
+    pub kind: String,
+    /// Streams currently open on this model.
+    pub streams_open: u64,
+    /// Streams opened on this model since boot.
+    pub streams_opened: u64,
+    /// Timesteps accepted for this model since boot.
+    pub timesteps_in: u64,
+    /// Head outputs this model sent back since boot.
+    pub emissions_out: u64,
+    /// Pool waves that served this model.
+    pub waves: u64,
+    /// Mean streams served per wave of this model.
+    pub wave_occupancy: f64,
+    /// Median wave latency (ns) of this model, over the recent window.
+    pub wave_p50_ns: u64,
+    /// 99th-percentile wave latency (ns) of this model.
+    pub wave_p99_ns: u64,
+}
+
+impl ModelSnapshot {
+    /// Renders one model's breakdown object.
+    pub fn to_json(&self) -> Json {
+        let n = |v: u64| Json::Num(v as f64);
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("kind".into(), Json::Str(self.kind.clone())),
+            ("streams_open".into(), n(self.streams_open)),
+            ("streams_opened".into(), n(self.streams_opened)),
+            ("timesteps_in".into(), n(self.timesteps_in)),
+            ("emissions_out".into(), n(self.emissions_out)),
+            ("waves".into(), n(self.waves)),
+            ("wave_occupancy".into(), Json::Num(self.wave_occupancy)),
+            ("wave_p50_ns".into(), n(self.wave_p50_ns)),
+            ("wave_p99_ns".into(), n(self.wave_p99_ns)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        let num = |name: &str| -> Result<f64, String> {
+            doc.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("model breakdown: missing number field '{name}'"))
+        };
+        let int = |name: &str| -> Result<u64, String> { Ok(num(name)? as u64) };
+        let text = |name: &str| -> Result<String, String> {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("model breakdown: missing string field '{name}'"))
+        };
+        Ok(Self {
+            name: text("name")?,
+            kind: text("kind")?,
+            streams_open: int("streams_open")?,
+            streams_opened: int("streams_opened")?,
+            timesteps_in: int("timesteps_in")?,
+            emissions_out: int("emissions_out")?,
+            waves: int("waves")?,
+            wave_occupancy: num("wave_occupancy")?,
+            wave_p50_ns: int("wave_p50_ns")?,
+            wave_p99_ns: int("wave_p99_ns")?,
+        })
+    }
 }
 
 impl StatsSnapshot {
@@ -55,7 +134,7 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> Json {
         let n = |v: u64| Json::Num(v as f64);
         Json::Obj(vec![
-            ("schema".into(), Json::Str("pit-serve-stats/2".into())),
+            ("schema".into(), Json::Str("pit-serve-stats/3".into())),
             ("model".into(), Json::Str(self.model.clone())),
             ("kind".into(), Json::Str(self.kind.clone())),
             ("shards".into(), n(self.shards)),
@@ -72,6 +151,10 @@ impl StatsSnapshot {
             ("wave_occupancy".into(), Json::Num(self.wave_occupancy)),
             ("wave_p50_ns".into(), n(self.wave_p50_ns)),
             ("wave_p99_ns".into(), n(self.wave_p99_ns)),
+            (
+                "models".into(),
+                Json::Arr(self.models.iter().map(ModelSnapshot::to_json).collect()),
+            ),
         ])
     }
 
@@ -112,6 +195,13 @@ impl StatsSnapshot {
             wave_occupancy: num("wave_occupancy")?,
             wave_p50_ns: int("wave_p50_ns")?,
             wave_p99_ns: int("wave_p99_ns")?,
+            // Absent in pit-serve-stats/1 and /2 documents: no breakdown.
+            models: doc
+                .get("models")
+                .and_then(Json::as_array)
+                .map(|arr| arr.iter().map(ModelSnapshot::from_json).collect())
+                .transpose()?
+                .unwrap_or_default(),
         })
     }
 }
@@ -193,6 +283,56 @@ impl ShardStats {
     }
 }
 
+/// One registry model's counter block, shared by every shard (a model's
+/// streams spread across all of them). All fields are atomics updated from
+/// shard threads; the latency window's mutex is touched once per wave of
+/// that model.
+#[derive(Debug, Default)]
+pub(crate) struct ModelStats {
+    pub(crate) streams_opened: AtomicU64,
+    pub(crate) timesteps_in: AtomicU64,
+    pub(crate) emissions_out: AtomicU64,
+    waves: AtomicU64,
+    occupancy_sum: AtomicU64,
+    window: Mutex<LatencyWindow>,
+}
+
+impl ModelStats {
+    /// Records one flushed wave of this model's pool on some shard.
+    pub(crate) fn record_wave(&self, occupancy: usize, elapsed: std::time::Duration) {
+        self.waves.fetch_add(1, Ordering::Relaxed);
+        self.occupancy_sum
+            .fetch_add(occupancy as u64, Ordering::Relaxed);
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.window.lock().expect("window lock").record(ns);
+    }
+
+    /// The model's breakdown entry. `streams_open` is supplied by the edge
+    /// registry, the authoritative open-stream gauge.
+    pub(crate) fn snapshot(&self, name: &str, kind: &str, streams_open: u64) -> ModelSnapshot {
+        let waves = self.waves.load(Ordering::Relaxed);
+        let occupancy_sum = self.occupancy_sum.load(Ordering::Relaxed);
+        let mut window = self.window.lock().expect("window lock").wave_ns.clone();
+        window.sort_unstable();
+        ModelSnapshot {
+            name: name.to_string(),
+            kind: kind.to_string(),
+            streams_open,
+            streams_opened: self.streams_opened.load(Ordering::Relaxed),
+            timesteps_in: self.timesteps_in.load(Ordering::Relaxed),
+            emissions_out: self.emissions_out.load(Ordering::Relaxed),
+            waves,
+            wave_occupancy: if waves == 0 {
+                0.0
+            } else {
+                occupancy_sum as f64 / waves as f64
+            },
+            wave_p50_ns: percentile(&window, 0.50),
+            wave_p99_ns: percentile(&window, 0.99),
+        }
+    }
+}
+
 /// Edge-thread-owned counters: plain integers, since every connection event
 /// funnels through the single edge thread. `replies_dropped` is the one
 /// shared counter — shard threads drop replies too, when a connection's
@@ -214,12 +354,15 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 /// Aggregates the edge's counters and every shard's counters into one
-/// daemon-wide snapshot.
+/// daemon-wide snapshot. `model`/`kind` describe the default registry
+/// entry (so pre-v3 consumers keep seeing the fields they expect);
+/// `models` is the per-model breakdown built from the registry.
 pub(crate) fn aggregate_snapshot(
     model: &str,
     kind: &str,
     edge: &EdgeCounters,
     shards: &[std::sync::Arc<ShardStats>],
+    models: Vec<ModelSnapshot>,
 ) -> StatsSnapshot {
     let sum = |f: &dyn Fn(&ShardStats) -> &AtomicU64| -> u64 {
         shards.iter().map(|s| f(s).load(Ordering::Relaxed)).sum()
@@ -252,6 +395,7 @@ pub(crate) fn aggregate_snapshot(
         },
         wave_p50_ns: percentile(&window, 0.50),
         wave_p99_ns: percentile(&window, 0.99),
+        models,
     }
 }
 
@@ -282,8 +426,19 @@ mod tests {
                 shard.record_wave(4, Duration::from_nanos(1000 + j));
             }
         }
-        let snap = aggregate_snapshot("TEMPONet-plan", "f32", &edge, &shards);
+        let model_stats = ModelStats::default();
+        model_stats.streams_opened.store(5, Ordering::Relaxed);
+        model_stats.timesteps_in.store(400, Ordering::Relaxed);
+        model_stats.emissions_out.store(40, Ordering::Relaxed);
+        model_stats.record_wave(3, Duration::from_nanos(2000));
+        let breakdown = vec![model_stats.snapshot("TEMPONet-plan", "f32", 4)];
+        let snap = aggregate_snapshot("TEMPONet-plan", "f32", &edge, &shards, breakdown);
         assert_eq!(snap.shards, 2);
+        assert_eq!(snap.models.len(), 1);
+        assert_eq!(snap.models[0].streams_open, 4);
+        assert_eq!(snap.models[0].timesteps_in, 400);
+        assert_eq!(snap.models[0].waves, 1);
+        assert_eq!(snap.models[0].wave_p50_ns, 2000);
         assert_eq!(snap.streams_open, 4);
         assert_eq!(snap.streams_opened, 10);
         assert_eq!(snap.timesteps_in, 1000);
@@ -305,10 +460,35 @@ mod tests {
             "i8",
             &EdgeCounters::default(),
             &[Arc::new(ShardStats::default())],
+            vec![],
         );
         let text = snap.to_json().render().replace("\"shards\": 1, ", "");
         let back = StatsSnapshot::from_json_str(&text).unwrap();
         assert_eq!(back.shards, 1);
+    }
+
+    #[test]
+    fn v2_documents_without_a_models_array_parse_with_an_empty_breakdown() {
+        let snap = aggregate_snapshot(
+            "m",
+            "f32",
+            &EdgeCounters::default(),
+            &[Arc::new(ShardStats::default())],
+            vec![ModelSnapshot {
+                name: "m".into(),
+                kind: "f32".into(),
+                ..ModelSnapshot::default()
+            }],
+        );
+        let text = snap.to_json().render();
+        // Strip the v3 models array the way a v2 document simply lacks it:
+        // cut from the comma that precedes the "models" key to end-of-doc.
+        let key = text.find("\"models\":").expect("models field rendered");
+        let comma = text[..key].rfind(',').expect("comma before models key");
+        let stripped = format!("{}\n}}", &text[..comma]);
+        let back = StatsSnapshot::from_json_str(&stripped).unwrap();
+        assert!(back.models.is_empty());
+        assert_eq!(back.model, "m");
     }
 
     #[test]
@@ -321,7 +501,13 @@ mod tests {
         for _ in 0..LATENCY_WINDOW {
             stats.record_wave(1, Duration::from_nanos(1_000_000));
         }
-        let snap = aggregate_snapshot("m", "f32", &EdgeCounters::default(), &[Arc::new(stats)]);
+        let snap = aggregate_snapshot(
+            "m",
+            "f32",
+            &EdgeCounters::default(),
+            &[Arc::new(stats)],
+            vec![],
+        );
         assert_eq!(snap.wave_p50_ns, 1_000_000);
     }
 }

@@ -315,6 +315,103 @@ fn random_garbage_streams_never_panic_the_daemon() {
 }
 
 #[test]
+fn open_with_an_unknown_model_is_refused_and_the_id_stays_free() {
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(addr).expect("connect");
+    client.open_with_model(0, "no-such-model").expect("send");
+    expect_error(&mut client, ErrorCode::UnknownModel);
+    // The refused OPEN must not half-claim the stream id.
+    client.open(0).expect("send");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Opened { stream_id: 0 })
+    ));
+    assert_alive(addr);
+    handle.shutdown();
+}
+
+/// Hand-crafts an OPEN body: opcode 0x01, stream id, then raw bytes posing
+/// as the v3 model-name field.
+fn raw_open(stream_id: u32, name_field: &[u8]) -> Vec<u8> {
+    let mut body = vec![0x01];
+    body.extend_from_slice(&stream_id.to_le_bytes());
+    body.extend_from_slice(name_field);
+    let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    frame
+}
+
+#[test]
+fn malformed_open_model_name_fields_are_bad_frames() {
+    use pit_serve::protocol::{decode_server, FrameReader, ReadOutcome};
+    let (addr, handle) = spawn_server();
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("zero-length model name", raw_open(0, &[0, 0])),
+        ("name length past the body", raw_open(0, &[200, 0, b'm'])),
+        ("truncated length prefix", raw_open(0, &[5])),
+        ("invalid UTF-8 name", raw_open(0, &[2, 0, 0xFF, 0xFE])),
+        (
+            "trailing bytes after the name",
+            raw_open(0, &[1, 0, b'm', b'x']),
+        ),
+    ];
+    for (label, frame) in cases {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.write_all(&frame).unwrap();
+        raw.flush().unwrap();
+        raw.set_read_timeout(Some(RECV_TIMEOUT)).unwrap();
+        let mut reader = FrameReader::new(raw);
+        let body = loop {
+            match reader.poll().expect("read") {
+                ReadOutcome::Frame(body) => break body,
+                ReadOutcome::WouldBlock => continue,
+                ReadOutcome::Eof => panic!("{label}: server hung up instead of replying"),
+            }
+        };
+        match decode_server(&body).unwrap_or_else(|e| panic!("{label}: reply decodes ({e})")) {
+            ServerFrame::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame, "{label}"),
+            other => panic!("{label}: expected BAD_FRAME, got {other:?}"),
+        }
+    }
+    assert_alive(addr);
+    handle.shutdown();
+}
+
+#[test]
+fn replace_while_busy_is_refused_but_the_registry_still_grows() {
+    let dir = std::env::temp_dir().join(format!("pit-serve-replace-busy-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let plan = tiny_plan();
+    let path = dir.join("model.json");
+    std::fs::write(&path, plan.to_artifact_string()).expect("write artifact");
+
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(addr).expect("connect");
+    client.open(0).expect("open");
+    assert!(matches!(
+        client.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Opened { .. })
+    ));
+    // Same name as the booted model → replace → refused while stream 0 is
+    // open on it.
+    client
+        .send(&ClientFrame::LoadModel {
+            path: path.display().to_string(),
+        })
+        .expect("send");
+    expect_error(&mut client, ErrorCode::StreamsActive);
+    // The refusal must not have half-registered anything: a second client
+    // listing models still sees exactly one entry.
+    let mut probe = Client::connect(addr).expect("connect");
+    let listed = probe.list_models().expect("LIST_MODELS");
+    assert_eq!(listed.len(), 1, "{listed:?}");
+    assert!(listed[0].default);
+    assert_alive(addr);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corrupt_artifacts_fail_to_boot_with_an_error() {
     let dir = std::env::temp_dir().join(format!("pit-serve-hardening-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");

@@ -701,7 +701,7 @@ fn server_boots_from_artifact_file_and_hot_swaps_models() {
     let handle = server.spawn();
     let mut client = Client::connect(addr).expect("connect");
 
-    // A LOAD_MODEL while a stream is open must be refused.
+    // Replacing the model a live stream runs on must be refused...
     client.open(0).expect("open");
     assert!(matches!(
         client.recv_timeout(RECV_TIMEOUT).unwrap(),
@@ -709,7 +709,7 @@ fn server_boots_from_artifact_file_and_hot_swaps_models() {
     ));
     client
         .send(&ClientFrame::LoadModel {
-            path: i8_path.display().to_string(),
+            path: f32_path.display().to_string(),
         })
         .expect("send");
     assert!(matches!(
@@ -720,7 +720,19 @@ fn server_boots_from_artifact_file_and_hot_swaps_models() {
         })
     ));
 
-    // After closing, the swap to the int8 artifact goes through.
+    // ...but loading a *differently named* artifact while that stream is
+    // still open is an add, not a replace, and goes through.
+    client
+        .send(&ClientFrame::LoadModel {
+            path: i8_path.display().to_string(),
+        })
+        .expect("send");
+    let Some(ServerFrame::ModelLoaded { name }) = client.recv_timeout(RECV_TIMEOUT).unwrap() else {
+        panic!("expected model add")
+    };
+    assert_eq!(name, "TEMPONet-plan-int8");
+
+    // After closing, the same-name replace goes through too.
     client.close(0).expect("close");
     assert!(matches!(
         client.recv_timeout(RECV_TIMEOUT).unwrap(),
@@ -728,13 +740,13 @@ fn server_boots_from_artifact_file_and_hot_swaps_models() {
     ));
     client
         .send(&ClientFrame::LoadModel {
-            path: i8_path.display().to_string(),
+            path: f32_path.display().to_string(),
         })
         .expect("send");
     let Some(ServerFrame::ModelLoaded { name }) = client.recv_timeout(RECV_TIMEOUT).unwrap() else {
         panic!("expected model swap")
     };
-    assert_eq!(name, "TEMPONet-plan-int8");
+    assert_eq!(name, "TEMPONet-plan");
 
     // A nonexistent path fails cleanly, daemon stays up.
     client
@@ -750,8 +762,10 @@ fn server_boots_from_artifact_file_and_hot_swaps_models() {
         })
     ));
 
-    // And the swapped-in int8 engine actually serves.
-    client.open(1).expect("open on i8");
+    // And the added int8 model actually serves, selected by name.
+    client
+        .open_with_model(1, "TEMPONet-plan-int8")
+        .expect("open on i8");
     assert!(matches!(
         client.recv_timeout(RECV_TIMEOUT).unwrap(),
         Some(ServerFrame::Opened { .. })
@@ -762,7 +776,7 @@ fn server_boots_from_artifact_file_and_hot_swaps_models() {
     let got = collect_emissions(&mut client, 1, 1);
     let mut session = QuantizedSession::new(qplan);
     let want: Vec<Vec<f32>> = input.chunks(C).filter_map(|s| session.push(s)).collect();
-    assert_eq!(got, want, "swapped model must serve bit-exactly");
+    assert_eq!(got, want, "added model must serve bit-exactly");
 
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

@@ -9,8 +9,9 @@
 //! 3. drive 16 concurrent client connections with ragged stream lengths
 //!    and staggered open/close, and assert every emission is bit-for-bit
 //!    identical to a solo `QuantizedSession`;
-//! 4. hot-swap to the f32 artifact over the wire (LOAD_MODEL) and verify
-//!    the f32 engine serves within 1e-5 of a solo `Session`;
+//! 4. grow the registry over the wire (LOAD_MODEL adds the f32 artifact
+//!    beside the int8 model), open a stream on it by name (protocol v3)
+//!    and verify the f32 engine serves within 1e-5 of a solo `Session`;
 //! 5. batch several streams into single protocol-v2 PUSH_N frames through
 //!    a `ClientBuilder` client and demux the coalesced EMIT_N replies;
 //! 6. read the STATS counters (aggregated across the wave-batcher shards)
@@ -143,36 +144,25 @@ fn main() {
         timesteps as f64 / elapsed.as_secs_f64()
     );
 
-    // 4. Hot-swap to the f32 artifact over the wire and verify 1e-5 parity.
-    // The workers' CLOSE frames race this connection's LOAD_MODEL through
-    // the shards, so retry while the server still counts their streams as
-    // open.
+    // 4. Grow the registry over the wire: the f32 artifact has a different
+    // name than the serving int8 plan, so LOAD_MODEL adds it beside the
+    // original (a same-name load would be a replace, refused while that
+    // model has open streams). New streams then pick it by name.
     let mut client = Client::connect(addr).expect("connect");
-    let mut swapped = false;
-    for _ in 0..200 {
-        client
-            .send(&ClientFrame::LoadModel {
-                path: f32_path.display().to_string(),
-            })
-            .expect("send");
-        match client.recv_timeout(RECV_TIMEOUT).unwrap() {
-            Some(ServerFrame::ModelLoaded { name }) => {
-                println!("hot swap              : now serving {name} (f32)");
-                swapped = true;
-                break;
-            }
-            Some(ServerFrame::Error {
-                code: pit_serve::ErrorCode::StreamsActive,
-                ..
-            }) => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            other => panic!("swap failed: {other:?}"),
+    client
+        .send(&ClientFrame::LoadModel {
+            path: f32_path.display().to_string(),
+        })
+        .expect("send");
+    let f32_name = match client.recv_timeout(RECV_TIMEOUT).unwrap() {
+        Some(ServerFrame::ModelLoaded { name }) => {
+            println!("hot load              : registry grew — {name} (f32) now servable");
+            name
         }
-    }
-    assert!(swapped, "workers' streams never finished closing");
+        other => panic!("load failed: {other:?}"),
+    };
     let f32_input: Vec<f32> = (0..32 * C).map(|_| rng.gen::<f32>() - 0.5).collect();
-    client.open(0).expect("open");
+    client.open_with_model(0, &f32_name).expect("open");
     client.push(0, C as u32, &f32_input).expect("push");
     let mut got = Vec::new();
     while got.len() < 32 / 8 {
@@ -191,17 +181,19 @@ fn main() {
             assert!((x - y).abs() < 1e-5, "f32 serving parity: {x} vs {y}");
         }
     }
-    println!("f32 parity            : swapped engine matches solo Session within 1e-5");
+    println!("f32 parity            : name-selected engine matches solo Session within 1e-5");
 
     // 5. Protocol v2: a builder-configured client batches four streams into
     //    one PUSH_N frame per 8-step round; the server latches the
-    //    connection into v2 and coalesces replies into EMIT_N frames.
+    //    connection into v2 and coalesces replies into EMIT_N frames. The
+    //    builder's default_model routes every plain open() to the f32 entry.
     const V2_STREAMS: usize = 4;
     const V2_STEPS: usize = 32;
     let mut v2 = ClientBuilder::new()
         .connect_timeout(Duration::from_secs(5))
         .read_timeout(RECV_TIMEOUT)
         .write_batch(8)
+        .default_model(&f32_name)
         .connect(addr)
         .expect("connect v2 client");
     let v2_inputs: Vec<Vec<f32>> = (0..V2_STREAMS)
