@@ -12,6 +12,7 @@
 
 use crate::protocol::{
     decode_server, encode_client, ClientFrame, FrameReader, ReadOutcome, ServerFrame,
+    MAX_MODEL_NAME,
 };
 use pit_tensor::json::Json;
 use std::io::Write;
@@ -276,8 +277,25 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Returns transport errors.
+    /// Returns transport errors, and [`ServeError::Protocol`] for an OPEN
+    /// whose model name is empty or longer than the wire's
+    /// [`MAX_MODEL_NAME`]-byte limit (the `u16` length prefix cannot
+    /// represent it).
     pub fn send(&mut self, frame: &ClientFrame) -> Result<(), ServeError> {
+        if let ClientFrame::Open {
+            model: Some(name), ..
+        } = frame
+        {
+            if name.is_empty() {
+                return Err(ServeError::Protocol("model name must not be empty".into()));
+            }
+            if name.len() > MAX_MODEL_NAME {
+                return Err(ServeError::Protocol(format!(
+                    "model name is {} bytes; the OPEN name field holds at most {MAX_MODEL_NAME}",
+                    name.len()
+                )));
+            }
+        }
         self.staged.extend_from_slice(&encode_client(frame));
         self.staged_frames += 1;
         if self.staged_frames >= self.write_batch {

@@ -58,6 +58,6 @@ pub(crate) mod shard;
 pub mod stats;
 
 pub use client::{Client, ClientBuilder, ModelInfo, ServeError};
-pub use protocol::{ClientFrame, CloseReason, ErrorCode, FrameError, ServerFrame};
+pub use protocol::{ClientFrame, CloseReason, ErrorCode, FrameError, ServerFrame, MAX_MODEL_NAME};
 pub use server::{ServeEngine, Server, ServerConfig, ServerHandle};
 pub use stats::{ModelSnapshot, StatsSnapshot};

@@ -74,6 +74,12 @@ use std::io::Read;
 /// cannot make the daemon allocate unbounded memory.
 pub const MAX_FRAME_BODY: usize = 1 << 20;
 
+/// Upper bound on an OPEN model name in bytes — the field carries a `u16`
+/// length prefix, so this is the longest name the wire can represent. The
+/// client API refuses longer (or empty) names with a protocol error
+/// instead of truncating the length and emitting a malformed frame.
+pub const MAX_MODEL_NAME: usize = u16::MAX as usize;
+
 /// Why the server closed a stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CloseReason {
@@ -308,6 +314,13 @@ fn put_f32s(body: &mut Vec<u8>, values: &[f32]) {
 }
 
 /// Encodes a client frame, length prefix included.
+///
+/// # Panics
+///
+/// Panics if an [`ClientFrame::Open`] carries an empty or
+/// longer-than-[`MAX_MODEL_NAME`] model name; the [`crate::Client`] API
+/// rejects such names with a [`crate::ServeError::Protocol`] before they
+/// can reach the encoder.
 pub fn encode_client(f: &ClientFrame) -> Vec<u8> {
     let mut body = Vec::new();
     match f {
@@ -315,7 +328,14 @@ pub fn encode_client(f: &ClientFrame) -> Vec<u8> {
             body.push(0x01);
             body.extend_from_slice(&stream_id.to_le_bytes());
             if let Some(name) = model {
-                debug_assert!(!name.is_empty() && name.len() <= u16::MAX as usize);
+                // `Client::send` refuses these with a proper error before
+                // encoding; the raw encoder still hard-guards so a release
+                // build can never length-truncate into a malformed frame.
+                assert!(
+                    !name.is_empty() && name.len() <= MAX_MODEL_NAME,
+                    "OPEN model name must be 1..={MAX_MODEL_NAME} bytes, got {}",
+                    name.len()
+                );
                 body.extend_from_slice(&(name.len() as u16).to_le_bytes());
                 body.extend_from_slice(name.as_bytes());
             }

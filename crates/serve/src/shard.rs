@@ -321,13 +321,17 @@ impl Shard {
     /// per-stream EMIT frames for v1 connections, one coalesced EMIT_N per
     /// connection per model for v2.
     fn run_wave(&mut self) {
+        // One pass over the stream map for every model's occupancy —
+        // rescanning per registry entry would cost O(models × streams)
+        // each tick.
+        let mut per_model = vec![0usize; self.pools.len()];
+        for &(model, slot) in self.streams.keys() {
+            if self.pools[model].pending_for(slot) > 0 {
+                per_model[model] += 1;
+            }
+        }
         let mut flushed = false;
-        for model in 0..self.pools.len() {
-            let occupancy = self
-                .streams
-                .keys()
-                .filter(|&&(m, slot)| m == model && self.pools[model].pending_for(slot) > 0)
-                .count();
+        for (model, occupancy) in per_model.into_iter().enumerate() {
             if occupancy == 0 {
                 continue;
             }

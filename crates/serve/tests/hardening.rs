@@ -7,7 +7,8 @@ use pit_infer::{compile_generic, InferencePlan};
 use pit_models::{GenericTcn, GenericTcnConfig};
 use pit_nas::SearchableNetwork;
 use pit_serve::{
-    Client, ClientFrame, ErrorCode, ServeEngine, Server, ServerConfig, ServerFrame, ServerHandle,
+    Client, ClientFrame, ErrorCode, ServeEngine, ServeError, Server, ServerConfig, ServerFrame,
+    ServerHandle, MAX_MODEL_NAME,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -373,6 +374,29 @@ fn malformed_open_model_name_fields_are_bad_frames() {
             other => panic!("{label}: expected BAD_FRAME, got {other:?}"),
         }
     }
+    assert_alive(addr);
+    handle.shutdown();
+}
+
+/// The client refuses names the OPEN wire field cannot represent — a
+/// typed [`ServeError::Protocol`] instead of release-mode length
+/// truncation emitting a malformed frame the server bounces as BadFrame.
+#[test]
+fn client_rejects_unrepresentable_model_names_before_encoding() {
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(addr).expect("connect");
+    for name in [String::new(), "m".repeat(MAX_MODEL_NAME + 1)] {
+        match client.open_with_model(0, name) {
+            Err(ServeError::Protocol(_)) => {}
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+    }
+    // The longest representable name still goes out on the wire (and is
+    // simply unknown to the registry).
+    client
+        .open_with_model(0, "m".repeat(MAX_MODEL_NAME))
+        .expect("send");
+    expect_error(&mut client, ErrorCode::UnknownModel);
     assert_alive(addr);
     handle.shutdown();
 }

@@ -14,7 +14,7 @@ use pit_tensor::init;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const C: usize = 4;
 const RECV_TIMEOUT: Duration = Duration::from_secs(10);
@@ -264,15 +264,35 @@ fn push_channel_validation_follows_each_streams_model() {
     // The right widths flow on both streams of the same connection.
     client.push(0, 1, &[0.5, 0.5]).expect("send");
     client.push(1, C as u32, &[0.5; 2 * C]).expect("send");
-    client.stats().expect("stats");
-    let json = loop {
-        match client.recv_timeout(RECV_TIMEOUT).expect("transport") {
-            Some(ServerFrame::StatsJson { json }) => break json,
-            Some(ServerFrame::Emit { .. }) => continue,
-            other => panic!("unexpected frame {other:?}"),
+    // The edge answers STATS as soon as it has *forwarded* the pushes; the
+    // timestep counters are bumped on the shard threads, so poll until the
+    // shards have caught up instead of asserting on the first snapshot.
+    let deadline = Instant::now() + RECV_TIMEOUT;
+    let snap = loop {
+        client.stats().expect("stats");
+        let json = loop {
+            match client.recv_timeout(RECV_TIMEOUT).expect("transport") {
+                Some(ServerFrame::StatsJson { json }) => break json,
+                Some(ServerFrame::Emit { .. }) => continue,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        };
+        let snap = StatsSnapshot::from_json_str(&json).expect("stats parse");
+        let settled = |name: &str| {
+            snap.models
+                .iter()
+                .find(|m| m.name == name)
+                .is_some_and(|m| m.timesteps_in >= 2)
+        };
+        if snap.timesteps_in >= 4 && settled("narrow") && settled("wide") {
+            break snap;
         }
+        assert!(
+            Instant::now() < deadline,
+            "shards never processed the pushes: {json}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
     };
-    let snap = StatsSnapshot::from_json_str(&json).expect("stats parse");
     assert_eq!(snap.timesteps_in, 4, "2 narrow + 2 wide steps enqueued");
     let narrow_stats = snap.models.iter().find(|m| m.name == "narrow").unwrap();
     let wide_stats = snap.models.iter().find(|m| m.name == "wide").unwrap();
