@@ -537,6 +537,14 @@ pub fn quant_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
 /// * `model_switch/open` — a protocol-v3 named OPEN/CLOSE round trip
 ///   alternating between a two-model registry's entries: the per-stream
 ///   cost of model selection.
+/// * `loopback_tel_f32/step` — the f32 loopback re-run with the telemetry
+///   sidecar bound (`metrics_addr` set): the delta against
+///   `loopback_f32/step` is what the observability layer costs the hot
+///   path.
+/// * `serve_metrics/scrape` — one full HTTP `GET /metrics` round trip
+///   (connect → request → read to EOF) against a daemon holding 256 open
+///   streams with seeded counters and histograms: what a Prometheus
+///   scrape costs.
 pub fn serve_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
     use pit_infer::{compile_temponet, QuantizedPlan};
     use pit_models::{TempoNet, TempoNetConfig};
@@ -596,8 +604,8 @@ pub fn serve_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
         }
     }
 
-    let run_engine = |engine: ServeEngine, op: &str, want_stats: bool| {
-        let server = Server::bind(engine, ServerConfig::default()).expect("bind loopback");
+    let run_engine = |engine: ServeEngine, op: &str, want_stats: bool, config: ServerConfig| {
+        let server = Server::bind(engine, config).expect("bind loopback");
         let addr = server.local_addr();
         let handle = server.spawn();
         let mut client = Client::connect(addr).expect("connect");
@@ -634,11 +642,25 @@ pub fn serve_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
         ServeEngine::F32(Arc::clone(&plan)),
         "loopback_f32/step",
         true,
+        ServerConfig::default(),
     ));
     out.extend(run_engine(
         ServeEngine::I8(Arc::clone(&qplan)),
         "loopback_i8/step",
         false,
+        ServerConfig::default(),
+    ));
+    // The same f32 loopback with the telemetry sidecar bound: histograms,
+    // trace ring and the idle HTTP listener all live — the delta against
+    // `loopback_f32/step` is the observability overhead on the hot path.
+    out.extend(run_engine(
+        ServeEngine::F32(Arc::clone(&plan)),
+        "loopback_tel_f32/step",
+        false,
+        ServerConfig {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..ServerConfig::default()
+        },
     ));
 
     // Control-path round trip: PING through the batcher and back.
@@ -711,6 +733,57 @@ pub fn serve_suite(opts: &MeasureOpts) -> Vec<BenchRecord> {
     });
     handle.shutdown();
     let mut rec = record("model_switch/open", ns);
+    rec.throughput_unit = "iter/s".into();
+    out.push(rec);
+
+    // Prometheus scrape under load: 256 open streams with seeded counters
+    // and per-shard histograms, then one full `GET /metrics` round trip
+    // (connect → request → read to EOF) per iteration.
+    const SCRAPE_STREAMS: usize = 256;
+    let server = Server::bind(
+        ServeEngine::I8(Arc::clone(&qplan)),
+        ServerConfig {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let metrics_addr = server.metrics_addr().expect("sidecar bound");
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).expect("connect");
+    for sid in 0..SCRAPE_STREAMS as u32 {
+        client.open(sid).expect("open");
+    }
+    // Seed every stream's counters with one 8-step burst (one emission).
+    let seed = &burst[..8 * c_in];
+    for sid in 0..SCRAPE_STREAMS as u32 {
+        client.push(sid, c_in as u32, seed).expect("push");
+    }
+    let mut got = 0usize;
+    while got < SCRAPE_STREAMS {
+        match client
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("transport")
+            .expect("emissions before timeout")
+        {
+            ServerFrame::Emit { count, .. } => got += count as usize,
+            ServerFrame::Opened { .. } => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    let ns = measure(opts, || {
+        use std::io::{Read, Write};
+        let mut http = std::net::TcpStream::connect(metrics_addr).expect("sidecar reachable");
+        http.write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+            .expect("request sent");
+        let mut body = Vec::new();
+        http.read_to_end(&mut body).expect("scrape read");
+        assert!(body.starts_with(b"HTTP/1.1 200"), "scrape succeeded");
+        std::hint::black_box(body.len());
+    });
+    handle.shutdown();
+    let mut rec = record("serve_metrics/scrape", ns);
     rec.throughput_unit = "iter/s".into();
     out.push(rec);
     out

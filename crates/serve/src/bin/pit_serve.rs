@@ -5,6 +5,7 @@
 //!           [--default-model NAME] [--check]
 //!           [--addr 127.0.0.1:7878] [--max-streams N]
 //!           [--tick-us N] [--idle-ms N] [--max-pending N] [--shards N]
+//!           [--metrics-addr HOST:PORT] [--drain-grace-ms N]
 //! ```
 //!
 //! Boots a serving daemon from a single `pit-arch/2` model artifact (f32 or
@@ -14,6 +15,9 @@
 //! daemon then serves the frame protocol of `pit_serve::protocol` until the
 //! process is terminated. `--check` validates the boot source — manifest,
 //! artifacts, registry — prints the model table and exits without serving.
+//! `--metrics-addr` boots the HTTP telemetry sidecar beside the daemon:
+//! Prometheus text on `GET /metrics`, stats JSON on `GET /stats`, liveness
+//! on `GET /healthz` and the per-stream event trace on `GET /trace`.
 
 use pit_serve::{Server, ServerConfig};
 use std::process::ExitCode;
@@ -25,6 +29,7 @@ fn usage() -> ExitCode {
          \u{20}               [--default-model NAME] [--check]\n\
          \u{20}               [--addr HOST:PORT] [--max-streams N]\n\
          \u{20}               [--tick-us N] [--idle-ms N] [--max-pending N] [--shards N]\n\
+         \u{20}               [--metrics-addr HOST:PORT] [--drain-grace-ms N]\n\
          \n\
          \u{20} --artifact      pit-arch/2 model artifact to serve\n\
          \u{20} --zoo           pit-zoo/1 manifest — serve the whole library\n\
@@ -36,7 +41,11 @@ fn usage() -> ExitCode {
          \u{20} --tick-us       wave-batching tick in microseconds (default 200)\n\
          \u{20} --idle-ms       evict streams idle this long; 0 = never (default 0)\n\
          \u{20} --max-pending   per-connection queued-timestep cap (default 4096)\n\
-         \u{20} --shards        wave-batcher shard threads (default: CPU count, max 8)"
+         \u{20} --shards        wave-batcher shard threads (default: CPU count, max 8)\n\
+         \u{20} --metrics-addr  bind the HTTP telemetry sidecar here (GET /metrics,\n\
+         \u{20}                 /stats, /healthz, /trace; default: disabled)\n\
+         \u{20} --drain-grace-ms keep serving reads this long after a shutdown is\n\
+         \u{20}                 requested, refusing new streams (default 0)"
     );
     ExitCode::from(2)
 }
@@ -99,6 +108,14 @@ fn main() -> ExitCode {
                 Some(v) if v >= 1 => config.shards = v,
                 _ => return usage(),
             },
+            "--metrics-addr" => match value("--metrics-addr") {
+                Some(v) => config.metrics_addr = Some(v),
+                None => return usage(),
+            },
+            "--drain-grace-ms" => match value("--drain-grace-ms").and_then(|v| v.parse().ok()) {
+                Some(v) => config.drain_grace = Duration::from_millis(v),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -155,6 +172,9 @@ fn main() -> ExitCode {
         server.model_names().len(),
         server.default_model_name(),
     );
+    if let Some(metrics) = server.metrics_addr() {
+        eprintln!("pit-serve: telemetry sidecar on http://{metrics}");
+    }
     let stats = server.run();
     eprintln!("pit-serve: drained — {stats}");
     ExitCode::SUCCESS

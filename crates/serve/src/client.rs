@@ -440,6 +440,33 @@ impl Client {
         }
     }
 
+    /// Requests the daemon's per-stream event trace for `stream_id` on
+    /// this connection and blocks for the reply: sends TRACE (protocol
+    /// v4), then reads until the TRACE_JSON frame arrives (frames arriving
+    /// first are NOT buffered — use this between exchanges, not
+    /// mid-burst).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::recv`], plus [`ServeError::Protocol`] when the payload
+    /// does not parse.
+    pub fn trace(&mut self, stream_id: u32) -> Result<Vec<crate::TraceEvent>, ServeError> {
+        self.send(&ClientFrame::Trace { stream_id })?;
+        loop {
+            match self.recv()? {
+                ServerFrame::TraceJson { json } => {
+                    return crate::TraceEvent::parse_list(&json).map_err(ServeError::Protocol)
+                }
+                ServerFrame::Error { code, message } => {
+                    return Err(ServeError::Protocol(format!(
+                        "TRACE refused: {code:?}: {message}"
+                    )))
+                }
+                _ => continue,
+            }
+        }
+    }
+
     /// Blocks until the next server frame arrives (bounded by the
     /// builder's [`ClientBuilder::read_timeout`], if one was set).
     ///

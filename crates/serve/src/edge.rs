@@ -205,6 +205,9 @@ pub(crate) struct OutBuf {
     inner: Mutex<OutBufInner>,
     /// Daemon-wide dropped-reply counter (see [`crate::StatsSnapshot`]).
     dropped: Arc<AtomicU64>,
+    /// Daemon-wide high-water mark of bytes queued toward any single
+    /// connection — a leading indicator of slow consumers before drops.
+    hwm: Arc<AtomicU64>,
 }
 
 struct OutBufInner {
@@ -216,7 +219,7 @@ struct OutBufInner {
 }
 
 impl OutBuf {
-    pub(crate) fn new(dropped: Arc<AtomicU64>) -> Self {
+    pub(crate) fn new(dropped: Arc<AtomicU64>, hwm: Arc<AtomicU64>) -> Self {
         Self {
             inner: Mutex::new(OutBufInner {
                 frames: VecDeque::new(),
@@ -224,6 +227,7 @@ impl OutBuf {
                 queued_bytes: 0,
             }),
             dropped,
+            hwm,
         }
     }
 
@@ -239,6 +243,9 @@ impl OutBuf {
         }
         inner.queued_bytes += frame.len();
         inner.frames.push_back(frame);
+        let queued = inner.queued_bytes as u64;
+        drop(inner);
+        self.hwm.fetch_max(queued, Ordering::Relaxed);
         true
     }
 
@@ -339,13 +346,16 @@ mod tests {
         server.set_nonblocking(true).unwrap();
 
         let dropped = Arc::new(AtomicU64::new(0));
-        let out = OutBuf::new(Arc::clone(&dropped));
+        let hwm = Arc::new(AtomicU64::new(0));
+        let out = OutBuf::new(Arc::clone(&dropped), Arc::clone(&hwm));
         assert!(out.push(vec![1, 2, 3]));
         assert!(out.push(vec![4, 5]));
         assert!(out.has_pending());
-        // A frame that would blow the cap is dropped and counted.
+        // A frame that would blow the cap is dropped and counted; the
+        // high-water mark tracks the deepest the queue ever got.
         assert!(!out.push(vec![0; OUTBUF_CAP_BYTES]));
         assert_eq!(dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(hwm.load(Ordering::Relaxed), 5);
 
         while out.write_to(&mut &server).unwrap() {}
         assert!(!out.has_pending());

@@ -22,8 +22,18 @@
 //!   Per-connection backpressure caps, bounded reply buffers, idle-stream
 //!   eviction and graceful drain on shutdown are built in.
 //! * **Stats** ([`stats`]): a [`StatsSnapshot`] counter block (streams
-//!   open, timesteps served, wave occupancy, p50/p99 wave latency,
-//!   aggregated across shards) served over the STATS frame as JSON.
+//!   open, timesteps served, wave occupancy, p50/p99 wave latency from
+//!   log-scale histograms, aggregated across shards) served over the
+//!   STATS frame as JSON. The [`StatsSnapshot::settled`] flag and
+//!   [`StatsSnapshot::seq`] sequence let pollers detect quiescence
+//!   without sleeping.
+//! * **Telemetry**: an always-on hub behind an optional HTTP sidecar
+//!   ([`ServerConfig::metrics_addr`]) — Prometheus text on `GET
+//!   /metrics`, the stats JSON on `GET /stats`, lifecycle state on `GET
+//!   /healthz` (503 while booting or draining), and a per-stream event
+//!   trace ([`TraceEvent`]) on `GET /trace` and the TRACE frame
+//!   (protocol v4). The sidecar reads the same atomics the STATS frame
+//!   aggregates, so the two views can never disagree.
 //! * **Client** ([`client`]): a small blocking client used by the tests,
 //!   benches and examples — [`ClientBuilder`] for timeouts, write
 //!   batching and a default model, per-stream model selection via
@@ -52,12 +62,15 @@
 
 pub mod client;
 pub(crate) mod edge;
+pub(crate) mod http;
 pub mod protocol;
 pub mod server;
 pub(crate) mod shard;
 pub mod stats;
+pub(crate) mod telemetry;
 
 pub use client::{Client, ClientBuilder, ModelInfo, ServeError};
 pub use protocol::{ClientFrame, CloseReason, ErrorCode, FrameError, ServerFrame, MAX_MODEL_NAME};
 pub use server::{ServeEngine, Server, ServerConfig, ServerHandle};
 pub use stats::{ModelSnapshot, StatsSnapshot};
+pub use telemetry::TraceEvent;

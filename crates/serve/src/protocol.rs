@@ -16,6 +16,7 @@
 //! | →   | `0x06` | LOAD_MODEL   | UTF-8 artifact path                                |
 //! | →   | `0x07` | PUSH_N       | `u32` channels, `u32` n, n×(`u32` stream, `u32` count), samples |
 //! | →   | `0x08` | LIST_MODELS  | —                                                  |
+//! | →   | `0x09` | TRACE        | `u32` stream id                                    |
 //! | ←   | `0x81` | OPENED       | `u32` stream id                                    |
 //! | ←   | `0x82` | EMIT         | `u32` stream, `u32` count, `u32` dim, outputs      |
 //! | ←   | `0x83` | CLOSED       | `u32` stream id, `u8` reason                       |
@@ -24,6 +25,7 @@
 //! | ←   | `0x86` | MODEL_LOADED | UTF-8 plan name                                    |
 //! | ←   | `0x87` | EMIT_N       | `u32` dim, `u32` n, n×(`u32` stream, `u32` count), outputs |
 //! | ←   | `0x88` | MODELS_JSON  | UTF-8 JSON (model registry metadata)               |
+//! | ←   | `0x89` | TRACE_JSON   | UTF-8 JSON (a `pit-serve-trace/1` document)        |
 //! | ←   | `0xFF` | ERROR        | `u8` code, UTF-8 message                           |
 //!
 //! ## Protocol v2: batched frames
@@ -202,6 +204,13 @@ pub enum ClientFrame {
     /// Protocol v3: request the model registry as a
     /// [`ServerFrame::ModelsJson`] reply.
     ListModels,
+    /// Protocol v4: request the daemon's per-stream event trace, filtered
+    /// to this connection's given stream id, as a
+    /// [`ServerFrame::TraceJson`] reply.
+    Trace {
+        /// Connection-scoped stream id to filter the trace to.
+        stream_id: u32,
+    },
 }
 
 /// A frame the server sends.
@@ -260,6 +269,12 @@ pub enum ServerFrame {
     /// (the wire form behind [`crate::ModelInfo`]).
     ModelsJson {
         /// Rendered JSON array, one object per model.
+        json: String,
+    },
+    /// Protocol v4: TRACE reply — a `pit-serve-trace/1` JSON document (the
+    /// wire form behind [`crate::TraceEvent`]).
+    TraceJson {
+        /// Rendered trace document.
         json: String,
     },
     /// A request failed; the connection stays usable unless the transport
@@ -380,6 +395,10 @@ pub fn encode_client(f: &ClientFrame) -> Vec<u8> {
             put_f32s(&mut body, samples);
         }
         ClientFrame::ListModels => body.push(0x08),
+        ClientFrame::Trace { stream_id } => {
+            body.push(0x09);
+            body.extend_from_slice(&stream_id.to_le_bytes());
+        }
     }
     frame(body)
 }
@@ -441,6 +460,10 @@ pub fn encode_server(f: &ServerFrame) -> Vec<u8> {
         }
         ServerFrame::ModelsJson { json } => {
             body.push(0x88);
+            body.extend_from_slice(json.as_bytes());
+        }
+        ServerFrame::TraceJson { json } => {
+            body.push(0x89);
             body.extend_from_slice(json.as_bytes());
         }
         ServerFrame::Error { code, message } => {
@@ -643,6 +666,9 @@ pub fn decode_client(body: &[u8]) -> Result<ClientFrame, FrameError> {
             }
         }
         0x08 => ClientFrame::ListModels,
+        0x09 => ClientFrame::Trace {
+            stream_id: c.u32("stream id")?,
+        },
         other => return Err(FrameError::UnknownOpcode(other)),
     };
     c.finish()?;
@@ -705,6 +731,9 @@ pub fn decode_server(body: &[u8]) -> Result<ServerFrame, FrameError> {
         }
         0x88 => ServerFrame::ModelsJson {
             json: c.rest_utf8("models json")?,
+        },
+        0x89 => ServerFrame::TraceJson {
+            json: c.rest_utf8("trace json")?,
         },
         0xFF => {
             let code = c.u8("error code")?;
@@ -935,6 +964,32 @@ mod tests {
         server_roundtrip(ServerFrame::ModelsJson {
             json: "[{\"name\": \"a\"}]".into(),
         });
+        // v4 trace frames.
+        client_roundtrip(ClientFrame::Trace {
+            stream_id: 0xDEAD_BEEF,
+        });
+        server_roundtrip(ServerFrame::TraceJson {
+            json: "{\"schema\": \"pit-serve-trace/1\", \"events\": []}".into(),
+        });
+    }
+
+    #[test]
+    fn trace_frames_reject_malformed_bodies() {
+        // Truncated stream id.
+        assert!(matches!(
+            decode_client(&[0x09, 1, 2]).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Trailing bytes after the stream id.
+        assert!(matches!(
+            decode_client(&[0x09, 1, 0, 0, 0, 9]).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // TRACE_JSON must be UTF-8.
+        assert!(matches!(
+            decode_server(&[0x89, 0xFF, 0xFE]).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
     }
 
     #[test]

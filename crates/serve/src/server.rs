@@ -31,11 +31,13 @@
 use crate::edge::{
     poll_fds, pollfd, OutBuf, PollFd, WakePipe, Waker, POLLERR, POLLHUP, POLLIN, POLLOUT,
 };
+use crate::http;
 use crate::protocol::{
     decode_client, encode_server, ClientFrame, ErrorCode, FrameAssembler, FrameError, ServerFrame,
 };
 use crate::shard::{Shard, ShardEvent, ShardNote};
-use crate::stats::{aggregate_snapshot, EdgeCounters, ModelStats, ShardStats, StatsSnapshot};
+use crate::stats::{ModelStats, ShardStats, StatsSnapshot};
+use crate::telemetry::{ModelMeta, ServeState, Telemetry, TraceKind};
 use pit_infer::{
     InferencePlan, PlanArtifact, QuantizedPlan, QuantizedSessionPool, SessionPool, StreamPool,
     ZooManifest,
@@ -74,6 +76,17 @@ pub struct ServerConfig {
     /// model costs one pool per shard, so the registry must not grow
     /// unboundedly at a client's request.
     pub max_models: usize,
+    /// Address for the HTTP telemetry sidecar (`GET /metrics`, `/stats`,
+    /// `/healthz`, `/trace`), e.g. `127.0.0.1:9901` (`:0` for ephemeral).
+    /// `None` (the default) disables the sidecar; the binary's
+    /// `--metrics-addr` flag sets it.
+    pub metrics_addr: Option<String>,
+    /// How long a graceful drain keeps serving reads and flushing replies
+    /// (refusing new streams) before tearing the shards down. The default
+    /// `Duration::ZERO` drains immediately; a nonzero grace gives load
+    /// balancers scraping `/healthz` time to observe the draining state
+    /// and route traffic away.
+    pub drain_grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +102,8 @@ impl Default for ServerConfig {
                 .unwrap_or(1)
                 .clamp(1, 8),
             max_models: 32,
+            metrics_addr: None,
+            drain_grace: Duration::ZERO,
         }
     }
 }
@@ -157,15 +172,16 @@ impl ServeEngine {
     }
 }
 
-/// One registry entry at the edge: the engine, the per-model counter block
-/// every shard shares, and the edge-authoritative open-stream gauge.
+/// One registry entry at the edge: the engine and the per-model counter
+/// block every shard shares. The open-stream gauge lives in the counter
+/// block ([`ModelStats::streams_open`]) — the edge is its only writer,
+/// but the HTTP sidecar reads it from another thread.
 struct ModelEntry {
     /// Registry name: the zoo-manifest name at boot, or the artifact's plan
     /// name for single-artifact boots and LOAD_MODEL additions.
     name: String,
     engine: ServeEngine,
     stats: Arc<ModelStats>,
-    open_streams: usize,
 }
 
 pub(crate) type ConnId = u64;
@@ -217,7 +233,9 @@ struct Edge {
     conns: HashMap<ConnId, EdgeConn>,
     shard_txs: Vec<Sender<ShardEvent>>,
     shard_stats: Vec<Arc<ShardStats>>,
-    counters: EdgeCounters,
+    /// The shared telemetry hub (edge counters, trace ring, histograms) —
+    /// the same `Arc` the shards and the HTTP sidecar hold.
+    telemetry: Arc<Telemetry>,
     /// Server-wide open-stream budget (edge-authoritative: incremented on
     /// OPEN, decremented on CLOSE, disconnect, and shard eviction notes).
     total_open: usize,
@@ -228,8 +246,27 @@ struct Edge {
 }
 
 impl Edge {
-    fn shard_for(&self, conn: ConnId, stream_id: u32) -> &Sender<ShardEvent> {
-        &self.shard_txs[shard_of(conn, stream_id, self.shard_txs.len())]
+    /// Routes one event to a shard, charging the shard's inflight counter
+    /// *before* the send so a STATS snapshot taken between the send and the
+    /// shard's handling reads as unsettled. Every event the edge sends must
+    /// go through here (or [`Edge::broadcast`]) — the shard decrements the
+    /// charge per handled event.
+    fn route(&self, shard: usize, event: ShardEvent) {
+        self.shard_stats[shard]
+            .inflight
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = self.shard_txs[shard].send(event);
+    }
+
+    /// Sends one event to every shard (connection lifecycle, model loads).
+    fn broadcast(&self, mut make: impl FnMut() -> ShardEvent) {
+        for shard in 0..self.shard_txs.len() {
+            self.route(shard, make());
+        }
+    }
+
+    fn shard_index(&self, conn: ConnId, stream_id: u32) -> usize {
+        shard_of(conn, stream_id, self.shard_txs.len())
     }
 
     fn send(&mut self, conn: ConnId, frame: &ServerFrame) {
@@ -239,7 +276,19 @@ impl Edge {
     }
 
     fn send_error(&mut self, conn: ConnId, code: ErrorCode, message: impl Into<String>) {
-        self.counters.frames_rejected += 1;
+        self.telemetry
+            .edge
+            .frames_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        self.telemetry.trace.record(
+            TraceKind::Error,
+            conn,
+            None,
+            None,
+            None,
+            code as u64,
+            self.telemetry.now_us(),
+        );
         self.send(
             conn,
             &ServerFrame::Error {
@@ -261,19 +310,26 @@ impl Edge {
             let _ = stream.set_nodelay(true);
             self.next_conn += 1;
             let conn = self.next_conn;
-            let out = Arc::new(OutBuf::new(Arc::clone(&self.counters.replies_dropped)));
+            let out = Arc::new(OutBuf::new(
+                Arc::clone(&self.telemetry.edge.replies_dropped),
+                Arc::clone(&self.telemetry.edge.outbuf_hwm),
+            ));
             let pending = Arc::new(AtomicUsize::new(0));
             let v2 = Arc::new(AtomicBool::new(false));
-            for tx in &self.shard_txs {
-                let _ = tx.send(ShardEvent::Connected {
-                    conn,
-                    out: Arc::clone(&out),
-                    pending: Arc::clone(&pending),
-                    v2: Arc::clone(&v2),
-                });
-            }
-            self.counters.connections_total += 1;
-            self.counters.connections_open += 1;
+            self.broadcast(|| ShardEvent::Connected {
+                conn,
+                out: Arc::clone(&out),
+                pending: Arc::clone(&pending),
+                v2: Arc::clone(&v2),
+            });
+            self.telemetry
+                .edge
+                .connections_total
+                .fetch_add(1, Ordering::Relaxed);
+            self.telemetry
+                .edge
+                .connections_open
+                .fetch_add(1, Ordering::Relaxed);
             self.conns.insert(
                 conn,
                 EdgeConn {
@@ -300,14 +356,14 @@ impl Edge {
             use std::io::Read;
             let n = match (&state.stream).read(&mut self.read_buf) {
                 Ok(0) => {
-                    self.drop_conn(conn);
+                    self.drop_conn(conn, true);
                     return;
                 }
                 Ok(n) => n,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    self.drop_conn(conn);
+                    self.drop_conn(conn, false);
                     return;
                 }
             };
@@ -332,7 +388,7 @@ impl Edge {
                         // Framing can no longer be trusted (oversized
                         // length prefix): report best-effort and hang up.
                         self.send_error(conn, ErrorCode::BadFrame, e.to_string());
-                        self.drop_conn(conn);
+                        self.drop_conn(conn, false);
                         return;
                     }
                 }
@@ -357,6 +413,10 @@ impl Edge {
                 let json = self.models_json();
                 self.send(conn, &ServerFrame::ModelsJson { json });
             }
+            ClientFrame::Trace { stream_id } => {
+                let json = self.telemetry.trace_json(Some(conn), Some(stream_id));
+                self.send(conn, &ServerFrame::TraceJson { json });
+            }
             ClientFrame::Close { stream_id } => {
                 let Some(state) = self.conns.get_mut(&conn) else {
                     return;
@@ -370,10 +430,14 @@ impl Edge {
                     return;
                 };
                 self.total_open -= 1;
-                self.models[model].open_streams -= 1;
-                let _ = self
-                    .shard_for(conn, stream_id)
-                    .send(ShardEvent::Close { conn, stream_id });
+                self.models[model]
+                    .stats
+                    .streams_open
+                    .fetch_sub(1, Ordering::Relaxed);
+                self.route(
+                    self.shard_index(conn, stream_id),
+                    ShardEvent::Close { conn, stream_id },
+                );
             }
             ClientFrame::Push {
                 stream_id,
@@ -384,12 +448,15 @@ impl Edge {
                 if !self.admit_push(conn, &[stream_id], channels, count) {
                     return;
                 }
-                let _ = self.shard_for(conn, stream_id).send(ShardEvent::Push {
-                    conn,
-                    stream_id,
-                    count,
-                    samples,
-                });
+                self.route(
+                    self.shard_index(conn, stream_id),
+                    ShardEvent::Push {
+                        conn,
+                        stream_id,
+                        count,
+                        samples,
+                    },
+                );
             }
             ClientFrame::PushN {
                 channels,
@@ -447,14 +514,20 @@ impl Edge {
         }
         state.streams.insert(stream_id, model);
         self.total_open += 1;
-        self.models[model].open_streams += 1;
+        self.models[model]
+            .stats
+            .streams_open
+            .fetch_add(1, Ordering::Relaxed);
         // The shard opens the pool slot and replies Opened, keeping reply
         // order consistent with the emissions that follow.
-        let _ = self.shard_for(conn, stream_id).send(ShardEvent::Open {
-            conn,
-            stream_id,
-            model,
-        });
+        self.route(
+            self.shard_index(conn, stream_id),
+            ShardEvent::Open {
+                conn,
+                stream_id,
+                model,
+            },
+        );
     }
 
     /// Shared admission for PUSH and each PUSH_N: the channel count must
@@ -546,12 +619,15 @@ impl Edge {
         for &(stream_id, count) in entries {
             let count = count as usize;
             let end = offset + count * c_in;
-            let _ = self.shard_for(conn, stream_id).send(ShardEvent::Push {
-                conn,
-                stream_id,
-                count,
-                samples: samples[offset..end].to_vec(),
-            });
+            self.route(
+                self.shard_index(conn, stream_id),
+                ShardEvent::Push {
+                    conn,
+                    stream_id,
+                    count,
+                    samples: samples[offset..end].to_vec(),
+                },
+            );
             offset = end;
         }
     }
@@ -580,7 +656,10 @@ impl Edge {
         let engine = ServeEngine::from_artifact(artifact);
         let name = engine.name();
         if let Some(model) = self.models.iter().position(|m| m.name == name) {
-            let open = self.models[model].open_streams;
+            let open = self.models[model]
+                .stats
+                .streams_open
+                .load(Ordering::Relaxed);
             if open > 0 {
                 self.send_error(
                     conn,
@@ -590,12 +669,11 @@ impl Edge {
                 return;
             }
             self.models[model].engine = engine.clone();
-            for tx in &self.shard_txs {
-                let _ = tx.send(ShardEvent::Swap {
-                    model,
-                    engine: engine.clone(),
-                });
-            }
+            self.telemetry.swap_model_kind(model, engine.kind());
+            self.broadcast(|| ShardEvent::Swap {
+                model,
+                engine: engine.clone(),
+            });
         } else {
             if self.models.len() >= self.config.max_models {
                 self.send_error(
@@ -609,17 +687,19 @@ impl Edge {
                 return;
             }
             let stats = Arc::new(ModelStats::default());
-            for tx in &self.shard_txs {
-                let _ = tx.send(ShardEvent::AddModel {
-                    engine: engine.clone(),
-                    stats: Arc::clone(&stats),
-                });
-            }
+            self.broadcast(|| ShardEvent::AddModel {
+                engine: engine.clone(),
+                stats: Arc::clone(&stats),
+            });
+            self.telemetry.add_model(ModelMeta {
+                name: name.clone(),
+                kind: engine.kind(),
+                stats: Arc::clone(&stats),
+            });
             self.models.push(ModelEntry {
                 name: name.clone(),
                 engine,
                 stats,
-                open_streams: 0,
             });
         }
         self.send(conn, &ServerFrame::ModelLoaded { name });
@@ -639,7 +719,10 @@ impl Edge {
                         ("input_channels".into(), n(m.engine.input_channels())),
                         ("output_dim".into(), n(m.engine.output_dim())),
                         ("receptive_field".into(), n(m.engine.receptive_field())),
-                        ("streams_open".into(), n(m.open_streams)),
+                        (
+                            "streams_open".into(),
+                            n(m.stats.streams_open.load(Ordering::Relaxed) as usize),
+                        ),
                         ("default".into(), Json::Bool(i == self.default_model)),
                     ])
                 })
@@ -650,18 +733,30 @@ impl Edge {
 
     /// Removes a connection: releases its stream budget and tells every
     /// shard to close its streams. The socket closes when the state drops.
-    fn drop_conn(&mut self, conn: ConnId) {
+    /// `clean` distinguishes a client EOF from a transport/framing failure
+    /// in the lifecycle counters.
+    fn drop_conn(&mut self, conn: ConnId, clean: bool) {
         let Some(state) = self.conns.remove(&conn) else {
             return;
         };
-        self.counters.connections_open -= 1;
+        self.telemetry
+            .edge
+            .connections_open
+            .fetch_sub(1, Ordering::Relaxed);
+        let ended = if clean {
+            &self.telemetry.edge.connections_closed
+        } else {
+            &self.telemetry.edge.connections_errored
+        };
+        ended.fetch_add(1, Ordering::Relaxed);
         self.total_open -= state.streams.len();
         for (_, model) in state.streams {
-            self.models[model].open_streams -= 1;
+            self.models[model]
+                .stats
+                .streams_open
+                .fetch_sub(1, Ordering::Relaxed);
         }
-        for tx in &self.shard_txs {
-            let _ = tx.send(ShardEvent::Disconnected { conn });
-        }
+        self.broadcast(|| ShardEvent::Disconnected { conn });
         self.dead.push(conn);
     }
 
@@ -673,7 +768,10 @@ impl Edge {
                 if let Some(state) = self.conns.get_mut(&conn) {
                     if let Some(model) = state.streams.remove(&stream_id) {
                         self.total_open -= 1;
-                        self.models[model].open_streams -= 1;
+                        self.models[model]
+                            .stats
+                            .streams_open
+                            .fetch_sub(1, Ordering::Relaxed);
                     }
                 }
             }
@@ -693,26 +791,13 @@ impl Edge {
             }
             match state.out.write_to(&mut &state.stream) {
                 Ok(pending) => state.want_write = pending,
-                Err(_) => self.drop_conn(conn),
+                Err(_) => self.drop_conn(conn, false),
             }
         }
     }
 
     fn snapshot(&self) -> StatsSnapshot {
-        let default = &self.models[self.default_model];
-        aggregate_snapshot(
-            &default.name,
-            default.engine.kind(),
-            &self.counters,
-            &self.shard_stats,
-            self.models
-                .iter()
-                .map(|m| {
-                    m.stats
-                        .snapshot(&m.name, m.engine.kind(), m.open_streams as u64)
-                })
-                .collect(),
-        )
+        self.telemetry.snapshot()
     }
 }
 
@@ -725,6 +810,9 @@ pub struct Server {
     listener: TcpListener,
     /// Boot-time registry: `(name, engine)` pairs, index order preserved.
     models: Vec<(String, ServeEngine)>,
+    /// Per-model counter blocks, index-aligned with `models` and already
+    /// installed in the telemetry hub.
+    model_stats: Vec<Arc<ModelStats>>,
     /// Registry index of the default model.
     default_model: usize,
     config: ServerConfig,
@@ -732,6 +820,9 @@ pub struct Server {
     wake_pipe: WakePipe,
     waker: Waker,
     addr: SocketAddr,
+    telemetry: Arc<Telemetry>,
+    /// The HTTP sidecar's bound listener, when `metrics_addr` was set.
+    metrics: Option<(TcpListener, SocketAddr)>,
 }
 
 impl Server {
@@ -755,7 +846,8 @@ impl Server {
     ///
     /// Returns a message when the registry is empty, a name repeats,
     /// `default` names no entry, the registry exceeds
-    /// [`ServerConfig::max_models`], or the bind fails.
+    /// [`ServerConfig::max_models`], or a bind (the serving address or the
+    /// telemetry sidecar's) fails.
     pub fn bind_models(
         models: Vec<(String, ServeEngine)>,
         default: &str,
@@ -783,16 +875,47 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
         let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let metrics = match &config.metrics_addr {
+            None => None,
+            Some(metrics_addr) => {
+                let listener = TcpListener::bind(metrics_addr)
+                    .map_err(|e| format!("cannot bind metrics sidecar {metrics_addr}: {e}"))?;
+                let addr = listener.local_addr().map_err(|e| e.to_string())?;
+                Some((listener, addr))
+            }
+        };
         let (wake_pipe, waker) = WakePipe::new().map_err(|e| e.to_string())?;
+        // One counter block per registry model, shared by every shard, the
+        // edge and the sidecar; the telemetry hub mirrors the registry.
+        let model_stats: Vec<Arc<ModelStats>> = models
+            .iter()
+            .map(|_| Arc::new(ModelStats::default()))
+            .collect();
+        let telemetry = Arc::new(Telemetry::new());
+        telemetry.install_models(
+            models
+                .iter()
+                .zip(&model_stats)
+                .map(|((name, engine), stats)| ModelMeta {
+                    name: name.clone(),
+                    kind: engine.kind(),
+                    stats: Arc::clone(stats),
+                })
+                .collect(),
+            default_model,
+        );
         Ok(Self {
             listener,
             models,
+            model_stats,
             default_model,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
             wake_pipe,
             waker,
             addr,
+            telemetry,
+            metrics,
         })
     }
 
@@ -847,6 +970,13 @@ impl Server {
         self.addr
     }
 
+    /// The HTTP telemetry sidecar's bound address, when
+    /// [`ServerConfig::metrics_addr`] was set (resolves `:0` to the
+    /// ephemeral port).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|(_, addr)| *addr)
+    }
+
     /// `(name, kind)` of every registry model in registry order, the
     /// default entry first-class nowhere — pair with [`Server::default_model_name`].
     pub fn model_names(&self) -> Vec<(String, &'static str)> {
@@ -865,11 +995,13 @@ impl Server {
     /// shutdown.
     pub fn spawn(self) -> ServerHandle {
         let addr = self.addr;
+        let metrics_addr = self.metrics_addr();
         let shutdown = Arc::clone(&self.shutdown);
         let waker = self.waker.clone();
         let thread = std::thread::spawn(move || self.run());
         ServerHandle {
             addr,
+            metrics_addr,
             shutdown,
             waker,
             thread,
@@ -880,19 +1012,20 @@ impl Server {
     /// requested (via a handle created before with [`Server::spawn`] — when
     /// calling `run` directly the process typically serves until killed).
     /// Returns the final stats snapshot after a graceful drain.
-    pub fn run(self) -> StatsSnapshot {
+    pub fn run(mut self) -> StatsSnapshot {
+        let telemetry = Arc::clone(&self.telemetry);
         let shards = self.config.shards.max(1);
         let (note_tx, note_rx) = mpsc::channel::<ShardNote>();
-        // One counter block per registry model, shared across every shard.
         let shard_models: Vec<(ServeEngine, Arc<ModelStats>)> = self
             .models
             .iter()
-            .map(|(_, engine)| (engine.clone(), Arc::new(ModelStats::default())))
+            .zip(&self.model_stats)
+            .map(|((_, engine), stats)| (engine.clone(), Arc::clone(stats)))
             .collect();
         let mut shard_txs = Vec::with_capacity(shards);
         let mut shard_stats = Vec::with_capacity(shards);
         let mut shard_threads = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        for index in 0..shards {
             // Unbounded on purpose: the edge must never block. Depth stays
             // bounded anyway — PUSH events are capped by the per-connection
             // pending counters *before* forwarding, and control events are
@@ -900,10 +1033,12 @@ impl Server {
             let (tx, rx) = mpsc::channel::<ShardEvent>();
             let stats = Arc::new(ShardStats::default());
             let shard = Shard::new(
+                index,
                 &shard_models,
                 self.config.tick,
                 self.config.idle_timeout,
                 Arc::clone(&stats),
+                Arc::clone(&telemetry),
                 note_tx.clone(),
                 self.waker.clone(),
             );
@@ -912,9 +1047,24 @@ impl Server {
             shard_threads.push(std::thread::spawn(move || shard.run(rx)));
         }
         drop(note_tx);
+        telemetry.install_shards(shard_stats.clone());
         self.listener
             .set_nonblocking(true)
             .expect("listener nonblocking");
+
+        // The HTTP sidecar gets its own thread and wake pipe: it serves
+        // scrapes without ever touching the edge loop's latency.
+        let mut sidecar: Option<(Arc<AtomicBool>, Waker, JoinHandle<()>)> = None;
+        if let Some((metrics_listener, _)) = self.metrics.take() {
+            let stop = Arc::new(AtomicBool::new(false));
+            let (pipe, sidecar_waker) = WakePipe::new().expect("sidecar wake pipe");
+            let sidecar_telemetry = Arc::clone(&telemetry);
+            let sidecar_stop = Arc::clone(&stop);
+            let thread = std::thread::spawn(move || {
+                http::serve(metrics_listener, pipe, sidecar_stop, sidecar_telemetry);
+            });
+            sidecar = Some((stop, sidecar_waker, thread));
+        }
 
         let models: Vec<ModelEntry> = self
             .models
@@ -924,7 +1074,6 @@ impl Server {
                 name,
                 engine,
                 stats,
-                open_streams: 0,
             })
             .collect();
         let mut edge = Edge {
@@ -934,16 +1083,20 @@ impl Server {
             conns: HashMap::new(),
             shard_txs,
             shard_stats,
-            counters: EdgeCounters::default(),
+            telemetry: Arc::clone(&telemetry),
             total_open: 0,
             draining: false,
             next_conn: 0,
             read_buf: vec![0u8; 64 * 1024],
             dead: Vec::new(),
         };
+        telemetry.set_state(ServeState::Serving);
 
         let mut fds: Vec<PollFd> = Vec::new();
         let mut ids: Vec<ConnId> = Vec::new();
+        // When set, a graceful drain is underway: keep reading and
+        // flushing (OPENs are already refused) until the grace deadline.
+        let mut drain_deadline: Option<Instant> = None;
         loop {
             fds.clear();
             ids.clear();
@@ -957,13 +1110,28 @@ impl Server {
                 fds.push(pollfd(state.stream.as_raw_fd(), events));
                 ids.push(conn);
             }
+            let poll_start = Instant::now();
             let _ = poll_fds(&mut fds, EDGE_POLL_MS);
+            let dispatch_start = Instant::now();
+            telemetry
+                .edge_poll_ns
+                .record(dispatch_start.duration_since(poll_start).as_nanos() as u64);
             self.wake_pipe.drain();
             while let Ok(note) = note_rx.try_recv() {
                 edge.handle_note(note);
             }
-            if self.shutdown.load(Ordering::SeqCst) {
-                break;
+            if self.shutdown.load(Ordering::SeqCst) && drain_deadline.is_none() {
+                // Flip to draining *before* tearing anything down: load
+                // balancers polling /healthz see 503 while reads are still
+                // served, for as long as the configured grace.
+                edge.draining = true;
+                telemetry.set_state(ServeState::Draining);
+                drain_deadline = Some(Instant::now() + edge.config.drain_grace);
+            }
+            if let Some(deadline) = drain_deadline {
+                if Instant::now() >= deadline {
+                    break;
+                }
             }
             if fds[1].revents & (POLLIN | POLLERR) != 0 {
                 edge.accept_loop(&self.listener);
@@ -975,12 +1143,16 @@ impl Server {
             }
             edge.flush_writes();
             edge.dead.clear();
+            telemetry
+                .edge_dispatch_ns
+                .record(dispatch_start.elapsed().as_nanos() as u64);
         }
 
         // Graceful drain. 1) Sweep bytes clients already got onto the wire
         // so queued PUSHes become final emissions (new OPENs and swaps are
         // refused from here).
         edge.draining = true;
+        telemetry.set_state(ServeState::Draining);
         let ids: Vec<ConnId> = edge.conns.keys().copied().collect();
         for conn in ids {
             edge.read_conn(conn);
@@ -992,6 +1164,11 @@ impl Server {
         for thread in shard_threads {
             let _ = thread.join();
         }
+        // Connections still open now outlived the drain.
+        telemetry
+            .edge
+            .connections_drained
+            .fetch_add(edge.conns.len() as u64, Ordering::Relaxed);
         let snapshot = edge.snapshot();
         // 3) Hand the buffered frames to the clients, within reason.
         let deadline = Instant::now() + DRAIN_FLUSH_TIMEOUT;
@@ -1008,6 +1185,11 @@ impl Server {
             }
             let _ = poll_fds(&mut blocked, 50);
         }
+        if let Some((stop, sidecar_waker, thread)) = sidecar {
+            stop.store(true, Ordering::SeqCst);
+            sidecar_waker.wake();
+            let _ = thread.join();
+        }
         snapshot
     }
 }
@@ -1015,6 +1197,7 @@ impl Server {
 /// Handle to a running server (see [`Server::spawn`]).
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
     waker: Waker,
     thread: JoinHandle<StatsSnapshot>,
@@ -1026,12 +1209,26 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The HTTP telemetry sidecar's bound address, when
+    /// [`ServerConfig::metrics_addr`] was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// Requests a graceful drain without waiting for it: the daemon flips
+    /// to the draining state (refusing new streams, `/healthz` turns 503)
+    /// and keeps serving reads for [`ServerConfig::drain_grace`] before
+    /// tearing down. Call [`ServerHandle::shutdown`] to wait for the exit.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+    }
+
     /// Requests a graceful drain — queued timesteps are flushed, final
     /// emissions delivered, streams closed with a CLOSED frame — and waits
     /// for the daemon to exit. Returns the final stats.
     pub fn shutdown(self) -> StatsSnapshot {
-        self.shutdown.store(true, Ordering::SeqCst);
-        self.waker.wake();
+        self.request_shutdown();
         self.thread.join().expect("server thread")
     }
 }

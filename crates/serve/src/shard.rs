@@ -27,6 +27,7 @@ use crate::edge::{OutBuf, Waker};
 use crate::protocol::{encode_server, CloseReason, ErrorCode, ServerFrame, MAX_FRAME_BODY};
 use crate::server::{ConnId, ServeEngine};
 use crate::stats::{ModelStats, ShardStats};
+use crate::telemetry::{Telemetry, TraceKind};
 use pit_infer::StreamPool;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -75,6 +76,11 @@ pub(crate) enum ShardEvent {
     Swap { model: usize, engine: ServeEngine },
 }
 
+/// Trace-event close code for streams torn down by a disconnect — the
+/// wire [`CloseReason`]s stop at 2 because no CLOSED frame is sent to a
+/// connection that is already gone.
+const CLOSE_DISCONNECTED: u64 = 3;
+
 /// What a shard reports back to the edge (processed on each wakeup).
 pub(crate) enum ShardNote {
     /// A stream ended shard-side (idle eviction): the edge must release
@@ -104,6 +110,8 @@ struct StreamInfo {
 }
 
 pub(crate) struct Shard {
+    /// This shard's index in the edge's shard table (trace-event label).
+    index: usize,
     /// One pool per registry model, same index order as the edge's table.
     pools: Vec<Box<dyn StreamPool>>,
     /// Per-model counter blocks, shared with every other shard.
@@ -114,6 +122,7 @@ pub(crate) struct Shard {
     /// `(model, pool slot)` → owner.
     streams: HashMap<(usize, usize), StreamInfo>,
     stats: Arc<ShardStats>,
+    telemetry: Arc<Telemetry>,
     notes: Sender<ShardNote>,
     waker: Waker,
     /// Set when this iteration queued reply bytes: ring the edge once per
@@ -123,14 +132,17 @@ pub(crate) struct Shard {
 
 impl Shard {
     pub(crate) fn new(
+        index: usize,
         models: &[(ServeEngine, Arc<ModelStats>)],
         tick: Duration,
         idle_timeout: Option<Duration>,
         stats: Arc<ShardStats>,
+        telemetry: Arc<Telemetry>,
         notes: Sender<ShardNote>,
         waker: Waker,
     ) -> Self {
         Self {
+            index,
             pools: models.iter().map(|(e, _)| e.new_pool()).collect(),
             model_stats: models.iter().map(|(_, s)| Arc::clone(s)).collect(),
             tick,
@@ -138,10 +150,24 @@ impl Shard {
             conns: HashMap::new(),
             streams: HashMap::new(),
             stats,
+            telemetry,
             notes,
             waker,
             wrote: false,
         }
+    }
+
+    /// Records one per-stream event in the global trace ring.
+    fn trace(&self, kind: TraceKind, conn: ConnId, stream: u32, model: usize, count: u64) {
+        self.telemetry.trace.record(
+            kind,
+            conn,
+            Some(stream),
+            Some(self.index),
+            Some(model),
+            count,
+            self.telemetry.now_us(),
+        );
     }
 
     fn send(&mut self, conn: ConnId, frame: &ServerFrame) {
@@ -153,6 +179,15 @@ impl Shard {
 
     fn send_error(&mut self, conn: ConnId, code: ErrorCode, message: impl Into<String>) {
         self.stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.trace.record(
+            TraceKind::Error,
+            conn,
+            None,
+            Some(self.index),
+            None,
+            code as u64,
+            self.telemetry.now_us(),
+        );
         self.send(
             conn,
             &ServerFrame::Error {
@@ -184,9 +219,10 @@ impl Shard {
             ShardEvent::Disconnected { conn } => {
                 if let Some(state) = self.conns.remove(&conn) {
                     state.pending.fetch_sub(state.queued, Ordering::Relaxed);
-                    for (_, (model, slot)) in state.streams {
+                    for (stream_id, (model, slot)) in state.streams {
                         self.pools[model].close_stream(slot);
                         self.streams.remove(&(model, slot));
+                        self.trace(TraceKind::Close, conn, stream_id, model, CLOSE_DISCONNECTED);
                     }
                     self.stats
                         .streams_open
@@ -242,6 +278,7 @@ impl Shard {
         self.stats
             .streams_open
             .store(self.streams.len() as u64, Ordering::Relaxed);
+        self.trace(TraceKind::Open, conn, stream_id, model, 0);
         self.send(conn, &ServerFrame::Opened { stream_id });
     }
 
@@ -271,6 +308,13 @@ impl Shard {
         self.stats
             .streams_open
             .store(self.streams.len() as u64, Ordering::Relaxed);
+        self.trace(
+            TraceKind::Close,
+            conn,
+            stream_id,
+            model,
+            CloseReason::ByClient as u64,
+        );
         self.send(
             conn,
             &ServerFrame::Closed {
@@ -311,6 +355,7 @@ impl Shard {
         self.model_stats[model]
             .timesteps_in
             .fetch_add(count as u64, Ordering::Relaxed);
+        self.trace(TraceKind::Push, conn, stream_id, model, count as u64);
         if let Some(info) = self.streams.get_mut(&(model, slot)) {
             info.last_activity = Instant::now();
         }
@@ -390,6 +435,7 @@ impl Shard {
                 continue;
             };
             let (conn, stream_id) = (info.conn, info.client_id);
+            self.trace(TraceKind::Emit, conn, stream_id, model, emitted);
             let v2 = self
                 .conns
                 .get(&conn)
@@ -452,6 +498,13 @@ impl Shard {
             self.stats
                 .streams_open
                 .store(self.streams.len() as u64, Ordering::Relaxed);
+            self.trace(
+                TraceKind::Evict,
+                info.conn,
+                info.client_id,
+                model,
+                dropped as u64,
+            );
             // Release the edge's stream budget before the client learns —
             // a reopen after CLOSED must find the slot free.
             let _ = self.notes.send(ShardNote::StreamClosed {
@@ -488,6 +541,13 @@ impl Shard {
             if let Some(state) = self.conns.get_mut(&info.conn) {
                 state.streams.remove(&info.client_id);
             }
+            self.trace(
+                TraceKind::Close,
+                info.conn,
+                info.client_id,
+                model,
+                CloseReason::Drained as u64,
+            );
             self.send(
                 info.conn,
                 &ServerFrame::Closed {
@@ -512,11 +572,16 @@ impl Shard {
                 Duration::from_millis(5)
             };
             let mut disconnected = false;
+            // Events fully handled this iteration — balanced against the
+            // `inflight` charges the edge made when routing them.
+            let mut handled = 0u64;
             match rx.recv_timeout(timeout) {
                 Ok(event) => {
                     self.handle(event);
+                    handled += 1;
                     while let Ok(event) = rx.try_recv() {
                         self.handle(event);
+                        handled += 1;
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {}
@@ -527,6 +592,8 @@ impl Shard {
                 // everything routed is already handled (the channel delivers
                 // buffered events before reporting disconnect).
                 self.drain();
+                self.stats.queued_steps.store(0, Ordering::Release);
+                self.stats.ticks.fetch_add(1, Ordering::Release);
                 break;
             }
             if self.pending_steps() > 0 && Instant::now() >= next_wave {
@@ -534,6 +601,19 @@ impl Shard {
                 next_wave = Instant::now() + self.tick;
             }
             self.evict_idle();
+            // Settling order matters: publish the pool backlog first, then
+            // release the inflight charges. A snapshot that observes
+            // `inflight == 0` (Acquire) therefore also observes the queued
+            // backlog these events created — it can never read 0/0 while a
+            // wave is still owed. Both stores are Release so a settled
+            // observation implies every counter update above is visible.
+            self.stats
+                .queued_steps
+                .store(self.pending_steps() as u64, Ordering::Release);
+            if handled > 0 {
+                self.stats.inflight.fetch_sub(handled, Ordering::Release);
+            }
+            self.stats.ticks.fetch_add(1, Ordering::Release);
             if self.wrote {
                 self.wrote = false;
                 self.waker.wake();

@@ -1,24 +1,43 @@
 //! Serving counters and the snapshot the STATS frame returns.
 //!
 //! The daemon's counters live in three places, mirroring its thread and
-//! registry layout: the edge thread owns connection-level counters as plain
-//! integers (`EdgeCounters`), each wave-batcher shard owns a `ShardStats`
-//! block of atomics it updates lock-free from its own thread, and each
-//! *registry model* owns a `ModelStats` block all shards share — serving a
-//! zoo means one model's streams spread across every shard, so its traffic
-//! is accounted where the model is, not where the thread is. A STATS
-//! request aggregates all of them into one [`StatsSnapshot`] at the edge —
-//! per-shard latency windows are merged before computing percentiles, so
-//! p50/p99 describe the whole daemon, not one shard — with one
-//! [`ModelSnapshot`] per registry entry (`pit-serve-stats/3`; v1/v2
-//! documents still parse, they simply carry no model breakdown).
+//! registry layout: the edge thread owns connection-lifecycle counters
+//! (`EdgeCounters` — atomics, so the HTTP sidecar can scrape them from its
+//! own thread), each wave-batcher shard owns a `ShardStats` block of
+//! atomics it updates lock-free from its own thread, and each *registry
+//! model* owns a `ModelStats` block all shards share — serving a zoo means
+//! one model's streams spread across every shard, so its traffic is
+//! accounted where the model is, not where the thread is. A STATS request
+//! aggregates all of them into one [`StatsSnapshot`] — per-shard latency
+//! histograms are merged before computing percentiles, so p50/p99 describe
+//! the whole daemon, not one shard — with one [`ModelSnapshot`] per
+//! registry entry (`pit-serve-stats/4`; v1–v3 documents still parse, they
+//! simply lack the newer fields).
+//!
+//! Latency percentiles come from the lock-free log-scale `Histogram`s in
+//! `telemetry` (exact counts, ≤ ~25% value quantization) and cover the
+//! whole run — the old 4096-entry rolling windows and their mutexes are
+//! gone.
+//!
+//! ## Snapshot settling
+//!
+//! Counters are written by shard threads *after* the edge routed the
+//! triggering event, so a snapshot taken immediately after a PUSH can be
+//! mid-flight. [`StatsSnapshot::settled`] makes that race observable: the
+//! edge increments a per-shard `inflight` counter before every routed
+//! event, the shard decrements it only after fully handling the event
+//! (including any due wave), and `settled` is true exactly when no shard
+//! has routed-but-unhandled events or queued-but-unflushed timesteps.
+//! Pollers (tests, scrapers) wait for `settled` instead of sleeping.
 
+use crate::telemetry::{Histogram, HistogramSnapshot};
 use pit_tensor::json::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 
 /// A point-in-time view of the daemon's counters, as returned by the STATS
-/// frame (rendered to JSON) and by [`crate::ServerHandle::shutdown`].
+/// frame (rendered to JSON), by `GET /stats` on the metrics sidecar, and
+/// by [`crate::ServerHandle::shutdown`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsSnapshot {
     /// Name of the served plan.
@@ -31,6 +50,12 @@ pub struct StatsSnapshot {
     pub connections_total: u64,
     /// Connections currently open.
     pub connections_open: u64,
+    /// Connections that ended with a clean client disconnect.
+    pub connections_closed: u64,
+    /// Connections dropped on a transport or framing error.
+    pub connections_errored: u64,
+    /// Connections still open when a graceful drain completed.
+    pub connections_drained: u64,
     /// Streams currently open.
     pub streams_open: u64,
     /// Streams opened since boot.
@@ -45,15 +70,25 @@ pub struct StatsSnapshot {
     pub frames_rejected: u64,
     /// Reply frames dropped because a client's outbound queue was full.
     pub replies_dropped: u64,
+    /// Highest number of bytes ever queued toward one connection.
+    pub outbuf_hwm_bytes: u64,
     /// Pool waves (flush calls that served at least one stream).
     pub waves: u64,
     /// Mean number of streams served per wave.
     pub wave_occupancy: f64,
-    /// Median wave (flush) latency in nanoseconds, over the recent window.
+    /// Median wave (flush) latency in nanoseconds since boot.
     pub wave_p50_ns: u64,
-    /// 99th-percentile wave latency in nanoseconds, over the recent window.
+    /// 99th-percentile wave latency in nanoseconds since boot.
     pub wave_p99_ns: u64,
-    /// Per-model breakdown, one entry per registry model (v3; empty when
+    /// Total shard loop iterations: a monotone sequence number that keeps
+    /// advancing while shards are alive, so two equal-`seq` snapshots were
+    /// taken between the same pair of shard ticks.
+    pub seq: u64,
+    /// True when no routed-but-unhandled events or queued-but-unflushed
+    /// timesteps were pending at snapshot time — every counter has caught
+    /// up with the traffic the edge accepted before this snapshot.
+    pub settled: bool,
+    /// Per-model breakdown, one entry per registry model (v3+; empty when
     /// parsed from a v1/v2 document).
     pub models: Vec<ModelSnapshot>,
 }
@@ -77,7 +112,7 @@ pub struct ModelSnapshot {
     pub waves: u64,
     /// Mean streams served per wave of this model.
     pub wave_occupancy: f64,
-    /// Median wave latency (ns) of this model, over the recent window.
+    /// Median wave latency (ns) of this model since boot.
     pub wave_p50_ns: u64,
     /// 99th-percentile wave latency (ns) of this model.
     pub wave_p99_ns: u64,
@@ -134,12 +169,15 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> Json {
         let n = |v: u64| Json::Num(v as f64);
         Json::Obj(vec![
-            ("schema".into(), Json::Str("pit-serve-stats/3".into())),
+            ("schema".into(), Json::Str("pit-serve-stats/4".into())),
             ("model".into(), Json::Str(self.model.clone())),
             ("kind".into(), Json::Str(self.kind.clone())),
             ("shards".into(), n(self.shards)),
             ("connections_total".into(), n(self.connections_total)),
             ("connections_open".into(), n(self.connections_open)),
+            ("connections_closed".into(), n(self.connections_closed)),
+            ("connections_errored".into(), n(self.connections_errored)),
+            ("connections_drained".into(), n(self.connections_drained)),
             ("streams_open".into(), n(self.streams_open)),
             ("streams_opened".into(), n(self.streams_opened)),
             ("streams_evicted".into(), n(self.streams_evicted)),
@@ -147,10 +185,13 @@ impl StatsSnapshot {
             ("emissions_out".into(), n(self.emissions_out)),
             ("frames_rejected".into(), n(self.frames_rejected)),
             ("replies_dropped".into(), n(self.replies_dropped)),
+            ("outbuf_hwm_bytes".into(), n(self.outbuf_hwm_bytes)),
             ("waves".into(), n(self.waves)),
             ("wave_occupancy".into(), Json::Num(self.wave_occupancy)),
             ("wave_p50_ns".into(), n(self.wave_p50_ns)),
             ("wave_p99_ns".into(), n(self.wave_p99_ns)),
+            ("seq".into(), n(self.seq)),
+            ("settled".into(), Json::Bool(self.settled)),
             (
                 "models".into(),
                 Json::Arr(self.models.iter().map(ModelSnapshot::to_json).collect()),
@@ -171,6 +212,9 @@ impl StatsSnapshot {
                 .ok_or_else(|| format!("missing number field '{name}'"))
         };
         let int = |name: &str| -> Result<u64, String> { Ok(num(name)? as u64) };
+        // Absent before pit-serve-stats/4: default to zero.
+        let opt_int =
+            |name: &str| -> u64 { doc.get(name).and_then(Json::as_f64).unwrap_or(0.0) as u64 };
         let text_field = |name: &str| -> Result<String, String> {
             doc.get(name)
                 .and_then(Json::as_str)
@@ -184,6 +228,9 @@ impl StatsSnapshot {
             shards: doc.get("shards").and_then(Json::as_f64).unwrap_or(1.0) as u64,
             connections_total: int("connections_total")?,
             connections_open: int("connections_open")?,
+            connections_closed: opt_int("connections_closed"),
+            connections_errored: opt_int("connections_errored"),
+            connections_drained: opt_int("connections_drained"),
             streams_open: int("streams_open")?,
             streams_opened: int("streams_opened")?,
             streams_evicted: int("streams_evicted")?,
@@ -191,10 +238,18 @@ impl StatsSnapshot {
             emissions_out: int("emissions_out")?,
             frames_rejected: int("frames_rejected")?,
             replies_dropped: int("replies_dropped")?,
+            outbuf_hwm_bytes: opt_int("outbuf_hwm_bytes"),
             waves: int("waves")?,
             wave_occupancy: num("wave_occupancy")?,
             wave_p50_ns: int("wave_p50_ns")?,
             wave_p99_ns: int("wave_p99_ns")?,
+            seq: opt_int("seq"),
+            // Pre-v4 documents carry no settling signal; treat them as
+            // settled so old pollers keep their previous behavior.
+            settled: match doc.get("settled") {
+                Some(Json::Bool(b)) => *b,
+                _ => true,
+            },
             // Absent in pit-serve-stats/1 and /2 documents: no breakdown.
             models: doc
                 .get("models")
@@ -232,32 +287,9 @@ impl std::fmt::Display for StatsSnapshot {
     }
 }
 
-/// Size of each shard's rolling wave-latency window. Percentiles are
-/// computed over the merged windows of every shard.
-const LATENCY_WINDOW: usize = 4096;
-
-/// Rolling window of recent wave latencies (ns), overwritten oldest-first.
-#[derive(Debug, Default)]
-struct LatencyWindow {
-    wave_ns: Vec<u64>,
-    next: usize,
-}
-
-impl LatencyWindow {
-    fn record(&mut self, ns: u64) {
-        if self.wave_ns.len() < LATENCY_WINDOW {
-            self.wave_ns.push(ns);
-        } else {
-            self.wave_ns[self.next] = ns;
-            self.next = (self.next + 1) % LATENCY_WINDOW;
-        }
-    }
-}
-
 /// One wave-batcher shard's counter block. The owning shard thread updates
-/// the atomics lock-free; the edge thread reads them (and briefly locks the
-/// latency window) only when a STATS request or shutdown aggregates a
-/// snapshot.
+/// the atomics lock-free; the edge thread and the HTTP sidecar read them
+/// whenever a STATS request, scrape or shutdown aggregates a snapshot.
 #[derive(Debug, Default)]
 pub(crate) struct ShardStats {
     pub(crate) streams_open: AtomicU64,
@@ -267,8 +299,18 @@ pub(crate) struct ShardStats {
     pub(crate) emissions_out: AtomicU64,
     pub(crate) frames_rejected: AtomicU64,
     pub(crate) waves: AtomicU64,
+    /// Events the edge routed to this shard but the shard has not fully
+    /// handled yet (edge increments *before* sending, shard decrements
+    /// with `Release` *after* handling — including any due wave — so a
+    /// reader seeing zero also sees every counter update the events made).
+    pub(crate) inflight: AtomicU64,
+    /// Timesteps queued in this shard's pools at the end of its last loop
+    /// iteration (nonzero = a wave is still owed).
+    pub(crate) queued_steps: AtomicU64,
+    /// Loop iterations since boot (the snapshot sequence contribution).
+    pub(crate) ticks: AtomicU64,
     occupancy_sum: AtomicU64,
-    window: Mutex<LatencyWindow>,
+    wave_ns: Histogram,
 }
 
 impl ShardStats {
@@ -279,22 +321,29 @@ impl ShardStats {
         self.occupancy_sum
             .fetch_add(occupancy as u64, Ordering::Relaxed);
         let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.window.lock().expect("window lock").record(ns);
+        self.wave_ns.record(ns);
+    }
+
+    /// A copy of this shard's wave-latency histogram (Prometheus export).
+    pub(crate) fn wave_ns_snapshot(&self) -> HistogramSnapshot {
+        self.wave_ns.snapshot()
     }
 }
 
 /// One registry model's counter block, shared by every shard (a model's
-/// streams spread across all of them). All fields are atomics updated from
-/// shard threads; the latency window's mutex is touched once per wave of
-/// that model.
+/// streams spread across all of them). All fields are atomics; recording a
+/// wave is lock-free.
 #[derive(Debug, Default)]
 pub(crate) struct ModelStats {
+    /// Streams currently open on this model — the edge is the only writer
+    /// (it owns admission), shards and the sidecar only read.
+    pub(crate) streams_open: AtomicU64,
     pub(crate) streams_opened: AtomicU64,
     pub(crate) timesteps_in: AtomicU64,
     pub(crate) emissions_out: AtomicU64,
     waves: AtomicU64,
     occupancy_sum: AtomicU64,
-    window: Mutex<LatencyWindow>,
+    wave_ns: Histogram,
 }
 
 impl ModelStats {
@@ -304,20 +353,18 @@ impl ModelStats {
         self.occupancy_sum
             .fetch_add(occupancy as u64, Ordering::Relaxed);
         let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.window.lock().expect("window lock").record(ns);
+        self.wave_ns.record(ns);
     }
 
-    /// The model's breakdown entry. `streams_open` is supplied by the edge
-    /// registry, the authoritative open-stream gauge.
-    pub(crate) fn snapshot(&self, name: &str, kind: &str, streams_open: u64) -> ModelSnapshot {
+    /// The model's breakdown entry.
+    pub(crate) fn snapshot(&self, name: &str, kind: &str) -> ModelSnapshot {
         let waves = self.waves.load(Ordering::Relaxed);
         let occupancy_sum = self.occupancy_sum.load(Ordering::Relaxed);
-        let mut window = self.window.lock().expect("window lock").wave_ns.clone();
-        window.sort_unstable();
+        let hist = self.wave_ns.snapshot();
         ModelSnapshot {
             name: name.to_string(),
             kind: kind.to_string(),
-            streams_open,
+            streams_open: self.streams_open.load(Ordering::Relaxed),
             streams_opened: self.streams_opened.load(Ordering::Relaxed),
             timesteps_in: self.timesteps_in.load(Ordering::Relaxed),
             emissions_out: self.emissions_out.load(Ordering::Relaxed),
@@ -327,30 +374,28 @@ impl ModelStats {
             } else {
                 occupancy_sum as f64 / waves as f64
             },
-            wave_p50_ns: percentile(&window, 0.50),
-            wave_p99_ns: percentile(&window, 0.99),
+            wave_p50_ns: hist.percentile(0.50),
+            wave_p99_ns: hist.percentile(0.99),
         }
     }
 }
 
-/// Edge-thread-owned counters: plain integers, since every connection event
-/// funnels through the single edge thread. `replies_dropped` is the one
-/// shared counter — shard threads drop replies too, when a connection's
-/// write buffer is full — so it is an atomic the edge and all shards share.
+/// Connection-lifecycle counters. The edge thread is the only writer of
+/// most fields, but they are atomics so the HTTP sidecar can scrape them
+/// from its own thread without a lock. `replies_dropped` and `outbuf_hwm`
+/// are `Arc`s because shard threads update them too, through each
+/// connection's [`crate::edge::OutBuf`].
 #[derive(Debug, Default)]
 pub(crate) struct EdgeCounters {
-    pub(crate) connections_total: u64,
-    pub(crate) connections_open: u64,
-    pub(crate) frames_rejected: u64,
-    pub(crate) replies_dropped: std::sync::Arc<AtomicU64>,
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    pub(crate) connections_total: AtomicU64,
+    pub(crate) connections_open: AtomicU64,
+    pub(crate) connections_closed: AtomicU64,
+    pub(crate) connections_errored: AtomicU64,
+    pub(crate) connections_drained: AtomicU64,
+    pub(crate) frames_rejected: AtomicU64,
+    pub(crate) replies_dropped: Arc<AtomicU64>,
+    /// High-water mark of bytes queued toward any single connection.
+    pub(crate) outbuf_hwm: Arc<AtomicU64>,
 }
 
 /// Aggregates the edge's counters and every shard's counters into one
@@ -361,7 +406,7 @@ pub(crate) fn aggregate_snapshot(
     model: &str,
     kind: &str,
     edge: &EdgeCounters,
-    shards: &[std::sync::Arc<ShardStats>],
+    shards: &[Arc<ShardStats>],
     models: Vec<ModelSnapshot>,
 ) -> StatsSnapshot {
     let sum = |f: &dyn Fn(&ShardStats) -> &AtomicU64| -> u64 {
@@ -369,32 +414,44 @@ pub(crate) fn aggregate_snapshot(
     };
     let waves = sum(&|s| &s.waves);
     let occupancy_sum = sum(&|s| &s.occupancy_sum);
-    let mut window: Vec<u64> = Vec::new();
+    let mut hist = HistogramSnapshot::empty();
     for shard in shards {
-        window.extend_from_slice(&shard.window.lock().expect("window lock").wave_ns);
+        hist.merge(&shard.wave_ns.snapshot());
     }
-    window.sort_unstable();
+    // Acquire pairs with the shards' Release decrements/stores: a settled
+    // observation implies every counter those events touched is visible.
+    let settled = shards.iter().all(|s| {
+        s.inflight.load(Ordering::Acquire) == 0 && s.queued_steps.load(Ordering::Acquire) == 0
+    });
+    let seq = shards.iter().map(|s| s.ticks.load(Ordering::Acquire)).sum();
     StatsSnapshot {
         model: model.to_string(),
         kind: kind.to_string(),
         shards: shards.len() as u64,
-        connections_total: edge.connections_total,
-        connections_open: edge.connections_open,
+        connections_total: edge.connections_total.load(Ordering::Relaxed),
+        connections_open: edge.connections_open.load(Ordering::Relaxed),
+        connections_closed: edge.connections_closed.load(Ordering::Relaxed),
+        connections_errored: edge.connections_errored.load(Ordering::Relaxed),
+        connections_drained: edge.connections_drained.load(Ordering::Relaxed),
         streams_open: sum(&|s| &s.streams_open),
         streams_opened: sum(&|s| &s.streams_opened),
         streams_evicted: sum(&|s| &s.streams_evicted),
         timesteps_in: sum(&|s| &s.timesteps_in),
         emissions_out: sum(&|s| &s.emissions_out),
-        frames_rejected: edge.frames_rejected + sum(&|s| &s.frames_rejected),
+        frames_rejected: edge.frames_rejected.load(Ordering::Relaxed)
+            + sum(&|s| &s.frames_rejected),
         replies_dropped: edge.replies_dropped.load(Ordering::Relaxed),
+        outbuf_hwm_bytes: edge.outbuf_hwm.load(Ordering::Relaxed),
         waves,
         wave_occupancy: if waves == 0 {
             0.0
         } else {
             occupancy_sum as f64 / waves as f64
         },
-        wave_p50_ns: percentile(&window, 0.50),
-        wave_p99_ns: percentile(&window, 0.99),
+        wave_p50_ns: hist.percentile(0.50),
+        wave_p99_ns: hist.percentile(0.99),
+        seq,
+        settled,
         models,
     }
 }
@@ -402,18 +459,17 @@ pub(crate) fn aggregate_snapshot(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use std::time::Duration;
 
     #[test]
     fn snapshot_aggregates_shards_and_roundtrips_through_json() {
-        let edge = EdgeCounters {
-            connections_total: 3,
-            connections_open: 2,
-            frames_rejected: 1,
-            ..EdgeCounters::default()
-        };
+        let edge = EdgeCounters::default();
+        edge.connections_total.store(3, Ordering::Relaxed);
+        edge.connections_open.store(2, Ordering::Relaxed);
+        edge.connections_closed.store(1, Ordering::Relaxed);
+        edge.frames_rejected.store(1, Ordering::Relaxed);
         edge.replies_dropped.store(7, Ordering::Relaxed);
+        edge.outbuf_hwm.store(12_345, Ordering::Relaxed);
         let shards: Vec<Arc<ShardStats>> =
             (0..2).map(|_| Arc::new(ShardStats::default())).collect();
         for (i, shard) in shards.iter().enumerate() {
@@ -422,35 +478,62 @@ mod tests {
             shard.timesteps_in.store(500, Ordering::Relaxed);
             shard.emissions_out.store(60 + i as u64, Ordering::Relaxed);
             shard.frames_rejected.store(1, Ordering::Relaxed);
+            shard.ticks.store(10, Ordering::Relaxed);
             for j in 0..50u64 {
                 shard.record_wave(4, Duration::from_nanos(1000 + j));
             }
         }
         let model_stats = ModelStats::default();
+        model_stats.streams_open.store(4, Ordering::Relaxed);
         model_stats.streams_opened.store(5, Ordering::Relaxed);
         model_stats.timesteps_in.store(400, Ordering::Relaxed);
         model_stats.emissions_out.store(40, Ordering::Relaxed);
         model_stats.record_wave(3, Duration::from_nanos(2000));
-        let breakdown = vec![model_stats.snapshot("TEMPONet-plan", "f32", 4)];
+        let breakdown = vec![model_stats.snapshot("TEMPONet-plan", "f32")];
         let snap = aggregate_snapshot("TEMPONet-plan", "f32", &edge, &shards, breakdown);
         assert_eq!(snap.shards, 2);
         assert_eq!(snap.models.len(), 1);
         assert_eq!(snap.models[0].streams_open, 4);
         assert_eq!(snap.models[0].timesteps_in, 400);
         assert_eq!(snap.models[0].waves, 1);
-        assert_eq!(snap.models[0].wave_p50_ns, 2000);
+        // Histogram percentiles report the containing bucket's upper
+        // bound: exact count, value within a quarter above the sample.
+        assert!(
+            (2000..=2500).contains(&snap.models[0].wave_p50_ns),
+            "p50={}",
+            snap.models[0].wave_p50_ns
+        );
         assert_eq!(snap.streams_open, 4);
         assert_eq!(snap.streams_opened, 10);
         assert_eq!(snap.timesteps_in, 1000);
         assert_eq!(snap.emissions_out, 121);
         assert_eq!(snap.frames_rejected, 3, "edge + shard rejections");
         assert_eq!(snap.replies_dropped, 7);
+        assert_eq!(snap.connections_closed, 1);
+        assert_eq!(snap.outbuf_hwm_bytes, 12_345);
         assert_eq!(snap.waves, 100);
+        assert_eq!(snap.seq, 20);
+        assert!(snap.settled, "no in-flight events were registered");
         assert!((snap.wave_occupancy - 4.0).abs() < 1e-9);
         assert!(snap.wave_p50_ns >= 1000 && snap.wave_p99_ns >= snap.wave_p50_ns);
         let text = snap.to_json().render();
         let back = StatsSnapshot::from_json_str(&text).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn inflight_events_or_queued_steps_unsettle_the_snapshot() {
+        let shards: Vec<Arc<ShardStats>> =
+            (0..2).map(|_| Arc::new(ShardStats::default())).collect();
+        let snap = aggregate_snapshot("m", "f32", &EdgeCounters::default(), &shards, vec![]);
+        assert!(snap.settled);
+        shards[1].inflight.store(1, Ordering::Relaxed);
+        let snap = aggregate_snapshot("m", "f32", &EdgeCounters::default(), &shards, vec![]);
+        assert!(!snap.settled, "a routed event keeps the snapshot unsettled");
+        shards[1].inflight.store(0, Ordering::Relaxed);
+        shards[0].queued_steps.store(8, Ordering::Relaxed);
+        let snap = aggregate_snapshot("m", "f32", &EdgeCounters::default(), &shards, vec![]);
+        assert!(!snap.settled, "queued timesteps owe a wave");
     }
 
     #[test]
@@ -492,13 +575,30 @@ mod tests {
     }
 
     #[test]
-    fn latency_window_rolls_over() {
+    fn pre_v4_documents_parse_with_settled_defaults() {
+        // A v3-shaped document: no lifecycle counters, no seq/settled.
+        let text = r#"{
+            "schema": "pit-serve-stats/3", "model": "m", "kind": "f32",
+            "shards": 2, "connections_total": 1, "connections_open": 1,
+            "streams_open": 0, "streams_opened": 3, "streams_evicted": 0,
+            "timesteps_in": 10, "emissions_out": 10, "frames_rejected": 0,
+            "replies_dropped": 0, "waves": 2, "wave_occupancy": 1.5,
+            "wave_p50_ns": 100, "wave_p99_ns": 200, "models": []
+        }"#;
+        let snap = StatsSnapshot::from_json_str(text).unwrap();
+        assert_eq!(snap.connections_closed, 0);
+        assert_eq!(snap.outbuf_hwm_bytes, 0);
+        assert_eq!(snap.seq, 0);
+        assert!(snap.settled, "pre-v4 documents read as settled");
+    }
+
+    #[test]
+    fn latency_percentiles_span_the_whole_run() {
         let stats = ShardStats::default();
-        for _ in 0..LATENCY_WINDOW {
+        for _ in 0..1000 {
             stats.record_wave(1, Duration::from_nanos(10));
         }
-        // A second full window of slower waves displaces the fast ones.
-        for _ in 0..LATENCY_WINDOW {
+        for _ in 0..1000 {
             stats.record_wave(1, Duration::from_nanos(1_000_000));
         }
         let snap = aggregate_snapshot(
@@ -508,6 +608,15 @@ mod tests {
             &[Arc::new(stats)],
             vec![],
         );
-        assert_eq!(snap.wave_p50_ns, 1_000_000);
+        // Half fast, half slow: the rank convention puts the p50 on the
+        // first slow observation, and unlike the old rolling window the
+        // histogram never forgets the early fast waves (p0 stays fast).
+        assert!(
+            (1_000_000..=1_250_000).contains(&snap.wave_p50_ns),
+            "p50={}",
+            snap.wave_p50_ns
+        );
+        assert!(snap.wave_p99_ns >= 1_000_000, "p99={}", snap.wave_p99_ns);
+        assert_eq!(snap.waves, 2000);
     }
 }

@@ -82,6 +82,24 @@ fn oversized_length_prefix_is_rejected_without_unbounded_allocation() {
 }
 
 #[test]
+fn malformed_trace_body_is_a_bad_frame_not_a_panic() {
+    let (addr, handle) = spawn_server();
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        // TRACE promises a u32 stream id; deliver only two bytes of it.
+        raw.write_all(&3u32.to_le_bytes()).unwrap();
+        raw.write_all(&[0x09, 0x01, 0x02]).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // A well-formed TRACE on a fresh connection still answers.
+    let mut client = Client::connect(addr).expect("connect");
+    let events = client.trace(0).expect("trace");
+    assert!(events.is_empty(), "fresh connection has no stream events");
+    assert_alive(addr);
+    handle.shutdown();
+}
+
+#[test]
 fn unknown_opcode_gets_an_error_and_the_connection_survives() {
     let (addr, handle) = spawn_server();
     let mut client = Client::connect(addr).expect("connect");

@@ -14,7 +14,8 @@
 //!    and verify the f32 engine serves within 1e-5 of a solo `Session`;
 //! 5. batch several streams into single protocol-v2 PUSH_N frames through
 //!    a `ClientBuilder` client and demux the coalesced EMIT_N replies;
-//! 6. read the STATS counters (aggregated across the wave-batcher shards)
+//! 6. read the STATS counters (aggregated across the wave-batcher shards),
+//!    scrape the HTTP telemetry sidecar (`/healthz`, Prometheus `/metrics`)
 //!    and drain gracefully.
 //!
 //! Run with: `cargo run --release --example serving_daemon`
@@ -30,6 +31,27 @@ use std::time::{Duration, Instant};
 const C: usize = 4;
 const STREAMS: usize = 16;
 const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One blocking HTTP GET against the telemetry sidecar; returns the body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("sidecar reachable");
+    stream.set_read_timeout(Some(RECV_TIMEOUT)).unwrap();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: example\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("request sent");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("response read");
+    let text = String::from_utf8(response).expect("UTF-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header terminator");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "sidecar answered 200: {head}"
+    );
+    body.to_string()
+}
 
 fn main() {
     // 1. A searched TEMPONet (random weights stand in for a trained model;
@@ -65,13 +87,16 @@ fn main() {
         &i8_path,
         ServerConfig {
             shards: 4,
+            metrics_addr: Some("127.0.0.1:0".into()),
             ..ServerConfig::default()
         },
     )
     .expect("daemon boots from the artifact");
     let addr = server.local_addr();
+    let metrics_addr = server.metrics_addr().expect("sidecar bound");
     let handle = server.spawn();
     println!("daemon                : listening on {addr} (kind i8, 4 shards, booted from file)");
+    println!("telemetry             : sidecar on http://{metrics_addr}");
 
     // 3. Sixteen concurrent client connections, ragged lengths (24..=84
     //    steps), staggered connects, bursty pushes — every emission must be
@@ -271,6 +296,20 @@ fn main() {
          wave p50 {} ns / p99 {} ns",
         snap.waves, snap.shards, snap.wave_occupancy, snap.wave_p50_ns, snap.wave_p99_ns
     );
+    // The HTTP sidecar sees the same atomics: /healthz says serving, and
+    // the Prometheus exposition carries the totals the STATS frame reported.
+    let healthz = http_get(metrics_addr, "/healthz");
+    assert!(healthz.contains("\"serving\""), "healthz: {healthz}");
+    let metrics = http_get(metrics_addr, "/metrics");
+    let waves_line = metrics
+        .lines()
+        .find(|l| l.starts_with("pit_serve_waves_total "))
+        .expect("waves family exported");
+    println!(
+        "telemetry             : healthz serving, scrape {} bytes, {waves_line}",
+        metrics.len()
+    );
+
     let stats = handle.shutdown();
     println!("drained               : {stats}");
     assert_eq!(stats.streams_open, 0, "drain closes every stream");
