@@ -6,6 +6,7 @@
 //!           [--addr 127.0.0.1:7878] [--max-streams N]
 //!           [--tick-us N] [--idle-ms N] [--max-pending N] [--shards N]
 //!           [--metrics-addr HOST:PORT] [--drain-grace-ms N]
+//!           [--read-progress-ms N]
 //! ```
 //!
 //! Boots a serving daemon from a single `pit-arch/2` model artifact (f32 or
@@ -30,6 +31,7 @@ fn usage() -> ExitCode {
          \u{20}               [--addr HOST:PORT] [--max-streams N]\n\
          \u{20}               [--tick-us N] [--idle-ms N] [--max-pending N] [--shards N]\n\
          \u{20}               [--metrics-addr HOST:PORT] [--drain-grace-ms N]\n\
+         \u{20}               [--read-progress-ms N]\n\
          \n\
          \u{20} --artifact      pit-arch/2 model artifact to serve\n\
          \u{20} --zoo           pit-zoo/1 manifest — serve the whole library\n\
@@ -45,7 +47,10 @@ fn usage() -> ExitCode {
          \u{20} --metrics-addr  bind the HTTP telemetry sidecar here (GET /metrics,\n\
          \u{20}                 /stats, /healthz, /trace; default: disabled)\n\
          \u{20} --drain-grace-ms keep serving reads this long after a shutdown is\n\
-         \u{20}                 requested, refusing new streams (default 0)"
+         \u{20}                 requested, refusing new streams (default 0)\n\
+         \u{20} --read-progress-ms drop connections whose partial frame stalls this\n\
+         \u{20}                 long, or that hold no streams and complete no frame\n\
+         \u{20}                 within it; 0 = never (default 30000)"
     );
     ExitCode::from(2)
 }
@@ -116,6 +121,13 @@ fn main() -> ExitCode {
                 Some(v) => config.drain_grace = Duration::from_millis(v),
                 None => return usage(),
             },
+            "--read-progress-ms" => {
+                match value("--read-progress-ms").and_then(|v| v.parse::<u64>().ok()) {
+                    Some(0) => config.read_progress_timeout = None,
+                    Some(v) => config.read_progress_timeout = Some(Duration::from_millis(v)),
+                    None => return usage(),
+                }
+            }
             _ => return usage(),
         }
     }

@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 use std::io::{self, IoSlice, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// The raw syscall surface. The workspace denies `unsafe_code`; this
 /// submodule is the serve crate's one audited exception (precedent: the
@@ -231,11 +231,22 @@ impl OutBuf {
         }
     }
 
+    /// Locks the queue, shrugging off poisoning. A panic on a thread
+    /// holding this lock (a shard dying mid-append) must cost that one
+    /// connection at worst — `.expect()` here used to cascade the poison
+    /// into the edge loop and kill every connection on the daemon. The
+    /// invariants (`queued_bytes` matches `frames`, `offset` within the
+    /// front frame) hold at every await-free step, so the state behind a
+    /// poisoned mutex is still consistent.
+    fn lock(&self) -> MutexGuard<'_, OutBufInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Queues one encoded frame; drops it (and counts the drop) when the
     /// connection is already [`OUTBUF_CAP_BYTES`] behind. Returns whether
     /// the frame was queued.
     pub(crate) fn push(&self, frame: Vec<u8>) -> bool {
-        let mut inner = self.inner.lock().expect("outbuf lock");
+        let mut inner = self.lock();
         if inner.queued_bytes + frame.len() > OUTBUF_CAP_BYTES {
             drop(inner);
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -251,7 +262,7 @@ impl OutBuf {
 
     /// Whether any bytes remain to be written.
     pub(crate) fn has_pending(&self) -> bool {
-        !self.inner.lock().expect("outbuf lock").frames.is_empty()
+        !self.lock().frames.is_empty()
     }
 
     /// Drains as much as the socket will take with vectored writes.
@@ -268,7 +279,7 @@ impl OutBuf {
             // Snapshot up to MAX_IOVECS frames without holding the lock
             // across the syscall.
             let (bufs, offset): (Vec<Vec<u8>>, usize) = {
-                let inner = self.inner.lock().expect("outbuf lock");
+                let inner = self.lock();
                 if inner.frames.is_empty() {
                     return Ok(false);
                 }
@@ -289,7 +300,7 @@ impl OutBuf {
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             };
-            let mut inner = self.inner.lock().expect("outbuf lock");
+            let mut inner = self.lock();
             inner.queued_bytes -= written;
             let mut remaining = written;
             while remaining > 0 {
@@ -363,5 +374,42 @@ mod tests {
         let mut reader = client;
         reader.read_exact(&mut got).unwrap();
         assert_eq!(got, [1, 2, 3, 4, 5]);
+    }
+
+    /// Regression: a panic while holding the outbuf mutex used to poison
+    /// it, and the `.expect("outbuf lock")` calls then propagated that one
+    /// thread's death into the edge loop — one bad shard killed every
+    /// connection. The queue must stay fully usable after poisoning.
+    #[test]
+    fn outbuf_survives_mutex_poisoning() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let out = Arc::new(OutBuf::new(
+            Arc::new(AtomicU64::new(0)),
+            Arc::new(AtomicU64::new(0)),
+        ));
+        assert!(out.push(vec![9, 9]));
+        // Poison the mutex: panic on another thread while holding it.
+        let poisoner = Arc::clone(&out);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("poison the outbuf lock");
+        })
+        .join();
+        assert!(out.inner.lock().is_err(), "mutex should be poisoned");
+
+        // Every entry point still works over the poisoned lock.
+        assert!(out.has_pending());
+        assert!(out.push(vec![7]));
+        while out.write_to(&mut &server).unwrap() {}
+        assert!(!out.has_pending());
+        let mut got = [0u8; 3];
+        let mut reader = client;
+        reader.read_exact(&mut got).unwrap();
+        assert_eq!(got, [9, 9, 7]);
     }
 }

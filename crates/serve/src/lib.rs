@@ -60,6 +60,8 @@
 //! println!("served {} timesteps", stats.timesteps_in);
 //! ```
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod client;
 pub(crate) mod edge;
 pub(crate) mod http;

@@ -28,6 +28,8 @@
 //! timesteps into final emissions, every stream gets a CLOSED frame, and
 //! the aggregated [`crate::StatsSnapshot`] is returned.
 
+#[cfg(feature = "chaos")]
+use crate::chaos::{FaultInjector, IoFault};
 use crate::edge::{
     poll_fds, pollfd, OutBuf, PollFd, WakePipe, Waker, POLLERR, POLLHUP, POLLIN, POLLOUT,
 };
@@ -87,6 +89,21 @@ pub struct ServerConfig {
     /// balancers scraping `/healthz` time to observe the draining state
     /// and route traffic away.
     pub drain_grace: Duration,
+    /// Read-progress deadline at the edge: a connection is dropped when a
+    /// partial frame sits unfinished this long (a slow-loris drip never
+    /// completing a frame does not count as progress), or when it holds no
+    /// streams and completes no frame for this long. Guards the resources
+    /// [`ServerConfig::idle_timeout`] cannot reach — idle eviction frees
+    /// *streams*, but a frameless connection pins a socket, an outbuf and
+    /// an edge slot forever without ever opening one. `None` disables the
+    /// deadline; defaults to 30 s.
+    pub read_progress_timeout: Option<Duration>,
+    /// Deterministic fault injection (chaos testing): forced
+    /// `WouldBlock`/`Interrupted` edge reads, skipped flushes, delayed
+    /// shard wakeups, wave-flush stalls, delayed eviction notes. `None`
+    /// (the default) injects nothing; see [`crate::chaos::FaultPlan`].
+    #[cfg(feature = "chaos")]
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +121,9 @@ impl Default for ServerConfig {
             max_models: 32,
             metrics_addr: None,
             drain_grace: Duration::ZERO,
+            read_progress_timeout: Some(Duration::from_secs(30)),
+            #[cfg(feature = "chaos")]
+            faults: None,
         }
     }
 }
@@ -199,6 +219,18 @@ fn shard_of(conn: ConnId, stream_id: u32, shards: usize) -> usize {
     (x % shards as u64) as usize
 }
 
+/// One open stream in the edge's table: its registry model plus the
+/// generation stamped at OPEN. The generation disambiguates stream-id
+/// reincarnation: a shard's eviction note names the generation it evicted,
+/// so a note that arrives after the client already CLOSEd *and re-OPENed*
+/// the same id cannot release the new stream's budget slot (the
+/// double-decrement race this replaced — see [`Edge::handle_note`]).
+#[derive(Clone, Copy)]
+struct OpenStream {
+    model: usize,
+    gen: u64,
+}
+
 /// Edge-side per-connection state. The socket lives here (and only here);
 /// shards reach the connection exclusively through the shared `out`
 /// buffer and the counters.
@@ -209,12 +241,20 @@ struct EdgeConn {
     pending: Arc<AtomicUsize>,
     v2: Arc<AtomicBool>,
     /// Client stream ids opened (and not yet closed) on this connection,
-    /// each mapped to its registry model index — the edge's authoritative
-    /// view for duplicate/capacity checks and per-stream channel checks.
-    streams: HashMap<u32, usize>,
+    /// each mapped to its registry model index and open generation — the
+    /// edge's authoritative view for duplicate/capacity checks, per-stream
+    /// channel checks and budget accounting.
+    streams: HashMap<u32, OpenStream>,
     /// Set when the last vectored write left bytes queued: poll for
     /// `POLLOUT` instead of busy-retrying.
     want_write: bool,
+    /// When the last complete frame arrived (accept time until then).
+    last_frame: Instant,
+    /// Set while the assembler holds a partial frame: when the *current*
+    /// partial started waiting for completion. Byte drips do not refresh
+    /// it — only finishing a frame does, so a slow-loris drip cannot
+    /// dodge the read-progress deadline by trickling one byte per tick.
+    partial_since: Option<Instant>,
 }
 
 /// How long the post-drain flush keeps trying to hand final emissions and
@@ -237,10 +277,13 @@ struct Edge {
     /// the same `Arc` the shards and the HTTP sidecar hold.
     telemetry: Arc<Telemetry>,
     /// Server-wide open-stream budget (edge-authoritative: incremented on
-    /// OPEN, decremented on CLOSE, disconnect, and shard eviction notes).
+    /// OPEN, decremented — only ever through [`Edge::release_stream`] — on
+    /// CLOSE, disconnect, and shard eviction notes).
     total_open: usize,
     draining: bool,
     next_conn: ConnId,
+    /// Generation stamped on each OPEN (see [`OpenStream::gen`]).
+    next_gen: u64,
     read_buf: Vec<u8>,
     dead: Vec<ConnId>,
 }
@@ -340,6 +383,8 @@ impl Edge {
                     v2,
                     streams: HashMap::new(),
                     want_write: false,
+                    last_frame: Instant::now(),
+                    partial_since: None,
                 },
             );
         }
@@ -347,12 +392,24 @@ impl Edge {
 
     /// Reads everything currently available on `conn`, decoding and
     /// dispatching complete frames. Marks the connection dead on EOF,
-    /// transport errors, or unrecoverable framing.
+    /// transport errors, or unrecoverable framing. Tracks read progress
+    /// (frames completed, partials outstanding) for the
+    /// [`ServerConfig::read_progress_timeout`] reaper.
     fn read_conn(&mut self, conn: ConnId) {
+        let mut frames_done = false;
         loop {
             let Some(state) = self.conns.get_mut(&conn) else {
                 return;
             };
+            #[cfg(feature = "chaos")]
+            if let Some(fault) = self.config.faults.as_ref().and_then(|f| f.pre_read()) {
+                match fault {
+                    // Level-triggered poll re-signals the unread bytes on
+                    // the next iteration, exactly like a real EAGAIN.
+                    IoFault::WouldBlock => break,
+                    IoFault::Interrupted => continue,
+                }
+            }
             use std::io::Read;
             let n = match (&state.stream).read(&mut self.read_buf) {
                 Ok(0) => {
@@ -373,16 +430,19 @@ impl Edge {
                     return;
                 };
                 match state.assembler.next_frame() {
-                    Ok(Some(body)) => match decode_client(&body) {
-                        Ok(frame) => self.dispatch(conn, frame),
-                        Err(e) => {
-                            let code = match e {
-                                FrameError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
-                                _ => ErrorCode::BadFrame,
-                            };
-                            self.send_error(conn, code, e.to_string());
+                    Ok(Some(body)) => {
+                        frames_done = true;
+                        match decode_client(&body) {
+                            Ok(frame) => self.dispatch(conn, frame),
+                            Err(e) => {
+                                let code = match e {
+                                    FrameError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+                                    _ => ErrorCode::BadFrame,
+                                };
+                                self.send_error(conn, code, e.to_string());
+                            }
                         }
-                    },
+                    }
                     Ok(None) => break,
                     Err(e) => {
                         // Framing can no longer be trusted (oversized
@@ -393,6 +453,23 @@ impl Edge {
                     }
                 }
             }
+        }
+        let now = Instant::now();
+        if let Some(state) = self.conns.get_mut(&conn) {
+            if frames_done {
+                state.last_frame = now;
+            }
+            let buffered = state.assembler.buffered_bytes() > 0;
+            state.partial_since = match (buffered, frames_done, state.partial_since) {
+                // Clean frame boundary: nothing is waiting.
+                (false, ..) => None,
+                // A fresh partial behind completed frames starts its own
+                // clock now.
+                (true, true, _) => Some(now),
+                // The same partial is still incomplete: keep its original
+                // start so byte drips never refresh the deadline.
+                (true, false, since) => since.or(Some(now)),
+            };
         }
     }
 
@@ -421,7 +498,7 @@ impl Edge {
                 let Some(state) = self.conns.get_mut(&conn) else {
                     return;
                 };
-                let Some(model) = state.streams.remove(&stream_id) else {
+                let Some(open) = state.streams.remove(&stream_id) else {
                     self.send_error(
                         conn,
                         ErrorCode::UnknownStream,
@@ -429,11 +506,7 @@ impl Edge {
                     );
                     return;
                 };
-                self.total_open -= 1;
-                self.models[model]
-                    .stats
-                    .streams_open
-                    .fetch_sub(1, Ordering::Relaxed);
+                self.release_stream(open.model);
                 self.route(
                     self.shard_index(conn, stream_id),
                     ShardEvent::Close { conn, stream_id },
@@ -512,7 +585,9 @@ impl Edge {
             );
             return;
         }
-        state.streams.insert(stream_id, model);
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        state.streams.insert(stream_id, OpenStream { model, gen });
         self.total_open += 1;
         self.models[model]
             .stats
@@ -526,6 +601,7 @@ impl Edge {
                 conn,
                 stream_id,
                 model,
+                gen,
             },
         );
     }
@@ -553,10 +629,10 @@ impl Edge {
                     unknown = Some(*sid);
                     break;
                 }
-                Some(&model) => {
-                    let c_in = self.models[model].engine.input_channels();
+                Some(open) => {
+                    let c_in = self.models[open.model].engine.input_channels();
                     if channels as usize != c_in {
-                        mismatch = Some((*sid, model, c_in));
+                        mismatch = Some((*sid, open.model, c_in));
                         break;
                     }
                 }
@@ -731,6 +807,25 @@ impl Edge {
         .render()
     }
 
+    /// The single decrement path of the open-stream budget: releases one
+    /// slot of `total_open` and the model's gauge. Every closer (CLOSE,
+    /// disconnect, eviction note) funnels through here, and the caller
+    /// must have just removed the stream's table entry — holding the
+    /// removal and the decrement together is what makes a double
+    /// decrement structurally impossible.
+    fn release_stream(&mut self, model: usize) {
+        debug_assert!(self.total_open > 0, "stream budget release underflow");
+        self.total_open = self.total_open.saturating_sub(1);
+        let gauge = &self.models[model].stats.streams_open;
+        debug_assert!(
+            gauge.load(Ordering::Relaxed) > 0,
+            "model {model} streams_open underflow"
+        );
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+
     /// Removes a connection: releases its stream budget and tells every
     /// shard to close its streams. The socket closes when the state drops.
     /// `clean` distinguishes a client EOF from a transport/framing failure
@@ -749,12 +844,8 @@ impl Edge {
             &self.telemetry.edge.connections_errored
         };
         ended.fetch_add(1, Ordering::Relaxed);
-        self.total_open -= state.streams.len();
-        for (_, model) in state.streams {
-            self.models[model]
-                .stats
-                .streams_open
-                .fetch_sub(1, Ordering::Relaxed);
+        for (_, open) in state.streams {
+            self.release_stream(open.model);
         }
         self.broadcast(|| ShardEvent::Disconnected { conn });
         self.dead.push(conn);
@@ -762,19 +853,63 @@ impl Edge {
 
     fn handle_note(&mut self, note: ShardNote) {
         match note {
-            ShardNote::StreamClosed { conn, stream_id } => {
-                // Ignore notes for streams the edge already released (a
-                // CLOSE or disconnect raced the eviction).
-                if let Some(state) = self.conns.get_mut(&conn) {
-                    if let Some(model) = state.streams.remove(&stream_id) {
-                        self.total_open -= 1;
-                        self.models[model]
-                            .stats
-                            .streams_open
-                            .fetch_sub(1, Ordering::Relaxed);
+            ShardNote::StreamClosed {
+                conn,
+                stream_id,
+                gen,
+            } => {
+                // Only release the generation the shard actually evicted.
+                // Matching on the id alone double-decremented when a CLOSE
+                // raced the eviction *and* the client re-OPENed the same
+                // id before this note arrived: the note then released the
+                // new stream's slot and orphaned its table entry.
+                let released = self.conns.get_mut(&conn).and_then(|state| {
+                    match state.streams.get(&stream_id) {
+                        Some(open) if open.gen == gen => {
+                            state.streams.remove(&stream_id).map(|open| open.model)
+                        }
+                        // Already released (CLOSE/disconnect won the race)
+                        // or a different generation lives under this id.
+                        _ => None,
                     }
+                });
+                if let Some(model) = released {
+                    self.release_stream(model);
                 }
             }
+        }
+    }
+
+    /// Enforces [`ServerConfig::read_progress_timeout`]: kills connections
+    /// whose partial frame has not completed within the deadline (the
+    /// slow-loris shape: a header then a stall, or a one-byte drip that
+    /// never finishes a frame) and streamless connections that completed
+    /// no frame within it. Connections with open streams and clean frame
+    /// boundaries are the idle-eviction path's business, not ours.
+    fn expire_stalled(&mut self) {
+        let Some(timeout) = self.config.read_progress_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        let stalled: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|&(_, state)| {
+                let partial_stalled = state
+                    .partial_since
+                    .is_some_and(|since| now.duration_since(since) >= timeout);
+                let frameless_idle =
+                    state.streams.is_empty() && now.duration_since(state.last_frame) >= timeout;
+                partial_stalled || frameless_idle
+            })
+            .map(|(&conn, _)| conn)
+            .collect();
+        for conn in stalled {
+            self.telemetry
+                .edge
+                .connections_expired
+                .fetch_add(1, Ordering::Relaxed);
+            self.drop_conn(conn, false);
         }
     }
 
@@ -787,6 +922,18 @@ impl Edge {
                 continue;
             };
             if !state.want_write && !state.out.has_pending() {
+                continue;
+            }
+            #[cfg(feature = "chaos")]
+            if self
+                .config
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.pre_write_skip())
+            {
+                // Pretend the socket is full: keep POLLOUT interest so the
+                // next poll iteration retries, exactly like a real stall.
+                state.want_write = true;
                 continue;
             }
             match state.out.write_to(&mut &state.stream) {
@@ -1042,6 +1189,8 @@ impl Server {
                 note_tx.clone(),
                 self.waker.clone(),
             );
+            #[cfg(feature = "chaos")]
+            let shard = shard.with_faults(self.config.faults.clone());
             shard_txs.push(tx);
             shard_stats.push(stats);
             shard_threads.push(std::thread::spawn(move || shard.run(rx)));
@@ -1087,6 +1236,7 @@ impl Server {
             total_open: 0,
             draining: false,
             next_conn: 0,
+            next_gen: 0,
             read_buf: vec![0u8; 64 * 1024],
             dead: Vec::new(),
         };
@@ -1097,6 +1247,12 @@ impl Server {
         // When set, a graceful drain is underway: keep reading and
         // flushing (OPENs are already refused) until the grace deadline.
         let mut drain_deadline: Option<Instant> = None;
+        // Shard notes held back by the chaos `note_delay` fault, due-time
+        // ordered (the channel delivers in send order and the delay is
+        // constant, so pushing back keeps the front oldest).
+        #[cfg(feature = "chaos")]
+        let mut delayed_notes: std::collections::VecDeque<(Instant, ShardNote)> =
+            std::collections::VecDeque::new();
         loop {
             fds.clear();
             ids.clear();
@@ -1117,7 +1273,26 @@ impl Server {
                 .edge_poll_ns
                 .record(dispatch_start.duration_since(poll_start).as_nanos() as u64);
             self.wake_pipe.drain();
+            #[cfg(feature = "chaos")]
+            let note_delay = edge
+                .config
+                .faults
+                .as_ref()
+                .and_then(|f| f.plan().note_delay);
             while let Ok(note) = note_rx.try_recv() {
+                #[cfg(feature = "chaos")]
+                if let Some(delay) = note_delay {
+                    delayed_notes.push_back((Instant::now() + delay, note));
+                    continue;
+                }
+                edge.handle_note(note);
+            }
+            #[cfg(feature = "chaos")]
+            while delayed_notes
+                .front()
+                .is_some_and(|&(due, _)| Instant::now() >= due)
+            {
+                let (_, note) = delayed_notes.pop_front().expect("front checked");
                 edge.handle_note(note);
             }
             if self.shutdown.load(Ordering::SeqCst) && drain_deadline.is_none() {
@@ -1141,6 +1316,7 @@ impl Server {
                     edge.read_conn(conn);
                 }
             }
+            edge.expire_stalled();
             edge.flush_writes();
             edge.dead.clear();
             telemetry
@@ -1148,9 +1324,15 @@ impl Server {
                 .record(dispatch_start.elapsed().as_nanos() as u64);
         }
 
-        // Graceful drain. 1) Sweep bytes clients already got onto the wire
-        // so queued PUSHes become final emissions (new OPENs and swaps are
-        // refused from here).
+        // Graceful drain. 0) Apply notes the chaos delay was still holding
+        // so the final accounting matches what the shards reported.
+        #[cfg(feature = "chaos")]
+        for (_, note) in delayed_notes {
+            edge.handle_note(note);
+        }
+        // 1) Sweep bytes clients already got onto the wire so queued
+        // PUSHes become final emissions (new OPENs and swaps are refused
+        // from here).
         edge.draining = true;
         telemetry.set_state(ServeState::Draining);
         let ids: Vec<ConnId> = edge.conns.keys().copied().collect();

@@ -23,6 +23,8 @@
 //! [`ModelStats`] blocks shared by every shard, and a note channel back to
 //! the edge so idle evictions release the server-wide stream budget.
 
+#[cfg(feature = "chaos")]
+use crate::chaos::FaultInjector;
 use crate::edge::{OutBuf, Waker};
 use crate::protocol::{encode_server, CloseReason, ErrorCode, ServerFrame, MAX_FRAME_BODY};
 use crate::server::{ConnId, ServeEngine};
@@ -48,11 +50,14 @@ pub(crate) enum ShardEvent {
     /// The connection is gone (broadcast): close its streams on this shard.
     Disconnected { conn: ConnId },
     /// OPEN, pre-validated by the edge (duplicate + capacity checks, and
-    /// `model` resolved against the registry).
+    /// `model` resolved against the registry). `gen` is the edge's open
+    /// generation, echoed back in eviction notes so the edge can tell an
+    /// eviction of *this* incarnation of the stream id from a later one.
     Open {
         conn: ConnId,
         stream_id: u32,
         model: usize,
+        gen: u64,
     },
     /// CLOSE, pre-validated by the edge (the stream was open there).
     Close { conn: ConnId, stream_id: u32 },
@@ -84,8 +89,14 @@ const CLOSE_DISCONNECTED: u64 = 3;
 /// What a shard reports back to the edge (processed on each wakeup).
 pub(crate) enum ShardNote {
     /// A stream ended shard-side (idle eviction): the edge must release
-    /// its slot in the server-wide stream budget.
-    StreamClosed { conn: ConnId, stream_id: u32 },
+    /// its slot in the server-wide stream budget. `gen` names the open
+    /// generation that was evicted — the edge ignores the note when the
+    /// id has since been closed and reopened under a newer generation.
+    StreamClosed {
+        conn: ConnId,
+        stream_id: u32,
+        gen: u64,
+    },
 }
 
 struct ShardConn {
@@ -106,6 +117,8 @@ struct ShardConn {
 struct StreamInfo {
     conn: ConnId,
     client_id: u32,
+    /// The edge's open generation, echoed in eviction notes.
+    gen: u64,
     last_activity: Instant,
 }
 
@@ -128,6 +141,10 @@ pub(crate) struct Shard {
     /// Set when this iteration queued reply bytes: ring the edge once per
     /// iteration, not once per frame.
     wrote: bool,
+    /// Chaos fault seam (wakeup delays, wave stalls); `None` injects
+    /// nothing.
+    #[cfg(feature = "chaos")]
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Shard {
@@ -154,7 +171,17 @@ impl Shard {
             notes,
             waker,
             wrote: false,
+            #[cfg(feature = "chaos")]
+            faults: None,
         }
+    }
+
+    /// Installs the chaos fault seam (builder-style, used by the server
+    /// when [`crate::ServerConfig::faults`] is set).
+    #[cfg(feature = "chaos")]
+    pub(crate) fn with_faults(mut self, faults: Option<Arc<FaultInjector>>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Records one per-stream event in the global trace ring.
@@ -233,7 +260,8 @@ impl Shard {
                 conn,
                 stream_id,
                 model,
-            } => self.handle_open(conn, stream_id, model),
+                gen,
+            } => self.handle_open(conn, stream_id, model, gen),
             ShardEvent::Close { conn, stream_id } => self.handle_close(conn, stream_id),
             ShardEvent::Push {
                 conn,
@@ -257,7 +285,7 @@ impl Shard {
         }
     }
 
-    fn handle_open(&mut self, conn: ConnId, stream_id: u32, model: usize) {
+    fn handle_open(&mut self, conn: ConnId, stream_id: u32, model: usize, gen: u64) {
         let Some(state) = self.conns.get_mut(&conn) else {
             return;
         };
@@ -268,6 +296,7 @@ impl Shard {
             StreamInfo {
                 conn,
                 client_id: stream_id,
+                gen,
                 last_activity: Instant::now(),
             },
         );
@@ -366,6 +395,12 @@ impl Shard {
     /// per-stream EMIT frames for v1 connections, one coalesced EMIT_N per
     /// connection per model for v2.
     fn run_wave(&mut self) {
+        // Chaos: stall the flush to widen the window in which closes,
+        // disconnects and evictions land on streams mid-wave.
+        #[cfg(feature = "chaos")]
+        if let Some(faults) = &self.faults {
+            faults.wave_stall();
+        }
         // One pass over the stream map for every model's occupancy —
         // rescanning per registry entry would cost O(models × streams)
         // each tick.
@@ -510,6 +545,7 @@ impl Shard {
             let _ = self.notes.send(ShardNote::StreamClosed {
                 conn: info.conn,
                 stream_id: info.client_id,
+                gen: info.gen,
             });
             self.send(
                 info.conn,
@@ -577,6 +613,13 @@ impl Shard {
             let mut handled = 0u64;
             match rx.recv_timeout(timeout) {
                 Ok(event) => {
+                    // Chaos: sleep between receiving and handling, so the
+                    // edge's view and this shard's view stay divergent for
+                    // longer than any natural schedule would allow.
+                    #[cfg(feature = "chaos")]
+                    if let Some(faults) = &self.faults {
+                        faults.shard_wakeup();
+                    }
                     self.handle(event);
                     handled += 1;
                     while let Ok(event) = rx.try_recv() {

@@ -11,7 +11,7 @@
 //! aggregates all of them into one [`StatsSnapshot`] — per-shard latency
 //! histograms are merged before computing percentiles, so p50/p99 describe
 //! the whole daemon, not one shard — with one [`ModelSnapshot`] per
-//! registry entry (`pit-serve-stats/4`; v1–v3 documents still parse, they
+//! registry entry (`pit-serve-stats/5`; v1–v4 documents still parse, they
 //! simply lack the newer fields).
 //!
 //! Latency percentiles come from the lock-free log-scale `Histogram`s in
@@ -54,6 +54,12 @@ pub struct StatsSnapshot {
     pub connections_closed: u64,
     /// Connections dropped on a transport or framing error.
     pub connections_errored: u64,
+    /// Connections killed by the read-progress deadline
+    /// ([`crate::ServerConfig::read_progress_timeout`]) — a partial frame
+    /// that never completed, or a streamless connection that went silent.
+    /// A sub-category of `connections_errored` (expired connections count
+    /// in both), so `closed + errored + drained + open == total` holds.
+    pub connections_expired: u64,
     /// Connections still open when a graceful drain completed.
     pub connections_drained: u64,
     /// Streams currently open.
@@ -169,7 +175,7 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> Json {
         let n = |v: u64| Json::Num(v as f64);
         Json::Obj(vec![
-            ("schema".into(), Json::Str("pit-serve-stats/4".into())),
+            ("schema".into(), Json::Str("pit-serve-stats/5".into())),
             ("model".into(), Json::Str(self.model.clone())),
             ("kind".into(), Json::Str(self.kind.clone())),
             ("shards".into(), n(self.shards)),
@@ -177,6 +183,7 @@ impl StatsSnapshot {
             ("connections_open".into(), n(self.connections_open)),
             ("connections_closed".into(), n(self.connections_closed)),
             ("connections_errored".into(), n(self.connections_errored)),
+            ("connections_expired".into(), n(self.connections_expired)),
             ("connections_drained".into(), n(self.connections_drained)),
             ("streams_open".into(), n(self.streams_open)),
             ("streams_opened".into(), n(self.streams_opened)),
@@ -212,7 +219,8 @@ impl StatsSnapshot {
                 .ok_or_else(|| format!("missing number field '{name}'"))
         };
         let int = |name: &str| -> Result<u64, String> { Ok(num(name)? as u64) };
-        // Absent before pit-serve-stats/4: default to zero.
+        // Absent before pit-serve-stats/4 (or /5 for `connections_expired`):
+        // default to zero.
         let opt_int =
             |name: &str| -> u64 { doc.get(name).and_then(Json::as_f64).unwrap_or(0.0) as u64 };
         let text_field = |name: &str| -> Result<String, String> {
@@ -230,6 +238,7 @@ impl StatsSnapshot {
             connections_open: int("connections_open")?,
             connections_closed: opt_int("connections_closed"),
             connections_errored: opt_int("connections_errored"),
+            connections_expired: opt_int("connections_expired"),
             connections_drained: opt_int("connections_drained"),
             streams_open: int("streams_open")?,
             streams_opened: int("streams_opened")?,
@@ -391,6 +400,8 @@ pub(crate) struct EdgeCounters {
     pub(crate) connections_open: AtomicU64,
     pub(crate) connections_closed: AtomicU64,
     pub(crate) connections_errored: AtomicU64,
+    /// Read-progress-deadline kills; also counted in `connections_errored`.
+    pub(crate) connections_expired: AtomicU64,
     pub(crate) connections_drained: AtomicU64,
     pub(crate) frames_rejected: AtomicU64,
     pub(crate) replies_dropped: Arc<AtomicU64>,
@@ -432,6 +443,7 @@ pub(crate) fn aggregate_snapshot(
         connections_open: edge.connections_open.load(Ordering::Relaxed),
         connections_closed: edge.connections_closed.load(Ordering::Relaxed),
         connections_errored: edge.connections_errored.load(Ordering::Relaxed),
+        connections_expired: edge.connections_expired.load(Ordering::Relaxed),
         connections_drained: edge.connections_drained.load(Ordering::Relaxed),
         streams_open: sum(&|s| &s.streams_open),
         streams_opened: sum(&|s| &s.streams_opened),

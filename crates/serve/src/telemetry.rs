@@ -681,6 +681,12 @@ impl Telemetry {
         );
         counter(
             &mut out,
+            "pit_serve_connections_expired_total",
+            "Connections killed by the read-progress deadline (also counted in errored).",
+            snap.connections_expired,
+        );
+        counter(
+            &mut out,
             "pit_serve_connections_drained_total",
             "Connections still open when a graceful drain completed.",
             snap.connections_drained,

@@ -505,3 +505,71 @@ fn corrupt_artifacts_fail_to_boot_with_an_error() {
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The read-progress deadline reaps a slow loris — a connection that
+/// sends part of a length prefix and stalls — while a slow-but-honest
+/// client that completes a frame inside every deadline window stays
+/// connected. Regression test for the resource hold: before the deadline
+/// existed, the stalled socket pinned its edge slot and outbuf forever.
+#[test]
+fn slow_loris_partial_frame_is_reaped_but_honest_slow_clients_are_not() {
+    use std::io::Read;
+    use std::time::Instant;
+
+    let server = Server::bind(
+        ServeEngine::F32(tiny_plan()),
+        ServerConfig {
+            read_progress_timeout: Some(Duration::from_millis(250)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    // The loris: 3 bytes of a 4-byte length prefix, then silence.
+    let mut loris = TcpStream::connect(addr).expect("connect");
+    loris.write_all(&64u32.to_le_bytes()[..3]).unwrap();
+    loris.flush().unwrap();
+
+    // The honest client pings through six deadline windows.
+    let mut client = Client::connect(addr).expect("connect");
+    for token in 0..6u64 {
+        client.ping(token).expect("ping");
+        assert!(matches!(
+            client.recv_timeout(RECV_TIMEOUT).expect("transport"),
+            Some(ServerFrame::Pong { token: t }) if t == token
+        ));
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // The loris socket got hung up on (EOF or RST both count as reaped).
+    loris
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut buf = [0u8; 16];
+    loop {
+        match loris.read(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                assert!(Instant::now() < deadline, "loris was never reaped");
+            }
+            Err(_) => break,
+        }
+    }
+
+    assert_alive(addr);
+    let stats = handle.shutdown();
+    assert_eq!(stats.connections_expired, 1, "the loris is counted");
+    assert!(
+        stats.connections_errored >= 1,
+        "expired is a sub-category of errored"
+    );
+}

@@ -9,7 +9,9 @@ use pit_infer::{
 };
 use pit_models::{GenericTcn, GenericTcnConfig, TempoNet, TempoNetConfig};
 use pit_nas::SearchableNetwork;
-use pit_serve::{Client, ErrorCode, ServeEngine, Server, ServerConfig, ServerFrame, StatsSnapshot};
+use pit_serve::{
+    Client, ClientFrame, ErrorCode, ServeEngine, Server, ServerConfig, ServerFrame, StatsSnapshot,
+};
 use pit_tensor::init;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -295,4 +297,137 @@ fn push_channel_validation_follows_each_streams_model() {
     assert_eq!(wide_stats.timesteps_in, 2);
 
     handle.shutdown();
+}
+
+/// LOAD_MODEL while traffic is live: four workers stream against the
+/// booted f32 model while the main thread *adds* an int8 model to the
+/// registry, serves a stream on it, then *replaces* it — all mid-flight.
+/// The untouched f32 streams must match solo sessions as if the registry
+/// never changed, the int8 stream must be bit-exact, and the shutdown
+/// snapshot's per-model breakdown must stay consistent with the totals.
+#[test]
+fn load_model_during_live_traffic_leaves_streams_bit_exact() {
+    let plan = searched_plan(46);
+    let qplan = quantized_plan(&plan, 47);
+    let dir = std::env::temp_dir().join(format!("pit-serve-chaos-load-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let i8_path = dir.join("model_i8.json");
+    std::fs::write(&i8_path, qplan.to_artifact_string()).expect("write i8 artifact");
+
+    let server = Server::bind_models(
+        vec![("fp".into(), ServeEngine::F32(Arc::clone(&plan)))],
+        "fp",
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    // Four workers keep f32 traffic flowing for the whole registry dance:
+    // 4 rounds of 8 steps with sleeps in between (~90 ms of live pushes).
+    const WORKERS: usize = 4;
+    let mut rng = StdRng::seed_from_u64(48);
+    let inputs: Vec<Vec<f32>> = (0..WORKERS)
+        .map(|_| random_stream(&mut rng, 32, C))
+        .collect();
+    let threads: Vec<_> = inputs
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, input)| {
+            std::thread::spawn(move || -> Vec<Vec<f32>> {
+                let mut client = Client::connect(addr).expect("connect");
+                client.open(i as u32).expect("open");
+                for round in 0..4 {
+                    client
+                        .push(
+                            i as u32,
+                            C as u32,
+                            &input[round * 8 * C..(round + 1) * 8 * C],
+                        )
+                        .expect("push");
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                let out = collect_emissions(&mut client, 4, 1);
+                client.close(i as u32).expect("close");
+                out
+            })
+        })
+        .collect();
+
+    // Mid-traffic: LOAD_MODEL adds the int8 artifact beside "fp"...
+    std::thread::sleep(Duration::from_millis(15));
+    let mut control = Client::connect(addr).expect("connect");
+    control
+        .send(&ClientFrame::LoadModel {
+            path: i8_path.display().to_string(),
+        })
+        .expect("send");
+    let Some(ServerFrame::ModelLoaded { name }) = control.recv_timeout(RECV_TIMEOUT).unwrap()
+    else {
+        panic!("expected the int8 model to load as an add")
+    };
+    // ...a stream on the fresh model serves bit-exact while f32 pushes
+    // are still in flight...
+    control.open_with_model(100, &name).expect("open");
+    let q_input = random_stream(&mut rng, 8, C);
+    control.push(100, C as u32, &q_input).expect("push");
+    let got = collect_emissions(&mut control, 1, 1);
+    let mut q_session = QuantizedSession::new(Arc::clone(&qplan));
+    let q_want: Vec<Vec<f32>> = q_input
+        .chunks(C)
+        .filter_map(|s| q_session.push(s))
+        .collect();
+    assert_eq!(got, q_want, "the hot-loaded int8 stream must be bit-exact");
+    control.close(100).expect("close");
+    assert!(matches!(
+        control.recv_timeout(RECV_TIMEOUT).unwrap(),
+        Some(ServerFrame::Closed { stream_id: 100, .. })
+    ));
+    // ...and with its stream closed, reloading the same artifact is an
+    // atomic replace, still under live f32 traffic.
+    control
+        .send(&ClientFrame::LoadModel {
+            path: i8_path.display().to_string(),
+        })
+        .expect("send");
+    let Some(ServerFrame::ModelLoaded { name: swapped }) =
+        control.recv_timeout(RECV_TIMEOUT).unwrap()
+    else {
+        panic!("expected the int8 model to replace in place")
+    };
+    assert_eq!(swapped, name);
+
+    let results: Vec<Vec<Vec<f32>>> = threads
+        .into_iter()
+        .map(|t| t.join().expect("worker"))
+        .collect();
+    for (i, (input, got)) in inputs.iter().zip(results.iter()).enumerate() {
+        let mut session = Session::new(Arc::clone(&plan));
+        let want: Vec<Vec<f32>> = input.chunks(C).filter_map(|s| session.push(s)).collect();
+        assert_eq!(got.len(), want.len(), "f32 stream {i}: emission count");
+        for (a, b) in got.iter().zip(want.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!(
+                    (x - y).abs() < 1e-5,
+                    "f32 stream {i} must be untouched by the registry dance: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    // Per-model books survive both the add and the replace: counters key
+    // the model entry, not the engine instance.
+    let stats = handle.shutdown();
+    assert_eq!(stats.models.len(), 2);
+    let fp = stats.models.iter().find(|m| m.name == "fp").expect("fp");
+    let q8 = stats.models.iter().find(|m| m.name == name).expect("i8");
+    assert_eq!(fp.streams_opened, WORKERS as u64);
+    assert_eq!(q8.streams_opened, 1);
+    assert_eq!(fp.timesteps_in, (WORKERS * 32) as u64);
+    assert_eq!(q8.timesteps_in, 8);
+    assert_eq!(fp.timesteps_in + q8.timesteps_in, stats.timesteps_in);
+    assert_eq!(fp.emissions_out + q8.emissions_out, stats.emissions_out);
+    assert_eq!(fp.streams_open, 0);
+    assert_eq!(q8.streams_open, 0);
 }

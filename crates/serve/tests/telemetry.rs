@@ -187,6 +187,10 @@ fn metrics_totals_match_the_stats_frame_exactly() {
         int("pit_serve_connections_errored_total"),
         snap.connections_errored
     );
+    assert_eq!(
+        int("pit_serve_connections_expired_total"),
+        snap.connections_expired
+    );
     assert_eq!(int("pit_serve_streams_open"), snap.streams_open);
     assert_eq!(int("pit_serve_streams_opened_total"), snap.streams_opened);
     assert_eq!(int("pit_serve_streams_evicted_total"), snap.streams_evicted);
