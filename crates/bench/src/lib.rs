@@ -29,6 +29,7 @@ pub mod experiments;
 pub mod perf;
 pub mod report;
 
+pub use pit_tensor::hist;
 pub use pit_tensor::json;
 pub mod scale;
 

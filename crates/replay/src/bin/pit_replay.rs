@@ -1,0 +1,136 @@
+//! `pit-replay` — replay a synthetic user-session population against a
+//! `pit-serve` daemon and emit a coordinated-omission-safe SLO report.
+//!
+//! ```text
+//! pit-replay --zoo PATH [--quick | --full | --smoke] [--seed N]
+//!            [--addr HOST:PORT --metrics-addr HOST:PORT]
+//!            [--out report.json] [--bench-out bench.json]
+//!
+//!   --zoo PATH          pit-zoo/1 manifest (model mix + oracle weights)
+//!   --quick             CI preset: 10k+ sessions over 512 lanes (default)
+//!   --full              paper preset: 100k sessions over 1024 lanes
+//!   --smoke             seconds-long test preset
+//!   --seed N            master seed (default 42); same seed, same world
+//!   --addr A            drive an already-running daemon at A ...
+//!   --metrics-addr A    ... scraping its sidecar at A (both or neither)
+//!   --out PATH          write the pit-replay-report/1 document here
+//!   --bench-out PATH    write pit-bench/1 records (BENCH_replay.json shape)
+//! ```
+//!
+//! Without `--addr` the harness boots the zoo in-process with an
+//! ephemeral sidecar, which makes the exit status self-contained: 0 only
+//! when the client-vs-server reconciliation is exact and every sampled
+//! oracle check passes.
+
+use pit_bench::perf::records_to_json;
+use pit_replay::{run_replay, ReplayOptions};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pit-replay --zoo PATH [--quick|--full|--smoke] [--seed N] \
+         [--addr A --metrics-addr A] [--out PATH] [--bench-out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut zoo: Option<PathBuf> = None;
+    let mut preset = "quick";
+    let mut seed = 42u64;
+    let mut addr: Option<SocketAddr> = None;
+    let mut metrics_addr: Option<SocketAddr> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut bench_out: Option<PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--zoo" => match argv.next() {
+                Some(p) => zoo = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--quick" => preset = "quick",
+            "--full" => preset = "full",
+            "--smoke" => preset = "smoke",
+            "--seed" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => usage(),
+            },
+            "--addr" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(a) => addr = Some(a),
+                None => usage(),
+            },
+            "--metrics-addr" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(a) => metrics_addr = Some(a),
+                None => usage(),
+            },
+            "--out" => match argv.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--bench-out" => match argv.next() {
+                Some(p) => bench_out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("pit-replay: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let Some(zoo) = zoo else { usage() };
+    let external = match (addr, metrics_addr) {
+        (Some(a), Some(m)) => Some((a, m)),
+        (None, None) => None,
+        _ => {
+            eprintln!("pit-replay: --addr and --metrics-addr go together");
+            usage();
+        }
+    };
+
+    let mut opts = match ReplayOptions::new(zoo, preset, seed) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pit-replay: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    opts.external = external;
+
+    let result = match run_replay(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pit-replay: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", result.summary);
+
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, result.report.render()) {
+            eprintln!("pit-replay: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report: {}", path.display());
+    }
+    if let Some(path) = bench_out {
+        let doc = records_to_json(&result.bench, preset);
+        if let Err(e) = std::fs::write(&path, doc.render()) {
+            eprintln!("pit-replay: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("bench records: {}", path.display());
+    }
+
+    if result.ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pit-replay: reconciliation or oracle FAILED (see report)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,293 @@
+//! # pit-replay
+//!
+//! Replay-at-scale workload harness for `pit-serve`: synthesises a
+//! user-session population from dataset-shaped scenarios, drives it
+//! through a live multi-model daemon over the v4 binary protocol on an
+//! open-loop absolute timeline, and emits a `pit-replay-report/1`
+//! document whose client-side books reconcile *exactly* with the
+//! daemon's `/metrics` counters.
+//!
+//! The pipeline, in module order:
+//!
+//! 1. [`rng`] — a hand-rolled keyed SplitMix64 so one seed is one
+//!    exactly replayable world.
+//! 2. [`workload`] — the population generator: diurnal arrivals, ragged
+//!    session lengths, reconnects and abandonment, per-stream model mix
+//!    over a `pit-zoo/1` manifest, fully materialised event scripts.
+//! 3. [`oracle`] — loaded zoo artifacts, per-model emission cadence
+//!    tables, and solo-session replay for bit-exact verification.
+//! 4. [`driver`] — the open-loop driver: per-connection workers on a
+//!    shared epoch, latency measured from *intended* send times
+//!    (coordinated-omission-safe), per-scenario log-scale histograms.
+//! 5. [`scrape`] — sidecar reads (`/metrics`, `/stats`) and the
+//!    post-run settle barrier, all over HTTP so scrapes never disturb
+//!    the edge connection counters.
+//! 6. [`report`] — the report document, the exact reconciliation gate,
+//!    and `pit-bench/1` records for the committed `BENCH_replay.json`
+//!    baseline.
+//!
+//! [`run_replay`] wires the whole pipeline; the `pit-replay` binary and
+//! the integration tests are thin shells over it.
+
+pub mod driver;
+pub mod oracle;
+pub mod report;
+pub mod rng;
+pub mod scrape;
+pub mod workload;
+
+use driver::{DriverConfig, DriverOutcome};
+use oracle::ModelTable;
+use pit_bench::perf::BenchRecord;
+use pit_infer::ZooManifest;
+use pit_serve::{Server, ServerConfig};
+use pit_tensor::json::Json;
+use report::{build_report, reconcile, ReportInputs};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+use workload::WorkloadConfig;
+
+/// Steps beyond which every model is assumed in steady state (one
+/// emission per step); sessions never exceed this.
+const CADENCE_HORIZON: usize = 512;
+
+/// One full replay run's configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Path to the `pit-zoo/1` manifest (model mix and oracle weights).
+    pub zoo_manifest: PathBuf,
+    /// Preset label recorded in the report (`quick`/`full`/`smoke`).
+    pub preset: String,
+    /// The population to synthesise.
+    pub workload: WorkloadConfig,
+    /// Drive an already-running daemon at `(protocol, sidecar)` instead
+    /// of booting one in-process.
+    pub external: Option<(SocketAddr, SocketAddr)>,
+    /// Post-schedule drain budget.
+    pub drain_timeout: Duration,
+}
+
+impl ReplayOptions {
+    /// Defaults for a preset name.
+    pub fn new(zoo_manifest: PathBuf, preset: &str, seed: u64) -> Result<Self, String> {
+        let workload = match preset {
+            "quick" => WorkloadConfig::quick(seed),
+            "full" => WorkloadConfig::full(seed),
+            "smoke" => WorkloadConfig::smoke(seed),
+            other => return Err(format!("unknown preset '{other}' (quick/full/smoke)")),
+        };
+        Ok(Self {
+            zoo_manifest,
+            preset: preset.to_string(),
+            workload,
+            external: None,
+            drain_timeout: Duration::from_secs(60),
+        })
+    }
+}
+
+/// Everything a run produces.
+pub struct ReplayResult {
+    /// The rendered `pit-replay-report/1` document.
+    pub report: Json,
+    /// The run as `pit-bench/1` records (`BENCH_replay.json` shape).
+    pub bench: Vec<BenchRecord>,
+    /// Whether reconciliation held and the oracle passed.
+    pub ok: bool,
+    /// Human-readable one-screen summary.
+    pub summary: String,
+}
+
+/// Runs the full pipeline: load zoo → synthesise population → (boot or
+/// attach to) daemon → drive → settle → verify → reconcile → report.
+///
+/// # Errors
+///
+/// Returns a message on setup failures (unreadable zoo, daemon boot or
+/// connect failures, sidecar unreachable, settle timeout). Load-time
+/// *accounting* problems — lost emissions, oracle divergence — are not
+/// errors: they come back in the report with `ok == false` so the
+/// caller can still see the full picture.
+pub fn run_replay(opts: &ReplayOptions) -> Result<ReplayResult, String> {
+    let (manifest, base) = ZooManifest::load(&opts.zoo_manifest)?;
+    let table = ModelTable::load(&manifest, &base, CADENCE_HORIZON)?;
+    let workload = workload::generate(&opts.workload, &table.specs());
+
+    // Boot in-process unless pointed at an external daemon. The server
+    // needs headroom for every lane to hold a stream at once.
+    let lanes = opts.workload.connections * opts.workload.lanes_per_conn;
+    let mut in_process = None;
+    let (addr, metrics_addr) = match opts.external {
+        Some(pair) => pair,
+        None => {
+            let server = Server::bind_zoo(
+                &opts.zoo_manifest,
+                ServerConfig {
+                    metrics_addr: Some("127.0.0.1:0".into()),
+                    max_streams: (2 * lanes).max(4096),
+                    idle_timeout: None,
+                    ..ServerConfig::default()
+                },
+            )?;
+            let handle = server.spawn();
+            let pair = (
+                handle.addr(),
+                handle.metrics_addr().expect("sidecar was configured"),
+            );
+            in_process = Some(handle);
+            pair
+        }
+    };
+
+    let before = scrape::scrape(metrics_addr)?;
+
+    // Mid-run scrape from a side thread at half the schedule (informative
+    // only — it shows the population actually in flight).
+    let mid_at = Duration::from_micros(workload.end_us / 2);
+    let mid_handle = std::thread::spawn(move || {
+        std::thread::sleep(mid_at);
+        scrape::scrape(metrics_addr).ok()
+    });
+
+    let outcome = driver::drive(
+        &workload,
+        &table,
+        &DriverConfig {
+            addr,
+            drain_timeout: opts.drain_timeout,
+        },
+    )?;
+
+    let after = scrape::settle(metrics_addr, Duration::from_secs(30))?;
+    let mid = mid_handle.join().ok().flatten();
+
+    let (oracle_sessions, oracle_segments, oracle_failures) =
+        run_oracle(&workload, &table, &outcome);
+
+    let reconciliation = reconcile(&workload, &outcome, &before, &after);
+    let anchor = table.anchor_ns_per_step().unwrap_or(0.0);
+    let inputs = ReportInputs {
+        seed: opts.workload.seed,
+        preset: &opts.preset,
+        workload: &workload,
+        outcome: &outcome,
+        before: &before,
+        mid: mid.as_ref(),
+        after: &after,
+        reconciliation: &reconciliation,
+        oracle_sessions,
+        oracle_segments,
+        oracle_failures: &oracle_failures,
+        anchor_ns_per_step: anchor,
+    };
+    let report = build_report(&inputs);
+    let bench = report::bench_records(&inputs);
+    let ok = reconciliation.ok && oracle_failures.is_empty();
+    let summary = render_summary(&inputs, ok);
+
+    if let Some(server) = in_process {
+        server.shutdown();
+    }
+
+    Ok(ReplayResult {
+        report,
+        bench,
+        ok,
+        summary,
+    })
+}
+
+/// Replays every verify-sampled segment the driver recorded through a
+/// fresh solo session and collects divergences.
+fn run_oracle(
+    workload: &workload::Workload,
+    table: &ModelTable,
+    outcome: &DriverOutcome,
+) -> (u64, u64, Vec<String>) {
+    let mut sessions: std::collections::HashSet<u32> = Default::default();
+    let mut failures = Vec::new();
+    let mut segments = 0u64;
+    // Group recorded segments by session so inputs are reconstructed once.
+    let mut keys: Vec<(u32, u32)> = outcome.verify_outputs.keys().copied().collect();
+    keys.sort_unstable();
+    let mut inputs_cache: Option<(u32, Vec<Vec<f32>>)> = None;
+    for (session, segment) in keys {
+        let (model, served) = &outcome.verify_outputs[&(session, segment)];
+        if inputs_cache.as_ref().map(|(s, _)| *s) != Some(session) {
+            inputs_cache = Some((session, workload::session_inputs(workload, session)));
+        }
+        let (_, inputs) = inputs_cache.as_ref().unwrap();
+        let Some(segment_inputs) = inputs.get(segment as usize) else {
+            failures.push(format!(
+                "session {session} segment {segment}: no generated inputs"
+            ));
+            continue;
+        };
+        sessions.insert(session);
+        segments += 1;
+        if let Some(diff) = table.check_segment(*model, segment_inputs, served) {
+            failures.push(format!("session {session} segment {segment}: {diff}"));
+        }
+    }
+    (sessions.len() as u64, segments, failures)
+}
+
+fn render_summary(inputs: &ReportInputs<'_>, ok: bool) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let wl = inputs.workload;
+    let out = inputs.outcome;
+    let _ = writeln!(
+        s,
+        "pit-replay [{}] seed {}: {} sessions / {} segments / {} steps over {} conns",
+        inputs.preset,
+        inputs.seed,
+        wl.total_sessions,
+        wl.total_segments,
+        wl.total_steps,
+        wl.conns.len()
+    );
+    for (sc, h) in wl.scenarios.iter().zip(&out.scenario_hists) {
+        let _ = writeln!(
+            s,
+            "  {:<12} n={:<8} p50 {:>9} ns  p99 {:>9} ns  p99.9 {:>9} ns",
+            sc.name,
+            h.count(),
+            h.percentile(0.50),
+            h.percentile(0.99),
+            h.percentile(0.999)
+        );
+    }
+    let h = &out.total_hist;
+    let _ = writeln!(
+        s,
+        "  {:<12} n={:<8} p50 {:>9} ns  p99 {:>9} ns  p99.9 {:>9} ns",
+        "total",
+        h.count(),
+        h.percentile(0.50),
+        h.percentile(0.99),
+        h.percentile(0.999)
+    );
+    let _ = writeln!(
+        s,
+        "  offered {:.0} step/s, achieved {:.0} step/s; {} emissions; errors {}",
+        wl.total_steps as f64 / (wl.end_us.max(1) as f64 / 1e6),
+        wl.total_steps as f64 / out.send_wall_seconds.max(1e-9),
+        out.emissions_received,
+        out.errors.total()
+    );
+    let _ = writeln!(
+        s,
+        "  oracle: {} sessions / {} segments checked, {} failures",
+        inputs.oracle_sessions,
+        inputs.oracle_segments,
+        inputs.oracle_failures.len()
+    );
+    let _ = writeln!(
+        s,
+        "  reconciliation: {}",
+        if ok { "exact ✓" } else { "FAILED ✗" }
+    );
+    s
+}

@@ -1,0 +1,372 @@
+//! The `pit-replay-report/1` document and the exact reconciliation gate.
+//!
+//! A replay run is only trustworthy if the client's books and the
+//! daemon's books agree — not roughly, *exactly*. The daemon delivers
+//! every stream's final emissions before its CLOSED frame, the sidecar
+//! runs on HTTP connections that never touch the edge counters, and the
+//! post-run settle barrier waits until the daemon is quiescent; given
+//! those three, every check below is an equality, and any difference is
+//! a lost frame, a double count, or a telemetry bug.
+
+use crate::driver::DriverOutcome;
+use crate::scrape::Scrape;
+use crate::workload::Workload;
+use pit_bench::perf::BenchRecord;
+use pit_serve::hist::HistogramSnapshot;
+use pit_tensor::json::Json;
+
+/// Schema tag of the emitted report document.
+pub const REPORT_SCHEMA: &str = "pit-replay-report/1";
+
+/// One exact client-vs-server equality.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is being reconciled.
+    pub name: &'static str,
+    /// The client-side (or workload-side) figure.
+    pub expected: u64,
+    /// The daemon-side figure (counter delta).
+    pub actual: u64,
+}
+
+impl Check {
+    /// Whether the two sides agree.
+    pub fn ok(&self) -> bool {
+        self.expected == self.actual
+    }
+}
+
+/// The full reconciliation: every check plus the rolled-up verdict.
+#[derive(Debug, Clone)]
+pub struct Reconciliation {
+    /// Individual equalities.
+    pub checks: Vec<Check>,
+    /// True when every check holds and the client books are clean.
+    pub ok: bool,
+}
+
+/// Delta of a counter between two scrapes.
+fn delta(before: &Scrape, after: &Scrape, selector: &str) -> u64 {
+    after
+        .counter(selector)
+        .saturating_sub(before.counter(selector))
+}
+
+/// Builds the exact client-vs-server reconciliation from the workload
+/// totals, the driver's books and the before/after counter scrapes.
+pub fn reconcile(
+    workload: &Workload,
+    outcome: &DriverOutcome,
+    before: &Scrape,
+    after: &Scrape,
+) -> Reconciliation {
+    let checks = vec![
+        Check {
+            name: "segments == server streams_opened delta",
+            expected: workload.total_segments,
+            actual: delta(before, after, "pit_serve_streams_opened_total"),
+        },
+        Check {
+            name: "steps == server timesteps delta",
+            expected: workload.total_steps,
+            actual: delta(before, after, "pit_serve_timesteps_total"),
+        },
+        Check {
+            name: "client emissions == server emissions delta",
+            expected: outcome.emissions_received,
+            actual: delta(before, after, "pit_serve_emissions_total"),
+        },
+        Check {
+            name: "worker connections == server connections delta",
+            expected: workload.conns.len() as u64,
+            actual: delta(before, after, "pit_serve_connections_total"),
+        },
+        Check {
+            name: "opened acks == segments",
+            expected: workload.total_segments,
+            actual: outcome.opens_acked,
+        },
+        Check {
+            name: "closed frames == segments",
+            expected: workload.total_segments,
+            actual: outcome.closes_seen,
+        },
+        Check {
+            name: "server rejected no frames",
+            expected: 0,
+            actual: delta(before, after, "pit_serve_frames_rejected_total"),
+        },
+        Check {
+            name: "server dropped no replies",
+            expected: 0,
+            actual: delta(before, after, "pit_serve_replies_dropped_total"),
+        },
+        Check {
+            name: "server evicted no streams",
+            expected: 0,
+            actual: delta(before, after, "pit_serve_streams_evicted_total"),
+        },
+    ];
+    let ok = checks.iter().all(Check::ok) && outcome.errors.is_clean();
+    Reconciliation { checks, ok }
+}
+
+/// Everything the report assembles.
+pub struct ReportInputs<'a> {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Preset name (`quick` / `full` / `smoke`).
+    pub preset: &'a str,
+    /// The generated population.
+    pub workload: &'a Workload,
+    /// The driver's client-side books.
+    pub outcome: &'a DriverOutcome,
+    /// Sidecar scrape before any worker connected.
+    pub before: &'a Scrape,
+    /// Optional mid-run scrape (half the schedule in).
+    pub mid: Option<&'a Scrape>,
+    /// Post-settle scrape.
+    pub after: &'a Scrape,
+    /// The reconciliation over those books.
+    pub reconciliation: &'a Reconciliation,
+    /// Sessions the oracle replayed.
+    pub oracle_sessions: u64,
+    /// Segments the oracle replayed.
+    pub oracle_segments: u64,
+    /// Oracle divergences (empty = all bit-exact / in-tolerance).
+    pub oracle_failures: &'a [String],
+    /// Solo f32 ns/step (machine-speed anchor).
+    pub anchor_ns_per_step: f64,
+}
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn latency_obj(h: &HistogramSnapshot) -> Json {
+    let count = h.count();
+    let mean = if count == 0 {
+        0.0
+    } else {
+        h.sum() as f64 / count as f64
+    };
+    Json::Obj(vec![
+        ("count".into(), num(count)),
+        ("p50_ns".into(), num(h.percentile(0.50))),
+        ("p99_ns".into(), num(h.percentile(0.99))),
+        ("p999_ns".into(), num(h.percentile(0.999))),
+        ("mean_ns".into(), Json::Num(mean)),
+    ])
+}
+
+fn server_obj(scrape: &Scrape) -> Json {
+    let keys = [
+        "pit_serve_connections_total",
+        "pit_serve_streams_open",
+        "pit_serve_streams_opened_total",
+        "pit_serve_timesteps_total",
+        "pit_serve_emissions_total",
+        "pit_serve_waves_total",
+        "pit_serve_frames_rejected_total",
+        "pit_serve_replies_dropped_total",
+    ];
+    Json::Obj(
+        keys.iter()
+            .map(|&k| (k.to_string(), num(scrape.counter(k))))
+            .collect(),
+    )
+}
+
+/// Renders the full `pit-replay-report/1` document.
+pub fn build_report(inputs: &ReportInputs<'_>) -> Json {
+    let wl = inputs.workload;
+    let out = inputs.outcome;
+    let offered_rate = wl.total_steps as f64 / (wl.end_us.max(1) as f64 / 1e6);
+    let achieved_rate = wl.total_steps as f64 / out.send_wall_seconds.max(1e-9);
+
+    let scenarios = wl
+        .scenarios
+        .iter()
+        .zip(&out.scenario_hists)
+        .map(|(sc, h)| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(sc.name.into())),
+                ("latency".into(), latency_obj(h)),
+            ])
+        })
+        .collect();
+
+    let checks = inputs
+        .reconciliation
+        .checks
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(c.name.into())),
+                ("expected".into(), num(c.expected)),
+                ("actual".into(), num(c.actual)),
+                ("ok".into(), Json::Bool(c.ok())),
+            ])
+        })
+        .collect();
+
+    let mut server = vec![
+        ("before".into(), server_obj(inputs.before)),
+        ("after".into(), server_obj(inputs.after)),
+    ];
+    if let Some(mid) = inputs.mid {
+        server.insert(
+            1,
+            (
+                "mid".into(),
+                Json::Obj(vec![
+                    ("counters".into(), server_obj(mid)),
+                    ("streams_open".into(), num(mid.stats.streams_open)),
+                    ("connections_open".into(), num(mid.stats.connections_open)),
+                ]),
+            ),
+        );
+    }
+
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(REPORT_SCHEMA.into())),
+        ("seed".into(), num(inputs.seed)),
+        ("preset".into(), Json::Str(inputs.preset.into())),
+        (
+            "workload".into(),
+            Json::Obj(vec![
+                ("sessions".into(), num(wl.total_sessions)),
+                ("segments".into(), num(wl.total_segments)),
+                ("steps".into(), num(wl.total_steps)),
+                ("connections".into(), num(wl.conns.len() as u64)),
+                ("verify_sessions".into(), num(wl.verify_sessions)),
+                ("schedule_us".into(), num(wl.end_us)),
+            ]),
+        ),
+        ("scenarios".into(), Json::Arr(scenarios)),
+        (
+            "total".into(),
+            Json::Obj(vec![
+                ("latency".into(), latency_obj(&out.total_hist)),
+                ("send_lag".into(), latency_obj(&out.send_lag)),
+                ("offered_steps_per_sec".into(), Json::Num(offered_rate)),
+                ("achieved_steps_per_sec".into(), Json::Num(achieved_rate)),
+                ("emissions".into(), num(out.emissions_received)),
+                ("send_wall_seconds".into(), Json::Num(out.send_wall_seconds)),
+                (
+                    "total_wall_seconds".into(),
+                    Json::Num(out.total_wall_seconds),
+                ),
+            ]),
+        ),
+        (
+            "errors".into(),
+            Json::Obj(vec![
+                ("transport".into(), num(out.errors.transport)),
+                ("protocol".into(), num(out.errors.protocol)),
+                (
+                    "unexpected_emissions".into(),
+                    num(out.errors.unexpected_emissions),
+                ),
+                (
+                    "missing_emissions".into(),
+                    num(out.errors.missing_emissions),
+                ),
+                ("drain_incomplete".into(), num(out.errors.drain_incomplete)),
+            ]),
+        ),
+        (
+            "oracle".into(),
+            Json::Obj(vec![
+                ("sessions_checked".into(), num(inputs.oracle_sessions)),
+                ("segments_checked".into(), num(inputs.oracle_segments)),
+                (
+                    "failures".into(),
+                    Json::Arr(
+                        inputs
+                            .oracle_failures
+                            .iter()
+                            .map(|f| Json::Str(f.clone()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "verdict".into(),
+                    Json::Str(
+                        if inputs.oracle_failures.is_empty() {
+                            "pass"
+                        } else {
+                            "fail"
+                        }
+                        .into(),
+                    ),
+                ),
+            ]),
+        ),
+        ("server".into(), Json::Obj(server)),
+        (
+            "reconciliation".into(),
+            Json::Obj(vec![
+                ("checks".into(), Json::Arr(checks)),
+                ("ok".into(), Json::Bool(inputs.reconciliation.ok)),
+            ]),
+        ),
+        (
+            "anchor_ns_per_step".into(),
+            Json::Num(inputs.anchor_ns_per_step),
+        ),
+    ])
+}
+
+/// The run as `pit-bench/1` records, comparable against a committed
+/// `BENCH_replay.json` with `bench_json compare --normalize`.
+///
+/// Only scheduler-stable figures are gated: the solo-step anchor (which
+/// also pins machine speed for normalisation), per-scenario and total
+/// p50, and the achieved step rate. Tail quantiles go in the report but
+/// not the gate — p99.9 on a shared CI box is weather, not signal.
+pub fn bench_records(inputs: &ReportInputs<'_>) -> Vec<BenchRecord> {
+    let shape = inputs.preset.to_string();
+    let mut records = vec![BenchRecord {
+        suite: "replay".into(),
+        op: "oracle_f32/step".into(),
+        shape: "solo".into(),
+        ns_per_iter: inputs.anchor_ns_per_step,
+        throughput: 1e9 / inputs.anchor_ns_per_step.max(1e-9),
+        throughput_unit: "iter/s".into(),
+    }];
+    let p50 = |h: &HistogramSnapshot| h.percentile(0.50) as f64;
+    for (sc, h) in inputs
+        .workload
+        .scenarios
+        .iter()
+        .zip(&inputs.outcome.scenario_hists)
+    {
+        records.push(BenchRecord {
+            suite: "replay".into(),
+            op: format!("{}/p50", sc.name),
+            shape: shape.clone(),
+            ns_per_iter: p50(h),
+            throughput: 1e9 / p50(h).max(1.0),
+            throughput_unit: "iter/s".into(),
+        });
+    }
+    records.push(BenchRecord {
+        suite: "replay".into(),
+        op: "total/p50".into(),
+        shape: shape.clone(),
+        ns_per_iter: p50(&inputs.outcome.total_hist),
+        throughput: 1e9 / p50(&inputs.outcome.total_hist).max(1.0),
+        throughput_unit: "iter/s".into(),
+    });
+    let achieved = inputs.workload.total_steps as f64 / inputs.outcome.send_wall_seconds.max(1e-9);
+    records.push(BenchRecord {
+        suite: "replay".into(),
+        op: "total/rate".into(),
+        shape,
+        ns_per_iter: 1e9 / achieved.max(1e-9),
+        throughput: achieved,
+        throughput_unit: "step/s".into(),
+    });
+    records
+}

@@ -22,8 +22,8 @@
 //!   Per-connection backpressure caps, bounded reply buffers, idle-stream
 //!   eviction and graceful drain on shutdown are built in.
 //! * **Stats** ([`stats`]): a [`StatsSnapshot`] counter block (streams
-//!   open, timesteps served, wave occupancy, p50/p99 wave latency from
-//!   log-scale histograms, aggregated across shards) served over the
+//!   open, timesteps served, wave occupancy, p50/p99/p99.9 wave latency
+//!   from log-scale histograms, aggregated across shards) served over the
 //!   STATS frame as JSON. The [`StatsSnapshot::settled`] flag and
 //!   [`StatsSnapshot::seq`] sequence let pollers detect quiescence
 //!   without sleeping.
@@ -76,3 +76,9 @@ pub use protocol::{ClientFrame, CloseReason, ErrorCode, FrameError, ServerFrame,
 pub use server::{ServeEngine, Server, ServerConfig, ServerHandle};
 pub use stats::{ModelSnapshot, StatsSnapshot};
 pub use telemetry::TraceEvent;
+
+/// The shared log-scale latency histogram (the exact bucket layout behind
+/// every `wave_p*_ns` field and the `/metrics` histogram series), hosted
+/// in `pit-tensor` so clients and load drivers can merge and compare
+/// snapshots against the daemon's.
+pub use pit_tensor::hist;

@@ -11,13 +11,13 @@
 //! aggregates all of them into one [`StatsSnapshot`] — per-shard latency
 //! histograms are merged before computing percentiles, so p50/p99 describe
 //! the whole daemon, not one shard — with one [`ModelSnapshot`] per
-//! registry entry (`pit-serve-stats/5`; v1–v4 documents still parse, they
+//! registry entry (`pit-serve-stats/6`; v1–v5 documents still parse, they
 //! simply lack the newer fields).
 //!
-//! Latency percentiles come from the lock-free log-scale `Histogram`s in
-//! `telemetry` (exact counts, ≤ ~25% value quantization) and cover the
-//! whole run — the old 4096-entry rolling windows and their mutexes are
-//! gone.
+//! Latency percentiles come from the lock-free log-scale `Histogram`s of
+//! `pit_tensor::hist` (exact counts, ≤ ~25% value quantization) and cover
+//! the whole run — the old 4096-entry rolling windows and their mutexes
+//! are gone.
 //!
 //! ## Snapshot settling
 //!
@@ -30,7 +30,7 @@
 //! has routed-but-unhandled events or queued-but-unflushed timesteps.
 //! Pollers (tests, scrapers) wait for `settled` instead of sleeping.
 
-use crate::telemetry::{Histogram, HistogramSnapshot};
+use pit_tensor::hist::{Histogram, HistogramSnapshot};
 use pit_tensor::json::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -86,6 +86,9 @@ pub struct StatsSnapshot {
     pub wave_p50_ns: u64,
     /// 99th-percentile wave latency in nanoseconds since boot.
     pub wave_p99_ns: u64,
+    /// 99.9th-percentile wave latency in nanoseconds since boot (v6+;
+    /// zero when parsed from an older document).
+    pub wave_p999_ns: u64,
     /// Total shard loop iterations: a monotone sequence number that keeps
     /// advancing while shards are alive, so two equal-`seq` snapshots were
     /// taken between the same pair of shard ticks.
@@ -122,6 +125,9 @@ pub struct ModelSnapshot {
     pub wave_p50_ns: u64,
     /// 99th-percentile wave latency (ns) of this model.
     pub wave_p99_ns: u64,
+    /// 99.9th-percentile wave latency (ns) of this model (v6+; zero when
+    /// parsed from an older document).
+    pub wave_p999_ns: u64,
 }
 
 impl ModelSnapshot {
@@ -139,6 +145,7 @@ impl ModelSnapshot {
             ("wave_occupancy".into(), Json::Num(self.wave_occupancy)),
             ("wave_p50_ns".into(), n(self.wave_p50_ns)),
             ("wave_p99_ns".into(), n(self.wave_p99_ns)),
+            ("wave_p999_ns".into(), n(self.wave_p999_ns)),
         ])
     }
 
@@ -166,6 +173,11 @@ impl ModelSnapshot {
             wave_occupancy: num("wave_occupancy")?,
             wave_p50_ns: int("wave_p50_ns")?,
             wave_p99_ns: int("wave_p99_ns")?,
+            // Absent before pit-serve-stats/6: default to zero.
+            wave_p999_ns: doc
+                .get("wave_p999_ns")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64,
         })
     }
 }
@@ -175,7 +187,7 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> Json {
         let n = |v: u64| Json::Num(v as f64);
         Json::Obj(vec![
-            ("schema".into(), Json::Str("pit-serve-stats/5".into())),
+            ("schema".into(), Json::Str("pit-serve-stats/6".into())),
             ("model".into(), Json::Str(self.model.clone())),
             ("kind".into(), Json::Str(self.kind.clone())),
             ("shards".into(), n(self.shards)),
@@ -197,6 +209,7 @@ impl StatsSnapshot {
             ("wave_occupancy".into(), Json::Num(self.wave_occupancy)),
             ("wave_p50_ns".into(), n(self.wave_p50_ns)),
             ("wave_p99_ns".into(), n(self.wave_p99_ns)),
+            ("wave_p999_ns".into(), n(self.wave_p999_ns)),
             ("seq".into(), n(self.seq)),
             ("settled".into(), Json::Bool(self.settled)),
             (
@@ -219,8 +232,8 @@ impl StatsSnapshot {
                 .ok_or_else(|| format!("missing number field '{name}'"))
         };
         let int = |name: &str| -> Result<u64, String> { Ok(num(name)? as u64) };
-        // Absent before pit-serve-stats/4 (or /5 for `connections_expired`):
-        // default to zero.
+        // Absent before pit-serve-stats/4 (or /5 for `connections_expired`,
+        // /6 for `wave_p999_ns`): default to zero.
         let opt_int =
             |name: &str| -> u64 { doc.get(name).and_then(Json::as_f64).unwrap_or(0.0) as u64 };
         let text_field = |name: &str| -> Result<String, String> {
@@ -252,6 +265,7 @@ impl StatsSnapshot {
             wave_occupancy: num("wave_occupancy")?,
             wave_p50_ns: int("wave_p50_ns")?,
             wave_p99_ns: int("wave_p99_ns")?,
+            wave_p999_ns: opt_int("wave_p999_ns"),
             seq: opt_int("seq"),
             // Pre-v4 documents carry no settling signal; treat them as
             // settled so old pollers keep their previous behavior.
@@ -276,7 +290,7 @@ impl std::fmt::Display for StatsSnapshot {
             f,
             "{} ({}, {} shards): {} conns ({} open), {} streams open ({} opened, {} evicted), \
              {} timesteps in, {} emissions out, {} rejected, {} waves \
-             (occupancy {:.1}, p50 {} ns, p99 {} ns)",
+             (occupancy {:.1}, p50 {} ns, p99 {} ns, p99.9 {} ns)",
             self.model,
             self.kind,
             self.shards,
@@ -292,6 +306,7 @@ impl std::fmt::Display for StatsSnapshot {
             self.wave_occupancy,
             self.wave_p50_ns,
             self.wave_p99_ns,
+            self.wave_p999_ns,
         )
     }
 }
@@ -385,6 +400,7 @@ impl ModelStats {
             },
             wave_p50_ns: hist.percentile(0.50),
             wave_p99_ns: hist.percentile(0.99),
+            wave_p999_ns: hist.percentile(0.999),
         }
     }
 }
@@ -462,6 +478,7 @@ pub(crate) fn aggregate_snapshot(
         },
         wave_p50_ns: hist.percentile(0.50),
         wave_p99_ns: hist.percentile(0.99),
+        wave_p999_ns: hist.percentile(0.999),
         seq,
         settled,
         models,
@@ -602,6 +619,21 @@ mod tests {
         assert_eq!(snap.outbuf_hwm_bytes, 0);
         assert_eq!(snap.seq, 0);
         assert!(snap.settled, "pre-v4 documents read as settled");
+        assert_eq!(snap.wave_p999_ns, 0, "pre-v6 documents lack p99.9");
+    }
+
+    #[test]
+    fn v5_model_breakdowns_without_p999_parse_with_zero() {
+        let text = r#"{
+            "name": "m", "kind": "i8", "streams_open": 1,
+            "streams_opened": 2, "timesteps_in": 30, "emissions_out": 3,
+            "waves": 4, "wave_occupancy": 1.0,
+            "wave_p50_ns": 100, "wave_p99_ns": 200
+        }"#;
+        let doc = Json::parse(text).unwrap();
+        let m = ModelSnapshot::from_json(&doc).unwrap();
+        assert_eq!(m.wave_p99_ns, 200);
+        assert_eq!(m.wave_p999_ns, 0);
     }
 
     #[test]
@@ -629,6 +661,12 @@ mod tests {
             snap.wave_p50_ns
         );
         assert!(snap.wave_p99_ns >= 1_000_000, "p99={}", snap.wave_p99_ns);
+        assert!(
+            snap.wave_p999_ns >= snap.wave_p99_ns,
+            "p99.9={} p99={}",
+            snap.wave_p999_ns,
+            snap.wave_p99_ns
+        );
         assert_eq!(snap.waves, 2000);
     }
 }

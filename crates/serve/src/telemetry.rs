@@ -12,14 +12,14 @@
 //!
 //! ## Histogram layout
 //!
-//! [`Histogram`] replaces the old sorted 4096-entry latency windows: 252
-//! fixed log-scale buckets (HDR-style — four sub-buckets per power of
-//! two) covering the full `u64` nanosecond range. Bucket boundaries are
-//! exact integers, counts are exact, and percentiles are derived from the
-//! cumulative bucket walk with at most ~25% relative overestimate (the
-//! reported percentile is the containing bucket's upper bound). Unlike
-//! the windows, histograms never roll over: p50/p99 describe the whole
-//! run, not the recent past.
+//! Latency is recorded into the shared `pit_tensor::hist` log-scale
+//! [`Histogram`] (252 HDR-style buckets, four sub-buckets per power of
+//! two, exact integer boundaries, percentiles with at most ~25% relative
+//! overestimate). The type lives in `pit-tensor` so the bench harness and
+//! the `pit-replay` load driver share the daemon's exact bucket layout;
+//! it is re-exported at the crate root as `pit_serve::hist`. Histograms
+//! never roll over: p50/p99/p99.9 describe the whole run, not the recent
+//! past.
 //!
 //! ## Trace ring
 //!
@@ -31,158 +31,11 @@
 //! served as JSON over `GET /trace` and the TRACE debug frame.
 
 use crate::stats::{EdgeCounters, ModelStats, ShardStats, StatsSnapshot};
+use pit_tensor::hist::{Histogram, HistogramSnapshot};
 use pit_tensor::json::Json;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-
-// ---------------------------------------------------------------------------
-// Log-scale histogram
-// ---------------------------------------------------------------------------
-
-/// Number of fixed buckets: values 0–3 exactly, then four sub-buckets per
-/// power of two up to `u64::MAX` (highest index 251).
-pub(crate) const HIST_BUCKETS: usize = 252;
-
-/// Bucket index for a nanosecond value. Values below 4 get their own
-/// bucket; above that, the octave (position of the most significant bit)
-/// selects a group of four sub-buckets and the two bits below the MSB
-/// select within it.
-fn bucket_index(ns: u64) -> usize {
-    if ns < 4 {
-        return ns as usize;
-    }
-    let msb = 63 - ns.leading_zeros() as usize;
-    let sub = ((ns >> (msb - 2)) & 3) as usize;
-    4 + (msb - 2) * 4 + sub
-}
-
-/// Smallest value that lands in bucket `idx` (exact integer boundary).
-fn bucket_lo(idx: usize) -> u64 {
-    if idx < 4 {
-        return idx as u64;
-    }
-    let oct = (idx - 4) / 4 + 2;
-    let sub = ((idx - 4) % 4) as u64;
-    (1u64 << oct) + (sub << (oct - 2))
-}
-
-/// Largest value that lands in bucket `idx`.
-fn bucket_hi(idx: usize) -> u64 {
-    if idx + 1 >= HIST_BUCKETS {
-        return u64::MAX;
-    }
-    bucket_lo(idx + 1) - 1
-}
-
-/// A lock-free fixed-bucket log-scale latency histogram. Recording is two
-/// relaxed `fetch_add`s; snapshots are a plain bucket copy. Replaces the
-/// old mutex-guarded sorted windows in the per-shard and per-model counter
-/// blocks.
-pub(crate) struct Histogram {
-    buckets: [AtomicU64; HIST_BUCKETS],
-    sum: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            sum: AtomicU64::new(0),
-        }
-    }
-}
-
-impl std::fmt::Debug for Histogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let snap = self.snapshot();
-        f.debug_struct("Histogram")
-            .field("count", &snap.count())
-            .field("sum", &snap.sum)
-            .finish()
-    }
-}
-
-impl Histogram {
-    /// Records one observation (nanoseconds).
-    pub(crate) fn record(&self, ns: u64) {
-        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(ns, Ordering::Relaxed);
-    }
-
-    /// Copies the current bucket counts out.
-    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            buckets: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
-            sum: self.sum.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// A point-in-time copy of a [`Histogram`]'s buckets, mergeable across
-/// shards before computing daemon-wide percentiles.
-#[derive(Clone, Debug)]
-pub(crate) struct HistogramSnapshot {
-    buckets: Vec<u64>,
-    sum: u64,
-}
-
-impl HistogramSnapshot {
-    pub(crate) fn empty() -> Self {
-        Self {
-            buckets: vec![0; HIST_BUCKETS],
-            sum: 0,
-        }
-    }
-
-    /// Adds another histogram's buckets into this one.
-    pub(crate) fn merge(&mut self, other: &HistogramSnapshot) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.sum += other.sum;
-    }
-
-    /// Total observations.
-    pub(crate) fn count(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// Sum of all observed values.
-    pub(crate) fn sum(&self) -> u64 {
-        self.sum
-    }
-
-    /// The value at quantile `p` (0.0–1.0): the upper bound of the bucket
-    /// containing the rank-`round((count-1)·p)` observation, matching the
-    /// index convention of the old sorted windows.
-    pub(crate) fn percentile(&self, p: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total - 1) as f64 * p).round() as u64;
-        let mut cum = 0u64;
-        for (idx, &c) in self.buckets.iter().enumerate() {
-            cum += c;
-            if cum > rank {
-                return bucket_hi(idx);
-            }
-        }
-        u64::MAX
-    }
-
-    /// Observations with value `<= bound` (cumulative count for the
-    /// Prometheus `le` series; `bound` must be a bucket upper boundary for
-    /// the count to be exact).
-    fn cumulative_le(&self, bound: u64) -> u64 {
-        self.buckets[..=bucket_index(bound)].iter().sum()
-    }
-}
 
 // ---------------------------------------------------------------------------
 // Trace ring
@@ -751,6 +604,27 @@ impl Telemetry {
             "Mean number of streams served per wave.",
             snap.wave_occupancy,
         );
+        // Daemon-wide wave-latency quantiles as a Prometheus summary: the
+        // same shard-merged histogram the STATS frame's wave_p*_ns fields
+        // are computed from, so the two views agree by construction.
+        help_type(
+            &mut out,
+            "pit_serve_wave_latency_ns",
+            "Wave (pool flush) latency quantiles over all shards, nanoseconds.",
+            "summary",
+        );
+        for (q, v) in [
+            ("0.5", snap.wave_p50_ns),
+            ("0.99", snap.wave_p99_ns),
+            ("0.999", snap.wave_p999_ns),
+        ] {
+            sample(
+                &mut out,
+                "pit_serve_wave_latency_ns",
+                &format!("quantile=\"{q}\""),
+                v as f64,
+            );
+        }
         counter(
             &mut out,
             "pit_serve_stats_seq",
@@ -1010,77 +884,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_index_and_bounds_are_consistent() {
-        // Small values are exact.
-        for v in 0..16u64 {
-            let idx = bucket_index(v);
-            assert!(
-                bucket_lo(idx) <= v && v <= bucket_hi(idx),
-                "v={v} idx={idx}"
-            );
-        }
-        // Every bucket boundary maps back into its own bucket, buckets
-        // tile the range without gaps or overlaps.
-        for idx in 0..HIST_BUCKETS - 1 {
-            assert_eq!(bucket_index(bucket_lo(idx)), idx);
-            assert_eq!(bucket_index(bucket_hi(idx)), idx);
-            assert_eq!(bucket_hi(idx) + 1, bucket_lo(idx + 1));
-        }
-        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
-        // Relative quantization error stays within a quarter of the value.
-        for &v in &[5u64, 100, 1_000, 123_456, 7_890_123, u64::MAX / 3] {
-            let hi = bucket_hi(bucket_index(v));
-            assert!(hi - v <= v / 4 + 1, "v={v} hi={hi}");
-        }
-    }
-
-    #[test]
-    fn histogram_percentiles_track_recorded_values() {
-        let h = Histogram::default();
-        for v in 1..=1000u64 {
-            h.record(v);
-        }
-        let snap = h.snapshot();
-        assert_eq!(snap.count(), 1000);
-        assert_eq!(snap.sum(), 500_500);
-        let p50 = snap.percentile(0.50);
-        // The reported percentile is the containing bucket's upper bound:
-        // never below the true value, at most ~25% above.
-        assert!((500..=640).contains(&p50), "p50={p50}");
-        let p99 = snap.percentile(0.99);
-        assert!((990..=1280).contains(&p99), "p99={p99}");
-        assert_eq!(snap.percentile(0.0), bucket_hi(bucket_index(1)));
-    }
-
-    #[test]
-    fn histogram_snapshots_merge_across_shards() {
-        let a = Histogram::default();
-        let b = Histogram::default();
-        for _ in 0..10 {
-            a.record(10);
-            b.record(1_000_000);
-        }
-        let mut merged = a.snapshot();
-        merged.merge(&b.snapshot());
-        assert_eq!(merged.count(), 20);
-        assert_eq!(merged.sum(), 10 * 10 + 10 * 1_000_000);
-        assert!(merged.percentile(0.95) >= 1_000_000);
-        assert!(merged.percentile(0.05) < 20);
-    }
-
-    #[test]
-    fn cumulative_le_matches_bound_walk() {
-        let h = Histogram::default();
-        for v in [1u64, 2, 3, 4, 100, 200, 70_000] {
-            h.record(v);
-        }
-        let snap = h.snapshot();
-        assert_eq!(snap.cumulative_le(3), 3);
-        assert_eq!(snap.cumulative_le(255), 6);
-        assert_eq!(snap.cumulative_le((1 << 18) - 1), 7);
-    }
-
-    #[test]
     fn trace_ring_records_filters_and_wraps() {
         let ring = TraceRing::default();
         ring.record(TraceKind::Open, 1, Some(7), Some(2), Some(0), 0, 10);
@@ -1165,6 +968,8 @@ mod tests {
         let text = telemetry.render_prometheus();
         assert!(text.contains("# TYPE pit_serve_timesteps_total counter"));
         assert!(text.contains("# TYPE pit_serve_wave_flush_ns histogram"));
+        assert!(text.contains("# TYPE pit_serve_wave_latency_ns summary"));
+        assert!(text.contains("pit_serve_wave_latency_ns{quantile=\"0.999\"} 0"));
         assert!(text.contains("pit_serve_wave_flush_ns_bucket{shard=\"0\",le=\"+Inf\"} 0"));
         assert!(text.contains("pit_serve_model_timesteps_total{model=\"m\",kind=\"i8\"} 0"));
         assert!(text.ends_with('\n'));

@@ -356,7 +356,7 @@ fn prometheus_exposition_format_is_wellformed() {
             let name = parts.next().unwrap().to_string();
             let kind = parts.next().expect("TYPE has a kind").to_string();
             assert!(
-                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram" | "summary"),
                 "unknown TYPE {kind}"
             );
             let slot = announced
@@ -422,6 +422,23 @@ fn prometheus_exposition_format_is_wellformed() {
         );
         assert_eq!(inf, Some(count), "+Inf bucket equals _count");
     }
+
+    // The wave-latency summary carries all three quantiles, non-decreasing
+    // in q (p50 ≤ p99 ≤ p99.9 by construction of the merged histogram).
+    let quantiles: Vec<f64> = ["0.5", "0.99", "0.999"]
+        .iter()
+        .map(|q| {
+            metric(
+                &text,
+                &format!("pit_serve_wave_latency_ns{{quantile=\"{q}\"}}"),
+            )
+        })
+        .collect();
+    assert_eq!(quantiles.len(), 3);
+    assert!(
+        quantiles.windows(2).all(|w| w[0] <= w[1]),
+        "summary quantiles must be non-decreasing: {quantiles:?}"
+    );
 
     handle.shutdown();
 }
@@ -601,6 +618,102 @@ fn sidecar_survives_hostile_http_clients() {
         client.recv_timeout(RECV_TIMEOUT).unwrap(),
         Some(ServerFrame::Pong { token: 41 })
     ));
+    handle.shutdown();
+}
+
+/// The trace ring holds 4096 slots and never stops the world to rotate:
+/// writers overwrite the oldest slots in place while readers skip any
+/// slot caught mid-overwrite. Push enough single-step bursts through one
+/// stream to lap the ring, then demand that both read paths — the TRACE
+/// frame and the HTTP `/trace` route — serve only coherent, most-recent
+/// events: strictly increasing sequence numbers, chronological
+/// timestamps, nothing older than one ring's worth, and none of the
+/// stream's earliest events (those must have been overwritten).
+#[test]
+fn trace_ring_wraparound_serves_only_recent_coherent_events() {
+    const RING_SLOTS: f64 = 4096.0;
+    let plan = searched_plan(73);
+    let server = Server::bind(ServeEngine::F32(plan), metrics_config()).expect("bind");
+    let addr = server.local_addr();
+    let metrics_addr = server.metrics_addr().expect("sidecar bound");
+    let handle = server.spawn();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.open(5).expect("open");
+
+    // Every 1-step PUSH records one push event and (once flushed) one
+    // emit event, so the ring laps after ~2048 bursts; drive it well
+    // past a full lap, draining EMIT frames as we go so backpressure
+    // never pauses the experiment.
+    let step = vec![0.25f32; C];
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        for _ in 0..64 {
+            client.push(5, C as u32, &step).expect("push");
+        }
+        client.flush().expect("flush");
+        while let Some(_frame) = client
+            .recv_timeout(Duration::from_millis(1))
+            .expect("transport")
+        {}
+        let (status, _head, body) = http_get(metrics_addr, "/metrics");
+        assert_eq!(status, 200);
+        if metric(&body, "pit_serve_trace_events_total") >= RING_SLOTS + 512.0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "ring never lapped");
+    }
+    // Quiesce so every recorded event is stable before reading.
+    let snap = settled_stats(&mut client, |_| true);
+    assert!(snap.timesteps_in > RING_SLOTS as u64 / 2);
+
+    let (status, _head, body) = http_get(metrics_addr, "/metrics");
+    assert_eq!(status, 200);
+    let recorded = metric(&body, "pit_serve_trace_events_total");
+    assert!(recorded >= RING_SLOTS + 512.0);
+
+    // Both read paths, same demands.
+    let frame_events = client.trace(5).expect("trace frame");
+    let (status, _head, body) = http_get(metrics_addr, "/trace?stream=5");
+    assert_eq!(status, 200);
+    let http_events = pit_serve::TraceEvent::parse_list(&body).expect("parse");
+    for (path, events) in [("TRACE frame", &frame_events), ("/trace", &http_events)] {
+        assert!(
+            !events.is_empty() && events.len() <= RING_SLOTS as usize,
+            "{path}: {} events",
+            events.len()
+        );
+        // Coherent: strictly ordered, chronological, all for stream 5.
+        for pair in events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "{path}: seq order broken");
+            assert!(pair[0].t_us <= pair[1].t_us, "{path}: time order broken");
+        }
+        assert!(
+            events.iter().all(|e| e.stream == Some(5)),
+            "{path}: filter leak"
+        );
+        // Most-recent only: nothing older than one ring behind the write
+        // cursor can survive, so the stream's OPEN (its very first
+        // event) must be gone and every survivor sits in the last lap.
+        assert!(
+            events.iter().all(|e| e.event != "open"),
+            "{path}: the lapped OPEN event must have been overwritten"
+        );
+        let oldest = events.first().expect("nonempty").seq;
+        assert!(
+            (oldest as f64) >= recorded - RING_SLOTS,
+            "{path}: event {oldest} is older than one ring ({recorded} recorded)"
+        );
+    }
+    // The ring keeps filling right up to the cursor: the newest surviving
+    // event is within the final few waves of the cursor position.
+    let newest = frame_events.last().expect("nonempty").seq;
+    assert!(
+        (newest as f64) >= recorded - 64.0,
+        "newest surviving event {newest} lags the cursor {recorded}"
+    );
+
+    client.close(5).expect("close");
     handle.shutdown();
 }
 

@@ -40,6 +40,7 @@
 
 pub mod error;
 pub mod grad_check;
+pub mod hist;
 pub mod init;
 pub mod json;
 pub mod kernels;

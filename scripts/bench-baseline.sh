@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Regenerates the committed benchmark baselines (BENCH_conv.json,
-# BENCH_infer.json, BENCH_int8.json, BENCH_serve.json and
-# BENCH_scale.json).
+# BENCH_infer.json, BENCH_int8.json, BENCH_serve.json, BENCH_scale.json
+# and BENCH_replay.json).
 #
 # Run this — never hand-edit the JSON — when a PR intentionally changes
 # performance, then commit the refreshed files alongside the change. CI's
@@ -31,4 +31,14 @@ echo "regenerating BENCH_serve.json (release build, serve suite, 1 thread)..."
 PIT_NUM_THREADS=1 cargo run --locked --release -p pit-bench --bin bench_json -- --quick --suites serve --out BENCH_serve.json
 echo "regenerating BENCH_scale.json (release build, scale suite, 1 thread)..."
 PIT_NUM_THREADS=1 cargo run --locked --release -p pit-bench --bin bench_json -- --quick --suites scale --out BENCH_scale.json
-echo "done. review the diff and commit BENCH_conv.json + BENCH_infer.json + BENCH_int8.json + BENCH_serve.json + BENCH_scale.json."
+# The replay baseline needs a model zoo; build the same fixed-seed quick zoo
+# the CI replay job uses into a scratch dir, then record the quick replay
+# population against an in-process daemon (no TCP daemon to babysit here —
+# the in-process and external paths drive identical traffic).
+echo "regenerating BENCH_replay.json (quick zoo + replay population, 1 thread)..."
+REPLAY_ZOO=$(mktemp -d)
+trap 'rm -rf "$REPLAY_ZOO"' EXIT
+cargo run --locked --release -p pit-search -- --out "$REPLAY_ZOO" --quick
+PIT_NUM_THREADS=1 cargo run --locked --release -p pit-replay --bin pit-replay -- \
+    --zoo "$REPLAY_ZOO/zoo.json" --quick --bench-out BENCH_replay.json
+echo "done. review the diff and commit BENCH_conv.json + BENCH_infer.json + BENCH_int8.json + BENCH_serve.json + BENCH_scale.json + BENCH_replay.json."
